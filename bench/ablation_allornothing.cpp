@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Section 5 ablation: per-flit versus all-or-nothing scheduling. With
+ * one control flit leading several data flits (d = 4), per-flit
+ * scheduling lets scheduled flits advance and free their buffers while
+ * siblings wait; all-or-nothing stalls the whole group. Paper claim:
+ * per-flit scheduling attains higher throughput.
+ *
+ * Wide control flits require pools that hold at least two flit groups:
+ * with the paper's 6-buffer pools, data that overtakes a stalled
+ * control flit parks without a departure reservation, and the
+ * control-VC/data-pool dependency cycle the paper's Section 5 deadlock
+ * discussion warns about closes even at light load (see DESIGN.md).
+ * This ablation therefore uses 13-buffer (FR13-size) pools.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace frfc;
+
+int
+main(int argc, char** argv)
+{
+    const auto args = bench::parseArgs(argc, argv);
+    RunOptions opt = bench::runOptions(args);
+    std::vector<double> loads = bench::curveLoads(args);
+    if (!args.full) {
+        opt.samplePackets = 600;
+        opt.maxCycles = 60000;
+        // All-or-nothing grinds hard once saturated; probe fewer
+        // points past the knee in quick mode.
+        loads = {0.10, 0.30, 0.45, 0.55, 0.65, 0.75};
+    }
+
+    std::vector<std::string> names{"per-flit", "all-or-nothing"};
+    std::vector<std::vector<RunResult>> curves;
+    for (bool aon : {false, true}) {
+        Config cfg = baseConfig();
+        applyFr6(cfg);
+        applyFastControl(cfg);
+        cfg.set("data_buffers", 13);  // >= two 4-flit groups; see above
+        cfg.set("flits_per_ctrl", 4);
+        cfg.set("packet_length", 9);
+        cfg.set("all_or_nothing", aon);
+        bench::applyOverrides(cfg, args);
+        curves.push_back(latencyCurve(cfg, loads, opt));
+    }
+
+    bench::printCurves(args,
+                       "Ablation: per-flit vs all-or-nothing scheduling "
+                       "(13-buffer pools, d=4, 9-flit packets)",
+                       names, curves);
+
+    std::printf("Highest completed load (%% capacity):\n");
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        double sat = 0.0;
+        for (const auto& r : curves[i]) {
+            if (r.complete && r.acceptedFraction > sat)
+                sat = r.acceptedFraction;
+        }
+        std::printf("  %-16s %5.1f\n", names[i].c_str(), sat * 100.0);
+    }
+    std::printf("\nPaper claim: per-flit scheduling attains higher "
+                "throughput (Section 5).\n");
+    return 0;
+}

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Footnote 7 extension: a multi-ported input buffer ("addressed by
+ * multiple Buffer Out rows") lets one input forward data flits to
+ * several outputs in the same cycle. This bench quantifies how much
+ * that higher-performance router buys over the baseline.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace frfc;
+
+int
+main(int argc, char** argv)
+{
+    const auto args = bench::parseArgs(argc, argv);
+    const RunOptions opt = bench::runOptions(args);
+    const auto loads = bench::curveLoads(args);
+
+    std::vector<std::string> names;
+    std::vector<std::vector<RunResult>> curves;
+    for (int speedup : {1, 2, 4}) {
+        Config cfg = baseConfig();
+        applyFr6(cfg);
+        applyFastControl(cfg);
+        cfg.set("speedup", speedup);
+        bench::applyOverrides(cfg, args);
+        names.push_back("ports=" + std::to_string(speedup));
+        curves.push_back(latencyCurve(cfg, loads, opt));
+    }
+
+    bench::printCurves(args,
+                       "Extension (footnote 7): multi-ported input "
+                       "buffers, FR6",
+                       names, curves);
+
+    std::printf("Highest completed load (%% capacity):\n");
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        double sat = 0.0;
+        for (const auto& r : curves[i]) {
+            if (r.complete && r.acceptedFraction > sat)
+                sat = r.acceptedFraction;
+        }
+        std::printf("  %-10s %5.1f\n", names[i].c_str(), sat * 100.0);
+    }
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Section 5 ablation: the buffer pool is NOT where flit reservation's
+ * win comes from. Virtual-channel flow control with a shared buffer
+ * pool [TamFra92] shows no meaningful throughput improvement over
+ * per-VC queues — the gain comes from advance scheduling and immediate
+ * buffer turnaround.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace frfc;
+
+int
+main(int argc, char** argv)
+{
+    const auto args = bench::parseArgs(argc, argv);
+    const RunOptions opt = bench::runOptions(args);
+    const auto loads = bench::curveLoads(args);
+
+    std::vector<std::string> names{"VC8 per-VC queues",
+                                   "VC8 shared pool", "FR6"};
+    std::vector<std::vector<RunResult>> curves;
+    for (int mode = 0; mode < 3; ++mode) {
+        Config cfg = baseConfig();
+        applyFastControl(cfg);
+        if (mode < 2) {
+            applyVc8(cfg);
+            cfg.set("shared_pool", mode == 1);
+        } else {
+            applyFr6(cfg);
+        }
+        bench::applyOverrides(cfg, args);
+        curves.push_back(latencyCurve(cfg, loads, opt));
+    }
+
+    bench::printCurves(args,
+                       "Ablation: shared-pool VC [TamFra92] vs per-VC "
+                       "queues vs flit reservation",
+                       names, curves);
+
+    std::printf("Highest completed load (%% capacity):\n");
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        double sat = 0.0;
+        for (const auto& r : curves[i]) {
+            if (r.complete && r.acceptedFraction > sat)
+                sat = r.acceptedFraction;
+        }
+        std::printf("  %-20s %5.1f\n", names[i].c_str(), sat * 100.0);
+    }
+    std::printf("\nPaper claim: \"we simulated virtual-channel flow "
+                "control with a shared buffer\npool ... but saw no "
+                "improvement in network throughput\" — the FR gain is "
+                "from\nadvance scheduling, not pooling.\n");
+    return 0;
+}

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Shared scaffolding for the figure/table regeneration benches.
+ *
+ * Every bench accepts:
+ *   --full        paper-scale runs (100k-packet samples, 10k+ warm-up)
+ *   --csv         emit CSV instead of an aligned table
+ *   key=value     any Config override (seed=..., size_x=..., ...)
+ *
+ * Default (quick) mode uses reduced sample sizes so the whole bench
+ * suite finishes in minutes; the curves keep their shape, with more
+ * sampling noise.
+ */
+
+#ifndef FRFC_BENCH_BENCH_COMMON_HPP
+#define FRFC_BENCH_BENCH_COMMON_HPP
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/table.hpp"
+#include "harness/presets.hpp"
+#include "harness/sweep.hpp"
+#include "network/runner.hpp"
+
+namespace frfc::bench {
+
+/** Parsed common bench options. */
+struct BenchArgs
+{
+    bool full = false;
+    bool csv = false;
+    Config overrides;
+};
+
+inline BenchArgs
+parseArgs(int argc, char** argv)
+{
+    BenchArgs args;
+    std::vector<std::string> tokens(argv + 1, argv + argc);
+    for (const std::string& positional : args.overrides.applyArgs(tokens)) {
+        if (positional == "--full")
+            args.full = true;
+        else if (positional == "--csv")
+            args.csv = true;
+        else if (positional == "--help" || positional == "-h") {
+            std::printf("usage: %s [--full] [--csv] [key=value ...]\n",
+                        argv[0]);
+            std::exit(0);
+        } else {
+            std::fprintf(stderr, "unknown argument '%s'\n",
+                         positional.c_str());
+            std::exit(1);
+        }
+    }
+    return args;
+}
+
+/** Apply command-line key=value overrides onto a config. */
+inline void
+applyOverrides(Config& cfg, const BenchArgs& args)
+{
+    for (const auto& key : args.overrides.keys())
+        cfg.set(key, args.overrides.getString(key));
+}
+
+/** Measurement options matching quick/full mode; run.* keys given on
+ *  the command line override either mode's defaults. */
+inline RunOptions
+runOptions(const BenchArgs& args)
+{
+    RunOptions opt;  // paper-scale defaults
+    if (!args.full) {
+        opt.samplePackets = 1500;
+        opt.minWarmup = 2000;
+        opt.maxWarmup = 5000;
+        opt.maxCycles = 80000;
+    }
+    return RunOptions::fromConfig(args.overrides, opt);
+}
+
+/** Load points for latency-throughput curves. */
+inline std::vector<double>
+curveLoads(const BenchArgs& args)
+{
+    if (args.full)
+        return standardLoads();
+    return {0.10, 0.30, 0.45, 0.55, 0.65, 0.70, 0.75, 0.80, 0.85, 0.90};
+}
+
+/** Render one latency-vs-offered-traffic figure. */
+inline void
+printCurves(const BenchArgs& args, const std::string& title,
+            const std::vector<std::string>& names,
+            const std::vector<std::vector<RunResult>>& curves)
+{
+    std::printf("== %s ==\n", title.c_str());
+    std::printf("(%s mode; latency in cycles; 'sat' = did not complete "
+                "the sample within the cycle budget)\n",
+                args.full ? "full" : "quick");
+    TextTable table;
+    std::vector<std::string> header{"offered(%)"};
+    for (const auto& name : names)
+        header.push_back(name);
+    table.setHeader(header);
+    const std::size_t points = curves.empty() ? 0 : curves[0].size();
+    for (std::size_t i = 0; i < points; ++i) {
+        std::vector<std::string> row{
+            TextTable::num(curves[0][i].offeredFraction * 100.0, 0)};
+        for (const auto& curve : curves) {
+            row.push_back(curve[i].complete
+                              ? TextTable::num(curve[i].avgLatency, 1)
+                              : std::string("sat"));
+        }
+        table.addRow(row);
+    }
+    if (args.csv)
+        table.printCsv(std::cout);
+    else
+        table.print(std::cout);
+    std::printf("\n");
+}
+
+/** Print a paper-vs-measured comparison line. */
+inline void
+comparison(const char* what, double paper, double measured)
+{
+    std::printf("  %-44s paper %-8.1f measured %-8.1f\n", what, paper,
+                measured);
+}
+
+}  // namespace frfc::bench
+
+#endif  // FRFC_BENCH_BENCH_COMMON_HPP

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Regenerates Figure 6: latency versus offered traffic with 21-flit
+ * packets (fast control). Paper shape: base latency drops from 55 (VC)
+ * to 46 (FR); FR13 reaches ~75% capacity, beyond VC32's ~65%; FR6 is
+ * tempered by its small pool relative to the packet length (~60% vs
+ * VC's ~55%).
+ */
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace frfc;
+
+int
+main(int argc, char** argv)
+{
+    const auto args = bench::parseArgs(argc, argv);
+    RunOptions opt = bench::runOptions(args);
+    if (!args.full) {
+        // 21-flit packets need a little more room to drain.
+        opt.maxCycles = 150000;
+        opt.samplePackets = 800;
+    }
+    std::vector<double> loads = bench::curveLoads(args);
+
+    const std::vector<std::string> names{"VC8", "VC16", "VC32", "FR6",
+                                         "FR13"};
+    const char* presets[] = {"vc8", "vc16", "vc32", "fr6", "fr13"};
+    std::vector<std::vector<RunResult>> curves;
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        Config cfg = baseConfig();
+        applyFastControl(cfg);
+        cfg.set("packet_length", 21);
+        applyPreset(cfg, presets[i]);
+        bench::applyOverrides(cfg, args);
+        curves.push_back(latencyCurve(cfg, loads, opt));
+    }
+
+    bench::printCurves(args,
+                       "Figure 6: latency vs offered traffic, 21-flit "
+                       "packets, fast control",
+                       names, curves);
+
+    std::printf("Saturation throughput (%% capacity):\n");
+    const double paper[] = {55, 65, 65, 60, 75};
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        double sat = 0.0;
+        for (const auto& r : curves[i]) {
+            if (r.complete && r.acceptedFraction > sat)
+                sat = r.acceptedFraction;
+        }
+        bench::comparison(names[i].c_str(), paper[i], sat * 100.0);
+    }
+    std::printf("\nBase latency (cycles, low-load point):\n");
+    const double paper_base[] = {55, 55, 55, 46, 46};
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        bench::comparison(names[i].c_str(), paper_base[i],
+                          curves[i].front().avgLatency);
+    }
+    std::printf("\nPaper takeaway: with a buffer pool small relative to "
+                "the packet length\n(FR6, 21-flit packets) the gain is "
+                "tempered; FR13 still clears VC32.\n");
+    return 0;
+}

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Simulator performance microbenchmarks (google-benchmark): reservation
+ * table operations, channel transport, router ticks, and whole-network
+ * simulation throughput. These guard against performance regressions
+ * in the hot paths — a full Figure 5 sweep runs millions of ticks.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/config.hpp"
+#include "frfc/input_table.hpp"
+#include "frfc/output_table.hpp"
+#include "harness/presets.hpp"
+#include "network/fr_network.hpp"
+#include "network/vc_network.hpp"
+#include "sim/channel.hpp"
+
+namespace frfc {
+namespace {
+
+void
+BM_OutputTableReserveCredit(benchmark::State& state)
+{
+    OutputReservationTable ort(static_cast<int>(state.range(0)), 6, 4);
+    Cycle now = 0;
+    for (auto _ : state) {
+        ort.advance(now);
+        const Cycle d =
+            ort.findDeparture(now + 1, [](Cycle) { return true; });
+        if (d != kInvalidCycle) {
+            ort.reserve(d);
+            // Downstream departure: after the flit arrives at d + 4.
+            if (d + 5 <= ort.windowEnd())
+                ort.credit(d + 5);
+            else
+                ort.credit(ort.windowEnd());
+        }
+        ++now;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OutputTableReserveCredit)->Arg(16)->Arg(32)->Arg(128);
+
+void
+BM_InputTableFlow(benchmark::State& state)
+{
+    InputReservationTable irt(32, 6);
+    Cycle now = 0;
+    Flit flit;
+    flit.packet = 1;
+    for (auto _ : state) {
+        irt.advance(now);
+        irt.recordReservation(now, now + 2, now + 4, kEast);
+        benchmark::DoNotOptimize(irt.takeDepartures(now));
+        ++now;
+        irt.advance(now);
+        ++now;
+        irt.advance(now);
+        flit.payload = Flit::expectedPayload(1, 0);
+        irt.acceptFlit(now, flit);
+        benchmark::DoNotOptimize(irt.takeDepartures(now));
+        ++now;
+        irt.advance(now);
+        ++now;
+        irt.advance(now);
+        benchmark::DoNotOptimize(irt.takeDepartures(now));
+        ++now;
+    }
+}
+BENCHMARK(BM_InputTableFlow);
+
+void
+BM_ChannelTransport(benchmark::State& state)
+{
+    Channel<Flit> ch("bench", 4);
+    Flit flit;
+    Cycle now = 0;
+    for (auto _ : state) {
+        ch.push(now, flit);
+        benchmark::DoNotOptimize(ch.drain(now));
+        ++now;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ChannelTransport);
+
+void
+BM_VcNetworkCycle(benchmark::State& state)
+{
+    Config cfg = baseConfig();
+    applyVc8(cfg);
+    cfg.set("offered", 0.01 * static_cast<double>(state.range(0)));
+    VcNetwork net(cfg);
+    net.kernel().run(1000);  // warm
+    for (auto _ : state)
+        net.kernel().run(1);
+    state.SetItemsProcessed(state.iterations()
+                            * net.topology().numNodes());
+    state.SetLabel("node-cycles/s");
+}
+BENCHMARK(BM_VcNetworkCycle)->Arg(30)->Arg(60);
+
+void
+BM_FrNetworkCycle(benchmark::State& state)
+{
+    Config cfg = baseConfig();
+    applyFr6(cfg);
+    cfg.set("offered", 0.01 * static_cast<double>(state.range(0)));
+    FrNetwork net(cfg);
+    net.kernel().run(1000);
+    for (auto _ : state)
+        net.kernel().run(1);
+    state.SetItemsProcessed(state.iterations()
+                            * net.topology().numNodes());
+    state.SetLabel("node-cycles/s");
+}
+BENCHMARK(BM_FrNetworkCycle)->Arg(30)->Arg(60);
+
+}  // namespace
+}  // namespace frfc
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Regenerates the Section 4.2 buffer-occupancy statistic: with 21-flit
+ * packets near saturation, a middle router's FR6 buffer pool is full
+ * ~40% of the time, while virtual-channel flow control saturates with
+ * its pool full < 5% of the time — FR uses the same storage far more
+ * intensively.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace frfc;
+
+int
+main(int argc, char** argv)
+{
+    const auto args = bench::parseArgs(argc, argv);
+    RunOptions opt = bench::runOptions(args);
+    opt.trackOccupancy = true;
+    if (!args.full) {
+        opt.samplePackets = 600;
+        opt.maxCycles = 120000;
+    }
+
+    std::printf("== Section 4.2: middle-router buffer pool occupancy, "
+                "21-flit packets near saturation ==\n\n");
+
+    struct Case
+    {
+        const char* name;
+        const char* preset;
+        double load;
+        double paperFullPct;
+    };
+    // Loads chosen just below each scheme's 21-flit saturation point.
+    const Case cases[] = {
+        {"FR6 @ ~saturation", "fr6", 0.55, 40.0},
+        {"VC8 @ ~saturation", "vc8", 0.50, 5.0},
+    };
+
+    for (const Case& c : cases) {
+        Config cfg = baseConfig();
+        applyPreset(cfg, c.preset);
+        applyFastControl(cfg);
+        cfg.set("packet_length", 21);
+        cfg.set("offered", c.load);
+        bench::applyOverrides(cfg, args);
+        const RunResult r = runExperiment(cfg, opt);
+        std::printf("%-20s offered %4.0f%%  pool full %5.1f%% of cycles "
+                    "(paper ~%2.0f%%)  avg occupancy %.2f flits  "
+                    "latency %s\n",
+                    c.name, c.load * 100.0, r.poolFullFraction * 100.0,
+                    c.paperFullPct, r.poolAvgOccupancy,
+                    r.complete ? TextTable::num(r.avgLatency, 1).c_str()
+                               : "sat");
+    }
+    std::printf("\nPaper claim: although FR uses the buffer pool more "
+                "effectively, it cannot turn\nbuffers around when most "
+                "are held by blocked packets — hence the tempered\n"
+                "gain for long packets on small pools.\n");
+    return 0;
+}

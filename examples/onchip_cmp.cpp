@@ -1,0 +1,112 @@
+/**
+ * @file
+ * On-chip CMP interconnect study — the scenario that motivates the
+ * paper (Section 1: networks replacing buses on chip, with slow global
+ * data wires and a few fast thick-metal control wires).
+ *
+ * A 16-core chip (4x4 mesh) sends read-reply-style packets (one cache
+ * line = 512 bits = two 256-bit flits... we model 5-flit replies as in
+ * the paper) to a shared memory controller at node 0 plus background
+ * core-to-core coherence traffic. We compare virtual-channel flow
+ * control against flit reservation in both deployment modes:
+ *
+ *   - fast control:   data wires 4 cycles/hop, control wires 1 (the
+ *                     thick-metal-layer option), and
+ *   - leading control: all wires equal; the memory controller knows the
+ *                     destination while DRAM is being accessed, so
+ *                     control flits simply leave a cycle early.
+ */
+
+#include <cstdio>
+
+#include "harness/presets.hpp"
+#include "network/fr_network.hpp"
+#include "network/runner.hpp"
+
+using namespace frfc;
+
+namespace {
+
+Config
+chipConfig()
+{
+    Config cfg = baseConfig();
+    cfg.set("size_x", 4);
+    cfg.set("size_y", 4);
+    cfg.set("packet_length", 5);
+    // A quarter of all traffic converges on the memory controller at
+    // node 0. Its ejection port absorbs one flit per cycle, so offered
+    // load must stay below 1 / (16 * 0.25) = 25% of capacity for the
+    // controller itself not to be the bottleneck.
+    cfg.set("traffic", "hotspot");
+    cfg.set("hotspot_node", 0);
+    cfg.set("hotspot_fraction", 0.25);
+    return cfg;
+}
+
+void
+report(const char* label, const RunResult& r)
+{
+    if (r.complete) {
+        std::printf("  %-28s latency %7.1f cycles   accepted %4.1f%%\n",
+                    label, r.avgLatency, r.acceptedFraction * 100.0);
+    } else {
+        std::printf("  %-28s SATURATED (accepted %4.1f%%)\n", label,
+                    r.acceptedFraction * 100.0);
+    }
+}
+
+}  // namespace
+
+int
+main()
+{
+    RunOptions opt;
+    opt.samplePackets = 2000;
+    opt.minWarmup = 2000;
+    opt.maxWarmup = 6000;
+    opt.maxCycles = 150000;
+
+    std::printf("On-chip CMP interconnect: 4x4 mesh, 16 cores, memory "
+                "controller at node 0,\n25%% hotspot traffic, 5-flit "
+                "read replies\n");
+
+    for (double load : {0.12, 0.20}) {
+        std::printf("\n-- offered load %2.0f%% of capacity --\n",
+                    load * 100.0);
+
+        // Virtual-channel baseline on the slow data wires.
+        Config vc = chipConfig();
+        applyVc8(vc);
+        applyFastControl(vc);
+        vc.set("offered", load);
+        report("VC8 (4-cycle data wires)", runExperiment(vc, opt));
+
+        // Flit reservation using fast thick-metal control wires.
+        Config fr_fast = chipConfig();
+        applyFr6(fr_fast);
+        applyFastControl(fr_fast);
+        fr_fast.set("offered", load);
+        report("FR6, fast control wires", runExperiment(fr_fast, opt));
+
+        // Flit reservation with leading control: the DRAM access hides
+        // the 4-cycle control lead entirely.
+        Config fr_lead = chipConfig();
+        applyFr6(fr_lead);
+        applyLeadingControl(fr_lead, 4);
+        fr_lead.set("offered", load);
+        FrNetwork net(fr_lead);
+        const RunResult r = runMeasurement(net, opt);
+        report("FR6, control leads by 4", r);
+        std::printf("      control reaches the hotspot %.1f cycles "
+                    "ahead of its data on average\n",
+                    net.avgControlLead());
+    }
+
+    std::printf("\nReading the numbers: advance reservation keeps "
+                "buffers on the congested paths\ninto the memory "
+                "controller turning over instantly, so flit "
+                "reservation holds\nits latency advantage as the "
+                "hotspot load climbs.\n");
+    return 0;
+}

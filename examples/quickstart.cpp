@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Quickstart: simulate flit-reservation flow control against the
+ * virtual-channel baseline on the paper's 8x8 on-chip mesh, in about
+ * thirty lines of API.
+ *
+ *   $ ./quickstart
+ *
+ * Walkthrough:
+ *  1. A Config describes an experiment; presets apply the paper's named
+ *     configurations (FR6, VC8, fast control wires).
+ *  2. runExperiment() builds the network, warms it up until source
+ *     queues stabilize, then measures a packet sample.
+ *  3. RunResult carries latency (with confidence interval) and accepted
+ *     throughput.
+ */
+
+#include <cstdio>
+
+#include "harness/presets.hpp"
+#include "network/runner.hpp"
+
+using namespace frfc;
+
+int
+main()
+{
+    // Keep the demo snappy: a reduced sample. Drop these three lines
+    // (or use RunOptions{} defaults) for paper-scale measurements.
+    RunOptions opt;
+    opt.samplePackets = 2000;
+    opt.minWarmup = 2000;
+    opt.maxWarmup = 6000;
+
+    std::printf("Flit-Reservation Flow Control quickstart\n");
+    std::printf("8x8 mesh, uniform traffic, 5-flit packets, 50%% "
+                "offered load\n\n");
+
+    for (const char* preset : {"vc8", "fr6"}) {
+        Config cfg = baseConfig();   // 8x8 mesh, fast control wires
+        applyPreset(cfg, preset);    // buffer organization
+        cfg.set("offered", 0.5);     // fraction of network capacity
+
+        const RunResult r = runExperiment(cfg, opt);
+        std::printf("%-4s  latency %6.1f +/- %.1f cycles   accepted "
+                    "%4.1f%% of capacity   (%lld packets, %lld cycles)\n",
+                    preset, r.avgLatency, r.ci95,
+                    r.acceptedFraction * 100.0,
+                    static_cast<long long>(r.packetsDelivered),
+                    static_cast<long long>(r.totalCycles));
+    }
+
+    std::printf("\nWith equal storage, flit reservation delivers the "
+                "same load at lower latency;\npush 'offered' toward "
+                "0.7 and VC8 saturates while FR6 keeps flowing.\n");
+    return 0;
+}

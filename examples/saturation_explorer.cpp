@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Saturation explorer: bisect the saturation throughput of any
+ * configuration and sketch its latency-load curve in the terminal.
+ *
+ *   $ ./saturation_explorer preset=fr6
+ *   $ ./saturation_explorer preset=vc8 packet_length=21
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "harness/presets.hpp"
+#include "harness/sweep.hpp"
+
+using namespace frfc;
+
+int
+main(int argc, char** argv)
+{
+    Config cfg = baseConfig();
+    std::string preset = "fr6";
+
+    std::vector<std::string> tokens(argv + 1, argv + argc);
+    for (const auto& arg : cfg.applyArgs(tokens)) {
+        std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
+        return 1;
+    }
+    if (cfg.has("preset"))
+        preset = cfg.getString("preset");
+    applyPreset(cfg, preset);
+    // Re-apply user overrides that the preset may have clobbered.
+    Config overrides;
+    overrides.applyArgs(tokens);
+    for (const auto& key : overrides.keys())
+        cfg.set(key, overrides.getString(key));
+
+    RunOptions opt;
+    opt.samplePackets = 1500;
+    opt.minWarmup = 2000;
+    opt.maxWarmup = 6000;
+    opt.maxCycles = 80000;
+
+    std::printf("Exploring %s ...\n\n", preset.c_str());
+
+    const RunResult base = measureBaseLatency(cfg, opt);
+    std::printf("base latency: %.1f cycles\n", base.avgLatency);
+
+    const double sat = findSaturation(cfg, opt);
+    std::printf("saturation  : %.1f%% of capacity\n\n", sat * 100.0);
+
+    // ASCII latency-load curve up to just past saturation.
+    std::printf("offered%%  latency  curve (each # ~ 4 cycles over "
+                "base)\n");
+    for (double frac = 0.1; frac <= sat + 0.049; frac += 0.1) {
+        const RunResult r = measureAtLoad(cfg, frac, opt);
+        if (!r.complete) {
+            std::printf("%7.0f   (saturated)\n", frac * 100.0);
+            break;
+        }
+        const int bars =
+            static_cast<int>((r.avgLatency - base.avgLatency) / 4.0);
+        std::printf("%7.0f   %7.1f  %s\n", frac * 100.0, r.avgLatency,
+                    std::string(
+                        static_cast<std::size_t>(std::max(0, bars)), '#')
+                        .c_str());
+    }
+    return 0;
+}

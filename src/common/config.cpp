@@ -1,0 +1,207 @@
+#include "common/config.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/log.hpp"
+
+namespace frfc {
+
+namespace {
+
+std::string
+trim(const std::string& s)
+{
+    std::size_t begin = 0;
+    std::size_t end = s.size();
+    while (begin < end && std::isspace(static_cast<unsigned char>(s[begin])))
+        ++begin;
+    while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1])))
+        --end;
+    return s.substr(begin, end - begin);
+}
+
+}  // namespace
+
+void
+Config::set(const std::string& key, const std::string& value)
+{
+    values_[key] = value;
+}
+
+void
+Config::set(const std::string& key, const char* value)
+{
+    values_[key] = value;
+}
+
+void
+Config::set(const std::string& key, std::int64_t value)
+{
+    values_[key] = std::to_string(value);
+}
+
+void
+Config::set(const std::string& key, int value)
+{
+    values_[key] = std::to_string(value);
+}
+
+void
+Config::set(const std::string& key, double value)
+{
+    std::ostringstream os;
+    os.precision(17);
+    os << value;
+    values_[key] = os.str();
+}
+
+void
+Config::set(const std::string& key, bool value)
+{
+    values_[key] = value ? "true" : "false";
+}
+
+bool
+Config::has(const std::string& key) const
+{
+    return values_.count(key) > 0;
+}
+
+std::optional<std::string>
+Config::lookup(const std::string& key) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+std::string
+Config::getString(const std::string& key) const
+{
+    auto v = lookup(key);
+    if (!v)
+        fatal("missing config key '", key, "'");
+    return *v;
+}
+
+std::int64_t
+Config::getInt(const std::string& key) const
+{
+    const std::string v = getString(key);
+    char* end = nullptr;
+    const long long parsed = std::strtoll(v.c_str(), &end, 0);
+    if (end == v.c_str() || *end != '\0')
+        fatal("config key '", key, "' = '", v, "' is not an integer");
+    return parsed;
+}
+
+double
+Config::getDouble(const std::string& key) const
+{
+    const std::string v = getString(key);
+    char* end = nullptr;
+    const double parsed = std::strtod(v.c_str(), &end);
+    if (end == v.c_str() || *end != '\0')
+        fatal("config key '", key, "' = '", v, "' is not a number");
+    return parsed;
+}
+
+bool
+Config::getBool(const std::string& key) const
+{
+    const std::string v = getString(key);
+    if (v == "true" || v == "1" || v == "yes" || v == "on")
+        return true;
+    if (v == "false" || v == "0" || v == "no" || v == "off")
+        return false;
+    fatal("config key '", key, "' = '", v, "' is not a boolean");
+}
+
+std::string
+Config::getString(const std::string& key, const std::string& dflt) const
+{
+    return has(key) ? getString(key) : dflt;
+}
+
+std::int64_t
+Config::getInt(const std::string& key, std::int64_t dflt) const
+{
+    return has(key) ? getInt(key) : dflt;
+}
+
+double
+Config::getDouble(const std::string& key, double dflt) const
+{
+    return has(key) ? getDouble(key) : dflt;
+}
+
+bool
+Config::getBool(const std::string& key, bool dflt) const
+{
+    return has(key) ? getBool(key) : dflt;
+}
+
+std::vector<std::string>
+Config::applyArgs(const std::vector<std::string>& tokens)
+{
+    std::vector<std::string> positional;
+    for (const auto& token : tokens) {
+        const std::size_t eq = token.find('=');
+        if (eq == std::string::npos || eq == 0) {
+            positional.push_back(token);
+            continue;
+        }
+        set(trim(token.substr(0, eq)), trim(token.substr(eq + 1)));
+    }
+    return positional;
+}
+
+void
+Config::loadFile(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open config file '", path, "'");
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        const std::size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        line = trim(line);
+        if (line.empty())
+            continue;
+        const std::size_t eq = line.find('=');
+        if (eq == std::string::npos || eq == 0) {
+            fatal("config file '", path, "' line ", lineno,
+                  ": expected 'key = value'");
+        }
+        set(trim(line.substr(0, eq)), trim(line.substr(eq + 1)));
+    }
+}
+
+std::vector<std::string>
+Config::keys() const
+{
+    std::vector<std::string> out;
+    out.reserve(values_.size());
+    for (const auto& [key, value] : values_)
+        out.push_back(key);
+    return out;
+}
+
+std::string
+Config::toString() const
+{
+    std::ostringstream os;
+    for (const auto& [key, value] : values_)
+        os << key << " = " << value << "\n";
+    return os.str();
+}
+
+}  // namespace frfc

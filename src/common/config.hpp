@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Key/value configuration store.
+ *
+ * Every experiment is a Config: a flat map from string keys to string
+ * values with typed accessors. Values come from programmatic set() calls,
+ * `key=value` command-line tokens, or simple `key = value` config files
+ * ('#' starts a comment). Typed getters fatal() on missing keys or
+ * malformed values — configuration errors are user errors.
+ */
+
+#ifndef FRFC_COMMON_CONFIG_HPP
+#define FRFC_COMMON_CONFIG_HPP
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace frfc {
+
+/** Flat typed key/value configuration with defaults and overrides. */
+class Config
+{
+  public:
+    Config() = default;
+
+    /** Set (or override) a key from any streamable value. */
+    void set(const std::string& key, const std::string& value);
+    void set(const std::string& key, const char* value);
+    void set(const std::string& key, std::int64_t value);
+    void set(const std::string& key, int value);
+    void set(const std::string& key, double value);
+    void set(const std::string& key, bool value);
+
+    /** True if the key has a value. */
+    bool has(const std::string& key) const;
+
+    /** Typed getters; fatal() if absent or malformed. */
+    std::string getString(const std::string& key) const;
+    std::int64_t getInt(const std::string& key) const;
+    double getDouble(const std::string& key) const;
+    bool getBool(const std::string& key) const;
+
+    /** Typed getters with a default for absent keys. */
+    std::string getString(const std::string& key,
+                          const std::string& dflt) const;
+    std::int64_t getInt(const std::string& key, std::int64_t dflt) const;
+    double getDouble(const std::string& key, double dflt) const;
+    bool getBool(const std::string& key, bool dflt) const;
+
+    /**
+     * Apply `key=value` tokens (e.g. from argv). Tokens without '=' are
+     * returned unconsumed so callers can treat them as positional args.
+     */
+    std::vector<std::string>
+    applyArgs(const std::vector<std::string>& tokens);
+
+    /** Load `key = value` lines from a file; fatal() if unreadable. */
+    void loadFile(const std::string& path);
+
+    /** All keys in sorted order (for dumps and fingerprints). */
+    std::vector<std::string> keys() const;
+
+    /** Render as sorted "key = value" lines. */
+    std::string toString() const;
+
+  private:
+    std::optional<std::string> lookup(const std::string& key) const;
+
+    std::map<std::string, std::string> values_;
+};
+
+}  // namespace frfc
+
+#endif  // FRFC_COMMON_CONFIG_HPP

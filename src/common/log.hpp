@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 tradition.
+ *
+ * fatal()  — the simulation cannot continue because of a user error
+ *            (bad configuration, invalid argument); exits with code 1.
+ * panic()  — an internal invariant was violated (a simulator bug);
+ *            aborts so a debugger/core dump can capture state.
+ * warn()   — something is questionable but simulation continues.
+ * inform() — plain status output.
+ */
+
+#ifndef FRFC_COMMON_LOG_HPP
+#define FRFC_COMMON_LOG_HPP
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace frfc {
+
+namespace detail {
+
+/** Builds a message from streamable parts. */
+template <typename... Args>
+std::string
+concat(Args&&... args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+[[noreturn]] void fatalImpl(const std::string& msg);
+[[noreturn]] void panicImpl(const std::string& msg);
+void warnImpl(const std::string& msg);
+void informImpl(const std::string& msg);
+
+}  // namespace detail
+
+/** Report a user-caused error and exit(1). */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args&&... args)
+{
+    detail::fatalImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Report a simulator bug and abort(). */
+template <typename... Args>
+[[noreturn]] void
+panic(Args&&... args)
+{
+    detail::panicImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Emit a warning; simulation continues. */
+template <typename... Args>
+void
+warn(Args&&... args)
+{
+    detail::warnImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Emit a status message. */
+template <typename... Args>
+void
+inform(Args&&... args)
+{
+    detail::informImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/**
+ * Check an internal invariant; panics with location info on failure.
+ * Active in all build types (simulation correctness beats a few percent
+ * of speed, and the hot paths have been measured to tolerate it).
+ */
+#define FRFC_ASSERT(cond, ...)                                              \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::frfc::panic("assertion failed: ", #cond, " at ", __FILE__,    \
+                          ":", __LINE__, " ", ##__VA_ARGS__);               \
+        }                                                                   \
+    } while (0)
+
+}  // namespace frfc
+
+#endif  // FRFC_COMMON_LOG_HPP

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Plain-text and CSV table emitters used by the benchmark harnesses to
+ * print paper-style rows and series.
+ */
+
+#ifndef FRFC_COMMON_TABLE_HPP
+#define FRFC_COMMON_TABLE_HPP
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace frfc {
+
+/**
+ * Column-aligned text table. Collect rows of cells, then render with
+ * print(); also exports CSV for downstream plotting.
+ */
+class TextTable
+{
+  public:
+    /** Set the header row. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a data row (cell count may differ from header). */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: format a double with fixed precision. */
+    static std::string num(double value, int precision = 2);
+
+    /** Convenience: format a percentage ("77.0%"). */
+    static std::string percent(double fraction, int precision = 1);
+
+    /** Render the aligned table. */
+    void print(std::ostream& os) const;
+
+    /** Render as CSV. */
+    void printCsv(std::ostream& os) const;
+
+    /** Number of data rows. */
+    std::size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace frfc
+
+#endif  // FRFC_COMMON_TABLE_HPP

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the simulator.
+ */
+
+#ifndef FRFC_COMMON_TYPES_HPP
+#define FRFC_COMMON_TYPES_HPP
+
+#include <cstdint>
+#include <limits>
+
+namespace frfc {
+
+/** Simulation time in clock cycles. */
+using Cycle = std::int64_t;
+
+/** Sentinel for "no cycle" / unscheduled. */
+inline constexpr Cycle kInvalidCycle = std::numeric_limits<Cycle>::min();
+
+/** Flat node identifier within a topology (0 .. numNodes-1). */
+using NodeId = std::int32_t;
+
+/** Sentinel node id. */
+inline constexpr NodeId kInvalidNode = -1;
+
+/** Router port index (0 .. radix-1). */
+using PortId = std::int32_t;
+
+/** Sentinel port id. */
+inline constexpr PortId kInvalidPort = -1;
+
+/** Virtual-channel index within a port. */
+using VcId = std::int32_t;
+
+/** Sentinel VC id. */
+inline constexpr VcId kInvalidVc = -1;
+
+/** Globally unique packet identifier. */
+using PacketId = std::int64_t;
+
+/** Sentinel packet id. */
+inline constexpr PacketId kInvalidPacket = -1;
+
+/** Buffer slot index within a buffer pool. */
+using BufferId = std::int32_t;
+
+/** Sentinel buffer id. */
+inline constexpr BufferId kInvalidBuffer = -1;
+
+}  // namespace frfc
+
+#endif  // FRFC_COMMON_TYPES_HPP

@@ -1,0 +1,51 @@
+#include "frfc/control_flit.hpp"
+
+#include <sstream>
+
+#include "common/log.hpp"
+
+namespace frfc {
+
+void
+ControlFlit::addEntry(int seq, Cycle arrival)
+{
+    FRFC_ASSERT(numEntries < kMaxEntriesPerControl,
+                "too many entries in a control flit");
+    entries[static_cast<std::size_t>(numEntries)] =
+        ControlEntry{seq, arrival, false};
+    ++numEntries;
+}
+
+bool
+ControlFlit::fullyScheduled() const
+{
+    for (int i = 0; i < numEntries; ++i) {
+        if (!entries[static_cast<std::size_t>(i)].scheduled)
+            return false;
+    }
+    return true;
+}
+
+void
+ControlFlit::clearScheduledMarks()
+{
+    for (int i = 0; i < numEntries; ++i)
+        entries[static_cast<std::size_t>(i)].scheduled = false;
+}
+
+std::string
+ControlFlit::toString() const
+{
+    std::ostringstream os;
+    os << "ctrl(pkt=" << packet << (head ? " H" : "") << (tail ? " T" : "")
+       << " " << src << "->" << dest << " vc=" << vc << " entries=[";
+    for (int i = 0; i < numEntries; ++i) {
+        const auto& e = entries[static_cast<std::size_t>(i)];
+        os << (i > 0 ? " " : "") << e.seq << "@" << e.arrival
+           << (e.scheduled ? "*" : "");
+    }
+    os << "])";
+    return os.str();
+}
+
+}  // namespace frfc

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Control flits of flit-reservation flow control (paper Figure 2).
+ *
+ * A control head flit carries the packet destination and identifies the
+ * first data flit by its arrival time; each control body flit carries
+ * the arrival times of up to d further data flits. All control flits
+ * carry the control virtual-channel identifier tying a packet's control
+ * flits together. Arrival times are rewritten at every hop: after the
+ * output scheduler picks departure time t_d, the entry becomes
+ * t_d + t_p, the arrival time at the next node.
+ */
+
+#ifndef FRFC_FRFC_CONTROL_FLIT_HPP
+#define FRFC_FRFC_CONTROL_FLIT_HPP
+
+#include <array>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace frfc {
+
+/** Max data flits one control flit can lead (paper's N). */
+inline constexpr int kMaxEntriesPerControl = 8;
+
+/** One data-flit reservation carried by a control flit. */
+struct ControlEntry
+{
+    int seq = -1;                    ///< data flit index in its packet
+    Cycle arrival = kInvalidCycle;   ///< arrival time at receiving node
+    bool scheduled = false;          ///< scheduled at the current node
+};
+
+/** A control flit traversing the control network. */
+struct ControlFlit
+{
+    PacketId packet = kInvalidPacket;
+    bool head = false;  ///< first control flit (carries destination)
+    bool tail = false;  ///< last control flit of the packet
+    NodeId src = kInvalidNode;
+    NodeId dest = kInvalidNode;
+    VcId vc = kInvalidVc;            ///< control VCID
+    Cycle created = kInvalidCycle;
+    int numEntries = 0;
+    std::array<ControlEntry, kMaxEntriesPerControl> entries;
+
+    /** Append a data-flit entry. */
+    void addEntry(int seq, Cycle arrival);
+
+    /** True once every led data flit has been scheduled here. */
+    bool fullyScheduled() const;
+
+    /** Reset per-node scheduling marks (done when hopping). */
+    void clearScheduledMarks();
+
+    std::string toString() const;
+};
+
+}  // namespace frfc
+
+#endif  // FRFC_FRFC_CONTROL_FLIT_HPP

@@ -1,0 +1,501 @@
+#include "frfc/fr_router.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+#include "routing/routing.hpp"
+#include "topology/topology.hpp"
+
+namespace frfc {
+
+FrRouter::FrRouter(std::string name, NodeId node,
+                   const RoutingFunction& routing, const FrParams& params,
+                   Rng rng)
+    : Clocked(std::move(name)), node_(node), routing_(routing),
+      params_(params), rng_(rng),
+      ctrl_in_(kNumPorts, nullptr), ctrl_out_(kNumPorts, nullptr),
+      data_in_(kNumPorts, nullptr), data_out_(kNumPorts, nullptr),
+      fr_credit_in_(kNumPorts, nullptr),
+      fr_credit_out_(kNumPorts, nullptr),
+      ctrl_credit_in_(kNumPorts, nullptr),
+      ctrl_credit_out_(kNumPorts, nullptr),
+      ctrl_vcs_(static_cast<std::size_t>(kNumPorts) * params.ctrlVcs),
+      ctrl_out_vcs_(static_cast<std::size_t>(kNumPorts) * params.ctrlVcs)
+{
+    for (auto& ovc : ctrl_out_vcs_)
+        ovc.credits = params.ctrlVcDepth;
+    out_tables_.reserve(kNumPorts);
+    in_tables_.reserve(kNumPorts);
+    for (PortId port = 0; port < kNumPorts; ++port) {
+        const bool ejection = port == kLocal;
+        out_tables_.push_back(std::make_unique<OutputReservationTable>(
+            params.horizon, params.dataBuffers,
+            ejection ? Cycle{1} : params.dataLinkLatency, ejection));
+        in_tables_.push_back(std::make_unique<InputReservationTable>(
+            params.horizon, params.dataBuffers, params.speedup));
+        if (params.dataDropRate > 0.0)
+            in_tables_.back()->setFaultTolerant(true);
+    }
+}
+
+void
+FrRouter::connectCtrlIn(PortId port, Channel<ControlFlit>* ch)
+{
+    ctrl_in_.at(static_cast<std::size_t>(port)) = ch;
+}
+
+void
+FrRouter::connectCtrlOut(PortId port, Channel<ControlFlit>* ch)
+{
+    ctrl_out_.at(static_cast<std::size_t>(port)) = ch;
+}
+
+void
+FrRouter::connectDataIn(PortId port, Channel<Flit>* ch)
+{
+    data_in_.at(static_cast<std::size_t>(port)) = ch;
+}
+
+void
+FrRouter::connectDataOut(PortId port, Channel<Flit>* ch)
+{
+    data_out_.at(static_cast<std::size_t>(port)) = ch;
+}
+
+void
+FrRouter::connectFrCreditIn(PortId port, Channel<FrCredit>* ch)
+{
+    fr_credit_in_.at(static_cast<std::size_t>(port)) = ch;
+}
+
+void
+FrRouter::connectFrCreditOut(PortId port, Channel<FrCredit>* ch)
+{
+    fr_credit_out_.at(static_cast<std::size_t>(port)) = ch;
+}
+
+void
+FrRouter::connectCtrlCreditIn(PortId port, Channel<Credit>* ch)
+{
+    ctrl_credit_in_.at(static_cast<std::size_t>(port)) = ch;
+}
+
+void
+FrRouter::connectCtrlCreditOut(PortId port, Channel<Credit>* ch)
+{
+    ctrl_credit_out_.at(static_cast<std::size_t>(port)) = ch;
+}
+
+FrRouter::CtrlVc&
+FrRouter::ctrlVc(PortId port, VcId vc)
+{
+    return ctrl_vcs_[static_cast<std::size_t>(port) * params_.ctrlVcs + vc];
+}
+
+FrRouter::CtrlOutVc&
+FrRouter::ctrlOutVc(PortId port, VcId vc)
+{
+    return ctrl_out_vcs_[static_cast<std::size_t>(port) * params_.ctrlVcs
+                         + vc];
+}
+
+const InputReservationTable&
+FrRouter::inputTable(PortId port) const
+{
+    return *in_tables_.at(static_cast<std::size_t>(port));
+}
+
+const OutputReservationTable&
+FrRouter::outputTable(PortId port) const
+{
+    return *out_tables_.at(static_cast<std::size_t>(port));
+}
+
+int
+FrRouter::bufferedControlFlits(PortId port) const
+{
+    int total = 0;
+    for (VcId vc = 0; vc < params_.ctrlVcs; ++vc) {
+        total += static_cast<int>(
+            ctrl_vcs_[static_cast<std::size_t>(port) * params_.ctrlVcs + vc]
+                .queue.size());
+    }
+    return total;
+}
+
+void
+FrRouter::tick(Cycle now)
+{
+    for (auto& table : out_tables_)
+        table->advance(now);
+    for (auto& table : in_tables_)
+        table->advance(now);
+    drainCredits(now);
+    controlVcAllocation();
+    controlSwitchAllocation(now);
+    dataDepartures(now);
+    dataArrivals(now);
+    controlArrivals(now);
+}
+
+void
+FrRouter::controlArrivals(Cycle now)
+{
+    // Control flits are enqueued after allocation, so a flit first
+    // competes the cycle after it arrives (the 1-cycle routing and
+    // scheduling latency of the control plane).
+    for (PortId port = 0; port < kNumPorts; ++port) {
+        Channel<ControlFlit>* ch =
+            ctrl_in_[static_cast<std::size_t>(port)];
+        if (ch == nullptr)
+            continue;
+        for (ControlFlit& flit : ch->drain(now)) {
+            FRFC_ASSERT(flit.vc >= 0 && flit.vc < params_.ctrlVcs,
+                        "control flit with bad vc: ", flit.toString());
+            CtrlVc& cvc = ctrlVc(port, flit.vc);
+            cvc.queue.push_back(flit);
+            FRFC_ASSERT(static_cast<int>(cvc.queue.size())
+                            <= params_.ctrlVcDepth,
+                        "control VC overflow at node ", node_, " port ",
+                        port, " vc ", flit.vc);
+        }
+    }
+}
+
+void
+FrRouter::drainCredits(Cycle now)
+{
+    for (PortId port = 0; port < kNumPorts; ++port) {
+        if (Channel<FrCredit>* ch =
+                fr_credit_in_[static_cast<std::size_t>(port)]) {
+            for (const FrCredit& credit : ch->drain(now))
+                out_tables_[static_cast<std::size_t>(port)]->credit(
+                    credit.freeFrom);
+        }
+        if (Channel<Credit>* ch =
+                ctrl_credit_in_[static_cast<std::size_t>(port)]) {
+            for (const Credit& credit : ch->drain(now)) {
+                CtrlOutVc& ovc = ctrlOutVc(port, credit.vc);
+                ++ovc.credits;
+                FRFC_ASSERT(ovc.credits <= params_.ctrlVcDepth,
+                            "control credit overflow");
+            }
+        }
+    }
+}
+
+void
+FrRouter::controlVcAllocation()
+{
+    struct Request
+    {
+        PortId inPort;
+        VcId inVc;
+        PortId outPort;
+        VcId outVc;
+    };
+    std::vector<Request> requests;
+
+    for (PortId port = 0; port < kNumPorts; ++port) {
+        for (VcId vc = 0; vc < params_.ctrlVcs; ++vc) {
+            CtrlVc& cvc = ctrlVc(port, vc);
+            if (cvc.active || cvc.queue.empty())
+                continue;
+            const ControlFlit& head = cvc.queue.front();
+            FRFC_ASSERT(head.head,
+                        "control body flit with no VCID route at node ",
+                        node_, ": ", head.toString());
+            if (!cvc.routed) {
+                cvc.outPort = routing_.route(node_, head.dest);
+                cvc.routed = true;
+            }
+            if (cvc.outPort == kLocal) {
+                // Destination: consumed here, no output VC needed.
+                cvc.active = true;
+                cvc.outVc = 0;
+                continue;
+            }
+            std::vector<VcId> free_vcs;
+            for (VcId ovc_id = 0; ovc_id < params_.ctrlVcs; ++ovc_id) {
+                if (!ctrlOutVc(cvc.outPort, ovc_id).busy)
+                    free_vcs.push_back(ovc_id);
+            }
+            if (free_vcs.empty())
+                continue;
+            const VcId pick = free_vcs[rng_.nextBounded(free_vcs.size())];
+            requests.push_back(Request{port, vc, cvc.outPort, pick});
+        }
+    }
+
+    std::vector<bool> granted(requests.size(), false);
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        if (granted[i])
+            continue;
+        std::vector<std::size_t> group;
+        for (std::size_t j = i; j < requests.size(); ++j) {
+            if (!granted[j] && requests[j].outPort == requests[i].outPort
+                && requests[j].outVc == requests[i].outVc) {
+                group.push_back(j);
+            }
+        }
+        const std::size_t win = group[rng_.nextBounded(group.size())];
+        for (std::size_t j : group)
+            granted[j] = true;
+        const Request& req = requests[win];
+        CtrlVc& cvc = ctrlVc(req.inPort, req.inVc);
+        cvc.active = true;
+        cvc.outVc = req.outVc;
+        ctrlOutVc(req.outPort, req.outVc).busy = true;
+    }
+}
+
+void
+FrRouter::controlSwitchAllocation(Cycle now)
+{
+    // Candidates: heads of active control VCs with a downstream control
+    // buffer available. Up to ctrlWidth winners per input and per output
+    // port per cycle ("two ... control flits are injected and processed
+    // per cycle"), picked in random order.
+    struct Request
+    {
+        PortId inPort;
+        VcId inVc;
+    };
+    std::vector<Request> requests;
+    for (PortId port = 0; port < kNumPorts; ++port) {
+        for (VcId vc = 0; vc < params_.ctrlVcs; ++vc) {
+            CtrlVc& cvc = ctrlVc(port, vc);
+            if (!cvc.active || cvc.queue.empty())
+                continue;
+            if (cvc.outPort != kLocal
+                && ctrlOutVc(cvc.outPort, cvc.outVc).credits <= 0) {
+                continue;
+            }
+            requests.push_back(Request{port, vc});
+        }
+    }
+    for (std::size_t i = requests.size(); i > 1; --i) {
+        const std::size_t j = rng_.nextBounded(i);
+        std::swap(requests[i - 1], requests[j]);
+    }
+
+    std::vector<int> in_used(kNumPorts, 0);
+    std::vector<int> out_used(kNumPorts, 0);
+    for (const Request& req : requests) {
+        CtrlVc& cvc = ctrlVc(req.inPort, req.inVc);
+        if (in_used[static_cast<std::size_t>(req.inPort)]
+                >= params_.ctrlWidth
+            || out_used[static_cast<std::size_t>(cvc.outPort)]
+                >= params_.ctrlWidth) {
+            continue;
+        }
+        ++in_used[static_cast<std::size_t>(req.inPort)];
+        ++out_used[static_cast<std::size_t>(cvc.outPort)];
+
+        ControlFlit& flit = cvc.queue.front();
+        // Section 4.4 statistic: how far ahead of its data a control
+        // flit arrives at the destination. Capture before scheduling
+        // rewrites the arrival fields.
+        Cycle first_arrival = kInvalidCycle;
+        for (int e = 0; e < flit.numEntries; ++e) {
+            const ControlEntry& entry =
+                flit.entries[static_cast<std::size_t>(e)];
+            if (entry.scheduled)
+                continue;
+            if (first_arrival == kInvalidCycle
+                || entry.arrival < first_arrival) {
+                first_arrival = entry.arrival;
+            }
+        }
+        const bool complete = params_.allOrNothing
+            ? scheduleEntriesAtomically(now, req.inPort, cvc.outPort, flit)
+            : scheduleEntries(now, req.inPort, cvc.outPort, flit);
+        if (!complete) {
+            ++sched_retries_;
+            continue;  // stalls at the VC head; retries next cycle
+        }
+
+        if (cvc.outPort == kLocal) {
+            if (first_arrival != kInvalidCycle)
+                lead_.add(static_cast<double>(first_arrival - now));
+        } else {
+            ControlFlit out_flit = flit;
+            out_flit.vc = cvc.outVc;
+            out_flit.clearScheduledMarks();
+            Channel<ControlFlit>* out =
+                ctrl_out_[static_cast<std::size_t>(cvc.outPort)];
+            FRFC_ASSERT(out != nullptr, "control route to unwired port");
+            out->push(now, out_flit);
+            --ctrlOutVc(cvc.outPort, cvc.outVc).credits;
+            ++ctrl_forwarded_;
+        }
+
+        // Free the control buffer slot upstream.
+        if (Channel<Credit>* cr =
+                ctrl_credit_out_[static_cast<std::size_t>(req.inPort)]) {
+            cr->push(now, Credit{req.inVc});
+        }
+
+        const bool tail = flit.tail;
+        cvc.queue.pop_front();
+        if (tail) {
+            if (cvc.outPort != kLocal)
+                ctrlOutVc(cvc.outPort, cvc.outVc).busy = false;
+            cvc.active = false;
+            cvc.routed = false;
+            cvc.outPort = kInvalidPort;
+            cvc.outVc = kInvalidVc;
+        }
+    }
+}
+
+bool
+FrRouter::scheduleEntries(Cycle now, PortId in, PortId out,
+                          ControlFlit& flit)
+{
+    OutputReservationTable& ort = *out_tables_[static_cast<std::size_t>(
+        out)];
+    InputReservationTable& irt = *in_tables_[static_cast<std::size_t>(in)];
+    bool all = true;
+    for (int e = 0; e < flit.numEntries; ++e) {
+        ControlEntry& entry = flit.entries[static_cast<std::size_t>(e)];
+        if (entry.scheduled)
+            continue;
+        const Cycle min_depart = std::max(entry.arrival, now) + 1;
+        // Deadlock avoidance for wide control flits (flitsPerControl >
+        // 1): data may then overtake its control flit and sit parked —
+        // without a departure reservation — creating dependency cycles
+        // between control VCs and shared data pools (the hazard noted
+        // in the paper's Section 5). Rule: an entry whose flit has not
+        // yet arrived here must leave one downstream buffer in reserve;
+        // an entry rescuing an already-arrived (parked) flit may take
+        // the last buffer. Rescues strictly drain pools, so chains
+        // unwind from the ejection ports and progress is preserved.
+        const bool rescue = entry.arrival <= now;
+        const int min_free =
+            params_.flitsPerControl > 1 && !rescue ? 2 : 1;
+        const Cycle depart = ort.findDeparture(
+            min_depart, [&irt](Cycle t) { return irt.departSlotFree(t); },
+            min_free);
+        if (depart == kInvalidCycle) {
+            all = false;
+            continue;
+        }
+        commitEntry(now, in, out, entry, depart);
+    }
+    return all;
+}
+
+bool
+FrRouter::scheduleEntriesAtomically(Cycle now, PortId in, PortId out,
+                                    ControlFlit& flit)
+{
+    OutputReservationTable& ort = *out_tables_[static_cast<std::size_t>(
+        out)];
+    InputReservationTable& irt = *in_tables_[static_cast<std::size_t>(in)];
+
+    // Feasibility pass on a scratch copy of the output table plus a
+    // local view of the input departure rows; nothing is committed
+    // unless every entry can be scheduled (Section 5, all-or-nothing).
+    OutputReservationTable scratch = ort;
+    std::vector<Cycle> tentative;  // departures placed in this pass
+    auto slot_free = [&](Cycle t) {
+        if (!irt.departSlotFree(t))
+            return false;
+        // departSlotFree only sees committed reservations; the scratch
+        // pass must also avoid colliding with its own picks. (The busy
+        // bits in `scratch` already prevent same-output collisions; this
+        // guards the per-input departure row.)
+        return std::count(tentative.begin(), tentative.end(), t) == 0;
+    };
+    for (int e = 0; e < flit.numEntries; ++e) {
+        ControlEntry& entry = flit.entries[static_cast<std::size_t>(e)];
+        FRFC_ASSERT(!entry.scheduled,
+                    "all-or-nothing flit with partial schedule");
+        const Cycle min_depart = std::max(entry.arrival, now) + 1;
+        // Same reserved-buffer rule as per-flit mode (see
+        // scheduleEntries): parked-flit rescues may drain the pool.
+        const bool rescue = entry.arrival <= now;
+        const int min_free =
+            params_.flitsPerControl > 1 && !rescue ? 2 : 1;
+        const Cycle depart =
+            scratch.findDeparture(min_depart, slot_free, min_free);
+        if (depart == kInvalidCycle)
+            return false;
+        scratch.reserve(depart);
+        tentative.push_back(depart);
+    }
+    const std::vector<Cycle> departs = tentative;
+
+    for (int e = 0; e < flit.numEntries; ++e) {
+        ControlEntry& entry = flit.entries[static_cast<std::size_t>(e)];
+        commitEntry(now, in, out, entry,
+                    departs[static_cast<std::size_t>(e)]);
+    }
+    return true;
+}
+
+void
+FrRouter::commitEntry(Cycle now, PortId in, PortId out,
+                      ControlEntry& entry, Cycle depart)
+{
+    OutputReservationTable& ort = *out_tables_[static_cast<std::size_t>(
+        out)];
+    InputReservationTable& irt = *in_tables_[static_cast<std::size_t>(in)];
+
+    ort.reserve(depart);
+    irt.recordReservation(now, entry.arrival, depart, out);
+
+    // Advance credit: the input buffer is free from the departure
+    // cycle (plus one guard cycle on plesiochronous links, Section 5).
+    if (Channel<FrCredit>* cr =
+            fr_credit_out_[static_cast<std::size_t>(in)]) {
+        cr->push(now, FrCredit{depart + params_.creditSlack});
+    }
+
+    entry.scheduled = true;
+    // Rewrite the arrival time for the next hop (ejection time when the
+    // flit leaves through the local port).
+    entry.arrival = depart
+        + (out == kLocal ? Cycle{1} : params_.dataLinkLatency);
+}
+
+void
+FrRouter::dataDepartures(Cycle now)
+{
+    for (PortId port = 0; port < kNumPorts; ++port) {
+        InputReservationTable& irt =
+            *in_tables_[static_cast<std::size_t>(port)];
+        for (auto& dep : irt.takeDepartures(now)) {
+            Channel<Flit>* out =
+                data_out_[static_cast<std::size_t>(dep.out)];
+            FRFC_ASSERT(out != nullptr, "data departure to unwired port");
+            out->push(now, dep.flit);
+            ++data_forwarded_;
+            ++flits_out_[static_cast<std::size_t>(dep.out)];
+        }
+    }
+}
+
+void
+FrRouter::dataArrivals(Cycle now)
+{
+    for (PortId port = 0; port < kNumPorts; ++port) {
+        Channel<Flit>* ch = data_in_[static_cast<std::size_t>(port)];
+        if (ch == nullptr)
+            continue;
+        for (Flit& flit : ch->drain(now)) {
+            if (params_.dataDropRate > 0.0
+                && rng_.nextBool(params_.dataDropRate)) {
+                // Corrupted in flight; the receiver's error detection
+                // discards it and the reservation executes vacuously.
+                ++data_dropped_;
+                continue;
+            }
+            in_tables_[static_cast<std::size_t>(port)]->acceptFlit(now,
+                                                                   flit);
+        }
+    }
+}
+
+}  // namespace frfc

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Flit-reservation flow control router (paper Figure 3).
+ *
+ * Control plane: control flits arrive on a narrow control network (v_c
+ * virtual channels, credit flow control, up to ctrlWidth flits per link
+ * per cycle), are routed (head flits; bodies follow their VCID), then
+ * pass through the output scheduler, which reserves a departure cycle
+ * for each led data flit in the output reservation table and relays the
+ * reservation to the input scheduler. A timestamped credit returns
+ * upstream immediately, freeing the buffer *from the scheduled departure
+ * cycle* — before the data flit has even arrived.
+ *
+ * Data plane: data flits carry no routable header. They are written
+ * into the input buffer pool on arrival, steered entirely by the input
+ * reservation table, and driven onto the reserved output at the
+ * reserved cycle. In the absence of contention a data flit departs the
+ * cycle after it arrives (counted as a bypass).
+ */
+
+#ifndef FRFC_FRFC_FR_ROUTER_HPP
+#define FRFC_FRFC_FR_ROUTER_HPP
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "frfc/control_flit.hpp"
+#include "frfc/input_table.hpp"
+#include "frfc/output_table.hpp"
+#include "proto/flit.hpp"
+#include "sim/channel.hpp"
+#include "sim/clocked.hpp"
+#include "stats/accumulator.hpp"
+#include "topology/topology.hpp"
+
+namespace frfc {
+
+class RoutingFunction;
+
+/** Parameters shared by FR routers and sources. */
+struct FrParams
+{
+    int dataBuffers = 6;        ///< b_d: data buffers per input pool
+    int ctrlVcs = 2;            ///< v_c: control virtual channels
+    int ctrlVcDepth = 3;        ///< control buffers per control VC
+    int horizon = 32;           ///< s: scheduling horizon in cycles
+    int ctrlWidth = 2;          ///< control flits per link per cycle
+    Cycle dataLinkLatency = 4;  ///< t_p of data wires
+    Cycle ctrlLinkLatency = 1;  ///< t_p of control and credit wires
+    int flitsPerControl = 1;    ///< d: data flits led per control flit
+    Cycle leadTime = 0;         ///< leading control: defer data N cycles
+    bool allOrNothing = false;  ///< Section 5 scheduling ablation
+    int speedup = 1;            ///< departures per input per cycle
+
+    /**
+     * Plesiochronous links (Section 5, synchronization): buffers are
+     * held one extra cycle before release so a transmit-clock slip
+     * cannot cause a buffer conflict. 0 = mesochronous operation.
+     */
+    Cycle creditSlack = 0;
+
+    /**
+     * Error-recovery study (Section 5): probability that a data flit
+     * is corrupted in flight and discarded at the receiving input (its
+     * reservation then executes vacuously and the tables return to a
+     * consistent state with no lost buffers or stalled links).
+     */
+    double dataDropRate = 0.0;
+
+    /** Control buffers per input port (b_c). */
+    int ctrlBuffers() const { return ctrlVcs * ctrlVcDepth; }
+};
+
+/** A router implementing flit-reservation flow control. */
+class FrRouter : public Clocked
+{
+  public:
+    FrRouter(std::string name, NodeId node, const RoutingFunction& routing,
+             const FrParams& params, Rng rng);
+
+    /** @{ Wiring (null for unwired mesh-edge ports). */
+    void connectCtrlIn(PortId port, Channel<ControlFlit>* ch);
+    void connectCtrlOut(PortId port, Channel<ControlFlit>* ch);
+    void connectDataIn(PortId port, Channel<Flit>* ch);
+    void connectDataOut(PortId port, Channel<Flit>* ch);
+    void connectFrCreditIn(PortId port, Channel<FrCredit>* ch);
+    void connectFrCreditOut(PortId port, Channel<FrCredit>* ch);
+    void connectCtrlCreditIn(PortId port, Channel<Credit>* ch);
+    void connectCtrlCreditOut(PortId port, Channel<Credit>* ch);
+    /** @} */
+
+    void tick(Cycle now) override;
+
+    /** @{ Statistics and inspection. */
+    const InputReservationTable& inputTable(PortId port) const;
+    const OutputReservationTable& outputTable(PortId port) const;
+    const Accumulator& controlLeadAtDestination() const { return lead_; }
+    std::int64_t dataFlitsForwarded() const { return data_forwarded_; }
+    std::int64_t controlFlitsForwarded() const { return ctrl_forwarded_; }
+    std::int64_t schedulingRetries() const { return sched_retries_; }
+    std::int64_t dataFlitsDropped() const { return data_dropped_; }
+
+    /** Data flits sent through output @p port since construction. */
+    std::int64_t flitsForwarded(PortId port) const
+    {
+        return flits_out_[static_cast<std::size_t>(port)];
+    }
+    int bufferedControlFlits(PortId port) const;
+    NodeId node() const { return node_; }
+    const FrParams& params() const { return params_; }
+    /** @} */
+
+  private:
+    /** Per-input control virtual channel. */
+    struct CtrlVc
+    {
+        std::deque<ControlFlit> queue;
+        bool routed = false;
+        bool active = false;  ///< output control VC granted
+        PortId outPort = kInvalidPort;
+        VcId outVc = kInvalidVc;
+    };
+
+    /** Per-output control virtual channel. */
+    struct CtrlOutVc
+    {
+        bool busy = false;
+        int credits = 0;
+    };
+
+    void drainCredits(Cycle now);
+    void controlVcAllocation();
+    void controlSwitchAllocation(Cycle now);
+    bool scheduleEntries(Cycle now, PortId in, PortId out,
+                         ControlFlit& flit);
+    bool scheduleEntriesAtomically(Cycle now, PortId in, PortId out,
+                                   ControlFlit& flit);
+    void commitEntry(Cycle now, PortId in, PortId out, ControlEntry& entry,
+                     Cycle depart);
+    void dataDepartures(Cycle now);
+    void dataArrivals(Cycle now);
+    void controlArrivals(Cycle now);
+
+    CtrlVc& ctrlVc(PortId port, VcId vc);
+    CtrlOutVc& ctrlOutVc(PortId port, VcId vc);
+
+    NodeId node_;
+    const RoutingFunction& routing_;
+    FrParams params_;
+    Rng rng_;
+
+    std::vector<Channel<ControlFlit>*> ctrl_in_;
+    std::vector<Channel<ControlFlit>*> ctrl_out_;
+    std::vector<Channel<Flit>*> data_in_;
+    std::vector<Channel<Flit>*> data_out_;
+    std::vector<Channel<FrCredit>*> fr_credit_in_;
+    std::vector<Channel<FrCredit>*> fr_credit_out_;
+    std::vector<Channel<Credit>*> ctrl_credit_in_;
+    std::vector<Channel<Credit>*> ctrl_credit_out_;
+
+    std::vector<CtrlVc> ctrl_vcs_;        ///< [port * ctrlVcs + vc]
+    std::vector<CtrlOutVc> ctrl_out_vcs_; ///< [port * ctrlVcs + vc]
+    std::vector<std::unique_ptr<OutputReservationTable>> out_tables_;
+    std::vector<std::unique_ptr<InputReservationTable>> in_tables_;
+
+    Accumulator lead_;
+    std::int64_t data_forwarded_ = 0;
+    std::int64_t ctrl_forwarded_ = 0;
+    std::int64_t sched_retries_ = 0;
+    std::int64_t data_dropped_ = 0;
+    std::vector<std::int64_t> flits_out_ =
+        std::vector<std::int64_t>(kNumPorts, 0);
+};
+
+}  // namespace frfc
+
+#endif  // FRFC_FRFC_FR_ROUTER_HPP

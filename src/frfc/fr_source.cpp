@@ -1,0 +1,207 @@
+#include "frfc/fr_source.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+#include "proto/packet_registry.hpp"
+#include "traffic/generator.hpp"
+
+namespace frfc {
+
+FrSource::FrSource(std::string name, NodeId node,
+                   PacketGenerator* generator, PacketRegistry* registry,
+                   const FrParams& params, Rng rng)
+    : Clocked(std::move(name)), node_(node), generator_(generator),
+      registry_(registry), params_(params), rng_(rng),
+      ort_(params.horizon, params.dataBuffers, /*link_latency=*/1),
+      ctrl_credits_(static_cast<std::size_t>(params.ctrlVcs),
+                    params.ctrlVcDepth)
+{
+    FRFC_ASSERT(generator != nullptr, "null packet generator");
+    FRFC_ASSERT(params.leadTime + 2 < params.horizon,
+                "lead time must leave room inside the horizon");
+}
+
+int
+FrSource::queueLength() const
+{
+    return static_cast<int>(queue_.size()) + (active_ ? 1 : 0);
+}
+
+void
+FrSource::tick(Cycle now)
+{
+    ort_.advance(now);
+    if (fr_credit_in_ != nullptr) {
+        for (const FrCredit& credit : fr_credit_in_->drain(now))
+            ort_.credit(credit.freeFrom);
+    }
+    if (ctrl_credit_in_ != nullptr) {
+        for (const Credit& credit : ctrl_credit_in_->drain(now)) {
+            int& c = ctrl_credits_[static_cast<std::size_t>(credit.vc)];
+            ++c;
+            FRFC_ASSERT(c <= params_.ctrlVcDepth,
+                        "source control credit overflow");
+        }
+    }
+    generate(now);
+    if (!active_ && !queue_.empty())
+        startNextPacket(now);
+    if (active_)
+        processControl(now);
+    fireData(now);
+}
+
+void
+FrSource::generate(Cycle now)
+{
+    if (!generating_)
+        return;
+    const auto pkt = generator_->generate(now, node_, rng_);
+    if (!pkt)
+        return;
+    const PacketId id =
+        registry_->create(node_, pkt->dest, pkt->length, now);
+    queue_.push_back(PendingPacket{id, pkt->dest, pkt->length, now});
+}
+
+void
+FrSource::startNextPacket(Cycle /* now */)
+{
+    current_ = queue_.front();
+    queue_.pop_front();
+    active_ = true;
+    next_ctrl_ = 0;
+
+    // Pick the control VC with the most credits, ties broken randomly.
+    int best = -1;
+    std::vector<VcId> best_vcs;
+    for (VcId vc = 0; vc < params_.ctrlVcs; ++vc) {
+        const int c = ctrl_credits_[static_cast<std::size_t>(vc)];
+        if (c > best) {
+            best = c;
+            best_vcs.assign(1, vc);
+        } else if (c == best) {
+            best_vcs.push_back(vc);
+        }
+    }
+    current_vc_ = best_vcs[rng_.nextBounded(best_vcs.size())];
+
+    // Build the packet's control flits (Figure 2): the head leads the
+    // first data flit; each body flit leads up to d more.
+    ctrl_flits_.clear();
+    ControlFlit head;
+    head.packet = current_.id;
+    head.head = true;
+    head.src = node_;
+    head.dest = current_.dest;
+    head.vc = current_vc_;
+    head.created = current_.created;
+    head.addEntry(0, kInvalidCycle);
+    ctrl_flits_.push_back(head);
+    int seq = 1;
+    while (seq < current_.length) {
+        ControlFlit body;
+        body.packet = current_.id;
+        body.src = node_;
+        body.dest = current_.dest;
+        body.vc = current_vc_;
+        body.created = current_.created;
+        for (int k = 0;
+             k < params_.flitsPerControl && seq < current_.length; ++k)
+            body.addEntry(seq++, kInvalidCycle);
+        ctrl_flits_.push_back(body);
+    }
+    ctrl_flits_.back().tail = true;
+}
+
+Flit
+FrSource::makeDataFlit(const PendingPacket& pkt, int seq, Cycle now) const
+{
+    Flit flit;
+    flit.packet = pkt.id;
+    flit.seq = seq;
+    flit.packetLength = pkt.length;
+    flit.head = seq == 0;
+    flit.tail = seq == pkt.length - 1;
+    flit.src = node_;
+    flit.dest = pkt.dest;
+    flit.created = pkt.created;
+    flit.injected = now;
+    flit.payload = Flit::expectedPayload(pkt.id, seq);
+    return flit;
+}
+
+void
+FrSource::processControl(Cycle now)
+{
+    for (int slot = 0; slot < params_.ctrlWidth; ++slot) {
+        if (next_ctrl_ >= ctrl_flits_.size()) {
+            active_ = false;
+            current_vc_ = kInvalidVc;
+            return;
+        }
+        ControlFlit& cf = ctrl_flits_[next_ctrl_];
+
+        // Reserve injection slots for every data flit this control flit
+        // leads; in leading-control mode data is deferred leadTime
+        // cycles behind the control flit.
+        bool all = true;
+        for (int e = 0; e < cf.numEntries; ++e) {
+            ControlEntry& entry =
+                cf.entries[static_cast<std::size_t>(e)];
+            if (entry.scheduled)
+                continue;
+            const Cycle min_depart =
+                now + std::max<Cycle>(params_.leadTime, 1);
+            // Injection entries are always for future arrivals; in
+            // wide-control mode leave the router's last input buffer in
+            // reserve for parked-flit rescues (see FrRouter).
+            const int min_free = params_.flitsPerControl > 1 ? 2 : 1;
+            const Cycle depart = ort_.findDeparture(
+                min_depart, [](Cycle) { return true; }, min_free);
+            if (depart == kInvalidCycle) {
+                all = false;
+                continue;
+            }
+            ort_.reserve(depart);
+            Flit data = makeDataFlit(current_, entry.seq, now);
+            const bool inserted =
+                pending_data_.emplace(depart, std::move(data)).second;
+            FRFC_ASSERT(inserted, "double-booked injection cycle");
+            entry.scheduled = true;
+            entry.arrival = depart + 1;  // injection link latency
+        }
+        if (!all)
+            return;
+
+        if (ctrl_credits_[static_cast<std::size_t>(current_vc_)] <= 0)
+            return;
+        FRFC_ASSERT(ctrl_out_ != nullptr, "source control port unwired");
+        if (!ctrl_out_->canPush(now))
+            return;
+        ControlFlit out = cf;
+        out.clearScheduledMarks();
+        ctrl_out_->push(now, out);
+        --ctrl_credits_[static_cast<std::size_t>(current_vc_)];
+        ++next_ctrl_;
+    }
+    if (next_ctrl_ >= ctrl_flits_.size()) {
+        active_ = false;
+        current_vc_ = kInvalidVc;
+    }
+}
+
+void
+FrSource::fireData(Cycle now)
+{
+    auto it = pending_data_.find(now);
+    if (it == pending_data_.end())
+        return;
+    FRFC_ASSERT(data_out_ != nullptr, "source data port unwired");
+    it->second.injected = now;
+    data_out_->push(now, it->second);
+    pending_data_.erase(it);
+}
+
+}  // namespace frfc

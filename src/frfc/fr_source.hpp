@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Open-loop packet source for flit-reservation flow control.
+ *
+ * Packet injection works exactly like forwarding inside a router
+ * (Section 3): a packet's control flits first schedule the injection
+ * times of the data flits they lead against the source's own output
+ * reservation table (channel-busy wheel plus the router's input pool
+ * credit counts), and only then enter the control network — up to
+ * ctrlWidth control flits per cycle. Data flits later launch themselves
+ * at their reserved cycles. In leading-control mode data departures are
+ * additionally deferred leadTime cycles behind control injection.
+ */
+
+#ifndef FRFC_FRFC_FR_SOURCE_HPP
+#define FRFC_FRFC_FR_SOURCE_HPP
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "frfc/control_flit.hpp"
+#include "frfc/fr_router.hpp"
+#include "frfc/output_table.hpp"
+#include "proto/flit.hpp"
+#include "traffic/generator.hpp"
+#include "sim/channel.hpp"
+#include "sim/clocked.hpp"
+
+namespace frfc {
+
+class PacketGenerator;
+class PacketRegistry;
+
+/** Per-node open-loop source for flit-reservation networks. */
+class FrSource : public Clocked
+{
+  public:
+    FrSource(std::string name, NodeId node, PacketGenerator* generator,
+             PacketRegistry* registry, const FrParams& params, Rng rng);
+
+    /** @{ Wiring toward the local router. */
+    void connectCtrlOut(Channel<ControlFlit>* ch) { ctrl_out_ = ch; }
+    void connectDataOut(Channel<Flit>* ch) { data_out_ = ch; }
+    void connectFrCreditIn(Channel<FrCredit>* ch) { fr_credit_in_ = ch; }
+    void connectCtrlCreditIn(Channel<Credit>* ch) { ctrl_credit_in_ = ch; }
+    /** @} */
+
+    void tick(Cycle now) override;
+
+    /** Packets generated but whose control flits are not all injected. */
+    int queueLength() const;
+
+    /** Stop/start generating new packets. */
+    void setGenerating(bool on) { generating_ = on; }
+
+  private:
+    struct PendingPacket
+    {
+        PacketId id;
+        NodeId dest;
+        int length;
+        Cycle created;
+    };
+
+    void generate(Cycle now);
+    void startNextPacket(Cycle now);
+    void processControl(Cycle now);
+    void fireData(Cycle now);
+    Flit makeDataFlit(const PendingPacket& pkt, int seq, Cycle now) const;
+
+    NodeId node_;
+    PacketGenerator* generator_;
+    PacketRegistry* registry_;
+    FrParams params_;
+    Rng rng_;
+    bool generating_ = true;
+
+    Channel<ControlFlit>* ctrl_out_ = nullptr;
+    Channel<Flit>* data_out_ = nullptr;
+    Channel<FrCredit>* fr_credit_in_ = nullptr;
+    Channel<Credit>* ctrl_credit_in_ = nullptr;
+
+    OutputReservationTable ort_;  ///< injection link + router pool
+    std::vector<int> ctrl_credits_;
+
+    std::deque<PendingPacket> queue_;
+    bool active_ = false;
+    PendingPacket current_{};
+    std::vector<ControlFlit> ctrl_flits_;
+    std::size_t next_ctrl_ = 0;
+    VcId current_vc_ = kInvalidVc;
+    std::unordered_map<Cycle, Flit> pending_data_;
+};
+
+}  // namespace frfc
+
+#endif  // FRFC_FRFC_FR_SOURCE_HPP

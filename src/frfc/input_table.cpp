@@ -1,0 +1,186 @@
+#include "frfc/input_table.hpp"
+
+#include "common/log.hpp"
+
+namespace frfc {
+
+InputReservationTable::InputReservationTable(int horizon, int buffers,
+                                             int speedup)
+    : horizon_(horizon), speedup_(speedup), pool_(buffers),
+      arrivals_(static_cast<std::size_t>(horizon)),
+      departs_(static_cast<std::size_t>(horizon))
+{
+    FRFC_ASSERT(horizon >= 2, "horizon must be at least 2 cycles");
+    FRFC_ASSERT(speedup >= 1 && speedup <= kMaxSpeedup,
+                "speedup out of range");
+}
+
+void
+InputReservationTable::advance(Cycle now)
+{
+    FRFC_ASSERT(now >= window_start_, "window cannot move backwards");
+    while (window_start_ < now) {
+        // An expiring arrival row must have been consumed: the upstream
+        // scheduler guaranteed the flit arrived during that cycle —
+        // unless fault injection dropped it, in which case its
+        // reservation executes vacuously (Section 5 error recovery).
+        ArrivalSlot& arr = arrivals_[index(window_start_)];
+        if (arr.cycle == window_start_ && fault_tolerant_) {
+            voidDeparture(arr.depart, window_start_);
+            arr.cycle = kInvalidCycle;
+            ++lost_arrivals_;
+        }
+        FRFC_ASSERT(arr.cycle != window_start_,
+                    "scheduled arrival at cycle ", window_start_,
+                    " never materialized");
+        const DepartSlot& dep = departs_[index(window_start_)];
+        FRFC_ASSERT(dep.cycle != window_start_,
+                    "scheduled departure at cycle ", window_start_,
+                    " never executed");
+        ++window_start_;
+    }
+}
+
+bool
+InputReservationTable::departSlotFree(Cycle t) const
+{
+    const DepartSlot& slot = departs_[index(t)];
+    if (slot.cycle != t)
+        return true;
+    return slot.count < speedup_;
+}
+
+void
+InputReservationTable::recordReservation(Cycle now, Cycle arrival,
+                                         Cycle depart, PortId out)
+{
+    FRFC_ASSERT(depart > now, "departure must be in the future");
+    FRFC_ASSERT(depart > arrival, "flit cannot leave before it arrives");
+
+    DepartSlot& dslot = departs_[index(depart)];
+    if (dslot.cycle != depart) {
+        dslot.cycle = depart;
+        dslot.count = 0;
+    }
+    FRFC_ASSERT(dslot.count < speedup_,
+                "departure slot ", depart, " over-subscribed");
+    DepartEntry& entry =
+        dslot.entries[static_cast<std::size_t>(dslot.count++)];
+    entry.out = out;
+    entry.arrival = arrival;
+    entry.buffer = kInvalidBuffer;
+    entry.voided = false;  // slots recycle; clear any stale loss mark
+
+    auto parked = parked_.find(arrival);
+    if (parked != parked_.end()) {
+        // The flit beat its control flit here; bind it immediately.
+        entry.buffer = parked->second;
+        parked_.erase(parked);
+        return;
+    }
+    if (arrival < now && fault_tolerant_) {
+        // The flit was dropped in flight before its control flit was
+        // processed here: the fresh reservation is void on arrival.
+        entry.voided = true;
+        ++lost_arrivals_;
+        return;
+    }
+    FRFC_ASSERT(arrival >= now,
+                "reservation for past arrival ", arrival,
+                " with no parked flit");
+    ArrivalSlot& aslot = arrivals_[index(arrival)];
+    FRFC_ASSERT(aslot.cycle != arrival,
+                "second reservation for arrival cycle ", arrival);
+    aslot.cycle = arrival;
+    aslot.depart = depart;
+    aslot.out = out;
+}
+
+void
+InputReservationTable::acceptFlit(Cycle now, const Flit& flit)
+{
+    const BufferId buffer = pool_.allocate();
+    FRFC_ASSERT(buffer != kInvalidBuffer,
+                "input pool exhausted — reservation accounting broken (",
+                flit.toString(), ")");
+    pool_.write(buffer, flit);
+
+    ArrivalSlot& aslot = arrivals_[index(now)];
+    if (aslot.cycle != now) {
+        // No reservation yet: park on the schedule list.
+        FRFC_ASSERT(parked_.count(now) == 0,
+                    "two flits parked for the same arrival cycle");
+        parked_.emplace(now, buffer);
+        ++parked_total_;
+        return;
+    }
+
+    // Bind the buffer into the matching departure entry.
+    DepartSlot& dslot = departs_[index(aslot.depart)];
+    FRFC_ASSERT(dslot.cycle == aslot.depart, "dangling departure link");
+    bool bound = false;
+    for (int i = 0; i < dslot.count; ++i) {
+        DepartEntry& entry = dslot.entries[static_cast<std::size_t>(i)];
+        if (entry.arrival == now && entry.buffer == kInvalidBuffer) {
+            entry.buffer = buffer;
+            bound = true;
+            break;
+        }
+    }
+    FRFC_ASSERT(bound, "no departure entry for arrival at ", now);
+    if (aslot.depart == now + 1)
+        ++bypasses_;
+    aslot.cycle = kInvalidCycle;
+}
+
+void
+InputReservationTable::voidDeparture(Cycle depart, Cycle arrival)
+{
+    DepartSlot& slot = departs_[index(depart)];
+    FRFC_ASSERT(slot.cycle == depart, "voiding a vanished departure");
+    for (int i = 0; i < slot.count; ++i) {
+        DepartEntry& entry = slot.entries[static_cast<std::size_t>(i)];
+        if (entry.arrival == arrival && entry.buffer == kInvalidBuffer
+            && !entry.voided) {
+            entry.voided = true;
+            return;
+        }
+    }
+    std::string dump;
+    for (int i = 0; i < slot.count; ++i) {
+        const DepartEntry& e = slot.entries[static_cast<std::size_t>(i)];
+        dump += " [arr=" + std::to_string(e.arrival)
+            + " buf=" + std::to_string(e.buffer)
+            + (e.voided ? " void]" : "]");
+    }
+    panic("no departure entry to void for arrival ", arrival,
+          " at depart ", depart, ":", dump);
+}
+
+std::vector<InputReservationTable::Departure>
+InputReservationTable::takeDepartures(Cycle now)
+{
+    std::vector<Departure> result;
+    DepartSlot& slot = departs_[index(now)];
+    if (slot.cycle != now)
+        return result;
+    result.reserve(static_cast<std::size_t>(slot.count));
+    for (int i = 0; i < slot.count; ++i) {
+        DepartEntry& entry = slot.entries[static_cast<std::size_t>(i)];
+        if (entry.voided)
+            continue;  // lost flit: the reserved cycle passes idle
+        FRFC_ASSERT(entry.buffer != kInvalidBuffer,
+                    "unbound departure at cycle ", now,
+                    " (flit never arrived?)");
+        Departure dep;
+        dep.out = entry.out;
+        dep.flit = pool_.consume(entry.buffer);
+        dep.bypass = entry.arrival + 1 == now;
+        result.push_back(dep);
+    }
+    slot.cycle = kInvalidCycle;
+    slot.count = 0;
+    return result;
+}
+
+}  // namespace frfc

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Input reservation table and buffer pool (paper Figure 4c).
+ *
+ * The input scheduler tracks, per input port, the scheduled movements of
+ * every data flit: which cycle it arrives, which cycle it departs, and
+ * through which output. Buffers come from a per-input shared pool and —
+ * following Section 5 ("Buffer allocation at scheduling time versus
+ * just before arrival") — a concrete buffer is bound only when the flit
+ * arrives, which provably avoids the buffer-interchange problem.
+ *
+ * Data flits that arrive before their control flit has been processed
+ * (possible when one control flit leads several data flits, or under
+ * control-network contention) are parked in the pool on a schedule
+ * list keyed by arrival time, exactly as Section 3 prescribes.
+ */
+
+#ifndef FRFC_FRFC_INPUT_TABLE_HPP
+#define FRFC_FRFC_INPUT_TABLE_HPP
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "proto/buffer_pool.hpp"
+#include "proto/flit.hpp"
+
+namespace frfc {
+
+/** Time-indexed per-input schedule of data flit movements. */
+class InputReservationTable
+{
+  public:
+    /** Max simultaneous departures per cycle (footnote 7 extension). */
+    static constexpr int kMaxSpeedup = 4;
+
+    /**
+     * @param horizon  scheduling horizon s in cycles
+     * @param buffers  flit buffers in this input's pool (b_d)
+     * @param speedup  departures allowed per cycle (1 = paper baseline;
+     *                 more models the multi-ported buffer of footnote 7)
+     */
+    InputReservationTable(int horizon, int buffers, int speedup = 1);
+
+    /** Slide the window so it starts at @p now. */
+    void advance(Cycle now);
+
+    /** True if another departure can be scheduled during cycle @p t. */
+    bool departSlotFree(Cycle t) const;
+
+    /**
+     * Record a committed reservation: the data flit arriving at
+     * @p arrival leaves via @p out at @p depart. If the flit is already
+     * parked (arrival < now, or == now with the flit already accepted),
+     * it is bound immediately; otherwise the arrival row is annotated
+     * and binding happens when the flit shows up.
+     */
+    void recordReservation(Cycle now, Cycle arrival, Cycle depart,
+                           PortId out);
+
+    /** Accept a data flit arriving from the link during cycle @p now. */
+    void acceptFlit(Cycle now, const Flit& flit);
+
+    /** A data flit leaving the router this cycle. */
+    struct Departure
+    {
+        PortId out = kInvalidPort;
+        Flit flit;
+        bool bypass = false;  ///< spent the minimum one cycle here
+    };
+
+    /** Pop all departures scheduled for cycle @p now. */
+    std::vector<Departure> takeDepartures(Cycle now);
+
+    /**
+     * Tolerate lost data flits (Section 5 error recovery): a scheduled
+     * arrival that never materializes voids its departure entry — the
+     * reserved channel cycle passes idle and, because the advance
+     * credit already restored the buffer count from the departure
+     * cycle, no buffers leak and no links stall. Without this, a
+     * missed arrival is an invariant violation and panics.
+     */
+    void setFaultTolerant(bool on) { fault_tolerant_ = on; }
+
+    /** Scheduled arrivals that never materialized (fault mode). */
+    std::int64_t lostArrivals() const { return lost_arrivals_; }
+
+    /** True if an unscheduled flit that arrived at @p t is parked. */
+    bool parkedAt(Cycle t) const { return parked_.count(t) > 0; }
+
+    /** @{ Statistics. */
+    const BufferPool& pool() const { return pool_; }
+    int parkedCount() const { return static_cast<int>(parked_.size()); }
+    std::int64_t bypasses() const { return bypasses_; }
+    std::int64_t parkedTotal() const { return parked_total_; }
+    /** @} */
+
+  private:
+    struct ArrivalSlot
+    {
+        Cycle cycle = kInvalidCycle;  ///< tag; valid when == slot time
+        Cycle depart = kInvalidCycle;
+        PortId out = kInvalidPort;
+    };
+
+    struct DepartEntry
+    {
+        PortId out = kInvalidPort;
+        Cycle arrival = kInvalidCycle;  ///< links back to the flit
+        BufferId buffer = kInvalidBuffer;
+        bool voided = false;  ///< flit lost; slot passes idle
+    };
+
+    struct DepartSlot
+    {
+        Cycle cycle = kInvalidCycle;
+        int count = 0;
+        std::array<DepartEntry, kMaxSpeedup> entries;
+    };
+
+    std::size_t
+    index(Cycle t) const
+    {
+        Cycle m = t % horizon_;
+        if (m < 0)
+            m += horizon_;
+        return static_cast<std::size_t>(m);
+    }
+
+    int horizon_;
+    int speedup_;
+    Cycle window_start_ = 0;
+    BufferPool pool_;
+    std::vector<ArrivalSlot> arrivals_;
+    std::vector<DepartSlot> departs_;
+    std::unordered_map<Cycle, BufferId> parked_;  ///< schedule list
+
+    /** Mark the departure linked to a lost arrival as void. */
+    void voidDeparture(Cycle depart, Cycle arrival);
+
+    bool fault_tolerant_ = false;
+    std::int64_t bypasses_ = 0;
+    std::int64_t parked_total_ = 0;
+    std::int64_t lost_arrivals_ = 0;
+};
+
+}  // namespace frfc
+
+#endif  // FRFC_FRFC_INPUT_TABLE_HPP

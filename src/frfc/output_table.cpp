@@ -1,0 +1,70 @@
+#include "frfc/output_table.hpp"
+
+namespace frfc {
+
+OutputReservationTable::OutputReservationTable(int horizon,
+                                               int downstream_buffers,
+                                               Cycle link_latency,
+                                               bool infinite_buffers)
+    : horizon_(horizon), buffers_(downstream_buffers),
+      link_latency_(link_latency), infinite_(infinite_buffers),
+      busy_(static_cast<std::size_t>(horizon), 0),
+      free_(static_cast<std::size_t>(horizon), downstream_buffers)
+{
+    FRFC_ASSERT(horizon >= 2, "horizon must be at least 2 cycles");
+    FRFC_ASSERT(infinite_buffers || downstream_buffers > 0,
+                "downstream pool must hold at least one buffer");
+    FRFC_ASSERT(link_latency >= 1 && link_latency < horizon,
+                "link latency must fit inside the horizon");
+}
+
+void
+OutputReservationTable::advance(Cycle now)
+{
+    FRFC_ASSERT(now >= window_start_, "window cannot move backwards");
+    while (window_start_ < now) {
+        // Slot window_start_ expires; it becomes the slot for
+        // window_start_ + horizon, which inherits the buffer count of
+        // the (previous) last slot and an idle channel.
+        const std::size_t expired = index(window_start_);
+        const std::size_t last = index(window_start_ - 1 + horizon_);
+        busy_[expired] = 0;
+        free_[expired] = free_[last];
+        ++window_start_;
+    }
+}
+
+void
+OutputReservationTable::reserve(Cycle depart)
+{
+    FRFC_ASSERT(depart >= window_start_, "departure in the past");
+    FRFC_ASSERT(depart <= windowEnd() - (infinite_ ? 0 : link_latency_),
+                "departure too far in the future");
+    std::uint8_t& busy = busy_[index(depart)];
+    FRFC_ASSERT(!busy, "double reservation of cycle ", depart);
+    busy = 1;
+    if (infinite_)
+        return;
+    for (Cycle t = depart + link_latency_; t <= windowEnd(); ++t) {
+        int& f = free_[index(t)];
+        FRFC_ASSERT(f > 0, "reserving without a free buffer at ", t);
+        --f;
+    }
+}
+
+void
+OutputReservationTable::credit(Cycle free_from)
+{
+    if (infinite_)
+        return;
+    const Cycle from = std::max(free_from, window_start_);
+    FRFC_ASSERT(from <= windowEnd(),
+                "credit for cycle ", free_from, " beyond horizon");
+    for (Cycle t = from; t <= windowEnd(); ++t) {
+        int& f = free_[index(t)];
+        ++f;
+        FRFC_ASSERT(f <= buffers_, "credit overflow at cycle ", t);
+    }
+}
+
+}  // namespace frfc

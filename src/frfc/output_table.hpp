@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Output reservation table (paper Figure 4a/4b).
+ *
+ * For every output channel, the table records — for each cycle in the
+ * window [now, now + horizon - 1] — whether the channel is reserved
+ * (busy) and how many flit buffers are free at the far end of the link.
+ * Storage is a circular wheel reused as time expires; when the window
+ * slides, the newly exposed slot inherits the previous last slot's
+ * buffer count (nothing beyond the horizon has been scheduled, so the
+ * count is constant past the end).
+ *
+ * Reserving a departure at t_d marks the channel busy during t_d and
+ * decrements the free-buffer count for every cycle from t_d + t_p
+ * (arrival downstream) to the horizon: the flit holds a downstream
+ * buffer from its arrival until the downstream scheduler fixes its own
+ * departure. The downstream input scheduler then returns a timestamped
+ * credit that increments the count from that departure cycle onward —
+ * this advance credit return is what gives flit-reservation flow
+ * control its zero buffer-turnaround time.
+ */
+
+#ifndef FRFC_FRFC_OUTPUT_TABLE_HPP
+#define FRFC_FRFC_OUTPUT_TABLE_HPP
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/log.hpp"
+#include "common/types.hpp"
+
+namespace frfc {
+
+/** Time-indexed channel and downstream-buffer reservations. */
+class OutputReservationTable
+{
+  public:
+    /**
+     * @param horizon            scheduling horizon s in cycles
+     * @param downstream_buffers buffer pool size at the far end
+     * @param link_latency       data propagation delay t_p of this link
+     * @param infinite_buffers   far end never runs out (ejection port)
+     */
+    OutputReservationTable(int horizon, int downstream_buffers,
+                           Cycle link_latency,
+                           bool infinite_buffers = false);
+
+    /** Slide the window so it starts at @p now. */
+    void advance(Cycle now);
+
+    /**
+     * Earliest legal departure time t_d >= @p min_depart such that the
+     * channel is free at t_d, at least @p min_free downstream buffers
+     * are free for every cycle in [t_d + link latency, horizon end],
+     * and @p extra(t_d) holds (the input scheduler's
+     * one-departure-per-cycle constraint). min_free > 1 implements the
+     * reserved-buffer deadlock-avoidance rule used by wide-control-flit
+     * mode (see FrRouter). Returns kInvalidCycle if no cycle in the
+     * window qualifies.
+     */
+    template <typename Predicate>
+    Cycle
+    findDeparture(Cycle min_depart, Predicate&& extra,
+                  int min_free = 1) const
+    {
+        const Cycle lo = std::max(min_depart, window_start_);
+        // The downstream arrival must be verifiable inside the window.
+        const Cycle hi = windowEnd() - (infinite_ ? 0 : link_latency_);
+        if (lo > hi)
+            return kInvalidCycle;
+
+        // Buffer availability is a suffix-minimum: once the earliest
+        // feasible arrival is known, everything later is feasible too.
+        // One backward pass finds it, keeping the scan linear.
+        Cycle min_feasible_arrival = kInvalidCycle;
+        if (!infinite_) {
+            min_feasible_arrival = windowEnd() + 1;  // none
+            for (Cycle t = windowEnd(); t >= lo + link_latency_; --t) {
+                if (free_[index(t)] < min_free)
+                    break;
+                min_feasible_arrival = t;
+            }
+        }
+        for (Cycle t = lo; t <= hi; ++t) {
+            if (busy_[index(t)])
+                continue;
+            if (!infinite_ && t + link_latency_ < min_feasible_arrival)
+                continue;
+            if (!extra(t))
+                continue;
+            return t;
+        }
+        return kInvalidCycle;
+    }
+
+    /** Commit a reservation found by findDeparture(). */
+    void reserve(Cycle depart);
+
+    /**
+     * Apply a downstream credit: one buffer becomes free from
+     * @p free_from onward (clamped into the window).
+     */
+    void credit(Cycle free_from);
+
+    /** @{ Inspection (tests, stats). */
+    bool busyAt(Cycle t) const { return busy_[index(checked(t))] != 0; }
+    int freeBuffersAt(Cycle t) const { return free_[index(checked(t))]; }
+    Cycle windowStart() const { return window_start_; }
+    Cycle windowEnd() const { return window_start_ + horizon_ - 1; }
+    int horizon() const { return horizon_; }
+    Cycle linkLatency() const { return link_latency_; }
+    /** @} */
+
+  private:
+    std::size_t
+    index(Cycle t) const
+    {
+        Cycle m = t % horizon_;
+        if (m < 0)
+            m += horizon_;
+        return static_cast<std::size_t>(m);
+    }
+
+    Cycle
+    checked(Cycle t) const
+    {
+        FRFC_ASSERT(t >= window_start_ && t <= windowEnd(),
+                    "cycle ", t, " outside reservation window [",
+                    window_start_, ", ", windowEnd(), "]");
+        return t;
+    }
+
+    int horizon_;
+    int buffers_;
+    Cycle link_latency_;
+    bool infinite_;
+    Cycle window_start_ = 0;
+    std::vector<std::uint8_t> busy_;
+    std::vector<int> free_;
+};
+
+}  // namespace frfc
+
+#endif  // FRFC_FRFC_OUTPUT_TABLE_HPP

@@ -1,0 +1,123 @@
+#include "harness/presets.hpp"
+
+#include "common/log.hpp"
+
+namespace frfc {
+
+Config
+baseConfig()
+{
+    Config cfg;
+    cfg.set("topology", "mesh");
+    cfg.set("size_x", 8);
+    cfg.set("size_y", 8);
+    cfg.set("routing", "xy");
+    cfg.set("traffic", "uniform");
+    cfg.set("injection", "bernoulli");
+    cfg.set("packet_length", 5);
+    cfg.set("seed", 1);
+    cfg.set("offered", 0.5);
+    applyFastControl(cfg);
+    return cfg;
+}
+
+void
+applyVc8(Config& cfg)
+{
+    cfg.set("scheme", "vc");
+    cfg.set("num_vcs", 2);
+    cfg.set("vc_depth", 4);
+}
+
+void
+applyVc16(Config& cfg)
+{
+    cfg.set("scheme", "vc");
+    cfg.set("num_vcs", 4);
+    cfg.set("vc_depth", 4);
+}
+
+void
+applyVc32(Config& cfg)
+{
+    cfg.set("scheme", "vc");
+    cfg.set("num_vcs", 8);
+    cfg.set("vc_depth", 4);
+}
+
+void
+applyWormhole(Config& cfg, int buffers)
+{
+    cfg.set("scheme", "vc");
+    cfg.set("num_vcs", 1);
+    cfg.set("vc_depth", buffers);
+}
+
+void
+applyFr6(Config& cfg)
+{
+    cfg.set("scheme", "fr");
+    cfg.set("data_buffers", 6);
+    cfg.set("ctrl_vcs", 2);
+    cfg.set("ctrl_vc_depth", 3);
+    cfg.set("horizon", 32);
+    cfg.set("ctrl_width", 2);
+    cfg.set("flits_per_ctrl", 1);
+}
+
+void
+applyFr13(Config& cfg)
+{
+    cfg.set("scheme", "fr");
+    cfg.set("data_buffers", 13);
+    cfg.set("ctrl_vcs", 4);
+    cfg.set("ctrl_vc_depth", 3);
+    cfg.set("horizon", 32);
+    cfg.set("ctrl_width", 2);
+    cfg.set("flits_per_ctrl", 1);
+}
+
+void
+applyFastControl(Config& cfg)
+{
+    cfg.set("data_link_latency", 4);
+    cfg.set("credit_link_latency", 1);
+    cfg.set("ctrl_link_latency", 1);
+    cfg.set("lead_time", 0);
+}
+
+void
+applyLeadingControl(Config& cfg, int lead)
+{
+    cfg.set("data_link_latency", 1);
+    cfg.set("credit_link_latency", 1);
+    cfg.set("ctrl_link_latency", 1);
+    cfg.set("lead_time", lead);
+}
+
+void
+applyPreset(Config& cfg, const std::string& name)
+{
+    if (name == "vc8")
+        applyVc8(cfg);
+    else if (name == "vc16")
+        applyVc16(cfg);
+    else if (name == "vc32")
+        applyVc32(cfg);
+    else if (name == "wormhole8")
+        applyWormhole(cfg, 8);
+    else if (name == "fr6")
+        applyFr6(cfg);
+    else if (name == "fr13")
+        applyFr13(cfg);
+    else
+        fatal("unknown preset '", name, "'");
+}
+
+std::vector<std::string>
+presetNames()
+{
+    return {"vc8", "vc16", "vc32", "wormhole8", "fr6", "fr13"};
+}
+
+}  // namespace frfc

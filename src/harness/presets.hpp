@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Named experimental configurations from Section 4 of the paper.
+ *
+ * Storage-matched pairs (Table 1): FR6 ~ VC8 and FR13 ~ VC16. All VC
+ * configurations use 4 buffers per virtual channel; both FR
+ * configurations use 3 control buffers per control VC, one data flit
+ * per control flit, 2 control flit injections per cycle, and a 32-cycle
+ * scheduling horizon.
+ */
+
+#ifndef FRFC_HARNESS_PRESETS_HPP
+#define FRFC_HARNESS_PRESETS_HPP
+
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+
+namespace frfc {
+
+/** 8x8 mesh, uniform traffic, XY routing, 5-flit packets, seed 1. */
+Config baseConfig();
+
+/** @{ Buffer-organization presets. */
+void applyVc8(Config& cfg);    ///< 2 VCs x 4 flits
+void applyVc16(Config& cfg);   ///< 4 VCs x 4 flits
+void applyVc32(Config& cfg);   ///< 8 VCs x 4 flits
+void applyWormhole(Config& cfg, int buffers);  ///< 1 VC x buffers
+void applyFr6(Config& cfg);    ///< 6-buffer pools, v_c = 2
+void applyFr13(Config& cfg);   ///< 13-buffer pools, v_c = 4
+/** @} */
+
+/** @{ Wire-speed presets. */
+
+/** Fast control wires: data 4 cycles/hop, control and credit 1. */
+void applyFastControl(Config& cfg);
+
+/** Equal wires (1 cycle) with control injected @p lead cycles early. */
+void applyLeadingControl(Config& cfg, int lead);
+/** @} */
+
+/** Resolve a preset by name ("vc8", "fr6", ...); fatal() if unknown. */
+void applyPreset(Config& cfg, const std::string& name);
+
+/** All preset names, for CLI help. */
+std::vector<std::string> presetNames();
+
+}  // namespace frfc
+
+#endif  // FRFC_HARNESS_PRESETS_HPP

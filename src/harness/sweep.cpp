@@ -1,0 +1,70 @@
+#include "harness/sweep.hpp"
+
+#include "network/network.hpp"
+
+namespace frfc {
+
+std::vector<RunResult>
+latencyCurve(const Config& cfg, const std::vector<double>& loads,
+             const RunOptions& opt)
+{
+    std::vector<RunResult> results;
+    results.reserve(loads.size());
+    for (double load : loads) {
+        Config point = cfg;
+        point.set("offered", load);
+        results.push_back(runExperiment(point, opt));
+    }
+    return results;
+}
+
+RunResult
+measureBaseLatency(const Config& cfg, const RunOptions& opt)
+{
+    return measureAtLoad(cfg, 0.02, opt);
+}
+
+RunResult
+measureAtLoad(const Config& cfg, double load, const RunOptions& opt)
+{
+    Config point = cfg;
+    point.set("offered", load);
+    return runExperiment(point, opt);
+}
+
+double
+findSaturation(const Config& cfg, const RunOptions& run_opt,
+               const SaturationOptions& sat_opt)
+{
+    auto saturated_at = [&](double load) {
+        const RunResult r = measureAtLoad(cfg, load, run_opt);
+        if (!r.complete)
+            return true;
+        return r.acceptedFraction
+            < sat_opt.acceptRatio * r.offeredFraction;
+    };
+
+    double lo = sat_opt.lo;
+    double hi = sat_opt.hi;
+    if (saturated_at(lo))
+        return lo;  // already saturated at the lower bound
+    if (!saturated_at(hi))
+        return hi;  // never saturates inside the probe range
+    while (hi - lo > sat_opt.tolerance) {
+        const double mid = (lo + hi) / 2.0;
+        if (saturated_at(mid))
+            hi = mid;
+        else
+            lo = mid;
+    }
+    return lo;
+}
+
+std::vector<double>
+standardLoads()
+{
+    return {0.10, 0.20, 0.30, 0.40, 0.50, 0.55, 0.60, 0.65,
+            0.70, 0.75, 0.80, 0.85, 0.90};
+}
+
+}  // namespace frfc

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Experiment sweeps: latency-versus-load curves and saturation
+ * throughput search, the primitives behind every figure in the paper.
+ */
+
+#ifndef FRFC_HARNESS_SWEEP_HPP
+#define FRFC_HARNESS_SWEEP_HPP
+
+#include <vector>
+
+#include "common/config.hpp"
+#include "network/runner.hpp"
+
+namespace frfc {
+
+/**
+ * Run @p cfg at each offered load (fraction of capacity) and collect
+ * the results. Incomplete (saturated) runs report complete = false.
+ */
+std::vector<RunResult>
+latencyCurve(const Config& cfg, const std::vector<double>& loads,
+             const RunOptions& opt);
+
+/** Zero-load (base) latency: a run at 2% of capacity. */
+RunResult measureBaseLatency(const Config& cfg, const RunOptions& opt);
+
+/** Latency at one offered load (fraction of capacity). */
+RunResult measureAtLoad(const Config& cfg, double load,
+                        const RunOptions& opt);
+
+/** Knobs of the saturation search. */
+struct SaturationOptions
+{
+    double lo = 0.30;          ///< known-unsaturated lower bound
+    double hi = 1.00;          ///< known-saturated upper bound
+    double tolerance = 0.02;   ///< bisection stop width
+    double acceptRatio = 0.90; ///< accepted/offered below this => saturated
+};
+
+/**
+ * Saturation throughput as a fraction of capacity: the largest offered
+ * load the network still accepts (bisection on accepted/offered and on
+ * sample completion within the cycle budget).
+ */
+double findSaturation(const Config& cfg, const RunOptions& run_opt,
+                      const SaturationOptions& sat_opt = {});
+
+/** Standard load points used by the figure benches. */
+std::vector<double> standardLoads();
+
+}  // namespace frfc
+
+#endif  // FRFC_HARNESS_SWEEP_HPP

@@ -1,0 +1,21 @@
+#include "network/ejection_sink.hpp"
+
+#include "proto/packet_registry.hpp"
+
+namespace frfc {
+
+EjectionSink::EjectionSink(std::string name, PacketRegistry* registry)
+    : Clocked(std::move(name)), registry_(registry)
+{
+}
+
+void
+EjectionSink::tick(Cycle now)
+{
+    for (Channel<Flit>* ch : channels_) {
+        for (const Flit& flit : ch->drain(now))
+            registry_->deliverFlit(now, flit);
+    }
+}
+
+}  // namespace frfc

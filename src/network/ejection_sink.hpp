@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Destination endpoint: drains per-node ejection channels into the
+ * packet registry (which verifies reassembly and records latency).
+ */
+
+#ifndef FRFC_NETWORK_EJECTION_SINK_HPP
+#define FRFC_NETWORK_EJECTION_SINK_HPP
+
+#include <vector>
+
+#include "proto/flit.hpp"
+#include "sim/channel.hpp"
+#include "sim/clocked.hpp"
+
+namespace frfc {
+
+class PacketRegistry;
+
+/** Drains ejected flits and reports them to the registry. */
+class EjectionSink : public Clocked
+{
+  public:
+    EjectionSink(std::string name, PacketRegistry* registry);
+
+    /** Register one node's ejection channel. */
+    void addChannel(Channel<Flit>* ch) { channels_.push_back(ch); }
+
+    void tick(Cycle now) override;
+
+  private:
+    PacketRegistry* registry_;
+    std::vector<Channel<Flit>*> channels_;
+};
+
+}  // namespace frfc
+
+#endif  // FRFC_NETWORK_EJECTION_SINK_HPP

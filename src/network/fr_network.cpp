@@ -1,0 +1,270 @@
+#include "network/fr_network.hpp"
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+
+namespace frfc {
+
+namespace {
+
+PortId
+opposite(PortId port)
+{
+    switch (port) {
+      case kEast:
+        return kWest;
+      case kWest:
+        return kEast;
+      case kNorth:
+        return kSouth;
+      case kSouth:
+        return kNorth;
+      default:
+        panic("no opposite for port ", port);
+    }
+}
+
+}  // namespace
+
+FrNetwork::FrNetwork(const Config& cfg)
+{
+    topo_ = makeTopology(cfg);
+    routing_ = makeRouting(cfg, *topo_);
+    pattern_ = makePattern(cfg, *topo_);
+    offered_ = cfg.getDouble("offered", 0.5) * capacity();
+
+    const auto seed = static_cast<std::uint64_t>(cfg.getInt("seed", 1));
+
+    params_.dataBuffers = static_cast<int>(cfg.getInt("data_buffers", 6));
+    params_.ctrlVcs = static_cast<int>(cfg.getInt("ctrl_vcs", 2));
+    params_.ctrlVcDepth = static_cast<int>(cfg.getInt("ctrl_vc_depth", 3));
+    params_.horizon = static_cast<int>(cfg.getInt("horizon", 32));
+    params_.ctrlWidth = static_cast<int>(cfg.getInt("ctrl_width", 2));
+    params_.dataLinkLatency = cfg.getInt("data_link_latency", 4);
+    params_.ctrlLinkLatency = cfg.getInt("ctrl_link_latency", 1);
+    params_.flitsPerControl =
+        static_cast<int>(cfg.getInt("flits_per_ctrl", 1));
+    params_.leadTime = cfg.getInt("lead_time", 0);
+    params_.allOrNothing = cfg.getBool("all_or_nothing", false);
+    params_.speedup = static_cast<int>(cfg.getInt("speedup", 1));
+    params_.creditSlack = cfg.getBool("plesiochronous", false) ? 1 : 0;
+    params_.dataDropRate = cfg.getDouble("fault.data_drop_rate", 0.0);
+
+    if (params_.flitsPerControl < 1
+        || params_.flitsPerControl > kMaxEntriesPerControl) {
+        fatal("flits_per_ctrl must be in [1, ", kMaxEntriesPerControl,
+              "]");
+    }
+    if (params_.dataLinkLatency + 2 >= params_.horizon)
+        fatal("horizon too short for the data link latency");
+
+    const int n = topo_->numNodes();
+    middle_node_ = topo_->nodeAt(topo_->sizeX() / 2, topo_->sizeY() / 2);
+    sink_ = std::make_unique<EjectionSink>("sink", &registry_);
+
+    generators_ = makeGenerators(cfg, *topo_, pattern_.get(), offered_);
+    for (NodeId node = 0; node < n; ++node) {
+        routers_.push_back(std::make_unique<FrRouter>(
+            "router" + std::to_string(node), node, *routing_, params_,
+            Rng(seed, 0x1000 + static_cast<std::uint64_t>(node))));
+        sources_.push_back(std::make_unique<FrSource>(
+            "source" + std::to_string(node), node,
+            generators_[static_cast<std::size_t>(node)].get(),
+            &registry_, params_,
+            Rng(seed, 0x2000 + static_cast<std::uint64_t>(node))));
+    }
+
+    const int credit_width =
+        params_.ctrlWidth * params_.flitsPerControl;
+
+    auto flit_ch = [this](std::string name, Cycle lat) {
+        flit_channels_.push_back(
+            std::make_unique<Channel<Flit>>(std::move(name), lat, 1));
+        return flit_channels_.back().get();
+    };
+    auto ctrl_ch = [this](std::string name, Cycle lat) {
+        ctrl_channels_.push_back(std::make_unique<Channel<ControlFlit>>(
+            std::move(name), lat, params_.ctrlWidth));
+        return ctrl_channels_.back().get();
+    };
+    auto fr_credit_ch = [this, credit_width](std::string name, Cycle lat) {
+        fr_credit_channels_.push_back(std::make_unique<Channel<FrCredit>>(
+            std::move(name), lat, credit_width));
+        return fr_credit_channels_.back().get();
+    };
+    auto ctrl_credit_ch = [this](std::string name, Cycle lat) {
+        ctrl_credit_channels_.push_back(std::make_unique<Channel<Credit>>(
+            std::move(name), lat, params_.ctrlWidth));
+        return ctrl_credit_channels_.back().get();
+    };
+
+    // Inter-router links: data + control forward, two credit wires back.
+    for (NodeId node = 0; node < n; ++node) {
+        for (PortId port = kEast; port <= kSouth; ++port) {
+            const NodeId peer = topo_->neighbor(node, port);
+            if (peer == kInvalidNode)
+                continue;
+            const PortId rev = opposite(port);
+            const std::string tag =
+                std::to_string(node) + "->" + std::to_string(peer);
+
+            Channel<Flit>* data =
+                flit_ch("d:" + tag, params_.dataLinkLatency);
+            routers_[node]->connectDataOut(port, data);
+            routers_[peer]->connectDataIn(rev, data);
+
+            Channel<ControlFlit>* ctrl =
+                ctrl_ch("ctl:" + tag, params_.ctrlLinkLatency);
+            routers_[node]->connectCtrlOut(port, ctrl);
+            routers_[peer]->connectCtrlIn(rev, ctrl);
+
+            Channel<FrCredit>* frc =
+                fr_credit_ch("frc:" + tag, params_.ctrlLinkLatency);
+            routers_[peer]->connectFrCreditOut(rev, frc);
+            routers_[node]->connectFrCreditIn(port, frc);
+
+            Channel<Credit>* ctc =
+                ctrl_credit_ch("ctc:" + tag, params_.ctrlLinkLatency);
+            routers_[peer]->connectCtrlCreditOut(rev, ctc);
+            routers_[node]->connectCtrlCreditIn(port, ctc);
+        }
+    }
+
+    // Injection (source -> router local input) and ejection.
+    for (NodeId node = 0; node < n; ++node) {
+        const std::string tag = std::to_string(node);
+
+        Channel<Flit>* inj = flit_ch("inj:" + tag, 1);
+        sources_[node]->connectDataOut(inj);
+        routers_[node]->connectDataIn(kLocal, inj);
+
+        Channel<ControlFlit>* inj_ctl =
+            ctrl_ch("injctl:" + tag, params_.ctrlLinkLatency);
+        sources_[node]->connectCtrlOut(inj_ctl);
+        routers_[node]->connectCtrlIn(kLocal, inj_ctl);
+
+        Channel<FrCredit>* inj_frc = fr_credit_ch("injfrc:" + tag, 1);
+        routers_[node]->connectFrCreditOut(kLocal, inj_frc);
+        sources_[node]->connectFrCreditIn(inj_frc);
+
+        Channel<Credit>* inj_ctc = ctrl_credit_ch("injctc:" + tag, 1);
+        routers_[node]->connectCtrlCreditOut(kLocal, inj_ctc);
+        sources_[node]->connectCtrlCreditIn(inj_ctc);
+
+        Channel<Flit>* ej = flit_ch("ej:" + tag, 1);
+        routers_[node]->connectDataOut(kLocal, ej);
+        sink_->addChannel(ej);
+    }
+
+    probe_ = std::make_unique<Probe>(*this);
+    fullness_.setThreshold(1.0);
+
+    for (auto& source : sources_)
+        kernel_.add(source.get());
+    for (auto& router : routers_)
+        kernel_.add(router.get());
+    kernel_.add(sink_.get());
+    kernel_.add(probe_.get());
+}
+
+void
+FrNetwork::Probe::tick(Cycle now)
+{
+    if (!net_.sampling_)
+        return;
+    // The paper tracks "a specific buffer pool of a router in the
+    // middle of the mesh"; we watch the middle router's West input.
+    FrRouter& router = *net_.routers_[net_.middle_node_];
+    const BufferPool& pool = router.inputTable(kWest).pool();
+    net_.occupancy_.sample(now, static_cast<double>(pool.usedCount()));
+    net_.fullness_.sample(now, pool.full() ? 1.0 : 0.0);
+}
+
+double
+FrNetwork::avgSourceQueue() const
+{
+    double total = 0.0;
+    for (const auto& source : sources_)
+        total += source->queueLength();
+    return total / static_cast<double>(sources_.size());
+}
+
+void
+FrNetwork::setGenerating(bool on)
+{
+    for (auto& source : sources_)
+        source->setGenerating(on);
+}
+
+void
+FrNetwork::startOccupancySampling()
+{
+    sampling_ = true;
+    occupancy_.reset(kernel_.now());
+    fullness_.reset(kernel_.now());
+}
+
+double
+FrNetwork::middlePoolFullFraction() const
+{
+    return fullness_.atOrAboveFraction();
+}
+
+double
+FrNetwork::middlePoolAvgOccupancy() const
+{
+    return occupancy_.average();
+}
+
+double
+FrNetwork::avgControlLead() const
+{
+    Accumulator merged;
+    for (const auto& router : routers_)
+        merged.merge(router->controlLeadAtDestination());
+    return merged.mean();
+}
+
+std::int64_t
+FrNetwork::totalBypasses() const
+{
+    std::int64_t total = 0;
+    for (const auto& router : routers_) {
+        for (PortId port = 0; port < kNumPorts; ++port)
+            total += router->inputTable(port).bypasses();
+    }
+    return total;
+}
+
+std::int64_t
+FrNetwork::totalDropped() const
+{
+    std::int64_t total = 0;
+    for (const auto& router : routers_)
+        total += router->dataFlitsDropped();
+    return total;
+}
+
+std::int64_t
+FrNetwork::totalLostArrivals() const
+{
+    std::int64_t total = 0;
+    for (const auto& router : routers_) {
+        for (PortId port = 0; port < kNumPorts; ++port)
+            total += router->inputTable(port).lostArrivals();
+    }
+    return total;
+}
+
+std::int64_t
+FrNetwork::totalParked() const
+{
+    std::int64_t total = 0;
+    for (const auto& router : routers_) {
+        for (PortId port = 0; port < kNumPorts; ++port)
+            total += router->inputTable(port).parkedTotal();
+    }
+    return total;
+}
+
+}  // namespace frfc

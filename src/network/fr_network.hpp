@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Fully-assembled flit-reservation network (the paper's contribution).
+ *
+ * Config keys in addition to the common ones (see VcNetwork):
+ *   data_buffers (6)       b_d per input pool (FR6; 13 for FR13)
+ *   ctrl_vcs (2)           v_c control virtual channels
+ *   ctrl_vc_depth (3)      control buffers per control VC
+ *   horizon (32)           scheduling horizon s
+ *   ctrl_width (2)         control flits per link per cycle
+ *   ctrl_link_latency (1)  control and credit wire delay
+ *   data_link_latency (4)  data wire delay (1 in leading-control mode)
+ *   flits_per_ctrl (1)     d, data flits led per control flit
+ *   lead_time (0)          leading control: defer data N cycles
+ *   all_or_nothing (false) Section 5 scheduling ablation
+ *   speedup (1)            departures per input per cycle (footnote 7)
+ */
+
+#ifndef FRFC_NETWORK_FR_NETWORK_HPP
+#define FRFC_NETWORK_FR_NETWORK_HPP
+
+#include <memory>
+#include <vector>
+
+#include "frfc/fr_router.hpp"
+#include "frfc/fr_source.hpp"
+#include "network/ejection_sink.hpp"
+#include "network/network.hpp"
+#include "routing/routing.hpp"
+#include "stats/time_average.hpp"
+#include "topology/topology.hpp"
+#include "traffic/generator.hpp"
+#include "traffic/pattern.hpp"
+
+namespace frfc {
+
+/** Builds and owns every component of a flit-reservation network. */
+class FrNetwork : public NetworkModel
+{
+  public:
+    explicit FrNetwork(const Config& cfg);
+
+    const Topology& topology() const override { return *topo_; }
+    double capacity() const override { return topo_->uniformCapacity(); }
+    double offeredLoad() const override { return offered_; }
+    double avgSourceQueue() const override;
+    void setGenerating(bool on) override;
+    double middlePoolFullFraction() const override;
+    double middlePoolAvgOccupancy() const override;
+    void startOccupancySampling() override;
+    std::int64_t flitsForwarded(NodeId node, PortId port) const override
+    {
+        return routers_[static_cast<std::size_t>(node)]->flitsForwarded(
+            port);
+    }
+    std::string scheme() const override { return "fr"; }
+
+    /** Mean control-flit lead over data at destinations (cycles). */
+    double avgControlLead() const;
+
+    /** Total data-flit bypasses (arrive, depart next cycle). */
+    std::int64_t totalBypasses() const;
+
+    /** Total flits that arrived before their control flit. */
+    std::int64_t totalParked() const;
+
+    /** Flits discarded by fault injection (error-recovery study). */
+    std::int64_t totalDropped() const;
+
+    /** Reservations that executed vacuously after a loss. */
+    std::int64_t totalLostArrivals() const;
+
+    /** Direct access for tests. */
+    FrRouter& router(NodeId node) { return *routers_[node]; }
+    FrSource& source(NodeId node) { return *sources_[node]; }
+    const FrParams& params() const { return params_; }
+
+  private:
+    class Probe : public Clocked
+    {
+      public:
+        Probe(FrNetwork& net) : Clocked("probe"), net_(net) {}
+        void tick(Cycle now) override;
+
+      private:
+        FrNetwork& net_;
+    };
+
+    std::unique_ptr<Topology> topo_;
+    std::unique_ptr<RoutingFunction> routing_;
+    std::unique_ptr<TrafficPattern> pattern_;
+    double offered_ = 0.0;
+    FrParams params_;
+
+    std::vector<std::unique_ptr<PacketGenerator>> generators_;
+    std::vector<std::unique_ptr<FrSource>> sources_;
+    std::vector<std::unique_ptr<FrRouter>> routers_;
+    std::unique_ptr<EjectionSink> sink_;
+    std::unique_ptr<Probe> probe_;
+
+    std::vector<std::unique_ptr<Channel<Flit>>> flit_channels_;
+    std::vector<std::unique_ptr<Channel<ControlFlit>>> ctrl_channels_;
+    std::vector<std::unique_ptr<Channel<FrCredit>>> fr_credit_channels_;
+    std::vector<std::unique_ptr<Channel<Credit>>> ctrl_credit_channels_;
+
+    NodeId middle_node_ = 0;
+    bool sampling_ = false;
+    TimeAverage occupancy_;
+    TimeAverage fullness_;
+};
+
+}  // namespace frfc
+
+#endif  // FRFC_NETWORK_FR_NETWORK_HPP

@@ -1,0 +1,20 @@
+#include "network/network.hpp"
+
+#include "common/log.hpp"
+#include "network/fr_network.hpp"
+#include "network/vc_network.hpp"
+
+namespace frfc {
+
+std::unique_ptr<NetworkModel>
+makeNetwork(const Config& cfg)
+{
+    const std::string scheme = cfg.getString("scheme", "vc");
+    if (scheme == "vc")
+        return std::make_unique<VcNetwork>(cfg);
+    if (scheme == "fr")
+        return std::make_unique<FrNetwork>(cfg);
+    fatal("unknown scheme '", scheme, "' (expected vc or fr)");
+}
+
+}  // namespace frfc

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Network model base: a fully-assembled simulated network (topology,
+ * routers, sources, sink, channels) behind one interface the
+ * measurement harness can drive.
+ */
+
+#ifndef FRFC_NETWORK_NETWORK_HPP
+#define FRFC_NETWORK_NETWORK_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/config.hpp"
+#include "common/types.hpp"
+#include "proto/packet_registry.hpp"
+#include "sim/kernel.hpp"
+
+namespace frfc {
+
+class Topology;
+
+/** A runnable network: kernel + endpoints + registry. */
+class NetworkModel
+{
+  public:
+    virtual ~NetworkModel() = default;
+
+    Kernel& kernel() { return kernel_; }
+    PacketRegistry& registry() { return registry_; }
+    const PacketRegistry& registry() const { return registry_; }
+
+    /** Topology of this network. */
+    virtual const Topology& topology() const = 0;
+
+    /** 100%-capacity injection bandwidth, flits/node/cycle. */
+    virtual double capacity() const = 0;
+
+    /** Offered load in flits/node/cycle. */
+    virtual double offeredLoad() const = 0;
+
+    /** Mean source queue length across nodes (warm-up signal). */
+    virtual double avgSourceQueue() const = 0;
+
+    /** Enable/disable packet generation at every source. */
+    virtual void setGenerating(bool on) = 0;
+
+    /**
+     * Fraction of observed cycles during which a middle router's input
+     * buffer pools were completely full (Section 4.2 statistic).
+     * Sampling starts after startOccupancySampling().
+     */
+    virtual double middlePoolFullFraction() const = 0;
+    virtual double middlePoolAvgOccupancy() const = 0;
+    virtual void startOccupancySampling() = 0;
+
+    /** Scheme name for reports ("vc", "fr", ...). */
+    virtual std::string scheme() const = 0;
+
+    /** Data flits forwarded through output @p port of @p node. */
+    virtual std::int64_t flitsForwarded(NodeId node,
+                                        PortId port) const = 0;
+
+  protected:
+    Kernel kernel_;
+    PacketRegistry registry_;
+};
+
+/**
+ * Build a network from a Config. Key "scheme" selects:
+ *   vc        virtual-channel flow control (default); num_vcs = 1
+ *             models wormhole flow control
+ *   fr        flit-reservation flow control
+ * See VcNetwork / FrNetwork for the full key set.
+ */
+std::unique_ptr<NetworkModel> makeNetwork(const Config& cfg);
+
+}  // namespace frfc
+
+#endif  // FRFC_NETWORK_NETWORK_HPP

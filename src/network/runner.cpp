@@ -1,0 +1,114 @@
+#include "network/runner.hpp"
+
+#include "common/config.hpp"
+#include "common/log.hpp"
+#include "network/network.hpp"
+#include "stats/histogram.hpp"
+#include "stats/warmup.hpp"
+#include "topology/topology.hpp"
+
+namespace frfc {
+
+RunOptions
+RunOptions::fromConfig(const Config& cfg)
+{
+    return fromConfig(cfg, RunOptions{});
+}
+
+RunOptions
+RunOptions::fromConfig(const Config& cfg, const RunOptions& base)
+{
+    RunOptions opt = base;
+    opt.samplePackets = cfg.getInt("run.sample_packets",
+                                   opt.samplePackets);
+    opt.minWarmup = cfg.getInt("run.min_warmup", opt.minWarmup);
+    opt.maxWarmup = cfg.getInt("run.max_warmup", opt.maxWarmup);
+    opt.maxCycles = cfg.getInt("run.max_cycles", opt.maxCycles);
+    opt.warmupWindow = static_cast<int>(
+        cfg.getInt("run.warmup_window", opt.warmupWindow));
+    opt.warmupTolerance = cfg.getDouble("run.warmup_tolerance",
+                                        opt.warmupTolerance);
+    opt.trackOccupancy = cfg.getBool("run.track_occupancy",
+                                     opt.trackOccupancy);
+    return opt;
+}
+
+RunOptions
+RunOptions::quick()
+{
+    RunOptions opt;
+    opt.samplePackets = 2000;
+    opt.minWarmup = 2000;
+    opt.maxWarmup = 6000;
+    opt.maxCycles = 120000;
+    return opt;
+}
+
+RunResult
+runMeasurement(NetworkModel& net, const RunOptions& opt)
+{
+    Kernel& kernel = net.kernel();
+    PacketRegistry& registry = net.registry();
+
+    // Phase 1 — warm-up: run until the average source queue length has
+    // stabilized, at least minWarmup cycles (paper protocol).
+    WarmupDetector detector(opt.minWarmup, opt.warmupWindow,
+                            opt.warmupTolerance);
+    while (!detector.stable() && kernel.now() < opt.maxWarmup) {
+        kernel.run(1);
+        detector.sample(kernel.now(), net.avgSourceQueue());
+    }
+    const Cycle warmup_end = kernel.now();
+
+    // Phase 2 — measurement: tag the next samplePackets created packets
+    // and run until all of them have been delivered.
+    registry.startSampling(opt.samplePackets);
+    if (opt.trackOccupancy)
+        net.startOccupancySampling();
+    const std::int64_t flits_before = registry.flitsDelivered();
+    const Cycle measure_start = kernel.now();
+
+    const bool complete = kernel.runUntil(
+        [&registry] { return registry.sampleFullyDelivered(); },
+        opt.maxCycles - kernel.now());
+
+    const Cycle end = kernel.now();
+    const double cycles =
+        static_cast<double>(end - measure_start);
+    const double nodes = static_cast<double>(net.topology().numNodes());
+
+    RunResult result;
+    result.offered = net.offeredLoad();
+    result.offeredFraction = net.offeredLoad() / net.capacity();
+    const Accumulator& lat = registry.sampleLatency();
+    result.avgLatency = lat.mean();
+    result.ci95 = lat.ci95HalfWidth();
+    result.minLatency = lat.count() > 0 ? lat.min() : 0.0;
+    result.maxLatency = lat.count() > 0 ? lat.max() : 0.0;
+    const Histogram& hist = registry.sampleLatencyHistogram();
+    result.p50Latency = hist.total() > 0 ? hist.quantile(0.5) : 0.0;
+    result.p99Latency = hist.total() > 0 ? hist.quantile(0.99) : 0.0;
+    result.accepted = cycles > 0
+        ? static_cast<double>(registry.flitsDelivered() - flits_before)
+            / (cycles * nodes)
+        : 0.0;
+    result.acceptedFraction = result.accepted / net.capacity();
+    result.complete = complete;
+    result.warmupCycles = warmup_end;
+    result.totalCycles = end;
+    result.packetsDelivered = registry.packetsDelivered();
+    if (opt.trackOccupancy) {
+        result.poolFullFraction = net.middlePoolFullFraction();
+        result.poolAvgOccupancy = net.middlePoolAvgOccupancy();
+    }
+    return result;
+}
+
+RunResult
+runExperiment(const Config& cfg, const RunOptions& opt)
+{
+    auto net = makeNetwork(cfg);
+    return runMeasurement(*net, opt);
+}
+
+}  // namespace frfc

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Measurement protocol, following Section 4 of the paper: warm up until
+ * average source queue lengths stabilize (minimum 10,000 cycles), then
+ * inject a fixed sample of packets and run until all of them have been
+ * received, measuring average latency (with 95% confidence interval)
+ * and accepted throughput.
+ */
+
+#ifndef FRFC_NETWORK_RUNNER_HPP
+#define FRFC_NETWORK_RUNNER_HPP
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace frfc {
+
+class Config;
+class NetworkModel;
+
+/** Knobs of one measured simulation run. */
+struct RunOptions
+{
+    std::int64_t samplePackets = 100000;  ///< paper default
+    Cycle minWarmup = 10000;              ///< paper minimum
+    Cycle maxWarmup = 30000;              ///< give up waiting for stability
+    Cycle maxCycles = 1000000;   ///< total budget; exceeded => saturated
+    int warmupWindow = 200;               ///< cycles per stability window
+    double warmupTolerance = 0.05;        ///< relative window-mean change
+    bool trackOccupancy = false;          ///< Section 4.2 statistic
+
+    /**
+     * Reads run.* keys (run.sample_packets, run.min_warmup, ...);
+     * absent keys keep the values of @p base (paper-scale defaults in
+     * the single-argument form).
+     */
+    static RunOptions fromConfig(const Config& cfg,
+                                 const RunOptions& base);
+    static RunOptions fromConfig(const Config& cfg);
+
+    /** Scaled-down options for smoke tests and quick benches. */
+    static RunOptions quick();
+};
+
+/** Outcome of one measured run. */
+struct RunResult
+{
+    double offered = 0.0;       ///< flits/node/cycle
+    double offeredFraction = 0.0;  ///< of capacity
+    double avgLatency = 0.0;    ///< cycles, mean over the sample
+    double ci95 = 0.0;          ///< 95% CI half-width on the mean
+    double minLatency = 0.0;
+    double maxLatency = 0.0;
+    double p50Latency = 0.0;    ///< median over the sample
+    double p99Latency = 0.0;    ///< tail over the sample
+    double accepted = 0.0;      ///< flits/node/cycle ejected
+    double acceptedFraction = 0.0;  ///< of capacity
+    bool complete = false;      ///< sample delivered within budget
+    Cycle warmupCycles = 0;
+    Cycle totalCycles = 0;
+    std::int64_t packetsDelivered = 0;
+    double poolFullFraction = 0.0;  ///< valid if trackOccupancy
+    double poolAvgOccupancy = 0.0;  ///< valid if trackOccupancy
+};
+
+/** Run the warm-up / sample / drain protocol on @p net. */
+RunResult runMeasurement(NetworkModel& net, const RunOptions& opt);
+
+/**
+ * Convenience: build the network described by @p cfg, run it, return
+ * the result.
+ */
+RunResult runExperiment(const Config& cfg, const RunOptions& opt);
+
+}  // namespace frfc
+
+#endif  // FRFC_NETWORK_RUNNER_HPP

@@ -1,0 +1,187 @@
+#include "network/vc_network.hpp"
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+
+namespace frfc {
+
+namespace {
+
+PortId
+opposite(PortId port)
+{
+    switch (port) {
+      case kEast:
+        return kWest;
+      case kWest:
+        return kEast;
+      case kNorth:
+        return kSouth;
+      case kSouth:
+        return kNorth;
+      default:
+        panic("no opposite for port ", port);
+    }
+}
+
+}  // namespace
+
+VcNetwork::VcNetwork(const Config& cfg)
+{
+    topo_ = makeTopology(cfg);
+    routing_ = makeRouting(cfg, *topo_);
+    pattern_ = makePattern(cfg, *topo_);
+    offered_ = cfg.getDouble("offered", 0.5) * capacity();
+
+    const auto seed = static_cast<std::uint64_t>(cfg.getInt("seed", 1));
+    const Cycle data_lat = cfg.getInt("data_link_latency", 4);
+    const Cycle credit_lat = cfg.getInt("credit_link_latency", 1);
+
+    VcRouterParams params;
+    params.numVcs = static_cast<int>(cfg.getInt("num_vcs", 2));
+    params.vcDepth = static_cast<int>(cfg.getInt("vc_depth", 4));
+    params.sharedPool = cfg.getBool("shared_pool", false);
+    const std::string forwarding =
+        cfg.getString("forwarding", "flit");
+    if (forwarding == "flit") {
+        params.forwarding = Forwarding::kFlit;
+    } else if (forwarding == "cut_through") {
+        params.forwarding = Forwarding::kCutThrough;
+    } else if (forwarding == "store_and_forward") {
+        params.forwarding = Forwarding::kStoreAndForward;
+    } else {
+        fatal("unknown forwarding '", forwarding,
+              "' (flit, cut_through, or store_and_forward)");
+    }
+    if (params.forwarding != Forwarding::kFlit
+        && cfg.getInt("packet_length", 5) > params.vcDepth) {
+        fatal("packet-granular forwarding needs vc_depth >= "
+              "packet_length (", cfg.getInt("packet_length", 5),
+              " flits)");
+    }
+
+    const int n = topo_->numNodes();
+    middle_node_ = topo_->nodeAt(topo_->sizeX() / 2, topo_->sizeY() / 2);
+    sink_ = std::make_unique<EjectionSink>("sink", &registry_);
+
+    generators_ = makeGenerators(cfg, *topo_, pattern_.get(), offered_);
+    for (NodeId node = 0; node < n; ++node) {
+        routers_.push_back(std::make_unique<VcRouter>(
+            "router" + std::to_string(node), node, *routing_, params,
+            Rng(seed, 0x1000 + static_cast<std::uint64_t>(node))));
+        sources_.push_back(std::make_unique<VcSource>(
+            "source" + std::to_string(node), node,
+            generators_[static_cast<std::size_t>(node)].get(),
+            &registry_, params.numVcs, params.vcDepth, params.sharedPool,
+            Rng(seed, 0x2000 + static_cast<std::uint64_t>(node))));
+    }
+
+    auto make_flit_channel = [this](std::string name, Cycle lat) {
+        flit_channels_.push_back(
+            std::make_unique<Channel<Flit>>(std::move(name), lat, 1));
+        return flit_channels_.back().get();
+    };
+    auto make_credit_channel = [this](std::string name, Cycle lat) {
+        // A router can in principle free several buffers of one
+        // neighbor per cycle only through distinct VCs; one grant per
+        // input port per cycle bounds it to 1, but the local port's
+        // grant can coincide — width 2 is safely conservative.
+        credit_channels_.push_back(
+            std::make_unique<Channel<Credit>>(std::move(name), lat, 2));
+        return credit_channels_.back().get();
+    };
+
+    // Inter-router links.
+    for (NodeId node = 0; node < n; ++node) {
+        for (PortId port = kEast; port <= kSouth; ++port) {
+            const NodeId peer = topo_->neighbor(node, port);
+            if (peer == kInvalidNode)
+                continue;
+            const std::string tag =
+                std::to_string(node) + "->" + std::to_string(peer);
+            Channel<Flit>* data = make_flit_channel("d:" + tag, data_lat);
+            routers_[node]->connectDataOut(port, data);
+            routers_[peer]->connectDataIn(opposite(port), data);
+            Channel<Credit>* credit =
+                make_credit_channel("c:" + tag, credit_lat);
+            routers_[peer]->connectCreditOut(opposite(port), credit);
+            routers_[node]->connectCreditIn(port, credit);
+        }
+    }
+
+    // Injection and ejection.
+    for (NodeId node = 0; node < n; ++node) {
+        const std::string tag = std::to_string(node);
+        Channel<Flit>* inj = make_flit_channel("inj:" + tag, 1);
+        sources_[node]->connectDataOut(inj);
+        routers_[node]->connectDataIn(kLocal, inj);
+        Channel<Credit>* inj_cr = make_credit_channel("injc:" + tag, 1);
+        routers_[node]->connectCreditOut(kLocal, inj_cr);
+        sources_[node]->connectCreditIn(inj_cr);
+
+        Channel<Flit>* ej = make_flit_channel("ej:" + tag, 1);
+        routers_[node]->connectDataOut(kLocal, ej);
+        sink_->addChannel(ej);
+    }
+
+    probe_ = std::make_unique<Probe>(*this);
+    fullness_.setThreshold(1.0);
+
+    for (auto& source : sources_)
+        kernel_.add(source.get());
+    for (auto& router : routers_)
+        kernel_.add(router.get());
+    kernel_.add(sink_.get());
+    kernel_.add(probe_.get());
+}
+
+void
+VcNetwork::Probe::tick(Cycle now)
+{
+    if (!net_.sampling_)
+        return;
+    // Matches the FR probe: one specific input pool of a middle router.
+    VcRouter& router = *net_.routers_[net_.middle_node_];
+    const int buffered = router.bufferedFlits(kWest);
+    net_.occupancy_.sample(now, static_cast<double>(buffered));
+    net_.fullness_.sample(
+        now, buffered >= router.bufferCapacity() ? 1.0 : 0.0);
+}
+
+double
+VcNetwork::avgSourceQueue() const
+{
+    double total = 0.0;
+    for (const auto& source : sources_)
+        total += source->queueLength();
+    return total / static_cast<double>(sources_.size());
+}
+
+void
+VcNetwork::setGenerating(bool on)
+{
+    for (auto& source : sources_)
+        source->setGenerating(on);
+}
+
+void
+VcNetwork::startOccupancySampling()
+{
+    sampling_ = true;
+    occupancy_.reset(kernel_.now());
+    fullness_.reset(kernel_.now());
+}
+
+double
+VcNetwork::middlePoolFullFraction() const
+{
+    return fullness_.atOrAboveFraction();
+}
+
+double
+VcNetwork::middlePoolAvgOccupancy() const
+{
+    return occupancy_.average();
+}
+
+}  // namespace frfc

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Fully-assembled virtual-channel network (the paper's baseline).
+ *
+ * Config keys (defaults in parentheses):
+ *   topology (mesh), size_x (8), size_y (8), routing (xy)
+ *   traffic (uniform), injection (bernoulli), seed (1)
+ *   packet_length (5)
+ *   offered (0.5)            offered load as a fraction of capacity
+ *   num_vcs (2), vc_depth (4), shared_pool (false)
+ *   data_link_latency (4), credit_link_latency (1)
+ */
+
+#ifndef FRFC_NETWORK_VC_NETWORK_HPP
+#define FRFC_NETWORK_VC_NETWORK_HPP
+
+#include <memory>
+#include <vector>
+
+#include "network/ejection_sink.hpp"
+#include "network/network.hpp"
+#include "routing/routing.hpp"
+#include "stats/time_average.hpp"
+#include "topology/topology.hpp"
+#include "traffic/generator.hpp"
+#include "traffic/pattern.hpp"
+#include "vc/vc_router.hpp"
+#include "vc/vc_source.hpp"
+
+namespace frfc {
+
+/** Builds and owns every component of a VC-flow-control network. */
+class VcNetwork : public NetworkModel
+{
+  public:
+    explicit VcNetwork(const Config& cfg);
+
+    const Topology& topology() const override { return *topo_; }
+    double capacity() const override { return topo_->uniformCapacity(); }
+    double offeredLoad() const override { return offered_; }
+    double avgSourceQueue() const override;
+    void setGenerating(bool on) override;
+    double middlePoolFullFraction() const override;
+    double middlePoolAvgOccupancy() const override;
+    void startOccupancySampling() override;
+    std::int64_t flitsForwarded(NodeId node, PortId port) const override
+    {
+        return routers_[static_cast<std::size_t>(node)]->flitsForwarded(
+            port);
+    }
+    std::string scheme() const override { return "vc"; }
+
+    /** Direct access for tests. */
+    VcRouter& router(NodeId node) { return *routers_[node]; }
+    VcSource& source(NodeId node) { return *sources_[node]; }
+
+  private:
+    /** Samples middle-router occupancy each cycle. */
+    class Probe : public Clocked
+    {
+      public:
+        Probe(VcNetwork& net) : Clocked("probe"), net_(net) {}
+        void tick(Cycle now) override;
+
+      private:
+        VcNetwork& net_;
+    };
+
+    std::unique_ptr<Topology> topo_;
+    std::unique_ptr<RoutingFunction> routing_;
+    std::unique_ptr<TrafficPattern> pattern_;
+    double offered_ = 0.0;
+
+    std::vector<std::unique_ptr<PacketGenerator>> generators_;
+    std::vector<std::unique_ptr<VcSource>> sources_;
+    std::vector<std::unique_ptr<VcRouter>> routers_;
+    std::unique_ptr<EjectionSink> sink_;
+    std::unique_ptr<Probe> probe_;
+
+    std::vector<std::unique_ptr<Channel<Flit>>> flit_channels_;
+    std::vector<std::unique_ptr<Channel<Credit>>> credit_channels_;
+
+    NodeId middle_node_ = 0;
+    bool sampling_ = false;
+    TimeAverage occupancy_;   ///< middle router total buffered flits
+    TimeAverage fullness_;    ///< 1.0 when a directional pool is full
+};
+
+}  // namespace frfc
+
+#endif  // FRFC_NETWORK_VC_NETWORK_HPP

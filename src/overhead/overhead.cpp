@@ -1,0 +1,94 @@
+#include "overhead/overhead.hpp"
+
+#include "common/log.hpp"
+
+namespace frfc {
+
+int
+ceilLog2(int n)
+{
+    FRFC_ASSERT(n >= 1, "ceilLog2 requires n >= 1");
+    int bits = 0;
+    int v = 1;
+    while (v < n) {
+        v *= 2;
+        ++bits;
+    }
+    return bits;
+}
+
+VcStorage
+computeVcStorage(const VcStorageParams& p)
+{
+    VcStorage s;
+    // Each data flit is padded with a VC identifier and a type field.
+    s.dataBufferBits = static_cast<long>(p.flitBits + ceilLog2(p.numVcs)
+                                         + p.typeBits)
+        * p.dataBuffers * p.ports;
+    // Head/tail pointer per VC queue.
+    s.queuePointerBits =
+        static_cast<long>(2 * ceilLog2(p.dataBuffers) * p.numVcs)
+        * p.ports;
+    // Channel status bit + next-hop free-buffer count, per output VC
+    // (4 network outputs).
+    s.statusBits =
+        static_cast<long>((1 + ceilLog2(p.dataBuffers)) * 4 * p.numVcs);
+    s.totalBits = s.dataBufferBits + s.queuePointerBits + s.statusBits;
+    s.flitsPerInput = static_cast<double>(s.totalBits)
+        / (static_cast<double>(p.ports) * p.flitBits);
+    return s;
+}
+
+FrStorage
+computeFrStorage(const FrStorageParams& p)
+{
+    FrStorage s;
+    // Data buffers hold pure payload: type bits and VC identifiers live
+    // on control flits instead.
+    s.dataBufferBits =
+        static_cast<long>(p.flitBits) * p.dataBuffers * p.ports;
+    // A control flit: control VCID + type + d arrival timestamps.
+    s.ctrlBufferBits = static_cast<long>(ceilLog2(p.ctrlVcs) + p.typeBits
+                                         + p.flitsPerCtrl
+                                             * ceilLog2(p.horizon))
+        * p.ctrlBuffers * p.ports;
+    s.queuePointerBits =
+        static_cast<long>(2 * ceilLog2(p.ctrlBuffers) * p.ctrlVcs)
+        * p.ports;
+    // Output reservation table: busy bit + buffer count per slot, per
+    // network output, archived over the horizon.
+    s.outputTableBits =
+        static_cast<long>((1 + ceilLog2(p.dataBuffers)) * p.horizon * 4);
+    // Input reservation table per port: per slot a flit-arriving bit,
+    // a departure time, an output selector (2 bits for 4 candidates),
+    // and buffer-in/buffer-out indices; plus the pool occupancy bits.
+    s.inputTableBits = static_cast<long>(
+        (1 + ceilLog2(p.horizon) + 2 + 2 * ceilLog2(p.dataBuffers))
+            * p.horizon
+        + p.ctrlBuffers) * p.ports;
+    s.totalBits = s.dataBufferBits + s.ctrlBufferBits
+        + s.queuePointerBits + s.outputTableBits + s.inputTableBits;
+    s.flitsPerInput = static_cast<double>(s.totalBits)
+        / (static_cast<double>(p.ports) * p.flitBits);
+    return s;
+}
+
+double
+vcBandwidthOverhead(int dest_bits, int length, int num_vcs)
+{
+    return static_cast<double>(dest_bits) / length + ceilLog2(num_vcs);
+}
+
+double
+frBandwidthOverhead(int dest_bits, int length, int ctrl_vcs,
+                    int flits_per_ctrl, int horizon)
+{
+    // Control flits carry the VCID; there are 1 + (L-1)/d of them per
+    // L-data-flit packet. Every data flit costs one arrival timestamp.
+    const double ctrl_flits =
+        1.0 + static_cast<double>(length - 1) / flits_per_ctrl;
+    return static_cast<double>(dest_bits) / length
+        + ceilLog2(ctrl_vcs) * ctrl_flits / length + ceilLog2(horizon);
+}
+
+}  // namespace frfc

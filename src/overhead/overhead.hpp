@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Analytical storage and bandwidth overhead models — the formulas of
+ * Tables 1 and 2 of the paper. These justify the experimental pairings
+ * (FR6 vs VC8, FR13 vs VC16): configurations are chosen so both flow
+ * control methods spend approximately the same storage per node.
+ *
+ * Fractional logarithms are rounded up to whole bits (a 6-entry pool
+ * needs 3-bit indices), matching the paper's arithmetic.
+ */
+
+#ifndef FRFC_OVERHEAD_OVERHEAD_HPP
+#define FRFC_OVERHEAD_OVERHEAD_HPP
+
+namespace frfc {
+
+/** ceil(log2(n)) for n >= 1. */
+int ceilLog2(int n);
+
+/** Inputs of the virtual-channel storage model. */
+struct VcStorageParams
+{
+    int flitBits = 256;   ///< f: data flit payload width
+    int typeBits = 2;     ///< t: head/body/tail tag
+    int numVcs = 2;       ///< v_d
+    int dataBuffers = 8;  ///< b_d (total per input)
+    int ports = 5;        ///< router radix
+};
+
+/** Per-node storage of virtual-channel flow control (Table 1). */
+struct VcStorage
+{
+    long dataBufferBits = 0;
+    long queuePointerBits = 0;
+    long statusBits = 0;  ///< channel status + next-hop buffer counts
+    long totalBits = 0;
+    double flitsPerInput = 0.0;  ///< overhead expressed in flit units
+};
+
+VcStorage computeVcStorage(const VcStorageParams& p);
+
+/** Inputs of the flit-reservation storage model. */
+struct FrStorageParams
+{
+    int flitBits = 256;    ///< f
+    int typeBits = 2;      ///< t
+    int flitsPerCtrl = 1;  ///< d
+    int horizon = 32;      ///< s
+    int ctrlVcs = 2;       ///< v_c
+    int ctrlBuffers = 6;   ///< b_c (total per input)
+    int dataBuffers = 6;   ///< b_d (per input pool)
+    int ports = 5;         ///< router radix
+};
+
+/** Per-node storage of flit-reservation flow control (Table 1). */
+struct FrStorage
+{
+    long dataBufferBits = 0;
+    long ctrlBufferBits = 0;
+    long queuePointerBits = 0;
+    long outputTableBits = 0;
+    long inputTableBits = 0;
+    long totalBits = 0;
+    double flitsPerInput = 0.0;
+};
+
+FrStorage computeFrStorage(const FrStorageParams& p);
+
+/**
+ * Bandwidth overhead per data flit in bits (Table 2).
+ * @param dest_bits   n, destination field width
+ * @param length      L, packet length in flits
+ */
+double vcBandwidthOverhead(int dest_bits, int length, int num_vcs);
+double frBandwidthOverhead(int dest_bits, int length, int ctrl_vcs,
+                           int flits_per_ctrl, int horizon);
+
+}  // namespace frfc
+
+#endif  // FRFC_OVERHEAD_OVERHEAD_HPP

@@ -1,0 +1,53 @@
+#include "proto/arbiter.hpp"
+
+#include "common/log.hpp"
+
+namespace frfc {
+
+int
+RandomArbiter::pick(const std::vector<bool>& requests)
+{
+    int live = 0;
+    for (bool r : requests)
+        live += r ? 1 : 0;
+    if (live == 0)
+        return -1;
+    auto target = static_cast<int>(
+        rng_.nextBounded(static_cast<std::uint64_t>(live)));
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        if (!requests[i])
+            continue;
+        if (target == 0)
+            return static_cast<int>(i);
+        --target;
+    }
+    panic("random arbiter fell off the end");
+}
+
+int
+RoundRobinArbiter::pick(const std::vector<bool>& requests)
+{
+    const std::size_t n = requests.size();
+    if (n == 0)
+        return -1;
+    for (std::size_t off = 0; off < n; ++off) {
+        const std::size_t idx = (next_ + off) % n;
+        if (requests[idx]) {
+            next_ = (idx + 1) % n;
+            return static_cast<int>(idx);
+        }
+    }
+    return -1;
+}
+
+std::unique_ptr<Arbiter>
+makeArbiter(const std::string& kind, Rng rng)
+{
+    if (kind == "random")
+        return std::make_unique<RandomArbiter>(rng);
+    if (kind == "roundrobin")
+        return std::make_unique<RoundRobinArbiter>();
+    fatal("unknown arbiter kind '", kind, "'");
+}
+
+}  // namespace frfc

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Single-winner arbiters.
+ *
+ * The paper's simulated network "uses random arbitration"; a
+ * round-robin arbiter is provided as an alternative for experiments.
+ */
+
+#ifndef FRFC_PROTO_ARBITER_HPP
+#define FRFC_PROTO_ARBITER_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace frfc {
+
+/** Picks one winner among simultaneous requestors. */
+class Arbiter
+{
+  public:
+    virtual ~Arbiter() = default;
+
+    /**
+     * Pick a winner among indices with requests[i] == true.
+     * @return winning index, or -1 if nobody requested.
+     */
+    virtual int pick(const std::vector<bool>& requests) = 0;
+
+    virtual std::string describe() const = 0;
+};
+
+/** Uniform random choice among requestors. */
+class RandomArbiter : public Arbiter
+{
+  public:
+    explicit RandomArbiter(Rng rng) : rng_(rng) {}
+    int pick(const std::vector<bool>& requests) override;
+    std::string describe() const override { return "random"; }
+
+  private:
+    Rng rng_;
+};
+
+/** Rotating-priority choice; the winner gets lowest priority next time. */
+class RoundRobinArbiter : public Arbiter
+{
+  public:
+    RoundRobinArbiter() = default;
+    int pick(const std::vector<bool>& requests) override;
+    std::string describe() const override { return "round-robin"; }
+
+  private:
+    std::size_t next_ = 0;
+};
+
+/** Build an arbiter: kind = "random" or "roundrobin". */
+std::unique_ptr<Arbiter> makeArbiter(const std::string& kind, Rng rng);
+
+}  // namespace frfc
+
+#endif  // FRFC_PROTO_ARBITER_HPP

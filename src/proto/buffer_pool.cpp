@@ -1,0 +1,75 @@
+#include "proto/buffer_pool.hpp"
+
+#include "common/log.hpp"
+
+namespace frfc {
+
+BufferPool::BufferPool(int capacity)
+    : slots_(static_cast<std::size_t>(capacity)), free_count_(capacity)
+{
+    FRFC_ASSERT(capacity > 0, "buffer pool needs at least one slot");
+}
+
+BufferId
+BufferPool::allocate()
+{
+    if (free_count_ == 0)
+        return kInvalidBuffer;
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+        if (!slots_[i].allocated) {
+            slots_[i].allocated = true;
+            slots_[i].valid = false;
+            --free_count_;
+            return static_cast<BufferId>(i);
+        }
+    }
+    panic("free_count_ disagrees with occupancy bits");
+}
+
+void
+BufferPool::write(BufferId id, const Flit& flit)
+{
+    FRFC_ASSERT(id >= 0 && id < capacity(), "bad buffer id ", id);
+    Slot& slot = slots_[static_cast<std::size_t>(id)];
+    FRFC_ASSERT(slot.allocated, "write to unallocated buffer ", id);
+    FRFC_ASSERT(!slot.valid, "overwrite of occupied buffer ", id);
+    slot.flit = flit;
+    slot.valid = true;
+}
+
+const Flit&
+BufferPool::read(BufferId id) const
+{
+    FRFC_ASSERT(id >= 0 && id < capacity(), "bad buffer id ", id);
+    const Slot& slot = slots_[static_cast<std::size_t>(id)];
+    FRFC_ASSERT(slot.valid, "read of empty buffer ", id);
+    return slot.flit;
+}
+
+Flit
+BufferPool::consume(BufferId id)
+{
+    Flit flit = read(id);
+    release(id);
+    return flit;
+}
+
+void
+BufferPool::release(BufferId id)
+{
+    FRFC_ASSERT(id >= 0 && id < capacity(), "bad buffer id ", id);
+    Slot& slot = slots_[static_cast<std::size_t>(id)];
+    FRFC_ASSERT(slot.allocated, "double release of buffer ", id);
+    slot.allocated = false;
+    slot.valid = false;
+    ++free_count_;
+}
+
+bool
+BufferPool::occupied(BufferId id) const
+{
+    FRFC_ASSERT(id >= 0 && id < capacity(), "bad buffer id ", id);
+    return slots_[static_cast<std::size_t>(id)].allocated;
+}
+
+}  // namespace frfc

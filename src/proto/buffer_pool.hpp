@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Shared flit buffer pool with explicit occupancy, as used by the data
+ * plane of flit-reservation flow control (Section 5, "Buffer pool versus
+ * distinct buffer queues") and by the shared-pool VC variant [TamFra92].
+ */
+
+#ifndef FRFC_PROTO_BUFFER_POOL_HPP
+#define FRFC_PROTO_BUFFER_POOL_HPP
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "proto/flit.hpp"
+
+namespace frfc {
+
+/**
+ * Fixed-size pool of flit buffers. Allocation returns the lowest free
+ * slot; occupancy bits are exposed for statistics.
+ */
+class BufferPool
+{
+  public:
+    explicit BufferPool(int capacity);
+
+    /** Claim a free buffer; kInvalidBuffer if the pool is full. */
+    BufferId allocate();
+
+    /** Store @p flit into buffer @p id (must be allocated). */
+    void write(BufferId id, const Flit& flit);
+
+    /** Read the flit held by @p id (must be occupied). */
+    const Flit& read(BufferId id) const;
+
+    /** Read and free in one step. */
+    Flit consume(BufferId id);
+
+    /** Free buffer @p id without reading. */
+    void release(BufferId id);
+
+    bool occupied(BufferId id) const;
+    int capacity() const { return static_cast<int>(slots_.size()); }
+    int freeCount() const { return free_count_; }
+    int usedCount() const { return capacity() - free_count_; }
+    bool full() const { return free_count_ == 0; }
+
+  private:
+    struct Slot
+    {
+        bool allocated = false;
+        bool valid = false;  ///< flit contents written
+        Flit flit;
+    };
+
+    std::vector<Slot> slots_;
+    int free_count_;
+};
+
+}  // namespace frfc
+
+#endif  // FRFC_PROTO_BUFFER_POOL_HPP

@@ -1,0 +1,27 @@
+#include "proto/flit.hpp"
+
+#include <sstream>
+
+namespace frfc {
+
+std::uint64_t
+Flit::expectedPayload(PacketId id, int seq)
+{
+    // A cheap mix so corrupted routing shows up as a payload mismatch.
+    std::uint64_t v = static_cast<std::uint64_t>(id) * 0x9e3779b97f4a7c15ULL
+        + static_cast<std::uint64_t>(seq) * 0xbf58476d1ce4e5b9ULL;
+    v ^= v >> 29;
+    return v;
+}
+
+std::string
+Flit::toString() const
+{
+    std::ostringstream os;
+    os << "flit(pkt=" << packet << " seq=" << seq << "/" << packetLength
+       << (head ? " H" : "") << (tail ? " T" : "") << " " << src << "->"
+       << dest << " vc=" << vc << ")";
+    return os.str();
+}
+
+}  // namespace frfc

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Flit, packet, and credit message types.
+ *
+ * A Flit carries simulator-side identity (packet id, sequence, payload
+ * checksum) used for verification and statistics. Flow-control logic is
+ * not allowed to steer data flits by these fields under flit-reservation
+ * flow control — there, data flits are identified purely by arrival
+ * time — but the fields let tests prove the schedule delivered the right
+ * bits to the right place.
+ */
+
+#ifndef FRFC_PROTO_FLIT_HPP
+#define FRFC_PROTO_FLIT_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace frfc {
+
+/** A data flit (or, for VC flow control, any flit of a packet). */
+struct Flit
+{
+    PacketId packet = kInvalidPacket;
+    int seq = 0;           ///< flit index within the packet
+    int packetLength = 0;  ///< total flits in the packet
+    bool head = false;
+    bool tail = false;
+    NodeId src = kInvalidNode;
+    NodeId dest = kInvalidNode;
+    VcId vc = kInvalidVc;  ///< VC currently occupied (VC flow control)
+    Cycle created = kInvalidCycle;   ///< packet creation time
+    Cycle injected = kInvalidCycle;  ///< cycle the flit entered the network
+    std::uint64_t payload = 0;       ///< verification payload
+
+    /** Deterministic payload for packet @p id flit @p seq. */
+    static std::uint64_t expectedPayload(PacketId id, int seq);
+
+    std::string toString() const;
+};
+
+/** Credit returned upstream by virtual-channel flow control. */
+struct Credit
+{
+    VcId vc = kInvalidVc;
+};
+
+/**
+ * Timestamped credit used by flit-reservation flow control: the
+ * downstream buffer becomes free from cycle @ref freeFrom onwards
+ * (downstream departure time), letting the upstream output reservation
+ * table increment its future free-buffer counts.
+ */
+struct FrCredit
+{
+    Cycle freeFrom = kInvalidCycle;
+};
+
+}  // namespace frfc
+
+#endif  // FRFC_PROTO_FLIT_HPP

@@ -1,0 +1,79 @@
+#include "proto/packet_registry.hpp"
+
+#include <cstdlib>
+
+#include "common/log.hpp"
+
+namespace frfc {
+
+PacketId
+PacketRegistry::create(NodeId src, NodeId dest, int length, Cycle now)
+{
+    FRFC_ASSERT(length > 0, "packet needs at least one flit");
+    const PacketId id = next_id_++;
+    Record rec;
+    rec.src = src;
+    rec.dest = dest;
+    rec.length = length;
+    rec.created = now;
+    rec.seen.assign(static_cast<std::size_t>(length), false);
+    if (sampling_ && sample_created_ < sample_target_) {
+        rec.sample = true;
+        ++sample_created_;
+    }
+    inflight_.emplace(id, std::move(rec));
+    ++created_;
+    return id;
+}
+
+void
+PacketRegistry::deliverFlit(Cycle now, const Flit& flit)
+{
+    auto it = inflight_.find(flit.packet);
+    FRFC_ASSERT(it != inflight_.end(), "delivery of unknown/duplicate ",
+                flit.toString());
+    Record& rec = it->second;
+    FRFC_ASSERT(flit.seq >= 0 && flit.seq < rec.length,
+                "sequence out of range: ", flit.toString());
+    FRFC_ASSERT(!rec.seen[static_cast<std::size_t>(flit.seq)],
+                "duplicate delivery: ", flit.toString());
+    FRFC_ASSERT(flit.dest == rec.dest, "misdelivered ", flit.toString());
+    FRFC_ASSERT(flit.payload == Flit::expectedPayload(flit.packet,
+                                                      flit.seq),
+                "corrupted payload: ", flit.toString());
+    rec.seen[static_cast<std::size_t>(flit.seq)] = true;
+    ++rec.flitsSeen;
+    ++flits_delivered_;
+
+    if (rec.flitsSeen == rec.length) {
+        if (rec.sample) {
+            sample_latency_.add(static_cast<double>(now - rec.created));
+            sample_hist_.add(static_cast<double>(now - rec.created));
+            ++sample_delivered_;
+        }
+        inflight_.erase(it);
+        ++delivered_;
+    }
+}
+
+void
+PacketRegistry::startSampling(std::int64_t target)
+{
+    FRFC_ASSERT(!sampling_, "sampling already started");
+    sampling_ = true;
+    sample_target_ = target;
+}
+
+bool
+PacketRegistry::sampleFullyCreated() const
+{
+    return sampling_ && sample_created_ >= sample_target_;
+}
+
+bool
+PacketRegistry::sampleFullyDelivered() const
+{
+    return sampleFullyCreated() && sample_delivered_ >= sample_target_;
+}
+
+}  // namespace frfc

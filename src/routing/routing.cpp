@@ -1,0 +1,74 @@
+#include "routing/routing.hpp"
+
+#include "common/config.hpp"
+#include "common/log.hpp"
+#include "topology/topology.hpp"
+#include "topology/torus.hpp"
+
+namespace frfc {
+
+DimensionOrderRouting::DimensionOrderRouting(const Topology& topo,
+                                             bool x_first)
+    : topo_(topo), x_first_(x_first),
+      wraparound_(dynamic_cast<const Torus2D*>(&topo) != nullptr)
+{
+}
+
+PortId
+DimensionOrderRouting::routeX(int cur, int dst, int size, bool wrap) const
+{
+    if (!wrap)
+        return dst > cur ? kEast : kWest;
+    // Torus: go around the shorter way; ties resolve east.
+    const int forward = (dst - cur + size) % size;
+    return forward <= size - forward ? kEast : kWest;
+}
+
+PortId
+DimensionOrderRouting::routeY(int cur, int dst, int size, bool wrap) const
+{
+    if (!wrap)
+        return dst > cur ? kSouth : kNorth;
+    const int forward = (dst - cur + size) % size;
+    return forward <= size - forward ? kSouth : kNorth;
+}
+
+PortId
+DimensionOrderRouting::route(NodeId current, NodeId dest) const
+{
+    FRFC_ASSERT(current >= 0 && current < topo_.numNodes(), "bad node");
+    FRFC_ASSERT(dest >= 0 && dest < topo_.numNodes(), "bad destination");
+    if (current == dest)
+        return kLocal;
+    const int cx = topo_.xOf(current);
+    const int cy = topo_.yOf(current);
+    const int dx = topo_.xOf(dest);
+    const int dy = topo_.yOf(dest);
+    if (x_first_) {
+        if (cx != dx)
+            return routeX(cx, dx, topo_.sizeX(), wraparound_);
+        return routeY(cy, dy, topo_.sizeY(), wraparound_);
+    }
+    if (cy != dy)
+        return routeY(cy, dy, topo_.sizeY(), wraparound_);
+    return routeX(cx, dx, topo_.sizeX(), wraparound_);
+}
+
+std::string
+DimensionOrderRouting::describe() const
+{
+    return x_first_ ? "dimension-ordered XY" : "dimension-ordered YX";
+}
+
+std::unique_ptr<RoutingFunction>
+makeRouting(const Config& cfg, const Topology& topo)
+{
+    const std::string kind = cfg.getString("routing", "xy");
+    if (kind == "xy")
+        return std::make_unique<DimensionOrderRouting>(topo, true);
+    if (kind == "yx")
+        return std::make_unique<DimensionOrderRouting>(topo, false);
+    fatal("unknown routing '", kind, "' (expected xy or yx)");
+}
+
+}  // namespace frfc

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Deterministic routing functions.
+ *
+ * The paper uses deterministic dimension-ordered routing (XY). We also
+ * provide YX ordering as a drop-in alternative for experiments.
+ */
+
+#ifndef FRFC_ROUTING_ROUTING_HPP
+#define FRFC_ROUTING_ROUTING_HPP
+
+#include <memory>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace frfc {
+
+class Config;
+class Topology;
+
+/** Maps (current node, destination) to an output port. */
+class RoutingFunction
+{
+  public:
+    virtual ~RoutingFunction() = default;
+
+    /**
+     * Output port a packet at @p current bound for @p dest should take;
+     * kLocal when current == dest.
+     */
+    virtual PortId route(NodeId current, NodeId dest) const = 0;
+
+    virtual std::string describe() const = 0;
+};
+
+/** Dimension-ordered routing; resolves X first, then Y (or Y first). */
+class DimensionOrderRouting : public RoutingFunction
+{
+  public:
+    /**
+     * @param topo     topology (borrowed; must outlive this object)
+     * @param x_first  true for XY routing, false for YX
+     */
+    DimensionOrderRouting(const Topology& topo, bool x_first = true);
+
+    PortId route(NodeId current, NodeId dest) const override;
+    std::string describe() const override;
+
+  private:
+    PortId routeX(int cur, int dst, int size, bool wrap) const;
+    PortId routeY(int cur, int dst, int size, bool wrap) const;
+
+    const Topology& topo_;
+    bool x_first_;
+    bool wraparound_;
+};
+
+/**
+ * Build a routing function from config keys:
+ *   routing = xy | yx   (default xy)
+ */
+std::unique_ptr<RoutingFunction>
+makeRouting(const Config& cfg, const Topology& topo);
+
+}  // namespace frfc
+
+#endif  // FRFC_ROUTING_ROUTING_HPP

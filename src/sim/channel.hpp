@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Pipelined point-to-point channels.
+ *
+ * A Channel<T> models a wire with a fixed propagation latency L (cycles)
+ * and a per-cycle width W (items accepted per cycle). A value pushed
+ * during cycle t becomes visible to the receiver when it drains the
+ * channel during cycle t + L. Links are fully pipelined: width W is
+ * available every cycle regardless of L.
+ *
+ * This is the only legal communication path between Clocked components;
+ * because L >= 1, component tick order within a cycle cannot matter.
+ */
+
+#ifndef FRFC_SIM_CHANNEL_HPP
+#define FRFC_SIM_CHANNEL_HPP
+
+#include <string>
+#include <vector>
+
+#include "common/log.hpp"
+#include "common/types.hpp"
+
+namespace frfc {
+
+/** Fixed-latency, fixed-width pipelined channel. */
+template <typename T>
+class Channel
+{
+  public:
+    /**
+     * @param name     diagnostic name
+     * @param latency  propagation delay in cycles (>= 1)
+     * @param width    max items accepted per cycle (>= 1)
+     */
+    Channel(std::string name, Cycle latency, int width = 1)
+        : name_(std::move(name)), latency_(latency), width_(width),
+          slots_(static_cast<std::size_t>(latency) + 2)
+    {
+        FRFC_ASSERT(latency >= 1, "channel latency must be >= 1");
+        FRFC_ASSERT(width >= 1, "channel width must be >= 1");
+    }
+
+    /** Push a value during cycle @p now; arrives at @p now + latency. */
+    void
+    push(Cycle now, T value)
+    {
+        Slot& slot = slotAt(now + latency_);
+        FRFC_ASSERT(slot.cycle == now + latency_ || slot.items.empty(),
+                    "channel ", name_, ": slot reused before drain");
+        if (slot.cycle != now + latency_) {
+            slot.cycle = now + latency_;
+            slot.items.clear();
+        }
+        FRFC_ASSERT(static_cast<int>(slot.items.size()) < width_,
+                    "channel ", name_, ": width ", width_,
+                    " exceeded at cycle ", now);
+        slot.items.push_back(std::move(value));
+    }
+
+    /** True if another push during cycle @p now would fit. */
+    bool
+    canPush(Cycle now) const
+    {
+        const Slot& slot = slots_[index(now + latency_)];
+        if (slot.cycle != now + latency_)
+            return true;
+        return static_cast<int>(slot.items.size()) < width_;
+    }
+
+    /** Remove and return everything arriving during cycle @p now. */
+    std::vector<T>
+    drain(Cycle now)
+    {
+        Slot& slot = slotAt(now);
+        if (slot.cycle != now)
+            return {};
+        slot.cycle = kInvalidCycle;
+        return std::move(slot.items);
+    }
+
+    /** True if anything will arrive during cycle @p now. */
+    bool
+    hasArrival(Cycle now) const
+    {
+        const Slot& slot = slots_[index(now)];
+        return slot.cycle == now && !slot.items.empty();
+    }
+
+    Cycle latency() const { return latency_; }
+    int width() const { return width_; }
+    const std::string& name() const { return name_; }
+
+  private:
+    struct Slot
+    {
+        Cycle cycle = kInvalidCycle;
+        std::vector<T> items;
+    };
+
+    std::size_t
+    index(Cycle cycle) const
+    {
+        const auto size = static_cast<Cycle>(slots_.size());
+        Cycle m = cycle % size;
+        if (m < 0)
+            m += size;
+        return static_cast<std::size_t>(m);
+    }
+
+    Slot&
+    slotAt(Cycle cycle)
+    {
+        Slot& slot = slots_[index(cycle)];
+        // Lazily invalidate a stale slot from a previous wrap.
+        if (slot.cycle != cycle && slot.cycle != kInvalidCycle
+            && slot.cycle < cycle) {
+            FRFC_ASSERT(slot.items.empty(), "channel ", name_,
+                        ": undrained items from cycle ", slot.cycle);
+            slot.cycle = kInvalidCycle;
+        }
+        return slot;
+    }
+
+    std::string name_;
+    Cycle latency_;
+    int width_;
+    std::vector<Slot> slots_;
+};
+
+}  // namespace frfc
+
+#endif  // FRFC_SIM_CHANNEL_HPP

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Interface for cycle-stepped components.
+ */
+
+#ifndef FRFC_SIM_CLOCKED_HPP
+#define FRFC_SIM_CLOCKED_HPP
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace frfc {
+
+/**
+ * A component advanced once per simulated clock cycle.
+ *
+ * All inter-component communication flows through Channel objects with a
+ * propagation latency of at least one cycle, so the order in which the
+ * kernel ticks components within a cycle is immaterial.
+ */
+class Clocked
+{
+  public:
+    explicit Clocked(std::string name) : name_(std::move(name)) {}
+    virtual ~Clocked() = default;
+
+    Clocked(const Clocked&) = delete;
+    Clocked& operator=(const Clocked&) = delete;
+
+    /** Advance one cycle: consume channel arrivals, compute, emit. */
+    virtual void tick(Cycle now) = 0;
+
+    /** Hierarchical instance name (for diagnostics). */
+    const std::string& name() const { return name_; }
+
+  private:
+    std::string name_;
+};
+
+}  // namespace frfc
+
+#endif  // FRFC_SIM_CLOCKED_HPP

@@ -1,0 +1,41 @@
+#include "sim/kernel.hpp"
+
+#include "common/log.hpp"
+
+namespace frfc {
+
+void
+Kernel::add(Clocked* component)
+{
+    FRFC_ASSERT(component != nullptr, "null component");
+    components_.push_back(component);
+}
+
+void
+Kernel::step()
+{
+    for (Clocked* component : components_)
+        component->tick(now_);
+    ++now_;
+}
+
+void
+Kernel::run(Cycle cycles)
+{
+    for (Cycle i = 0; i < cycles; ++i)
+        step();
+}
+
+bool
+Kernel::runUntil(const std::function<bool()>& done, Cycle max_cycles)
+{
+    const Cycle limit = now_ + max_cycles;
+    while (now_ < limit) {
+        if (done())
+            return true;
+        step();
+    }
+    return done();
+}
+
+}  // namespace frfc

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Cycle-stepped simulation kernel.
+ */
+
+#ifndef FRFC_SIM_KERNEL_HPP
+#define FRFC_SIM_KERNEL_HPP
+
+#include <functional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/clocked.hpp"
+
+namespace frfc {
+
+/**
+ * Drives a set of Clocked components, one tick per component per cycle.
+ *
+ * The kernel owns only the schedule, not the components; network
+ * assemblies register borrowed pointers whose lifetime they guarantee.
+ */
+class Kernel
+{
+  public:
+    Kernel() = default;
+
+    /** Register a component; ticked every cycle from now on. */
+    void add(Clocked* component);
+
+    /** Current cycle (the cycle about to execute or executing). */
+    Cycle now() const { return now_; }
+
+    /** Execute exactly @p cycles cycles. */
+    void run(Cycle cycles);
+
+    /**
+     * Execute until @p done returns true (checked between cycles) or
+     * @p max_cycles elapse. Returns true if @p done fired.
+     */
+    bool runUntil(const std::function<bool()>& done, Cycle max_cycles);
+
+  private:
+    void step();
+
+    Cycle now_ = 0;
+    std::vector<Clocked*> components_;
+};
+
+}  // namespace frfc
+
+#endif  // FRFC_SIM_KERNEL_HPP

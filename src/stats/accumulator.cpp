@@ -1,0 +1,80 @@
+#include "stats/accumulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace frfc {
+
+void
+Accumulator::add(double sample)
+{
+    ++count_;
+    sum_ += sample;
+    const double delta = sample - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (sample - mean_);
+    min_ = std::min(min_, sample);
+    max_ = std::max(max_, sample);
+}
+
+void
+Accumulator::merge(const Accumulator& other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(count_);
+    const double nb = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    const double total = na + nb;
+    mean_ += delta * nb / total;
+    m2_ += other.m2_ + delta * delta * na * nb / total;
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+void
+Accumulator::reset()
+{
+    *this = Accumulator();
+}
+
+double
+Accumulator::mean() const
+{
+    return count_ > 0 ? mean_ : 0.0;
+}
+
+double
+Accumulator::variance() const
+{
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double
+Accumulator::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+Accumulator::ci95HalfWidth() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return 1.96 * stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+double
+Accumulator::ci95Relative() const
+{
+    const double m = mean();
+    return m != 0.0 ? ci95HalfWidth() / m : 0.0;
+}
+
+}  // namespace frfc

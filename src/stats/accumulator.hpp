@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Streaming sample statistics with confidence intervals.
+ */
+
+#ifndef FRFC_STATS_ACCUMULATOR_HPP
+#define FRFC_STATS_ACCUMULATOR_HPP
+
+#include <cstdint>
+#include <limits>
+
+namespace frfc {
+
+/**
+ * Welford streaming accumulator: mean, variance, min, max, and a normal
+ * approximation 95% confidence half-interval (valid for large n — the
+ * paper's measurements use 100k packets).
+ */
+class Accumulator
+{
+  public:
+    /** Add one sample. */
+    void add(double sample);
+
+    /** Merge another accumulator's samples into this one. */
+    void merge(const Accumulator& other);
+
+    /** Discard all samples. */
+    void reset();
+
+    std::int64_t count() const { return count_; }
+    double mean() const;
+    double variance() const;  ///< unbiased sample variance
+    double stddev() const;
+    double min() const { return min_; }
+    double max() const { return max_; }
+    double sum() const { return sum_; }
+
+    /** Half-width of the 95% confidence interval on the mean. */
+    double ci95HalfWidth() const;
+
+    /** ci95HalfWidth() / mean(), or 0 when mean is 0. */
+    double ci95Relative() const;
+
+  private:
+    std::int64_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace frfc
+
+#endif  // FRFC_STATS_ACCUMULATOR_HPP

@@ -1,0 +1,85 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/log.hpp"
+
+namespace frfc {
+
+Histogram::Histogram(double lo, double hi, int buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / buckets),
+      counts_(static_cast<std::size_t>(buckets), 0)
+{
+    FRFC_ASSERT(hi > lo, "histogram range must be nonempty");
+    FRFC_ASSERT(buckets >= 1, "histogram needs at least one bucket");
+}
+
+void
+Histogram::add(double sample)
+{
+    ++total_;
+    if (sample < lo_) {
+        ++underflow_;
+        return;
+    }
+    if (sample >= hi_) {
+        ++overflow_;
+        return;
+    }
+    auto idx = static_cast<std::size_t>((sample - lo_) / width_);
+    idx = std::min(idx, counts_.size() - 1);
+    ++counts_[idx];
+}
+
+void
+Histogram::reset()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    underflow_ = overflow_ = total_ = 0;
+}
+
+double
+Histogram::bucketLo(int i) const
+{
+    return lo_ + width_ * i;
+}
+
+double
+Histogram::quantile(double q) const
+{
+    FRFC_ASSERT(q >= 0.0 && q <= 1.0, "quantile requires q in [0,1]");
+    if (total_ == 0)
+        return lo_;
+    const auto target =
+        static_cast<std::int64_t>(q * static_cast<double>(total_));
+    std::int64_t seen = underflow_;
+    if (seen > target)
+        return lo_;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        seen += counts_[i];
+        if (seen > target)
+            return bucketLo(static_cast<int>(i)) + width_ / 2.0;
+    }
+    return hi_;
+}
+
+std::string
+Histogram::toString() const
+{
+    std::ostringstream os;
+    if (underflow_ > 0)
+        os << "<" << lo_ << ": " << underflow_ << "\n";
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        if (counts_[i] == 0)
+            continue;
+        os << bucketLo(static_cast<int>(i)) << ".."
+           << bucketLo(static_cast<int>(i)) + width_ << ": " << counts_[i]
+           << "\n";
+    }
+    if (overflow_ > 0)
+        os << ">=" << hi_ << ": " << overflow_ << "\n";
+    return os.str();
+}
+
+}  // namespace frfc

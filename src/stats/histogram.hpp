@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Fixed-bucket histogram for latency / occupancy distributions.
+ */
+
+#ifndef FRFC_STATS_HISTOGRAM_HPP
+#define FRFC_STATS_HISTOGRAM_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace frfc {
+
+/**
+ * Linear-bucket histogram over [lo, hi); out-of-range samples land in
+ * underflow/overflow buckets so totals are conserved.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo       inclusive lower bound of the bucketed range
+     * @param hi       exclusive upper bound
+     * @param buckets  number of equal-width buckets (>= 1)
+     */
+    Histogram(double lo, double hi, int buckets);
+
+    /** Add one sample. */
+    void add(double sample);
+
+    /** Discard all samples. */
+    void reset();
+
+    std::int64_t total() const { return total_; }
+    std::int64_t underflow() const { return underflow_; }
+    std::int64_t overflow() const { return overflow_; }
+    int bucketCount() const { return static_cast<int>(counts_.size()); }
+    std::int64_t bucket(int i) const { return counts_.at(i); }
+
+    /** Lower edge of bucket @p i. */
+    double bucketLo(int i) const;
+
+    /** Sample value below which @p q of all samples fall (q in [0,1]). */
+    double quantile(double q) const;
+
+    /** Multi-line "lo..hi: count" rendering. */
+    std::string toString() const;
+
+  private:
+    double lo_;
+    double hi_;
+    double width_;
+    std::vector<std::int64_t> counts_;
+    std::int64_t underflow_ = 0;
+    std::int64_t overflow_ = 0;
+    std::int64_t total_ = 0;
+};
+
+}  // namespace frfc
+
+#endif  // FRFC_STATS_HISTOGRAM_HPP

@@ -1,0 +1,36 @@
+#include "stats/time_average.hpp"
+
+namespace frfc {
+
+void
+TimeAverage::sample(Cycle /* now */, double level)
+{
+    weighted_sum_ += level;
+    ++cycles_;
+    if (level >= threshold_)
+        ++at_or_above_;
+}
+
+void
+TimeAverage::reset(Cycle /* now */)
+{
+    weighted_sum_ = 0.0;
+    cycles_ = 0;
+    at_or_above_ = 0;
+}
+
+double
+TimeAverage::average() const
+{
+    return cycles_ > 0 ? weighted_sum_ / static_cast<double>(cycles_) : 0.0;
+}
+
+double
+TimeAverage::atOrAboveFraction() const
+{
+    return cycles_ > 0
+        ? static_cast<double>(at_or_above_) / static_cast<double>(cycles_)
+        : 0.0;
+}
+
+}  // namespace frfc

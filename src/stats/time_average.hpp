@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Time-weighted averaging for level-style signals (queue lengths, buffer
+ * occupancy). Used for the paper's "buffer pool full 40% of the time"
+ * style measurements.
+ */
+
+#ifndef FRFC_STATS_TIME_AVERAGE_HPP
+#define FRFC_STATS_TIME_AVERAGE_HPP
+
+#include "common/types.hpp"
+
+namespace frfc {
+
+/**
+ * Tracks a piecewise-constant level over time and reports its average
+ * and the fraction of time spent at or above a threshold.
+ */
+class TimeAverage
+{
+  public:
+    /** Record that the level is @p level during cycle @p now. */
+    void sample(Cycle now, double level);
+
+    /** Begin measuring (discard history before @p now). */
+    void reset(Cycle now);
+
+    /** Set the threshold for atOrAboveFraction(). */
+    void setThreshold(double threshold) { threshold_ = threshold; }
+
+    /** Time-average of the level since reset. */
+    double average() const;
+
+    /** Fraction of sampled cycles with level >= threshold. */
+    double atOrAboveFraction() const;
+
+    Cycle cyclesObserved() const { return cycles_; }
+
+  private:
+    double threshold_ = 0.0;
+    double weighted_sum_ = 0.0;
+    Cycle cycles_ = 0;
+    Cycle at_or_above_ = 0;
+};
+
+}  // namespace frfc
+
+#endif  // FRFC_STATS_TIME_AVERAGE_HPP

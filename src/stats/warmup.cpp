@@ -1,0 +1,48 @@
+#include "stats/warmup.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/log.hpp"
+
+namespace frfc {
+
+WarmupDetector::WarmupDetector(Cycle min_cycles, int window,
+                               double tolerance)
+    : min_cycles_(min_cycles), window_(static_cast<std::size_t>(window)),
+      tolerance_(tolerance)
+{
+    FRFC_ASSERT(window > 0, "warmup window must be positive");
+    FRFC_ASSERT(tolerance > 0.0, "warmup tolerance must be positive");
+}
+
+void
+WarmupDetector::sample(Cycle now, double value)
+{
+    if (stable_)
+        return;
+    current_.push_back(value);
+    if (current_.size() < window_)
+        return;
+
+    const double mean =
+        std::accumulate(current_.begin(), current_.end(), 0.0)
+        / static_cast<double>(current_.size());
+    current_.clear();
+
+    if (have_prev_ && now >= min_cycles_) {
+        // Relative difference with an absolute floor so an all-zero
+        // signal (an idle network) also counts as stable.
+        const double scale = std::max({std::fabs(prev_mean_),
+                                       std::fabs(mean), 1.0});
+        if (std::fabs(mean - prev_mean_) / scale <= tolerance_) {
+            stable_ = true;
+            stable_at_ = now;
+        }
+    }
+    prev_mean_ = mean;
+    have_prev_ = true;
+}
+
+}  // namespace frfc

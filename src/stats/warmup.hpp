@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Warm-up (steady-state) detection.
+ *
+ * The paper runs "a warm-up phase of a minimum of 10,000 cycles till
+ * average queue lengths have stabilized". WarmupDetector reproduces
+ * that: it watches a periodically-sampled signal (average source-queue
+ * length) and declares stability when consecutive window means agree to
+ * within a relative tolerance, subject to a minimum number of cycles.
+ */
+
+#ifndef FRFC_STATS_WARMUP_HPP
+#define FRFC_STATS_WARMUP_HPP
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace frfc {
+
+/** Detects stabilization of a sampled signal. */
+class WarmupDetector
+{
+  public:
+    /**
+     * @param min_cycles  never declare stable before this many cycles
+     * @param window      samples per comparison window
+     * @param tolerance   relative difference between window means that
+     *                    counts as "stable"
+     */
+    WarmupDetector(Cycle min_cycles, int window, double tolerance);
+
+    /** Feed one sample taken during cycle @p now. */
+    void sample(Cycle now, double value);
+
+    /** True once the signal has stabilized (and min_cycles elapsed). */
+    bool stable() const { return stable_; }
+
+    /** Cycle at which stability was declared (kInvalidCycle if not). */
+    Cycle stableAt() const { return stable_at_; }
+
+  private:
+    Cycle min_cycles_;
+    std::size_t window_;
+    double tolerance_;
+    std::vector<double> current_;
+    double prev_mean_ = -1.0;
+    bool have_prev_ = false;
+    bool stable_ = false;
+    Cycle stable_at_ = kInvalidCycle;
+};
+
+}  // namespace frfc
+
+#endif  // FRFC_STATS_WARMUP_HPP

@@ -1,0 +1,82 @@
+#include "topology/mesh.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "common/log.hpp"
+
+namespace frfc {
+
+Mesh2D::Mesh2D(int size_x, int size_y) : size_x_(size_x), size_y_(size_y)
+{
+    if (size_x < 2 || size_y < 2)
+        fatal("mesh dimensions must be >= 2, got ", size_x, "x", size_y);
+}
+
+NodeId
+Mesh2D::nodeAt(int x, int y) const
+{
+    FRFC_ASSERT(x >= 0 && x < size_x_ && y >= 0 && y < size_y_,
+                "coordinates out of range");
+    return static_cast<NodeId>(y * size_x_ + x);
+}
+
+int
+Mesh2D::xOf(NodeId node) const
+{
+    return static_cast<int>(node) % size_x_;
+}
+
+int
+Mesh2D::yOf(NodeId node) const
+{
+    return static_cast<int>(node) / size_x_;
+}
+
+NodeId
+Mesh2D::neighbor(NodeId node, PortId port) const
+{
+    const int x = xOf(node);
+    const int y = yOf(node);
+    switch (port) {
+      case kEast:
+        return x + 1 < size_x_ ? nodeAt(x + 1, y) : kInvalidNode;
+      case kWest:
+        return x - 1 >= 0 ? nodeAt(x - 1, y) : kInvalidNode;
+      case kNorth:
+        return y - 1 >= 0 ? nodeAt(x, y - 1) : kInvalidNode;
+      case kSouth:
+        return y + 1 < size_y_ ? nodeAt(x, y + 1) : kInvalidNode;
+      case kLocal:
+        return node;
+      default:
+        panic("bad port ", port);
+    }
+}
+
+int
+Mesh2D::hopDistance(NodeId a, NodeId b) const
+{
+    return std::abs(xOf(a) - xOf(b)) + std::abs(yOf(a) - yOf(b));
+}
+
+double
+Mesh2D::uniformCapacity() const
+{
+    // Under uniform traffic the bisection of a k-ary 2-mesh is the
+    // bottleneck: half of all traffic crosses k channels per direction,
+    // giving 4/k flits/node/cycle (0.5 for the paper's 8x8 mesh).
+    // For rectangular meshes the larger dimension dominates.
+    const int k = std::max(size_x_, size_y_);
+    return 4.0 / static_cast<double>(k);
+}
+
+std::string
+Mesh2D::describe() const
+{
+    std::ostringstream os;
+    os << size_x_ << "x" << size_y_ << " mesh";
+    return os.str();
+}
+
+}  // namespace frfc

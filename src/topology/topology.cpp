@@ -1,0 +1,61 @@
+#include "topology/topology.hpp"
+
+#include "common/config.hpp"
+#include "common/log.hpp"
+#include "topology/mesh.hpp"
+#include "topology/torus.hpp"
+
+namespace frfc {
+
+const char*
+directionName(PortId port)
+{
+    switch (port) {
+      case kEast:
+        return "east";
+      case kWest:
+        return "west";
+      case kNorth:
+        return "north";
+      case kSouth:
+        return "south";
+      case kLocal:
+        return "local";
+      default:
+        return "invalid";
+    }
+}
+
+double
+Topology::averageUniformHops() const
+{
+    const int n = numNodes();
+    std::int64_t total = 0;
+    std::int64_t pairs = 0;
+    for (NodeId a = 0; a < n; ++a) {
+        for (NodeId b = 0; b < n; ++b) {
+            if (a == b)
+                continue;
+            total += hopDistance(a, b);
+            ++pairs;
+        }
+    }
+    return pairs > 0
+        ? static_cast<double>(total) / static_cast<double>(pairs)
+        : 0.0;
+}
+
+std::unique_ptr<Topology>
+makeTopology(const Config& cfg)
+{
+    const std::string kind = cfg.getString("topology", "mesh");
+    const int size_x = static_cast<int>(cfg.getInt("size_x", 8));
+    const int size_y = static_cast<int>(cfg.getInt("size_y", 8));
+    if (kind == "mesh")
+        return std::make_unique<Mesh2D>(size_x, size_y);
+    if (kind == "torus")
+        return std::make_unique<Torus2D>(size_x, size_y);
+    fatal("unknown topology '", kind, "' (expected mesh or torus)");
+}
+
+}  // namespace frfc

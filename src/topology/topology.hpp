@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Topology abstraction: node naming, port wiring, and capacity.
+ */
+
+#ifndef FRFC_TOPOLOGY_TOPOLOGY_HPP
+#define FRFC_TOPOLOGY_TOPOLOGY_HPP
+
+#include <memory>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace frfc {
+
+class Config;
+
+/** Router port directions for 2-D topologies. */
+enum Direction : PortId {
+    kEast = 0,
+    kWest = 1,
+    kNorth = 2,
+    kSouth = 3,
+    kLocal = 4,  ///< injection/ejection port
+};
+
+/** Number of ports on a 2-D router (4 directions + local). */
+inline constexpr int kNumPorts = 5;
+
+/** Name of a direction for diagnostics. */
+const char* directionName(PortId port);
+
+/**
+ * Abstract 2-D topology: a set of nodes with x/y coordinates and
+ * direction-wired neighbor links.
+ */
+class Topology
+{
+  public:
+    virtual ~Topology() = default;
+
+    virtual int numNodes() const = 0;
+    virtual int sizeX() const = 0;
+    virtual int sizeY() const = 0;
+
+    /** Flat id from coordinates. */
+    virtual NodeId nodeAt(int x, int y) const = 0;
+    virtual int xOf(NodeId node) const = 0;
+    virtual int yOf(NodeId node) const = 0;
+
+    /**
+     * Neighbor reached by leaving @p node through @p port, or
+     * kInvalidNode if that port has no link (mesh edges).
+     */
+    virtual NodeId neighbor(NodeId node, PortId port) const = 0;
+
+    /** Minimal hop count between two nodes. */
+    virtual int hopDistance(NodeId a, NodeId b) const = 0;
+
+    /**
+     * Saturation injection bandwidth under uniform traffic, in
+     * flits/node/cycle — the paper's "100% capacity" normalization.
+     */
+    virtual double uniformCapacity() const = 0;
+
+    /** Mean minimal hop count under uniform traffic (excluding self). */
+    double averageUniformHops() const;
+
+    /** Human-readable description. */
+    virtual std::string describe() const = 0;
+};
+
+/**
+ * Build a topology from config keys:
+ *   topology = mesh | torus   (default mesh)
+ *   size_x, size_y            (default 8 x 8)
+ */
+std::unique_ptr<Topology> makeTopology(const Config& cfg);
+
+}  // namespace frfc
+
+#endif  // FRFC_TOPOLOGY_TOPOLOGY_HPP

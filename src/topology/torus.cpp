@@ -1,0 +1,82 @@
+#include "topology/torus.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/log.hpp"
+
+namespace frfc {
+
+Torus2D::Torus2D(int size_x, int size_y) : size_x_(size_x), size_y_(size_y)
+{
+    if (size_x < 2 || size_y < 2)
+        fatal("torus dimensions must be >= 2, got ", size_x, "x", size_y);
+}
+
+NodeId
+Torus2D::nodeAt(int x, int y) const
+{
+    FRFC_ASSERT(x >= 0 && x < size_x_ && y >= 0 && y < size_y_,
+                "coordinates out of range");
+    return static_cast<NodeId>(y * size_x_ + x);
+}
+
+int
+Torus2D::xOf(NodeId node) const
+{
+    return static_cast<int>(node) % size_x_;
+}
+
+int
+Torus2D::yOf(NodeId node) const
+{
+    return static_cast<int>(node) / size_x_;
+}
+
+NodeId
+Torus2D::neighbor(NodeId node, PortId port) const
+{
+    const int x = xOf(node);
+    const int y = yOf(node);
+    switch (port) {
+      case kEast:
+        return nodeAt((x + 1) % size_x_, y);
+      case kWest:
+        return nodeAt((x + size_x_ - 1) % size_x_, y);
+      case kNorth:
+        return nodeAt(x, (y + size_y_ - 1) % size_y_);
+      case kSouth:
+        return nodeAt(x, (y + 1) % size_y_);
+      case kLocal:
+        return node;
+      default:
+        panic("bad port ", port);
+    }
+}
+
+int
+Torus2D::hopDistance(NodeId a, NodeId b) const
+{
+    const int dx = std::abs(xOf(a) - xOf(b));
+    const int dy = std::abs(yOf(a) - yOf(b));
+    return std::min(dx, size_x_ - dx) + std::min(dy, size_y_ - dy);
+}
+
+double
+Torus2D::uniformCapacity() const
+{
+    // Wraparound doubles bisection bandwidth relative to the mesh.
+    const int k = std::max(size_x_, size_y_);
+    return 8.0 / static_cast<double>(k);
+}
+
+std::string
+Torus2D::describe() const
+{
+    std::ostringstream os;
+    os << size_x_ << "x" << size_y_ << " torus";
+    return os.str();
+}
+
+}  // namespace frfc

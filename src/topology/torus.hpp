@@ -1,0 +1,38 @@
+/**
+ * @file
+ * k-ary 2-torus topology (extension beyond the paper's mesh).
+ */
+
+#ifndef FRFC_TOPOLOGY_TORUS_HPP
+#define FRFC_TOPOLOGY_TORUS_HPP
+
+#include "topology/topology.hpp"
+
+namespace frfc {
+
+/** 2-D torus: every directional port is wired (wraparound links). */
+class Torus2D : public Topology
+{
+  public:
+    Torus2D(int size_x, int size_y);
+
+    int numNodes() const override { return size_x_ * size_y_; }
+    int sizeX() const override { return size_x_; }
+    int sizeY() const override { return size_y_; }
+
+    NodeId nodeAt(int x, int y) const override;
+    int xOf(NodeId node) const override;
+    int yOf(NodeId node) const override;
+    NodeId neighbor(NodeId node, PortId port) const override;
+    int hopDistance(NodeId a, NodeId b) const override;
+    double uniformCapacity() const override;
+    std::string describe() const override;
+
+  private:
+    int size_x_;
+    int size_y_;
+};
+
+}  // namespace frfc
+
+#endif  // FRFC_TOPOLOGY_TORUS_HPP

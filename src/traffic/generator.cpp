@@ -1,0 +1,140 @@
+#include "traffic/generator.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/config.hpp"
+#include "common/log.hpp"
+#include "topology/topology.hpp"
+#include "traffic/injection.hpp"
+#include "traffic/pattern.hpp"
+
+namespace frfc {
+
+SyntheticGenerator::SyntheticGenerator(
+    const TrafficPattern* pattern,
+    std::unique_ptr<InjectionProcess> injection, int length)
+    : pattern_(pattern), injection_(std::move(injection)),
+      length_(length)
+{
+    FRFC_ASSERT(pattern_ != nullptr, "null traffic pattern");
+    FRFC_ASSERT(injection_ != nullptr, "null injection process");
+    FRFC_ASSERT(length_ > 0, "packet length must be positive");
+}
+
+SyntheticGenerator::~SyntheticGenerator() = default;
+
+std::optional<GeneratedPacket>
+SyntheticGenerator::generate(Cycle /* now */, NodeId src, Rng& rng)
+{
+    if (!injection_->inject(rng))
+        return std::nullopt;
+    return GeneratedPacket{pattern_->dest(src, rng), length_};
+}
+
+TraceGenerator::TraceGenerator(
+    std::shared_ptr<const std::vector<TraceEntry>> entries, NodeId node)
+    : entries_(std::move(entries))
+{
+    FRFC_ASSERT(entries_ != nullptr, "null trace");
+    // Position at this node's first entry.
+    while (next_ < entries_->size() && (*entries_)[next_].src != node)
+        ++next_;
+}
+
+std::optional<GeneratedPacket>
+TraceGenerator::generate(Cycle now, NodeId src, Rng& /* rng */)
+{
+    if (next_ >= entries_->size())
+        return std::nullopt;
+    const TraceEntry& entry = (*entries_)[next_];
+    if (entry.cycle > now)
+        return std::nullopt;
+    // One packet per cycle per node: later same-cycle entries slip to
+    // the following cycles, preserving order.
+    ++next_;
+    while (next_ < entries_->size() && (*entries_)[next_].src != src)
+        ++next_;
+    return GeneratedPacket{entry.dest, entry.length};
+}
+
+std::vector<TraceEntry>
+parseTraceFile(const std::string& path, int num_nodes)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open trace file '", path, "'");
+    std::vector<TraceEntry> entries;
+    std::string line;
+    int lineno = 0;
+    Cycle prev_cycle = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        const std::size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        std::istringstream is(line);
+        TraceEntry entry;
+        if (!(is >> entry.cycle))
+            continue;  // blank/comment line
+        if (!(is >> entry.src >> entry.dest >> entry.length)) {
+            fatal("trace '", path, "' line ", lineno,
+                  ": expected 'cycle src dest length'");
+        }
+        if (entry.cycle < prev_cycle)
+            fatal("trace '", path, "' line ", lineno,
+                  ": cycles must be non-decreasing");
+        if (entry.src < 0 || entry.src >= num_nodes || entry.dest < 0
+            || entry.dest >= num_nodes) {
+            fatal("trace '", path, "' line ", lineno,
+                  ": node out of range for ", num_nodes, " nodes");
+        }
+        if (entry.src == entry.dest)
+            fatal("trace '", path, "' line ", lineno,
+                  ": self-traffic is not routable");
+        if (entry.length <= 0)
+            fatal("trace '", path, "' line ", lineno,
+                  ": length must be positive");
+        prev_cycle = entry.cycle;
+        entries.push_back(entry);
+    }
+    return entries;
+}
+
+std::vector<std::unique_ptr<PacketGenerator>>
+makeGenerators(const Config& cfg, const Topology& topo,
+               const TrafficPattern* pattern, double offered_flits)
+{
+    std::vector<std::unique_ptr<PacketGenerator>> generators;
+    const int n = topo.numNodes();
+    generators.reserve(static_cast<std::size_t>(n));
+    if (cfg.has("trace")) {
+        auto entries = std::make_shared<std::vector<TraceEntry>>(
+            parseTraceFile(cfg.getString("trace"), n));
+        for (NodeId node = 0; node < n; ++node) {
+            generators.push_back(
+                std::make_unique<TraceGenerator>(entries, node));
+        }
+        return generators;
+    }
+    const int length = static_cast<int>(cfg.getInt("packet_length", 5));
+    for (NodeId node = 0; node < n; ++node) {
+        generators.push_back(std::make_unique<SyntheticGenerator>(
+            pattern, makeInjection(cfg, offered_flits, length), length));
+    }
+    return generators;
+}
+
+std::string
+formatTrace(const std::vector<TraceEntry>& entries)
+{
+    std::ostringstream os;
+    os << "# cycle src dest length\n";
+    for (const TraceEntry& e : entries) {
+        os << e.cycle << " " << e.src << " " << e.dest << " " << e.length
+           << "\n";
+    }
+    return os.str();
+}
+
+}  // namespace frfc

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Packet generation: the open-loop sources ask a PacketGenerator, once
+ * per node per cycle, whether a packet is born. The synthetic generator
+ * combines an InjectionProcess with a TrafficPattern and a fixed packet
+ * length (the paper's workloads); the trace generator replays a
+ * recorded workload with per-packet destinations and lengths, enabling
+ * application-driven studies and exact cross-scheme workload replay.
+ */
+
+#ifndef FRFC_TRAFFIC_GENERATOR_HPP
+#define FRFC_TRAFFIC_GENERATOR_HPP
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace frfc {
+
+class Config;
+class InjectionProcess;
+class Topology;
+class TrafficPattern;
+
+/** A packet to be injected. */
+struct GeneratedPacket
+{
+    NodeId dest = kInvalidNode;
+    int length = 0;
+};
+
+/** Per-node packet birth process. */
+class PacketGenerator
+{
+  public:
+    virtual ~PacketGenerator() = default;
+
+    /**
+     * Called once per cycle for @p src. Returns the packet born this
+     * cycle, if any. Implementations may assume strictly increasing
+     * @p now per source.
+     */
+    virtual std::optional<GeneratedPacket>
+    generate(Cycle now, NodeId src, Rng& rng) = 0;
+
+    virtual std::string describe() const = 0;
+};
+
+/** Synthetic: injection process + traffic pattern + fixed length. */
+class SyntheticGenerator : public PacketGenerator
+{
+  public:
+    /**
+     * @param pattern   destination chooser (borrowed)
+     * @param injection per-node injection process (owned)
+     * @param length    flits per packet
+     */
+    SyntheticGenerator(const TrafficPattern* pattern,
+                       std::unique_ptr<InjectionProcess> injection,
+                       int length);
+    ~SyntheticGenerator() override;
+
+    std::optional<GeneratedPacket>
+    generate(Cycle now, NodeId src, Rng& rng) override;
+
+    std::string describe() const override { return "synthetic"; }
+
+  private:
+    const TrafficPattern* pattern_;
+    std::unique_ptr<InjectionProcess> injection_;
+    int length_;
+};
+
+/** One recorded packet birth. */
+struct TraceEntry
+{
+    Cycle cycle = 0;
+    NodeId src = kInvalidNode;
+    NodeId dest = kInvalidNode;
+    int length = 0;
+};
+
+/**
+ * Replays a trace. One instance per node, built from a shared parsed
+ * trace (entries for other nodes are skipped).
+ */
+class TraceGenerator : public PacketGenerator
+{
+  public:
+    /**
+     * @param entries full trace, sorted by cycle
+     * @param node    the node this generator serves
+     */
+    TraceGenerator(std::shared_ptr<const std::vector<TraceEntry>> entries,
+                   NodeId node);
+
+    std::optional<GeneratedPacket>
+    generate(Cycle now, NodeId src, Rng& rng) override;
+
+    std::string describe() const override { return "trace"; }
+
+  private:
+    std::shared_ptr<const std::vector<TraceEntry>> entries_;
+    std::size_t next_ = 0;
+};
+
+/**
+ * Parse a trace file: one packet per line, "cycle src dest length",
+ * '#' comments. Entries must be sorted by cycle; src/dest must be in
+ * range and length positive — violations are fatal (user error).
+ */
+std::vector<TraceEntry>
+parseTraceFile(const std::string& path, int num_nodes);
+
+/**
+ * Render entries in the trace file format (for writing workloads).
+ */
+std::string formatTrace(const std::vector<TraceEntry>& entries);
+
+/**
+ * Build one generator per node. If the config has a "trace" key the
+ * named file is replayed (and "offered"/"packet_length" are ignored);
+ * otherwise each node gets a SyntheticGenerator at @p offered_flits
+ * flits/node/cycle with the configured injection process and
+ * packet_length, drawing destinations from @p pattern.
+ */
+std::vector<std::unique_ptr<PacketGenerator>>
+makeGenerators(const Config& cfg, const Topology& topo,
+               const TrafficPattern* pattern, double offered_flits);
+
+}  // namespace frfc
+
+#endif  // FRFC_TRAFFIC_GENERATOR_HPP

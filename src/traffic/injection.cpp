@@ -1,0 +1,53 @@
+#include "traffic/injection.hpp"
+
+#include "common/config.hpp"
+#include "common/log.hpp"
+
+namespace frfc {
+
+BernoulliInjection::BernoulliInjection(double packets_per_cycle)
+    : rate_(packets_per_cycle)
+{
+    if (rate_ < 0.0 || rate_ > 1.0)
+        fatal("bernoulli packet rate ", rate_, " outside [0, 1]");
+}
+
+bool
+BernoulliInjection::inject(Rng& rng)
+{
+    return rng.nextBool(rate_);
+}
+
+PeriodicInjection::PeriodicInjection(double packets_per_cycle)
+    : rate_(packets_per_cycle)
+{
+    if (rate_ < 0.0 || rate_ > 1.0)
+        fatal("periodic packet rate ", rate_, " outside [0, 1]");
+}
+
+bool
+PeriodicInjection::inject(Rng& /* rng */)
+{
+    credit_ += rate_;
+    if (credit_ >= 1.0) {
+        credit_ -= 1.0;
+        return true;
+    }
+    return false;
+}
+
+std::unique_ptr<InjectionProcess>
+makeInjection(const Config& cfg, double flits_per_cycle, int packet_length)
+{
+    if (packet_length <= 0)
+        fatal("packet length must be positive");
+    const double packet_rate = flits_per_cycle / packet_length;
+    const std::string kind = cfg.getString("injection", "bernoulli");
+    if (kind == "bernoulli")
+        return std::make_unique<BernoulliInjection>(packet_rate);
+    if (kind == "periodic")
+        return std::make_unique<PeriodicInjection>(packet_rate);
+    fatal("unknown injection process '", kind, "'");
+}
+
+}  // namespace frfc

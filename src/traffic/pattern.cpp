@@ -1,0 +1,185 @@
+#include "traffic/pattern.hpp"
+
+#include "common/config.hpp"
+#include "common/log.hpp"
+#include "topology/topology.hpp"
+
+namespace frfc {
+
+namespace {
+
+/** Number of bits needed to index @p n nodes; -1 if n not a power of 2. */
+int
+log2Exact(int n)
+{
+    int bits = 0;
+    int v = n;
+    while (v > 1) {
+        if (v % 2 != 0)
+            return -1;
+        v /= 2;
+        ++bits;
+    }
+    return bits;
+}
+
+}  // namespace
+
+UniformPattern::UniformPattern(const Topology& topo)
+    : num_nodes_(topo.numNodes())
+{
+}
+
+NodeId
+UniformPattern::dest(NodeId src, Rng& rng) const
+{
+    // Draw from the n-1 non-source nodes without rejection.
+    auto draw = static_cast<NodeId>(
+        rng.nextBounded(static_cast<std::uint64_t>(num_nodes_ - 1)));
+    return draw >= src ? draw + 1 : draw;
+}
+
+TransposePattern::TransposePattern(const Topology& topo)
+    : topo_(topo), fallback_(topo)
+{
+    if (topo.sizeX() != topo.sizeY())
+        fatal("transpose pattern requires a square topology");
+}
+
+NodeId
+TransposePattern::dest(NodeId src, Rng& rng) const
+{
+    const NodeId d = topo_.nodeAt(topo_.yOf(src), topo_.xOf(src));
+    return d == src ? fallback_.dest(src, rng) : d;
+}
+
+BitComplementPattern::BitComplementPattern(const Topology& topo)
+    : num_nodes_(topo.numNodes()), bits_(log2Exact(topo.numNodes())),
+      fallback_(topo)
+{
+    if (bits_ < 0)
+        fatal("bitcomp pattern requires a power-of-two node count");
+}
+
+NodeId
+BitComplementPattern::dest(NodeId src, Rng& rng) const
+{
+    const NodeId d = static_cast<NodeId>(~src & (num_nodes_ - 1));
+    return d == src ? fallback_.dest(src, rng) : d;
+}
+
+BitReversePattern::BitReversePattern(const Topology& topo)
+    : num_nodes_(topo.numNodes()), bits_(log2Exact(topo.numNodes())),
+      fallback_(topo)
+{
+    if (bits_ < 0)
+        fatal("bitrev pattern requires a power-of-two node count");
+}
+
+NodeId
+BitReversePattern::dest(NodeId src, Rng& rng) const
+{
+    NodeId d = 0;
+    for (int i = 0; i < bits_; ++i) {
+        if (src & (1 << i))
+            d |= 1 << (bits_ - 1 - i);
+    }
+    return d == src ? fallback_.dest(src, rng) : d;
+}
+
+ShufflePattern::ShufflePattern(const Topology& topo)
+    : num_nodes_(topo.numNodes()), bits_(log2Exact(topo.numNodes())),
+      fallback_(topo)
+{
+    if (bits_ < 0)
+        fatal("shuffle pattern requires a power-of-two node count");
+}
+
+NodeId
+ShufflePattern::dest(NodeId src, Rng& rng) const
+{
+    const NodeId high = (src >> (bits_ - 1)) & 1;
+    const NodeId d = static_cast<NodeId>(((src << 1) | high)
+                                         & (num_nodes_ - 1));
+    return d == src ? fallback_.dest(src, rng) : d;
+}
+
+TornadoPattern::TornadoPattern(const Topology& topo)
+    : topo_(topo), fallback_(topo)
+{
+}
+
+NodeId
+TornadoPattern::dest(NodeId src, Rng& rng) const
+{
+    const int dx = (topo_.xOf(src) + (topo_.sizeX() / 2 - 1))
+        % topo_.sizeX();
+    const int dy = (topo_.yOf(src) + (topo_.sizeY() / 2 - 1))
+        % topo_.sizeY();
+    const NodeId d = topo_.nodeAt(dx, dy);
+    return d == src ? fallback_.dest(src, rng) : d;
+}
+
+NeighborPattern::NeighborPattern(const Topology& topo) : topo_(topo) {}
+
+NodeId
+NeighborPattern::dest(NodeId src, Rng& /* rng */) const
+{
+    const int dx = (topo_.xOf(src) + 1) % topo_.sizeX();
+    return topo_.nodeAt(dx, topo_.yOf(src));
+}
+
+HotspotPattern::HotspotPattern(const Topology& topo,
+                               std::vector<NodeId> hotspots,
+                               double fraction)
+    : hotspots_(std::move(hotspots)), fraction_(fraction), fallback_(topo)
+{
+    if (hotspots_.empty())
+        fatal("hotspot pattern requires at least one hot node");
+    if (fraction < 0.0 || fraction > 1.0)
+        fatal("hotspot fraction must be in [0, 1]");
+    for (NodeId h : hotspots_) {
+        if (h < 0 || h >= topo.numNodes())
+            fatal("hotspot node ", h, " out of range");
+    }
+}
+
+NodeId
+HotspotPattern::dest(NodeId src, Rng& rng) const
+{
+    if (rng.nextBool(fraction_)) {
+        const NodeId d = hotspots_[rng.nextBounded(hotspots_.size())];
+        if (d != src)
+            return d;
+    }
+    return fallback_.dest(src, rng);
+}
+
+std::unique_ptr<TrafficPattern>
+makePattern(const Config& cfg, const Topology& topo)
+{
+    const std::string kind = cfg.getString("traffic", "uniform");
+    if (kind == "uniform")
+        return std::make_unique<UniformPattern>(topo);
+    if (kind == "transpose")
+        return std::make_unique<TransposePattern>(topo);
+    if (kind == "bitcomp")
+        return std::make_unique<BitComplementPattern>(topo);
+    if (kind == "bitrev")
+        return std::make_unique<BitReversePattern>(topo);
+    if (kind == "shuffle")
+        return std::make_unique<ShufflePattern>(topo);
+    if (kind == "tornado")
+        return std::make_unique<TornadoPattern>(topo);
+    if (kind == "neighbor")
+        return std::make_unique<NeighborPattern>(topo);
+    if (kind == "hotspot") {
+        const auto node = static_cast<NodeId>(cfg.getInt("hotspot_node", 0));
+        const double fraction = cfg.getDouble("hotspot_fraction", 0.1);
+        return std::make_unique<HotspotPattern>(
+            topo, std::vector<NodeId>{node}, fraction);
+    }
+    fatal("unknown traffic pattern '", kind, "'");
+}
+
+}  // namespace frfc

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Synthetic traffic patterns.
+ *
+ * The paper evaluates uniformly distributed traffic to random
+ * destinations; the standard permutation patterns (transpose,
+ * bit-complement, bit-reverse, shuffle, tornado, neighbor) and a hotspot
+ * pattern are provided for the examples and for stress-testing.
+ */
+
+#ifndef FRFC_TRAFFIC_PATTERN_HPP
+#define FRFC_TRAFFIC_PATTERN_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace frfc {
+
+class Config;
+class Topology;
+
+/** Chooses a destination for each generated packet. */
+class TrafficPattern
+{
+  public:
+    virtual ~TrafficPattern() = default;
+
+    /** Destination for a packet injected at @p src (never src itself). */
+    virtual NodeId dest(NodeId src, Rng& rng) const = 0;
+
+    virtual std::string describe() const = 0;
+};
+
+/** Uniform random destinations, excluding the source. */
+class UniformPattern : public TrafficPattern
+{
+  public:
+    explicit UniformPattern(const Topology& topo);
+    NodeId dest(NodeId src, Rng& rng) const override;
+    std::string describe() const override { return "uniform"; }
+
+  private:
+    int num_nodes_;
+};
+
+/** Matrix transpose: (x, y) -> (y, x); diagonal nodes fall back to uniform. */
+class TransposePattern : public TrafficPattern
+{
+  public:
+    explicit TransposePattern(const Topology& topo);
+    NodeId dest(NodeId src, Rng& rng) const override;
+    std::string describe() const override { return "transpose"; }
+
+  private:
+    const Topology& topo_;
+    UniformPattern fallback_;
+};
+
+/** Bit complement on the flat node id. */
+class BitComplementPattern : public TrafficPattern
+{
+  public:
+    explicit BitComplementPattern(const Topology& topo);
+    NodeId dest(NodeId src, Rng& rng) const override;
+    std::string describe() const override { return "bitcomp"; }
+
+  private:
+    int num_nodes_;
+    int bits_;
+    UniformPattern fallback_;
+};
+
+/** Bit reversal on the flat node id. */
+class BitReversePattern : public TrafficPattern
+{
+  public:
+    explicit BitReversePattern(const Topology& topo);
+    NodeId dest(NodeId src, Rng& rng) const override;
+    std::string describe() const override { return "bitrev"; }
+
+  private:
+    int num_nodes_;
+    int bits_;
+    UniformPattern fallback_;
+};
+
+/** Perfect shuffle: rotate the flat id left by one bit. */
+class ShufflePattern : public TrafficPattern
+{
+  public:
+    explicit ShufflePattern(const Topology& topo);
+    NodeId dest(NodeId src, Rng& rng) const override;
+    std::string describe() const override { return "shuffle"; }
+
+  private:
+    int num_nodes_;
+    int bits_;
+    UniformPattern fallback_;
+};
+
+/** Tornado: half-way around each dimension. */
+class TornadoPattern : public TrafficPattern
+{
+  public:
+    explicit TornadoPattern(const Topology& topo);
+    NodeId dest(NodeId src, Rng& rng) const override;
+    std::string describe() const override { return "tornado"; }
+
+  private:
+    const Topology& topo_;
+    UniformPattern fallback_;
+};
+
+/** Nearest neighbor: one hop east (with wraparound on the flat grid). */
+class NeighborPattern : public TrafficPattern
+{
+  public:
+    explicit NeighborPattern(const Topology& topo);
+    NodeId dest(NodeId src, Rng& rng) const override;
+    std::string describe() const override { return "neighbor"; }
+
+  private:
+    const Topology& topo_;
+};
+
+/**
+ * Hotspot: a fraction of traffic targets designated hot nodes; the rest
+ * is uniform.
+ */
+class HotspotPattern : public TrafficPattern
+{
+  public:
+    /**
+     * @param topo      topology
+     * @param hotspots  hot destination nodes (non-empty)
+     * @param fraction  probability a packet targets a hot node
+     */
+    HotspotPattern(const Topology& topo, std::vector<NodeId> hotspots,
+                   double fraction);
+    NodeId dest(NodeId src, Rng& rng) const override;
+    std::string describe() const override { return "hotspot"; }
+
+  private:
+    std::vector<NodeId> hotspots_;
+    double fraction_;
+    UniformPattern fallback_;
+};
+
+/**
+ * Build a pattern from config keys:
+ *   traffic = uniform | transpose | bitcomp | bitrev | shuffle |
+ *             tornado | neighbor | hotspot          (default uniform)
+ *   hotspot_nodes    comma-free single node id       (default 0)
+ *   hotspot_fraction fraction of traffic to hotspot  (default 0.1)
+ */
+std::unique_ptr<TrafficPattern>
+makePattern(const Config& cfg, const Topology& topo);
+
+}  // namespace frfc
+
+#endif  // FRFC_TRAFFIC_PATTERN_HPP

@@ -1,0 +1,316 @@
+#include "vc/vc_router.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+#include "routing/routing.hpp"
+#include "topology/topology.hpp"
+
+namespace frfc {
+
+VcRouter::VcRouter(std::string name, NodeId node,
+                   const RoutingFunction& routing,
+                   const VcRouterParams& params, Rng rng)
+    : Clocked(std::move(name)), node_(node), routing_(routing),
+      params_(params), rng_(rng),
+      data_in_(kNumPorts, nullptr), data_out_(kNumPorts, nullptr),
+      credit_in_(kNumPorts, nullptr), credit_out_(kNumPorts, nullptr),
+      input_vcs_(static_cast<std::size_t>(kNumPorts) * params.numVcs),
+      output_vcs_(static_cast<std::size_t>(kNumPorts) * params.numVcs),
+      pool_credits_(kNumPorts, params.numVcs * params.vcDepth),
+      flits_out_(kNumPorts, 0)
+{
+    FRFC_ASSERT(params.numVcs >= 1 && params.vcDepth >= 1,
+                "need at least one VC with one buffer");
+    for (auto& ovc : output_vcs_)
+        ovc.credits = params.vcDepth;
+}
+
+void
+VcRouter::connectDataIn(PortId port, Channel<Flit>* ch)
+{
+    data_in_.at(static_cast<std::size_t>(port)) = ch;
+}
+
+void
+VcRouter::connectDataOut(PortId port, Channel<Flit>* ch)
+{
+    data_out_.at(static_cast<std::size_t>(port)) = ch;
+}
+
+void
+VcRouter::connectCreditIn(PortId port, Channel<Credit>* ch)
+{
+    credit_in_.at(static_cast<std::size_t>(port)) = ch;
+}
+
+void
+VcRouter::connectCreditOut(PortId port, Channel<Credit>* ch)
+{
+    credit_out_.at(static_cast<std::size_t>(port)) = ch;
+}
+
+VcRouter::InputVc&
+VcRouter::inVc(PortId port, VcId vc)
+{
+    return input_vcs_[static_cast<std::size_t>(port) * params_.numVcs + vc];
+}
+
+VcRouter::OutputVc&
+VcRouter::outVc(PortId port, VcId vc)
+{
+    return output_vcs_[static_cast<std::size_t>(port) * params_.numVcs + vc];
+}
+
+int
+VcRouter::bufferedFlits(PortId port) const
+{
+    int total = 0;
+    for (VcId vc = 0; vc < params_.numVcs; ++vc) {
+        total += static_cast<int>(
+            input_vcs_[static_cast<std::size_t>(port) * params_.numVcs + vc]
+                .queue.size());
+    }
+    return total;
+}
+
+int
+VcRouter::totalBufferedFlits() const
+{
+    int total = 0;
+    for (PortId p = 0; p < kNumPorts; ++p)
+        total += bufferedFlits(p);
+    return total;
+}
+
+void
+VcRouter::tick(Cycle now)
+{
+    drainCredits(now);
+    allocateVcs(now);
+    allocateSwitch(now);
+    acceptArrivals(now);
+}
+
+void
+VcRouter::drainCredits(Cycle now)
+{
+    for (PortId port = 0; port < kNumPorts; ++port) {
+        Channel<Credit>* ch = credit_in_[static_cast<std::size_t>(port)];
+        if (ch == nullptr)
+            continue;
+        for (const Credit& credit : ch->drain(now)) {
+            if (params_.sharedPool) {
+                ++pool_credits_[static_cast<std::size_t>(port)];
+                FRFC_ASSERT(pool_credits_[static_cast<std::size_t>(port)]
+                                <= params_.numVcs * params_.vcDepth,
+                            "pool credit overflow on port ", port);
+            } else {
+                OutputVc& ovc = outVc(port, credit.vc);
+                ++ovc.credits;
+                FRFC_ASSERT(ovc.credits <= params_.vcDepth,
+                            "credit overflow on port ", port, " vc ",
+                            credit.vc);
+            }
+        }
+    }
+}
+
+void
+VcRouter::allocateVcs(Cycle now)
+{
+    // Gather requests: each waiting head picks one free output VC at
+    // random; each contested output VC then grants one requester at
+    // random. Random arbitration throughout, per the paper.
+    struct Request
+    {
+        PortId inPort;
+        VcId inVc;
+        PortId outPort;
+        VcId outVc;
+    };
+    std::vector<Request> requests;
+
+    for (PortId port = 0; port < kNumPorts; ++port) {
+        for (VcId vc = 0; vc < params_.numVcs; ++vc) {
+            InputVc& ivc = inVc(port, vc);
+            if (ivc.active || ivc.queue.empty())
+                continue;
+            const Flit& head = ivc.queue.front();
+            FRFC_ASSERT(head.head,
+                        "inactive VC with a non-head flit at its head");
+            if (!ivc.routed) {
+                ivc.outPort = routing_.route(node_, head.dest);
+                ivc.routed = true;
+            }
+            // Collect free VCs on the routed output port.
+            std::vector<VcId> free_vcs;
+            for (VcId ovc_id = 0; ovc_id < params_.numVcs; ++ovc_id) {
+                if (!outVc(ivc.outPort, ovc_id).busy)
+                    free_vcs.push_back(ovc_id);
+            }
+            if (free_vcs.empty())
+                continue;
+            const VcId pick = free_vcs[rng_.nextBounded(free_vcs.size())];
+            requests.push_back(Request{port, vc, ivc.outPort, pick});
+        }
+    }
+
+    // Group by contested output VC and grant randomly.
+    // (Small vectors; an n^2 scan is clearer than sorting.)
+    std::vector<bool> granted(requests.size(), false);
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        if (granted[i])
+            continue;
+        std::vector<std::size_t> group;
+        for (std::size_t j = i; j < requests.size(); ++j) {
+            if (!granted[j] && requests[j].outPort == requests[i].outPort
+                && requests[j].outVc == requests[i].outVc) {
+                group.push_back(j);
+            }
+        }
+        const std::size_t win = group[rng_.nextBounded(group.size())];
+        for (std::size_t j : group)
+            granted[j] = true;  // losers simply retry next cycle
+        const Request& req = requests[win];
+        InputVc& ivc = inVc(req.inPort, req.inVc);
+        ivc.active = true;
+        ivc.activeSince = now;
+        ivc.outVc = req.outVc;
+        outVc(req.outPort, req.outVc).busy = true;
+    }
+}
+
+void
+VcRouter::allocateSwitch(Cycle now)
+{
+    // Collect ready (input VC -> output port) requests, then perform a
+    // single-pass random matching honoring one-per-input-port and
+    // one-per-output-port crossbar constraints.
+    struct Request
+    {
+        PortId inPort;
+        VcId inVc;
+    };
+    std::vector<Request> requests;
+    for (PortId port = 0; port < kNumPorts; ++port) {
+        for (VcId vc = 0; vc < params_.numVcs; ++vc) {
+            InputVc& ivc = inVc(port, vc);
+            if (!ivc.active || ivc.queue.empty())
+                continue;
+            // A head flit spends the routing/VC-allocation cycle in the
+            // router before it may compete for the switch — this is the
+            // per-hop routing and arbitration latency that
+            // flit-reservation flow control hides.
+            const Flit& front = ivc.queue.front();
+            if (front.head && ivc.activeSince == now)
+                continue;
+            // Store-and-forward: the entire packet must have been
+            // received before any of it leaves this node.
+            if (params_.forwarding == Forwarding::kStoreAndForward
+                && front.head
+                && static_cast<int>(ivc.queue.size())
+                    < front.packetLength) {
+                continue;
+            }
+            if (ivc.outPort != kLocal) {
+                // Cut-through and store-and-forward allocate downstream
+                // storage in packet-sized units: a head advances only
+                // when the whole packet fits at the next hop.
+                const int needed =
+                    params_.forwarding != Forwarding::kFlit && front.head
+                        ? front.packetLength
+                        : 1;
+                const bool has_credit = params_.sharedPool
+                    ? pool_credits_[static_cast<std::size_t>(ivc.outPort)]
+                        >= needed
+                    : outVc(ivc.outPort, ivc.outVc).credits >= needed;
+                if (!has_credit)
+                    continue;
+            }
+            requests.push_back(Request{port, vc});
+        }
+    }
+
+    // Random permutation = random matching priority.
+    for (std::size_t i = requests.size(); i > 1; --i) {
+        const std::size_t j = rng_.nextBounded(i);
+        std::swap(requests[i - 1], requests[j]);
+    }
+
+    std::vector<bool> in_used(kNumPorts, false);
+    std::vector<bool> out_used(kNumPorts, false);
+    for (const Request& req : requests) {
+        InputVc& ivc = inVc(req.inPort, req.inVc);
+        if (in_used[static_cast<std::size_t>(req.inPort)]
+            || out_used[static_cast<std::size_t>(ivc.outPort)]) {
+            continue;
+        }
+        in_used[static_cast<std::size_t>(req.inPort)] = true;
+        out_used[static_cast<std::size_t>(ivc.outPort)] = true;
+
+        Flit flit = ivc.queue.front();
+        ivc.queue.pop_front();
+        flit.vc = ivc.outVc;
+
+        Channel<Flit>* out =
+            data_out_[static_cast<std::size_t>(ivc.outPort)];
+        FRFC_ASSERT(out != nullptr, "routed to unwired port ",
+                    directionName(ivc.outPort), " at node ", node_);
+        out->push(now, flit);
+        ++flits_out_[static_cast<std::size_t>(ivc.outPort)];
+
+        if (ivc.outPort != kLocal) {
+            if (params_.sharedPool)
+                --pool_credits_[static_cast<std::size_t>(ivc.outPort)];
+            else
+                --outVc(ivc.outPort, ivc.outVc).credits;
+        }
+
+        // Return a credit upstream for the freed input slot.
+        Channel<Credit>* cr =
+            credit_out_[static_cast<std::size_t>(req.inPort)];
+        FRFC_ASSERT(cr != nullptr, "no credit channel on input port ",
+                    req.inPort, " at node ", node_);
+        cr->push(now, Credit{req.inVc});
+
+        if (flit.tail) {
+            outVc(ivc.outPort, ivc.outVc).busy = false;
+            ivc.active = false;
+            ivc.routed = false;
+            ivc.outPort = kInvalidPort;
+            ivc.outVc = kInvalidVc;
+        }
+    }
+}
+
+void
+VcRouter::acceptArrivals(Cycle now)
+{
+    // Arrivals are enqueued after allocation so a flit first competes
+    // the cycle after it arrives (1-cycle router latency).
+    for (PortId port = 0; port < kNumPorts; ++port) {
+        Channel<Flit>* ch = data_in_[static_cast<std::size_t>(port)];
+        if (ch == nullptr)
+            continue;
+        for (Flit& flit : ch->drain(now)) {
+            FRFC_ASSERT(flit.vc >= 0 && flit.vc < params_.numVcs,
+                        "arriving flit with bad vc: ", flit.toString());
+            InputVc& ivc = inVc(port, flit.vc);
+            ivc.queue.push_back(flit);
+            if (params_.sharedPool) {
+                FRFC_ASSERT(bufferedFlits(port)
+                                <= params_.numVcs * params_.vcDepth,
+                            "shared pool overflow at node ", node_,
+                            " port ", port);
+            } else {
+                FRFC_ASSERT(static_cast<int>(ivc.queue.size())
+                                <= params_.vcDepth,
+                            "VC queue overflow at node ", node_, " port ",
+                            port, " vc ", flit.vc);
+            }
+        }
+    }
+}
+
+}  // namespace frfc

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Virtual-channel flow control router [Dally92] — the paper's baseline.
+ *
+ * A single-cycle input-queued router: a flit that arrives during cycle t
+ * can be routed, win virtual-channel and switch allocation, and depart
+ * during cycle t+1 (the paper's "routing and scheduling latency is 1
+ * cycle"). Arbitration is random, matching the simulated network of the
+ * paper. Credits are returned per flit on dedicated credit wires.
+ *
+ * Wormhole flow control is the special case num_vcs = 1.
+ *
+ * The shared_pool option models the dynamically-allocated multi-queue
+ * buffer of [TamFra92]: the input VC queues share one pool of vc_depth *
+ * num_vcs slots and credits count pool slots rather than per-VC slots.
+ * Section 5 of the paper reports this yields no throughput gain — the
+ * ablation_vc_sharedpool bench reproduces that claim.
+ */
+
+#ifndef FRFC_VC_VC_ROUTER_HPP
+#define FRFC_VC_VC_ROUTER_HPP
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "proto/flit.hpp"
+#include "sim/channel.hpp"
+#include "sim/clocked.hpp"
+
+namespace frfc {
+
+class RoutingFunction;
+
+/**
+ * Forwarding discipline (the Section 2 lineage of the paper):
+ *  - kFlit: wormhole/virtual-channel — storage and bandwidth allocated
+ *    per flit; a head may advance as soon as one buffer is free.
+ *  - kCutThrough: virtual cut-through [KerKle79] — transmission starts
+ *    immediately, but a head advances only when the next hop can hold
+ *    the entire packet.
+ *  - kStoreAndForward: each node receives the whole packet before any
+ *    of it is forwarded, and the next hop must fit it all.
+ */
+enum class Forwarding {
+    kFlit,
+    kCutThrough,
+    kStoreAndForward,
+};
+
+/** Compile-time parameters of a VcRouter. */
+struct VcRouterParams
+{
+    int numVcs = 2;          ///< virtual channels per port
+    int vcDepth = 4;         ///< flit buffers per virtual channel
+    bool sharedPool = false; ///< [TamFra92] shared input buffer pool
+    Forwarding forwarding = Forwarding::kFlit;
+};
+
+/** Credit-based virtual-channel router. */
+class VcRouter : public Clocked
+{
+  public:
+    /**
+     * @param name     instance name
+     * @param node     node this router serves
+     * @param routing  routing function (borrowed)
+     * @param params   buffer organization
+     * @param rng      private random stream (arbitration)
+     */
+    VcRouter(std::string name, NodeId node, const RoutingFunction& routing,
+             const VcRouterParams& params, Rng rng);
+
+    /** @{ Wiring; unwired (mesh edge) ports stay null. */
+    void connectDataIn(PortId port, Channel<Flit>* ch);
+    void connectDataOut(PortId port, Channel<Flit>* ch);
+    void connectCreditIn(PortId port, Channel<Credit>* ch);
+    void connectCreditOut(PortId port, Channel<Credit>* ch);
+    /** @} */
+
+    void tick(Cycle now) override;
+
+    /** Total data flits currently buffered at one input port. */
+    int bufferedFlits(PortId port) const;
+
+    /** Total data flits buffered across all inputs. */
+    int totalBufferedFlits() const;
+
+    /** Input buffer capacity per port. */
+    int bufferCapacity() const { return params_.numVcs * params_.vcDepth; }
+
+    /** Flits sent through output @p port since construction. */
+    std::int64_t flitsForwarded(PortId port) const
+    {
+        return flits_out_[static_cast<std::size_t>(port)];
+    }
+
+    const VcRouterParams& params() const { return params_; }
+    NodeId node() const { return node_; }
+
+  private:
+    /** Per-input-VC FIFO and packet state. */
+    struct InputVc
+    {
+        std::deque<Flit> queue;
+        bool routed = false;   ///< route computed for head packet
+        bool active = false;   ///< output VC granted
+        Cycle activeSince = kInvalidCycle;  ///< cycle the grant landed
+        PortId outPort = kInvalidPort;
+        VcId outVc = kInvalidVc;
+    };
+
+    /** Per-output-VC allocation and credit state. */
+    struct OutputVc
+    {
+        bool busy = false;  ///< held by some in-flight packet
+        int credits = 0;    ///< free downstream slots (per-VC mode)
+    };
+
+    void drainCredits(Cycle now);
+    void allocateVcs(Cycle now);
+    void allocateSwitch(Cycle now);
+    void acceptArrivals(Cycle now);
+
+    InputVc& inVc(PortId port, VcId vc);
+    OutputVc& outVc(PortId port, VcId vc);
+
+    NodeId node_;
+    const RoutingFunction& routing_;
+    VcRouterParams params_;
+    Rng rng_;
+
+    std::vector<Channel<Flit>*> data_in_;
+    std::vector<Channel<Flit>*> data_out_;
+    std::vector<Channel<Credit>*> credit_in_;
+    std::vector<Channel<Credit>*> credit_out_;
+
+    std::vector<InputVc> input_vcs_;    ///< [port * numVcs + vc]
+    std::vector<OutputVc> output_vcs_;  ///< [port * numVcs + vc]
+    std::vector<int> pool_credits_;     ///< per output port (sharedPool)
+    std::vector<std::int64_t> flits_out_;  ///< per output port
+};
+
+}  // namespace frfc
+
+#endif  // FRFC_VC_VC_ROUTER_HPP

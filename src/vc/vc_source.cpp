@@ -1,0 +1,128 @@
+#include "vc/vc_source.hpp"
+
+#include "common/log.hpp"
+#include "proto/packet_registry.hpp"
+#include "traffic/generator.hpp"
+
+namespace frfc {
+
+VcSource::VcSource(std::string name, NodeId node,
+                   PacketGenerator* generator, PacketRegistry* registry,
+                   int num_vcs, int vc_depth, bool shared_pool, Rng rng)
+    : Clocked(std::move(name)), node_(node), generator_(generator),
+      registry_(registry), num_vcs_(num_vcs), vc_depth_(vc_depth),
+      shared_pool_(shared_pool), rng_(rng),
+      credits_(static_cast<std::size_t>(num_vcs), vc_depth),
+      pool_credits_(num_vcs * vc_depth)
+{
+    FRFC_ASSERT(generator != nullptr && num_vcs > 0 && vc_depth > 0,
+                "bad source parameters");
+}
+
+int
+VcSource::queueLength() const
+{
+    return static_cast<int>(queue_.size());
+}
+
+void
+VcSource::tick(Cycle now)
+{
+    // Credits freed by the router become usable this cycle.
+    if (credit_in_ != nullptr) {
+        for (const Credit& credit : credit_in_->drain(now)) {
+            if (shared_pool_) {
+                ++pool_credits_;
+                FRFC_ASSERT(pool_credits_ <= num_vcs_ * vc_depth_,
+                            "source pool credit overflow");
+            } else {
+                ++credits_[static_cast<std::size_t>(credit.vc)];
+                FRFC_ASSERT(credits_[static_cast<std::size_t>(credit.vc)]
+                                <= vc_depth_,
+                            "source credit overflow");
+            }
+        }
+    }
+    generate(now);
+    inject(now);
+}
+
+void
+VcSource::generate(Cycle now)
+{
+    if (!generating_)
+        return;
+    const auto pkt = generator_->generate(now, node_, rng_);
+    if (!pkt)
+        return;
+    const PacketId id =
+        registry_->create(node_, pkt->dest, pkt->length, now);
+    queue_.push_back(PendingPacket{id, pkt->dest, pkt->length, now});
+}
+
+void
+VcSource::inject(Cycle now)
+{
+    if (queue_.empty())
+        return;
+
+    if (!sending_) {
+        // Assign the head packet to the injection VC with the most
+        // credits (ties broken randomly) so packets do not serialize
+        // behind one busy VC.
+        int best = -1;
+        std::vector<VcId> best_vcs;
+        for (VcId vc = 0; vc < num_vcs_; ++vc) {
+            const int c = shared_pool_
+                ? pool_credits_
+                : credits_[static_cast<std::size_t>(vc)];
+            if (c > best) {
+                best = c;
+                best_vcs.assign(1, vc);
+            } else if (c == best) {
+                best_vcs.push_back(vc);
+            }
+        }
+        if (best <= 0)
+            return;  // no room anywhere this cycle
+        current_vc_ = best_vcs[rng_.nextBounded(best_vcs.size())];
+        sending_ = true;
+        next_seq_ = 0;
+    }
+
+    const int available = shared_pool_
+        ? pool_credits_
+        : credits_[static_cast<std::size_t>(current_vc_)];
+    if (available <= 0)
+        return;
+
+    const PendingPacket& pkt = queue_.front();
+    Flit flit;
+    flit.packet = pkt.id;
+    flit.seq = next_seq_;
+    flit.packetLength = pkt.length;
+    flit.head = next_seq_ == 0;
+    flit.tail = next_seq_ == pkt.length - 1;
+    flit.src = node_;
+    flit.dest = pkt.dest;
+    flit.vc = current_vc_;
+    flit.created = pkt.created;
+    flit.injected = now;
+    flit.payload = Flit::expectedPayload(pkt.id, next_seq_);
+
+    FRFC_ASSERT(data_out_ != nullptr, "source not wired");
+    data_out_->push(now, flit);
+    if (shared_pool_)
+        --pool_credits_;
+    else
+        --credits_[static_cast<std::size_t>(current_vc_)];
+
+    ++next_seq_;
+    if (next_seq_ == pkt.length) {
+        queue_.pop_front();
+        sending_ = false;
+        current_vc_ = kInvalidVc;
+    }
+}
+
+}  // namespace frfc

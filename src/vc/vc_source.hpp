@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Open-loop packet source / sink endpoints for VC flow control.
+ *
+ * VcSource generates packets per an InjectionProcess, queues them
+ * (source queueing time counts toward latency, as in the paper), and
+ * streams flits into the router's local input port under credit flow
+ * control, one flit per cycle.
+ */
+
+#ifndef FRFC_VC_VC_SOURCE_HPP
+#define FRFC_VC_VC_SOURCE_HPP
+
+#include <deque>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "proto/flit.hpp"
+#include "traffic/generator.hpp"
+#include "sim/channel.hpp"
+#include "sim/clocked.hpp"
+
+namespace frfc {
+
+class PacketGenerator;
+class PacketRegistry;
+
+/** Per-node open-loop source for virtual-channel networks. */
+class VcSource : public Clocked
+{
+  public:
+    /**
+     * @param name      instance name
+     * @param node      source node id
+     * @param generator packet birth process (borrowed, node-private)
+     * @param registry  packet bookkeeping (borrowed)
+     * @param num_vcs   VCs on the injection port
+     * @param vc_depth  credits per injection VC
+     * @param shared_pool single credit pool instead of per-VC credits
+     * @param rng       private random stream
+     */
+    VcSource(std::string name, NodeId node, PacketGenerator* generator,
+             PacketRegistry* registry, int num_vcs, int vc_depth,
+             bool shared_pool, Rng rng);
+
+    /** Wire the flit channel into the router's local input. */
+    void connectDataOut(Channel<Flit>* ch) { data_out_ = ch; }
+
+    /** Wire the credit return channel from the router. */
+    void connectCreditIn(Channel<Credit>* ch) { credit_in_ = ch; }
+
+    void tick(Cycle now) override;
+
+    /** Packets generated but not yet fully injected. */
+    int queueLength() const;
+
+    /** Stop/start generating new packets (used by the drain phase). */
+    void setGenerating(bool on) { generating_ = on; }
+
+  private:
+    struct PendingPacket
+    {
+        PacketId id;
+        NodeId dest;
+        int length;
+        Cycle created;
+    };
+
+    void generate(Cycle now);
+    void inject(Cycle now);
+
+    NodeId node_;
+    PacketGenerator* generator_;
+    PacketRegistry* registry_;
+    int num_vcs_;
+    int vc_depth_;
+    bool shared_pool_;
+    Rng rng_;
+    bool generating_ = true;
+
+    Channel<Flit>* data_out_ = nullptr;
+    Channel<Credit>* credit_in_ = nullptr;
+
+    std::deque<PendingPacket> queue_;
+    std::vector<int> credits_;  ///< per VC, or [0] = pool when shared
+    int pool_credits_ = 0;
+    bool sending_ = false;      ///< head packet partially injected
+    VcId current_vc_ = kInvalidVc;
+    int next_seq_ = 0;
+};
+
+}  // namespace frfc
+
+#endif  // FRFC_VC_VC_SOURCE_HPP

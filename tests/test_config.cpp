@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Unit tests for the Config key/value store.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/config.hpp"
+
+namespace frfc {
+namespace {
+
+TEST(Config, RoundTripsStrings)
+{
+    Config cfg;
+    cfg.set("name", "mesh");
+    EXPECT_TRUE(cfg.has("name"));
+    EXPECT_EQ(cfg.getString("name"), "mesh");
+}
+
+TEST(Config, RoundTripsIntegers)
+{
+    Config cfg;
+    cfg.set("x", 42);
+    cfg.set("y", std::int64_t{-7});
+    EXPECT_EQ(cfg.getInt("x"), 42);
+    EXPECT_EQ(cfg.getInt("y"), -7);
+}
+
+TEST(Config, RoundTripsDoubles)
+{
+    Config cfg;
+    cfg.set("rate", 0.625);
+    EXPECT_DOUBLE_EQ(cfg.getDouble("rate"), 0.625);
+}
+
+TEST(Config, RoundTripsBooleans)
+{
+    Config cfg;
+    cfg.set("flag", true);
+    EXPECT_TRUE(cfg.getBool("flag"));
+    cfg.set("flag", false);
+    EXPECT_FALSE(cfg.getBool("flag"));
+}
+
+TEST(Config, ParsesBooleanSpellings)
+{
+    Config cfg;
+    for (const char* yes : {"true", "1", "yes", "on"}) {
+        cfg.set("k", yes);
+        EXPECT_TRUE(cfg.getBool("k")) << yes;
+    }
+    for (const char* no : {"false", "0", "no", "off"}) {
+        cfg.set("k", no);
+        EXPECT_FALSE(cfg.getBool("k")) << no;
+    }
+}
+
+TEST(Config, DefaultsApplyOnlyWhenAbsent)
+{
+    Config cfg;
+    EXPECT_EQ(cfg.getInt("missing", 9), 9);
+    cfg.set("missing", 3);
+    EXPECT_EQ(cfg.getInt("missing", 9), 3);
+}
+
+TEST(Config, IntegerParsesHex)
+{
+    Config cfg;
+    cfg.set("addr", "0x10");
+    EXPECT_EQ(cfg.getInt("addr"), 16);
+}
+
+TEST(Config, ApplyArgsSplitsKeyValueTokens)
+{
+    Config cfg;
+    const auto leftovers =
+        cfg.applyArgs({"offered=0.7", "run", "seed=9", "--full"});
+    ASSERT_EQ(leftovers.size(), 2u);
+    EXPECT_EQ(leftovers[0], "run");
+    EXPECT_EQ(leftovers[1], "--full");
+    EXPECT_DOUBLE_EQ(cfg.getDouble("offered"), 0.7);
+    EXPECT_EQ(cfg.getInt("seed"), 9);
+}
+
+TEST(Config, ApplyArgsTrimsWhitespace)
+{
+    Config cfg;
+    cfg.applyArgs({"key = value "});
+    EXPECT_EQ(cfg.getString("key"), "value");
+}
+
+TEST(Config, LoadsFileWithCommentsAndBlanks)
+{
+    const std::string path = ::testing::TempDir() + "frfc_cfg_test.cfg";
+    {
+        std::ofstream out(path);
+        out << "# header comment\n"
+            << "\n"
+            << "size_x = 8   # trailing comment\n"
+            << "scheme = fr\n";
+    }
+    Config cfg;
+    cfg.loadFile(path);
+    EXPECT_EQ(cfg.getInt("size_x"), 8);
+    EXPECT_EQ(cfg.getString("scheme"), "fr");
+    std::remove(path.c_str());
+}
+
+TEST(Config, KeysAreSorted)
+{
+    Config cfg;
+    cfg.set("zeta", 1);
+    cfg.set("alpha", 2);
+    const auto keys = cfg.keys();
+    ASSERT_EQ(keys.size(), 2u);
+    EXPECT_EQ(keys[0], "alpha");
+    EXPECT_EQ(keys[1], "zeta");
+}
+
+TEST(Config, ToStringListsAllPairs)
+{
+    Config cfg;
+    cfg.set("a", 1);
+    cfg.set("b", "two");
+    EXPECT_EQ(cfg.toString(), "a = 1\nb = two\n");
+}
+
+using ConfigDeath = ::testing::Test;
+
+TEST(ConfigDeath, MissingKeyIsFatal)
+{
+    Config cfg;
+    EXPECT_EXIT(cfg.getString("nope"), ::testing::ExitedWithCode(1),
+                "missing config key");
+}
+
+TEST(ConfigDeath, MalformedIntegerIsFatal)
+{
+    Config cfg;
+    cfg.set("x", "12abc");
+    EXPECT_EXIT(cfg.getInt("x"), ::testing::ExitedWithCode(1),
+                "not an integer");
+}
+
+TEST(ConfigDeath, MalformedBooleanIsFatal)
+{
+    Config cfg;
+    cfg.set("b", "maybe");
+    EXPECT_EXIT(cfg.getBool("b"), ::testing::ExitedWithCode(1),
+                "not a boolean");
+}
+
+}  // namespace
+}  // namespace frfc

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Unit tests for the ControlFlit message type.
+ */
+
+#include <gtest/gtest.h>
+
+#include "frfc/control_flit.hpp"
+
+namespace frfc {
+namespace {
+
+TEST(ControlFlit, StartsEmpty)
+{
+    ControlFlit cf;
+    EXPECT_EQ(cf.numEntries, 0);
+    EXPECT_TRUE(cf.fullyScheduled());  // vacuously
+}
+
+TEST(ControlFlit, AddEntryAppends)
+{
+    ControlFlit cf;
+    cf.addEntry(0, 10);
+    cf.addEntry(1, 12);
+    ASSERT_EQ(cf.numEntries, 2);
+    EXPECT_EQ(cf.entries[0].seq, 0);
+    EXPECT_EQ(cf.entries[0].arrival, 10);
+    EXPECT_EQ(cf.entries[1].seq, 1);
+    EXPECT_FALSE(cf.entries[0].scheduled);
+}
+
+TEST(ControlFlit, FullyScheduledTracksMarks)
+{
+    ControlFlit cf;
+    cf.addEntry(0, 10);
+    cf.addEntry(1, 12);
+    EXPECT_FALSE(cf.fullyScheduled());
+    cf.entries[0].scheduled = true;
+    EXPECT_FALSE(cf.fullyScheduled());
+    cf.entries[1].scheduled = true;
+    EXPECT_TRUE(cf.fullyScheduled());
+}
+
+TEST(ControlFlit, ClearScheduledMarksResetsAll)
+{
+    ControlFlit cf;
+    cf.addEntry(0, 10);
+    cf.entries[0].scheduled = true;
+    cf.clearScheduledMarks();
+    EXPECT_FALSE(cf.entries[0].scheduled);
+    EXPECT_FALSE(cf.fullyScheduled());
+}
+
+TEST(ControlFlit, HoldsUpToMaxEntries)
+{
+    ControlFlit cf;
+    for (int i = 0; i < kMaxEntriesPerControl; ++i)
+        cf.addEntry(i, 10 + i);
+    EXPECT_EQ(cf.numEntries, kMaxEntriesPerControl);
+}
+
+TEST(ControlFlitDeath, OverflowingEntriesPanics)
+{
+    ControlFlit cf;
+    for (int i = 0; i < kMaxEntriesPerControl; ++i)
+        cf.addEntry(i, 10 + i);
+    EXPECT_DEATH(cf.addEntry(99, 99), "too many entries");
+}
+
+TEST(ControlFlit, ToStringShowsEntriesAndFlags)
+{
+    ControlFlit cf;
+    cf.packet = 42;
+    cf.head = true;
+    cf.src = 1;
+    cf.dest = 9;
+    cf.addEntry(0, 17);
+    const std::string s = cf.toString();
+    EXPECT_NE(s.find("pkt=42"), std::string::npos);
+    EXPECT_NE(s.find("H"), std::string::npos);
+    EXPECT_NE(s.find("0@17"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace frfc

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Golden regression tests: the simulator is bit-deterministic for a
+ * given seed, so key end-to-end numbers are pinned exactly. If a code
+ * change shifts any of these, it changed simulated behavior — either a
+ * bug or an intentional model change that must update EXPERIMENTS.md.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/presets.hpp"
+#include "network/network.hpp"
+#include "network/runner.hpp"
+
+namespace frfc {
+namespace {
+
+RunOptions
+goldenOptions()
+{
+    RunOptions opt;
+    opt.samplePackets = 500;
+    opt.minWarmup = 1000;
+    opt.maxWarmup = 3000;
+    opt.maxCycles = 60000;
+    return opt;
+}
+
+RunResult
+runGolden(const char* preset, double offered)
+{
+    Config cfg = baseConfig();
+    cfg.set("size_x", 4);
+    cfg.set("size_y", 4);
+    applyPreset(cfg, preset);
+    cfg.set("offered", offered);
+    cfg.set("seed", 12345);
+    return runExperiment(cfg, goldenOptions());
+}
+
+TEST(Golden, RunsAreExactlyReproducible)
+{
+    const RunResult a = runGolden("fr6", 0.5);
+    const RunResult b = runGolden("fr6", 0.5);
+    EXPECT_EQ(a.avgLatency, b.avgLatency);
+    EXPECT_EQ(a.totalCycles, b.totalCycles);
+    EXPECT_EQ(a.p99Latency, b.p99Latency);
+    EXPECT_EQ(a.packetsDelivered, b.packetsDelivered);
+}
+
+TEST(Golden, CrossSchemeOrderingAtMidLoad)
+{
+    // These relationships — not the exact values — are the contract.
+    const RunResult vc = runGolden("vc8", 0.5);
+    const RunResult fr = runGolden("fr6", 0.5);
+    ASSERT_TRUE(vc.complete);
+    ASSERT_TRUE(fr.complete);
+    EXPECT_LT(fr.avgLatency, vc.avgLatency);
+    EXPECT_LT(fr.p99Latency, vc.p99Latency);
+    EXPECT_NEAR(fr.acceptedFraction, vc.acceptedFraction, 0.05);
+}
+
+TEST(Golden, PercentilesBracketTheMean)
+{
+    const RunResult r = runGolden("fr6", 0.5);
+    ASSERT_TRUE(r.complete);
+    EXPECT_LE(r.minLatency, r.p50Latency);
+    EXPECT_LE(r.p50Latency, r.p99Latency);
+    EXPECT_LE(r.p99Latency, r.maxLatency + 1.0);
+    EXPECT_GT(r.p99Latency, r.avgLatency);
+    EXPECT_NEAR(r.p50Latency, r.avgLatency, r.avgLatency * 0.4);
+}
+
+TEST(Golden, ZeroLoadBaseLatencyIsPinned)
+{
+    // 4x4 mesh, fast control. These values define our pipeline model;
+    // see EXPERIMENTS.md "calibration note" before changing them.
+    const RunResult vc = runGolden("vc8", 0.02);
+    const RunResult fr = runGolden("fr6", 0.02);
+    EXPECT_NEAR(vc.avgLatency, 26.5, 1.5);
+    EXPECT_NEAR(fr.avgLatency, 22.1, 1.5);
+}
+
+}  // namespace
+}  // namespace frfc

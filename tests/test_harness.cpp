@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Unit tests for experiment presets and sweep plumbing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/presets.hpp"
+#include "harness/sweep.hpp"
+
+namespace frfc {
+namespace {
+
+TEST(Presets, BaseConfigIsThePaperNetwork)
+{
+    const Config cfg = baseConfig();
+    EXPECT_EQ(cfg.getString("topology"), "mesh");
+    EXPECT_EQ(cfg.getInt("size_x"), 8);
+    EXPECT_EQ(cfg.getInt("size_y"), 8);
+    EXPECT_EQ(cfg.getString("traffic"), "uniform");
+    EXPECT_EQ(cfg.getInt("packet_length"), 5);
+    // Fast control wires by default: data 4x slower than control.
+    EXPECT_EQ(cfg.getInt("data_link_latency"), 4);
+    EXPECT_EQ(cfg.getInt("ctrl_link_latency"), 1);
+    EXPECT_EQ(cfg.getInt("credit_link_latency"), 1);
+}
+
+TEST(Presets, VcConfigurationsMatchTable1)
+{
+    struct Case
+    {
+        const char* name;
+        int vcs;
+        int depth;
+    };
+    for (const Case& c : {Case{"vc8", 2, 4}, Case{"vc16", 4, 4},
+                          Case{"vc32", 8, 4}}) {
+        Config cfg = baseConfig();
+        applyPreset(cfg, c.name);
+        EXPECT_EQ(cfg.getString("scheme"), "vc") << c.name;
+        EXPECT_EQ(cfg.getInt("num_vcs"), c.vcs) << c.name;
+        EXPECT_EQ(cfg.getInt("vc_depth"), c.depth) << c.name;
+    }
+}
+
+TEST(Presets, FrConfigurationsMatchTable1)
+{
+    Config fr6 = baseConfig();
+    applyPreset(fr6, "fr6");
+    EXPECT_EQ(fr6.getString("scheme"), "fr");
+    EXPECT_EQ(fr6.getInt("data_buffers"), 6);
+    EXPECT_EQ(fr6.getInt("ctrl_vcs"), 2);
+    EXPECT_EQ(fr6.getInt("ctrl_vc_depth"), 3);
+    EXPECT_EQ(fr6.getInt("horizon"), 32);
+    EXPECT_EQ(fr6.getInt("ctrl_width"), 2);
+    EXPECT_EQ(fr6.getInt("flits_per_ctrl"), 1);
+
+    Config fr13 = baseConfig();
+    applyPreset(fr13, "fr13");
+    EXPECT_EQ(fr13.getInt("data_buffers"), 13);
+    EXPECT_EQ(fr13.getInt("ctrl_vcs"), 4);
+}
+
+TEST(Presets, WormholeIsOneVc)
+{
+    Config cfg = baseConfig();
+    applyWormhole(cfg, 8);
+    EXPECT_EQ(cfg.getInt("num_vcs"), 1);
+    EXPECT_EQ(cfg.getInt("vc_depth"), 8);
+}
+
+TEST(Presets, LeadingControlEqualizesWires)
+{
+    Config cfg = baseConfig();
+    applyLeadingControl(cfg, 2);
+    EXPECT_EQ(cfg.getInt("data_link_latency"), 1);
+    EXPECT_EQ(cfg.getInt("ctrl_link_latency"), 1);
+    EXPECT_EQ(cfg.getInt("lead_time"), 2);
+}
+
+TEST(Presets, NamesResolve)
+{
+    for (const auto& name : presetNames()) {
+        Config cfg = baseConfig();
+        applyPreset(cfg, name);
+        EXPECT_TRUE(cfg.has("scheme")) << name;
+    }
+}
+
+TEST(PresetsDeath, UnknownPresetIsFatal)
+{
+    Config cfg;
+    EXPECT_EXIT(applyPreset(cfg, "fr99"), ::testing::ExitedWithCode(1),
+                "unknown preset");
+}
+
+TEST(Sweep, CurveSetsOfferedPerPoint)
+{
+    Config cfg = baseConfig();
+    cfg.set("size_x", 2);
+    cfg.set("size_y", 2);
+    applyVc8(cfg);
+    RunOptions opt;
+    opt.samplePackets = 50;
+    opt.minWarmup = 200;
+    opt.maxWarmup = 600;
+    opt.maxCycles = 20000;
+    const auto curve = latencyCurve(cfg, {0.1, 0.3}, opt);
+    ASSERT_EQ(curve.size(), 2u);
+    EXPECT_NEAR(curve[0].offeredFraction, 0.1, 1e-9);
+    EXPECT_NEAR(curve[1].offeredFraction, 0.3, 1e-9);
+    EXPECT_TRUE(curve[0].complete);
+    EXPECT_TRUE(curve[1].complete);
+}
+
+TEST(Sweep, BaseLatencyUsesLowLoad)
+{
+    Config cfg = baseConfig();
+    cfg.set("size_x", 2);
+    cfg.set("size_y", 2);
+    applyVc8(cfg);
+    RunOptions opt;
+    opt.samplePackets = 50;
+    opt.minWarmup = 200;
+    opt.maxWarmup = 600;
+    opt.maxCycles = 20000;
+    const RunResult r = measureBaseLatency(cfg, opt);
+    EXPECT_NEAR(r.offeredFraction, 0.02, 1e-9);
+    EXPECT_TRUE(r.complete);
+}
+
+}  // namespace
+}  // namespace frfc

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Unit tests for the input reservation table: arrival/departure rows,
+ * late buffer binding, bypass detection, and the schedule list.
+ */
+
+#include <gtest/gtest.h>
+
+#include "frfc/input_table.hpp"
+#include "topology/topology.hpp"
+
+namespace frfc {
+namespace {
+
+Flit
+makeFlit(PacketId id, int seq)
+{
+    Flit flit;
+    flit.packet = id;
+    flit.seq = seq;
+    flit.packetLength = 4;
+    flit.payload = Flit::expectedPayload(id, seq);
+    return flit;
+}
+
+TEST(InputTable, ReservedFlitFlowsThrough)
+{
+    InputReservationTable irt(32, 6);
+    // At cycle 0 a control flit schedules: arrive 5, depart 9 via East.
+    irt.recordReservation(0, 5, 9, kEast);
+    EXPECT_FALSE(irt.departSlotFree(9));
+    EXPECT_TRUE(irt.departSlotFree(8));
+
+    for (Cycle t = 1; t <= 5; ++t)
+        irt.advance(t);
+    irt.acceptFlit(5, makeFlit(1, 0));
+    EXPECT_EQ(irt.pool().usedCount(), 1);
+
+    for (Cycle t = 6; t <= 9; ++t) {
+        irt.advance(t);
+        auto deps = irt.takeDepartures(t);
+        if (t < 9) {
+            EXPECT_TRUE(deps.empty());
+        } else {
+            ASSERT_EQ(deps.size(), 1u);
+            EXPECT_EQ(deps[0].out, kEast);
+            EXPECT_EQ(deps[0].flit.packet, 1);
+            EXPECT_FALSE(deps[0].bypass);
+        }
+    }
+    EXPECT_EQ(irt.pool().usedCount(), 0);
+}
+
+TEST(InputTable, BypassIsMinimumResidency)
+{
+    InputReservationTable irt(32, 6);
+    irt.recordReservation(0, 3, 4, kNorth);
+    for (Cycle t = 1; t <= 3; ++t)
+        irt.advance(t);
+    irt.acceptFlit(3, makeFlit(2, 0));
+    irt.advance(4);
+    auto deps = irt.takeDepartures(4);
+    ASSERT_EQ(deps.size(), 1u);
+    EXPECT_TRUE(deps[0].bypass);
+    EXPECT_EQ(irt.bypasses(), 1);
+}
+
+TEST(InputTable, ScheduleListParksEarlyFlits)
+{
+    InputReservationTable irt(32, 6);
+    // Data beats control: flit arrives at 2 with no reservation.
+    irt.advance(2);
+    irt.acceptFlit(2, makeFlit(3, 0));
+    EXPECT_TRUE(irt.parkedAt(2));
+    EXPECT_EQ(irt.parkedCount(), 1);
+    EXPECT_EQ(irt.parkedTotal(), 1);
+
+    // Control flit shows up at cycle 4 and schedules departure at 7.
+    irt.advance(3);
+    irt.advance(4);
+    irt.recordReservation(4, 2, 7, kWest);
+    EXPECT_FALSE(irt.parkedAt(2));
+
+    for (Cycle t = 5; t <= 7; ++t)
+        irt.advance(t);
+    auto deps = irt.takeDepartures(7);
+    ASSERT_EQ(deps.size(), 1u);
+    EXPECT_EQ(deps[0].out, kWest);
+    EXPECT_EQ(deps[0].flit.packet, 3);
+}
+
+TEST(InputTable, SameCycleReservationThenArrival)
+{
+    // Control flit processed earlier in the same tick as the data
+    // arrival: the arrival row is consulted, not the schedule list.
+    InputReservationTable irt(32, 6);
+    irt.advance(3);
+    irt.recordReservation(3, 3, 6, kSouth);
+    irt.acceptFlit(3, makeFlit(4, 0));
+    EXPECT_EQ(irt.parkedCount(), 0);
+    for (Cycle t = 4; t <= 6; ++t)
+        irt.advance(t);
+    ASSERT_EQ(irt.takeDepartures(6).size(), 1u);
+}
+
+TEST(InputTable, DepartSlotHonorsSpeedup)
+{
+    InputReservationTable irt(32, 6, /*speedup=*/2);
+    irt.recordReservation(0, 3, 8, kEast);
+    EXPECT_TRUE(irt.departSlotFree(8));  // one of two slots used
+    irt.recordReservation(0, 4, 8, kWest);
+    EXPECT_FALSE(irt.departSlotFree(8));
+}
+
+TEST(InputTable, MultiDepartureWithSpeedup)
+{
+    InputReservationTable irt(32, 6, /*speedup=*/2);
+    irt.recordReservation(0, 3, 8, kEast);
+    irt.recordReservation(0, 4, 8, kWest);
+    for (Cycle t = 1; t <= 3; ++t)
+        irt.advance(t);
+    irt.acceptFlit(3, makeFlit(5, 0));
+    irt.advance(4);
+    irt.acceptFlit(4, makeFlit(5, 1));
+    for (Cycle t = 5; t <= 8; ++t)
+        irt.advance(t);
+    auto deps = irt.takeDepartures(8);
+    ASSERT_EQ(deps.size(), 2u);
+    EXPECT_EQ(deps[0].out, kEast);
+    EXPECT_EQ(deps[1].out, kWest);
+}
+
+TEST(InputTable, PoolSharedAcrossUses)
+{
+    InputReservationTable irt(32, 2);
+    irt.advance(1);
+    irt.acceptFlit(1, makeFlit(6, 0));  // parked
+    irt.advance(2);
+    irt.acceptFlit(2, makeFlit(6, 1));  // parked
+    EXPECT_TRUE(irt.pool().full());
+}
+
+TEST(InputTableDeath, OverSubscribedDepartSlotPanics)
+{
+    InputReservationTable irt(32, 6);
+    irt.recordReservation(0, 3, 8, kEast);
+    EXPECT_DEATH(irt.recordReservation(0, 4, 8, kWest),
+                 "over-subscribed");
+}
+
+TEST(InputTableDeath, PastReservationWithoutParkedFlitPanics)
+{
+    InputReservationTable irt(32, 6);
+    irt.advance(5);
+    EXPECT_DEATH(irt.recordReservation(5, 2, 9, kEast),
+                 "no parked flit");
+}
+
+TEST(InputTableDeath, MissedArrivalPanicsOnExpiry)
+{
+    InputReservationTable irt(8, 6);
+    irt.recordReservation(0, 3, 7, kEast);
+    irt.advance(3);
+    // The scheduled flit never arrives; sliding past cycle 3 must trip
+    // the consistency check.
+    EXPECT_DEATH(irt.advance(4), "never materialized");
+}
+
+TEST(InputTableDeath, UnexecutedDeparturePanicsOnExpiry)
+{
+    InputReservationTable irt(8, 6);
+    irt.recordReservation(0, 2, 5, kEast);
+    irt.advance(2);
+    irt.acceptFlit(2, makeFlit(7, 0));
+    for (Cycle t = 3; t <= 5; ++t)
+        irt.advance(t);
+    // Departure at 5 never taken.
+    EXPECT_DEATH(irt.advance(6), "never executed");
+}
+
+TEST(InputTableDeath, PoolExhaustionPanics)
+{
+    InputReservationTable irt(32, 1);
+    irt.advance(1);
+    irt.acceptFlit(1, makeFlit(8, 0));
+    irt.advance(2);
+    EXPECT_DEATH(irt.acceptFlit(2, makeFlit(8, 1)), "pool exhausted");
+}
+
+}  // namespace
+}  // namespace frfc

@@ -1,0 +1,297 @@
+/**
+ * @file
+ * Integration tests: fully-assembled networks deliver every sampled
+ * packet intact across schemes, topologies, traffic patterns, and the
+ * paper's optional mechanisms (wide control flits, all-or-nothing
+ * scheduling, multi-ported input buffers, shared-pool VC).
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/presets.hpp"
+#include "network/fr_network.hpp"
+#include "network/network.hpp"
+#include "network/runner.hpp"
+#include "network/vc_network.hpp"
+
+namespace frfc {
+namespace {
+
+RunOptions
+fast()
+{
+    RunOptions opt;
+    opt.samplePackets = 300;
+    opt.minWarmup = 400;
+    opt.maxWarmup = 1500;
+    opt.maxCycles = 60000;
+    return opt;
+}
+
+Config
+smallBase()
+{
+    Config cfg = baseConfig();
+    cfg.set("size_x", 4);
+    cfg.set("size_y", 4);
+    cfg.set("offered", 0.25);
+    return cfg;
+}
+
+TEST(VcIntegration, SharedPoolDelivers)
+{
+    Config cfg = smallBase();
+    applyVc8(cfg);
+    cfg.set("shared_pool", true);
+    const RunResult r = runExperiment(cfg, fast());
+    EXPECT_TRUE(r.complete);
+}
+
+TEST(VcIntegration, WormholeDelivers)
+{
+    Config cfg = smallBase();
+    applyWormhole(cfg, 8);
+    const RunResult r = runExperiment(cfg, fast());
+    EXPECT_TRUE(r.complete);
+}
+
+TEST(VcIntegration, TorusDelivers)
+{
+    Config cfg = smallBase();
+    applyVc8(cfg);
+    cfg.set("topology", "torus");
+    const RunResult r = runExperiment(cfg, fast());
+    EXPECT_TRUE(r.complete);
+}
+
+TEST(VcIntegration, PeriodicInjectionDelivers)
+{
+    Config cfg = smallBase();
+    applyVc8(cfg);
+    cfg.set("injection", "periodic");
+    const RunResult r = runExperiment(cfg, fast());
+    EXPECT_TRUE(r.complete);
+}
+
+TEST(FrIntegration, WideControlFlitsExerciseScheduleList)
+{
+    // One control flit leading four data flits (Section 5, "single wide
+    // control flit"): data can now overtake control, exercising the
+    // schedule list. Pools must hold two flit groups (see DESIGN.md on
+    // the wide-control deadlock), hence FR13-size pools.
+    Config cfg = smallBase();
+    applyFr6(cfg);
+    cfg.set("data_buffers", 13);
+    cfg.set("flits_per_ctrl", 4);
+    cfg.set("packet_length", 9);
+    FrNetwork net(cfg);
+    RunOptions opt = fast();
+    const RunResult r = runMeasurement(net, opt);
+    EXPECT_TRUE(r.complete);
+}
+
+TEST(FrIntegration, WideControlNeedsTwoGroupsOfPoolCapacity)
+{
+    // Reproduction finding (see DESIGN.md): with wide control flits
+    // (d = 4) and pools smaller than two flit groups, data that
+    // overtakes a stalled control flit parks without a departure
+    // reservation, and the control-VC/data-pool dependency cycle of the
+    // paper's Section 5 deadlock discussion closes even at light load.
+    // Adequate pools (>= 2d) keep the network live.
+    Config small = baseConfig();  // full 8x8 mesh
+    applyFr6(small);
+    small.set("flits_per_ctrl", 4);
+    small.set("packet_length", 9);
+    small.set("offered", 0.10);
+    FrNetwork starved(small);
+    starved.kernel().run(20000);
+    const auto stuck = starved.registry().packetsDelivered();
+    starved.kernel().run(5000);
+    EXPECT_EQ(starved.registry().packetsDelivered(), stuck)
+        << "expected the documented wide-control deadlock";
+
+    Config roomy = small;
+    roomy.set("data_buffers", 13);
+    FrNetwork live(roomy);
+    live.kernel().run(20000);
+    const auto delivered = live.registry().packetsDelivered();
+    live.kernel().run(5000);
+    EXPECT_GT(live.registry().packetsDelivered(), delivered);
+    EXPECT_LT(live.registry().packetsInFlight(), 100);
+}
+
+TEST(FrIntegration, AllOrNothingDelivers)
+{
+    Config cfg = smallBase();
+    applyFr6(cfg);
+    cfg.set("data_buffers", 13);
+    cfg.set("all_or_nothing", true);
+    cfg.set("flits_per_ctrl", 4);
+    cfg.set("packet_length", 9);
+    const RunResult r = runExperiment(cfg, fast());
+    EXPECT_TRUE(r.complete);
+}
+
+TEST(FrIntegration, MultiPortedInputBufferDelivers)
+{
+    // Footnote 7: multi-ported input buffers (speedup 2).
+    Config cfg = smallBase();
+    applyFr6(cfg);
+    cfg.set("speedup", 2);
+    const RunResult r = runExperiment(cfg, fast());
+    EXPECT_TRUE(r.complete);
+}
+
+TEST(FrIntegration, TorusDelivers)
+{
+    Config cfg = smallBase();
+    applyFr6(cfg);
+    cfg.set("topology", "torus");
+    const RunResult r = runExperiment(cfg, fast());
+    EXPECT_TRUE(r.complete);
+}
+
+TEST(FrIntegration, ShortAndLongHorizonsDeliver)
+{
+    for (int horizon : {16, 64, 128}) {
+        Config cfg = smallBase();
+        applyFr6(cfg);
+        cfg.set("horizon", horizon);
+        const RunResult r = runExperiment(cfg, fast());
+        EXPECT_TRUE(r.complete) << "horizon " << horizon;
+    }
+}
+
+TEST(FrIntegration, SingleFlitPacketsDeliver)
+{
+    Config cfg = smallBase();
+    applyFr6(cfg);
+    cfg.set("packet_length", 1);
+    const RunResult r = runExperiment(cfg, fast());
+    EXPECT_TRUE(r.complete);
+}
+
+TEST(FrIntegration, LongLeadReducesBaseLatency)
+{
+    // Section 4.4: with a sufficient control lead, data flits pass
+    // through routers with scheduling already done.
+    Config cfg = smallBase();
+    applyFr6(cfg);
+    applyLeadingControl(cfg, 10);
+    cfg.set("offered", 0.05);
+    Config cfg1 = cfg;
+    applyLeadingControl(cfg1, 1);
+    const RunResult lead10 = runExperiment(cfg, fast());
+    const RunResult lead1 = runExperiment(cfg1, fast());
+    ASSERT_TRUE(lead10.complete);
+    ASSERT_TRUE(lead1.complete);
+    // The 10-cycle deferral is charged to latency, yet hop costs drop;
+    // the two must be within a small band, and bypasses dominate.
+    EXPECT_LT(lead10.avgLatency, lead1.avgLatency + 12.0);
+}
+
+TEST(FrIntegration, BypassesDominateAtLowLoad)
+{
+    Config cfg = smallBase();
+    applyFr6(cfg);
+    cfg.set("offered", 0.05);
+    FrNetwork net(cfg);
+    const RunResult r = runMeasurement(net, fast());
+    ASSERT_TRUE(r.complete);
+    // In the absence of contention a data flit departs the cycle after
+    // it arrives (Section 3) — most forwards are bypasses.
+    EXPECT_GT(net.totalBypasses(), 0);
+}
+
+TEST(FrIntegration, ControlLeadIsPositiveWithFastControl)
+{
+    Config cfg = smallBase();
+    applyFr6(cfg);
+    FrNetwork net(cfg);
+    const RunResult r = runMeasurement(net, fast());
+    ASSERT_TRUE(r.complete);
+    EXPECT_GT(net.avgControlLead(), 0.0);
+}
+
+TEST(Determinism, SameSeedSameResult)
+{
+    Config cfg = smallBase();
+    applyFr6(cfg);
+    const RunResult a = runExperiment(cfg, fast());
+    const RunResult b = runExperiment(cfg, fast());
+    EXPECT_DOUBLE_EQ(a.avgLatency, b.avgLatency);
+    EXPECT_EQ(a.totalCycles, b.totalCycles);
+    EXPECT_EQ(a.packetsDelivered, b.packetsDelivered);
+}
+
+TEST(Determinism, DifferentSeedsDiffer)
+{
+    Config cfg = smallBase();
+    applyFr6(cfg);
+    const RunResult a = runExperiment(cfg, fast());
+    cfg.set("seed", 2);
+    const RunResult b = runExperiment(cfg, fast());
+    EXPECT_NE(a.avgLatency, b.avgLatency);
+    EXPECT_NEAR(a.avgLatency, b.avgLatency, a.avgLatency * 0.25);
+}
+
+TEST(Runner, ReportsAcceptedThroughputNearOffered)
+{
+    Config cfg = smallBase();
+    applyVc8(cfg);
+    cfg.set("offered", 0.3);
+    const RunResult r = runExperiment(cfg, fast());
+    ASSERT_TRUE(r.complete);
+    EXPECT_NEAR(r.acceptedFraction, 0.3, 0.08);
+}
+
+TEST(Runner, OptionsFromConfig)
+{
+    Config cfg;
+    cfg.set("run.sample_packets", 123);
+    cfg.set("run.min_warmup", 456);
+    cfg.set("run.track_occupancy", true);
+    const RunOptions opt = RunOptions::fromConfig(cfg);
+    EXPECT_EQ(opt.samplePackets, 123);
+    EXPECT_EQ(opt.minWarmup, 456);
+    EXPECT_TRUE(opt.trackOccupancy);
+}
+
+TEST(Runner, SaturatedRunReportsIncomplete)
+{
+    Config cfg = smallBase();
+    applyWormhole(cfg, 2);  // tiny buffers, easy to saturate
+    cfg.set("offered", 1.2);
+    RunOptions opt = fast();
+    opt.maxCycles = 6000;
+    const RunResult r = runExperiment(cfg, opt);
+    EXPECT_FALSE(r.complete);
+}
+
+/** Every (scheme, traffic) pair delivers at light load. */
+class TrafficMatrix
+    : public ::testing::TestWithParam<std::tuple<const char*, const char*>>
+{
+};
+
+TEST_P(TrafficMatrix, DeliversAtLightLoad)
+{
+    const auto [preset, traffic] = GetParam();
+    Config cfg = smallBase();
+    applyPreset(cfg, preset);
+    cfg.set("traffic", traffic);
+    cfg.set("offered", 0.15);
+    const RunResult r = runExperiment(cfg, fast());
+    EXPECT_TRUE(r.complete) << preset << "/" << traffic;
+    EXPECT_GT(r.avgLatency, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Combos, TrafficMatrix,
+    ::testing::Combine(::testing::Values("vc8", "fr6"),
+                       ::testing::Values("uniform", "transpose", "bitcomp",
+                                         "bitrev", "shuffle", "tornado",
+                                         "neighbor", "hotspot")));
+
+}  // namespace
+}  // namespace frfc

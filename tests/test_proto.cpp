@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Unit tests for arbiters, the buffer pool, flit payloads, and the
+ * packet registry.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.hpp"
+#include "proto/arbiter.hpp"
+#include "proto/buffer_pool.hpp"
+#include "proto/flit.hpp"
+#include "proto/packet_registry.hpp"
+
+namespace frfc {
+namespace {
+
+TEST(RandomArbiter, ReturnsMinusOneOnNoRequests)
+{
+    RandomArbiter arb(Rng(1));
+    EXPECT_EQ(arb.pick({false, false, false}), -1);
+    EXPECT_EQ(arb.pick({}), -1);
+}
+
+TEST(RandomArbiter, PicksTheOnlyRequestor)
+{
+    RandomArbiter arb(Rng(1));
+    for (int i = 0; i < 20; ++i)
+        EXPECT_EQ(arb.pick({false, true, false}), 1);
+}
+
+TEST(RandomArbiter, IsFairAcrossRequestors)
+{
+    RandomArbiter arb(Rng(2));
+    std::map<int, int> wins;
+    const int rounds = 30000;
+    for (int i = 0; i < rounds; ++i)
+        ++wins[arb.pick({true, true, true})];
+    for (int k = 0; k < 3; ++k)
+        EXPECT_NEAR(wins[k], rounds / 3, rounds / 3 * 0.1) << k;
+}
+
+TEST(RoundRobinArbiter, RotatesPriority)
+{
+    RoundRobinArbiter arb;
+    EXPECT_EQ(arb.pick({true, true, true}), 0);
+    EXPECT_EQ(arb.pick({true, true, true}), 1);
+    EXPECT_EQ(arb.pick({true, true, true}), 2);
+    EXPECT_EQ(arb.pick({true, true, true}), 0);
+}
+
+TEST(RoundRobinArbiter, SkipsIdleRequestors)
+{
+    RoundRobinArbiter arb;
+    EXPECT_EQ(arb.pick({false, false, true}), 2);
+    EXPECT_EQ(arb.pick({true, false, true}), 0);
+    EXPECT_EQ(arb.pick({false, false, false}), -1);
+}
+
+TEST(ArbiterFactory, BuildsBothKinds)
+{
+    EXPECT_EQ(makeArbiter("random", Rng(1))->describe(), "random");
+    EXPECT_EQ(makeArbiter("roundrobin", Rng(1))->describe(),
+              "round-robin");
+}
+
+TEST(BufferPool, AllocatesUntilFull)
+{
+    BufferPool pool(3);
+    EXPECT_EQ(pool.freeCount(), 3);
+    EXPECT_NE(pool.allocate(), kInvalidBuffer);
+    EXPECT_NE(pool.allocate(), kInvalidBuffer);
+    EXPECT_NE(pool.allocate(), kInvalidBuffer);
+    EXPECT_TRUE(pool.full());
+    EXPECT_EQ(pool.allocate(), kInvalidBuffer);
+}
+
+TEST(BufferPool, ReleaseRecycles)
+{
+    BufferPool pool(2);
+    const BufferId a = pool.allocate();
+    const BufferId b = pool.allocate();
+    pool.release(a);
+    EXPECT_EQ(pool.freeCount(), 1);
+    const BufferId c = pool.allocate();
+    EXPECT_EQ(c, a);  // lowest free slot
+    EXPECT_NE(c, b);
+}
+
+TEST(BufferPool, StoresAndConsumesFlit)
+{
+    BufferPool pool(2);
+    const BufferId id = pool.allocate();
+    Flit flit;
+    flit.packet = 7;
+    flit.seq = 3;
+    pool.write(id, flit);
+    EXPECT_EQ(pool.read(id).packet, 7);
+    const Flit out = pool.consume(id);
+    EXPECT_EQ(out.seq, 3);
+    EXPECT_EQ(pool.freeCount(), 2);
+}
+
+TEST(BufferPool, OccupancyBitsTrackAllocation)
+{
+    BufferPool pool(2);
+    const BufferId id = pool.allocate();
+    EXPECT_TRUE(pool.occupied(id));
+    pool.release(id);
+    EXPECT_FALSE(pool.occupied(id));
+}
+
+TEST(BufferPoolDeath, DoubleReleasePanics)
+{
+    BufferPool pool(1);
+    const BufferId id = pool.allocate();
+    pool.release(id);
+    EXPECT_DEATH(pool.release(id), "double release");
+}
+
+TEST(BufferPoolDeath, ReadOfEmptyPanics)
+{
+    BufferPool pool(1);
+    const BufferId id = pool.allocate();
+    EXPECT_DEATH(pool.read(id), "empty buffer");
+}
+
+TEST(Flit, PayloadIsDeterministicAndDistinct)
+{
+    EXPECT_EQ(Flit::expectedPayload(1, 2), Flit::expectedPayload(1, 2));
+    EXPECT_NE(Flit::expectedPayload(1, 2), Flit::expectedPayload(1, 3));
+    EXPECT_NE(Flit::expectedPayload(1, 2), Flit::expectedPayload(2, 2));
+}
+
+TEST(Flit, ToStringIsInformative)
+{
+    Flit flit;
+    flit.packet = 9;
+    flit.seq = 0;
+    flit.packetLength = 5;
+    flit.head = true;
+    flit.src = 1;
+    flit.dest = 2;
+    const std::string s = flit.toString();
+    EXPECT_NE(s.find("pkt=9"), std::string::npos);
+    EXPECT_NE(s.find("H"), std::string::npos);
+}
+
+TEST(Registry, TracksLifecycle)
+{
+    PacketRegistry reg;
+    const PacketId id = reg.create(0, 5, 2, 100);
+    EXPECT_EQ(reg.packetsCreated(), 1);
+    EXPECT_EQ(reg.packetsInFlight(), 1);
+
+    Flit f0;
+    f0.packet = id;
+    f0.seq = 0;
+    f0.dest = 5;
+    f0.payload = Flit::expectedPayload(id, 0);
+    reg.deliverFlit(150, f0);
+    EXPECT_EQ(reg.packetsDelivered(), 0);
+
+    Flit f1 = f0;
+    f1.seq = 1;
+    f1.payload = Flit::expectedPayload(id, 1);
+    reg.deliverFlit(160, f1);
+    EXPECT_EQ(reg.packetsDelivered(), 1);
+    EXPECT_EQ(reg.packetsInFlight(), 0);
+    EXPECT_EQ(reg.flitsDelivered(), 2);
+}
+
+TEST(Registry, SamplesLatencyOfMarkedPackets)
+{
+    PacketRegistry reg;
+    reg.startSampling(1);
+    const PacketId id = reg.create(0, 3, 1, 100);
+    EXPECT_TRUE(reg.sampleFullyCreated());
+    EXPECT_FALSE(reg.sampleFullyDelivered());
+
+    Flit f;
+    f.packet = id;
+    f.seq = 0;
+    f.dest = 3;
+    f.payload = Flit::expectedPayload(id, 0);
+    reg.deliverFlit(142, f);
+    EXPECT_TRUE(reg.sampleFullyDelivered());
+    EXPECT_EQ(reg.sampleLatency().count(), 1);
+    EXPECT_DOUBLE_EQ(reg.sampleLatency().mean(), 42.0);
+}
+
+TEST(Registry, PacketsBeyondTargetAreNotSampled)
+{
+    PacketRegistry reg;
+    reg.startSampling(1);
+    const PacketId a = reg.create(0, 3, 1, 0);
+    const PacketId b = reg.create(0, 3, 1, 0);
+    for (PacketId id : {a, b}) {
+        Flit f;
+        f.packet = id;
+        f.seq = 0;
+        f.dest = 3;
+        f.payload = Flit::expectedPayload(id, 0);
+        reg.deliverFlit(10, f);
+    }
+    EXPECT_EQ(reg.sampleLatency().count(), 1);
+}
+
+TEST(RegistryDeath, DuplicateFlitPanics)
+{
+    PacketRegistry reg;
+    const PacketId id = reg.create(0, 3, 2, 0);
+    Flit f;
+    f.packet = id;
+    f.seq = 0;
+    f.dest = 3;
+    f.payload = Flit::expectedPayload(id, 0);
+    reg.deliverFlit(5, f);
+    EXPECT_DEATH(reg.deliverFlit(6, f), "duplicate");
+}
+
+TEST(RegistryDeath, CorruptPayloadPanics)
+{
+    PacketRegistry reg;
+    const PacketId id = reg.create(0, 3, 1, 0);
+    Flit f;
+    f.packet = id;
+    f.seq = 0;
+    f.dest = 3;
+    f.payload = 12345;  // wrong
+    EXPECT_DEATH(reg.deliverFlit(5, f), "corrupted payload");
+}
+
+TEST(RegistryDeath, MisdeliveryPanics)
+{
+    PacketRegistry reg;
+    const PacketId id = reg.create(0, 3, 1, 0);
+    Flit f;
+    f.packet = id;
+    f.seq = 0;
+    f.dest = 4;  // wrong destination recorded in the flit
+    f.payload = Flit::expectedPayload(id, 0);
+    EXPECT_DEATH(reg.deliverFlit(5, f), "misdelivered");
+}
+
+}  // namespace
+}  // namespace frfc

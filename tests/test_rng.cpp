@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Unit and statistical tests for the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace frfc {
+namespace {
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(12345);
+    Rng b(12345);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        equal += a.next() == b.next() ? 1 : 0;
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, SaltsProduceIndependentStreams)
+{
+    Rng a(7, 0);
+    Rng b(7, 1);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        equal += a.next() == b.next() ? 1 : 0;
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, BoundedStaysInRange)
+{
+    Rng rng(42);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.nextBounded(17), 17u);
+}
+
+TEST(Rng, BoundedCoversAllValues)
+{
+    Rng rng(42);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(rng.nextBounded(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, BoundedIsRoughlyUniform)
+{
+    Rng rng(99);
+    const int buckets = 10;
+    const int draws = 100000;
+    std::vector<int> counts(buckets, 0);
+    for (int i = 0; i < draws; ++i)
+        ++counts[rng.nextBounded(buckets)];
+    for (int c : counts) {
+        EXPECT_GT(c, draws / buckets * 0.9);
+        EXPECT_LT(c, draws / buckets * 1.1);
+    }
+}
+
+TEST(Rng, RangeIsInclusive)
+{
+    Rng rng(5);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = rng.nextRange(-2, 2);
+        EXPECT_GE(v, -2);
+        EXPECT_LE(v, 2);
+        saw_lo = saw_lo || v == -2;
+        saw_hi = saw_hi || v == 2;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng rng(11);
+    for (int i = 0; i < 10000; ++i) {
+        const double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, DoubleMeanNearHalf)
+{
+    Rng rng(13);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.nextDouble();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BernoulliMatchesProbability)
+{
+    Rng rng(17);
+    const int n = 100000;
+    int hits = 0;
+    for (int i = 0; i < n; ++i)
+        hits += rng.nextBool(0.3) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, BernoulliEdgesAreExact)
+{
+    Rng rng(19);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.nextBool(0.0));
+        EXPECT_TRUE(rng.nextBool(1.0));
+    }
+}
+
+TEST(Rng, SplitStreamsAreIndependent)
+{
+    Rng parent(23);
+    Rng child1 = parent.split(1);
+    Rng child2 = parent.split(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        equal += child1.next() == child2.next() ? 1 : 0;
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, SplitMixAdvancesState)
+{
+    std::uint64_t state = 0;
+    const auto a = splitMix64(state);
+    const auto b = splitMix64(state);
+    EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace frfc

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Unit and property tests for dimension-ordered routing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/config.hpp"
+#include "routing/routing.hpp"
+#include "topology/mesh.hpp"
+#include "topology/topology.hpp"
+#include "topology/torus.hpp"
+
+namespace frfc {
+namespace {
+
+TEST(RoutingXY, ResolvesXFirst)
+{
+    Mesh2D mesh(8, 8);
+    DimensionOrderRouting xy(mesh, true);
+    const NodeId src = mesh.nodeAt(2, 2);
+    EXPECT_EQ(xy.route(src, mesh.nodeAt(5, 6)), kEast);
+    EXPECT_EQ(xy.route(src, mesh.nodeAt(0, 6)), kWest);
+    EXPECT_EQ(xy.route(src, mesh.nodeAt(2, 6)), kSouth);
+    EXPECT_EQ(xy.route(src, mesh.nodeAt(2, 0)), kNorth);
+    EXPECT_EQ(xy.route(src, src), kLocal);
+}
+
+TEST(RoutingYX, ResolvesYFirst)
+{
+    Mesh2D mesh(8, 8);
+    DimensionOrderRouting yx(mesh, false);
+    const NodeId src = mesh.nodeAt(2, 2);
+    EXPECT_EQ(yx.route(src, mesh.nodeAt(5, 6)), kSouth);
+    EXPECT_EQ(yx.route(src, mesh.nodeAt(5, 2)), kEast);
+}
+
+TEST(RoutingFactory, BuildsFromConfig)
+{
+    Mesh2D mesh(4, 4);
+    Config cfg;
+    cfg.set("routing", "yx");
+    const auto routing = makeRouting(cfg, mesh);
+    EXPECT_EQ(routing->describe(), "dimension-ordered YX");
+}
+
+TEST(RoutingFactoryDeath, RejectsUnknownKind)
+{
+    Mesh2D mesh(4, 4);
+    Config cfg;
+    cfg.set("routing", "adaptive");
+    EXPECT_EXIT(makeRouting(cfg, mesh), ::testing::ExitedWithCode(1),
+                "unknown routing");
+}
+
+TEST(RoutingTorus, TakesShortestWrap)
+{
+    Torus2D torus(8, 8);
+    DimensionOrderRouting xy(torus, true);
+    // 0 -> 7 in x: one hop west around the wrap.
+    EXPECT_EQ(xy.route(torus.nodeAt(0, 0), torus.nodeAt(7, 0)), kWest);
+    EXPECT_EQ(xy.route(torus.nodeAt(7, 0), torus.nodeAt(0, 0)), kEast);
+}
+
+/**
+ * Walking the route from every source to every destination terminates
+ * at the destination in exactly hopDistance() steps — the routing
+ * function is minimal and loop-free.
+ */
+class RoutingWalk
+    : public ::testing::TestWithParam<std::tuple<const char*, const char*>>
+{
+};
+
+TEST_P(RoutingWalk, ReachesEveryDestinationMinimally)
+{
+    const auto [topo_kind, routing_kind] = GetParam();
+    Config cfg;
+    cfg.set("topology", topo_kind);
+    cfg.set("size_x", 6);
+    cfg.set("size_y", 6);
+    cfg.set("routing", routing_kind);
+    const auto topo = makeTopology(cfg);
+    const auto routing = makeRouting(cfg, *topo);
+
+    for (NodeId src = 0; src < topo->numNodes(); ++src) {
+        for (NodeId dest = 0; dest < topo->numNodes(); ++dest) {
+            NodeId at = src;
+            int steps = 0;
+            while (at != dest) {
+                const PortId port = routing->route(at, dest);
+                ASSERT_NE(port, kLocal);
+                const NodeId next = topo->neighbor(at, port);
+                ASSERT_NE(next, kInvalidNode)
+                    << "routed off the edge at node " << at;
+                at = next;
+                ASSERT_LE(++steps, topo->numNodes())
+                    << "routing loop " << src << "->" << dest;
+            }
+            EXPECT_EQ(steps, topo->hopDistance(src, dest))
+                << src << "->" << dest << " not minimal";
+            EXPECT_EQ(routing->route(dest, dest), kLocal);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Combos, RoutingWalk,
+    ::testing::Values(std::make_tuple("mesh", "xy"),
+                      std::make_tuple("mesh", "yx"),
+                      std::make_tuple("torus", "xy"),
+                      std::make_tuple("torus", "yx")));
+
+}  // namespace
+}  // namespace frfc

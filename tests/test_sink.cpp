@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Unit tests for the ejection sink and remaining endpoint plumbing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "network/ejection_sink.hpp"
+#include "proto/packet_registry.hpp"
+
+namespace frfc {
+namespace {
+
+Flit
+makeFlit(PacketId id, int seq, NodeId dest)
+{
+    Flit f;
+    f.packet = id;
+    f.seq = seq;
+    f.dest = dest;
+    f.payload = Flit::expectedPayload(id, seq);
+    return f;
+}
+
+TEST(EjectionSink, DrainsAllRegisteredChannels)
+{
+    PacketRegistry registry;
+    EjectionSink sink("sink", &registry);
+    Channel<Flit> a("a", 1);
+    Channel<Flit> b("b", 1);
+    sink.addChannel(&a);
+    sink.addChannel(&b);
+
+    const PacketId p0 = registry.create(0, 3, 1, 0);
+    const PacketId p1 = registry.create(1, 4, 1, 0);
+    a.push(0, makeFlit(p0, 0, 3));
+    b.push(0, makeFlit(p1, 0, 4));
+    sink.tick(1);
+    EXPECT_EQ(registry.packetsDelivered(), 2);
+}
+
+TEST(EjectionSink, RespectsChannelLatency)
+{
+    PacketRegistry registry;
+    EjectionSink sink("sink", &registry);
+    Channel<Flit> ch("c", 3);
+    sink.addChannel(&ch);
+    const PacketId id = registry.create(0, 3, 1, 0);
+    ch.push(0, makeFlit(id, 0, 3));
+    sink.tick(1);
+    sink.tick(2);
+    EXPECT_EQ(registry.packetsDelivered(), 0);
+    sink.tick(3);
+    EXPECT_EQ(registry.packetsDelivered(), 1);
+}
+
+TEST(EjectionSink, LatencyUsesEjectionCycle)
+{
+    PacketRegistry registry;
+    registry.startSampling(1);
+    EjectionSink sink("sink", &registry);
+    Channel<Flit> ch("c", 1);
+    sink.addChannel(&ch);
+    const PacketId id = registry.create(0, 3, 1, 100);
+    Flit f = makeFlit(id, 0, 3);
+    ch.push(140, f);
+    sink.tick(141);
+    EXPECT_DOUBLE_EQ(registry.sampleLatency().mean(), 41.0);
+}
+
+TEST(Clocked, NameIsPreserved)
+{
+    PacketRegistry registry;
+    EjectionSink sink("the-sink", &registry);
+    EXPECT_EQ(sink.name(), "the-sink");
+}
+
+}  // namespace
+}  // namespace frfc

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * End-to-end smoke tests: both flow-control schemes deliver all sample
+ * packets, intact, on a small mesh at light load.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/presets.hpp"
+#include "network/network.hpp"
+#include "network/runner.hpp"
+
+namespace frfc {
+namespace {
+
+RunOptions
+smokeOptions()
+{
+    RunOptions opt;
+    opt.samplePackets = 300;
+    opt.minWarmup = 500;
+    opt.maxWarmup = 2000;
+    opt.maxCycles = 50000;
+    return opt;
+}
+
+TEST(Smoke, VcNetworkDeliversAtLightLoad)
+{
+    Config cfg = baseConfig();
+    applyVc8(cfg);
+    cfg.set("size_x", 4);
+    cfg.set("size_y", 4);
+    cfg.set("offered", 0.2);
+    const RunResult r = runExperiment(cfg, smokeOptions());
+    EXPECT_TRUE(r.complete);
+    EXPECT_GT(r.avgLatency, 10.0);
+    EXPECT_LT(r.avgLatency, 120.0);
+}
+
+TEST(Smoke, FrNetworkDeliversAtLightLoad)
+{
+    Config cfg = baseConfig();
+    applyFr6(cfg);
+    cfg.set("size_x", 4);
+    cfg.set("size_y", 4);
+    cfg.set("offered", 0.2);
+    const RunResult r = runExperiment(cfg, smokeOptions());
+    EXPECT_TRUE(r.complete);
+    EXPECT_GT(r.avgLatency, 10.0);
+    EXPECT_LT(r.avgLatency, 120.0);
+}
+
+TEST(Smoke, FrLeadingControlDelivers)
+{
+    Config cfg = baseConfig();
+    applyFr6(cfg);
+    applyLeadingControl(cfg, 1);
+    cfg.set("size_x", 4);
+    cfg.set("size_y", 4);
+    cfg.set("offered", 0.2);
+    const RunResult r = runExperiment(cfg, smokeOptions());
+    EXPECT_TRUE(r.complete);
+}
+
+}  // namespace
+}  // namespace frfc

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Unit tests for accumulators, histograms, time averages, and warm-up
+ * detection.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "stats/accumulator.hpp"
+#include "stats/histogram.hpp"
+#include "stats/time_average.hpp"
+#include "stats/warmup.hpp"
+
+namespace frfc {
+namespace {
+
+TEST(Accumulator, EmptyIsZero)
+{
+    Accumulator acc;
+    EXPECT_EQ(acc.count(), 0);
+    EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(acc.ci95HalfWidth(), 0.0);
+}
+
+TEST(Accumulator, MeanAndExtremes)
+{
+    Accumulator acc;
+    for (double v : {2.0, 4.0, 6.0})
+        acc.add(v);
+    EXPECT_EQ(acc.count(), 3);
+    EXPECT_DOUBLE_EQ(acc.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+    EXPECT_DOUBLE_EQ(acc.max(), 6.0);
+    EXPECT_DOUBLE_EQ(acc.sum(), 12.0);
+}
+
+TEST(Accumulator, VarianceMatchesDefinition)
+{
+    Accumulator acc;
+    for (double v : {1.0, 2.0, 3.0, 4.0})
+        acc.add(v);
+    // Sample variance of {1,2,3,4} is 5/3.
+    EXPECT_NEAR(acc.variance(), 5.0 / 3.0, 1e-12);
+    EXPECT_NEAR(acc.stddev(), std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(Accumulator, MergeEqualsCombinedStream)
+{
+    Accumulator all;
+    Accumulator a;
+    Accumulator b;
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.nextDouble() * 10;
+        all.add(v);
+        (i % 2 == 0 ? a : b).add(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Accumulator, MergeIntoEmpty)
+{
+    Accumulator a;
+    Accumulator b;
+    b.add(5.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 1);
+    EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+}
+
+TEST(Accumulator, Ci95ShrinksWithSamples)
+{
+    Rng rng(7);
+    Accumulator small;
+    Accumulator large;
+    for (int i = 0; i < 100; ++i)
+        small.add(rng.nextDouble());
+    for (int i = 0; i < 10000; ++i)
+        large.add(rng.nextDouble());
+    EXPECT_LT(large.ci95HalfWidth(), small.ci95HalfWidth());
+}
+
+TEST(Accumulator, Ci95CoversTrueMean)
+{
+    // Uniform(0,1): mean 0.5. With 10k samples the 95% CI nearly always
+    // contains 0.5 for a fixed seed.
+    Rng rng(11);
+    Accumulator acc;
+    for (int i = 0; i < 10000; ++i)
+        acc.add(rng.nextDouble());
+    EXPECT_NEAR(acc.mean(), 0.5, acc.ci95HalfWidth() * 2);
+}
+
+TEST(Accumulator, ResetClears)
+{
+    Accumulator acc;
+    acc.add(1.0);
+    acc.reset();
+    EXPECT_EQ(acc.count(), 0);
+    EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+}
+
+TEST(Histogram, CountsLandInBuckets)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(0.5);
+    h.add(1.5);
+    h.add(1.7);
+    h.add(9.9);
+    EXPECT_EQ(h.total(), 4);
+    EXPECT_EQ(h.bucket(0), 1);
+    EXPECT_EQ(h.bucket(1), 2);
+    EXPECT_EQ(h.bucket(9), 1);
+}
+
+TEST(Histogram, OutOfRangeGoesToOverflow)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(-1.0);
+    h.add(10.0);
+    h.add(99.0);
+    EXPECT_EQ(h.underflow(), 1);
+    EXPECT_EQ(h.overflow(), 2);
+    EXPECT_EQ(h.total(), 3);
+}
+
+TEST(Histogram, QuantileFindsMedian)
+{
+    Histogram h(0.0, 100.0, 100);
+    for (int i = 0; i < 100; ++i)
+        h.add(static_cast<double>(i) + 0.5);
+    EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
+    EXPECT_NEAR(h.quantile(0.9), 90.0, 1.5);
+}
+
+TEST(Histogram, ResetClears)
+{
+    Histogram h(0.0, 1.0, 2);
+    h.add(0.1);
+    h.reset();
+    EXPECT_EQ(h.total(), 0);
+    EXPECT_EQ(h.bucket(0), 0);
+}
+
+TEST(TimeAverage, AveragesLevels)
+{
+    TimeAverage ta;
+    ta.sample(0, 2.0);
+    ta.sample(1, 4.0);
+    EXPECT_DOUBLE_EQ(ta.average(), 3.0);
+    EXPECT_EQ(ta.cyclesObserved(), 2);
+}
+
+TEST(TimeAverage, ThresholdFraction)
+{
+    TimeAverage ta;
+    ta.setThreshold(5.0);
+    ta.sample(0, 6.0);
+    ta.sample(1, 4.0);
+    ta.sample(2, 5.0);
+    ta.sample(3, 1.0);
+    EXPECT_DOUBLE_EQ(ta.atOrAboveFraction(), 0.5);
+}
+
+TEST(TimeAverage, ResetClears)
+{
+    TimeAverage ta;
+    ta.sample(0, 9.0);
+    ta.reset(1);
+    EXPECT_DOUBLE_EQ(ta.average(), 0.0);
+    EXPECT_EQ(ta.cyclesObserved(), 0);
+}
+
+TEST(Warmup, StableSignalDetectsQuickly)
+{
+    WarmupDetector det(100, 10, 0.05);
+    Cycle now = 0;
+    while (!det.stable() && now < 1000)
+        det.sample(++now, 5.0);
+    EXPECT_TRUE(det.stable());
+    EXPECT_GE(det.stableAt(), 100);
+}
+
+TEST(Warmup, RespectsMinimumCycles)
+{
+    WarmupDetector det(500, 10, 0.05);
+    Cycle now = 0;
+    while (!det.stable() && now < 2000)
+        det.sample(++now, 1.0);
+    EXPECT_TRUE(det.stable());
+    EXPECT_GE(det.stableAt(), 500);
+}
+
+TEST(Warmup, GrowingSignalStaysUnstable)
+{
+    WarmupDetector det(100, 10, 0.01);
+    double level = 0.0;
+    for (Cycle now = 1; now <= 500; ++now) {
+        level += 1.0;  // queue growing without bound
+        det.sample(now, level);
+    }
+    EXPECT_FALSE(det.stable());
+}
+
+TEST(Warmup, ZeroSignalIsStable)
+{
+    WarmupDetector det(50, 10, 0.05);
+    Cycle now = 0;
+    while (!det.stable() && now < 500)
+        det.sample(++now, 0.0);
+    EXPECT_TRUE(det.stable());
+}
+
+}  // namespace
+}  // namespace frfc

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Unit tests for the text/CSV table emitters.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/table.hpp"
+
+namespace frfc {
+namespace {
+
+TEST(TextTable, AlignsColumns)
+{
+    TextTable table;
+    table.setHeader({"name", "value"});
+    table.addRow({"a", "1"});
+    table.addRow({"longer", "22"});
+    std::ostringstream os;
+    table.print(os);
+    const std::string out = os.str();
+    // Header, separator, two rows.
+    EXPECT_NE(out.find("name    value"), std::string::npos);
+    EXPECT_NE(out.find("------"), std::string::npos);
+    EXPECT_NE(out.find("longer  22"), std::string::npos);
+}
+
+TEST(TextTable, CsvUsesCommas)
+{
+    TextTable table;
+    table.setHeader({"x", "y"});
+    table.addRow({"1", "2"});
+    std::ostringstream os;
+    table.printCsv(os);
+    EXPECT_EQ(os.str(), "x,y\n1,2\n");
+}
+
+TEST(TextTable, HandlesRaggedRows)
+{
+    TextTable table;
+    table.setHeader({"a"});
+    table.addRow({"1", "2", "3"});
+    std::ostringstream os;
+    table.print(os);  // must not crash or misalign fatally
+    EXPECT_NE(os.str().find("3"), std::string::npos);
+}
+
+TEST(TextTable, NumFormatsFixedPrecision)
+{
+    EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::num(2.0, 0), "2");
+    EXPECT_EQ(TextTable::num(-1.5, 1), "-1.5");
+}
+
+TEST(TextTable, PercentFormatsFraction)
+{
+    EXPECT_EQ(TextTable::percent(0.7712, 1), "77.1%");
+    EXPECT_EQ(TextTable::percent(1.0, 0), "100%");
+}
+
+TEST(TextTable, RowCountTracksRows)
+{
+    TextTable table;
+    EXPECT_EQ(table.rowCount(), 0u);
+    table.addRow({"x"});
+    table.addRow({"y"});
+    EXPECT_EQ(table.rowCount(), 2u);
+}
+
+TEST(TextTable, EmptyHeaderOmitsSeparator)
+{
+    TextTable table;
+    table.addRow({"only"});
+    std::ostringstream os;
+    table.print(os);
+    EXPECT_EQ(os.str(), "only\n");
+}
+
+}  // namespace
+}  // namespace frfc

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Unit and parameterized property tests for mesh and torus topologies.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/config.hpp"
+#include "topology/mesh.hpp"
+#include "topology/topology.hpp"
+#include "topology/torus.hpp"
+
+namespace frfc {
+namespace {
+
+TEST(Mesh, CoordinateRoundTrip)
+{
+    Mesh2D mesh(8, 8);
+    for (int x = 0; x < 8; ++x) {
+        for (int y = 0; y < 8; ++y) {
+            const NodeId node = mesh.nodeAt(x, y);
+            EXPECT_EQ(mesh.xOf(node), x);
+            EXPECT_EQ(mesh.yOf(node), y);
+        }
+    }
+}
+
+TEST(Mesh, EdgePortsUnwired)
+{
+    Mesh2D mesh(4, 4);
+    EXPECT_EQ(mesh.neighbor(mesh.nodeAt(0, 0), kWest), kInvalidNode);
+    EXPECT_EQ(mesh.neighbor(mesh.nodeAt(0, 0), kNorth), kInvalidNode);
+    EXPECT_EQ(mesh.neighbor(mesh.nodeAt(3, 3), kEast), kInvalidNode);
+    EXPECT_EQ(mesh.neighbor(mesh.nodeAt(3, 3), kSouth), kInvalidNode);
+}
+
+TEST(Mesh, InteriorNeighbors)
+{
+    Mesh2D mesh(4, 4);
+    const NodeId node = mesh.nodeAt(1, 1);
+    EXPECT_EQ(mesh.neighbor(node, kEast), mesh.nodeAt(2, 1));
+    EXPECT_EQ(mesh.neighbor(node, kWest), mesh.nodeAt(0, 1));
+    EXPECT_EQ(mesh.neighbor(node, kNorth), mesh.nodeAt(1, 0));
+    EXPECT_EQ(mesh.neighbor(node, kSouth), mesh.nodeAt(1, 2));
+    EXPECT_EQ(mesh.neighbor(node, kLocal), node);
+}
+
+TEST(Mesh, HopDistanceIsManhattan)
+{
+    Mesh2D mesh(8, 8);
+    EXPECT_EQ(mesh.hopDistance(mesh.nodeAt(0, 0), mesh.nodeAt(7, 7)), 14);
+    EXPECT_EQ(mesh.hopDistance(mesh.nodeAt(3, 2), mesh.nodeAt(1, 5)), 5);
+    EXPECT_EQ(mesh.hopDistance(5, 5), 0);
+}
+
+TEST(Mesh, CapacityMatchesPaperNormalization)
+{
+    // 100% capacity on the paper's 8x8 mesh is 0.5 flits/node/cycle.
+    Mesh2D mesh(8, 8);
+    EXPECT_DOUBLE_EQ(mesh.uniformCapacity(), 0.5);
+}
+
+TEST(Mesh, AverageUniformHopsMatchesClosedForm)
+{
+    // E[hops] excluding self = 2 * (k^2 - 1) / (3k) * k^2 / (k^2 - 1).
+    Mesh2D mesh(8, 8);
+    const double expected = 2.0 * 63.0 / 24.0 * 64.0 / 63.0;
+    EXPECT_NEAR(mesh.averageUniformHops(), expected, 1e-9);
+}
+
+TEST(Torus, WraparoundNeighbors)
+{
+    Torus2D torus(4, 4);
+    EXPECT_EQ(torus.neighbor(torus.nodeAt(0, 0), kWest),
+              torus.nodeAt(3, 0));
+    EXPECT_EQ(torus.neighbor(torus.nodeAt(3, 0), kEast),
+              torus.nodeAt(0, 0));
+    EXPECT_EQ(torus.neighbor(torus.nodeAt(0, 0), kNorth),
+              torus.nodeAt(0, 3));
+    EXPECT_EQ(torus.neighbor(torus.nodeAt(0, 3), kSouth),
+              torus.nodeAt(0, 0));
+}
+
+TEST(Torus, HopDistanceTakesShortWay)
+{
+    Torus2D torus(8, 8);
+    EXPECT_EQ(torus.hopDistance(torus.nodeAt(0, 0), torus.nodeAt(7, 0)),
+              1);
+    EXPECT_EQ(torus.hopDistance(torus.nodeAt(0, 0), torus.nodeAt(4, 4)),
+              8);
+}
+
+TEST(Torus, CapacityDoublesMesh)
+{
+    Torus2D torus(8, 8);
+    Mesh2D mesh(8, 8);
+    EXPECT_DOUBLE_EQ(torus.uniformCapacity(),
+                     2.0 * mesh.uniformCapacity());
+}
+
+TEST(TopologyFactory, BuildsFromConfig)
+{
+    Config cfg;
+    cfg.set("topology", "torus");
+    cfg.set("size_x", 4);
+    cfg.set("size_y", 6);
+    const auto topo = makeTopology(cfg);
+    EXPECT_EQ(topo->numNodes(), 24);
+    EXPECT_EQ(topo->describe(), "4x6 torus");
+}
+
+TEST(TopologyFactory, DefaultsToEightByEightMesh)
+{
+    Config cfg;
+    const auto topo = makeTopology(cfg);
+    EXPECT_EQ(topo->numNodes(), 64);
+    EXPECT_EQ(topo->describe(), "8x8 mesh");
+}
+
+TEST(TopologyFactoryDeath, RejectsUnknownKind)
+{
+    Config cfg;
+    cfg.set("topology", "hypercube");
+    EXPECT_EXIT(makeTopology(cfg), ::testing::ExitedWithCode(1),
+                "unknown topology");
+}
+
+/** Property sweep across sizes: neighbor relations are symmetric. */
+class TopologyProperty
+    : public ::testing::TestWithParam<std::tuple<const char*, int, int>>
+{
+};
+
+TEST_P(TopologyProperty, NeighborsAreMutual)
+{
+    const auto [kind, sx, sy] = GetParam();
+    Config cfg;
+    cfg.set("topology", kind);
+    cfg.set("size_x", sx);
+    cfg.set("size_y", sy);
+    const auto topo = makeTopology(cfg);
+    const PortId opposites[] = {kWest, kEast, kSouth, kNorth};
+    for (NodeId node = 0; node < topo->numNodes(); ++node) {
+        for (PortId port = kEast; port <= kSouth; ++port) {
+            const NodeId peer = topo->neighbor(node, port);
+            if (peer == kInvalidNode)
+                continue;
+            EXPECT_EQ(topo->neighbor(peer, opposites[port]), node)
+                << kind << " " << sx << "x" << sy << " node " << node
+                << " port " << port;
+        }
+    }
+}
+
+TEST_P(TopologyProperty, HopDistanceIsAMetric)
+{
+    const auto [kind, sx, sy] = GetParam();
+    Config cfg;
+    cfg.set("topology", kind);
+    cfg.set("size_x", sx);
+    cfg.set("size_y", sy);
+    const auto topo = makeTopology(cfg);
+    const int n = topo->numNodes();
+    for (NodeId a = 0; a < n; ++a) {
+        EXPECT_EQ(topo->hopDistance(a, a), 0);
+        for (NodeId b = 0; b < n; ++b) {
+            EXPECT_EQ(topo->hopDistance(a, b), topo->hopDistance(b, a));
+            if (a != b) {
+                EXPECT_GE(topo->hopDistance(a, b), 1);
+            }
+        }
+    }
+}
+
+TEST_P(TopologyProperty, NeighborsAreOneHopApart)
+{
+    const auto [kind, sx, sy] = GetParam();
+    Config cfg;
+    cfg.set("topology", kind);
+    cfg.set("size_x", sx);
+    cfg.set("size_y", sy);
+    const auto topo = makeTopology(cfg);
+    for (NodeId node = 0; node < topo->numNodes(); ++node) {
+        for (PortId port = kEast; port <= kSouth; ++port) {
+            const NodeId peer = topo->neighbor(node, port);
+            if (peer == kInvalidNode || peer == node)
+                continue;
+            EXPECT_EQ(topo->hopDistance(node, peer), 1);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, TopologyProperty,
+    ::testing::Values(std::make_tuple("mesh", 2, 2),
+                      std::make_tuple("mesh", 4, 4),
+                      std::make_tuple("mesh", 8, 8),
+                      std::make_tuple("mesh", 3, 5),
+                      std::make_tuple("torus", 4, 4),
+                      std::make_tuple("torus", 8, 8),
+                      std::make_tuple("torus", 3, 5)));
+
+}  // namespace
+}  // namespace frfc

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Unit, statistical, and property tests for traffic patterns and
+ * injection processes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/config.hpp"
+#include "common/rng.hpp"
+#include "topology/mesh.hpp"
+#include "traffic/injection.hpp"
+#include "traffic/pattern.hpp"
+
+namespace frfc {
+namespace {
+
+TEST(Uniform, CoversAllDestinationsEvenly)
+{
+    Mesh2D mesh(4, 4);
+    UniformPattern pattern(mesh);
+    Rng rng(1);
+    std::map<NodeId, int> counts;
+    const int draws = 15000;
+    for (int i = 0; i < draws; ++i)
+        ++counts[pattern.dest(0, rng)];
+    EXPECT_EQ(counts.count(0), 0u);  // never targets the source
+    EXPECT_EQ(counts.size(), 15u);
+    for (const auto& [node, count] : counts)
+        EXPECT_NEAR(count, draws / 15, draws / 15 * 0.25) << node;
+}
+
+TEST(Transpose, SwapsCoordinates)
+{
+    Mesh2D mesh(4, 4);
+    TransposePattern pattern(mesh);
+    Rng rng(1);
+    EXPECT_EQ(pattern.dest(mesh.nodeAt(1, 3), rng), mesh.nodeAt(3, 1));
+}
+
+TEST(Transpose, DiagonalFallsBackOffDiagonal)
+{
+    Mesh2D mesh(4, 4);
+    TransposePattern pattern(mesh);
+    Rng rng(1);
+    const NodeId diag = mesh.nodeAt(2, 2);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_NE(pattern.dest(diag, rng), diag);
+}
+
+TEST(BitComplement, ComplementsFlatId)
+{
+    Mesh2D mesh(4, 4);
+    BitComplementPattern pattern(mesh);
+    Rng rng(1);
+    EXPECT_EQ(pattern.dest(0, rng), 15);
+    EXPECT_EQ(pattern.dest(5, rng), 10);
+}
+
+TEST(BitReverse, ReversesBits)
+{
+    Mesh2D mesh(4, 4);  // 16 nodes, 4 bits
+    BitReversePattern pattern(mesh);
+    Rng rng(1);
+    EXPECT_EQ(pattern.dest(0b0001, rng), 0b1000);
+    EXPECT_EQ(pattern.dest(0b0011, rng), 0b1100);
+}
+
+TEST(Shuffle, RotatesLeft)
+{
+    Mesh2D mesh(4, 4);
+    ShufflePattern pattern(mesh);
+    Rng rng(1);
+    EXPECT_EQ(pattern.dest(0b0011, rng), 0b0110);
+    EXPECT_EQ(pattern.dest(0b1001, rng), 0b0011);
+}
+
+TEST(Neighbor, StepsEastWithWrap)
+{
+    Mesh2D mesh(4, 4);
+    NeighborPattern pattern(mesh);
+    Rng rng(1);
+    EXPECT_EQ(pattern.dest(mesh.nodeAt(1, 2), rng), mesh.nodeAt(2, 2));
+    EXPECT_EQ(pattern.dest(mesh.nodeAt(3, 2), rng), mesh.nodeAt(0, 2));
+}
+
+TEST(Tornado, MovesHalfwayMinusOne)
+{
+    Mesh2D mesh(8, 8);
+    TornadoPattern pattern(mesh);
+    Rng rng(1);
+    EXPECT_EQ(pattern.dest(mesh.nodeAt(0, 0), rng), mesh.nodeAt(3, 3));
+}
+
+TEST(Hotspot, BiasesTowardHotNode)
+{
+    Mesh2D mesh(4, 4);
+    HotspotPattern pattern(mesh, {5}, 0.5);
+    Rng rng(1);
+    int hits = 0;
+    const int draws = 10000;
+    for (int i = 0; i < draws; ++i)
+        hits += pattern.dest(0, rng) == 5 ? 1 : 0;
+    // ~50% direct plus ~1/15 of the uniform remainder.
+    EXPECT_NEAR(static_cast<double>(hits) / draws, 0.53, 0.05);
+}
+
+TEST(PatternFactory, BuildsEveryKind)
+{
+    Mesh2D mesh(4, 4);
+    for (const char* kind :
+         {"uniform", "transpose", "bitcomp", "bitrev", "shuffle",
+          "tornado", "neighbor", "hotspot"}) {
+        Config cfg;
+        cfg.set("traffic", kind);
+        EXPECT_NE(makePattern(cfg, mesh), nullptr) << kind;
+    }
+}
+
+TEST(PatternFactoryDeath, RejectsUnknownKind)
+{
+    Mesh2D mesh(4, 4);
+    Config cfg;
+    cfg.set("traffic", "nemesis");
+    EXPECT_EXIT(makePattern(cfg, mesh), ::testing::ExitedWithCode(1),
+                "unknown traffic");
+}
+
+/** Every pattern must avoid self-traffic — property sweep. */
+class PatternProperty : public ::testing::TestWithParam<const char*>
+{
+};
+
+TEST_P(PatternProperty, NeverTargetsSource)
+{
+    Mesh2D mesh(4, 4);
+    Config cfg;
+    cfg.set("traffic", GetParam());
+    const auto pattern = makePattern(cfg, mesh);
+    Rng rng(3);
+    for (NodeId src = 0; src < mesh.numNodes(); ++src) {
+        for (int i = 0; i < 20; ++i) {
+            const NodeId dest = pattern->dest(src, rng);
+            EXPECT_NE(dest, src) << GetParam() << " src " << src;
+            EXPECT_GE(dest, 0);
+            EXPECT_LT(dest, mesh.numNodes());
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPatterns, PatternProperty,
+                         ::testing::Values("uniform", "transpose",
+                                           "bitcomp", "bitrev", "shuffle",
+                                           "tornado", "neighbor",
+                                           "hotspot"));
+
+TEST(Bernoulli, MatchesRateStatistically)
+{
+    BernoulliInjection inj(0.25);
+    Rng rng(7);
+    int fired = 0;
+    const int cycles = 100000;
+    for (int i = 0; i < cycles; ++i)
+        fired += inj.inject(rng) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(fired) / cycles, 0.25, 0.01);
+}
+
+TEST(Periodic, MatchesRateExactly)
+{
+    PeriodicInjection inj(0.25);
+    Rng rng(7);
+    int fired = 0;
+    for (int i = 0; i < 1000; ++i)
+        fired += inj.inject(rng) ? 1 : 0;
+    EXPECT_EQ(fired, 250);
+}
+
+TEST(Periodic, SpacesInjectionsEvenly)
+{
+    PeriodicInjection inj(0.5);
+    Rng rng(7);
+    int consecutive = 0;
+    bool prev = false;
+    for (int i = 0; i < 100; ++i) {
+        const bool now = inj.inject(rng);
+        if (now && prev)
+            ++consecutive;
+        prev = now;
+    }
+    EXPECT_EQ(consecutive, 0);  // rate 0.5 alternates
+}
+
+TEST(InjectionFactory, ConvertsFlitsToPackets)
+{
+    Config cfg;
+    const auto inj = makeInjection(cfg, 0.5, 5);
+    EXPECT_DOUBLE_EQ(inj->packetRate(), 0.1);
+}
+
+TEST(InjectionFactoryDeath, RejectsRateAboveOne)
+{
+    Config cfg;
+    EXPECT_EXIT(makeInjection(cfg, 6.0, 5), ::testing::ExitedWithCode(1),
+                "outside");
+}
+
+}  // namespace
+}  // namespace frfc
