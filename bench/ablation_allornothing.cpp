@@ -35,7 +35,7 @@ main(int argc, char** argv)
     }
 
     std::vector<std::string> names{"per-flit", "all-or-nothing"};
-    std::vector<std::vector<RunResult>> curves;
+    std::vector<Config> cfgs;
     for (bool aon : {false, true}) {
         Config cfg = baseConfig();
         applyFr6(cfg);
@@ -45,8 +45,11 @@ main(int argc, char** argv)
         cfg.set("packet_length", 9);
         cfg.set("all_or_nothing", aon);
         bench::applyOverrides(cfg, args);
-        curves.push_back(latencyCurve(cfg, loads, opt));
+        cfgs.push_back(cfg);
     }
+    const bench::WallTimer timer;
+    const auto curves = latencyCurves(cfgs, loads, opt);
+    const double elapsed = timer.seconds();
 
     bench::printCurves(args,
                        "Ablation: per-flit vs all-or-nothing scheduling "
@@ -63,6 +66,7 @@ main(int argc, char** argv)
         std::printf("  %-16s %5.1f\n", names[i].c_str(), sat * 100.0);
     }
     std::printf("\nPaper claim: per-flit scheduling attains higher "
-                "throughput (Section 5).\n");
+                "throughput (Section 5).\n\n");
+    bench::printSweepStats(args, elapsed, curves);
     return 0;
 }

@@ -20,7 +20,7 @@ main(int argc, char** argv)
     const auto loads = bench::curveLoads(args);
 
     std::vector<std::string> names;
-    std::vector<std::vector<RunResult>> curves;
+    std::vector<Config> cfgs;
     for (int speedup : {1, 2, 4}) {
         Config cfg = baseConfig();
         applyFr6(cfg);
@@ -28,8 +28,11 @@ main(int argc, char** argv)
         cfg.set("speedup", speedup);
         bench::applyOverrides(cfg, args);
         names.push_back("ports=" + std::to_string(speedup));
-        curves.push_back(latencyCurve(cfg, loads, opt));
+        cfgs.push_back(cfg);
     }
+    const bench::WallTimer timer;
+    const auto curves = latencyCurves(cfgs, loads, opt);
+    const double elapsed = timer.seconds();
 
     bench::printCurves(args,
                        "Extension (footnote 7): multi-ported input "
@@ -45,5 +48,7 @@ main(int argc, char** argv)
         }
         std::printf("  %-10s %5.1f\n", names[i].c_str(), sat * 100.0);
     }
+    std::printf("\n");
+    bench::printSweepStats(args, elapsed, curves);
     return 0;
 }

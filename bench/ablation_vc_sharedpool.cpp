@@ -22,7 +22,7 @@ main(int argc, char** argv)
 
     std::vector<std::string> names{"VC8 per-VC queues",
                                    "VC8 shared pool", "FR6"};
-    std::vector<std::vector<RunResult>> curves;
+    std::vector<Config> cfgs;
     for (int mode = 0; mode < 3; ++mode) {
         Config cfg = baseConfig();
         applyFastControl(cfg);
@@ -33,8 +33,11 @@ main(int argc, char** argv)
             applyFr6(cfg);
         }
         bench::applyOverrides(cfg, args);
-        curves.push_back(latencyCurve(cfg, loads, opt));
+        cfgs.push_back(cfg);
     }
+    const bench::WallTimer timer;
+    const auto curves = latencyCurves(cfgs, loads, opt);
+    const double elapsed = timer.seconds();
 
     bench::printCurves(args,
                        "Ablation: shared-pool VC [TamFra92] vs per-VC "
@@ -53,6 +56,7 @@ main(int argc, char** argv)
     std::printf("\nPaper claim: \"we simulated virtual-channel flow "
                 "control with a shared buffer\npool ... but saw no "
                 "improvement in network throughput\" — the FR gain is "
-                "from\nadvance scheduling, not pooling.\n");
+                "from\nadvance scheduling, not pooling.\n\n");
+    bench::printSweepStats(args, elapsed, curves);
     return 0;
 }

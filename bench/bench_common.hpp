@@ -15,6 +15,7 @@
 #ifndef FRFC_BENCH_BENCH_COMMON_HPP
 #define FRFC_BENCH_BENCH_COMMON_HPP
 
+#include <chrono>
 #include <cstdio>
 #include <iostream>
 #include <string>
@@ -22,6 +23,7 @@
 
 #include "common/config.hpp"
 #include "common/table.hpp"
+#include "harness/parallel.hpp"
 #include "harness/presets.hpp"
 #include "harness/sweep.hpp"
 #include "network/runner.hpp"
@@ -130,6 +132,68 @@ comparison(const char* what, double paper, double measured)
 {
     std::printf("  %-44s paper %-8.1f measured %-8.1f\n", what, paper,
                 measured);
+}
+
+/** Wall-clock stopwatch for whole-sweep timing. */
+class WallTimer
+{
+  public:
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start_)
+            .count();
+    }
+
+  private:
+    std::chrono::steady_clock::time_point start_ =
+        std::chrono::steady_clock::now();
+};
+
+/**
+ * Print sweep wall-clock observability: elapsed time, simulated
+ * cycles per second, and the parallel speedup (aggregate per-run time
+ * over elapsed time — ~1.0 when serial, approaching the worker count
+ * when the executor keeps every core busy). Pass counted_all = false
+ * when @p curves covers only part of the timed work (e.g. saturation
+ * searches ran inside the window too) — the rate and speedup would
+ * undercount, so only runs and wall time are printed.
+ */
+inline void
+printSweepStats(const BenchArgs& args, double elapsed_seconds,
+                const std::vector<std::vector<RunResult>>& curves,
+                bool counted_all = true)
+{
+    std::int64_t runs = 0;
+    double sim_cycles = 0.0;
+    double run_seconds = 0.0;
+    for (const auto& curve : curves) {
+        for (const RunResult& r : curve) {
+            ++runs;
+            sim_cycles += static_cast<double>(r.totalCycles);
+            run_seconds += r.wallSeconds;
+        }
+    }
+    const RunOptions opt = runOptions(args);
+    if (!counted_all) {
+        std::printf("sweep: %lld curve runs + saturation searches in "
+                    "%.2fs wall (run.threads=%d resolves to %d)\n",
+                    static_cast<long long>(runs), elapsed_seconds,
+                    opt.threads, resolveThreads(opt.threads));
+        return;
+    }
+    std::printf("sweep: %lld runs, %.0fk simulated cycles in %.2fs wall "
+                "(%.0f kcycles/s, run.threads=%d resolves to %d, "
+                "speedup %.2fx)\n",
+                static_cast<long long>(runs), sim_cycles / 1e3,
+                elapsed_seconds,
+                elapsed_seconds > 0.0
+                    ? sim_cycles / elapsed_seconds / 1e3
+                    : 0.0,
+                opt.threads, resolveThreads(opt.threads),
+                elapsed_seconds > 0.0 ? run_seconds / elapsed_seconds
+                                      : 1.0);
 }
 
 }  // namespace frfc::bench

@@ -22,7 +22,7 @@ main(int argc, char** argv)
     const auto loads = bench::curveLoads(args);
 
     const std::vector<std::string> names{"VC8", "VC16", "FR6", "FR13"};
-    std::vector<std::vector<RunResult>> curves;
+    std::vector<Config> cfgs;
     for (const auto& name : names) {
         Config cfg = baseConfig();
         applyFastControl(cfg);
@@ -32,8 +32,11 @@ main(int argc, char** argv)
                          : name == "FR6"  ? "fr6"
                                           : "fr13");
         bench::applyOverrides(cfg, args);
-        curves.push_back(latencyCurve(cfg, loads, opt));
+        cfgs.push_back(cfg);
     }
+    const bench::WallTimer timer;
+    const auto curves = latencyCurves(cfgs, loads, opt);
+    const double elapsed = timer.seconds();
 
     bench::printCurves(args,
                        "Figure 5: latency vs offered traffic, 5-flit "
@@ -57,5 +60,7 @@ main(int argc, char** argv)
         bench::comparison(names[i].c_str(), paper_base[i],
                           curves[i].front().avgLatency);
     }
+    std::printf("\n");
+    bench::printSweepStats(args, elapsed, curves);
     return 0;
 }

@@ -28,15 +28,18 @@ main(int argc, char** argv)
     const std::vector<std::string> names{"VC8", "VC16", "VC32", "FR6",
                                          "FR13"};
     const char* presets[] = {"vc8", "vc16", "vc32", "fr6", "fr13"};
-    std::vector<std::vector<RunResult>> curves;
+    std::vector<Config> cfgs;
     for (std::size_t i = 0; i < names.size(); ++i) {
         Config cfg = baseConfig();
         applyFastControl(cfg);
         cfg.set("packet_length", 21);
         applyPreset(cfg, presets[i]);
         bench::applyOverrides(cfg, args);
-        curves.push_back(latencyCurve(cfg, loads, opt));
+        cfgs.push_back(cfg);
     }
+    const bench::WallTimer timer;
+    const auto curves = latencyCurves(cfgs, loads, opt);
+    const double elapsed = timer.seconds();
 
     bench::printCurves(args,
                        "Figure 6: latency vs offered traffic, 21-flit "
@@ -61,6 +64,7 @@ main(int argc, char** argv)
     }
     std::printf("\nPaper takeaway: with a buffer pool small relative to "
                 "the packet length\n(FR6, 21-flit packets) the gain is "
-                "tempered; FR13 still clears VC32.\n");
+                "tempered; FR13 still clears VC32.\n\n");
+    bench::printSweepStats(args, elapsed, curves);
     return 0;
 }

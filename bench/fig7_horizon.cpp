@@ -20,7 +20,7 @@ main(int argc, char** argv)
     const auto loads = bench::curveLoads(args);
 
     std::vector<std::string> names;
-    std::vector<std::vector<RunResult>> curves;
+    std::vector<Config> cfgs;
     for (int horizon : {16, 32, 64, 128}) {
         Config cfg = baseConfig();
         applyFastControl(cfg);
@@ -28,8 +28,11 @@ main(int argc, char** argv)
         cfg.set("horizon", horizon);
         bench::applyOverrides(cfg, args);
         names.push_back("s=" + std::to_string(horizon));
-        curves.push_back(latencyCurve(cfg, loads, opt));
+        cfgs.push_back(cfg);
     }
+    const bench::WallTimer timer;
+    const auto curves = latencyCurves(cfgs, loads, opt);
+    const double elapsed = timer.seconds();
 
     bench::printCurves(args,
                        "Figure 7: FR6 latency vs offered traffic across "
@@ -46,6 +49,7 @@ main(int argc, char** argv)
         std::printf("  %-8s %5.1f\n", names[i].c_str(), sat * 100.0);
     }
     std::printf("\nPaper claim: a 16-cycle horizon is within 10%% of "
-                "optimum; little improvement beyond 32.\n");
+                "optimum; little improvement beyond 32.\n\n");
+    bench::printSweepStats(args, elapsed, curves);
     return 0;
 }

@@ -20,15 +20,18 @@ main(int argc, char** argv)
     const auto loads = bench::curveLoads(args);
 
     std::vector<std::string> names;
-    std::vector<std::vector<RunResult>> curves;
+    std::vector<Config> cfgs;
     for (int lead : {1, 2, 4}) {
         Config cfg = baseConfig();
         applyFr6(cfg);
         applyLeadingControl(cfg, lead);
         bench::applyOverrides(cfg, args);
         names.push_back("lead=" + std::to_string(lead));
-        curves.push_back(latencyCurve(cfg, loads, opt));
+        cfgs.push_back(cfg);
     }
+    const bench::WallTimer timer;
+    const auto curves = latencyCurves(cfgs, loads, opt);
+    const double elapsed = timer.seconds();
 
     bench::printCurves(args,
                        "Figure 8: FR6 with leading control, lead 1/2/4 "
@@ -45,5 +48,7 @@ main(int argc, char** argv)
         }
         std::printf("  %-8s %5.1f\n", names[i].c_str(), sat * 100.0);
     }
+    std::printf("\n");
+    bench::printSweepStats(args, elapsed, curves);
     return 0;
 }

@@ -22,14 +22,16 @@ main(int argc, char** argv)
 
     const std::vector<std::string> names{"VC8", "VC16", "FR6", "FR13"};
     const char* presets[] = {"vc8", "vc16", "fr6", "fr13"};
-    std::vector<std::vector<RunResult>> curves;
+    std::vector<Config> cfgs;
     for (std::size_t i = 0; i < names.size(); ++i) {
         Config cfg = baseConfig();
         applyPreset(cfg, presets[i]);
         applyLeadingControl(cfg, 1);
         bench::applyOverrides(cfg, args);
-        curves.push_back(latencyCurve(cfg, loads, opt));
+        cfgs.push_back(cfg);
     }
+    const bench::WallTimer timer;
+    const auto curves = latencyCurves(cfgs, loads, opt);
 
     bench::printCurves(args,
                        "Figure 9: leading control (lead 1) vs "
@@ -49,13 +51,13 @@ main(int argc, char** argv)
 
     std::printf("\nLatency at 50%% capacity (cycles):\n");
     const double paper_mid[] = {21, 21, 19, 19};
+    const auto mids = latencyCurves(cfgs, {0.5}, opt);
+    const double elapsed = timer.seconds();
     for (std::size_t i = 0; i < names.size(); ++i) {
-        Config cfg = baseConfig();
-        applyPreset(cfg, presets[i]);
-        applyLeadingControl(cfg, 1);
-        bench::applyOverrides(cfg, args);
-        const RunResult r = measureAtLoad(cfg, 0.5, opt);
-        bench::comparison(names[i].c_str(), paper_mid[i], r.avgLatency);
+        bench::comparison(names[i].c_str(), paper_mid[i],
+                          mids[i][0].avgLatency);
     }
+    std::printf("\n");
+    bench::printSweepStats(args, elapsed, curves);
     return 0;
 }

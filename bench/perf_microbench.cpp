@@ -11,7 +11,9 @@
 #include "common/config.hpp"
 #include "frfc/input_table.hpp"
 #include "frfc/output_table.hpp"
+#include "harness/parallel.hpp"
 #include "harness/presets.hpp"
+#include "harness/sweep.hpp"
 #include "network/fr_network.hpp"
 #include "network/vc_network.hpp"
 #include "sim/channel.hpp"
@@ -41,6 +43,71 @@ BM_OutputTableReserveCredit(benchmark::State& state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_OutputTableReserveCredit)->Arg(16)->Arg(32)->Arg(128);
+
+/**
+ * findDeparture alone, on a table with standing reservations and a
+ * tight buffer supply — the lookup the router issues several times per
+ * cycle. The cached suffix-minimum frontier makes this a binary search
+ * instead of an O(horizon) backward scan per call.
+ */
+void
+BM_OutputTableFindDeparture(benchmark::State& state)
+{
+    const int horizon = static_cast<int>(state.range(0));
+    OutputReservationTable ort(horizon, 4, 4);
+    // Standing load: a few committed reservations and one credit.
+    ort.reserve(1);
+    ort.reserve(3);
+    ort.reserve(horizon / 2);
+    ort.credit(horizon / 2 + 4);
+    Cycle min_depart = 0;
+    for (auto _ : state) {
+        min_depart = (min_depart + 1) % (horizon / 2);
+        benchmark::DoNotOptimize(
+            ort.findDeparture(min_depart, [](Cycle) { return true; }));
+        benchmark::DoNotOptimize(
+            ort.findDeparture(min_depart, [](Cycle) { return true; },
+                              /*min_free=*/2));
+    }
+    state.SetItemsProcessed(2 * state.iterations());
+}
+BENCHMARK(BM_OutputTableFindDeparture)->Arg(16)->Arg(32)->Arg(128);
+
+/**
+ * Sweep-level speedup of the parallel experiment executor: an 8-point
+ * latencyCurve on a reduced mesh, serial vs 8 workers. On an 8-core
+ * host the 8-worker run should finish the curve >= 3x faster; results
+ * are bit-identical either way (tests/test_parallel.cpp).
+ */
+void
+BM_LatencyCurveSweep(benchmark::State& state)
+{
+    Config cfg = baseConfig();
+    cfg.set("size_x", 4);
+    cfg.set("size_y", 4);
+    applyVc8(cfg);
+    RunOptions opt;
+    opt.samplePackets = 300;
+    opt.minWarmup = 500;
+    opt.maxWarmup = 1500;
+    opt.maxCycles = 30000;
+    opt.threads = static_cast<int>(state.range(0));
+    const std::vector<double> loads{0.10, 0.20, 0.30, 0.40,
+                                    0.50, 0.55, 0.60, 0.65};
+    for (auto _ : state) {
+        auto curve = latencyCurve(cfg, loads, opt);
+        benchmark::DoNotOptimize(curve);
+    }
+    state.SetItemsProcessed(state.iterations()
+                            * static_cast<std::int64_t>(loads.size()));
+    state.SetLabel("runs/s");
+}
+BENCHMARK(BM_LatencyCurveSweep)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 void
 BM_InputTableFlow(benchmark::State& state)

@@ -23,17 +23,6 @@ struct Row
     double sat = 0.0;
 };
 
-Row
-measureRow(const Config& cfg, const RunOptions& opt,
-           const SaturationOptions& sopt)
-{
-    Row row;
-    row.base = measureBaseLatency(cfg, opt).avgLatency;
-    row.mid = measureAtLoad(cfg, 0.5, opt).avgLatency;
-    row.sat = findSaturation(cfg, opt, sopt) * 100.0;
-    return row;
-}
-
 }  // namespace
 
 int
@@ -83,6 +72,8 @@ main(int argc, char** argv)
     std::printf("== Table 3: summary of experimental results (%s mode) "
                 "==\n\n",
                 args.full ? "full" : "quick");
+    const bench::WallTimer timer;
+    std::vector<std::vector<RunResult>> all_runs;
     for (const Section& sec : sections) {
         std::printf("-- %s --\n", sec.title);
         RunOptions sec_opt = opt;
@@ -90,9 +81,7 @@ main(int argc, char** argv)
             sec_opt.samplePackets = 500;
             sec_opt.maxCycles = 100000;
         }
-        TextTable table;
-        table.setHeader({"config", "base lat", "(paper)", "lat @50%",
-                         "(paper)", "sat %", "(paper)"});
+        std::vector<Config> cfgs;
         for (int i = 0; i < 5; ++i) {
             Config cfg = baseConfig();
             applyPreset(cfg, presets[i]);
@@ -102,7 +91,23 @@ main(int argc, char** argv)
             else
                 applyFastControl(cfg);
             bench::applyOverrides(cfg, args);
-            const Row row = measureRow(cfg, sec_opt, sopt);
+            cfgs.push_back(cfg);
+        }
+        // Base and mid-load latencies for the whole section in one
+        // parallel batch; each saturation search then runs its own
+        // parallel grid probe.
+        const auto latencies = latencyCurves(cfgs, {0.02, 0.5}, sec_opt);
+        all_runs.insert(all_runs.end(), latencies.begin(),
+                        latencies.end());
+        TextTable table;
+        table.setHeader({"config", "base lat", "(paper)", "lat @50%",
+                         "(paper)", "sat %", "(paper)"});
+        for (int i = 0; i < 5; ++i) {
+            Row row;
+            const auto idx = static_cast<std::size_t>(i);
+            row.base = latencies[idx][0].avgLatency;
+            row.mid = latencies[idx][1].avgLatency;
+            row.sat = findSaturation(cfgs[idx], sec_opt, sopt) * 100.0;
             table.addRow({names[i], TextTable::num(row.base, 1),
                           TextTable::num(sec.base[i], 0),
                           TextTable::num(row.mid, 1),
@@ -116,6 +121,8 @@ main(int argc, char** argv)
             table.print(std::cout);
         std::printf("\n");
     }
+    bench::printSweepStats(args, timer.seconds(), all_runs,
+                           /*counted_all=*/false);
     std::printf("Shape checks: FR > VC saturation at equal storage; FR "
                 "base latency lower under\nfast control; FR6 ~ VC16 "
                 "saturation; gains tempered for 21-flit packets on "

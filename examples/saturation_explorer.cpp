@@ -2,16 +2,22 @@
  * @file
  * Saturation explorer: bisect the saturation throughput of any
  * configuration and sketch its latency-load curve in the terminal.
+ * Saturation probes and curve points run on the parallel experiment
+ * executor; pass run.threads=N to control the worker count (0 = one
+ * per hardware thread, the default).
  *
  *   $ ./saturation_explorer preset=fr6
- *   $ ./saturation_explorer preset=vc8 packet_length=21
+ *   $ ./saturation_explorer preset=vc8 packet_length=21 run.threads=4
  */
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "common/config.hpp"
+#include "harness/parallel.hpp"
 #include "harness/presets.hpp"
 #include "harness/sweep.hpp"
 
@@ -42,8 +48,11 @@ main(int argc, char** argv)
     opt.minWarmup = 2000;
     opt.maxWarmup = 6000;
     opt.maxCycles = 80000;
+    opt = RunOptions::fromConfig(cfg, opt);  // run.* CLI overrides
 
-    std::printf("Exploring %s ...\n\n", preset.c_str());
+    std::printf("Exploring %s on %d worker thread(s)...\n\n",
+                preset.c_str(), resolveThreads(opt.threads));
+    const auto wall_start = std::chrono::steady_clock::now();
 
     const RunResult base = measureBaseLatency(cfg, opt);
     std::printf("base latency: %.1f cycles\n", base.avgLatency);
@@ -51,21 +60,36 @@ main(int argc, char** argv)
     const double sat = findSaturation(cfg, opt);
     std::printf("saturation  : %.1f%% of capacity\n\n", sat * 100.0);
 
-    // ASCII latency-load curve up to just past saturation.
+    // ASCII latency-load curve up to just past saturation; all points
+    // run as one parallel batch.
+    std::vector<double> loads;
+    for (double frac = 0.1; frac <= sat + 0.049; frac += 0.1)
+        loads.push_back(frac);
+    const std::vector<RunResult> curve = latencyCurve(cfg, loads, opt);
+
     std::printf("offered%%  latency  curve (each # ~ 4 cycles over "
                 "base)\n");
-    for (double frac = 0.1; frac <= sat + 0.049; frac += 0.1) {
-        const RunResult r = measureAtLoad(cfg, frac, opt);
+    double sim_cycles = static_cast<double>(base.totalCycles);
+    for (const RunResult& r : curve)
+        sim_cycles += static_cast<double>(r.totalCycles);
+    for (const RunResult& r : curve) {
         if (!r.complete) {
-            std::printf("%7.0f   (saturated)\n", frac * 100.0);
+            std::printf("%7.0f   (saturated)\n",
+                        r.offeredFraction * 100.0);
             break;
         }
         const int bars =
             static_cast<int>((r.avgLatency - base.avgLatency) / 4.0);
-        std::printf("%7.0f   %7.1f  %s\n", frac * 100.0, r.avgLatency,
+        std::printf("%7.0f   %7.1f  %s\n", r.offeredFraction * 100.0,
+                    r.avgLatency,
                     std::string(
                         static_cast<std::size_t>(std::max(0, bars)), '#')
                         .c_str());
     }
+
+    const double elapsed = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - wall_start).count();
+    std::printf("\n%.2fs wall, %.0f kcycles/s simulated\n", elapsed,
+                elapsed > 0.0 ? sim_cycles / elapsed / 1e3 : 0.0);
     return 0;
 }

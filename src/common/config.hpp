@@ -7,6 +7,13 @@
  * `key=value` command-line tokens, or simple `key = value` config files
  * ('#' starts a comment). Typed getters fatal() on missing keys or
  * malformed values — configuration errors are user errors.
+ *
+ * The `run.*` namespace configures the measurement protocol rather
+ * than the simulated network (RunOptions::fromConfig): sample size,
+ * warm-up bounds, cycle budget, and `run.threads` — the worker count
+ * of the parallel experiment executor (0 = one per hardware thread).
+ * Any bench or example that applies CLI tokens accepts them, e.g.
+ * `fig5_latency_5flit run.threads=8`.
  */
 
 #ifndef FRFC_COMMON_CONFIG_HPP

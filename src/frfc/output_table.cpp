@@ -9,7 +9,8 @@ OutputReservationTable::OutputReservationTable(int horizon,
     : horizon_(horizon), buffers_(downstream_buffers),
       link_latency_(link_latency), infinite_(infinite_buffers),
       busy_(static_cast<std::size_t>(horizon), 0),
-      free_(static_cast<std::size_t>(horizon), downstream_buffers)
+      free_(static_cast<std::size_t>(horizon), downstream_buffers),
+      suffix_min_(static_cast<std::size_t>(horizon), downstream_buffers)
 {
     FRFC_ASSERT(horizon >= 2, "horizon must be at least 2 cycles");
     FRFC_ASSERT(infinite_buffers || downstream_buffers > 0,
@@ -25,11 +26,15 @@ OutputReservationTable::advance(Cycle now)
     while (window_start_ < now) {
         // Slot window_start_ expires; it becomes the slot for
         // window_start_ + horizon, which inherits the buffer count of
-        // the (previous) last slot and an idle channel.
+        // the (previous) last slot and an idle channel. Dropping the
+        // front slot leaves later suffix minima untouched, and the new
+        // last slot's count equals the old last slot's, so its suffix
+        // minimum is its own count and no earlier minimum changes.
         const std::size_t expired = index(window_start_);
         const std::size_t last = index(window_start_ - 1 + horizon_);
         busy_[expired] = 0;
         free_[expired] = free_[last];
+        suffix_min_[expired] = free_[expired];
         ++window_start_;
     }
 }
@@ -45,11 +50,22 @@ OutputReservationTable::reserve(Cycle depart)
     busy = 1;
     if (infinite_)
         return;
-    for (Cycle t = depart + link_latency_; t <= windowEnd(); ++t) {
-        int& f = free_[index(t)];
-        FRFC_ASSERT(f > 0, "reserving without a free buffer at ", t);
+    // Every suffix [t, windowEnd()] with t >= the arrival loses exactly
+    // this one buffer, so the cached minima drop by one in lockstep.
+    const Cycle arrival = depart + link_latency_;
+    std::size_t i = index(arrival);
+    const std::size_t count =
+        static_cast<std::size_t>(windowEnd() - arrival + 1);
+    for (std::size_t k = 0; k < count; ++k) {
+        int& f = free_[i];
+        FRFC_ASSERT(f > 0, "reserving without a free buffer at ",
+                    arrival + static_cast<Cycle>(k));
         --f;
+        --suffix_min_[i];
+        if (++i == static_cast<std::size_t>(horizon_))
+            i = 0;
     }
+    refreshSuffixBefore(arrival - 1);
 }
 
 void
@@ -60,10 +76,38 @@ OutputReservationTable::credit(Cycle free_from)
     const Cycle from = std::max(free_from, window_start_);
     FRFC_ASSERT(from <= windowEnd(),
                 "credit for cycle ", free_from, " beyond horizon");
-    for (Cycle t = from; t <= windowEnd(); ++t) {
-        int& f = free_[index(t)];
+    std::size_t i = index(from);
+    const std::size_t count =
+        static_cast<std::size_t>(windowEnd() - from + 1);
+    for (std::size_t k = 0; k < count; ++k) {
+        int& f = free_[i];
         ++f;
-        FRFC_ASSERT(f <= buffers_, "credit overflow at cycle ", t);
+        FRFC_ASSERT(f <= buffers_, "credit overflow at cycle ",
+                    from + static_cast<Cycle>(k));
+        ++suffix_min_[i];
+        if (++i == static_cast<std::size_t>(horizon_))
+            i = 0;
+    }
+    refreshSuffixBefore(from - 1);
+}
+
+void
+OutputReservationTable::refreshSuffixBefore(Cycle from)
+{
+    Cycle t = std::min(from, windowEnd() - 1);
+    if (t < window_start_)
+        return;
+    std::size_t i = index(t);
+    for (;;) {
+        const std::size_t next =
+            i + 1 == static_cast<std::size_t>(horizon_) ? 0 : i + 1;
+        const int updated = std::min(free_[i], suffix_min_[next]);
+        if (updated == suffix_min_[i])
+            return;  // minima further back are built on this one
+        suffix_min_[i] = updated;
+        if (--t < window_start_)
+            return;
+        i = i == 0 ? static_cast<std::size_t>(horizon_) - 1 : i - 1;
     }
 }
 

@@ -58,6 +58,14 @@ class OutputReservationTable
      * reserved-buffer deadlock-avoidance rule used by wide-control-flit
      * mode (see FrRouter). Returns kInvalidCycle if no cycle in the
      * window qualifies.
+     *
+     * Buffer availability is a suffix-minimum: once the earliest
+     * feasible arrival is known, everything later is feasible too.
+     * The suffix minima are cached in suffix_min_ and maintained
+     * incrementally by reserve()/credit()/advance(), so locating the
+     * frontier is a binary search instead of an O(horizon) rescan on
+     * every call — findDeparture dominates the scheduling hot path,
+     * with several candidate lookups per router per cycle.
      */
     template <typename Predicate>
     Cycle
@@ -70,22 +78,26 @@ class OutputReservationTable
         if (lo > hi)
             return kInvalidCycle;
 
-        // Buffer availability is a suffix-minimum: once the earliest
-        // feasible arrival is known, everything later is feasible too.
-        // One backward pass finds it, keeping the scan linear.
-        Cycle min_feasible_arrival = kInvalidCycle;
+        Cycle first = lo;
         if (!infinite_) {
-            min_feasible_arrival = windowEnd() + 1;  // none
-            for (Cycle t = windowEnd(); t >= lo + link_latency_; --t) {
-                if (free_[index(t)] < min_free)
-                    break;
-                min_feasible_arrival = t;
+            // suffix_min_ is non-decreasing in t, so the frontier —
+            // the earliest arrival from which min_free buffers stay
+            // free through the horizon — is found by binary search.
+            Cycle a_lo = lo + link_latency_;
+            Cycle a_hi = windowEnd();
+            if (suffix_min_[index(a_hi)] < min_free)
+                return kInvalidCycle;  // no feasible arrival at all
+            while (a_lo < a_hi) {
+                const Cycle mid = a_lo + (a_hi - a_lo) / 2;
+                if (suffix_min_[index(mid)] >= min_free)
+                    a_hi = mid;
+                else
+                    a_lo = mid + 1;
             }
+            first = std::max(lo, a_lo - link_latency_);
         }
-        for (Cycle t = lo; t <= hi; ++t) {
+        for (Cycle t = first; t <= hi; ++t) {
             if (busy_[index(t)])
-                continue;
-            if (!infinite_ && t + link_latency_ < min_feasible_arrival)
                 continue;
             if (!extra(t))
                 continue;
@@ -131,6 +143,13 @@ class OutputReservationTable
         return t;
     }
 
+    /**
+     * Recompute suffix_min_[t] backwards from @p from down to the
+     * window start, stopping at the first unchanged slot (earlier
+     * minima cannot change once one propagation step is a no-op).
+     */
+    void refreshSuffixBefore(Cycle from);
+
     int horizon_;
     int buffers_;
     Cycle link_latency_;
@@ -138,6 +157,9 @@ class OutputReservationTable
     Cycle window_start_ = 0;
     std::vector<std::uint8_t> busy_;
     std::vector<int> free_;
+    /** suffix_min_[index(t)] = min(free_[t .. windowEnd()]); the
+     *  cached feasibility frontier behind findDeparture(). */
+    std::vector<int> suffix_min_;
 };
 
 }  // namespace frfc

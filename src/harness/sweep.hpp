@@ -17,10 +17,24 @@ namespace frfc {
 /**
  * Run @p cfg at each offered load (fraction of capacity) and collect
  * the results. Incomplete (saturated) runs report complete = false.
+ *
+ * Points run concurrently on resolveThreads(opt.threads) workers
+ * (harness/parallel); results come back in load order and are
+ * bit-identical to a serial loop for every thread count.
  */
 std::vector<RunResult>
 latencyCurve(const Config& cfg, const std::vector<double>& loads,
              const RunOptions& opt);
+
+/**
+ * One latency curve per config, pooling every (config, load) point
+ * into a single parallel batch so a whole figure keeps all workers
+ * busy across curve boundaries. curves[i][j] is configs[i] at
+ * loads[j], bit-identical to calling latencyCurve per config.
+ */
+std::vector<std::vector<RunResult>>
+latencyCurves(const std::vector<Config>& configs,
+              const std::vector<double>& loads, const RunOptions& opt);
 
 /** Zero-load (base) latency: a run at 2% of capacity. */
 RunResult measureBaseLatency(const Config& cfg, const RunOptions& opt);
@@ -36,12 +50,26 @@ struct SaturationOptions
     double hi = 1.00;          ///< known-saturated upper bound
     double tolerance = 0.02;   ///< bisection stop width
     double acceptRatio = 0.90; ///< accepted/offered below this => saturated
+    /**
+     * Probe the standardLoads() grid inside [lo, hi] concurrently
+     * first, then bisect only the bracketing interval. One parallel
+     * round replaces the serial head of the bisection; disable to get
+     * the classic pure-bisection probe sequence.
+     */
+    bool gridProbe = true;
 };
 
 /**
  * Saturation throughput as a fraction of capacity: the largest offered
- * load the network still accepts (bisection on accepted/offered and on
- * sample completion within the cycle budget).
+ * load the network still accepts (saturation = accepted/offered below
+ * acceptRatio, or sample incomplete within the cycle budget).
+ *
+ * Grid-then-refine search: the standardLoads() grid inside [lo, hi]
+ * is probed in parallel (run_opt.threads workers), then bisection
+ * narrows the bracketing interval. Every probed load is memoized, so
+ * no load is ever simulated twice. Deterministic for every thread
+ * count: the probe set and all decisions depend only on (memoized)
+ * per-load results, which are themselves bit-deterministic.
  */
 double findSaturation(const Config& cfg, const RunOptions& run_opt,
                       const SaturationOptions& sat_opt = {});

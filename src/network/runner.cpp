@@ -1,5 +1,7 @@
 #include "network/runner.hpp"
 
+#include <chrono>
+
 #include "common/config.hpp"
 #include "common/log.hpp"
 #include "network/network.hpp"
@@ -30,7 +32,38 @@ RunOptions::fromConfig(const Config& cfg, const RunOptions& base)
                                         opt.warmupTolerance);
     opt.trackOccupancy = cfg.getBool("run.track_occupancy",
                                      opt.trackOccupancy);
+    opt.threads = static_cast<int>(
+        cfg.getInt("run.threads", opt.threads));
     return opt;
+}
+
+double
+RunResult::cyclesPerSecond() const
+{
+    return wallSeconds > 0.0
+        ? static_cast<double>(totalCycles) / wallSeconds
+        : 0.0;
+}
+
+bool
+RunResult::bitIdentical(const RunResult& other) const
+{
+    return offered == other.offered
+        && offeredFraction == other.offeredFraction
+        && avgLatency == other.avgLatency
+        && ci95 == other.ci95
+        && minLatency == other.minLatency
+        && maxLatency == other.maxLatency
+        && p50Latency == other.p50Latency
+        && p99Latency == other.p99Latency
+        && accepted == other.accepted
+        && acceptedFraction == other.acceptedFraction
+        && complete == other.complete
+        && warmupCycles == other.warmupCycles
+        && totalCycles == other.totalCycles
+        && packetsDelivered == other.packetsDelivered
+        && poolFullFraction == other.poolFullFraction
+        && poolAvgOccupancy == other.poolAvgOccupancy;
 }
 
 RunOptions
@@ -47,6 +80,7 @@ RunOptions::quick()
 RunResult
 runMeasurement(NetworkModel& net, const RunOptions& opt)
 {
+    const auto wall_start = std::chrono::steady_clock::now();
     Kernel& kernel = net.kernel();
     PacketRegistry& registry = net.registry();
 
@@ -101,6 +135,8 @@ runMeasurement(NetworkModel& net, const RunOptions& opt)
         result.poolFullFraction = net.middlePoolFullFraction();
         result.poolAvgOccupancy = net.middlePoolAvgOccupancy();
     }
+    result.wallSeconds = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - wall_start).count();
     return result;
 }
 

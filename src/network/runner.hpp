@@ -31,6 +31,14 @@ struct RunOptions
     bool trackOccupancy = false;          ///< Section 4.2 statistic
 
     /**
+     * Worker threads for sweep-level parallelism (harness/parallel):
+     * 0 = one per hardware thread, 1 = serial/inline, n = n workers.
+     * Results are bit-identical for every value (each run owns its
+     * RNG streams); only wall-clock changes.
+     */
+    int threads = 0;
+
+    /**
      * Reads run.* keys (run.sample_packets, run.min_warmup, ...);
      * absent keys keep the values of @p base (paper-scale defaults in
      * the single-argument form).
@@ -62,6 +70,21 @@ struct RunResult
     std::int64_t packetsDelivered = 0;
     double poolFullFraction = 0.0;  ///< valid if trackOccupancy
     double poolAvgOccupancy = 0.0;  ///< valid if trackOccupancy
+
+    /** @{ Wall-clock observability (host-dependent, never compared). */
+    double wallSeconds = 0.0;       ///< host time spent in the run
+    /** Simulated cycles per host second (0 if the run was too fast
+     *  for the clock to resolve). */
+    double cyclesPerSecond() const;
+    /** @} */
+
+    /**
+     * True if every simulation-determined field matches @p other.
+     * Wall-clock fields are excluded: they vary between hosts and
+     * runs while the simulation outcome must stay bit-identical for
+     * equal seeds, serial or parallel.
+     */
+    bool bitIdentical(const RunResult& other) const;
 };
 
 /** Run the warm-up / sample / drain protocol on @p net. */

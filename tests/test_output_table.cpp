@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
+#include "common/rng.hpp"
 #include "frfc/output_table.hpp"
 
 namespace frfc {
@@ -177,6 +180,114 @@ TEST(OutputTable, PaperFigure4Example)
     ort.reserve(depart);
     EXPECT_TRUE(ort.busyAt(12));
     EXPECT_EQ(ort.freeBuffersAt(13), 0);  // decremented from t_d + t_p
+}
+
+/**
+ * Naive reference for findDeparture, built only on the public
+ * inspection accessors: for each candidate departure, re-check the
+ * buffer suffix cycle by cycle. The production implementation answers
+ * from the incrementally maintained suffix-minimum frontier; this scan
+ * is the specification it must match.
+ */
+template <typename Predicate>
+Cycle
+referenceFindDeparture(const OutputReservationTable& ort,
+                       Cycle min_depart, Predicate&& extra, int min_free)
+{
+    const Cycle lo = std::max(min_depart, ort.windowStart());
+    const Cycle hi = ort.windowEnd() - ort.linkLatency();
+    for (Cycle t = lo; t <= hi; ++t) {
+        if (ort.busyAt(t))
+            continue;
+        bool feasible = true;
+        for (Cycle a = t + ort.linkLatency(); a <= ort.windowEnd(); ++a) {
+            if (ort.freeBuffersAt(a) < min_free) {
+                feasible = false;
+                break;
+            }
+        }
+        if (!feasible)
+            continue;
+        if (!extra(t))
+            continue;
+        return t;
+    }
+    return kInvalidCycle;
+}
+
+/**
+ * Property test for the cached-frontier fast path: drive randomized
+ * reserve/credit/advance sequences (valid by construction — every
+ * credit pairs with an outstanding reservation at or after its
+ * downstream arrival, so the table's own overflow assertions stay
+ * live) and require findDeparture to agree with the reference scan
+ * for random (min_depart, min_free) queries after every mutation.
+ */
+TEST(OutputTableProperty, FastPathMatchesReferenceScan)
+{
+    struct Shape
+    {
+        int horizon;
+        int buffers;
+        Cycle latency;
+    };
+    for (const Shape& shape : {Shape{8, 2, 1}, Shape{16, 3, 2},
+                               Shape{32, 6, 4}, Shape{64, 4, 3}}) {
+        Rng rng(20260806,
+                static_cast<std::uint64_t>(shape.horizon));
+        OutputReservationTable ort(shape.horizon, shape.buffers,
+                                   shape.latency);
+        Cycle now = 0;
+        std::vector<Cycle> outstanding;  // arrival cycles awaiting credit
+        for (int step = 0; step < 600; ++step) {
+            const std::uint64_t op = rng.nextBounded(4);
+            if (op == 0) {
+                // Slide the window forward a little.
+                now += rng.nextRange(0, 2);
+                ort.advance(now);
+                // Credits can no longer land before the window.
+                for (Cycle& a : outstanding)
+                    a = std::max(a, ort.windowStart());
+            } else if (op <= 2) {
+                // Reserve wherever the scheduler itself would.
+                const Cycle min_depart =
+                    now + rng.nextRange(0, shape.horizon / 2);
+                const Cycle d = ort.findDeparture(min_depart, kAny);
+                if (d != kInvalidCycle) {
+                    ort.reserve(d);
+                    outstanding.push_back(d + shape.latency);
+                }
+            } else if (!outstanding.empty()) {
+                // Credit a random outstanding reservation at or after
+                // its downstream arrival.
+                const std::uint64_t pick =
+                    rng.nextBounded(outstanding.size());
+                const Cycle arrival = outstanding[pick];
+                const Cycle from = std::min(
+                    arrival + rng.nextRange(0, 4), ort.windowEnd());
+                ort.credit(from);
+                outstanding[pick] = outstanding.back();
+                outstanding.pop_back();
+            }
+            // Cross-check several queries against the reference.
+            for (int q = 0; q < 3; ++q) {
+                const Cycle min_depart =
+                    now + rng.nextRange(0, shape.horizon);
+                const int min_free =
+                    static_cast<int>(rng.nextRange(1, 2));
+                const bool odd_only = rng.nextBool(0.3);
+                auto extra = [odd_only](Cycle t) {
+                    return !odd_only || t % 2 != 0;
+                };
+                ASSERT_EQ(ort.findDeparture(min_depart, extra, min_free),
+                          referenceFindDeparture(ort, min_depart, extra,
+                                                 min_free))
+                    << "horizon " << shape.horizon << " step " << step
+                    << " min_depart " << min_depart << " min_free "
+                    << min_free;
+            }
+        }
+    }
 }
 
 TEST(OutputTableDeath, DoubleReserveSameCyclePanics)

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Tests for the parallel experiment executor: submission-order
+ * results, and — the load-bearing guarantee — bit-identical sweep
+ * results for every thread count and across repeated runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/parallel.hpp"
+#include "harness/presets.hpp"
+#include "harness/sweep.hpp"
+
+namespace frfc {
+namespace {
+
+RunOptions
+fast(int threads)
+{
+    RunOptions opt;
+    opt.samplePackets = 120;
+    opt.minWarmup = 300;
+    opt.maxWarmup = 900;
+    opt.maxCycles = 30000;
+    opt.threads = threads;
+    return opt;
+}
+
+Config
+smallMesh(const char* preset)
+{
+    Config cfg = baseConfig();
+    cfg.set("size_x", 4);
+    cfg.set("size_y", 4);
+    applyPreset(cfg, preset);
+    return cfg;
+}
+
+void
+expectBitIdentical(const std::vector<RunResult>& a,
+                   const std::vector<RunResult>& b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_TRUE(a[i].bitIdentical(b[i]))
+            << "point " << i << " diverged (offered "
+            << a[i].offeredFraction << " vs " << b[i].offeredFraction
+            << ", latency " << a[i].avgLatency << " vs "
+            << b[i].avgLatency << ")";
+    }
+}
+
+TEST(ResolveThreads, ExplicitCountsPassThrough)
+{
+    EXPECT_EQ(resolveThreads(1), 1);
+    EXPECT_EQ(resolveThreads(7), 7);
+}
+
+TEST(ResolveThreads, ZeroMeansHardware)
+{
+    EXPECT_GE(resolveThreads(0), 1);
+}
+
+TEST(ResolveThreadsDeath, NegativeIsFatal)
+{
+    EXPECT_EXIT(resolveThreads(-2), ::testing::ExitedWithCode(1),
+                "run.threads");
+}
+
+TEST(ParallelExecutor, ResultsComeBackInSubmissionOrder)
+{
+    ParallelExecutor pool(4);
+    EXPECT_EQ(pool.threadCount(), 4);
+    std::vector<std::future<RunResult>> futures;
+    const std::vector<double> loads{0.30, 0.10, 0.20, 0.05};
+    const Config cfg = smallMesh("vc8");
+    for (double load : loads) {
+        Config point = cfg;
+        point.set("offered", load);
+        futures.push_back(pool.submit(point, fast(4)));
+    }
+    for (std::size_t i = 0; i < loads.size(); ++i) {
+        const RunResult r = futures[i].get();
+        EXPECT_NEAR(r.offeredFraction, loads[i], 1e-9);
+    }
+}
+
+TEST(ParallelExecutor, RunExperimentsMatchesSerialLoop)
+{
+    const Config cfg = smallMesh("fr6");
+    std::vector<Config> points;
+    for (double load : {0.10, 0.25, 0.40}) {
+        Config point = cfg;
+        point.set("offered", load);
+        points.push_back(point);
+    }
+    std::vector<RunResult> serial;
+    for (const Config& point : points)
+        serial.push_back(runExperiment(point, fast(1)));
+    expectBitIdentical(serial, runExperiments(points, fast(4)));
+}
+
+class CurveDeterminism : public ::testing::TestWithParam<const char*>
+{
+};
+
+TEST_P(CurveDeterminism, BitIdenticalAcrossThreadCounts)
+{
+    const Config cfg = smallMesh(GetParam());
+    const std::vector<double> loads{0.10, 0.20, 0.35, 0.50};
+    const auto baseline = latencyCurve(cfg, loads, fast(1));
+    for (int threads : {2, 8}) {
+        const auto curve = latencyCurve(cfg, loads, fast(threads));
+        expectBitIdentical(baseline, curve);
+    }
+}
+
+TEST_P(CurveDeterminism, BitIdenticalAcrossRepeatedRuns)
+{
+    const Config cfg = smallMesh(GetParam());
+    const std::vector<double> loads{0.15, 0.40};
+    const auto first = latencyCurve(cfg, loads, fast(8));
+    const auto second = latencyCurve(cfg, loads, fast(8));
+    expectBitIdentical(first, second);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, CurveDeterminism,
+                         ::testing::Values("vc8", "fr6"));
+
+TEST(ParallelSweep, LatencyCurvesMatchesPerConfigCurves)
+{
+    const std::vector<Config> cfgs{smallMesh("vc8"), smallMesh("fr6")};
+    const std::vector<double> loads{0.10, 0.30};
+    const auto pooled = latencyCurves(cfgs, loads, fast(4));
+    ASSERT_EQ(pooled.size(), cfgs.size());
+    for (std::size_t i = 0; i < cfgs.size(); ++i)
+        expectBitIdentical(latencyCurve(cfgs[i], loads, fast(1)),
+                           pooled[i]);
+}
+
+TEST(ParallelSweep, FindSaturationIdenticalForEveryThreadCount)
+{
+    const Config cfg = smallMesh("vc8");
+    SaturationOptions sopt;
+    sopt.tolerance = 0.05;
+    RunOptions opt = fast(1);
+    const double serial = findSaturation(cfg, opt, sopt);
+    opt.threads = 8;
+    const double parallel = findSaturation(cfg, opt, sopt);
+    // Same memoized probe results => the exact same refinement path.
+    EXPECT_EQ(serial, parallel);
+    EXPECT_GT(serial, sopt.lo);
+    EXPECT_LE(serial, sopt.hi);
+}
+
+TEST(ParallelSweep, WallClockIsObservedPerRun)
+{
+    const Config cfg = smallMesh("vc8");
+    const auto curve = latencyCurve(cfg, {0.10}, fast(2));
+    ASSERT_EQ(curve.size(), 1u);
+    EXPECT_GE(curve[0].wallSeconds, 0.0);
+    if (curve[0].wallSeconds > 0.0) {
+        EXPECT_GT(curve[0].cyclesPerSecond(), 0.0);
+    }
+}
+
+TEST(RunOptionsConfig, ThreadsKeyIsRead)
+{
+    Config cfg;
+    cfg.set("run.threads", 3);
+    EXPECT_EQ(RunOptions::fromConfig(cfg).threads, 3);
+    Config empty;
+    EXPECT_EQ(RunOptions::fromConfig(empty).threads, 0);
+}
+
+}  // namespace
+}  // namespace frfc
