@@ -23,50 +23,60 @@ using namespace frfc;
 int
 main(int argc, char** argv)
 {
-    const auto args = bench::parseArgs(argc, argv);
-    RunOptions opt = bench::runOptions(args);
-    std::vector<double> loads = bench::curveLoads(args);
-    if (!args.full) {
-        opt.samplePackets = 600;
-        opt.maxCycles = 60000;
-        // All-or-nothing grinds hard once saturated; probe fewer
-        // points past the knee in quick mode.
-        loads = {0.10, 0.30, 0.45, 0.55, 0.65, 0.75};
-    }
+    return bench::benchMain(
+        argc, argv,
+        {"ablation_allornothing",
+         "Ablation: per-flit vs all-or-nothing scheduling (13-buffer "
+         "pools, d=4, 9-flit packets)"},
+        [](bench::BenchContext& ctx) {
+            RunOptions opt = ctx.options();
+            std::vector<double> loads = ctx.curveLoads();
+            if (!ctx.full()) {
+                opt.samplePackets = 600;
+                opt.maxCycles = 60000;
+                // All-or-nothing grinds hard once saturated; probe
+                // fewer points past the knee in quick mode.
+                loads = {0.10, 0.30, 0.45, 0.55, 0.65, 0.75};
+            }
 
-    std::vector<std::string> names{"per-flit", "all-or-nothing"};
-    std::vector<Config> cfgs;
-    for (bool aon : {false, true}) {
-        Config cfg = baseConfig();
-        applyFr6(cfg);
-        applyFastControl(cfg);
-        cfg.set("data_buffers", 13);  // >= two 4-flit groups; see above
-        cfg.set("flits_per_ctrl", 4);
-        cfg.set("packet_length", 9);
-        cfg.set("all_or_nothing", aon);
-        bench::applyOverrides(cfg, args);
-        cfgs.push_back(cfg);
-    }
-    const bench::WallTimer timer;
-    const auto curves = latencyCurves(cfgs, loads, opt);
-    const double elapsed = timer.seconds();
+            std::vector<std::string> names{"per-flit", "all-or-nothing"};
+            std::vector<Config> cfgs;
+            for (bool aon : {false, true}) {
+                Config cfg = baseConfig();
+                applyFr6(cfg);
+                applyFastControl(cfg);
+                cfg.set("data_buffers", 13);  // >= two 4-flit groups
+                cfg.set("flits_per_ctrl", 4);
+                cfg.set("packet_length", 9);
+                cfg.set("all_or_nothing", aon);
+                ctx.applyOverrides(cfg);
+                cfgs.push_back(cfg);
+            }
+            const bench::WallTimer timer;
+            const auto curves = latencyCurves(cfgs, loads, opt);
+            const double elapsed = timer.seconds();
 
-    bench::printCurves(args,
-                       "Ablation: per-flit vs all-or-nothing scheduling "
-                       "(13-buffer pools, d=4, 9-flit packets)",
-                       names, curves);
+            ctx.emitCurves(
+                "Ablation: per-flit vs all-or-nothing scheduling "
+                "(13-buffer pools, d=4, 9-flit packets)",
+                names, cfgs, curves);
 
-    std::printf("Highest completed load (%% capacity):\n");
-    for (std::size_t i = 0; i < names.size(); ++i) {
-        double sat = 0.0;
-        for (const auto& r : curves[i]) {
-            if (r.complete && r.acceptedFraction > sat)
-                sat = r.acceptedFraction;
-        }
-        std::printf("  %-16s %5.1f\n", names[i].c_str(), sat * 100.0);
-    }
-    std::printf("\nPaper claim: per-flit scheduling attains higher "
-                "throughput (Section 5).\n\n");
-    bench::printSweepStats(args, elapsed, curves);
-    return 0;
+            std::printf("Highest completed load (%% capacity):\n");
+            for (std::size_t i = 0; i < names.size(); ++i) {
+                double sat = 0.0;
+                for (const auto& r : curves[i]) {
+                    if (r.complete && r.acceptedFraction > sat)
+                        sat = r.acceptedFraction;
+                }
+                std::printf("  %-16s %5.1f\n", names[i].c_str(),
+                            sat * 100.0);
+                ctx.report().addScalar(
+                    "measured." + names[i] + ".saturation", sat * 100.0);
+            }
+            std::printf("\nPaper claim: per-flit scheduling attains "
+                        "higher throughput (Section 5).\n\n");
+            ctx.note("Paper claim: per-flit scheduling attains higher "
+                     "throughput (Section 5).");
+            ctx.sweepStats(elapsed, curves);
+        });
 }

@@ -15,40 +15,47 @@ using namespace frfc;
 int
 main(int argc, char** argv)
 {
-    const auto args = bench::parseArgs(argc, argv);
-    const RunOptions opt = bench::runOptions(args);
-    const auto loads = bench::curveLoads(args);
+    return bench::benchMain(
+        argc, argv,
+        {"ablation_speedup",
+         "Extension (footnote 7): multi-ported input buffers, FR6"},
+        [](bench::BenchContext& ctx) {
+            const RunOptions& opt = ctx.options();
+            const auto loads = ctx.curveLoads();
 
-    std::vector<std::string> names;
-    std::vector<Config> cfgs;
-    for (int speedup : {1, 2, 4}) {
-        Config cfg = baseConfig();
-        applyFr6(cfg);
-        applyFastControl(cfg);
-        cfg.set("speedup", speedup);
-        bench::applyOverrides(cfg, args);
-        names.push_back("ports=" + std::to_string(speedup));
-        cfgs.push_back(cfg);
-    }
-    const bench::WallTimer timer;
-    const auto curves = latencyCurves(cfgs, loads, opt);
-    const double elapsed = timer.seconds();
+            std::vector<std::string> names;
+            std::vector<Config> cfgs;
+            for (int speedup : {1, 2, 4}) {
+                Config cfg = baseConfig();
+                applyFr6(cfg);
+                applyFastControl(cfg);
+                cfg.set("speedup", speedup);
+                ctx.applyOverrides(cfg);
+                names.push_back("ports=" + std::to_string(speedup));
+                cfgs.push_back(cfg);
+            }
+            const bench::WallTimer timer;
+            const auto curves = latencyCurves(cfgs, loads, opt);
+            const double elapsed = timer.seconds();
 
-    bench::printCurves(args,
-                       "Extension (footnote 7): multi-ported input "
-                       "buffers, FR6",
-                       names, curves);
+            ctx.emitCurves(
+                "Extension (footnote 7): multi-ported input buffers, "
+                "FR6",
+                names, cfgs, curves);
 
-    std::printf("Highest completed load (%% capacity):\n");
-    for (std::size_t i = 0; i < names.size(); ++i) {
-        double sat = 0.0;
-        for (const auto& r : curves[i]) {
-            if (r.complete && r.acceptedFraction > sat)
-                sat = r.acceptedFraction;
-        }
-        std::printf("  %-10s %5.1f\n", names[i].c_str(), sat * 100.0);
-    }
-    std::printf("\n");
-    bench::printSweepStats(args, elapsed, curves);
-    return 0;
+            std::printf("Highest completed load (%% capacity):\n");
+            for (std::size_t i = 0; i < names.size(); ++i) {
+                double sat = 0.0;
+                for (const auto& r : curves[i]) {
+                    if (r.complete && r.acceptedFraction > sat)
+                        sat = r.acceptedFraction;
+                }
+                std::printf("  %-10s %5.1f\n", names[i].c_str(),
+                            sat * 100.0);
+                ctx.report().addScalar(
+                    "measured." + names[i] + ".saturation", sat * 100.0);
+            }
+            std::printf("\n");
+            ctx.sweepStats(elapsed, curves);
+        });
 }

@@ -16,47 +16,59 @@ using namespace frfc;
 int
 main(int argc, char** argv)
 {
-    const auto args = bench::parseArgs(argc, argv);
-    const RunOptions opt = bench::runOptions(args);
-    const auto loads = bench::curveLoads(args);
+    return bench::benchMain(
+        argc, argv,
+        {"ablation_vc_sharedpool",
+         "Ablation: shared-pool VC [TamFra92] vs per-VC queues vs flit "
+         "reservation"},
+        [](bench::BenchContext& ctx) {
+            const RunOptions& opt = ctx.options();
+            const auto loads = ctx.curveLoads();
 
-    std::vector<std::string> names{"VC8 per-VC queues",
-                                   "VC8 shared pool", "FR6"};
-    std::vector<Config> cfgs;
-    for (int mode = 0; mode < 3; ++mode) {
-        Config cfg = baseConfig();
-        applyFastControl(cfg);
-        if (mode < 2) {
-            applyVc8(cfg);
-            cfg.set("shared_pool", mode == 1);
-        } else {
-            applyFr6(cfg);
-        }
-        bench::applyOverrides(cfg, args);
-        cfgs.push_back(cfg);
-    }
-    const bench::WallTimer timer;
-    const auto curves = latencyCurves(cfgs, loads, opt);
-    const double elapsed = timer.seconds();
+            std::vector<std::string> names{"VC8 per-VC queues",
+                                           "VC8 shared pool", "FR6"};
+            std::vector<Config> cfgs;
+            for (int mode = 0; mode < 3; ++mode) {
+                Config cfg = baseConfig();
+                applyFastControl(cfg);
+                if (mode < 2) {
+                    applyVc8(cfg);
+                    cfg.set("shared_pool", mode == 1);
+                } else {
+                    applyFr6(cfg);
+                }
+                ctx.applyOverrides(cfg);
+                cfgs.push_back(cfg);
+            }
+            const bench::WallTimer timer;
+            const auto curves = latencyCurves(cfgs, loads, opt);
+            const double elapsed = timer.seconds();
 
-    bench::printCurves(args,
-                       "Ablation: shared-pool VC [TamFra92] vs per-VC "
-                       "queues vs flit reservation",
-                       names, curves);
+            ctx.emitCurves(
+                "Ablation: shared-pool VC [TamFra92] vs per-VC queues "
+                "vs flit reservation",
+                names, cfgs, curves);
 
-    std::printf("Highest completed load (%% capacity):\n");
-    for (std::size_t i = 0; i < names.size(); ++i) {
-        double sat = 0.0;
-        for (const auto& r : curves[i]) {
-            if (r.complete && r.acceptedFraction > sat)
-                sat = r.acceptedFraction;
-        }
-        std::printf("  %-20s %5.1f\n", names[i].c_str(), sat * 100.0);
-    }
-    std::printf("\nPaper claim: \"we simulated virtual-channel flow "
-                "control with a shared buffer\npool ... but saw no "
-                "improvement in network throughput\" — the FR gain is "
-                "from\nadvance scheduling, not pooling.\n\n");
-    bench::printSweepStats(args, elapsed, curves);
-    return 0;
+            std::printf("Highest completed load (%% capacity):\n");
+            for (std::size_t i = 0; i < names.size(); ++i) {
+                double sat = 0.0;
+                for (const auto& r : curves[i]) {
+                    if (r.complete && r.acceptedFraction > sat)
+                        sat = r.acceptedFraction;
+                }
+                std::printf("  %-20s %5.1f\n", names[i].c_str(),
+                            sat * 100.0);
+                ctx.report().addScalar(
+                    "measured." + names[i] + ".saturation", sat * 100.0);
+            }
+            std::printf("\nPaper claim: \"we simulated virtual-channel "
+                        "flow control with a shared buffer\npool ... "
+                        "but saw no improvement in network throughput\" "
+                        "— the FR gain is from\nadvance scheduling, not "
+                        "pooling.\n\n");
+            ctx.note("Paper claim: shared-pool VC shows no throughput "
+                     "improvement; the FR gain is from advance "
+                     "scheduling, not pooling.");
+            ctx.sweepStats(elapsed, curves);
+        });
 }

@@ -10,6 +10,7 @@
  * one-cycle buffer-hold margin.
  */
 
+#include <algorithm>
 #include <cstdio>
 
 #include "bench_common.hpp"
@@ -21,60 +22,92 @@ using namespace frfc;
 int
 main(int argc, char** argv)
 {
-    const auto args = bench::parseArgs(argc, argv);
-    const Cycle cycles = args.full ? 200000 : 30000;
+    return bench::benchMain(
+        argc, argv,
+        {"ext_error_recovery",
+         "Section 5 extension: error recovery under data-flit loss and "
+         "plesiochronous links"},
+        [](bench::BenchContext& ctx) {
+            const RunOptions& opt = ctx.options();
+            // Fixed-horizon fault runs; run.max_cycles caps them so
+            // smoke invocations stay fast.
+            const Cycle cycles = std::min<Cycle>(
+                opt.maxCycles, ctx.full() ? 200000 : 30000);
 
-    std::printf("== Section 5 extension: error recovery under data-flit "
-                "loss (FR6, 40%% load) ==\n\n");
-    std::printf("%-10s %-12s %-14s %-16s %-10s\n", "drop rate",
-                "flits lost", "vacuous slots", "goodput (flits)",
-                "goodput %");
-    double clean_goodput = 0.0;
-    for (double rate : {0.0, 0.001, 0.01, 0.05, 0.10}) {
-        Config cfg = baseConfig();
-        applyFr6(cfg);
-        cfg.set("offered", 0.4);
-        cfg.set("fault.data_drop_rate", rate);
-        bench::applyOverrides(cfg, args);
-        FrNetwork net(cfg);
-        net.kernel().run(cycles);
-        const auto delivered =
-            static_cast<double>(net.registry().flitsDelivered());
-        if (rate == 0.0)
-            clean_goodput = delivered;
-        std::printf("%-10.3f %-12lld %-14lld %-16.0f %-10.1f\n", rate,
-                    static_cast<long long>(net.totalDropped()),
-                    static_cast<long long>(net.totalLostArrivals()),
-                    delivered,
-                    clean_goodput > 0 ? delivered / clean_goodput * 100.0
-                                      : 100.0);
-    }
-    std::printf("\nEvery run above holds the full set of internal "
-                "consistency assertions: no\nbuffer leaks, no stalled "
-                "links, reservations for lost flits pass idle.\n\n");
+            std::printf("== Section 5 extension: error recovery under "
+                        "data-flit loss (FR6, 40%% load) ==\n\n");
+            std::printf("%-10s %-12s %-14s %-16s %-10s\n", "drop rate",
+                        "flits lost", "vacuous slots",
+                        "goodput (flits)", "goodput %");
+            double clean_goodput = 0.0;
+            for (double rate : {0.0, 0.001, 0.01, 0.05, 0.10}) {
+                Config cfg = baseConfig();
+                applyFr6(cfg);
+                cfg.set("offered", 0.4);
+                cfg.set("fault.data_drop_rate", rate);
+                ctx.applyOverrides(cfg);
+                FrNetwork net(cfg);
+                net.kernel().run(cycles);
+                const auto delivered = static_cast<double>(
+                    net.registry().flitsDelivered());
+                if (rate == 0.0)
+                    clean_goodput = delivered;
+                const double goodput_pct = clean_goodput > 0
+                    ? delivered / clean_goodput * 100.0
+                    : 100.0;
+                std::printf("%-10.3f %-12lld %-14lld %-16.0f %-10.1f\n",
+                            rate,
+                            static_cast<long long>(net.totalDropped()),
+                            static_cast<long long>(
+                                net.totalLostArrivals()),
+                            delivered, goodput_pct);
+                const std::string tag =
+                    "drop" + std::to_string(rate);
+                ctx.report().addScalar(
+                    "measured." + tag + ".goodput_pct", goodput_pct);
+                ctx.report().addScalar(
+                    "measured." + tag + ".flits_lost",
+                    static_cast<double>(net.totalDropped()));
+            }
+            std::printf("\nEvery run above holds the full set of "
+                        "internal consistency assertions: no\nbuffer "
+                        "leaks, no stalled links, reservations for "
+                        "lost flits pass idle.\n\n");
+            ctx.note("Every fault run holds the internal consistency "
+                     "assertions: no buffer leaks, no stalled links; "
+                     "reservations for lost flits pass idle.");
 
-    std::printf("== Plesiochronous links: one extra buffer-hold cycle "
-                "(Section 5) ==\n\n");
-    const RunOptions opt = bench::runOptions(args);
-    for (bool plesio : {false, true}) {
-        Config cfg = baseConfig();
-        applyFr6(cfg);
-        cfg.set("plesiochronous", plesio);
-        bench::applyOverrides(cfg, args);
-        const RunResult mid = measureAtLoad(cfg, 0.5, opt);
-        double sat = 0.0;
-        for (const RunResult& r :
-             latencyCurve(cfg, bench::curveLoads(args), opt)) {
-            if (r.complete && r.acceptedFraction > sat)
-                sat = r.acceptedFraction;
-        }
-        std::printf("%-14s latency@50%% %6.1f   highest completed load "
-                    "%4.1f%%\n",
-                    plesio ? "plesiochronous" : "mesochronous",
-                    mid.avgLatency, sat * 100.0);
-    }
-    std::printf("\nThe guard cycle costs a sliver of throughput — the "
-                "price of tolerating a\ntransmit-clock slip without "
-                "buffer conflicts.\n");
-    return 0;
+            std::printf("== Plesiochronous links: one extra buffer-hold "
+                        "cycle (Section 5) ==\n\n");
+            for (bool plesio : {false, true}) {
+                Config cfg = baseConfig();
+                applyFr6(cfg);
+                cfg.set("plesiochronous", plesio);
+                ctx.applyOverrides(cfg);
+                const RunResult mid = measureAtLoad(cfg, 0.5, opt);
+                const auto curve =
+                    latencyCurve(cfg, ctx.curveLoads(), opt);
+                double sat = 0.0;
+                for (const RunResult& r : curve) {
+                    if (r.complete && r.acceptedFraction > sat)
+                        sat = r.acceptedFraction;
+                }
+                const char* name =
+                    plesio ? "plesiochronous" : "mesochronous";
+                std::printf("%-14s latency@50%% %6.1f   highest "
+                            "completed load %4.1f%%\n",
+                            name, mid.avgLatency, sat * 100.0);
+                ReportCurve& rc = ctx.report().addCurve(name, cfg);
+                rc.runs = curve;
+                ctx.report().addScalar(
+                    std::string("measured.") + name + ".latency_at_50pct",
+                    mid.avgLatency);
+                ctx.report().addScalar(
+                    std::string("measured.") + name + ".saturation",
+                    sat * 100.0);
+            }
+            std::printf("\nThe guard cycle costs a sliver of throughput "
+                        "— the price of tolerating a\ntransmit-clock "
+                        "slip without buffer conflicts.\n");
+        });
 }

@@ -19,57 +19,70 @@ using namespace frfc;
 int
 main(int argc, char** argv)
 {
-    const auto args = bench::parseArgs(argc, argv);
-    const RunOptions opt = bench::runOptions(args);
-    const auto loads = bench::curveLoads(args);
+    return bench::benchMain(
+        argc, argv,
+        {"ext_lineage",
+         "Extension: five generations of flow control (8-buffer "
+         "inputs, 5-flit packets)"},
+        [](bench::BenchContext& ctx) {
+            const RunOptions& opt = ctx.options();
+            const auto loads = ctx.curveLoads();
 
-    struct Gen
-    {
-        const char* name;
-        const char* preset;
-        const char* forwarding;
-    };
-    const Gen generations[] = {
-        {"SAF", "wormhole8", "store_and_forward"},
-        {"VCT", "wormhole8", "cut_through"},
-        {"WH", "wormhole8", "flit"},
-        {"VC8", "vc8", "flit"},
-        {"FR6", "fr6", nullptr},
-    };
+            struct Gen
+            {
+                const char* name;
+                const char* preset;
+                const char* forwarding;
+            };
+            const Gen generations[] = {
+                {"SAF", "wormhole8", "store_and_forward"},
+                {"VCT", "wormhole8", "cut_through"},
+                {"WH", "wormhole8", "flit"},
+                {"VC8", "vc8", "flit"},
+                {"FR6", "fr6", nullptr},
+            };
 
-    std::vector<std::string> names;
-    std::vector<std::vector<RunResult>> curves;
-    for (const Gen& g : generations) {
-        Config cfg = baseConfig();
-        applyPreset(cfg, g.preset);
-        if (g.forwarding != nullptr)
-            cfg.set("forwarding", g.forwarding);
-        bench::applyOverrides(cfg, args);
-        names.push_back(g.name);
-        curves.push_back(latencyCurve(cfg, loads, opt));
-    }
+            std::vector<std::string> names;
+            std::vector<Config> cfgs;
+            std::vector<std::vector<RunResult>> curves;
+            for (const Gen& g : generations) {
+                Config cfg = baseConfig();
+                applyPreset(cfg, g.preset);
+                if (g.forwarding != nullptr)
+                    cfg.set("forwarding", g.forwarding);
+                ctx.applyOverrides(cfg);
+                names.push_back(g.name);
+                cfgs.push_back(cfg);
+                curves.push_back(latencyCurve(cfg, loads, opt));
+            }
 
-    bench::printCurves(args,
-                       "Extension: five generations of flow control "
-                       "(8-buffer inputs, 5-flit packets)",
-                       names, curves);
+            ctx.emitCurves(
+                "Extension: five generations of flow control (8-buffer "
+                "inputs, 5-flit packets)",
+                names, cfgs, curves);
 
-    std::printf("Base latency and highest completed load:\n");
-    for (std::size_t i = 0; i < names.size(); ++i) {
-        double sat = 0.0;
-        for (const auto& r : curves[i]) {
-            if (r.complete && r.acceptedFraction > sat)
-                sat = r.acceptedFraction;
-        }
-        std::printf("  %-4s base %6.1f cycles   sat %5.1f%%\n",
-                    names[i].c_str(), curves[i].front().avgLatency,
-                    sat * 100.0);
-    }
-    std::printf("\nStore-and-forward pays a full packet of latency per "
-                "hop; cut-through removes\nthe latency but keeps "
-                "packet-granular buffers; wormhole shrinks buffers but\n"
-                "blocks channels; virtual channels unblock them; flit "
-                "reservation then removes\nrouting/arbitration latency "
-                "and buffer turnaround.\n");
-    return 0;
+            std::printf("Base latency and highest completed load:\n");
+            for (std::size_t i = 0; i < names.size(); ++i) {
+                double sat = 0.0;
+                for (const auto& r : curves[i]) {
+                    if (r.complete && r.acceptedFraction > sat)
+                        sat = r.acceptedFraction;
+                }
+                std::printf("  %-4s base %6.1f cycles   sat %5.1f%%\n",
+                            names[i].c_str(),
+                            curves[i].front().avgLatency, sat * 100.0);
+                ctx.report().addScalar(
+                    "measured." + names[i] + ".saturation", sat * 100.0);
+                ctx.report().addScalar(
+                    "measured." + names[i] + ".base_latency",
+                    curves[i].front().avgLatency);
+            }
+            std::printf("\nStore-and-forward pays a full packet of "
+                        "latency per hop; cut-through removes\nthe "
+                        "latency but keeps packet-granular buffers; "
+                        "wormhole shrinks buffers but\nblocks channels; "
+                        "virtual channels unblock them; flit "
+                        "reservation then removes\nrouting/arbitration "
+                        "latency and buffer turnaround.\n");
+        });
 }

@@ -23,40 +23,58 @@ using namespace frfc;
 int
 main(int argc, char** argv)
 {
-    const auto args = bench::parseArgs(argc, argv);
-    const RunOptions opt = bench::runOptions(args);
-    const auto loads = bench::curveLoads(args);
+    return bench::benchMain(
+        argc, argv,
+        {"ext_torus",
+         "Extension: FR vs VC on an 8x8 torus (topology-normalized "
+         "loads)"},
+        [](bench::BenchContext& ctx) {
+            const RunOptions& opt = ctx.options();
+            const auto loads = ctx.curveLoads();
 
-    for (const char* topo : {"mesh", "torus"}) {
-        std::vector<std::string> names{"VC8", "FR6"};
-        std::vector<std::vector<RunResult>> curves;
-        for (const char* preset : {"vc8", "fr6"}) {
-            Config cfg = baseConfig();
-            applyPreset(cfg, preset);
-            cfg.set("topology", topo);
-            bench::applyOverrides(cfg, args);
-            curves.push_back(latencyCurve(cfg, loads, opt));
-        }
-        bench::printCurves(args,
-                           std::string("Extension: 8x8 ") + topo
-                               + ", 5-flit packets, fast control",
-                           names, curves);
-        std::printf("Highest completed load (%% of %s capacity):\n",
+            for (const char* topo : {"mesh", "torus"}) {
+                std::vector<std::string> names{"VC8", "FR6"};
+                std::vector<Config> cfgs;
+                for (const char* preset : {"vc8", "fr6"}) {
+                    Config cfg = baseConfig();
+                    applyPreset(cfg, preset);
+                    cfg.set("topology", topo);
+                    ctx.applyOverrides(cfg);
+                    cfgs.push_back(cfg);
+                }
+                const auto curves = latencyCurves(cfgs, loads, opt);
+                // Curve names must be unique across the two topologies.
+                std::vector<std::string> tags;
+                for (const auto& n : names)
+                    tags.push_back(std::string(topo) + "." + n);
+                ctx.emitCurves(std::string("Extension: 8x8 ") + topo
+                                   + ", 5-flit packets, fast control",
+                               tags, cfgs, curves);
+                std::printf(
+                    "Highest completed load (%% of %s capacity):\n",
                     topo);
-        for (std::size_t i = 0; i < names.size(); ++i) {
-            double sat = 0.0;
-            for (const auto& r : curves[i]) {
-                if (r.complete && r.acceptedFraction > sat)
-                    sat = r.acceptedFraction;
+                for (std::size_t i = 0; i < names.size(); ++i) {
+                    double sat = 0.0;
+                    for (const auto& r : curves[i]) {
+                        if (r.complete && r.acceptedFraction > sat)
+                            sat = r.acceptedFraction;
+                    }
+                    std::printf("  %-5s %5.1f\n", names[i].c_str(),
+                                sat * 100.0);
+                    ctx.report().addScalar(
+                        "measured." + tags[i] + ".saturation",
+                        sat * 100.0);
+                }
+                std::printf("\n");
             }
-            std::printf("  %-5s %5.1f\n", names[i].c_str(), sat * 100.0);
-        }
-        std::printf("\n");
-    }
-    std::printf("Mesh: FR6 clearly outlasts VC8 (buffer-bound). Torus "
+            std::printf(
+                "Mesh: FR6 clearly outlasts VC8 (buffer-bound). Torus "
                 "with east-biased DOR ties:\nboth saturate together on "
                 "the overloaded channels (bandwidth-bound) — better\n"
                 "flow control only helps where buffers, not wires, are "
                 "the constraint.\n");
-    return 0;
+            ctx.note("Mesh is buffer-bound (FR6 outlasts VC8); torus "
+                     "with east-biased DOR is bandwidth-bound and both "
+                     "saturate together.");
+        });
 }

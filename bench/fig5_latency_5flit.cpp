@@ -17,50 +17,57 @@ using namespace frfc;
 int
 main(int argc, char** argv)
 {
-    const auto args = bench::parseArgs(argc, argv);
-    const RunOptions opt = bench::runOptions(args);
-    const auto loads = bench::curveLoads(args);
+    return bench::benchMain(
+        argc, argv,
+        {"fig5_latency_5flit",
+         "Figure 5: latency vs offered traffic, 5-flit packets, fast "
+         "control"},
+        [](bench::BenchContext& ctx) {
+            const RunOptions& opt = ctx.options();
+            const auto loads = ctx.curveLoads();
 
-    const std::vector<std::string> names{"VC8", "VC16", "FR6", "FR13"};
-    std::vector<Config> cfgs;
-    for (const auto& name : names) {
-        Config cfg = baseConfig();
-        applyFastControl(cfg);
-        cfg.set("packet_length", 5);
-        applyPreset(cfg, name == "VC8"    ? "vc8"
-                         : name == "VC16" ? "vc16"
-                         : name == "FR6"  ? "fr6"
-                                          : "fr13");
-        bench::applyOverrides(cfg, args);
-        cfgs.push_back(cfg);
-    }
-    const bench::WallTimer timer;
-    const auto curves = latencyCurves(cfgs, loads, opt);
-    const double elapsed = timer.seconds();
+            const std::vector<std::string> names{"VC8", "VC16", "FR6",
+                                                 "FR13"};
+            std::vector<Config> cfgs;
+            for (const auto& name : names) {
+                Config cfg = baseConfig();
+                applyFastControl(cfg);
+                cfg.set("packet_length", 5);
+                applyPreset(cfg, name == "VC8"    ? "vc8"
+                                 : name == "VC16" ? "vc16"
+                                 : name == "FR6"  ? "fr6"
+                                                  : "fr13");
+                ctx.applyOverrides(cfg);
+                cfgs.push_back(cfg);
+            }
+            const bench::WallTimer timer;
+            const auto curves = latencyCurves(cfgs, loads, opt);
+            const double elapsed = timer.seconds();
 
-    bench::printCurves(args,
-                       "Figure 5: latency vs offered traffic, 5-flit "
-                       "packets, fast control",
-                       names, curves);
+            ctx.emitCurves(
+                "Figure 5: latency vs offered traffic, 5-flit packets, "
+                "fast control",
+                names, cfgs, curves);
 
-    // Saturation summary against the paper's reported numbers.
-    std::printf("Saturation throughput (%% capacity):\n");
-    const double paper[] = {63, 80, 77, 85};
-    for (std::size_t i = 0; i < names.size(); ++i) {
-        double sat = 0.0;
-        for (const auto& r : curves[i]) {
-            if (r.complete && r.acceptedFraction > sat)
-                sat = r.acceptedFraction;
-        }
-        bench::comparison(names[i].c_str(), paper[i], sat * 100.0);
-    }
-    std::printf("\nBase latency (cycles, low-load point):\n");
-    const double paper_base[] = {32, 32, 27, 27};
-    for (std::size_t i = 0; i < names.size(); ++i) {
-        bench::comparison(names[i].c_str(), paper_base[i],
-                          curves[i].front().avgLatency);
-    }
-    std::printf("\n");
-    bench::printSweepStats(args, elapsed, curves);
-    return 0;
+            // Saturation summary against the paper's reported numbers.
+            std::printf("Saturation throughput (%% capacity):\n");
+            const double paper[] = {63, 80, 77, 85};
+            for (std::size_t i = 0; i < names.size(); ++i) {
+                double sat = 0.0;
+                for (const auto& r : curves[i]) {
+                    if (r.complete && r.acceptedFraction > sat)
+                        sat = r.acceptedFraction;
+                }
+                ctx.comparison(names[i] + " saturation", paper[i],
+                               sat * 100.0);
+            }
+            std::printf("\nBase latency (cycles, low-load point):\n");
+            const double paper_base[] = {32, 32, 27, 27};
+            for (std::size_t i = 0; i < names.size(); ++i) {
+                ctx.comparison(names[i] + " base latency", paper_base[i],
+                               curves[i].front().avgLatency);
+            }
+            std::printf("\n");
+            ctx.sweepStats(elapsed, curves);
+        });
 }

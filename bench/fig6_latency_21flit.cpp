@@ -16,55 +16,66 @@ using namespace frfc;
 int
 main(int argc, char** argv)
 {
-    const auto args = bench::parseArgs(argc, argv);
-    RunOptions opt = bench::runOptions(args);
-    if (!args.full) {
-        // 21-flit packets need a little more room to drain.
-        opt.maxCycles = 150000;
-        opt.samplePackets = 800;
-    }
-    std::vector<double> loads = bench::curveLoads(args);
+    return bench::benchMain(
+        argc, argv,
+        {"fig6_latency_21flit",
+         "Figure 6: latency vs offered traffic, 21-flit packets, fast "
+         "control"},
+        [](bench::BenchContext& ctx) {
+            RunOptions opt = ctx.options();
+            if (!ctx.full()) {
+                // 21-flit packets need a little more room to drain.
+                opt.maxCycles = 150000;
+                opt.samplePackets = 800;
+            }
+            const auto loads = ctx.curveLoads();
 
-    const std::vector<std::string> names{"VC8", "VC16", "VC32", "FR6",
-                                         "FR13"};
-    const char* presets[] = {"vc8", "vc16", "vc32", "fr6", "fr13"};
-    std::vector<Config> cfgs;
-    for (std::size_t i = 0; i < names.size(); ++i) {
-        Config cfg = baseConfig();
-        applyFastControl(cfg);
-        cfg.set("packet_length", 21);
-        applyPreset(cfg, presets[i]);
-        bench::applyOverrides(cfg, args);
-        cfgs.push_back(cfg);
-    }
-    const bench::WallTimer timer;
-    const auto curves = latencyCurves(cfgs, loads, opt);
-    const double elapsed = timer.seconds();
+            const std::vector<std::string> names{"VC8", "VC16", "VC32",
+                                                 "FR6", "FR13"};
+            const char* presets[] = {"vc8", "vc16", "vc32", "fr6",
+                                     "fr13"};
+            std::vector<Config> cfgs;
+            for (std::size_t i = 0; i < names.size(); ++i) {
+                Config cfg = baseConfig();
+                applyFastControl(cfg);
+                cfg.set("packet_length", 21);
+                applyPreset(cfg, presets[i]);
+                ctx.applyOverrides(cfg);
+                cfgs.push_back(cfg);
+            }
+            const bench::WallTimer timer;
+            const auto curves = latencyCurves(cfgs, loads, opt);
+            const double elapsed = timer.seconds();
 
-    bench::printCurves(args,
-                       "Figure 6: latency vs offered traffic, 21-flit "
-                       "packets, fast control",
-                       names, curves);
+            ctx.emitCurves(
+                "Figure 6: latency vs offered traffic, 21-flit packets, "
+                "fast control",
+                names, cfgs, curves);
 
-    std::printf("Saturation throughput (%% capacity):\n");
-    const double paper[] = {55, 65, 65, 60, 75};
-    for (std::size_t i = 0; i < names.size(); ++i) {
-        double sat = 0.0;
-        for (const auto& r : curves[i]) {
-            if (r.complete && r.acceptedFraction > sat)
-                sat = r.acceptedFraction;
-        }
-        bench::comparison(names[i].c_str(), paper[i], sat * 100.0);
-    }
-    std::printf("\nBase latency (cycles, low-load point):\n");
-    const double paper_base[] = {55, 55, 55, 46, 46};
-    for (std::size_t i = 0; i < names.size(); ++i) {
-        bench::comparison(names[i].c_str(), paper_base[i],
-                          curves[i].front().avgLatency);
-    }
-    std::printf("\nPaper takeaway: with a buffer pool small relative to "
-                "the packet length\n(FR6, 21-flit packets) the gain is "
-                "tempered; FR13 still clears VC32.\n\n");
-    bench::printSweepStats(args, elapsed, curves);
-    return 0;
+            std::printf("Saturation throughput (%% capacity):\n");
+            const double paper[] = {55, 65, 65, 60, 75};
+            for (std::size_t i = 0; i < names.size(); ++i) {
+                double sat = 0.0;
+                for (const auto& r : curves[i]) {
+                    if (r.complete && r.acceptedFraction > sat)
+                        sat = r.acceptedFraction;
+                }
+                ctx.comparison(names[i] + " saturation", paper[i],
+                               sat * 100.0);
+            }
+            std::printf("\nBase latency (cycles, low-load point):\n");
+            const double paper_base[] = {55, 55, 55, 46, 46};
+            for (std::size_t i = 0; i < names.size(); ++i) {
+                ctx.comparison(names[i] + " base latency", paper_base[i],
+                               curves[i].front().avgLatency);
+            }
+            std::printf("\nPaper takeaway: with a buffer pool small "
+                        "relative to the packet length\n(FR6, 21-flit "
+                        "packets) the gain is tempered; FR13 still "
+                        "clears VC32.\n\n");
+            ctx.note("FR6's gain is tempered when the pool is small "
+                     "relative to the packet length; FR13 still clears "
+                     "VC32.");
+            ctx.sweepStats(elapsed, curves);
+        });
 }

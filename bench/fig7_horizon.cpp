@@ -15,41 +15,53 @@ using namespace frfc;
 int
 main(int argc, char** argv)
 {
-    const auto args = bench::parseArgs(argc, argv);
-    const RunOptions opt = bench::runOptions(args);
-    const auto loads = bench::curveLoads(args);
+    return bench::benchMain(
+        argc, argv,
+        {"fig7_horizon",
+         "Figure 7: FR6 latency vs offered traffic across scheduling "
+         "horizons"},
+        [](bench::BenchContext& ctx) {
+            const RunOptions& opt = ctx.options();
+            const auto loads = ctx.curveLoads();
 
-    std::vector<std::string> names;
-    std::vector<Config> cfgs;
-    for (int horizon : {16, 32, 64, 128}) {
-        Config cfg = baseConfig();
-        applyFastControl(cfg);
-        applyFr6(cfg);
-        cfg.set("horizon", horizon);
-        bench::applyOverrides(cfg, args);
-        names.push_back("s=" + std::to_string(horizon));
-        cfgs.push_back(cfg);
-    }
-    const bench::WallTimer timer;
-    const auto curves = latencyCurves(cfgs, loads, opt);
-    const double elapsed = timer.seconds();
+            std::vector<std::string> names;
+            std::vector<Config> cfgs;
+            for (int horizon : {16, 32, 64, 128}) {
+                Config cfg = baseConfig();
+                applyFastControl(cfg);
+                applyFr6(cfg);
+                cfg.set("horizon", horizon);
+                ctx.applyOverrides(cfg);
+                names.push_back("s=" + std::to_string(horizon));
+                cfgs.push_back(cfg);
+            }
+            const bench::WallTimer timer;
+            const auto curves = latencyCurves(cfgs, loads, opt);
+            const double elapsed = timer.seconds();
 
-    bench::printCurves(args,
-                       "Figure 7: FR6 latency vs offered traffic across "
-                       "scheduling horizons",
-                       names, curves);
+            ctx.emitCurves(
+                "Figure 7: FR6 latency vs offered traffic across "
+                "scheduling horizons",
+                names, cfgs, curves);
 
-    std::printf("Highest completed load per horizon (%% capacity):\n");
-    for (std::size_t i = 0; i < names.size(); ++i) {
-        double sat = 0.0;
-        for (const auto& r : curves[i]) {
-            if (r.complete && r.acceptedFraction > sat)
-                sat = r.acceptedFraction;
-        }
-        std::printf("  %-8s %5.1f\n", names[i].c_str(), sat * 100.0);
-    }
-    std::printf("\nPaper claim: a 16-cycle horizon is within 10%% of "
-                "optimum; little improvement beyond 32.\n\n");
-    bench::printSweepStats(args, elapsed, curves);
-    return 0;
+            std::printf(
+                "Highest completed load per horizon (%% capacity):\n");
+            for (std::size_t i = 0; i < names.size(); ++i) {
+                double sat = 0.0;
+                for (const auto& r : curves[i]) {
+                    if (r.complete && r.acceptedFraction > sat)
+                        sat = r.acceptedFraction;
+                }
+                std::printf("  %-8s %5.1f\n", names[i].c_str(),
+                            sat * 100.0);
+                ctx.report().addScalar(
+                    "measured." + names[i] + ".saturation", sat * 100.0);
+            }
+            std::printf("\nPaper claim: a 16-cycle horizon is within "
+                        "10%% of optimum; little improvement beyond "
+                        "32.\n\n");
+            ctx.note("Paper claim: a 16-cycle horizon is within 10% of "
+                     "optimum; little improvement beyond 32.");
+            ctx.sweepStats(elapsed, curves);
+        });
 }

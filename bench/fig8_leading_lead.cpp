@@ -15,40 +15,50 @@ using namespace frfc;
 int
 main(int argc, char** argv)
 {
-    const auto args = bench::parseArgs(argc, argv);
-    const RunOptions opt = bench::runOptions(args);
-    const auto loads = bench::curveLoads(args);
+    return bench::benchMain(
+        argc, argv,
+        {"fig8_leading_lead",
+         "Figure 8: FR6 with leading control, lead 1/2/4 cycles (all "
+         "links 1 cycle)"},
+        [](bench::BenchContext& ctx) {
+            const RunOptions& opt = ctx.options();
+            const auto loads = ctx.curveLoads();
 
-    std::vector<std::string> names;
-    std::vector<Config> cfgs;
-    for (int lead : {1, 2, 4}) {
-        Config cfg = baseConfig();
-        applyFr6(cfg);
-        applyLeadingControl(cfg, lead);
-        bench::applyOverrides(cfg, args);
-        names.push_back("lead=" + std::to_string(lead));
-        cfgs.push_back(cfg);
-    }
-    const bench::WallTimer timer;
-    const auto curves = latencyCurves(cfgs, loads, opt);
-    const double elapsed = timer.seconds();
+            std::vector<std::string> names;
+            std::vector<Config> cfgs;
+            for (int lead : {1, 2, 4}) {
+                Config cfg = baseConfig();
+                applyFr6(cfg);
+                applyLeadingControl(cfg, lead);
+                ctx.applyOverrides(cfg);
+                names.push_back("lead=" + std::to_string(lead));
+                cfgs.push_back(cfg);
+            }
+            const bench::WallTimer timer;
+            const auto curves = latencyCurves(cfgs, loads, opt);
+            const double elapsed = timer.seconds();
 
-    bench::printCurves(args,
-                       "Figure 8: FR6 with leading control, lead 1/2/4 "
-                       "cycles (all links 1 cycle)",
-                       names, curves);
+            ctx.emitCurves(
+                "Figure 8: FR6 with leading control, lead 1/2/4 cycles "
+                "(all links 1 cycle)",
+                names, cfgs, curves);
 
-    std::printf("Highest completed load per lead (%% capacity) — paper: "
-                "independent of lead (~75%%):\n");
-    for (std::size_t i = 0; i < names.size(); ++i) {
-        double sat = 0.0;
-        for (const auto& r : curves[i]) {
-            if (r.complete && r.acceptedFraction > sat)
-                sat = r.acceptedFraction;
-        }
-        std::printf("  %-8s %5.1f\n", names[i].c_str(), sat * 100.0);
-    }
-    std::printf("\n");
-    bench::printSweepStats(args, elapsed, curves);
-    return 0;
+            std::printf("Highest completed load per lead (%% capacity) "
+                        "— paper: independent of lead (~75%%):\n");
+            for (std::size_t i = 0; i < names.size(); ++i) {
+                double sat = 0.0;
+                for (const auto& r : curves[i]) {
+                    if (r.complete && r.acceptedFraction > sat)
+                        sat = r.acceptedFraction;
+                }
+                std::printf("  %-8s %5.1f\n", names[i].c_str(),
+                            sat * 100.0);
+                ctx.report().addScalar(
+                    "measured." + names[i] + ".saturation", sat * 100.0);
+            }
+            std::printf("\n");
+            ctx.note("Paper claim: throughput is independent of lead "
+                     "time (~75% capacity).");
+            ctx.sweepStats(elapsed, curves);
+        });
 }

@@ -16,48 +16,55 @@ using namespace frfc;
 int
 main(int argc, char** argv)
 {
-    const auto args = bench::parseArgs(argc, argv);
-    const RunOptions opt = bench::runOptions(args);
-    const auto loads = bench::curveLoads(args);
+    return bench::benchMain(
+        argc, argv,
+        {"fig9_leading_vs_vc",
+         "Figure 9: leading control (lead 1) vs virtual-channel, 5-flit "
+         "packets, 1-cycle wires"},
+        [](bench::BenchContext& ctx) {
+            const RunOptions& opt = ctx.options();
+            const auto loads = ctx.curveLoads();
 
-    const std::vector<std::string> names{"VC8", "VC16", "FR6", "FR13"};
-    const char* presets[] = {"vc8", "vc16", "fr6", "fr13"};
-    std::vector<Config> cfgs;
-    for (std::size_t i = 0; i < names.size(); ++i) {
-        Config cfg = baseConfig();
-        applyPreset(cfg, presets[i]);
-        applyLeadingControl(cfg, 1);
-        bench::applyOverrides(cfg, args);
-        cfgs.push_back(cfg);
-    }
-    const bench::WallTimer timer;
-    const auto curves = latencyCurves(cfgs, loads, opt);
+            const std::vector<std::string> names{"VC8", "VC16", "FR6",
+                                                 "FR13"};
+            const char* presets[] = {"vc8", "vc16", "fr6", "fr13"};
+            std::vector<Config> cfgs;
+            for (std::size_t i = 0; i < names.size(); ++i) {
+                Config cfg = baseConfig();
+                applyPreset(cfg, presets[i]);
+                applyLeadingControl(cfg, 1);
+                ctx.applyOverrides(cfg);
+                cfgs.push_back(cfg);
+            }
+            const bench::WallTimer timer;
+            const auto curves = latencyCurves(cfgs, loads, opt);
 
-    bench::printCurves(args,
-                       "Figure 9: leading control (lead 1) vs "
-                       "virtual-channel, 5-flit packets, 1-cycle wires",
-                       names, curves);
+            ctx.emitCurves(
+                "Figure 9: leading control (lead 1) vs virtual-channel, "
+                "5-flit packets, 1-cycle wires",
+                names, cfgs, curves);
 
-    std::printf("Saturation throughput (%% capacity):\n");
-    const double paper[] = {65, 80, 75, 83};
-    for (std::size_t i = 0; i < names.size(); ++i) {
-        double sat = 0.0;
-        for (const auto& r : curves[i]) {
-            if (r.complete && r.acceptedFraction > sat)
-                sat = r.acceptedFraction;
-        }
-        bench::comparison(names[i].c_str(), paper[i], sat * 100.0);
-    }
+            std::printf("Saturation throughput (%% capacity):\n");
+            const double paper[] = {65, 80, 75, 83};
+            for (std::size_t i = 0; i < names.size(); ++i) {
+                double sat = 0.0;
+                for (const auto& r : curves[i]) {
+                    if (r.complete && r.acceptedFraction > sat)
+                        sat = r.acceptedFraction;
+                }
+                ctx.comparison(names[i] + " saturation", paper[i],
+                               sat * 100.0);
+            }
 
-    std::printf("\nLatency at 50%% capacity (cycles):\n");
-    const double paper_mid[] = {21, 21, 19, 19};
-    const auto mids = latencyCurves(cfgs, {0.5}, opt);
-    const double elapsed = timer.seconds();
-    for (std::size_t i = 0; i < names.size(); ++i) {
-        bench::comparison(names[i].c_str(), paper_mid[i],
-                          mids[i][0].avgLatency);
-    }
-    std::printf("\n");
-    bench::printSweepStats(args, elapsed, curves);
-    return 0;
+            std::printf("\nLatency at 50%% capacity (cycles):\n");
+            const double paper_mid[] = {21, 21, 19, 19};
+            const auto mids = latencyCurves(cfgs, {0.5}, opt);
+            const double elapsed = timer.seconds();
+            for (std::size_t i = 0; i < names.size(); ++i) {
+                ctx.comparison(names[i] + " latency at 50pct",
+                               paper_mid[i], mids[i][0].avgLatency);
+            }
+            std::printf("\n");
+            ctx.sweepStats(elapsed, curves);
+        });
 }

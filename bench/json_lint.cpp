@@ -1,0 +1,46 @@
+/**
+ * @file
+ * json_lint — validate that a file parses as JSON (exit 0) or report
+ * where it fails (exit 1). Used by scripts/run_benches.sh and the CTest
+ * smoke test to check the structured reports the benches emit.
+ *
+ *   $ ./json_lint bench_out/fig5_latency_5flit.json
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "harness/json.hpp"
+
+int
+main(int argc, char** argv)
+{
+    if (argc != 2) {
+        std::fprintf(stderr, "usage: json_lint FILE\n");
+        return 2;
+    }
+    std::ifstream in(argv[1], std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "json_lint: cannot open '%s'\n", argv[1]);
+        return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+
+    std::string error;
+    const frfc::JsonValue v = frfc::jsonParse(buf.str(), &error);
+    if (!error.empty()) {
+        std::fprintf(stderr, "json_lint: %s: %s\n", argv[1],
+                     error.c_str());
+        return 1;
+    }
+    if (!v.isObject()) {
+        std::fprintf(stderr, "json_lint: %s: top level is not an object\n",
+                     argv[1]);
+        return 1;
+    }
+    std::printf("%s: ok\n", argv[1]);
+    return 0;
+}

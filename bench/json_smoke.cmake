@@ -1,0 +1,17 @@
+# CTest smoke step: run one bench with tiny samples and out.format=json,
+# then validate the report with json_lint. Driven from CMakeLists.txt:
+#   cmake -DBENCH=... -DLINT=... -DOUT=... -P json_smoke.cmake
+execute_process(
+    COMMAND ${BENCH}
+        run.sample_packets=50 run.min_warmup=200 run.max_warmup=500
+        run.max_cycles=5000
+        out.format=json out.file=${OUT}
+    RESULT_VARIABLE bench_rc
+    OUTPUT_QUIET)
+if(NOT bench_rc EQUAL 0)
+    message(FATAL_ERROR "bench exited with ${bench_rc}")
+endif()
+execute_process(COMMAND ${LINT} ${OUT} RESULT_VARIABLE lint_rc)
+if(NOT lint_rc EQUAL 0)
+    message(FATAL_ERROR "json_lint rejected ${OUT}")
+endif()

@@ -16,49 +16,69 @@ using namespace frfc;
 int
 main(int argc, char** argv)
 {
-    const auto args = bench::parseArgs(argc, argv);
-    RunOptions opt = bench::runOptions(args);
-    opt.trackOccupancy = true;
-    if (!args.full) {
-        opt.samplePackets = 600;
-        opt.maxCycles = 120000;
-    }
+    return bench::benchMain(
+        argc, argv,
+        {"stat_pool_occupancy",
+         "Section 4.2 statistic: middle-router buffer pool occupancy, "
+         "21-flit packets"},
+        [](bench::BenchContext& ctx) {
+            RunOptions opt = ctx.options();
+            opt.trackOccupancy = true;
+            if (!ctx.full()) {
+                opt.samplePackets = 600;
+                opt.maxCycles = 120000;
+            }
 
-    std::printf("== Section 4.2: middle-router buffer pool occupancy, "
-                "21-flit packets near saturation ==\n\n");
+            std::printf("== Section 4.2: middle-router buffer pool "
+                        "occupancy, 21-flit packets near saturation "
+                        "==\n\n");
 
-    struct Case
-    {
-        const char* name;
-        const char* preset;
-        double load;
-        double paperFullPct;
-    };
-    // Loads chosen just below each scheme's 21-flit saturation point.
-    const Case cases[] = {
-        {"FR6 @ ~saturation", "fr6", 0.55, 40.0},
-        {"VC8 @ ~saturation", "vc8", 0.50, 5.0},
-    };
+            struct Case
+            {
+                const char* name;
+                const char* slug;
+                const char* preset;
+                double load;
+                double paperFullPct;
+            };
+            // Loads chosen just below each scheme's 21-flit saturation.
+            const Case cases[] = {
+                {"FR6 @ ~saturation", "fr6", "fr6", 0.55, 40.0},
+                {"VC8 @ ~saturation", "vc8", "vc8", 0.50, 5.0},
+            };
 
-    for (const Case& c : cases) {
-        Config cfg = baseConfig();
-        applyPreset(cfg, c.preset);
-        applyFastControl(cfg);
-        cfg.set("packet_length", 21);
-        cfg.set("offered", c.load);
-        bench::applyOverrides(cfg, args);
-        const RunResult r = runExperiment(cfg, opt);
-        std::printf("%-20s offered %4.0f%%  pool full %5.1f%% of cycles "
+            for (const Case& c : cases) {
+                Config cfg = baseConfig();
+                applyPreset(cfg, c.preset);
+                applyFastControl(cfg);
+                cfg.set("packet_length", 21);
+                cfg.set("offered", c.load);
+                ctx.applyOverrides(cfg);
+                const RunResult r = runExperiment(cfg, opt);
+                std::printf(
+                    "%-20s offered %4.0f%%  pool full %5.1f%% of cycles "
                     "(paper ~%2.0f%%)  avg occupancy %.2f flits  "
                     "latency %s\n",
                     c.name, c.load * 100.0, r.poolFullFraction * 100.0,
                     c.paperFullPct, r.poolAvgOccupancy,
                     r.complete ? TextTable::num(r.avgLatency, 1).c_str()
                                : "sat");
-    }
-    std::printf("\nPaper claim: although FR uses the buffer pool more "
+                ctx.comparison(std::string(c.slug) + " pool full pct",
+                               c.paperFullPct,
+                               r.poolFullFraction * 100.0);
+                ctx.report().addScalar(std::string("measured.") + c.slug
+                                           + ".pool_avg_occupancy",
+                                       r.poolAvgOccupancy);
+                ReportCurve& rc = ctx.report().addCurve(c.slug, cfg);
+                rc.runs.push_back(r);
+            }
+            std::printf(
+                "\nPaper claim: although FR uses the buffer pool more "
                 "effectively, it cannot turn\nbuffers around when most "
-                "are held by blocked packets — hence the tempered\n"
-                "gain for long packets on small pools.\n");
-    return 0;
+                "are held by blocked packets — hence the tempered\ngain "
+                "for long packets on small pools.\n");
+            ctx.note("Paper claim: FR uses the pool more effectively "
+                     "but cannot turn buffers around when most are held "
+                     "by blocked packets (Section 4.2).");
+        });
 }

@@ -13,76 +13,87 @@
 
 using namespace frfc;
 
-namespace {
-
-struct PaperColumn
-{
-    const char* name;
-    long paperTotal;
-    double paperFlits;
-};
-
-}  // namespace
-
 int
 main(int argc, char** argv)
 {
-    const auto args = bench::parseArgs(argc, argv);
+    return bench::benchMain(
+        argc, argv,
+        {"table1_storage", "Table 1: storage overhead (bits per node)"},
+        [](bench::BenchContext& ctx) {
+            std::printf(
+                "== Table 1: storage overhead (bits per node) ==\n\n");
 
-    std::printf("== Table 1: storage overhead (bits per node) ==\n\n");
+            TextTable table;
+            table.setHeader({"row", "VC8", "VC16", "VC32", "FR6",
+                             "FR13"});
 
-    TextTable table;
-    table.setHeader({"row", "VC8", "VC16", "VC32", "FR6", "FR13"});
+            VcStorageParams vc8{256, 2, 2, 8, 5};
+            VcStorageParams vc16{256, 2, 4, 16, 5};
+            VcStorageParams vc32{256, 2, 8, 32, 5};
+            const VcStorage v8 = computeVcStorage(vc8);
+            const VcStorage v16 = computeVcStorage(vc16);
+            const VcStorage v32 = computeVcStorage(vc32);
 
-    VcStorageParams vc8{256, 2, 2, 8, 5};
-    VcStorageParams vc16{256, 2, 4, 16, 5};
-    VcStorageParams vc32{256, 2, 8, 32, 5};
-    const VcStorage v8 = computeVcStorage(vc8);
-    const VcStorage v16 = computeVcStorage(vc16);
-    const VcStorage v32 = computeVcStorage(vc32);
+            FrStorageParams fr6{256, 2, 1, 32, 2, 6, 6, 5};
+            FrStorageParams fr13{256, 2, 1, 32, 4, 12, 13, 5};
+            const FrStorage f6 = computeFrStorage(fr6);
+            const FrStorage f13 = computeFrStorage(fr13);
 
-    FrStorageParams fr6{256, 2, 1, 32, 2, 6, 6, 5};
-    FrStorageParams fr13{256, 2, 1, 32, 4, 12, 13, 5};
-    const FrStorage f6 = computeFrStorage(fr6);
-    const FrStorage f13 = computeFrStorage(fr13);
+            auto n = [](long v) { return std::to_string(v); };
+            table.addRow({"Data buffers", n(v8.dataBufferBits),
+                          n(v16.dataBufferBits), n(v32.dataBufferBits),
+                          n(f6.dataBufferBits), n(f13.dataBufferBits)});
+            table.addRow({"Control buffers", "-", "-", "-",
+                          n(f6.ctrlBufferBits), n(f13.ctrlBufferBits)});
+            table.addRow({"Queue pointers", n(v8.queuePointerBits),
+                          n(v16.queuePointerBits),
+                          n(v32.queuePointerBits),
+                          n(f6.queuePointerBits),
+                          n(f13.queuePointerBits)});
+            table.addRow({"Output reservation table", n(v8.statusBits),
+                          n(v16.statusBits), n(v32.statusBits),
+                          n(f6.outputTableBits), n(f13.outputTableBits)});
+            table.addRow({"Input reservation table", "-", "-", "-",
+                          n(f6.inputTableBits), n(f13.inputTableBits)});
+            table.addRow({"Bits per node", n(v8.totalBits),
+                          n(v16.totalBits), n(v32.totalBits),
+                          n(f6.totalBits), n(f13.totalBits)});
+            table.addRow({"Flits per input channel",
+                          TextTable::num(v8.flitsPerInput, 2),
+                          TextTable::num(v16.flitsPerInput, 2),
+                          TextTable::num(v32.flitsPerInput, 2),
+                          TextTable::num(f6.flitsPerInput, 2),
+                          TextTable::num(f13.flitsPerInput, 2)});
+            if (ctx.csv())
+                table.printCsv(std::cout);
+            else
+                table.print(std::cout);
 
-    auto n = [](long v) { return std::to_string(v); };
-    table.addRow({"Data buffers", n(v8.dataBufferBits),
-                  n(v16.dataBufferBits), n(v32.dataBufferBits),
-                  n(f6.dataBufferBits), n(f13.dataBufferBits)});
-    table.addRow({"Control buffers", "-", "-", "-", n(f6.ctrlBufferBits),
-                  n(f13.ctrlBufferBits)});
-    table.addRow({"Queue pointers", n(v8.queuePointerBits),
-                  n(v16.queuePointerBits), n(v32.queuePointerBits),
-                  n(f6.queuePointerBits), n(f13.queuePointerBits)});
-    table.addRow({"Output reservation table", n(v8.statusBits),
-                  n(v16.statusBits), n(v32.statusBits),
-                  n(f6.outputTableBits), n(f13.outputTableBits)});
-    table.addRow({"Input reservation table", "-", "-", "-",
-                  n(f6.inputTableBits), n(f13.inputTableBits)});
-    table.addRow({"Bits per node", n(v8.totalBits), n(v16.totalBits),
-                  n(v32.totalBits), n(f6.totalBits), n(f13.totalBits)});
-    table.addRow({"Flits per input channel",
-                  TextTable::num(v8.flitsPerInput, 2),
-                  TextTable::num(v16.flitsPerInput, 2),
-                  TextTable::num(v32.flitsPerInput, 2),
-                  TextTable::num(f6.flitsPerInput, 2),
-                  TextTable::num(f13.flitsPerInput, 2)});
-    if (args.csv)
-        table.printCsv(std::cout);
-    else
-        table.print(std::cout);
+            std::printf("\nPaper totals: VC8 10452, VC16 21040, VC32 "
+                        "42352, FR6 10762, FR13 19960.\n");
+            std::printf("All columns match; FR13 differs only in the "
+                        "input reservation table row,\nwhere the "
+                        "paper's 1980 is inconsistent with its own "
+                        "per-slot formula for\nb_d = 13 (see "
+                        "DESIGN.md); our arithmetic gives %ld.\n",
+                        f13.inputTableBits);
+            std::printf("\nStorage-matched pairs (flits/input): FR6 "
+                        "%.2f ~ VC8 %.2f; FR13 %.2f ~ VC16 %.2f\n",
+                        f6.flitsPerInput, v8.flitsPerInput,
+                        f13.flitsPerInput, v16.flitsPerInput);
 
-    std::printf("\nPaper totals: VC8 10452, VC16 21040, VC32 42352, "
-                "FR6 10762, FR13 19960.\n");
-    std::printf("All columns match; FR13 differs only in the input "
-                "reservation table row,\nwhere the paper's 1980 is "
-                "inconsistent with its own per-slot formula for\n"
-                "b_d = 13 (see DESIGN.md); our arithmetic gives %ld.\n",
-                f13.inputTableBits);
-    std::printf("\nStorage-matched pairs (flits/input): FR6 %.2f ~ VC8 "
-                "%.2f; FR13 %.2f ~ VC16 %.2f\n",
-                f6.flitsPerInput, v8.flitsPerInput, f13.flitsPerInput,
-                v16.flitsPerInput);
-    return 0;
+            ctx.comparison("VC8 bits per node", 10452,
+                           static_cast<double>(v8.totalBits));
+            ctx.comparison("VC16 bits per node", 21040,
+                           static_cast<double>(v16.totalBits));
+            ctx.comparison("VC32 bits per node", 42352,
+                           static_cast<double>(v32.totalBits));
+            ctx.comparison("FR6 bits per node", 10762,
+                           static_cast<double>(f6.totalBits));
+            ctx.comparison("FR13 bits per node", 19960,
+                           static_cast<double>(f13.totalBits));
+            ctx.note("FR13's input reservation table row differs from "
+                     "the paper's 1980, which is inconsistent with its "
+                     "own per-slot formula for b_d = 13 (DESIGN.md).");
+        });
 }

@@ -17,44 +17,66 @@ using namespace frfc;
 int
 main(int argc, char** argv)
 {
-    const auto args = bench::parseArgs(argc, argv);
-    const int n = 6;  // destination bits for 64 nodes
+    return bench::benchMain(
+        argc, argv,
+        {"table2_bandwidth",
+         "Table 2: bandwidth overhead per data flit (bits)"},
+        [](bench::BenchContext& ctx) {
+            const int n = 6;  // destination bits for 64 nodes
 
-    std::printf("== Table 2: bandwidth overhead per data flit (bits) "
-                "==\n\n");
+            std::printf("== Table 2: bandwidth overhead per data flit "
+                        "(bits) ==\n\n");
 
-    TextTable table;
-    table.setHeader({"packet length", "VC (v=2)", "FR (v_c=2,d=1,s=32)",
-                     "extra", "extra % of 256b"});
-    for (int length : {5, 21}) {
-        const double vc = vcBandwidthOverhead(n, length, 2);
-        const double fr = frBandwidthOverhead(n, length, 2, 1, 32);
-        table.addRow({std::to_string(length), TextTable::num(vc, 2),
-                      TextTable::num(fr, 2), TextTable::num(fr - vc, 2),
-                      TextTable::percent((fr - vc) / 256.0, 1)});
-    }
-    if (args.csv)
-        table.printCsv(std::cout);
-    else
-        table.print(std::cout);
+            TextTable table;
+            table.setHeader({"packet length", "VC (v=2)",
+                             "FR (v_c=2,d=1,s=32)", "extra",
+                             "extra % of 256b"});
+            for (int length : {5, 21}) {
+                const double vc = vcBandwidthOverhead(n, length, 2);
+                const double fr =
+                    frBandwidthOverhead(n, length, 2, 1, 32);
+                table.addRow({std::to_string(length),
+                              TextTable::num(vc, 2),
+                              TextTable::num(fr, 2),
+                              TextTable::num(fr - vc, 2),
+                              TextTable::percent((fr - vc) / 256.0, 1)});
+                const std::string tag = "L" + std::to_string(length);
+                ctx.report().addScalar("measured." + tag + ".vc_bits",
+                                       vc);
+                ctx.report().addScalar("measured." + tag + ".fr_bits",
+                                       fr);
+                ctx.report().addScalar(
+                    "measured." + tag + ".extra_bits", fr - vc);
+            }
+            if (ctx.csv())
+                table.printCsv(std::cout);
+            else
+                table.print(std::cout);
 
-    std::printf("\nPaper: overhead_VC = n/L + log2(v_d);  overhead_FR = "
-                "n/L + log2(v_c)/L * (1 + (L-1)/d) + log2(s)\n");
-    std::printf("Paper claim: FR incurs 5 more bits (log2 s), i.e. 2%% "
-                "of a 256-bit data flit.\n\n");
+            std::printf("\nPaper: overhead_VC = n/L + log2(v_d);  "
+                        "overhead_FR = n/L + log2(v_c)/L * (1 + "
+                        "(L-1)/d) + log2(s)\n");
+            std::printf("Paper claim: FR incurs 5 more bits (log2 s), "
+                        "i.e. 2%% of a 256-bit data flit.\n\n");
+            ctx.note("Paper claim: FR incurs 5 more bits (log2 s), "
+                     "i.e. 2% of a 256-bit data flit.");
 
-    std::printf("Wide-control ablation (L = 21): d amortizes the VCID "
-                "share\n");
-    TextTable wide;
-    wide.setHeader({"d", "FR overhead (bits/flit)"});
-    for (int d : {1, 2, 4, 8}) {
-        wide.addRow({std::to_string(d),
-                     TextTable::num(frBandwidthOverhead(n, 21, 2, d, 32),
-                                    3)});
-    }
-    if (args.csv)
-        wide.printCsv(std::cout);
-    else
-        wide.print(std::cout);
-    return 0;
+            std::printf("Wide-control ablation (L = 21): d amortizes "
+                        "the VCID share\n");
+            TextTable wide;
+            wide.setHeader({"d", "FR overhead (bits/flit)"});
+            for (int d : {1, 2, 4, 8}) {
+                const double fr =
+                    frBandwidthOverhead(n, 21, 2, d, 32);
+                wide.addRow(
+                    {std::to_string(d), TextTable::num(fr, 3)});
+                ctx.report().addScalar(
+                    "measured.wide_d" + std::to_string(d) + ".fr_bits",
+                    fr);
+            }
+            if (ctx.csv())
+                wide.printCsv(std::cout);
+            else
+                wide.print(std::cout);
+        });
 }

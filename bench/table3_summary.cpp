@@ -28,104 +28,135 @@ struct Row
 int
 main(int argc, char** argv)
 {
-    const auto args = bench::parseArgs(argc, argv);
-    RunOptions opt = bench::runOptions(args);
-    if (!args.full) {
-        opt.samplePackets = 1000;
-        opt.maxCycles = 60000;
-    }
-    SaturationOptions sopt;
-    sopt.tolerance = args.full ? 0.02 : 0.03;
+    return bench::benchMain(
+        argc, argv,
+        {"table3_summary",
+         "Table 3: summary of experimental results"},
+        [](bench::BenchContext& ctx) {
+            RunOptions opt = ctx.options();
+            if (!ctx.full()) {
+                opt.samplePackets = 1000;
+                opt.maxCycles = 60000;
+            }
+            SaturationOptions sopt;
+            sopt.tolerance = ctx.full() ? 0.02 : 0.03;
 
-    const char* presets[] = {"fr6", "fr13", "vc8", "vc16", "vc32"};
-    const char* names[] = {"FR6", "FR13", "VC8", "VC16", "VC32"};
+            const char* presets[] = {"fr6", "fr13", "vc8", "vc16",
+                                     "vc32"};
+            const char* names[] = {"FR6", "FR13", "VC8", "VC16", "VC32"};
 
-    // Paper Table 3 values, in the same row order as `names`.
-    const double p_fast5_base[] = {27, 27, 32, 32, 32};
-    const double p_fast5_mid[] = {33, 33, 39, 38, 38};
-    const double p_fast5_sat[] = {77, 85, 63, 80, 85};
-    const double p_fast21_base[] = {46, 46, 55, 55, 55};
-    const double p_fast21_mid[] = {81, 75, 113, 95, 97};
-    const double p_fast21_sat[] = {60, 75, 55, 65, 65};
-    const double p_lead5_base[] = {15, 15, 15, 15, 15};
-    const double p_lead5_mid[] = {19, 19, 21, 21, 21};
-    const double p_lead5_sat[] = {75, 83, 65, 80, 85};
+            // Paper Table 3 values, in the same row order as `names`.
+            const double p_fast5_base[] = {27, 27, 32, 32, 32};
+            const double p_fast5_mid[] = {33, 33, 39, 38, 38};
+            const double p_fast5_sat[] = {77, 85, 63, 80, 85};
+            const double p_fast21_base[] = {46, 46, 55, 55, 55};
+            const double p_fast21_mid[] = {81, 75, 113, 95, 97};
+            const double p_fast21_sat[] = {60, 75, 55, 65, 65};
+            const double p_lead5_base[] = {15, 15, 15, 15, 15};
+            const double p_lead5_mid[] = {19, 19, 21, 21, 21};
+            const double p_lead5_sat[] = {75, 83, 65, 80, 85};
 
-    struct Section
-    {
-        const char* title;
-        int packetLength;
-        int lead;  // 0 = fast control
-        const double* base;
-        const double* mid;
-        const double* sat;
-    };
-    const Section sections[] = {
-        {"Fast control, 5-flit packets", 5, 0, p_fast5_base, p_fast5_mid,
-         p_fast5_sat},
-        {"Fast control, 21-flit packets", 21, 0, p_fast21_base,
-         p_fast21_mid, p_fast21_sat},
-        {"Leading control (lead 1), 5-flit packets", 5, 1, p_lead5_base,
-         p_lead5_mid, p_lead5_sat},
-    };
+            struct Section
+            {
+                const char* title;
+                const char* slug;
+                int packetLength;
+                int lead;  // 0 = fast control
+                const double* base;
+                const double* mid;
+                const double* sat;
+            };
+            const Section sections[] = {
+                {"Fast control, 5-flit packets", "fast5", 5, 0,
+                 p_fast5_base, p_fast5_mid, p_fast5_sat},
+                {"Fast control, 21-flit packets", "fast21", 21, 0,
+                 p_fast21_base, p_fast21_mid, p_fast21_sat},
+                {"Leading control (lead 1), 5-flit packets", "lead5", 5,
+                 1, p_lead5_base, p_lead5_mid, p_lead5_sat},
+            };
 
-    std::printf("== Table 3: summary of experimental results (%s mode) "
-                "==\n\n",
-                args.full ? "full" : "quick");
-    const bench::WallTimer timer;
-    std::vector<std::vector<RunResult>> all_runs;
-    for (const Section& sec : sections) {
-        std::printf("-- %s --\n", sec.title);
-        RunOptions sec_opt = opt;
-        if (sec.packetLength == 21 && !args.full) {
-            sec_opt.samplePackets = 500;
-            sec_opt.maxCycles = 100000;
-        }
-        std::vector<Config> cfgs;
-        for (int i = 0; i < 5; ++i) {
-            Config cfg = baseConfig();
-            applyPreset(cfg, presets[i]);
-            cfg.set("packet_length", sec.packetLength);
-            if (sec.lead > 0)
-                applyLeadingControl(cfg, sec.lead);
-            else
-                applyFastControl(cfg);
-            bench::applyOverrides(cfg, args);
-            cfgs.push_back(cfg);
-        }
-        // Base and mid-load latencies for the whole section in one
-        // parallel batch; each saturation search then runs its own
-        // parallel grid probe.
-        const auto latencies = latencyCurves(cfgs, {0.02, 0.5}, sec_opt);
-        all_runs.insert(all_runs.end(), latencies.begin(),
-                        latencies.end());
-        TextTable table;
-        table.setHeader({"config", "base lat", "(paper)", "lat @50%",
-                         "(paper)", "sat %", "(paper)"});
-        for (int i = 0; i < 5; ++i) {
-            Row row;
-            const auto idx = static_cast<std::size_t>(i);
-            row.base = latencies[idx][0].avgLatency;
-            row.mid = latencies[idx][1].avgLatency;
-            row.sat = findSaturation(cfgs[idx], sec_opt, sopt) * 100.0;
-            table.addRow({names[i], TextTable::num(row.base, 1),
-                          TextTable::num(sec.base[i], 0),
-                          TextTable::num(row.mid, 1),
-                          TextTable::num(sec.mid[i], 0),
-                          TextTable::num(row.sat, 1),
-                          TextTable::num(sec.sat[i], 0)});
-        }
-        if (args.csv)
-            table.printCsv(std::cout);
-        else
-            table.print(std::cout);
-        std::printf("\n");
-    }
-    bench::printSweepStats(args, timer.seconds(), all_runs,
+            std::printf("== Table 3: summary of experimental results "
+                        "(%s mode) ==\n\n",
+                        ctx.full() ? "full" : "quick");
+            const bench::WallTimer timer;
+            std::vector<std::vector<RunResult>> all_runs;
+            for (const Section& sec : sections) {
+                std::printf("-- %s --\n", sec.title);
+                RunOptions sec_opt = opt;
+                if (sec.packetLength == 21 && !ctx.full()) {
+                    sec_opt.samplePackets = 500;
+                    sec_opt.maxCycles = 100000;
+                }
+                std::vector<Config> cfgs;
+                for (int i = 0; i < 5; ++i) {
+                    Config cfg = baseConfig();
+                    applyPreset(cfg, presets[i]);
+                    cfg.set("packet_length", sec.packetLength);
+                    if (sec.lead > 0)
+                        applyLeadingControl(cfg, sec.lead);
+                    else
+                        applyFastControl(cfg);
+                    ctx.applyOverrides(cfg);
+                    cfgs.push_back(cfg);
+                }
+                // Base and mid-load latencies for the whole section in
+                // one parallel batch; each saturation search then runs
+                // its own parallel grid probe.
+                const auto latencies =
+                    latencyCurves(cfgs, {0.02, 0.5}, sec_opt);
+                all_runs.insert(all_runs.end(), latencies.begin(),
+                                latencies.end());
+                TextTable table;
+                table.setHeader({"config", "base lat", "(paper)",
+                                 "lat @50%", "(paper)", "sat %",
+                                 "(paper)"});
+                for (int i = 0; i < 5; ++i) {
+                    Row row;
+                    const auto idx = static_cast<std::size_t>(i);
+                    row.base = latencies[idx][0].avgLatency;
+                    row.mid = latencies[idx][1].avgLatency;
+                    row.sat =
+                        findSaturation(cfgs[idx], sec_opt, sopt) * 100.0;
+                    table.addRow({names[i], TextTable::num(row.base, 1),
+                                  TextTable::num(sec.base[i], 0),
+                                  TextTable::num(row.mid, 1),
+                                  TextTable::num(sec.mid[i], 0),
+                                  TextTable::num(row.sat, 1),
+                                  TextTable::num(sec.sat[i], 0)});
+                    const std::string tag = std::string(sec.slug) + "."
+                        + names[i];
+                    Report& report = ctx.report();
+                    report.addScalar("paper." + tag + ".base",
+                                     sec.base[i]);
+                    report.addScalar("measured." + tag + ".base",
+                                     row.base);
+                    report.addScalar("paper." + tag + ".mid",
+                                     sec.mid[i]);
+                    report.addScalar("measured." + tag + ".mid",
+                                     row.mid);
+                    report.addScalar("paper." + tag + ".sat",
+                                     sec.sat[i]);
+                    report.addScalar("measured." + tag + ".sat",
+                                     row.sat);
+                    ReportCurve& rc = report.addCurve(
+                        tag, cfgs[idx]);
+                    rc.runs = latencies[idx];
+                }
+                if (ctx.csv())
+                    table.printCsv(std::cout);
+                else
+                    table.print(std::cout);
+                std::printf("\n");
+            }
+            ctx.sweepStats(timer.seconds(), all_runs,
                            /*counted_all=*/false);
-    std::printf("Shape checks: FR > VC saturation at equal storage; FR "
-                "base latency lower under\nfast control; FR6 ~ VC16 "
-                "saturation; gains tempered for 21-flit packets on "
-                "FR6.\n");
-    return 0;
+            std::printf("Shape checks: FR > VC saturation at equal "
+                        "storage; FR base latency lower under\nfast "
+                        "control; FR6 ~ VC16 saturation; gains "
+                        "tempered for 21-flit packets on FR6.\n");
+            ctx.note("Shape checks: FR > VC saturation at equal "
+                     "storage; FR base latency lower under fast "
+                     "control; FR6 ~ VC16 saturation; gains tempered "
+                     "for 21-flit packets on FR6.");
+        });
 }

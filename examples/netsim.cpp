@@ -8,9 +8,11 @@
  *   $ ./netsim scheme=vc num_vcs=4 vc_depth=4 packet_length=21 \
  *              topology=torus traffic=transpose offered=0.4
  *   $ ./netsim config=myexp.cfg seed=7 run.sample_packets=100000
+ *   $ ./netsim preset=fr6 out.format=json out.file=run.json
  *
  * Prints the experiment configuration, the measurement protocol
- * phases, and the resulting latency/throughput statistics.
+ * phases, and the resulting latency/throughput statistics; out.format
+ * emits the same run as a structured report with per-router metrics.
  */
 
 #include <algorithm>
@@ -18,11 +20,9 @@
 #include <string>
 #include <vector>
 
-#include "common/config.hpp"
-#include "harness/presets.hpp"
+#include "bench_common.hpp"
 #include "network/fr_network.hpp"
 #include "network/network.hpp"
-#include "network/runner.hpp"
 #include "topology/topology.hpp"
 
 using namespace frfc;
@@ -30,108 +30,113 @@ using namespace frfc;
 int
 main(int argc, char** argv)
 {
-    Config cfg = baseConfig();
-    applyVc8(cfg);  // defaults; overridden freely below
+    return bench::benchMain(
+        argc, argv,
+        {"netsim",
+         "BookSim-style front end: one fully configurable measurement "
+         "run"},
+        [](bench::BenchContext& ctx) {
+            Config cfg = baseConfig();
+            applyVc8(cfg);  // defaults; overridden freely below
+            ctx.applyOverrides(cfg);
+            if (cfg.has("config"))
+                cfg.loadFile(cfg.get<std::string>("config"));
+            if (cfg.has("preset"))
+                applyPreset(cfg, cfg.get<std::string>("preset"));
 
-    std::vector<std::string> tokens(argv + 1, argv + argc);
-    const auto positional = cfg.applyArgs(tokens);
-    for (const auto& arg : positional) {
-        if (arg == "--help" || arg == "-h") {
+            // netsim defaults to paper-scale options regardless of
+            // --full; run.* keys still override.
+            const RunOptions opt =
+                RunOptions::fromConfig(cfg, RunOptions{});
+            auto net = makeNetwork(cfg);
+
+            std::printf("network : %s, %s flow control\n",
+                        net->topology().describe().c_str(),
+                        net->scheme() == "fr" ? "flit-reservation"
+                                              : "virtual-channel");
             std::printf(
-                "usage: netsim [preset=<name>] [config=<file>] "
-                "[key=value ...]\n\n"
-                "presets: vc8 vc16 vc32 wormhole8 fr6 fr13\n"
-                "common keys: scheme topology size_x size_y routing\n"
-                "  traffic injection offered packet_length seed\n"
-                "  num_vcs vc_depth shared_pool (vc)\n"
-                "  data_buffers ctrl_vcs horizon lead_time (fr)\n"
-                "  run.sample_packets run.min_warmup run.max_cycles\n");
-            return 0;
-        }
-        std::fprintf(stderr, "unknown argument '%s' (try --help)\n",
-                     arg.c_str());
-        return 1;
-    }
-    if (cfg.has("config"))
-        cfg.loadFile(cfg.getString("config"));
-    if (cfg.has("preset"))
-        applyPreset(cfg, cfg.getString("preset"));
-
-    const RunOptions opt = RunOptions::fromConfig(cfg);
-    auto net = makeNetwork(cfg);
-
-    std::printf("network : %s, %s flow control\n",
-                net->topology().describe().c_str(),
-                net->scheme() == "fr" ? "flit-reservation"
-                                      : "virtual-channel");
-    std::printf("capacity: %.3f flits/node/cycle; offered %.1f%%\n",
+                "capacity: %.3f flits/node/cycle; offered %.1f%%\n",
                 net->capacity(),
                 net->offeredLoad() / net->capacity() * 100.0);
-    std::printf("sample  : %lld packets (min %lld warm-up cycles)\n\n",
+            std::printf(
+                "sample  : %lld packets (min %lld warm-up cycles)\n\n",
                 static_cast<long long>(opt.samplePackets),
                 static_cast<long long>(opt.minWarmup));
 
-    const RunResult r = runMeasurement(*net, opt);
+            const RunResult r = runMeasurement(*net, opt);
 
-    std::printf("warm-up    : %lld cycles\n",
-                static_cast<long long>(r.warmupCycles));
-    std::printf("simulated  : %lld cycles total\n",
-                static_cast<long long>(r.totalCycles));
-    std::printf("delivered  : %lld packets\n",
-                static_cast<long long>(r.packetsDelivered));
-    if (!r.complete)
-        std::printf("status     : SATURATED — sample not fully "
-                    "delivered within run.max_cycles\n");
-    std::printf("latency    : avg %.2f cycles (95%% CI +/- %.2f), min "
-                "%.0f, max %.0f\n",
-                r.avgLatency, r.ci95, r.minLatency, r.maxLatency);
-    std::printf("percentiles: p50 %.0f, p99 %.0f cycles\n", r.p50Latency,
-                r.p99Latency);
-    std::printf("throughput : %.4f flits/node/cycle accepted (%.1f%% "
-                "of capacity)\n",
-                r.accepted, r.acceptedFraction * 100.0);
+            std::printf("warm-up    : %lld cycles\n",
+                        static_cast<long long>(r.warmupCycles));
+            std::printf("simulated  : %lld cycles total\n",
+                        static_cast<long long>(r.totalCycles));
+            std::printf("delivered  : %lld packets\n",
+                        static_cast<long long>(r.packetsDelivered));
+            if (!r.complete)
+                std::printf("status     : SATURATED — sample not fully "
+                            "delivered within run.max_cycles\n");
+            std::printf("latency    : avg %.2f cycles (95%% CI +/- "
+                        "%.2f), min %.0f, max %.0f\n",
+                        r.avgLatency, r.ci95, r.minLatency,
+                        r.maxLatency);
+            std::printf("percentiles: p50 %.0f, p99 %.0f cycles\n",
+                        r.p50Latency, r.p99Latency);
+            std::printf("throughput : %.4f flits/node/cycle accepted "
+                        "(%.1f%% of capacity)\n",
+                        r.accepted, r.acceptedFraction * 100.0);
 
-    if (auto* fr = dynamic_cast<FrNetwork*>(net.get())) {
-        std::printf("fr stats   : %lld bypasses, %lld flits arrived "
+            if (auto* fr = dynamic_cast<FrNetwork*>(net.get())) {
+                std::printf(
+                    "fr stats   : %lld bypasses, %lld flits arrived "
                     "before control, control lead %.1f cycles\n",
                     static_cast<long long>(fr->totalBypasses()),
                     static_cast<long long>(fr->totalParked()),
                     fr->avgControlLead());
-    }
-
-    if (cfg.getBool("stats.links", false)) {
-        // Busiest data links: flits forwarded / simulated cycles.
-        struct LinkLoad
-        {
-            NodeId node;
-            PortId port;
-            double util;
-        };
-        std::vector<LinkLoad> loads;
-        const auto cycles = static_cast<double>(net->kernel().now());
-        for (NodeId node = 0; node < net->topology().numNodes();
-             ++node) {
-            for (PortId port = kEast; port <= kSouth; ++port) {
-                if (net->topology().neighbor(node, port) == kInvalidNode)
-                    continue;
-                loads.push_back(LinkLoad{
-                    node, port,
-                    static_cast<double>(net->flitsForwarded(node, port))
-                        / cycles});
+                ctx.report().addScalar(
+                    "measured.bypasses",
+                    static_cast<double>(fr->totalBypasses()));
+                ctx.report().addScalar("measured.control_lead",
+                                       fr->avgControlLead());
             }
-        }
-        std::sort(loads.begin(), loads.end(),
-                  [](const LinkLoad& a, const LinkLoad& b) {
-                      return a.util > b.util;
-                  });
-        std::printf("\nbusiest data links (flits/cycle):\n");
-        for (std::size_t i = 0; i < loads.size() && i < 8; ++i) {
-            std::printf("  node %2d %-5s -> node %2d : %.3f\n",
+            ctx.report().addCurve("run", cfg).runs.push_back(r);
+
+            if (cfg.getBool("stats.links", false)) {
+                // Busiest data links: flits forwarded over cycles.
+                struct LinkLoad
+                {
+                    NodeId node;
+                    PortId port;
+                    double util;
+                };
+                std::vector<LinkLoad> loads;
+                const auto cycles =
+                    static_cast<double>(net->kernel().now());
+                for (NodeId node = 0; node < net->topology().numNodes();
+                     ++node) {
+                    for (PortId port = kEast; port <= kSouth; ++port) {
+                        if (net->topology().neighbor(node, port)
+                            == kInvalidNode)
+                            continue;
+                        loads.push_back(LinkLoad{
+                            node, port,
+                            static_cast<double>(
+                                net->flitsForwarded(node, port))
+                                / cycles});
+                    }
+                }
+                std::sort(loads.begin(), loads.end(),
+                          [](const LinkLoad& a, const LinkLoad& b) {
+                              return a.util > b.util;
+                          });
+                std::printf("\nbusiest data links (flits/cycle):\n");
+                for (std::size_t i = 0; i < loads.size() && i < 8;
+                     ++i) {
+                    std::printf(
+                        "  node %2d %-5s -> node %2d : %.3f\n",
                         loads[i].node, directionName(loads[i].port),
                         net->topology().neighbor(loads[i].node,
                                                  loads[i].port),
                         loads[i].util);
-        }
-    }
-    return 0;
+                }
+            }
+        });
 }

@@ -13,15 +13,14 @@
  *   - fast control:   data wires 4 cycles/hop, control wires 1 (the
  *                     thick-metal-layer option), and
  *   - leading control: all wires equal; the memory controller knows the
- *                     destination while DRAM is being accessed, so
+ *                     destination while DRAM is being accessed, so the
  *                     control flits simply leave a cycle early.
  */
 
 #include <cstdio>
 
-#include "harness/presets.hpp"
+#include "bench_common.hpp"
 #include "network/fr_network.hpp"
-#include "network/runner.hpp"
 
 using namespace frfc;
 
@@ -45,7 +44,7 @@ chipConfig()
 }
 
 void
-report(const char* label, const RunResult& r)
+show(const char* label, const RunResult& r)
 {
     if (r.complete) {
         std::printf("  %-28s latency %7.1f cycles   accepted %4.1f%%\n",
@@ -59,54 +58,80 @@ report(const char* label, const RunResult& r)
 }  // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
-    RunOptions opt;
-    opt.samplePackets = 2000;
-    opt.minWarmup = 2000;
-    opt.maxWarmup = 6000;
-    opt.maxCycles = 150000;
+    return bench::benchMain(
+        argc, argv,
+        {"onchip_cmp",
+         "On-chip CMP interconnect: 4x4 mesh, memory-controller "
+         "hotspot, FR vs VC"},
+        [](bench::BenchContext& ctx) {
+            RunOptions opt = ctx.options();
+            if (!ctx.full()) {
+                opt.samplePackets = 2000;
+                opt.maxWarmup = 6000;
+                opt.maxCycles = 150000;
+            }
 
-    std::printf("On-chip CMP interconnect: 4x4 mesh, 16 cores, memory "
+            std::printf(
+                "On-chip CMP interconnect: 4x4 mesh, 16 cores, memory "
                 "controller at node 0,\n25%% hotspot traffic, 5-flit "
                 "read replies\n");
 
-    for (double load : {0.12, 0.20}) {
-        std::printf("\n-- offered load %2.0f%% of capacity --\n",
-                    load * 100.0);
+            for (double load : {0.12, 0.20}) {
+                std::printf("\n-- offered load %2.0f%% of capacity --\n",
+                            load * 100.0);
+                const std::string pct =
+                    std::to_string(static_cast<int>(load * 100.0));
 
-        // Virtual-channel baseline on the slow data wires.
-        Config vc = chipConfig();
-        applyVc8(vc);
-        applyFastControl(vc);
-        vc.set("offered", load);
-        report("VC8 (4-cycle data wires)", runExperiment(vc, opt));
+                // Virtual-channel baseline on the slow data wires.
+                Config vc = chipConfig();
+                applyVc8(vc);
+                applyFastControl(vc);
+                vc.set("offered", load);
+                ctx.applyOverrides(vc);
+                const RunResult rv = runExperiment(vc, opt);
+                show("VC8 (4-cycle data wires)", rv);
+                ctx.report().addCurve("vc8_at_" + pct, vc)
+                    .runs.push_back(rv);
 
-        // Flit reservation using fast thick-metal control wires.
-        Config fr_fast = chipConfig();
-        applyFr6(fr_fast);
-        applyFastControl(fr_fast);
-        fr_fast.set("offered", load);
-        report("FR6, fast control wires", runExperiment(fr_fast, opt));
+                // Flit reservation on fast thick-metal control wires.
+                Config fr_fast = chipConfig();
+                applyFr6(fr_fast);
+                applyFastControl(fr_fast);
+                fr_fast.set("offered", load);
+                ctx.applyOverrides(fr_fast);
+                const RunResult rf = runExperiment(fr_fast, opt);
+                show("FR6, fast control wires", rf);
+                ctx.report().addCurve("fr6_fast_at_" + pct, fr_fast)
+                    .runs.push_back(rf);
 
-        // Flit reservation with leading control: the DRAM access hides
-        // the 4-cycle control lead entirely.
-        Config fr_lead = chipConfig();
-        applyFr6(fr_lead);
-        applyLeadingControl(fr_lead, 4);
-        fr_lead.set("offered", load);
-        FrNetwork net(fr_lead);
-        const RunResult r = runMeasurement(net, opt);
-        report("FR6, control leads by 4", r);
-        std::printf("      control reaches the hotspot %.1f cycles "
+                // Flit reservation with leading control: the DRAM
+                // access hides the 4-cycle control lead entirely.
+                Config fr_lead = chipConfig();
+                applyFr6(fr_lead);
+                applyLeadingControl(fr_lead, 4);
+                fr_lead.set("offered", load);
+                ctx.applyOverrides(fr_lead);
+                FrNetwork net(fr_lead);
+                const RunResult r = runMeasurement(net, opt);
+                show("FR6, control leads by 4", r);
+                std::printf(
+                    "      control reaches the hotspot %.1f cycles "
                     "ahead of its data on average\n",
                     net.avgControlLead());
-    }
+                ctx.report().addCurve("fr6_lead_at_" + pct, fr_lead)
+                    .runs.push_back(r);
+                ctx.report().addScalar(
+                    "measured.control_lead_at_" + pct,
+                    net.avgControlLead());
+            }
 
-    std::printf("\nReading the numbers: advance reservation keeps "
+            std::printf(
+                "\nReading the numbers: advance reservation keeps "
                 "buffers on the congested paths\ninto the memory "
                 "controller turning over instantly, so flit "
                 "reservation holds\nits latency advantage as the "
                 "hotspot load climbs.\n");
-    return 0;
+        });
 }

@@ -5,6 +5,7 @@
  * thirty lines of API.
  *
  *   $ ./quickstart
+ *   $ ./quickstart out.format=json          # structured report
  *
  * Walkthrough:
  *  1. A Config describes an experiment; presets apply the paper's named
@@ -17,41 +18,52 @@
 
 #include <cstdio>
 
-#include "harness/presets.hpp"
-#include "network/runner.hpp"
+#include "bench_common.hpp"
 
 using namespace frfc;
 
 int
-main()
+main(int argc, char** argv)
 {
-    // Keep the demo snappy: a reduced sample. Drop these three lines
-    // (or use RunOptions{} defaults) for paper-scale measurements.
-    RunOptions opt;
-    opt.samplePackets = 2000;
-    opt.minWarmup = 2000;
-    opt.maxWarmup = 6000;
+    return bench::benchMain(
+        argc, argv,
+        {"quickstart",
+         "Quickstart: FR6 vs VC8 at 50% load on the paper's 8x8 mesh"},
+        [](bench::BenchContext& ctx) {
+            // Keep the demo snappy: a reduced sample (pass --full or
+            // run.* keys for paper-scale measurements).
+            RunOptions opt = ctx.options();
+            if (!ctx.full()) {
+                opt.samplePackets = 2000;
+                opt.maxWarmup = 6000;
+            }
 
-    std::printf("Flit-Reservation Flow Control quickstart\n");
-    std::printf("8x8 mesh, uniform traffic, 5-flit packets, 50%% "
-                "offered load\n\n");
+            std::printf("Flit-Reservation Flow Control quickstart\n");
+            std::printf("8x8 mesh, uniform traffic, 5-flit packets, "
+                        "50%% offered load\n\n");
 
-    for (const char* preset : {"vc8", "fr6"}) {
-        Config cfg = baseConfig();   // 8x8 mesh, fast control wires
-        applyPreset(cfg, preset);    // buffer organization
-        cfg.set("offered", 0.5);     // fraction of network capacity
+            for (const char* preset : {"vc8", "fr6"}) {
+                Config cfg = baseConfig();  // 8x8 mesh, fast control
+                applyPreset(cfg, preset);   // buffer organization
+                cfg.set("offered", 0.5);    // fraction of capacity
+                ctx.applyOverrides(cfg);
 
-        const RunResult r = runExperiment(cfg, opt);
-        std::printf("%-4s  latency %6.1f +/- %.1f cycles   accepted "
-                    "%4.1f%% of capacity   (%lld packets, %lld cycles)\n",
+                const RunResult r = runExperiment(cfg, opt);
+                std::printf(
+                    "%-4s  latency %6.1f +/- %.1f cycles   accepted "
+                    "%4.1f%% of capacity   (%lld packets, %lld "
+                    "cycles)\n",
                     preset, r.avgLatency, r.ci95,
                     r.acceptedFraction * 100.0,
                     static_cast<long long>(r.packetsDelivered),
                     static_cast<long long>(r.totalCycles));
-    }
+                ReportCurve& rc = ctx.report().addCurve(preset, cfg);
+                rc.runs.push_back(r);
+            }
 
-    std::printf("\nWith equal storage, flit reservation delivers the "
+            std::printf(
+                "\nWith equal storage, flit reservation delivers the "
                 "same load at lower latency;\npush 'offered' toward "
                 "0.7 and VC8 saturates while FR6 keeps flowing.\n");
-    return 0;
+        });
 }

@@ -10,16 +10,15 @@
  *   $ ./trace_replay trace=my.tr      # replays your own trace file
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <string>
 #include <vector>
 
-#include "common/config.hpp"
+#include "bench_common.hpp"
 #include "common/rng.hpp"
-#include "harness/presets.hpp"
 #include "network/network.hpp"
-#include "network/runner.hpp"
 #include "topology/topology.hpp"
 #include "traffic/generator.hpp"
 
@@ -50,8 +49,7 @@ recordDemoWorkload()
                 continue;
             entries.push_back(TraceEntry{now, client, server, 1});
             // The reply leaves after a 30-cycle service time.
-            entries.push_back(
-                TraceEntry{now + 30, server, client, 5});
+            entries.push_back(TraceEntry{now + 30, server, client, 5});
         }
     }
     // Replies were appended out of order; the format requires sorted
@@ -68,54 +66,70 @@ recordDemoWorkload()
 int
 main(int argc, char** argv)
 {
-    Config overrides;
-    std::vector<std::string> tokens(argv + 1, argv + argc);
-    overrides.applyArgs(tokens);
+    return bench::benchMain(
+        argc, argv,
+        {"trace_replay",
+         "Replay one recorded workload through VC and FR fabrics"},
+        [](bench::BenchContext& ctx) {
+            std::string path;
+            if (ctx.overrides().has("trace")) {
+                path = ctx.overrides().get<std::string>("trace");
+            } else {
+                path = "demo_workload.tr";
+                std::ofstream out(path);
+                out << formatTrace(recordDemoWorkload());
+                std::printf("recorded demo workload to %s\n",
+                            path.c_str());
+            }
 
-    std::string path;
-    if (overrides.has("trace")) {
-        path = overrides.getString("trace");
-    } else {
-        path = "demo_workload.tr";
-        std::ofstream out(path);
-        out << formatTrace(recordDemoWorkload());
-        std::printf("recorded demo workload to %s\n", path.c_str());
-    }
+            const auto total = static_cast<std::int64_t>(
+                parseTraceFile(path, 16).size());
 
-    const auto total = static_cast<std::int64_t>(
-        parseTraceFile(path, 16).size());
-
-    std::printf("\nReplaying the identical workload (%lld packets) "
+            std::printf(
+                "\nReplaying the identical workload (%lld packets) "
                 "through both fabrics (4x4 mesh):\n\n",
                 static_cast<long long>(total));
-    for (const char* preset : {"vc8", "fr6"}) {
-        Config cfg = baseConfig();
-        applyPreset(cfg, preset);
-        cfg.set("size_x", 4);
-        cfg.set("size_y", 4);
-        cfg.set("data_buffers", 13);  // mixed lengths need headroom
-        cfg.set("trace", path);
-        for (const auto& key : overrides.keys())
-            cfg.set(key, overrides.getString(key));
+            for (const char* preset : {"vc8", "fr6"}) {
+                Config cfg = baseConfig();
+                applyPreset(cfg, preset);
+                cfg.set("size_x", 4);
+                cfg.set("size_y", 4);
+                cfg.set("data_buffers", 13);  // mixed lengths: headroom
+                cfg.set("trace", path);
+                ctx.applyOverrides(cfg);
 
-        auto net = makeNetwork(cfg);
-        PacketRegistry& reg = net->registry();
-        reg.startSampling(1u << 30);  // sample everything
-        net->kernel().runUntil(
-            [&reg, total] {
-                return reg.packetsCreated() == total
-                    && reg.packetsInFlight() == 0;
-            },
-            200000);
-        std::printf("%-4s  %5lld packets, %6lld flits delivered; "
+                auto net = makeNetwork(cfg);
+                PacketRegistry& reg = net->registry();
+                reg.startSampling(1u << 30);  // sample everything
+                net->kernel().runUntil(
+                    [&reg, total] {
+                        return reg.packetsCreated() == total
+                            && reg.packetsInFlight() == 0;
+                    },
+                    200000);
+                const double avg = reg.sampleLatency().mean();
+                const double p99 =
+                    reg.sampleLatencyHistogram().quantile(0.99);
+                std::printf(
+                    "%-4s  %5lld packets, %6lld flits delivered; "
                     "avg latency %6.1f cycles (p99 %.0f)\n",
                     preset,
                     static_cast<long long>(reg.packetsDelivered()),
                     static_cast<long long>(reg.flitsDelivered()),
-                    reg.sampleLatency().mean(),
-                    reg.sampleLatencyHistogram().quantile(0.99));
-    }
-    std::printf("\nSame packets, same cycles of birth — any latency "
+                    avg, p99);
+                ctx.report().addScalar(
+                    std::string("measured.") + preset + ".avg_latency",
+                    avg);
+                ctx.report().addScalar(
+                    std::string("measured.") + preset + ".p99_latency",
+                    p99);
+                ctx.report().addScalar(
+                    std::string("measured.") + preset
+                        + ".packets_delivered",
+                    static_cast<double>(reg.packetsDelivered()));
+            }
+            std::printf(
+                "\nSame packets, same cycles of birth — any latency "
                 "difference is pure flow control.\n");
-    return 0;
+        });
 }

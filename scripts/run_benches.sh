@@ -1,0 +1,70 @@
+#!/bin/sh
+# Run every figure/table/ablation/stat bench and collect the structured
+# JSON reports under bench_out/, validating each with json_lint.
+#
+# usage: scripts/run_benches.sh [options] [-- BENCH_ARGS...]
+#   -b DIR   build directory (default: build)
+#   -o DIR   output directory (default: bench_out)
+#   -s       smoke mode: tiny samples so the whole sweep takes seconds
+#   --full   paper-scale runs (passed through to every bench)
+#
+# Everything after `--` is forwarded verbatim to each bench, e.g.
+#   scripts/run_benches.sh -- run.threads=4 seed=7
+set -eu
+
+cd "$(dirname "$0")/.."
+
+build_dir=build
+out_dir=bench_out
+extra=""
+smoke=0
+while [ $# -gt 0 ]; do
+    case "$1" in
+        -b) build_dir=$2; shift 2 ;;
+        -o) out_dir=$2; shift 2 ;;
+        -s) smoke=1; shift ;;
+        --full) extra="$extra --full"; shift ;;
+        --) shift; extra="$extra $*"; break ;;
+        *) echo "unknown option '$1' (see header comment)" >&2; exit 2 ;;
+    esac
+done
+if [ "$smoke" = 1 ]; then
+    extra="$extra run.sample_packets=50 run.min_warmup=200 \
+run.max_warmup=500 run.max_cycles=5000"
+fi
+
+benches="table1_storage table2_bandwidth fig5_latency_5flit \
+fig6_latency_21flit fig7_horizon fig8_leading_lead fig9_leading_vs_vc \
+table3_summary stat_pool_occupancy stat_control_lead \
+ablation_allornothing ablation_vc_sharedpool ablation_speedup \
+ext_error_recovery ext_torus ext_lineage"
+
+lint="$build_dir/bench/json_lint"
+[ -x "$lint" ] || { echo "missing $lint — build the repo first" >&2; exit 1; }
+
+mkdir -p "$out_dir"
+failed=""
+for bench in $benches; do
+    bin="$build_dir/bench/$bench"
+    if [ ! -x "$bin" ]; then
+        echo "SKIP $bench (not built)"
+        continue
+    fi
+    json="$out_dir/$bench.json"
+    log="$out_dir/$bench.log"
+    echo "RUN  $bench -> $json"
+    # shellcheck disable=SC2086  # $extra is a word list by design
+    if "$bin" $extra out.format=json "out.file=$json" > "$log" 2>&1 \
+        && "$lint" "$json" > /dev/null; then
+        :
+    else
+        echo "FAIL $bench (see $log)"
+        failed="$failed $bench"
+    fi
+done
+
+if [ -n "$failed" ]; then
+    echo "failed:$failed" >&2
+    exit 1
+fi
+echo "all reports in $out_dir/ parse as JSON"

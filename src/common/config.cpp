@@ -79,8 +79,9 @@ Config::lookup(const std::string& key) const
     return it->second;
 }
 
+template <>
 std::string
-Config::getString(const std::string& key) const
+Config::get<std::string>(const std::string& key) const
 {
     auto v = lookup(key);
     if (!v)
@@ -88,10 +89,11 @@ Config::getString(const std::string& key) const
     return *v;
 }
 
+template <>
 std::int64_t
-Config::getInt(const std::string& key) const
+Config::get<std::int64_t>(const std::string& key) const
 {
-    const std::string v = getString(key);
+    const std::string v = get<std::string>(key);
     char* end = nullptr;
     const long long parsed = std::strtoll(v.c_str(), &end, 0);
     if (end == v.c_str() || *end != '\0')
@@ -99,10 +101,18 @@ Config::getInt(const std::string& key) const
     return parsed;
 }
 
-double
-Config::getDouble(const std::string& key) const
+template <>
+int
+Config::get<int>(const std::string& key) const
 {
-    const std::string v = getString(key);
+    return static_cast<int>(get<std::int64_t>(key));
+}
+
+template <>
+double
+Config::get<double>(const std::string& key) const
+{
+    const std::string v = get<std::string>(key);
     char* end = nullptr;
     const double parsed = std::strtod(v.c_str(), &end);
     if (end == v.c_str() || *end != '\0')
@@ -110,10 +120,11 @@ Config::getDouble(const std::string& key) const
     return parsed;
 }
 
+template <>
 bool
-Config::getBool(const std::string& key) const
+Config::get<bool>(const std::string& key) const
 {
-    const std::string v = getString(key);
+    const std::string v = get<std::string>(key);
     if (v == "true" || v == "1" || v == "yes" || v == "on")
         return true;
     if (v == "false" || v == "0" || v == "no" || v == "off")
@@ -121,28 +132,58 @@ Config::getBool(const std::string& key) const
     fatal("config key '", key, "' = '", v, "' is not a boolean");
 }
 
+ConfigScope
+Config::scope(const std::string& prefix) const
+{
+    return ConfigScope(*this, prefix);
+}
+
+std::string
+Config::getString(const std::string& key) const
+{
+    return get<std::string>(key);
+}
+
+std::int64_t
+Config::getInt(const std::string& key) const
+{
+    return get<std::int64_t>(key);
+}
+
+double
+Config::getDouble(const std::string& key) const
+{
+    return get<double>(key);
+}
+
+bool
+Config::getBool(const std::string& key) const
+{
+    return get<bool>(key);
+}
+
 std::string
 Config::getString(const std::string& key, const std::string& dflt) const
 {
-    return has(key) ? getString(key) : dflt;
+    return get<std::string>(key, dflt);
 }
 
 std::int64_t
 Config::getInt(const std::string& key, std::int64_t dflt) const
 {
-    return has(key) ? getInt(key) : dflt;
+    return get<std::int64_t>(key, dflt);
 }
 
 double
 Config::getDouble(const std::string& key, double dflt) const
 {
-    return has(key) ? getDouble(key) : dflt;
+    return get<double>(key, dflt);
 }
 
 bool
 Config::getBool(const std::string& key, bool dflt) const
 {
-    return has(key) ? getBool(key) : dflt;
+    return get<bool>(key, dflt);
 }
 
 std::vector<std::string>
@@ -202,6 +243,26 @@ Config::toString() const
     for (const auto& [key, value] : values_)
         os << key << " = " << value << "\n";
     return os.str();
+}
+
+ConfigScope::ConfigScope(const Config& cfg, std::string prefix)
+    : cfg_(&cfg), prefix_(std::move(prefix))
+{
+    if (prefix_.empty() || prefix_.back() != '.')
+        prefix_ += '.';
+}
+
+std::vector<std::string>
+ConfigScope::keys() const
+{
+    std::vector<std::string> out;
+    for (const std::string& key : cfg_->keys()) {
+        if (key.size() > prefix_.size() &&
+            key.compare(0, prefix_.size(), prefix_) == 0) {
+            out.push_back(key.substr(prefix_.size()));
+        }
+    }
+    return out;
 }
 
 }  // namespace frfc

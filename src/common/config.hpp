@@ -8,23 +8,35 @@
  * ('#' starts a comment). Typed getters fatal() on missing keys or
  * malformed values — configuration errors are user errors.
  *
- * The `run.*` namespace configures the measurement protocol rather
- * than the simulated network (RunOptions::fromConfig): sample size,
- * warm-up bounds, cycle budget, and `run.threads` — the worker count
- * of the parallel experiment executor (0 = one per hardware thread).
+ * The typed read API is `get<T>(key)` / `get<T>(key, dflt)` with
+ * T ∈ {std::string, std::int64_t, int, double, bool}. Namespaced key
+ * groups are read through scope(): `cfg.scope("run").get<int>("threads")`
+ * reads `run.threads`. The legacy getString/getInt/getDouble/getBool
+ * names remain as thin deprecated wrappers over get<T>.
+ *
+ * Key namespaces understood by the harness rather than the simulated
+ * network:
+ *   run.* — measurement protocol (RunOptions::fromConfig): sample size,
+ *           warm-up bounds, cycle budget, and `run.threads`, the worker
+ *           count of the parallel executor (0 = one per hardware thread).
+ *   out.* — report emission: `out.format=table|json|csv`, `out.file=...`
+ *           (empty = stdout), `out.metrics=full|none`.
  * Any bench or example that applies CLI tokens accepts them, e.g.
- * `fig5_latency_5flit run.threads=8`.
+ * `fig5_latency_5flit run.threads=8 out.format=json out.file=fig5.json`.
  */
 
 #ifndef FRFC_COMMON_CONFIG_HPP
 #define FRFC_COMMON_CONFIG_HPP
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
 #include <vector>
 
 namespace frfc {
+
+class ConfigScope;
 
 /** Flat typed key/value configuration with defaults and overrides. */
 class Config
@@ -43,18 +55,49 @@ class Config
     /** True if the key has a value. */
     bool has(const std::string& key) const;
 
-    /** Typed getters; fatal() if absent or malformed. */
+    /**
+     * Typed read; fatal() if the key is absent or its value does not
+     * parse as T. Specialized for std::string, std::int64_t, int,
+     * double, and bool (bool accepts true/1/yes/on and false/0/no/off;
+     * integers accept any strtoll base-0 literal, hex included).
+     */
+    template <typename T>
+    T get(const std::string& key) const;
+
+    /** Typed read with a default for absent keys. */
+    template <typename T>
+    T
+    get(const std::string& key, const T& dflt) const
+    {
+        return has(key) ? get<T>(key) : dflt;
+    }
+
+    /** Convenience so get(key, "literal") deduces std::string. */
+    std::string
+    get(const std::string& key, const char* dflt) const
+    {
+        return get<std::string>(key, std::string(dflt));
+    }
+
+    /**
+     * A read-only view of the keys under `prefix.`; scope("run")
+     * resolves get<T>("threads") against "run.threads". The view
+     * borrows this Config — keep it on the stack, not past the
+     * Config's lifetime.
+     */
+    ConfigScope scope(const std::string& prefix) const;
+
+    /** @{ Deprecated: thin wrappers over get<T>; prefer get<T>(). */
     std::string getString(const std::string& key) const;
     std::int64_t getInt(const std::string& key) const;
     double getDouble(const std::string& key) const;
     bool getBool(const std::string& key) const;
-
-    /** Typed getters with a default for absent keys. */
     std::string getString(const std::string& key,
                           const std::string& dflt) const;
     std::int64_t getInt(const std::string& key, std::int64_t dflt) const;
     double getDouble(const std::string& key, double dflt) const;
     bool getBool(const std::string& key, bool dflt) const;
+    /** @} */
 
     /**
      * Apply `key=value` tokens (e.g. from argv). Tokens without '=' are
@@ -76,6 +119,68 @@ class Config
     std::optional<std::string> lookup(const std::string& key) const;
 
     std::map<std::string, std::string> values_;
+};
+
+template <>
+std::string Config::get<std::string>(const std::string& key) const;
+template <>
+std::int64_t Config::get<std::int64_t>(const std::string& key) const;
+template <>
+int Config::get<int>(const std::string& key) const;
+template <>
+double Config::get<double>(const std::string& key) const;
+template <>
+bool Config::get<bool>(const std::string& key) const;
+
+/**
+ * Read-only namespaced view into a Config (see Config::scope). All
+ * reads prepend `prefix.` to the given key.
+ */
+class ConfigScope
+{
+  public:
+    ConfigScope(const Config& cfg, std::string prefix);
+
+    const std::string& prefix() const { return prefix_; }
+
+    bool
+    has(const std::string& key) const
+    {
+        return cfg_->has(full(key));
+    }
+
+    template <typename T>
+    T
+    get(const std::string& key) const
+    {
+        return cfg_->get<T>(full(key));
+    }
+
+    template <typename T>
+    T
+    get(const std::string& key, const T& dflt) const
+    {
+        return cfg_->get<T>(full(key), dflt);
+    }
+
+    std::string
+    get(const std::string& key, const char* dflt) const
+    {
+        return cfg_->get(full(key), dflt);
+    }
+
+    /** Keys present under the prefix, with the prefix stripped. */
+    std::vector<std::string> keys() const;
+
+  private:
+    std::string
+    full(const std::string& key) const
+    {
+        return prefix_ + key;
+    }
+
+    const Config* cfg_;
+    std::string prefix_;  ///< including the trailing '.'
 };
 
 }  // namespace frfc

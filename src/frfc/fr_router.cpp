@@ -10,7 +10,7 @@ namespace frfc {
 
 FrRouter::FrRouter(std::string name, NodeId node,
                    const RoutingFunction& routing, const FrParams& params,
-                   Rng rng)
+                   Rng rng, MetricRegistry* metrics)
     : Clocked(std::move(name)), node_(node), routing_(routing),
       params_(params), rng_(rng),
       ctrl_in_(kNumPorts, nullptr), ctrl_out_(kNumPorts, nullptr),
@@ -24,6 +24,19 @@ FrRouter::FrRouter(std::string name, NodeId node,
 {
     for (auto& ovc : ctrl_out_vcs_)
         ovc.credits = params.ctrlVcDepth;
+    const std::string prefix = "router." + std::to_string(node);
+    if (metrics != nullptr) {
+        metrics->attachCounter(prefix + ".data.forwarded",
+                               data_forwarded_);
+        metrics->attachCounter(prefix + ".ctrl.forwarded",
+                               ctrl_forwarded_);
+        metrics->attachCounter(prefix + ".ctrl.consumed", ctrl_consumed_);
+        metrics->attachCounter(prefix + ".sched.retries", sched_retries_);
+        metrics->attachCounter(prefix + ".data.dropped", data_dropped_);
+        metrics->attachCounter(prefix + ".advance_credits",
+                               advance_credits_);
+    }
+
     out_tables_.reserve(kNumPorts);
     in_tables_.reserve(kNumPorts);
     for (PortId port = 0; port < kNumPorts; ++port) {
@@ -35,6 +48,22 @@ FrRouter::FrRouter(std::string name, NodeId node,
             params.horizon, params.dataBuffers, params.speedup));
         if (params.dataDropRate > 0.0)
             in_tables_.back()->setFaultTolerant(true);
+
+        if (metrics == nullptr)
+            continue;
+        const auto p = static_cast<std::size_t>(port);
+        const std::string out_pfx =
+            prefix + ".out." + std::to_string(port);
+        metrics->attachCounter(out_pfx + ".data_flits", flits_out_[p]);
+        metrics->attachCounter(out_pfx + ".reservations",
+                               res_commits_[p]);
+        metrics->attachCounter(out_pfx + ".reservations_denied",
+                               res_denied_[p]);
+        metrics->attachCounter(out_pfx + ".horizon_full",
+                               res_horizon_full_[p]);
+        metrics->attachTimeAverage(out_pfx + ".occupancy", out_occ_[p]);
+        in_tables_.back()->registerMetrics(
+            *metrics, prefix + ".in." + std::to_string(port));
     }
 }
 
@@ -126,8 +155,17 @@ FrRouter::bufferedControlFlits(PortId port) const
 void
 FrRouter::tick(Cycle now)
 {
-    for (auto& table : out_tables_)
-        table->advance(now);
+    for (PortId port = 0; port < kNumPorts; ++port) {
+        const auto p = static_cast<std::size_t>(port);
+        out_tables_[p]->advance(now);
+        // Change-driven occupancy: the time-average is only touched
+        // when the reserved-slot count moved since the last tick.
+        const int resv = out_tables_[p]->reservedCount();
+        if (resv != last_out_resv_[p]) {
+            last_out_resv_[p] = resv;
+            out_occ_[p].update(now, static_cast<double>(resv));
+        }
+    }
     for (auto& table : in_tables_)
         table->advance(now);
     drainCredits(now);
@@ -311,11 +349,12 @@ FrRouter::controlSwitchAllocation(Cycle now)
             ? scheduleEntriesAtomically(now, req.inPort, cvc.outPort, flit)
             : scheduleEntries(now, req.inPort, cvc.outPort, flit);
         if (!complete) {
-            ++sched_retries_;
+            sched_retries_.inc();
             continue;  // stalls at the VC head; retries next cycle
         }
 
         if (cvc.outPort == kLocal) {
+            ctrl_consumed_.inc();
             if (first_arrival != kInvalidCycle)
                 lead_.add(static_cast<double>(first_arrival - now));
         } else {
@@ -327,7 +366,7 @@ FrRouter::controlSwitchAllocation(Cycle now)
             FRFC_ASSERT(out != nullptr, "control route to unwired port");
             out->push(now, out_flit);
             --ctrlOutVc(cvc.outPort, cvc.outVc).credits;
-            ++ctrl_forwarded_;
+            ctrl_forwarded_.inc();
         }
 
         // Free the control buffer slot upstream.
@@ -378,6 +417,11 @@ FrRouter::scheduleEntries(Cycle now, PortId in, PortId out,
             min_depart, [&irt](Cycle t) { return irt.departSlotFree(t); },
             min_free);
         if (depart == kInvalidCycle) {
+            res_denied_[static_cast<std::size_t>(out)].inc();
+            if (ort.beyondHorizon(min_depart)) {
+                res_horizon_full_[static_cast<std::size_t>(out)]
+                    .inc();
+            }
             all = false;
             continue;
         }
@@ -420,8 +464,14 @@ FrRouter::scheduleEntriesAtomically(Cycle now, PortId in, PortId out,
             params_.flitsPerControl > 1 && !rescue ? 2 : 1;
         const Cycle depart =
             scratch.findDeparture(min_depart, slot_free, min_free);
-        if (depart == kInvalidCycle)
+        if (depart == kInvalidCycle) {
+            res_denied_[static_cast<std::size_t>(out)].inc();
+            if (scratch.beyondHorizon(min_depart)) {
+                res_horizon_full_[static_cast<std::size_t>(out)]
+                    .inc();
+            }
             return false;
+        }
         scratch.reserve(depart);
         tentative.push_back(depart);
     }
@@ -445,12 +495,14 @@ FrRouter::commitEntry(Cycle now, PortId in, PortId out,
 
     ort.reserve(depart);
     irt.recordReservation(now, entry.arrival, depart, out);
+    res_commits_[static_cast<std::size_t>(out)].inc();
 
     // Advance credit: the input buffer is free from the departure
     // cycle (plus one guard cycle on plesiochronous links, Section 5).
     if (Channel<FrCredit>* cr =
             fr_credit_out_[static_cast<std::size_t>(in)]) {
         cr->push(now, FrCredit{depart + params_.creditSlack});
+        advance_credits_.inc();
     }
 
     entry.scheduled = true;
@@ -471,8 +523,8 @@ FrRouter::dataDepartures(Cycle now)
                 data_out_[static_cast<std::size_t>(dep.out)];
             FRFC_ASSERT(out != nullptr, "data departure to unwired port");
             out->push(now, dep.flit);
-            ++data_forwarded_;
-            ++flits_out_[static_cast<std::size_t>(dep.out)];
+            data_forwarded_.inc();
+            flits_out_[static_cast<std::size_t>(dep.out)].inc();
         }
     }
 }
@@ -489,7 +541,7 @@ FrRouter::dataArrivals(Cycle now)
                 && rng_.nextBool(params_.dataDropRate)) {
                 // Corrupted in flight; the receiver's error detection
                 // discards it and the reservation executes vacuously.
-                ++data_dropped_;
+                data_dropped_.inc();
                 continue;
             }
             in_tables_[static_cast<std::size_t>(port)]->acceptFlit(now,

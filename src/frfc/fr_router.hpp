@@ -21,6 +21,7 @@
 #ifndef FRFC_FRFC_FR_ROUTER_HPP
 #define FRFC_FRFC_FR_ROUTER_HPP
 
+#include <array>
 #include <deque>
 #include <memory>
 #include <vector>
@@ -34,6 +35,7 @@
 #include "sim/channel.hpp"
 #include "sim/clocked.hpp"
 #include "stats/accumulator.hpp"
+#include "stats/metrics.hpp"
 #include "topology/topology.hpp"
 
 namespace frfc {
@@ -78,8 +80,15 @@ struct FrParams
 class FrRouter : public Clocked
 {
   public:
+    /**
+     * @param metrics registry to publish instruments into under
+     *        `router.<node>.*` (see stats/metrics.hpp for the path
+     *        scheme); null = instruments stay unpublished (standalone
+     *        tests); accessors still work either way.
+     */
     FrRouter(std::string name, NodeId node, const RoutingFunction& routing,
-             const FrParams& params, Rng rng);
+             const FrParams& params, Rng rng,
+             MetricRegistry* metrics = nullptr);
 
     /** @{ Wiring (null for unwired mesh-edge ports). */
     void connectCtrlIn(PortId port, Channel<ControlFlit>* ch);
@@ -98,15 +107,27 @@ class FrRouter : public Clocked
     const InputReservationTable& inputTable(PortId port) const;
     const OutputReservationTable& outputTable(PortId port) const;
     const Accumulator& controlLeadAtDestination() const { return lead_; }
-    std::int64_t dataFlitsForwarded() const { return data_forwarded_; }
-    std::int64_t controlFlitsForwarded() const { return ctrl_forwarded_; }
-    std::int64_t schedulingRetries() const { return sched_retries_; }
-    std::int64_t dataFlitsDropped() const { return data_dropped_; }
+    std::int64_t dataFlitsForwarded() const
+    {
+        return data_forwarded_.value();
+    }
+    std::int64_t controlFlitsForwarded() const
+    {
+        return ctrl_forwarded_.value();
+    }
+    std::int64_t schedulingRetries() const
+    {
+        return sched_retries_.value();
+    }
+    std::int64_t dataFlitsDropped() const
+    {
+        return data_dropped_.value();
+    }
 
     /** Data flits sent through output @p port since construction. */
     std::int64_t flitsForwarded(PortId port) const
     {
-        return flits_out_[static_cast<std::size_t>(port)];
+        return flits_out_[static_cast<std::size_t>(port)].value();
     }
     int bufferedControlFlits(PortId port) const;
     NodeId node() const { return node_; }
@@ -167,12 +188,24 @@ class FrRouter : public Clocked
     std::vector<std::unique_ptr<InputReservationTable>> in_tables_;
 
     Accumulator lead_;
-    std::int64_t data_forwarded_ = 0;
-    std::int64_t ctrl_forwarded_ = 0;
-    std::int64_t sched_retries_ = 0;
-    std::int64_t data_dropped_ = 0;
-    std::vector<std::int64_t> flits_out_ =
-        std::vector<std::int64_t>(kNumPorts, 0);
+
+    /** Instruments live here (cache-resident with the router state) and
+     *  are attach*()ed to the registry, which only reads them at
+     *  snapshot time. See stats/metrics.hpp. */
+    Counter data_forwarded_;
+    Counter ctrl_forwarded_;
+    Counter ctrl_consumed_;
+    Counter sched_retries_;
+    Counter data_dropped_;
+    Counter advance_credits_;
+    std::array<Counter, kNumPorts> flits_out_{};
+    std::array<Counter, kNumPorts> res_commits_{};
+    std::array<Counter, kNumPorts> res_denied_{};
+    std::array<Counter, kNumPorts> res_horizon_full_{};
+    std::array<TimeAverage, kNumPorts> out_occ_{};
+    /** Last reservedCount seen per output; occupancy time-averages are
+     *  only touched on change, so idle ports cost one compare. */
+    std::array<int, kNumPorts> last_out_resv_{};
 };
 
 }  // namespace frfc

@@ -10,7 +10,8 @@ namespace frfc {
 
 FrSource::FrSource(std::string name, NodeId node,
                    PacketGenerator* generator, PacketRegistry* registry,
-                   const FrParams& params, Rng rng)
+                   const FrParams& params, Rng rng,
+                   MetricRegistry* metrics)
     : Clocked(std::move(name)), node_(node), generator_(generator),
       registry_(registry), params_(params), rng_(rng),
       ort_(params.horizon, params.dataBuffers, /*link_latency=*/1),
@@ -20,6 +21,13 @@ FrSource::FrSource(std::string name, NodeId node,
     FRFC_ASSERT(generator != nullptr, "null packet generator");
     FRFC_ASSERT(params.leadTime + 2 < params.horizon,
                 "lead time must leave room inside the horizon");
+    if (metrics != nullptr) {
+        const std::string prefix = "source." + std::to_string(node);
+        metrics->attachCounter(prefix + ".packets_generated",
+                               packets_generated_);
+        metrics->attachCounter(prefix + ".flits_injected",
+                               flits_injected_);
+    }
 }
 
 int
@@ -63,6 +71,7 @@ FrSource::generate(Cycle now)
     const PacketId id =
         registry_->create(node_, pkt->dest, pkt->length, now);
     queue_.push_back(PendingPacket{id, pkt->dest, pkt->length, now});
+    packets_generated_.inc();
 }
 
 void
@@ -201,6 +210,7 @@ FrSource::fireData(Cycle now)
     FRFC_ASSERT(data_out_ != nullptr, "source data port unwired");
     it->second.injected = now;
     data_out_->push(now, it->second);
+    flits_injected_.inc();
     pending_data_.erase(it);
 }
 

@@ -38,8 +38,13 @@ class PacketRegistry;
 class FrSource : public Clocked
 {
   public:
+    /**
+     * @param metrics registry to publish `source.<node>.*` counters
+     *        into; null = keep private counters only
+     */
     FrSource(std::string name, NodeId node, PacketGenerator* generator,
-             PacketRegistry* registry, const FrParams& params, Rng rng);
+             PacketRegistry* registry, const FrParams& params, Rng rng,
+             MetricRegistry* metrics = nullptr);
 
     /** @{ Wiring toward the local router. */
     void connectCtrlOut(Channel<ControlFlit>* ch) { ctrl_out_ = ch; }
@@ -55,6 +60,14 @@ class FrSource : public Clocked
 
     /** Stop/start generating new packets. */
     void setGenerating(bool on) { generating_ = on; }
+
+    /** @{ Injection statistics (also in the metric registry). */
+    std::int64_t packetsGenerated() const
+    {
+        return packets_generated_.value();
+    }
+    std::int64_t flitsInjected() const { return flits_injected_.value(); }
+    /** @} */
 
   private:
     struct PendingPacket
@@ -93,6 +106,10 @@ class FrSource : public Clocked
     std::size_t next_ctrl_ = 0;
     VcId current_vc_ = kInvalidVc;
     std::unordered_map<Cycle, Flit> pending_data_;
+
+    /** Instruments live here; the registry observes them when given. */
+    Counter packets_generated_;
+    Counter flits_injected_;
 };
 
 }  // namespace frfc

@@ -16,6 +16,16 @@ InputReservationTable::InputReservationTable(int horizon, int buffers,
 }
 
 void
+InputReservationTable::registerMetrics(MetricRegistry& reg,
+                                       const std::string& prefix)
+{
+    reg.attachCounter(prefix + ".bypasses", bypasses_);
+    reg.attachCounter(prefix + ".parked", parked_total_);
+    reg.attachCounter(prefix + ".lost_arrivals", lost_arrivals_);
+    reg.attachTimeAverage(prefix + ".occupancy", occupancy_);
+}
+
+void
 InputReservationTable::advance(Cycle now)
 {
     FRFC_ASSERT(now >= window_start_, "window cannot move backwards");
@@ -28,7 +38,7 @@ InputReservationTable::advance(Cycle now)
         if (arr.cycle == window_start_ && fault_tolerant_) {
             voidDeparture(arr.depart, window_start_);
             arr.cycle = kInvalidCycle;
-            ++lost_arrivals_;
+            lost_arrivals_.inc();
         }
         FRFC_ASSERT(arr.cycle != window_start_,
                     "scheduled arrival at cycle ", window_start_,
@@ -82,7 +92,7 @@ InputReservationTable::recordReservation(Cycle now, Cycle arrival,
         // The flit was dropped in flight before its control flit was
         // processed here: the fresh reservation is void on arrival.
         entry.voided = true;
-        ++lost_arrivals_;
+        lost_arrivals_.inc();
         return;
     }
     FRFC_ASSERT(arrival >= now,
@@ -104,6 +114,7 @@ InputReservationTable::acceptFlit(Cycle now, const Flit& flit)
                 "input pool exhausted — reservation accounting broken (",
                 flit.toString(), ")");
     pool_.write(buffer, flit);
+    noteOccupancy(now);
 
     ArrivalSlot& aslot = arrivals_[index(now)];
     if (aslot.cycle != now) {
@@ -111,7 +122,7 @@ InputReservationTable::acceptFlit(Cycle now, const Flit& flit)
         FRFC_ASSERT(parked_.count(now) == 0,
                     "two flits parked for the same arrival cycle");
         parked_.emplace(now, buffer);
-        ++parked_total_;
+        parked_total_.inc();
         return;
     }
 
@@ -129,7 +140,7 @@ InputReservationTable::acceptFlit(Cycle now, const Flit& flit)
     }
     FRFC_ASSERT(bound, "no departure entry for arrival at ", now);
     if (aslot.depart == now + 1)
-        ++bypasses_;
+        bypasses_.inc();
     aslot.cycle = kInvalidCycle;
 }
 
@@ -180,6 +191,8 @@ InputReservationTable::takeDepartures(Cycle now)
     }
     slot.cycle = kInvalidCycle;
     slot.count = 0;
+    if (!result.empty())
+        noteOccupancy(now);
     return result;
 }
 

@@ -20,12 +20,14 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/types.hpp"
 #include "proto/buffer_pool.hpp"
 #include "proto/flit.hpp"
+#include "stats/metrics.hpp"
 
 namespace frfc {
 
@@ -43,6 +45,21 @@ class InputReservationTable
      *                 more models the multi-ported buffer of footnote 7)
      */
     InputReservationTable(int horizon, int buffers, int speedup = 1);
+
+    /** The registry may hold pointers to this table's instrument
+     *  members (registerMetrics); copying or moving would dangle them. */
+    InputReservationTable(const InputReservationTable&) = delete;
+    InputReservationTable& operator=(const InputReservationTable&) =
+        delete;
+
+    /**
+     * Publish this table's instruments under `<prefix>.`: the bypasses /
+     * parked / lost_arrivals counters and the pool-occupancy
+     * time-average are attached to @p reg, which observes them at
+     * snapshot time (the storage stays in this table). Call at most
+     * once, right after construction.
+     */
+    void registerMetrics(MetricRegistry& reg, const std::string& prefix);
 
     /** Slide the window so it starts at @p now. */
     void advance(Cycle now);
@@ -85,7 +102,7 @@ class InputReservationTable
     void setFaultTolerant(bool on) { fault_tolerant_ = on; }
 
     /** Scheduled arrivals that never materialized (fault mode). */
-    std::int64_t lostArrivals() const { return lost_arrivals_; }
+    std::int64_t lostArrivals() const { return lost_arrivals_.value(); }
 
     /** True if an unscheduled flit that arrived at @p t is parked. */
     bool parkedAt(Cycle t) const { return parked_.count(t) > 0; }
@@ -93,8 +110,8 @@ class InputReservationTable
     /** @{ Statistics. */
     const BufferPool& pool() const { return pool_; }
     int parkedCount() const { return static_cast<int>(parked_.size()); }
-    std::int64_t bypasses() const { return bypasses_; }
-    std::int64_t parkedTotal() const { return parked_total_; }
+    std::int64_t bypasses() const { return bypasses_.value(); }
+    std::int64_t parkedTotal() const { return parked_total_.value(); }
     /** @} */
 
   private:
@@ -140,10 +157,20 @@ class InputReservationTable
     /** Mark the departure linked to a lost arrival as void. */
     void voidDeparture(Cycle depart, Cycle arrival);
 
+    /** Track a pool occupancy change (per-flit hot path). */
+    void
+    noteOccupancy(Cycle now)
+    {
+        occupancy_.update(now, static_cast<double>(pool_.usedCount()));
+    }
+
     bool fault_tolerant_ = false;
-    std::int64_t bypasses_ = 0;
-    std::int64_t parked_total_ = 0;
-    std::int64_t lost_arrivals_ = 0;
+    /** Instruments live here (cache-resident with the table state);
+     *  registerMetrics() attaches them to a registry for snapshots. */
+    Counter bypasses_;
+    Counter parked_total_;
+    Counter lost_arrivals_;
+    TimeAverage occupancy_;
 };
 
 }  // namespace frfc

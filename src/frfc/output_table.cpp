@@ -32,6 +32,8 @@ OutputReservationTable::advance(Cycle now)
         // minimum is its own count and no earlier minimum changes.
         const std::size_t expired = index(window_start_);
         const std::size_t last = index(window_start_ - 1 + horizon_);
+        if (busy_[expired])
+            --reserved_;
         busy_[expired] = 0;
         free_[expired] = free_[last];
         suffix_min_[expired] = free_[expired];
@@ -48,6 +50,7 @@ OutputReservationTable::reserve(Cycle depart)
     std::uint8_t& busy = busy_[index(depart)];
     FRFC_ASSERT(!busy, "double reservation of cycle ", depart);
     busy = 1;
+    ++reserved_;
     if (infinite_)
         return;
     // Every suffix [t, windowEnd()] with t >= the arrival loses exactly

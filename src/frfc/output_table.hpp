@@ -115,6 +115,19 @@ class OutputReservationTable
      */
     void credit(Cycle free_from);
 
+    /**
+     * True if no departure at or after @p min_depart can fit in the
+     * current window — findDeparture() is doomed regardless of channel
+     * or buffer state. Distinguishes horizon exhaustion from
+     * contention-based denials in the metrics.
+     */
+    bool
+    beyondHorizon(Cycle min_depart) const
+    {
+        return std::max(min_depart, window_start_)
+            > windowEnd() - (infinite_ ? 0 : link_latency_);
+    }
+
     /** @{ Inspection (tests, stats). */
     bool busyAt(Cycle t) const { return busy_[index(checked(t))] != 0; }
     int freeBuffersAt(Cycle t) const { return free_[index(checked(t))]; }
@@ -122,6 +135,8 @@ class OutputReservationTable
     Cycle windowEnd() const { return window_start_ + horizon_ - 1; }
     int horizon() const { return horizon_; }
     Cycle linkLatency() const { return link_latency_; }
+    /** Reserved (busy) cycles currently inside the window. */
+    int reservedCount() const { return reserved_; }
     /** @} */
 
   private:
@@ -155,6 +170,7 @@ class OutputReservationTable
     Cycle link_latency_;
     bool infinite_;
     Cycle window_start_ = 0;
+    int reserved_ = 0;  ///< busy slots in the window (metrics)
     std::vector<std::uint8_t> busy_;
     std::vector<int> free_;
     /** suffix_min_[index(t)] = min(free_[t .. windowEnd()]); the

@@ -1,0 +1,498 @@
+#include "harness/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/log.hpp"
+
+namespace frfc {
+
+bool
+JsonValue::asBool() const
+{
+    FRFC_ASSERT(kind_ == Kind::kBool, "JSON value is not a bool");
+    return bool_;
+}
+
+double
+JsonValue::asNumber() const
+{
+    FRFC_ASSERT(kind_ == Kind::kNumber, "JSON value is not a number");
+    return num_;
+}
+
+const std::string&
+JsonValue::asString() const
+{
+    FRFC_ASSERT(kind_ == Kind::kString, "JSON value is not a string");
+    return str_;
+}
+
+void
+JsonValue::push(JsonValue v)
+{
+    FRFC_ASSERT(kind_ == Kind::kArray, "push on a non-array JSON value");
+    array_.push_back(std::move(v));
+}
+
+std::size_t
+JsonValue::size() const
+{
+    if (kind_ == Kind::kArray)
+        return array_.size();
+    if (kind_ == Kind::kObject)
+        return object_.size();
+    panic("size() on a scalar JSON value");
+}
+
+const JsonValue&
+JsonValue::at(std::size_t i) const
+{
+    FRFC_ASSERT(kind_ == Kind::kArray, "index into a non-array");
+    FRFC_ASSERT(i < array_.size(), "JSON array index out of range");
+    return array_[i];
+}
+
+void
+JsonValue::set(const std::string& key, JsonValue v)
+{
+    FRFC_ASSERT(kind_ == Kind::kObject, "set on a non-object JSON value");
+    for (auto& member : object_) {
+        if (member.first == key) {
+            member.second = std::move(v);
+            return;
+        }
+    }
+    object_.emplace_back(key, std::move(v));
+}
+
+bool
+JsonValue::contains(const std::string& key) const
+{
+    if (kind_ != Kind::kObject)
+        return false;
+    for (const auto& member : object_) {
+        if (member.first == key)
+            return true;
+    }
+    return false;
+}
+
+const JsonValue&
+JsonValue::at(const std::string& key) const
+{
+    FRFC_ASSERT(kind_ == Kind::kObject, "member lookup on a non-object");
+    for (const auto& member : object_) {
+        if (member.first == key)
+            return member.second;
+    }
+    panic("JSON object has no member '", key, "'");
+}
+
+bool
+JsonValue::operator==(const JsonValue& other) const
+{
+    if (kind_ != other.kind_)
+        return false;
+    switch (kind_) {
+      case Kind::kNull:
+        return true;
+      case Kind::kBool:
+        return bool_ == other.bool_;
+      case Kind::kNumber:
+        return num_ == other.num_;
+      case Kind::kString:
+        return str_ == other.str_;
+      case Kind::kArray:
+        return array_ == other.array_;
+      case Kind::kObject:
+        return object_ == other.object_;
+    }
+    return false;
+}
+
+namespace {
+
+void
+escapeString(std::string& out, const std::string& s)
+{
+    out += '"';
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+void
+formatNumber(std::string& out, double num)
+{
+    if (!std::isfinite(num)) {
+        // JSON has no inf/nan; null is the conventional stand-in.
+        out += "null";
+        return;
+    }
+    if (num == static_cast<double>(static_cast<std::int64_t>(num))
+        && std::abs(num) < 1e15) {
+        out += std::to_string(static_cast<std::int64_t>(num));
+        return;
+    }
+    // Shortest representation that parses back to the same double.
+    char buf[32];
+    for (int prec = 15; prec <= 17; ++prec) {
+        std::snprintf(buf, sizeof buf, "%.*g", prec, num);
+        if (std::strtod(buf, nullptr) == num)
+            break;
+    }
+    out += buf;
+}
+
+void
+newlineIndent(std::string& out, int indent, int depth)
+{
+    if (indent <= 0)
+        return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent * depth), ' ');
+}
+
+}  // namespace
+
+void
+JsonValue::dumpTo(std::string& out, int indent, int depth) const
+{
+    switch (kind_) {
+      case Kind::kNull:
+        out += "null";
+        break;
+      case Kind::kBool:
+        out += bool_ ? "true" : "false";
+        break;
+      case Kind::kNumber:
+        formatNumber(out, num_);
+        break;
+      case Kind::kString:
+        escapeString(out, str_);
+        break;
+      case Kind::kArray: {
+        if (array_.empty()) {
+            out += "[]";
+            break;
+        }
+        out += '[';
+        bool first = true;
+        for (const JsonValue& v : array_) {
+            if (!first)
+                out += ',';
+            first = false;
+            newlineIndent(out, indent, depth + 1);
+            v.dumpTo(out, indent, depth + 1);
+        }
+        newlineIndent(out, indent, depth);
+        out += ']';
+        break;
+      }
+      case Kind::kObject: {
+        if (object_.empty()) {
+            out += "{}";
+            break;
+        }
+        out += '{';
+        bool first = true;
+        for (const auto& member : object_) {
+            if (!first)
+                out += ',';
+            first = false;
+            newlineIndent(out, indent, depth + 1);
+            escapeString(out, member.first);
+            out += indent > 0 ? ": " : ":";
+            member.second.dumpTo(out, indent, depth + 1);
+        }
+        newlineIndent(out, indent, depth);
+        out += '}';
+        break;
+      }
+    }
+}
+
+std::string
+JsonValue::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    return out;
+}
+
+namespace {
+
+/** Recursive-descent JSON parser over a borrowed string. */
+class Parser
+{
+  public:
+    Parser(const std::string& text, std::string* error)
+        : text_(text), error_(error)
+    {
+    }
+
+    JsonValue
+    parse()
+    {
+        JsonValue v = parseValue();
+        if (failed_)
+            return JsonValue();
+        skipSpace();
+        if (pos_ != text_.size()) {
+            fail("trailing garbage");
+            return JsonValue();
+        }
+        return v;
+    }
+
+    bool failed() const { return failed_; }
+
+  private:
+    void
+    fail(const std::string& what)
+    {
+        if (!failed_ && error_ != nullptr)
+            *error_ = what + " at byte " + std::to_string(pos_);
+        failed_ = true;
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size()
+               && std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    bool
+    consume(const char* literal)
+    {
+        const std::size_t len = std::char_traits<char>::length(literal);
+        if (text_.compare(pos_, len, literal) == 0) {
+            pos_ += len;
+            return true;
+        }
+        return false;
+    }
+
+    JsonValue
+    parseValue()
+    {
+        skipSpace();
+        if (pos_ >= text_.size()) {
+            fail("unexpected end of input");
+            return JsonValue();
+        }
+        const char c = text_[pos_];
+        if (c == '{')
+            return parseObject();
+        if (c == '[')
+            return parseArray();
+        if (c == '"')
+            return JsonValue(parseString());
+        if (consume("null"))
+            return JsonValue();
+        if (consume("true"))
+            return JsonValue(true);
+        if (consume("false"))
+            return JsonValue(false);
+        return parseNumber();
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        const char* start = text_.c_str() + pos_;
+        char* end = nullptr;
+        const double num = std::strtod(start, &end);
+        if (end == start) {
+            fail("expected a value");
+            return JsonValue();
+        }
+        pos_ += static_cast<std::size_t>(end - start);
+        return JsonValue(num);
+    }
+
+    std::string
+    parseString()
+    {
+        std::string out;
+        ++pos_;  // opening quote
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            char c = text_[pos_++];
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                break;
+            c = text_[pos_++];
+            switch (c) {
+              case 'n':
+                out += '\n';
+                break;
+              case 't':
+                out += '\t';
+                break;
+              case 'r':
+                out += '\r';
+                break;
+              case 'b':
+                out += '\b';
+                break;
+              case 'f':
+                out += '\f';
+                break;
+              case 'u': {
+                if (pos_ + 4 > text_.size()) {
+                    fail("truncated \\u escape");
+                    return out;
+                }
+                const long code =
+                    std::strtol(text_.substr(pos_, 4).c_str(), nullptr, 16);
+                pos_ += 4;
+                // Reports only emit \u for control characters; encode
+                // the BMP code point as UTF-8.
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xC0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                } else {
+                    out += static_cast<char>(0xE0 | (code >> 12));
+                    out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                }
+                break;
+              }
+              default:
+                out += c;  // covers \" \\ \/
+            }
+        }
+        if (pos_ >= text_.size()) {
+            fail("unterminated string");
+            return out;
+        }
+        ++pos_;  // closing quote
+        return out;
+    }
+
+    JsonValue
+    parseArray()
+    {
+        JsonValue arr = JsonValue::array();
+        ++pos_;  // '['
+        skipSpace();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            return arr;
+        }
+        while (!failed_) {
+            arr.push(parseValue());
+            skipSpace();
+            if (pos_ >= text_.size()) {
+                fail("unterminated array");
+                break;
+            }
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == ']') {
+                ++pos_;
+                break;
+            }
+            fail("expected ',' or ']'");
+        }
+        return arr;
+    }
+
+    JsonValue
+    parseObject()
+    {
+        JsonValue obj = JsonValue::object();
+        ++pos_;  // '{'
+        skipSpace();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            ++pos_;
+            return obj;
+        }
+        while (!failed_) {
+            skipSpace();
+            if (pos_ >= text_.size() || text_[pos_] != '"') {
+                fail("expected an object key");
+                break;
+            }
+            const std::string key = parseString();
+            skipSpace();
+            if (pos_ >= text_.size() || text_[pos_] != ':') {
+                fail("expected ':'");
+                break;
+            }
+            ++pos_;
+            obj.set(key, parseValue());
+            skipSpace();
+            if (pos_ >= text_.size()) {
+                fail("unterminated object");
+                break;
+            }
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == '}') {
+                ++pos_;
+                break;
+            }
+            fail("expected ',' or '}'");
+        }
+        return obj;
+    }
+
+    const std::string& text_;
+    std::string* error_;
+    std::size_t pos_ = 0;
+    bool failed_ = false;
+};
+
+}  // namespace
+
+JsonValue
+jsonParse(const std::string& text, std::string* error)
+{
+    Parser parser(text, error);
+    JsonValue v = parser.parse();
+    if (parser.failed())
+        return JsonValue();
+    return v;
+}
+
+}  // namespace frfc

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Minimal JSON tree, writer, and parser.
+ *
+ * Just enough JSON for structured experiment reports (harness/report):
+ * build a JsonValue tree, serialize it with dump(), and parse it back
+ * with jsonParse(). Numbers are doubles printed with enough digits to
+ * round-trip bit-exactly, so parse(dump(v)) == v holds for every tree
+ * the harness produces. No dependencies beyond the standard library.
+ */
+
+#ifndef FRFC_HARNESS_JSON_HPP
+#define FRFC_HARNESS_JSON_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace frfc {
+
+/** One JSON value: null, bool, number, string, array, or object. */
+class JsonValue
+{
+  public:
+    enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+    JsonValue() = default;                        ///< null
+    JsonValue(bool b) : kind_(Kind::kBool), bool_(b) {}
+    JsonValue(double n) : kind_(Kind::kNumber), num_(n) {}
+    JsonValue(std::int64_t n)
+        : kind_(Kind::kNumber), num_(static_cast<double>(n)) {}
+    JsonValue(int n) : kind_(Kind::kNumber), num_(n) {}
+    JsonValue(std::string s) : kind_(Kind::kString), str_(std::move(s)) {}
+    JsonValue(const char* s) : kind_(Kind::kString), str_(s) {}
+
+    /** @{ Empty aggregate constructors. */
+    static JsonValue array() { JsonValue v; v.kind_ = Kind::kArray; return v; }
+    static JsonValue object() { JsonValue v; v.kind_ = Kind::kObject; return v; }
+    /** @} */
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::kNull; }
+    bool isObject() const { return kind_ == Kind::kObject; }
+    bool isArray() const { return kind_ == Kind::kArray; }
+
+    /** @{ Typed reads; fatal() on kind mismatch. */
+    bool asBool() const;
+    double asNumber() const;
+    const std::string& asString() const;
+    /** @} */
+
+    /** Array access. */
+    void push(JsonValue v);
+    std::size_t size() const;
+    const JsonValue& at(std::size_t i) const;
+
+    /** Object access; set() keeps first-insertion key order. */
+    void set(const std::string& key, JsonValue v);
+    bool contains(const std::string& key) const;
+    /** Member lookup; fatal() if absent. */
+    const JsonValue& at(const std::string& key) const;
+    const std::vector<std::pair<std::string, JsonValue>>& members() const
+    {
+        return object_;
+    }
+
+    /** Serialize; indent > 0 pretty-prints with that many spaces. */
+    std::string dump(int indent = 0) const;
+
+    bool operator==(const JsonValue& other) const;
+    bool operator!=(const JsonValue& other) const
+    {
+        return !(*this == other);
+    }
+
+  private:
+    void dumpTo(std::string& out, int indent, int depth) const;
+
+    Kind kind_ = Kind::kNull;
+    bool bool_ = false;
+    double num_ = 0.0;
+    std::string str_;
+    std::vector<JsonValue> array_;
+    std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+/**
+ * Parse JSON text into a tree. On malformed input, returns null and
+ * fills @p error with a message carrying the byte offset; @p error may
+ * be nullptr if the caller fatal()s on failure anyway.
+ */
+JsonValue jsonParse(const std::string& text, std::string* error);
+
+}  // namespace frfc
+
+#endif  // FRFC_HARNESS_JSON_HPP

@@ -1,0 +1,225 @@
+#include "harness/report.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "common/log.hpp"
+
+#ifndef FRFC_GIT_DESCRIBE
+#define FRFC_GIT_DESCRIBE "unknown"
+#endif
+#ifndef FRFC_BUILD_TYPE
+#define FRFC_BUILD_TYPE "unknown"
+#endif
+
+namespace frfc {
+
+std::string
+buildGitDescription()
+{
+    return FRFC_GIT_DESCRIBE;
+}
+
+namespace {
+
+std::string
+compilerDescription()
+{
+#if defined(__clang__)
+    return std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+    return std::string("gcc ") + __VERSION__;
+#else
+    return "unknown";
+#endif
+}
+
+JsonValue
+configToJson(const Config& cfg)
+{
+    JsonValue obj = JsonValue::object();
+    for (const std::string& key : cfg.keys())
+        obj.set(key, cfg.get<std::string>(key));
+    return obj;
+}
+
+JsonValue
+runToJson(const RunResult& r)
+{
+    JsonValue obj = JsonValue::object();
+    obj.set("offered", r.offered);
+    obj.set("offered_fraction", r.offeredFraction);
+    obj.set("accepted", r.accepted);
+    obj.set("accepted_fraction", r.acceptedFraction);
+    obj.set("avg_latency", r.avgLatency);
+    obj.set("ci95", r.ci95);
+    obj.set("min_latency", r.minLatency);
+    obj.set("max_latency", r.maxLatency);
+    obj.set("p50_latency", r.p50Latency);
+    obj.set("p95_latency", r.p95Latency);
+    obj.set("p99_latency", r.p99Latency);
+    obj.set("complete", r.complete);
+    obj.set("warmup_cycles", static_cast<double>(r.warmupCycles));
+    obj.set("total_cycles", static_cast<double>(r.totalCycles));
+    obj.set("packets_delivered",
+            static_cast<double>(r.packetsDelivered));
+    obj.set("pool_full_fraction", r.poolFullFraction);
+    obj.set("pool_avg_occupancy", r.poolAvgOccupancy);
+    obj.set("wall_seconds", r.wallSeconds);
+    JsonValue metrics = JsonValue::object();
+    for (const MetricSample& sample : r.metrics.samples())
+        metrics.set(sample.path, sample.value);
+    obj.set("metrics", metrics);
+    return obj;
+}
+
+}  // namespace
+
+Report::Report(std::string name, std::string title)
+    : name_(std::move(name)), title_(std::move(title))
+{
+}
+
+ReportCurve&
+Report::addCurve(const std::string& name, const Config& cfg)
+{
+    ReportCurve curve;
+    curve.name = name;
+    curve.config = cfg;
+    curves_.push_back(std::move(curve));
+    return curves_.back();
+}
+
+void
+Report::addScalar(const std::string& key, double value)
+{
+    for (auto& scalar : scalars_) {
+        if (scalar.first == key) {
+            scalar.second = value;
+            return;
+        }
+    }
+    scalars_.emplace_back(key, value);
+}
+
+void
+Report::addNote(const std::string& note)
+{
+    notes_.push_back(note);
+}
+
+JsonValue
+Report::toJsonValue() const
+{
+    JsonValue root = JsonValue::object();
+    root.set("name", name_);
+    root.set("title", title_);
+    root.set("schema_version", kReportSchemaVersion);
+    root.set("mode", mode_);
+
+    JsonValue build = JsonValue::object();
+    build.set("git", buildGitDescription());
+    build.set("compiler", compilerDescription());
+    build.set("build_type", FRFC_BUILD_TYPE);
+    root.set("build", build);
+
+    root.set("wall_seconds", wall_seconds_);
+
+    JsonValue scalars = JsonValue::object();
+    for (const auto& scalar : scalars_)
+        scalars.set(scalar.first, scalar.second);
+    root.set("scalars", scalars);
+
+    JsonValue notes = JsonValue::array();
+    for (const std::string& note : notes_)
+        notes.push(note);
+    root.set("notes", notes);
+
+    JsonValue curves = JsonValue::array();
+    for (const ReportCurve& curve : curves_) {
+        JsonValue c = JsonValue::object();
+        c.set("name", curve.name);
+        c.set("config", configToJson(curve.config));
+        JsonValue runs = JsonValue::array();
+        for (const RunResult& run : curve.runs)
+            runs.push(runToJson(run));
+        c.set("runs", runs);
+        curves.push(c);
+    }
+    root.set("curves", curves);
+    return root;
+}
+
+std::string
+Report::toJson() const
+{
+    return toJsonValue().dump(2) + "\n";
+}
+
+std::string
+Report::toCsv() const
+{
+    std::ostringstream out;
+    out << "report,curve,offered_fraction,offered,accepted,"
+           "accepted_fraction,avg_latency,ci95,min_latency,max_latency,"
+           "p50_latency,p95_latency,p99_latency,complete,warmup_cycles,"
+           "total_cycles,packets_delivered,pool_full_fraction,"
+           "pool_avg_occupancy,wall_seconds\n";
+    auto cell = [&out](double v) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.10g", v);
+        out << ',' << buf;
+    };
+    for (const ReportCurve& curve : curves_) {
+        for (const RunResult& r : curve.runs) {
+            // Curve names may hold spaces but the benches use no
+            // commas or quotes; keep the writer trivial.
+            out << name_ << ',' << curve.name;
+            cell(r.offeredFraction);
+            cell(r.offered);
+            cell(r.accepted);
+            cell(r.acceptedFraction);
+            cell(r.avgLatency);
+            cell(r.ci95);
+            cell(r.minLatency);
+            cell(r.maxLatency);
+            cell(r.p50Latency);
+            cell(r.p95Latency);
+            cell(r.p99Latency);
+            out << ',' << (r.complete ? 1 : 0);
+            cell(static_cast<double>(r.warmupCycles));
+            cell(static_cast<double>(r.totalCycles));
+            cell(static_cast<double>(r.packetsDelivered));
+            cell(r.poolFullFraction);
+            cell(r.poolAvgOccupancy);
+            cell(r.wallSeconds);
+            out << '\n';
+        }
+    }
+    return out.str();
+}
+
+void
+Report::write(const RunOptions& opt) const
+{
+    if (opt.outFormat == "table")
+        return;
+    const std::string payload =
+        opt.outFormat == "json" ? toJson() : toCsv();
+    if (opt.outFile.empty()) {
+        std::cout << payload;
+        return;
+    }
+    std::ofstream file(opt.outFile);
+    if (!file)
+        fatal("cannot open out.file '", opt.outFile, "' for writing");
+    file << payload;
+    if (!file.good())
+        fatal("short write to out.file '", opt.outFile, "'");
+    std::cerr << "report written to " << opt.outFile << " ("
+              << opt.outFormat << ")\n";
+}
+
+}  // namespace frfc

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Structured experiment reports.
+ *
+ * Every bench and example builds a Report while it runs: the configs it
+ * swept, the offered loads, the RunResults (including per-component
+ * metric snapshots), derived scalars, and free-form notes. The report
+ * then serializes to JSON or CSV per RunOptions::outFormat /
+ * RunOptions::outFile (`out.format=json out.file=fig5.json` on any
+ * bench command line), so figures become machine-readable artifacts
+ * instead of terminal scrape targets.
+ *
+ * JSON schema (schema_version 1):
+ *   {
+ *     "name": "fig5_latency_5flit", "title": "...",
+ *     "schema_version": 1, "mode": "quick" | "full",
+ *     "build": {"git": "...", "compiler": "...", "build_type": "..."},
+ *     "wall_seconds": 1.23,
+ *     "scalars": {"vc.saturation": 0.55, ...},
+ *     "notes": ["..."],
+ *     "curves": [{
+ *       "name": "fr", "config": {"scheme": "fr", ...},
+ *       "runs": [{"offered_fraction": 0.1, "avg_latency": ...,
+ *                 "p50_latency": ..., "p95_latency": ...,
+ *                 "p99_latency": ..., ...,
+ *                 "metrics": {"router.0.ctrl.forwarded": 123, ...}}]
+ *     }]
+ *   }
+ * Key order is fixed, so equal experiments produce byte-equal payloads
+ * apart from wall_seconds and build info.
+ *
+ * CSV emits one row per (curve, run) with the scalar RunResult columns
+ * (metrics stay JSON-only — thousands of columns help nobody).
+ */
+
+#ifndef FRFC_HARNESS_REPORT_HPP
+#define FRFC_HARNESS_REPORT_HPP
+
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "harness/json.hpp"
+#include "network/runner.hpp"
+
+namespace frfc {
+
+inline constexpr int kReportSchemaVersion = 1;
+
+/** One swept configuration and its measured points. */
+struct ReportCurve
+{
+    std::string name;             ///< e.g. "fr" or "vc b=16"
+    Config config;                ///< the exact config swept
+    std::vector<RunResult> runs;  ///< one per measured load
+
+    void add(const RunResult& result) { runs.push_back(result); }
+};
+
+/** A bench's structured output: curves + scalars + notes. */
+class Report
+{
+  public:
+    Report(std::string name, std::string title);
+
+    /** "quick" (default) or "full" (--full benches). */
+    void setMode(std::string mode) { mode_ = std::move(mode); }
+    void setWallSeconds(double s) { wall_seconds_ = s; }
+
+    /** Append a curve; the reference stays valid until the next add. */
+    ReportCurve& addCurve(const std::string& name, const Config& cfg);
+
+    /** Named derived quantity (saturation point, overhead ratio...). */
+    void addScalar(const std::string& key, double value);
+
+    /** Free-form annotation carried into the serialized report. */
+    void addNote(const std::string& note);
+
+    const std::string& name() const { return name_; }
+    const std::string& mode() const { return mode_; }
+    const std::vector<ReportCurve>& curves() const { return curves_; }
+
+    /** Report as a JSON tree (the serialization ground truth). */
+    JsonValue toJsonValue() const;
+
+    /** Pretty-printed JSON text. */
+    std::string toJson() const;
+
+    /** One row per (curve, run); scalar columns only. */
+    std::string toCsv() const;
+
+    /**
+     * Emit per @p opt: "json"/"csv" go to opt.outFile (stdout when
+     * empty); "table" is a no-op — the bench already printed its
+     * human-readable tables.
+     */
+    void write(const RunOptions& opt) const;
+
+  private:
+    std::string name_;
+    std::string title_;
+    std::string mode_ = "quick";
+    double wall_seconds_ = 0.0;
+    std::vector<ReportCurve> curves_;
+    std::vector<std::pair<std::string, double>> scalars_;
+    std::vector<std::string> notes_;
+};
+
+/** The git description baked in at configure time ("unknown" outside
+ *  a git checkout). */
+std::string buildGitDescription();
+
+}  // namespace frfc
+
+#endif  // FRFC_HARNESS_REPORT_HPP

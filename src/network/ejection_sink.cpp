@@ -4,17 +4,22 @@
 
 namespace frfc {
 
-EjectionSink::EjectionSink(std::string name, PacketRegistry* registry)
+EjectionSink::EjectionSink(std::string name, PacketRegistry* registry,
+                           MetricRegistry* metrics)
     : Clocked(std::move(name)), registry_(registry)
 {
+    if (metrics != nullptr)
+        metrics->attachCounter("sink.flits_ejected", flits_ejected_);
 }
 
 void
 EjectionSink::tick(Cycle now)
 {
     for (Channel<Flit>* ch : channels_) {
-        for (const Flit& flit : ch->drain(now))
+        for (const Flit& flit : ch->drain(now)) {
             registry_->deliverFlit(now, flit);
+            flits_ejected_.inc();
+        }
     }
 }
 

@@ -7,11 +7,13 @@
 #ifndef FRFC_NETWORK_EJECTION_SINK_HPP
 #define FRFC_NETWORK_EJECTION_SINK_HPP
 
+#include <cstdint>
 #include <vector>
 
 #include "proto/flit.hpp"
 #include "sim/channel.hpp"
 #include "sim/clocked.hpp"
+#include "stats/metrics.hpp"
 
 namespace frfc {
 
@@ -21,16 +23,26 @@ class PacketRegistry;
 class EjectionSink : public Clocked
 {
   public:
-    EjectionSink(std::string name, PacketRegistry* registry);
+    /**
+     * @param metrics registry to publish the `sink.flits_ejected`
+     *        counter into; null = keep a private counter only
+     */
+    EjectionSink(std::string name, PacketRegistry* registry,
+                 MetricRegistry* metrics = nullptr);
 
     /** Register one node's ejection channel. */
     void addChannel(Channel<Flit>* ch) { channels_.push_back(ch); }
 
     void tick(Cycle now) override;
 
+    /** Flits delivered to destinations since construction. */
+    std::int64_t flitsEjected() const { return flits_ejected_.value(); }
+
   private:
     PacketRegistry* registry_;
     std::vector<Channel<Flit>*> channels_;
+
+    Counter flits_ejected_;
 };
 
 }  // namespace frfc

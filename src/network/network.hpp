@@ -16,6 +16,7 @@
 #include "common/types.hpp"
 #include "proto/packet_registry.hpp"
 #include "sim/kernel.hpp"
+#include "stats/metrics.hpp"
 
 namespace frfc {
 
@@ -30,6 +31,15 @@ class NetworkModel
     Kernel& kernel() { return kernel_; }
     PacketRegistry& registry() { return registry_; }
     const PacketRegistry& registry() const { return registry_; }
+
+    /** Metric registry every component publishes into (see
+     *  stats/metrics.hpp for the path scheme). */
+    MetricRegistry& metrics() { return metrics_; }
+    const MetricRegistry& metrics() const { return metrics_; }
+
+    /** Close out time-weighted instruments at the current cycle; call
+     *  once when measurement ends, before snapshotting. */
+    void finalizeMetrics() { metrics_.finishTimeAverages(kernel_.now()); }
 
     /** Topology of this network. */
     virtual const Topology& topology() const = 0;
@@ -65,6 +75,7 @@ class NetworkModel
   protected:
     Kernel kernel_;
     PacketRegistry registry_;
+    MetricRegistry metrics_;
 };
 
 /**

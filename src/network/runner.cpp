@@ -21,19 +21,30 @@ RunOptions
 RunOptions::fromConfig(const Config& cfg, const RunOptions& base)
 {
     RunOptions opt = base;
-    opt.samplePackets = cfg.getInt("run.sample_packets",
-                                   opt.samplePackets);
-    opt.minWarmup = cfg.getInt("run.min_warmup", opt.minWarmup);
-    opt.maxWarmup = cfg.getInt("run.max_warmup", opt.maxWarmup);
-    opt.maxCycles = cfg.getInt("run.max_cycles", opt.maxCycles);
-    opt.warmupWindow = static_cast<int>(
-        cfg.getInt("run.warmup_window", opt.warmupWindow));
-    opt.warmupTolerance = cfg.getDouble("run.warmup_tolerance",
-                                        opt.warmupTolerance);
-    opt.trackOccupancy = cfg.getBool("run.track_occupancy",
-                                     opt.trackOccupancy);
-    opt.threads = static_cast<int>(
-        cfg.getInt("run.threads", opt.threads));
+    const ConfigScope run = cfg.scope("run");
+    opt.samplePackets = run.get("sample_packets", opt.samplePackets);
+    opt.minWarmup = run.get("min_warmup", opt.minWarmup);
+    opt.maxWarmup = run.get("max_warmup", opt.maxWarmup);
+    opt.maxCycles = run.get("max_cycles", opt.maxCycles);
+    opt.warmupWindow = run.get("warmup_window", opt.warmupWindow);
+    opt.warmupTolerance = run.get("warmup_tolerance",
+                                  opt.warmupTolerance);
+    opt.trackOccupancy = run.get("track_occupancy", opt.trackOccupancy);
+    opt.threads = run.get("threads", opt.threads);
+
+    const ConfigScope out = cfg.scope("out");
+    opt.outFormat = out.get("format", opt.outFormat);
+    opt.outFile = out.get("file", opt.outFile);
+    opt.outMetrics = out.get("metrics", opt.outMetrics);
+    if (opt.outFormat != "table" && opt.outFormat != "json"
+        && opt.outFormat != "csv") {
+        fatal("out.format must be table, json, or csv (got '",
+              opt.outFormat, "')");
+    }
+    if (opt.outMetrics != "full" && opt.outMetrics != "none") {
+        fatal("out.metrics must be full or none (got '", opt.outMetrics,
+              "')");
+    }
     return opt;
 }
 
@@ -55,6 +66,7 @@ RunResult::bitIdentical(const RunResult& other) const
         && minLatency == other.minLatency
         && maxLatency == other.maxLatency
         && p50Latency == other.p50Latency
+        && p95Latency == other.p95Latency
         && p99Latency == other.p99Latency
         && accepted == other.accepted
         && acceptedFraction == other.acceptedFraction
@@ -63,7 +75,8 @@ RunResult::bitIdentical(const RunResult& other) const
         && totalCycles == other.totalCycles
         && packetsDelivered == other.packetsDelivered
         && poolFullFraction == other.poolFullFraction
-        && poolAvgOccupancy == other.poolAvgOccupancy;
+        && poolAvgOccupancy == other.poolAvgOccupancy
+        && metrics == other.metrics;
 }
 
 RunOptions
@@ -121,6 +134,7 @@ runMeasurement(NetworkModel& net, const RunOptions& opt)
     result.maxLatency = lat.count() > 0 ? lat.max() : 0.0;
     const Histogram& hist = registry.sampleLatencyHistogram();
     result.p50Latency = hist.total() > 0 ? hist.quantile(0.5) : 0.0;
+    result.p95Latency = hist.total() > 0 ? hist.quantile(0.95) : 0.0;
     result.p99Latency = hist.total() > 0 ? hist.quantile(0.99) : 0.0;
     result.accepted = cycles > 0
         ? static_cast<double>(registry.flitsDelivered() - flits_before)
@@ -134,6 +148,10 @@ runMeasurement(NetworkModel& net, const RunOptions& opt)
     if (opt.trackOccupancy) {
         result.poolFullFraction = net.middlePoolFullFraction();
         result.poolAvgOccupancy = net.middlePoolAvgOccupancy();
+    }
+    if (opt.collectMetrics()) {
+        net.finalizeMetrics();
+        result.metrics = net.metrics().snapshot();
     }
     result.wallSeconds = std::chrono::duration<double>(
         std::chrono::steady_clock::now() - wall_start).count();

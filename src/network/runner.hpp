@@ -11,8 +11,10 @@
 #define FRFC_NETWORK_RUNNER_HPP
 
 #include <cstdint>
+#include <string>
 
 #include "common/types.hpp"
+#include "stats/metrics.hpp"
 
 namespace frfc {
 
@@ -38,10 +40,26 @@ struct RunOptions
      */
     int threads = 0;
 
+    /** @{
+     * Structured output (harness/report): where and how benches emit
+     * their Report. "table" writes the classic human-readable text;
+     * "json" and "csv" serialize the full report. Empty outFile means
+     * stdout. outMetrics selects whether per-run registry snapshots
+     * are collected ("full") or skipped ("none").
+     */
+    std::string outFormat = "table";  ///< out.format: table|json|csv
+    std::string outFile;              ///< out.file: path, "" = stdout
+    std::string outMetrics = "full";  ///< out.metrics: full|none
+    /** @} */
+
+    /** True when runMeasurement should snapshot the metric registry. */
+    bool collectMetrics() const { return outMetrics != "none"; }
+
     /**
-     * Reads run.* keys (run.sample_packets, run.min_warmup, ...);
-     * absent keys keep the values of @p base (paper-scale defaults in
-     * the single-argument form).
+     * Reads run.* keys (run.sample_packets, run.min_warmup, ...) and
+     * out.* keys (out.format, out.file, out.metrics); absent keys keep
+     * the values of @p base (paper-scale defaults in the
+     * single-argument form).
      */
     static RunOptions fromConfig(const Config& cfg,
                                  const RunOptions& base);
@@ -61,6 +79,7 @@ struct RunResult
     double minLatency = 0.0;
     double maxLatency = 0.0;
     double p50Latency = 0.0;    ///< median over the sample
+    double p95Latency = 0.0;    ///< tail over the sample
     double p99Latency = 0.0;    ///< tail over the sample
     double accepted = 0.0;      ///< flits/node/cycle ejected
     double acceptedFraction = 0.0;  ///< of capacity
@@ -70,6 +89,10 @@ struct RunResult
     std::int64_t packetsDelivered = 0;
     double poolFullFraction = 0.0;  ///< valid if trackOccupancy
     double poolAvgOccupancy = 0.0;  ///< valid if trackOccupancy
+
+    /** Per-component registry snapshot taken when the run ended
+     *  (empty when RunOptions::outMetrics is "none"). */
+    MetricsSnapshot metrics;
 
     /** @{ Wall-clock observability (host-dependent, never compared). */
     double wallSeconds = 0.0;       ///< host time spent in the run

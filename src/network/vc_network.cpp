@@ -62,18 +62,20 @@ VcNetwork::VcNetwork(const Config& cfg)
 
     const int n = topo_->numNodes();
     middle_node_ = topo_->nodeAt(topo_->sizeX() / 2, topo_->sizeY() / 2);
-    sink_ = std::make_unique<EjectionSink>("sink", &registry_);
+    sink_ = std::make_unique<EjectionSink>("sink", &registry_, &metrics_);
 
     generators_ = makeGenerators(cfg, *topo_, pattern_.get(), offered_);
     for (NodeId node = 0; node < n; ++node) {
         routers_.push_back(std::make_unique<VcRouter>(
             "router" + std::to_string(node), node, *routing_, params,
-            Rng(seed, 0x1000 + static_cast<std::uint64_t>(node))));
+            Rng(seed, 0x1000 + static_cast<std::uint64_t>(node)),
+            &metrics_));
         sources_.push_back(std::make_unique<VcSource>(
             "source" + std::to_string(node), node,
             generators_[static_cast<std::size_t>(node)].get(),
             &registry_, params.numVcs, params.vcDepth, params.sharedPool,
-            Rng(seed, 0x2000 + static_cast<std::uint64_t>(node))));
+            Rng(seed, 0x2000 + static_cast<std::uint64_t>(node)),
+            &metrics_));
     }
 
     auto make_flit_channel = [this](std::string name, Cycle lat) {

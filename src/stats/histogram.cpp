@@ -51,17 +51,22 @@ Histogram::quantile(double q) const
     FRFC_ASSERT(q >= 0.0 && q <= 1.0, "quantile requires q in [0,1]");
     if (total_ == 0)
         return lo_;
-    const auto target =
-        static_cast<std::int64_t>(q * static_cast<double>(total_));
-    std::int64_t seen = underflow_;
-    if (seen > target)
-        return lo_;
+    // Rank of the requested quantile among the samples. Samples are
+    // assumed uniform within their bucket, so once the rank's bucket is
+    // known the answer interpolates linearly across that bucket's width.
+    const double target = q * static_cast<double>(total_);
+    double seen = static_cast<double>(underflow_);
+    if (target <= seen)
+        return lo_;  // the quantile lies below the bucketed range
     for (std::size_t i = 0; i < counts_.size(); ++i) {
-        seen += counts_[i];
-        if (seen > target)
-            return bucketLo(static_cast<int>(i)) + width_ / 2.0;
+        const auto count = static_cast<double>(counts_[i]);
+        if (count > 0.0 && target <= seen + count) {
+            const double frac = (target - seen) / count;
+            return bucketLo(static_cast<int>(i)) + frac * width_;
+        }
+        seen += count;
     }
-    return hi_;
+    return hi_;  // the quantile lies in the overflow bucket
 }
 
 std::string

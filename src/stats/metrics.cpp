@@ -1,0 +1,221 @@
+#include "stats/metrics.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace frfc {
+
+MetricsSnapshot::MetricsSnapshot(std::vector<MetricSample> samples)
+    : samples_(std::move(samples))
+{
+    std::sort(samples_.begin(), samples_.end(),
+              [](const MetricSample& a, const MetricSample& b) {
+                  return a.path < b.path;
+              });
+}
+
+namespace {
+
+std::vector<MetricSample>::const_iterator
+find(const std::vector<MetricSample>& samples, const std::string& path)
+{
+    const auto it = std::lower_bound(
+        samples.begin(), samples.end(), path,
+        [](const MetricSample& s, const std::string& p) {
+            return s.path < p;
+        });
+    if (it == samples.end() || it->path != path)
+        return samples.end();
+    return it;
+}
+
+}  // namespace
+
+bool
+MetricsSnapshot::has(const std::string& path) const
+{
+    return find(samples_, path) != samples_.end();
+}
+
+double
+MetricsSnapshot::value(const std::string& path) const
+{
+    const auto it = find(samples_, path);
+    if (it == samples_.end())
+        fatal("metrics snapshot has no sample '", path, "'");
+    return it->value;
+}
+
+double
+MetricsSnapshot::sumMatching(const std::string& suffix) const
+{
+    const std::string tail = "." + suffix;
+    double sum = 0.0;
+    for (const MetricSample& s : samples_) {
+        if (s.path.size() >= tail.size() &&
+            s.path.compare(s.path.size() - tail.size(), tail.size(),
+                           tail) == 0) {
+            sum += s.value;
+        }
+    }
+    return sum;
+}
+
+const char*
+MetricRegistry::kindName(Kind kind)
+{
+    switch (kind) {
+    case Kind::kCounter: return "counter";
+    case Kind::kGauge: return "gauge";
+    case Kind::kTimeAverage: return "time-average";
+    case Kind::kHistogram: return "histogram";
+    }
+    return "?";
+}
+
+MetricRegistry::Entry&
+MetricRegistry::entry(const std::string& path, Kind kind)
+{
+    if (path.empty())
+        fatal("metric path must be nonempty");
+    auto [it, inserted] = entries_.try_emplace(path);
+    if (!inserted && it->second.kind != kind) {
+        fatal("metric '", path, "' already registered as ",
+              kindName(it->second.kind), ", requested as ",
+              kindName(kind));
+    }
+    if (inserted)
+        it->second.kind = kind;
+    return it->second;
+}
+
+Counter&
+MetricRegistry::counter(const std::string& path)
+{
+    Entry& e = entry(path, Kind::kCounter);
+    if (e.counter == nullptr) {
+        e.owned_counter = std::make_unique<Counter>();
+        e.counter = e.owned_counter.get();
+    }
+    return *e.counter;
+}
+
+Gauge&
+MetricRegistry::gauge(const std::string& path)
+{
+    Entry& e = entry(path, Kind::kGauge);
+    if (e.gauge == nullptr) {
+        e.owned_gauge = std::make_unique<Gauge>();
+        e.gauge = e.owned_gauge.get();
+    }
+    return *e.gauge;
+}
+
+TimeAverage&
+MetricRegistry::timeAverage(const std::string& path)
+{
+    Entry& e = entry(path, Kind::kTimeAverage);
+    if (e.time_average == nullptr) {
+        e.owned_time_average = std::make_unique<TimeAverage>();
+        e.time_average = e.owned_time_average.get();
+    }
+    return *e.time_average;
+}
+
+Histogram&
+MetricRegistry::histogram(const std::string& path, double lo, double hi,
+                          int buckets)
+{
+    Entry& e = entry(path, Kind::kHistogram);
+    if (e.histogram == nullptr) {
+        e.owned_histogram = std::make_unique<Histogram>(lo, hi, buckets);
+        e.histogram = e.owned_histogram.get();
+    }
+    return *e.histogram;
+}
+
+void
+MetricRegistry::attachCounter(const std::string& path, Counter& c)
+{
+    if (entries_.count(path) > 0)
+        fatal("metric '", path, "' already registered; cannot attach");
+    entry(path, Kind::kCounter).counter = &c;
+}
+
+void
+MetricRegistry::attachGauge(const std::string& path, Gauge& g)
+{
+    if (entries_.count(path) > 0)
+        fatal("metric '", path, "' already registered; cannot attach");
+    entry(path, Kind::kGauge).gauge = &g;
+}
+
+void
+MetricRegistry::attachTimeAverage(const std::string& path, TimeAverage& t)
+{
+    if (entries_.count(path) > 0)
+        fatal("metric '", path, "' already registered; cannot attach");
+    entry(path, Kind::kTimeAverage).time_average = &t;
+}
+
+bool
+MetricRegistry::has(const std::string& path) const
+{
+    return entries_.count(path) > 0;
+}
+
+std::vector<std::string>
+MetricRegistry::paths() const
+{
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const auto& [path, entry] : entries_)
+        out.push_back(path);
+    return out;
+}
+
+void
+MetricRegistry::finishTimeAverages(Cycle now)
+{
+    for (auto& [path, e] : entries_) {
+        if (e.kind == Kind::kTimeAverage)
+            e.time_average->finish(now);
+    }
+}
+
+MetricsSnapshot
+MetricRegistry::snapshot() const
+{
+    std::vector<MetricSample> samples;
+    samples.reserve(entries_.size());
+    // entries_ iterates in sorted key order; histogram sub-keys append
+    // '.count'/'.p50'/... which sort after the bare path but could
+    // interleave with a sibling path, so sort once at the end via the
+    // MetricsSnapshot constructor.
+    for (const auto& [path, e] : entries_) {
+        switch (e.kind) {
+        case Kind::kCounter:
+            samples.push_back(
+                {path, static_cast<double>(e.counter->value())});
+            break;
+        case Kind::kGauge:
+            samples.push_back({path, e.gauge->value()});
+            break;
+        case Kind::kTimeAverage:
+            samples.push_back({path, e.time_average->average()});
+            break;
+        case Kind::kHistogram:
+            samples.push_back(
+                {path + ".count",
+                 static_cast<double>(e.histogram->total())});
+            samples.push_back({path + ".p50", e.histogram->quantile(0.50)});
+            samples.push_back({path + ".p95", e.histogram->quantile(0.95)});
+            samples.push_back({path + ".p99", e.histogram->quantile(0.99)});
+            break;
+        }
+    }
+    return MetricsSnapshot(std::move(samples));
+}
+
+}  // namespace frfc

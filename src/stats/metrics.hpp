@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Hierarchical metric registry.
+ *
+ * Every simulated component (router, source, sink, reservation table)
+ * registers its instruments under a stable dotted path at construction
+ * time — e.g. `router.3.out.2.reservations_denied`. Hot components own
+ * their instruments as plain members and attach*() them, so the hot
+ * path bumps a member on the component's own cache lines: no string
+ * lookup, no map traversal, no pointer chase into registry-owned heap
+ * objects. Registration is the only operation that touches the path
+ * map; the registry reads the attached instruments only at snapshot
+ * time.
+ *
+ * Four instrument kinds:
+ *   - Counter:     monotonically increasing event count
+ *   - Gauge:       last-written level (instantaneous value)
+ *   - TimeAverage: time-weighted level average (stats/time_average.hpp)
+ *   - Histogram:   fixed-bucket distribution (stats/histogram.hpp)
+ *
+ * snapshot() flattens the registry into a sorted list of (path, value)
+ * samples. Counters and gauges emit one sample each; time-averages emit
+ * their average; histograms expand into `.count`, `.p50`, `.p95`, and
+ * `.p99` sub-keys. Snapshots are plain data — comparable, mergeable
+ * into reports, and independent of the registry they came from.
+ *
+ * Path naming scheme (see README.md):
+ *   router.<node>.<name>            per-router event counters
+ *   router.<node>.out.<port>.<name> per-output-table instruments
+ *   router.<node>.in.<port>.<name>  per-input-table instruments
+ *   source.<node>.<name>           injection-side counters
+ *   sink.<node>.<name>             ejection-side counters
+ */
+
+#ifndef FRFC_STATS_METRICS_HPP
+#define FRFC_STATS_METRICS_HPP
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "stats/histogram.hpp"
+#include "stats/time_average.hpp"
+
+namespace frfc {
+
+/** Monotonic event counter; the cheapest instrument (one add). */
+class Counter
+{
+  public:
+    void inc() { ++value_; }
+    void add(std::int64_t n) { value_ += n; }
+    std::int64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::int64_t value_ = 0;
+};
+
+/** Last-written level, for values that are set rather than counted. */
+class Gauge
+{
+  public:
+    void set(double value) { value_ = value; }
+    double value() const { return value_; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/** One flattened (path, value) pair of a snapshot. */
+struct MetricSample
+{
+    std::string path;
+    double value = 0.0;
+
+    bool
+    operator==(const MetricSample& other) const
+    {
+        return path == other.path && value == other.value;
+    }
+};
+
+/**
+ * Immutable flattened view of a registry at one instant. Samples are
+ * sorted by path, so equal registries produce equal snapshots and
+ * lookups are a binary search.
+ */
+class MetricsSnapshot
+{
+  public:
+    MetricsSnapshot() = default;
+    explicit MetricsSnapshot(std::vector<MetricSample> samples);
+
+    const std::vector<MetricSample>& samples() const { return samples_; }
+    bool empty() const { return samples_.empty(); }
+    std::size_t size() const { return samples_.size(); }
+
+    /** True if a sample with exactly @p path exists. */
+    bool has(const std::string& path) const;
+
+    /** Value at @p path; fatal() if absent. */
+    double value(const std::string& path) const;
+
+    /** Sum of all samples whose path ends with `.<suffix>`. */
+    double sumMatching(const std::string& suffix) const;
+
+    bool
+    operator==(const MetricsSnapshot& other) const
+    {
+        return samples_ == other.samples_;
+    }
+
+  private:
+    std::vector<MetricSample> samples_;  ///< sorted by path
+};
+
+/**
+ * Create-or-get registry of named instruments. References returned by
+ * the accessors are stable for the registry's lifetime (instruments
+ * are heap-allocated and never move), so components cache them at
+ * construction and bump them without further lookups.
+ *
+ * Components that bump an instrument every few simulated cycles should
+ * instead keep it as a plain member and attach*() its address: the hot
+ * path then touches the component's own cache lines rather than a
+ * registry-owned heap object, and the registry merely observes the
+ * member at snapshot() time. Attached instruments must outlive the
+ * registry's reads — in NetworkModel both die together.
+ *
+ * Re-registering an existing path returns the existing instrument —
+ * but requesting it as a different kind, or attaching over any
+ * existing path, is a fatal config error.
+ */
+class MetricRegistry
+{
+  public:
+    MetricRegistry() = default;
+    MetricRegistry(const MetricRegistry&) = delete;
+    MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+    /** @{ Create-or-get an instrument under @p path. */
+    Counter& counter(const std::string& path);
+    Gauge& gauge(const std::string& path);
+    TimeAverage& timeAverage(const std::string& path);
+    Histogram& histogram(const std::string& path, double lo, double hi,
+                         int buckets);
+    /** @} */
+
+    /** @{ Register a component-owned instrument under @p path. The
+     *  registry keeps only the pointer; @p path must be new. */
+    void attachCounter(const std::string& path, Counter& c);
+    void attachGauge(const std::string& path, Gauge& g);
+    void attachTimeAverage(const std::string& path, TimeAverage& t);
+    /** @} */
+
+    /** True if any instrument is registered under @p path. */
+    bool has(const std::string& path) const;
+
+    /** Number of registered instruments (not snapshot samples). */
+    std::size_t size() const { return entries_.size(); }
+
+    /** All registered paths, sorted. */
+    std::vector<std::string> paths() const;
+
+    /**
+     * Close out every change-driven time-average through cycle @p now
+     * (TimeAverage::finish). Call once at the end of a run, before
+     * snapshot(), so the level held since each instrument's last
+     * update() is counted.
+     */
+    void finishTimeAverages(Cycle now);
+
+    /** Flatten every instrument into a sorted sample list. */
+    MetricsSnapshot snapshot() const;
+
+  private:
+    enum class Kind { kCounter, kGauge, kTimeAverage, kHistogram };
+
+    /** Observation pointers; the owned_* slot is set only when the
+     *  registry itself allocated the instrument (create-or-get path). */
+    struct Entry
+    {
+        Kind kind;
+        Counter* counter = nullptr;
+        Gauge* gauge = nullptr;
+        TimeAverage* time_average = nullptr;
+        Histogram* histogram = nullptr;
+        std::unique_ptr<Counter> owned_counter;
+        std::unique_ptr<Gauge> owned_gauge;
+        std::unique_ptr<TimeAverage> owned_time_average;
+        std::unique_ptr<Histogram> owned_histogram;
+    };
+
+    Entry& entry(const std::string& path, Kind kind);
+
+    static const char* kindName(Kind kind);
+
+    std::map<std::string, Entry> entries_;
+};
+
+}  // namespace frfc
+
+#endif  // FRFC_STATS_METRICS_HPP

@@ -12,11 +12,13 @@ TimeAverage::sample(Cycle /* now */, double level)
 }
 
 void
-TimeAverage::reset(Cycle /* now */)
+TimeAverage::reset(Cycle now)
 {
     weighted_sum_ = 0.0;
     cycles_ = 0;
     at_or_above_ = 0;
+    track_last_ = now;
+    track_level_ = 0.0;
 }
 
 double

@@ -22,6 +22,36 @@ class TimeAverage
     /** Record that the level is @p level during cycle @p now. */
     void sample(Cycle now, double level);
 
+    /**
+     * Change-driven alternative to per-cycle sample(): record that the
+     * level becomes @p level at cycle @p now, extending the previous
+     * level across every cycle since the last update. Call only when
+     * the level changes — cycles in between cost nothing — and call
+     * finish() before reading averages so the final level is counted
+     * through the end of the run. Do not mix with sample() on the same
+     * instance. Inline: this is on the per-flit simulation path.
+     */
+    void
+    update(Cycle now, double level)
+    {
+        finish(now);
+        track_level_ = level;
+    }
+
+    /** Extend the tracked level through (excluding) @p now. */
+    void
+    finish(Cycle now)
+    {
+        if (track_last_ != kInvalidCycle && now > track_last_) {
+            const Cycle span = now - track_last_;
+            weighted_sum_ += track_level_ * static_cast<double>(span);
+            cycles_ += span;
+            if (track_level_ >= threshold_)
+                at_or_above_ += span;
+        }
+        track_last_ = now;
+    }
+
     /** Begin measuring (discard history before @p now). */
     void reset(Cycle now);
 
@@ -41,6 +71,10 @@ class TimeAverage
     double weighted_sum_ = 0.0;
     Cycle cycles_ = 0;
     Cycle at_or_above_ = 0;
+    /** @{ update()/finish() tracking state. */
+    Cycle track_last_ = kInvalidCycle;
+    double track_level_ = 0.0;
+    /** @} */
 };
 
 }  // namespace frfc

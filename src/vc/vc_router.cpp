@@ -10,7 +10,8 @@ namespace frfc {
 
 VcRouter::VcRouter(std::string name, NodeId node,
                    const RoutingFunction& routing,
-                   const VcRouterParams& params, Rng rng)
+                   const VcRouterParams& params, Rng rng,
+                   MetricRegistry* metrics)
     : Clocked(std::move(name)), node_(node), routing_(routing),
       params_(params), rng_(rng),
       data_in_(kNumPorts, nullptr), data_out_(kNumPorts, nullptr),
@@ -18,12 +19,27 @@ VcRouter::VcRouter(std::string name, NodeId node,
       input_vcs_(static_cast<std::size_t>(kNumPorts) * params.numVcs),
       output_vcs_(static_cast<std::size_t>(kNumPorts) * params.numVcs),
       pool_credits_(kNumPorts, params.numVcs * params.vcDepth),
-      flits_out_(kNumPorts, 0)
+      buffered_(kNumPorts, 0)
 {
     FRFC_ASSERT(params.numVcs >= 1 && params.vcDepth >= 1,
                 "need at least one VC with one buffer");
     for (auto& ovc : output_vcs_)
         ovc.credits = params.vcDepth;
+    if (metrics != nullptr) {
+        const std::string prefix = "router." + std::to_string(node);
+        metrics->attachCounter(prefix + ".vc_alloc_failures",
+                               vc_alloc_failures_);
+        metrics->attachCounter(prefix + ".credit_stalls", credit_stalls_);
+        for (PortId port = 0; port < kNumPorts; ++port) {
+            const auto p = static_cast<std::size_t>(port);
+            metrics->attachCounter(
+                prefix + ".out." + std::to_string(port) + ".data_flits",
+                flits_out_[p]);
+            metrics->attachTimeAverage(
+                prefix + ".in." + std::to_string(port) + ".occupancy",
+                in_occ_[p]);
+        }
+    }
 }
 
 void
@@ -60,18 +76,6 @@ VcRouter::OutputVc&
 VcRouter::outVc(PortId port, VcId vc)
 {
     return output_vcs_[static_cast<std::size_t>(port) * params_.numVcs + vc];
-}
-
-int
-VcRouter::bufferedFlits(PortId port) const
-{
-    int total = 0;
-    for (VcId vc = 0; vc < params_.numVcs; ++vc) {
-        total += static_cast<int>(
-            input_vcs_[static_cast<std::size_t>(port) * params_.numVcs + vc]
-                .queue.size());
-    }
-    return total;
 }
 
 int
@@ -149,8 +153,12 @@ VcRouter::allocateVcs(Cycle now)
                 if (!outVc(ivc.outPort, ovc_id).busy)
                     free_vcs.push_back(ovc_id);
             }
-            if (free_vcs.empty())
+            if (free_vcs.empty()) {
+                // Head packet blocked: every VC on its output is held
+                // by some other in-flight packet.
+                vc_alloc_failures_.inc();
                 continue;
+            }
             const VcId pick = free_vcs[rng_.nextBounded(free_vcs.size())];
             requests.push_back(Request{port, vc, ivc.outPort, pick});
         }
@@ -225,8 +233,12 @@ VcRouter::allocateSwitch(Cycle now)
                     ? pool_credits_[static_cast<std::size_t>(ivc.outPort)]
                         >= needed
                     : outVc(ivc.outPort, ivc.outVc).credits >= needed;
-                if (!has_credit)
+                if (!has_credit) {
+                    // A granted VC is stalled on downstream buffers —
+                    // the buffer-turnaround cost FR flow control hides.
+                    credit_stalls_.inc();
                     continue;
+                }
             }
             requests.push_back(Request{port, vc});
         }
@@ -251,6 +263,8 @@ VcRouter::allocateSwitch(Cycle now)
 
         Flit flit = ivc.queue.front();
         ivc.queue.pop_front();
+        --buffered_[static_cast<std::size_t>(req.inPort)];
+        noteOccupancy(now, req.inPort);
         flit.vc = ivc.outVc;
 
         Channel<Flit>* out =
@@ -258,7 +272,7 @@ VcRouter::allocateSwitch(Cycle now)
         FRFC_ASSERT(out != nullptr, "routed to unwired port ",
                     directionName(ivc.outPort), " at node ", node_);
         out->push(now, flit);
-        ++flits_out_[static_cast<std::size_t>(ivc.outPort)];
+        flits_out_[static_cast<std::size_t>(ivc.outPort)].inc();
 
         if (ivc.outPort != kLocal) {
             if (params_.sharedPool)
@@ -298,6 +312,8 @@ VcRouter::acceptArrivals(Cycle now)
                         "arriving flit with bad vc: ", flit.toString());
             InputVc& ivc = inVc(port, flit.vc);
             ivc.queue.push_back(flit);
+            ++buffered_[static_cast<std::size_t>(port)];
+            noteOccupancy(now, port);
             if (params_.sharedPool) {
                 FRFC_ASSERT(bufferedFlits(port)
                                 <= params_.numVcs * params_.vcDepth,

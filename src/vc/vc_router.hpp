@@ -20,8 +20,10 @@
 #ifndef FRFC_VC_VC_ROUTER_HPP
 #define FRFC_VC_VC_ROUTER_HPP
 
+#include <array>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -30,6 +32,8 @@
 #include "proto/flit.hpp"
 #include "sim/channel.hpp"
 #include "sim/clocked.hpp"
+#include "stats/metrics.hpp"
+#include "topology/topology.hpp"
 
 namespace frfc {
 
@@ -70,9 +74,13 @@ class VcRouter : public Clocked
      * @param routing  routing function (borrowed)
      * @param params   buffer organization
      * @param rng      private random stream (arbitration)
+     * @param metrics  registry to publish instruments into under
+     *        `router.<node>.*`; null = instruments stay unpublished
+     *        (tests); accessors still work either way
      */
     VcRouter(std::string name, NodeId node, const RoutingFunction& routing,
-             const VcRouterParams& params, Rng rng);
+             const VcRouterParams& params, Rng rng,
+             MetricRegistry* metrics = nullptr);
 
     /** @{ Wiring; unwired (mesh edge) ports stay null. */
     void connectDataIn(PortId port, Channel<Flit>* ch);
@@ -83,8 +91,13 @@ class VcRouter : public Clocked
 
     void tick(Cycle now) override;
 
-    /** Total data flits currently buffered at one input port. */
-    int bufferedFlits(PortId port) const;
+    /** Total data flits currently buffered at one input port (O(1):
+     *  maintained incrementally by arrivals and departures). */
+    int
+    bufferedFlits(PortId port) const
+    {
+        return buffered_[static_cast<std::size_t>(port)];
+    }
 
     /** Total data flits buffered across all inputs. */
     int totalBufferedFlits() const;
@@ -95,8 +108,19 @@ class VcRouter : public Clocked
     /** Flits sent through output @p port since construction. */
     std::int64_t flitsForwarded(PortId port) const
     {
-        return flits_out_[static_cast<std::size_t>(port)];
+        return flits_out_[static_cast<std::size_t>(port)].value();
     }
+
+    /** @{ Contention statistics (also in the metric registry). */
+    std::int64_t vcAllocFailures() const
+    {
+        return vc_alloc_failures_.value();
+    }
+    std::int64_t creditStalls() const
+    {
+        return credit_stalls_.value();
+    }
+    /** @} */
 
     const VcRouterParams& params() const { return params_; }
     NodeId node() const { return node_; }
@@ -138,10 +162,26 @@ class VcRouter : public Clocked
     std::vector<Channel<Credit>*> credit_in_;
     std::vector<Channel<Credit>*> credit_out_;
 
+    /** Track an input-buffer occupancy change (per-flit hot path). */
+    void
+    noteOccupancy(Cycle now, PortId port)
+    {
+        const auto p = static_cast<std::size_t>(port);
+        in_occ_[p].update(now, static_cast<double>(buffered_[p]));
+    }
+
     std::vector<InputVc> input_vcs_;    ///< [port * numVcs + vc]
     std::vector<OutputVc> output_vcs_;  ///< [port * numVcs + vc]
     std::vector<int> pool_credits_;     ///< per output port (sharedPool)
-    std::vector<std::int64_t> flits_out_;  ///< per output port
+    std::vector<int> buffered_;         ///< flits queued per input port
+
+    /** Instruments live here (cache-resident with the router state) and
+     *  are attach*()ed to the registry, which only reads them at
+     *  snapshot time. See stats/metrics.hpp. */
+    Counter vc_alloc_failures_;
+    Counter credit_stalls_;
+    std::array<Counter, kNumPorts> flits_out_{};  ///< per output port
+    std::array<TimeAverage, kNumPorts> in_occ_{};
 };
 
 }  // namespace frfc

@@ -8,7 +8,8 @@ namespace frfc {
 
 VcSource::VcSource(std::string name, NodeId node,
                    PacketGenerator* generator, PacketRegistry* registry,
-                   int num_vcs, int vc_depth, bool shared_pool, Rng rng)
+                   int num_vcs, int vc_depth, bool shared_pool, Rng rng,
+                   MetricRegistry* metrics)
     : Clocked(std::move(name)), node_(node), generator_(generator),
       registry_(registry), num_vcs_(num_vcs), vc_depth_(vc_depth),
       shared_pool_(shared_pool), rng_(rng),
@@ -17,6 +18,13 @@ VcSource::VcSource(std::string name, NodeId node,
 {
     FRFC_ASSERT(generator != nullptr && num_vcs > 0 && vc_depth > 0,
                 "bad source parameters");
+    if (metrics != nullptr) {
+        const std::string prefix = "source." + std::to_string(node);
+        metrics->attachCounter(prefix + ".packets_generated",
+                               packets_generated_);
+        metrics->attachCounter(prefix + ".flits_injected",
+                               flits_injected_);
+    }
 }
 
 int
@@ -58,6 +66,7 @@ VcSource::generate(Cycle now)
     const PacketId id =
         registry_->create(node_, pkt->dest, pkt->length, now);
     queue_.push_back(PendingPacket{id, pkt->dest, pkt->length, now});
+    packets_generated_.inc();
 }
 
 void
@@ -112,6 +121,7 @@ VcSource::inject(Cycle now)
 
     FRFC_ASSERT(data_out_ != nullptr, "source not wired");
     data_out_->push(now, flit);
+    flits_injected_.inc();
     if (shared_pool_)
         --pool_credits_;
     else

@@ -20,6 +20,7 @@
 #include "traffic/generator.hpp"
 #include "sim/channel.hpp"
 #include "sim/clocked.hpp"
+#include "stats/metrics.hpp"
 
 namespace frfc {
 
@@ -39,10 +40,12 @@ class VcSource : public Clocked
      * @param vc_depth  credits per injection VC
      * @param shared_pool single credit pool instead of per-VC credits
      * @param rng       private random stream
+     * @param metrics   registry to publish `source.<node>.*` counters
+     *        into; null = keep private counters only
      */
     VcSource(std::string name, NodeId node, PacketGenerator* generator,
              PacketRegistry* registry, int num_vcs, int vc_depth,
-             bool shared_pool, Rng rng);
+             bool shared_pool, Rng rng, MetricRegistry* metrics = nullptr);
 
     /** Wire the flit channel into the router's local input. */
     void connectDataOut(Channel<Flit>* ch) { data_out_ = ch; }
@@ -57,6 +60,14 @@ class VcSource : public Clocked
 
     /** Stop/start generating new packets (used by the drain phase). */
     void setGenerating(bool on) { generating_ = on; }
+
+    /** @{ Injection statistics (also in the metric registry). */
+    std::int64_t packetsGenerated() const
+    {
+        return packets_generated_.value();
+    }
+    std::int64_t flitsInjected() const { return flits_injected_.value(); }
+    /** @} */
 
   private:
     struct PendingPacket
@@ -88,6 +99,10 @@ class VcSource : public Clocked
     bool sending_ = false;      ///< head packet partially injected
     VcId current_vc_ = kInvalidVc;
     int next_seq_ = 0;
+
+    /** Instruments live here; the registry observes them when given. */
+    Counter packets_generated_;
+    Counter flits_injected_;
 };
 
 }  // namespace frfc

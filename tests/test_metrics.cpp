@@ -1,0 +1,190 @@
+/**
+ * @file
+ * MetricRegistry: registration semantics (create-or-get, stable
+ * references, kind mismatch is fatal), snapshot flattening, and the
+ * metric paths the networks register end to end.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/presets.hpp"
+#include "harness/sweep.hpp"
+#include "network/fr_network.hpp"
+#include "network/vc_network.hpp"
+#include "stats/metrics.hpp"
+
+namespace frfc {
+namespace {
+
+TEST(MetricRegistry, CounterCreateOrGetReturnsSameInstrument)
+{
+    MetricRegistry reg;
+    Counter& a = reg.counter("router.0.bypasses");
+    Counter& b = reg.counter("router.0.bypasses");
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(reg.size(), 1u);
+
+    a.inc();
+    a.add(4);
+    EXPECT_EQ(b.value(), 5);
+}
+
+TEST(MetricRegistry, RegisteredPathsAreSortedAndQueryable)
+{
+    MetricRegistry reg;
+    reg.counter("z.last");
+    reg.gauge("a.first");
+    reg.counter("m.middle");
+
+    EXPECT_TRUE(reg.has("a.first"));
+    EXPECT_FALSE(reg.has("a.missing"));
+    const std::vector<std::string> expect{"a.first", "m.middle",
+                                          "z.last"};
+    EXPECT_EQ(reg.paths(), expect);
+}
+
+TEST(MetricRegistry, KindMismatchIsFatal)
+{
+    MetricRegistry reg;
+    reg.counter("router.0.bypasses");
+    EXPECT_EXIT(reg.gauge("router.0.bypasses"),
+                ::testing::ExitedWithCode(1), "router.0.bypasses");
+}
+
+TEST(MetricRegistry, SnapshotFlattensEveryInstrumentKind)
+{
+    MetricRegistry reg;
+    reg.counter("events").add(7);
+    reg.gauge("level").set(2.5);
+    TimeAverage& ta = reg.timeAverage("occupancy");
+    ta.update(0, 1.0);
+    ta.update(10, 3.0);  // level 1.0 held for cycles [0, 10)
+    reg.finishTimeAverages(20);  // level 3.0 held for [10, 20)
+
+    const MetricsSnapshot snap = reg.snapshot();
+    EXPECT_EQ(snap.value("events"), 7.0);
+    EXPECT_EQ(snap.value("level"), 2.5);
+    EXPECT_DOUBLE_EQ(snap.value("occupancy"), 2.0);
+}
+
+TEST(MetricRegistry, SnapshotExpandsHistogramsIntoQuantileKeys)
+{
+    MetricRegistry reg;
+    Histogram& h = reg.histogram("latency", 0.0, 100.0, 100);
+    for (int i = 0; i < 100; ++i)
+        h.add(static_cast<double>(i));
+
+    const MetricsSnapshot snap = reg.snapshot();
+    EXPECT_EQ(snap.value("latency.count"), 100.0);
+    EXPECT_NEAR(snap.value("latency.p50"), 50.0, 1.5);
+    EXPECT_NEAR(snap.value("latency.p95"), 95.0, 1.5);
+    EXPECT_NEAR(snap.value("latency.p99"), 99.0, 1.5);
+}
+
+TEST(MetricsSnapshot, SamplesAreSortedAndComparable)
+{
+    MetricRegistry reg;
+    reg.counter("b").inc();
+    reg.counter("a").add(2);
+    const MetricsSnapshot snap = reg.snapshot();
+
+    ASSERT_EQ(snap.size(), 2u);
+    EXPECT_EQ(snap.samples()[0].path, "a");
+    EXPECT_EQ(snap.samples()[1].path, "b");
+
+    MetricRegistry reg2;
+    reg2.counter("a").add(2);
+    reg2.counter("b").inc();
+    EXPECT_TRUE(snap == reg2.snapshot());
+
+    reg2.counter("b").inc();
+    EXPECT_FALSE(snap == reg2.snapshot());
+}
+
+TEST(MetricsSnapshot, SumMatchingAddsSuffixFamilies)
+{
+    MetricRegistry reg;
+    reg.counter("router.0.out.1.data_flits").add(3);
+    reg.counter("router.5.out.2.data_flits").add(4);
+    reg.counter("router.5.out.2.data_flits_other").add(100);
+    const MetricsSnapshot snap = reg.snapshot();
+    EXPECT_EQ(snap.sumMatching("data_flits"), 7.0);
+}
+
+/** The VC network registers the documented per-component paths. */
+TEST(NetworkMetrics, VcNetworkRegistersDocumentedPaths)
+{
+    Config cfg = baseConfig();
+    applyVc8(cfg);
+    cfg.set("offered", 0.3);
+    VcNetwork net(cfg);
+    net.kernel().run(2000);
+    net.finalizeMetrics();
+    const MetricsSnapshot snap = net.metrics().snapshot();
+
+    EXPECT_TRUE(snap.has("router.0.vc_alloc_failures"));
+    EXPECT_TRUE(snap.has("router.0.credit_stalls"));
+    EXPECT_TRUE(snap.has("router.0.out.0.data_flits"));
+    EXPECT_TRUE(snap.has("router.63.in.4.occupancy"));
+    EXPECT_TRUE(snap.has("source.0.packets_generated"));
+    EXPECT_TRUE(snap.has("source.0.flits_injected"));
+    EXPECT_TRUE(snap.has("sink.flits_ejected"));
+
+    // The network-wide ejection count agrees with the packet registry.
+    EXPECT_EQ(snap.value("sink.flits_ejected"),
+              static_cast<double>(net.registry().flitsDelivered()));
+    EXPECT_GT(snap.value("sink.flits_ejected"), 0.0);
+}
+
+/** The FR network adds reservation-specific instrument families. */
+TEST(NetworkMetrics, FrNetworkRegistersReservationPaths)
+{
+    Config cfg = baseConfig();
+    applyFr6(cfg);
+    cfg.set("offered", 0.3);
+    FrNetwork net(cfg);
+    net.kernel().run(2000);
+    net.finalizeMetrics();
+    const MetricsSnapshot snap = net.metrics().snapshot();
+
+    EXPECT_TRUE(snap.has("router.0.data.forwarded"));
+    EXPECT_TRUE(snap.has("router.0.ctrl.forwarded"));
+    EXPECT_TRUE(snap.has("router.0.advance_credits"));
+    EXPECT_TRUE(snap.has("router.0.out.0.reservations"));
+    EXPECT_TRUE(snap.has("router.0.out.0.reservations_denied"));
+    EXPECT_TRUE(snap.has("router.0.in.0.bypasses"));
+    EXPECT_TRUE(snap.has("router.0.in.0.occupancy"));
+    EXPECT_TRUE(snap.has("source.0.flits_injected"));
+
+    // Reservations were actually made under load.
+    EXPECT_GT(snap.sumMatching("reservations"), 0.0);
+    EXPECT_GT(snap.value("sink.flits_ejected"), 0.0);
+}
+
+/** runExperiment snapshots metrics into the RunResult by default and
+ *  skips them under out.metrics=none. */
+TEST(NetworkMetrics, RunExperimentCollectsSnapshotPerOptions)
+{
+    Config cfg = baseConfig();
+    applyVc8(cfg);
+    cfg.set("size_x", 4);
+    cfg.set("size_y", 4);
+    cfg.set("offered", 0.3);
+
+    RunOptions opt;
+    opt.samplePackets = 200;
+    opt.minWarmup = 500;
+    opt.maxWarmup = 1500;
+    opt.maxCycles = 30000;
+
+    const RunResult with = runExperiment(cfg, opt);
+    EXPECT_FALSE(with.metrics.empty());
+    EXPECT_TRUE(with.metrics.has("sink.flits_ejected"));
+
+    opt.outMetrics = "none";
+    const RunResult without = runExperiment(cfg, opt);
+    EXPECT_TRUE(without.metrics.empty());
+}
+
+}  // namespace
+}  // namespace frfc

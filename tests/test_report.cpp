@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Structured reports: JSON tree round-trips through the parser, CSV
+ * stays scalar, quantiles land in the payload, and the serialized
+ * report is independent of the worker-thread count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "harness/json.hpp"
+#include "harness/presets.hpp"
+#include "harness/report.hpp"
+#include "harness/sweep.hpp"
+#include "stats/histogram.hpp"
+
+namespace frfc {
+namespace {
+
+/** A small but fully populated report: two curves, scalars, notes. */
+Report
+sampleReport()
+{
+    Config cfg = baseConfig();
+    applyVc8(cfg);
+    cfg.set("size_x", 4);
+    cfg.set("size_y", 4);
+    cfg.set("offered", 0.3);
+
+    RunOptions opt;
+    opt.samplePackets = 200;
+    opt.minWarmup = 500;
+    opt.maxWarmup = 1500;
+    opt.maxCycles = 30000;
+
+    Report report("test_report", "round-trip fixture");
+    report.setMode("quick");
+    report.setWallSeconds(1.25);
+    ReportCurve& curve = report.addCurve("vc8", cfg);
+    curve.add(runExperiment(cfg, opt));
+
+    Config fr = baseConfig();
+    applyFr6(fr);
+    fr.set("size_x", 4);
+    fr.set("size_y", 4);
+    fr.set("offered", 0.3);
+    ReportCurve& frc = report.addCurve("fr6", fr);
+    frc.add(runExperiment(fr, opt));
+
+    report.addScalar("measured.saturation", 72.5);
+    report.addScalar("paper.saturation", 75.0);
+    report.addNote("fixture note with \"quotes\" and\nnewline");
+    return report;
+}
+
+TEST(JsonValue, DumpParsesBackToEqualTree)
+{
+    JsonValue obj = JsonValue::object();
+    obj.set("int", 42);
+    obj.set("frac", 0.1);  // not exactly representable
+    obj.set("tiny", 1e-17);
+    obj.set("neg", -3.75);
+    obj.set("text", "line\nbreak \"quoted\" \\ slash");
+    obj.set("flag", true);
+    obj.set("nothing", JsonValue());
+    JsonValue arr = JsonValue::array();
+    for (int i = 0; i < 5; ++i)
+        arr.push(i * 1.3);
+    obj.set("arr", arr);
+
+    for (int indent : {0, 2}) {
+        std::string error;
+        const JsonValue back = jsonParse(obj.dump(indent), &error);
+        EXPECT_TRUE(error.empty()) << error;
+        EXPECT_TRUE(back == obj) << "indent " << indent;
+    }
+}
+
+TEST(JsonValue, ParseRejectsMalformedInput)
+{
+    for (const char* bad :
+         {"", "{", "[1,]", "{\"a\":}", "tru", "1.2.3", "\"unterminated",
+          "{\"a\":1} trailing"}) {
+        std::string error;
+        const JsonValue v = jsonParse(bad, &error);
+        EXPECT_TRUE(v.isNull()) << bad;
+        EXPECT_FALSE(error.empty()) << bad;
+    }
+}
+
+TEST(Report, JsonRoundTripsThroughParser)
+{
+    const Report report = sampleReport();
+    const std::string text = report.toJson();
+
+    std::string error;
+    const JsonValue parsed = jsonParse(text, &error);
+    ASSERT_TRUE(error.empty()) << error;
+    EXPECT_TRUE(parsed == report.toJsonValue());
+}
+
+TEST(Report, JsonCarriesSchemaAndMetrics)
+{
+    const Report report = sampleReport();
+    std::string error;
+    const JsonValue v = jsonParse(report.toJson(), &error);
+    ASSERT_TRUE(error.empty()) << error;
+
+    EXPECT_EQ(v.at("schema_version").asNumber(), kReportSchemaVersion);
+    EXPECT_EQ(v.at("name").asString(), "test_report");
+    EXPECT_EQ(v.at("mode").asString(), "quick");
+    EXPECT_TRUE(v.at("build").contains("git"));
+    ASSERT_EQ(v.at("curves").size(), 2u);
+
+    const JsonValue& run = v.at("curves").at(0).at("runs").at(0);
+    EXPECT_TRUE(run.contains("avg_latency"));
+    EXPECT_TRUE(run.contains("p50_latency"));
+    EXPECT_TRUE(run.contains("p95_latency"));
+    EXPECT_TRUE(run.contains("p99_latency"));
+    const JsonValue& metrics = run.at("metrics");
+    EXPECT_TRUE(metrics.contains("sink.flits_ejected"));
+    EXPECT_GT(metrics.at("sink.flits_ejected").asNumber(), 0.0);
+
+    // Quantiles are ordered as quantiles must be.
+    EXPECT_LE(run.at("p50_latency").asNumber(),
+              run.at("p95_latency").asNumber());
+    EXPECT_LE(run.at("p95_latency").asNumber(),
+              run.at("p99_latency").asNumber());
+}
+
+TEST(Report, CsvHasOneRowPerRunAndNoMetrics)
+{
+    const Report report = sampleReport();
+    const std::string csv = report.toCsv();
+
+    std::size_t lines = 0;
+    for (const char c : csv)
+        lines += (c == '\n') ? 1 : 0;
+    EXPECT_EQ(lines, 3u);  // header + one row per curve's single run
+    EXPECT_NE(csv.find("curve,"), std::string::npos);
+    EXPECT_NE(csv.find("avg_latency"), std::string::npos);
+    EXPECT_EQ(csv.find("metrics"), std::string::npos);
+    EXPECT_EQ(csv.find("sink.flits_ejected"), std::string::npos);
+}
+
+/** Rebuild a JSON tree with every wall_seconds zeroed (the one field
+ *  allowed to differ between repeated identical experiments). */
+JsonValue
+zeroWallSeconds(const JsonValue& v)
+{
+    if (v.isObject()) {
+        JsonValue out = JsonValue::object();
+        for (const auto& [key, value] : v.members()) {
+            out.set(key, key == "wall_seconds"
+                             ? JsonValue(0.0)
+                             : zeroWallSeconds(value));
+        }
+        return out;
+    }
+    if (v.isArray()) {
+        JsonValue out = JsonValue::array();
+        for (std::size_t i = 0; i < v.size(); ++i)
+            out.push(zeroWallSeconds(v.at(i)));
+        return out;
+    }
+    return v;
+}
+
+/** The serialized payload is pinned across worker-thread counts: the
+ *  parallel executor must not change any measured value or metric. */
+TEST(Report, PayloadIdenticalAcrossThreadCounts)
+{
+    Config cfg = baseConfig();
+    applyVc8(cfg);
+    cfg.set("size_x", 4);
+    cfg.set("size_y", 4);
+
+    const std::vector<double> loads{0.1, 0.3, 0.5};
+    std::vector<std::string> payloads;
+    for (const int threads : {1, 8}) {
+        RunOptions opt;
+        opt.samplePackets = 200;
+        opt.minWarmup = 500;
+        opt.maxWarmup = 1500;
+        opt.maxCycles = 30000;
+        opt.threads = threads;
+
+        Report report("threads_pin", "threads invariance fixture");
+        ReportCurve& curve = report.addCurve("vc8", cfg);
+        curve.runs = latencyCurve(cfg, loads, opt);
+        payloads.push_back(
+            zeroWallSeconds(report.toJsonValue()).dump(2));
+    }
+    ASSERT_EQ(payloads.size(), 2u);
+    EXPECT_EQ(payloads[0], payloads[1]);
+}
+
+TEST(Report, WriteJsonToFileMatchesToJson)
+{
+    const Report report = sampleReport();
+    RunOptions opt;
+    opt.outFormat = "json";
+    opt.outFile = "test_report_out.json";
+    report.write(opt);
+
+    std::FILE* f = std::fopen(opt.outFile.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::string text;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+        text.append(buf, n);
+    std::fclose(f);
+    std::remove(opt.outFile.c_str());
+
+    EXPECT_EQ(text, report.toJson());
+}
+
+TEST(Histogram, QuantileInterpolatesWithinBuckets)
+{
+    // 100 samples 0..99 into unit buckets: quantile(q) should recover
+    // ~the q-th sample with linear interpolation inside the bucket.
+    Histogram h(0.0, 100.0, 100);
+    for (int i = 0; i < 100; ++i)
+        h.add(static_cast<double>(i));
+    EXPECT_NEAR(h.quantile(0.0), 0.0, 1.0);
+    EXPECT_NEAR(h.quantile(0.5), 50.0, 1.0);
+    EXPECT_NEAR(h.quantile(0.95), 95.0, 1.0);
+    EXPECT_NEAR(h.quantile(0.99), 99.0, 1.0);
+    EXPECT_NEAR(h.quantile(1.0), 100.0, 1.0);
+
+    // One coarse bucket: interpolation is exact on the uniform mass.
+    Histogram one(0.0, 10.0, 1);
+    for (int i = 0; i < 10; ++i)
+        one.add(static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(one.quantile(0.5), 5.0);
+    EXPECT_DOUBLE_EQ(one.quantile(0.25), 2.5);
+}
+
+}  // namespace
+}  // namespace frfc
