@@ -67,6 +67,36 @@ main(int argc, char** argv)
                 ctx.comparison(names[i] + " base latency", paper_base[i],
                                curves[i].front().avgLatency);
             }
+            // Kernel wall-clock check: the FR6 low-load point under the
+            // stepped and the event kernel. The simulation results are
+            // bit-identical; the host times go on a "sweep:" line so
+            // that, like the footer, they are excluded when diffing
+            // stdout for cross-run/cross-thread determinism.
+            Config kcfg = cfgs[2];
+            kcfg.set("offered", loads.front());
+            kcfg.set("sim.kernel", "stepped");
+            const RunResult stepped = runExperiment(kcfg, opt);
+            kcfg.set("sim.kernel", "event");
+            const RunResult event = runExperiment(kcfg, opt);
+            std::printf("\nKernel wall-clock (FR6 at %.0f%% load): "
+                        "bit-identical %s\n",
+                        loads.front() * 100.0,
+                        stepped.bitIdentical(event) ? "yes" : "NO");
+            std::printf("sweep: kernel stepped %.3fs, event %.3fs, "
+                        "speedup %.2fx\n",
+                        stepped.wallSeconds, event.wallSeconds,
+                        event.wallSeconds > 0.0
+                            ? stepped.wallSeconds / event.wallSeconds
+                            : 0.0);
+            ctx.report().addScalar("kernel.stepped_wall_seconds",
+                                   stepped.wallSeconds);
+            ctx.report().addScalar("kernel.event_wall_seconds",
+                                   event.wallSeconds);
+            if (event.wallSeconds > 0.0)
+                ctx.report().addScalar(
+                    "kernel.low_load_speedup",
+                    stepped.wallSeconds / event.wallSeconds);
+
             std::printf("\n");
             ctx.sweepStats(elapsed, curves);
         });

@@ -5,6 +5,15 @@
  * smoke test to check the structured reports the benches emit.
  *
  *   $ ./json_lint bench_out/fig5_latency_5flit.json
+ *
+ * The --canonical mode additionally strips every host-dependent field
+ * (wall-clock timings, the build stamp, and the `sim.kernel` mode
+ * selector) and re-dumps the rest deterministically, so two reports of
+ * the same experiment can be compared byte-for-byte:
+ *
+ *   $ ./json_lint --canonical stepped.json stepped.canon
+ *   $ ./json_lint --canonical event.json event.canon
+ *   $ cmp stepped.canon event.canon
  */
 
 #include <cstdio>
@@ -14,16 +23,76 @@
 
 #include "harness/json.hpp"
 
+namespace {
+
+/**
+ * Host- or mode-dependent keys that legitimately differ between two
+ * otherwise bit-identical runs: wall-clock timings (and the speedup
+ * ratios derived from them), the build stamp, and the kernel selector
+ * itself.
+ */
+bool
+volatileKey(const std::string& key)
+{
+    if (key == "build" || key == "sim.kernel")
+        return true;
+    if (key.rfind("out.", 0) == 0)  // report-emission plumbing
+        return true;
+    if (key.find("wall_seconds") != std::string::npos)
+        return true;
+    if (key.find("speedup") != std::string::npos)
+        return true;
+    const std::string suffix = "_seconds";
+    return key.size() >= suffix.size()
+           && key.compare(key.size() - suffix.size(), suffix.size(),
+                          suffix)
+                  == 0;
+}
+
+frfc::JsonValue
+canonicalize(const frfc::JsonValue& v)
+{
+    if (v.isObject()) {
+        frfc::JsonValue out = frfc::JsonValue::object();
+        for (const auto& member : v.members()) {
+            if (!volatileKey(member.first))
+                out.set(member.first, canonicalize(member.second));
+        }
+        return out;
+    }
+    if (v.isArray()) {
+        frfc::JsonValue out = frfc::JsonValue::array();
+        for (std::size_t i = 0; i < v.size(); ++i)
+            out.push(canonicalize(v.at(i)));
+        return out;
+    }
+    return v;
+}
+
+}  // namespace
+
 int
 main(int argc, char** argv)
 {
-    if (argc != 2) {
-        std::fprintf(stderr, "usage: json_lint FILE\n");
+    bool canonical = false;
+    const char* in_path = nullptr;
+    const char* out_path = nullptr;
+    if (argc == 2) {
+        in_path = argv[1];
+    } else if (argc == 4 && std::string(argv[1]) == "--canonical") {
+        canonical = true;
+        in_path = argv[2];
+        out_path = argv[3];
+    } else {
+        std::fprintf(stderr,
+                     "usage: json_lint FILE\n"
+                     "       json_lint --canonical FILE OUT\n");
         return 2;
     }
-    std::ifstream in(argv[1], std::ios::binary);
+
+    std::ifstream in(in_path, std::ios::binary);
     if (!in) {
-        std::fprintf(stderr, "json_lint: cannot open '%s'\n", argv[1]);
+        std::fprintf(stderr, "json_lint: cannot open '%s'\n", in_path);
         return 1;
     }
     std::ostringstream buf;
@@ -32,15 +101,27 @@ main(int argc, char** argv)
     std::string error;
     const frfc::JsonValue v = frfc::jsonParse(buf.str(), &error);
     if (!error.empty()) {
-        std::fprintf(stderr, "json_lint: %s: %s\n", argv[1],
+        std::fprintf(stderr, "json_lint: %s: %s\n", in_path,
                      error.c_str());
         return 1;
     }
     if (!v.isObject()) {
         std::fprintf(stderr, "json_lint: %s: top level is not an object\n",
-                     argv[1]);
+                     in_path);
         return 1;
     }
-    std::printf("%s: ok\n", argv[1]);
+
+    if (canonical) {
+        std::ofstream out(out_path, std::ios::binary);
+        if (!out) {
+            std::fprintf(stderr, "json_lint: cannot write '%s'\n",
+                         out_path);
+            return 1;
+        }
+        out << canonicalize(v).dump(2) << "\n";
+        return out.good() ? 0 : 1;
+    }
+
+    std::printf("%s: ok\n", in_path);
     return 0;
 }

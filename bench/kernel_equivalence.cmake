@@ -1,0 +1,38 @@
+# CTest step: run the golden figure bench under both kernels and diff
+# the canonicalized JSON reports byte-for-byte. Driven from
+# CMakeLists.txt:
+#   cmake -DBENCH=... -DLINT=... -DOUTDIR=... -P kernel_equivalence.cmake
+#
+# json_lint --canonical strips wall-clock fields, the build stamp, and
+# the sim.kernel selector itself; everything simulation-determined
+# (latencies, cycle counts, metrics snapshots) must then be identical.
+foreach(mode stepped event)
+    set(json ${OUTDIR}/kernel_eq_${mode}.json)
+    execute_process(
+        COMMAND ${BENCH}
+            run.sample_packets=50 run.min_warmup=200 run.max_warmup=500
+            run.max_cycles=5000
+            sim.kernel=${mode}
+            out.format=json out.file=${json}
+        RESULT_VARIABLE bench_rc
+        OUTPUT_QUIET)
+    if(NOT bench_rc EQUAL 0)
+        message(FATAL_ERROR "bench (sim.kernel=${mode}) exited with ${bench_rc}")
+    endif()
+    execute_process(
+        COMMAND ${LINT} --canonical ${json} ${json}.canon
+        RESULT_VARIABLE lint_rc)
+    if(NOT lint_rc EQUAL 0)
+        message(FATAL_ERROR "json_lint rejected ${json}")
+    endif()
+endforeach()
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+        ${OUTDIR}/kernel_eq_stepped.json.canon
+        ${OUTDIR}/kernel_eq_event.json.canon
+    RESULT_VARIABLE diff_rc)
+if(NOT diff_rc EQUAL 0)
+    message(FATAL_ERROR
+        "stepped and event kernel reports differ beyond wall-clock "
+        "fields (see ${OUTDIR}/kernel_eq_*.json.canon)")
+endif()

@@ -37,7 +37,7 @@ benches="table1_storage table2_bandwidth fig5_latency_5flit \
 fig6_latency_21flit fig7_horizon fig8_leading_lead fig9_leading_vs_vc \
 table3_summary stat_pool_occupancy stat_control_lead \
 ablation_allornothing ablation_vc_sharedpool ablation_speedup \
-ext_error_recovery ext_torus ext_lineage"
+kernel_idle_sweep ext_error_recovery ext_torus ext_lineage"
 
 lint="$build_dir/bench/json_lint"
 [ -x "$lint" ] || { echo "missing $lint — build the repo first" >&2; exit 1; }

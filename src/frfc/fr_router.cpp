@@ -61,7 +61,8 @@ FrRouter::FrRouter(std::string name, NodeId node,
                                res_denied_[p]);
         metrics->attachCounter(out_pfx + ".horizon_full",
                                res_horizon_full_[p]);
-        metrics->attachTimeAverage(out_pfx + ".occupancy", out_occ_[p]);
+        metrics->attachTimeAverage(out_pfx + ".occupancy",
+                                   out_tables_.back()->occupancy());
         in_tables_.back()->registerMetrics(
             *metrics, prefix + ".in." + std::to_string(port));
     }
@@ -155,25 +156,62 @@ FrRouter::bufferedControlFlits(PortId port) const
 void
 FrRouter::tick(Cycle now)
 {
-    for (PortId port = 0; port < kNumPorts; ++port) {
-        const auto p = static_cast<std::size_t>(port);
-        out_tables_[p]->advance(now);
-        // Change-driven occupancy: the time-average is only touched
-        // when the reserved-slot count moved since the last tick.
-        const int resv = out_tables_[p]->reservedCount();
-        if (resv != last_out_resv_[p]) {
-            last_out_resv_[p] = resv;
-            out_occ_[p].update(now, static_cast<double>(resv));
-        }
-    }
+    for (auto& table : out_tables_)
+        table->advance(now);
     for (auto& table : in_tables_)
         table->advance(now);
     drainCredits(now);
-    controlVcAllocation();
-    controlSwitchAllocation(now);
+    if (ctrl_buffered_ > 0) {
+        controlVcAllocation();
+        controlSwitchAllocation(now);
+    }
     dataDepartures(now);
     dataArrivals(now);
     controlArrivals(now);
+}
+
+Cycle
+FrRouter::nextWake(Cycle now) const
+{
+    // Queued control flits demand per-cycle allocation (with its RNG
+    // draws), so the router stays clocked while any control VC holds
+    // one.
+    if (ctrl_buffered_ > 0)
+        return now + 1;
+    // Otherwise the time-driven events are the committed departures —
+    // visible as busy cycles in the output tables — and undelivered
+    // arrivals on the lazily bound input channels. Wake at the earliest
+    // of either kind; busy cycles at or before now (including the
+    // departure executing this very tick) expire lazily — the tables
+    // record their occupancy changes with exact timestamps the next
+    // time advance() runs (next wake or syncMetrics).
+    Cycle next = kInvalidCycle;
+    const auto consider = [&next](Cycle cycle) {
+        if (cycle != kInvalidCycle
+            && (next == kInvalidCycle || cycle < next))
+            next = cycle;
+    };
+    for (const auto& table : out_tables_)
+        consider(table->nextBusyCycleAfter(now));
+    for (PortId port = 0; port < kNumPorts; ++port) {
+        const auto p = static_cast<std::size_t>(port);
+        if (data_in_[p] != nullptr)
+            consider(data_in_[p]->nextArrivalAfter(now));
+        if (ctrl_in_[p] != nullptr)
+            consider(ctrl_in_[p]->nextArrivalAfter(now));
+        if (fr_credit_in_[p] != nullptr)
+            consider(fr_credit_in_[p]->nextArrivalAfter(now));
+        if (ctrl_credit_in_[p] != nullptr)
+            consider(ctrl_credit_in_[p]->nextArrivalAfter(now));
+    }
+    return next;
+}
+
+void
+FrRouter::syncMetrics(Cycle now)
+{
+    for (auto& table : out_tables_)
+        table->advance(now);
 }
 
 void
@@ -187,11 +225,13 @@ FrRouter::controlArrivals(Cycle now)
             ctrl_in_[static_cast<std::size_t>(port)];
         if (ch == nullptr)
             continue;
-        for (ControlFlit& flit : ch->drain(now)) {
+        ch->drainInto(now, ctrl_scratch_);
+        for (ControlFlit& flit : ctrl_scratch_) {
             FRFC_ASSERT(flit.vc >= 0 && flit.vc < params_.ctrlVcs,
                         "control flit with bad vc: ", flit.toString());
             CtrlVc& cvc = ctrlVc(port, flit.vc);
             cvc.queue.push_back(flit);
+            ++ctrl_buffered_;
             FRFC_ASSERT(static_cast<int>(cvc.queue.size())
                             <= params_.ctrlVcDepth,
                         "control VC overflow at node ", node_, " port ",
@@ -206,13 +246,15 @@ FrRouter::drainCredits(Cycle now)
     for (PortId port = 0; port < kNumPorts; ++port) {
         if (Channel<FrCredit>* ch =
                 fr_credit_in_[static_cast<std::size_t>(port)]) {
-            for (const FrCredit& credit : ch->drain(now))
+            ch->drainInto(now, fr_credit_scratch_);
+            for (const FrCredit& credit : fr_credit_scratch_)
                 out_tables_[static_cast<std::size_t>(port)]->credit(
                     credit.freeFrom);
         }
         if (Channel<Credit>* ch =
                 ctrl_credit_in_[static_cast<std::size_t>(port)]) {
-            for (const Credit& credit : ch->drain(now)) {
+            ch->drainInto(now, ctrl_credit_scratch_);
+            for (const Credit& credit : ctrl_credit_scratch_) {
                 CtrlOutVc& ovc = ctrlOutVc(port, credit.vc);
                 ++ovc.credits;
                 FRFC_ASSERT(ovc.credits <= params_.ctrlVcDepth,
@@ -225,14 +267,8 @@ FrRouter::drainCredits(Cycle now)
 void
 FrRouter::controlVcAllocation()
 {
-    struct Request
-    {
-        PortId inPort;
-        VcId inVc;
-        PortId outPort;
-        VcId outVc;
-    };
-    std::vector<Request> requests;
+    std::vector<VcaRequest>& requests = vca_requests_;
+    requests.clear();
 
     for (PortId port = 0; port < kNumPorts; ++port) {
         for (VcId vc = 0; vc < params_.ctrlVcs; ++vc) {
@@ -253,7 +289,8 @@ FrRouter::controlVcAllocation()
                 cvc.outVc = 0;
                 continue;
             }
-            std::vector<VcId> free_vcs;
+            std::vector<VcId>& free_vcs = free_vc_scratch_;
+            free_vcs.clear();
             for (VcId ovc_id = 0; ovc_id < params_.ctrlVcs; ++ovc_id) {
                 if (!ctrlOutVc(cvc.outPort, ovc_id).busy)
                     free_vcs.push_back(ovc_id);
@@ -261,15 +298,17 @@ FrRouter::controlVcAllocation()
             if (free_vcs.empty())
                 continue;
             const VcId pick = free_vcs[rng_.nextBounded(free_vcs.size())];
-            requests.push_back(Request{port, vc, cvc.outPort, pick});
+            requests.push_back(VcaRequest{port, vc, cvc.outPort, pick});
         }
     }
 
-    std::vector<bool> granted(requests.size(), false);
+    std::vector<std::uint8_t>& granted = vca_granted_;
+    granted.assign(requests.size(), 0);
     for (std::size_t i = 0; i < requests.size(); ++i) {
         if (granted[i])
             continue;
-        std::vector<std::size_t> group;
+        std::vector<std::size_t>& group = vca_group_;
+        group.clear();
         for (std::size_t j = i; j < requests.size(); ++j) {
             if (!granted[j] && requests[j].outPort == requests[i].outPort
                 && requests[j].outVc == requests[i].outVc) {
@@ -278,8 +317,8 @@ FrRouter::controlVcAllocation()
         }
         const std::size_t win = group[rng_.nextBounded(group.size())];
         for (std::size_t j : group)
-            granted[j] = true;
-        const Request& req = requests[win];
+            granted[j] = 1;
+        const VcaRequest& req = requests[win];
         CtrlVc& cvc = ctrlVc(req.inPort, req.inVc);
         cvc.active = true;
         cvc.outVc = req.outVc;
@@ -294,12 +333,8 @@ FrRouter::controlSwitchAllocation(Cycle now)
     // buffer available. Up to ctrlWidth winners per input and per output
     // port per cycle ("two ... control flits are injected and processed
     // per cycle"), picked in random order.
-    struct Request
-    {
-        PortId inPort;
-        VcId inVc;
-    };
-    std::vector<Request> requests;
+    std::vector<SwRequest>& requests = sw_requests_;
+    requests.clear();
     for (PortId port = 0; port < kNumPorts; ++port) {
         for (VcId vc = 0; vc < params_.ctrlVcs; ++vc) {
             CtrlVc& cvc = ctrlVc(port, vc);
@@ -309,7 +344,7 @@ FrRouter::controlSwitchAllocation(Cycle now)
                 && ctrlOutVc(cvc.outPort, cvc.outVc).credits <= 0) {
                 continue;
             }
-            requests.push_back(Request{port, vc});
+            requests.push_back(SwRequest{port, vc});
         }
     }
     for (std::size_t i = requests.size(); i > 1; --i) {
@@ -317,9 +352,9 @@ FrRouter::controlSwitchAllocation(Cycle now)
         std::swap(requests[i - 1], requests[j]);
     }
 
-    std::vector<int> in_used(kNumPorts, 0);
-    std::vector<int> out_used(kNumPorts, 0);
-    for (const Request& req : requests) {
+    std::array<int, kNumPorts> in_used{};
+    std::array<int, kNumPorts> out_used{};
+    for (const SwRequest& req : requests) {
         CtrlVc& cvc = ctrlVc(req.inPort, req.inVc);
         if (in_used[static_cast<std::size_t>(req.inPort)]
                 >= params_.ctrlWidth
@@ -377,6 +412,7 @@ FrRouter::controlSwitchAllocation(Cycle now)
 
         const bool tail = flit.tail;
         cvc.queue.pop_front();
+        --ctrl_buffered_;
         if (tail) {
             if (cvc.outPort != kLocal)
                 ctrlOutVc(cvc.outPort, cvc.outVc).busy = false;
@@ -518,7 +554,8 @@ FrRouter::dataDepartures(Cycle now)
     for (PortId port = 0; port < kNumPorts; ++port) {
         InputReservationTable& irt =
             *in_tables_[static_cast<std::size_t>(port)];
-        for (auto& dep : irt.takeDepartures(now)) {
+        irt.takeDeparturesInto(now, depart_scratch_);
+        for (auto& dep : depart_scratch_) {
             Channel<Flit>* out =
                 data_out_[static_cast<std::size_t>(dep.out)];
             FRFC_ASSERT(out != nullptr, "data departure to unwired port");
@@ -536,7 +573,8 @@ FrRouter::dataArrivals(Cycle now)
         Channel<Flit>* ch = data_in_[static_cast<std::size_t>(port)];
         if (ch == nullptr)
             continue;
-        for (Flit& flit : ch->drain(now)) {
+        ch->drainInto(now, data_scratch_);
+        for (Flit& flit : data_scratch_) {
             if (params_.dataDropRate > 0.0
                 && rng_.nextBool(params_.dataDropRate)) {
                 // Corrupted in flight; the receiver's error detection

@@ -22,6 +22,7 @@
 #define FRFC_FRFC_FR_ROUTER_HPP
 
 #include <array>
+#include <cstdint>
 #include <deque>
 #include <memory>
 #include <vector>
@@ -103,6 +104,28 @@ class FrRouter : public Clocked
 
     void tick(Cycle now) override;
 
+    /**
+     * Quiescence: a router with no buffered control flits and no output
+     * reservations has nothing self-scheduled — every future action
+     * begins with a channel arrival (control flit, data flit, credit),
+     * which re-wakes it. Queued control flits keep it clocked every
+     * cycle (allocation draws the RNG each cycle they wait). With only
+     * reservations outstanding it sleeps until the earliest committed
+     * departure: the tables tolerate window jumps, departures fire only
+     * at their reserved cycles, and the occupancy time-averages are
+     * maintained inside the tables with exact event timestamps, so
+     * expiring reservations never need a wake of their own.
+     */
+    Cycle nextWake(Cycle now) const override;
+
+    /**
+     * Slide every output table's window to @p now so pending expiries
+     * land in the occupancy time-averages with their exact timestamps.
+     * Called by FrNetwork::finalizeMetrics() before instruments are
+     * read; a sleeping router may not have ticked for many cycles.
+     */
+    void syncMetrics(Cycle now);
+
     /** @{ Statistics and inspection. */
     const InputReservationTable& inputTable(PortId port) const;
     const OutputReservationTable& outputTable(PortId port) const;
@@ -152,6 +175,22 @@ class FrRouter : public Clocked
         int credits = 0;
     };
 
+    /** Control-VC allocation candidate (input VC -> output VC). */
+    struct VcaRequest
+    {
+        PortId inPort;
+        VcId inVc;
+        PortId outPort;
+        VcId outVc;
+    };
+
+    /** Switch allocation candidate (an active control VC head). */
+    struct SwRequest
+    {
+        PortId inPort;
+        VcId inVc;
+    };
+
     void drainCredits(Cycle now);
     void controlVcAllocation();
     void controlSwitchAllocation(Cycle now);
@@ -182,6 +221,26 @@ class FrRouter : public Clocked
     std::vector<Channel<Credit>*> ctrl_credit_in_;
     std::vector<Channel<Credit>*> ctrl_credit_out_;
 
+    /** Scratch buffers for channel drains (see Channel::drainInto). */
+    std::vector<ControlFlit> ctrl_scratch_;
+    std::vector<Flit> data_scratch_;
+    std::vector<FrCredit> fr_credit_scratch_;
+    std::vector<Credit> ctrl_credit_scratch_;
+
+    /** Scratch state for the per-tick allocation phases — reused so the
+     *  hot path never touches the allocator. */
+    std::vector<VcaRequest> vca_requests_;
+    std::vector<VcId> free_vc_scratch_;
+    std::vector<std::uint8_t> vca_granted_;
+    std::vector<std::size_t> vca_group_;
+    std::vector<SwRequest> sw_requests_;
+    std::vector<InputReservationTable::Departure> depart_scratch_;
+
+    /** Control flits buffered across every control VC. While zero both
+     *  allocation phases are no-op scans with no RNG draws, so tick()
+     *  skips them (identically in both kernel modes) and nextWake()
+     *  answers the stay-clocked question in O(1). */
+    int ctrl_buffered_ = 0;
     std::vector<CtrlVc> ctrl_vcs_;        ///< [port * ctrlVcs + vc]
     std::vector<CtrlOutVc> ctrl_out_vcs_; ///< [port * ctrlVcs + vc]
     std::vector<std::unique_ptr<OutputReservationTable>> out_tables_;
@@ -202,10 +261,6 @@ class FrRouter : public Clocked
     std::array<Counter, kNumPorts> res_commits_{};
     std::array<Counter, kNumPorts> res_denied_{};
     std::array<Counter, kNumPorts> res_horizon_full_{};
-    std::array<TimeAverage, kNumPorts> out_occ_{};
-    /** Last reservedCount seen per output; occupancy time-averages are
-     *  only touched on change, so idle ports cost one compare. */
-    std::array<int, kNumPorts> last_out_resv_{};
 };
 
 }  // namespace frfc

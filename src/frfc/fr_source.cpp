@@ -41,11 +41,13 @@ FrSource::tick(Cycle now)
 {
     ort_.advance(now);
     if (fr_credit_in_ != nullptr) {
-        for (const FrCredit& credit : fr_credit_in_->drain(now))
+        fr_credit_in_->drainInto(now, fr_credit_scratch_);
+        for (const FrCredit& credit : fr_credit_scratch_)
             ort_.credit(credit.freeFrom);
     }
     if (ctrl_credit_in_ != nullptr) {
-        for (const Credit& credit : ctrl_credit_in_->drain(now)) {
+        ctrl_credit_in_->drainInto(now, ctrl_credit_scratch_);
+        for (const Credit& credit : ctrl_credit_scratch_) {
             int& c = ctrl_credits_[static_cast<std::size_t>(credit.vc)];
             ++c;
             FRFC_ASSERT(c <= params_.ctrlVcDepth,
@@ -58,6 +60,39 @@ FrSource::tick(Cycle now)
     if (active_)
         processControl(now);
     fireData(now);
+    // Idle from here on (no packet in flight, so no competing rng_
+    // draws until the next birth): pre-scan the generator so nextWake
+    // can name the birth cycle and the source can sleep until it.
+    if (generating_ && !birth_pending_ && !active_ && queue_.empty()
+        && pending_data_.empty()) {
+        scanBirths(now + kGenLookahead);
+    }
+}
+
+Cycle
+FrSource::nextWake(Cycle now) const
+{
+    if (active_ || !queue_.empty() || !pending_data_.empty())
+        return now + 1;
+    if (!generating_)
+        return kInvalidCycle;
+    return birth_pending_ ? birth_cycle_ : next_gen_cycle_;
+}
+
+void
+FrSource::scanBirths(Cycle limit)
+{
+    while (!birth_pending_ && next_gen_cycle_ <= limit) {
+        const auto pkt =
+            generator_->generate(next_gen_cycle_, node_, rng_);
+        if (pkt) {
+            birth_pending_ = true;
+            birth_cycle_ = next_gen_cycle_;
+            birth_dest_ = pkt->dest;
+            birth_length_ = pkt->length;
+        }
+        ++next_gen_cycle_;
+    }
 }
 
 void
@@ -65,13 +100,16 @@ FrSource::generate(Cycle now)
 {
     if (!generating_)
         return;
-    const auto pkt = generator_->generate(now, node_, rng_);
-    if (!pkt)
+    scanBirths(now);
+    if (!birth_pending_ || birth_cycle_ > now)
         return;
+    FRFC_ASSERT(birth_cycle_ == now, "source ", name(),
+                " slept through a packet birth at cycle ", birth_cycle_);
     const PacketId id =
-        registry_->create(node_, pkt->dest, pkt->length, now);
-    queue_.push_back(PendingPacket{id, pkt->dest, pkt->length, now});
+        registry_->create(node_, birth_dest_, birth_length_, now);
+    queue_.push_back(PendingPacket{id, birth_dest_, birth_length_, now});
     packets_generated_.inc();
+    birth_pending_ = false;
 }
 
 void

@@ -55,6 +55,17 @@ class FrSource : public Clocked
 
     void tick(Cycle now) override;
 
+    /**
+     * Quiescence: awake every cycle while a packet is in flight
+     * (queued, emitting control flits, or holding reserved injection
+     * slots). Otherwise the generator has been pre-scanned — one draw
+     * per cycle, in stream order, stopping at the first birth — so the
+     * source can sleep until the birth cycle (or until the scan window
+     * needs refilling). Credits arriving mid-sleep re-wake it through
+     * the channel hook.
+     */
+    Cycle nextWake(Cycle now) const override;
+
     /** Packets generated but whose control flits are not all injected. */
     int queueLength() const;
 
@@ -79,10 +90,14 @@ class FrSource : public Clocked
     };
 
     void generate(Cycle now);
+    void scanBirths(Cycle limit);
     void startNextPacket(Cycle now);
     void processControl(Cycle now);
     void fireData(Cycle now);
     Flit makeDataFlit(const PendingPacket& pkt, int seq, Cycle now) const;
+
+    /** Cycles of generator lookahead scanned per idle wake. */
+    static constexpr Cycle kGenLookahead = 256;
 
     NodeId node_;
     PacketGenerator* generator_;
@@ -98,6 +113,21 @@ class FrSource : public Clocked
 
     OutputReservationTable ort_;  ///< injection link + router pool
     std::vector<int> ctrl_credits_;
+    std::vector<FrCredit> fr_credit_scratch_;
+    std::vector<Credit> ctrl_credit_scratch_;
+
+    /**
+     * Generator lookahead. The generator is consumed one draw per
+     * cycle in stream order; the scan runs at most one birth ahead and
+     * only past `now` while the source is otherwise idle (no packet in
+     * flight means no competing draws from rng_), so the draw sequence
+     * is identical to calling generate() every cycle.
+     */
+    Cycle next_gen_cycle_ = 0;   ///< first cycle not yet drawn
+    bool birth_pending_ = false;
+    Cycle birth_cycle_ = 0;
+    NodeId birth_dest_ = 0;
+    int birth_length_ = 0;
 
     std::deque<PendingPacket> queue_;
     bool active_ = false;

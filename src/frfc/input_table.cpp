@@ -29,6 +29,11 @@ void
 InputReservationTable::advance(Cycle now)
 {
     FRFC_ASSERT(now >= window_start_, "window cannot move backwards");
+    if (live_rows_ == 0) {
+        // Nothing scheduled: no row can expire, no fault can surface.
+        window_start_ = now;
+        return;
+    }
     while (window_start_ < now) {
         // An expiring arrival row must have been consumed: the upstream
         // scheduler guaranteed the flit arrived during that cycle —
@@ -38,6 +43,7 @@ InputReservationTable::advance(Cycle now)
         if (arr.cycle == window_start_ && fault_tolerant_) {
             voidDeparture(arr.depart, window_start_);
             arr.cycle = kInvalidCycle;
+            --live_rows_;
             lost_arrivals_.inc();
         }
         FRFC_ASSERT(arr.cycle != window_start_,
@@ -71,6 +77,7 @@ InputReservationTable::recordReservation(Cycle now, Cycle arrival,
     if (dslot.cycle != depart) {
         dslot.cycle = depart;
         dslot.count = 0;
+        ++live_rows_;
     }
     FRFC_ASSERT(dslot.count < speedup_,
                 "departure slot ", depart, " over-subscribed");
@@ -104,6 +111,7 @@ InputReservationTable::recordReservation(Cycle now, Cycle arrival,
     aslot.cycle = arrival;
     aslot.depart = depart;
     aslot.out = out;
+    ++live_rows_;
 }
 
 void
@@ -142,6 +150,7 @@ InputReservationTable::acceptFlit(Cycle now, const Flit& flit)
     if (aslot.depart == now + 1)
         bypasses_.inc();
     aslot.cycle = kInvalidCycle;
+    --live_rows_;
 }
 
 void
@@ -168,14 +177,14 @@ InputReservationTable::voidDeparture(Cycle depart, Cycle arrival)
           " at depart ", depart, ":", dump);
 }
 
-std::vector<InputReservationTable::Departure>
-InputReservationTable::takeDepartures(Cycle now)
+void
+InputReservationTable::takeDeparturesInto(Cycle now,
+                                          std::vector<Departure>& out)
 {
-    std::vector<Departure> result;
+    out.clear();
     DepartSlot& slot = departs_[index(now)];
     if (slot.cycle != now)
-        return result;
-    result.reserve(static_cast<std::size_t>(slot.count));
+        return;
     for (int i = 0; i < slot.count; ++i) {
         DepartEntry& entry = slot.entries[static_cast<std::size_t>(i)];
         if (entry.voided)
@@ -187,12 +196,20 @@ InputReservationTable::takeDepartures(Cycle now)
         dep.out = entry.out;
         dep.flit = pool_.consume(entry.buffer);
         dep.bypass = entry.arrival + 1 == now;
-        result.push_back(dep);
+        out.push_back(dep);
     }
     slot.cycle = kInvalidCycle;
     slot.count = 0;
-    if (!result.empty())
+    --live_rows_;
+    if (!out.empty())
         noteOccupancy(now);
+}
+
+std::vector<InputReservationTable::Departure>
+InputReservationTable::takeDepartures(Cycle now)
+{
+    std::vector<Departure> result;
+    takeDeparturesInto(now, result);
     return result;
 }
 

@@ -91,6 +91,10 @@ class InputReservationTable
     /** Pop all departures scheduled for cycle @p now. */
     std::vector<Departure> takeDepartures(Cycle now);
 
+    /** takeDepartures() into a reusable scratch buffer (cleared first)
+     *  — the router's per-tick path, free of allocation churn. */
+    void takeDeparturesInto(Cycle now, std::vector<Departure>& out);
+
     /**
      * Tolerate lost data flits (Section 5 error recovery): a scheduled
      * arrival that never materializes voids its departure entry — the
@@ -149,6 +153,10 @@ class InputReservationTable
     int horizon_;
     int speedup_;
     Cycle window_start_ = 0;
+    /** Live (tagged) arrival rows plus live departure slots. While
+     *  zero, every expiry check in advance() is vacuous, so the window
+     *  can jump in O(1) — the catch-up path for a woken router. */
+    int live_rows_ = 0;
     BufferPool pool_;
     std::vector<ArrivalSlot> arrivals_;
     std::vector<DepartSlot> departs_;

@@ -23,6 +23,16 @@ void
 OutputReservationTable::advance(Cycle now)
 {
     FRFC_ASSERT(now >= window_start_, "window cannot move backwards");
+    // Quiescent fast path: with no reservations and every buffer count
+    // at the maximum, each expiry step below is the identity — the new
+    // slot inherits the same count and an idle channel — so the window
+    // can jump straight to now. This is what lets a sleeping router
+    // catch up in O(1) instead of replaying every skipped cycle.
+    if (reserved_ == 0
+        && suffix_min_[index(window_start_)] == buffers_) {
+        window_start_ = now;
+        return;
+    }
     while (window_start_ < now) {
         // Slot window_start_ expires; it becomes the slot for
         // window_start_ + horizon, which inherits the buffer count of
@@ -32,8 +42,13 @@ OutputReservationTable::advance(Cycle now)
         // minimum is its own count and no earlier minimum changes.
         const std::size_t expired = index(window_start_);
         const std::size_t last = index(window_start_ - 1 + horizon_);
-        if (busy_[expired])
+        if (busy_[expired]) {
             --reserved_;
+            // The reservation leaves the window the cycle after its
+            // slot — the exact timestamp a per-cycle observer records.
+            occupancy_.update(window_start_ + 1,
+                              static_cast<double>(reserved_));
+        }
         busy_[expired] = 0;
         free_[expired] = free_[last];
         suffix_min_[expired] = free_[expired];
@@ -51,6 +66,11 @@ OutputReservationTable::reserve(Cycle depart)
     FRFC_ASSERT(!busy, "double reservation of cycle ", depart);
     busy = 1;
     ++reserved_;
+    if (depart < busy_hint_)
+        busy_hint_ = depart;
+    // The committing tick runs with window_start_ == now; a per-cycle
+    // observer first sees the new count one cycle later.
+    occupancy_.update(window_start_ + 1, static_cast<double>(reserved_));
     if (infinite_)
         return;
     // Every suffix [t, windowEnd()] with t >= the arrival loses exactly

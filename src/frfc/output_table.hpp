@@ -29,6 +29,7 @@
 
 #include "common/log.hpp"
 #include "common/types.hpp"
+#include "stats/time_average.hpp"
 
 namespace frfc {
 
@@ -137,6 +138,49 @@ class OutputReservationTable
     Cycle linkLatency() const { return link_latency_; }
     /** Reserved (busy) cycles currently inside the window. */
     int reservedCount() const { return reserved_; }
+
+    /**
+     * Earliest reserved (busy) cycle strictly after @p after, or
+     * kInvalidCycle if none. Drives the router's quiescence: departures
+     * are the only time-driven output events, so a router with no
+     * queued control work can sleep until this cycle. Busy cycles at or
+     * before @p after are deliberately skipped — their expiry is
+     * absorbed the next time advance() runs, with exact occupancy
+     * timestamps, so they never require a wake of their own.
+     */
+    Cycle
+    nextBusyCycleAfter(Cycle after) const
+    {
+        if (reserved_ == 0)
+            return kInvalidCycle;
+        // busy_hint_ is a lower bound on every busy cycle (reserve()
+        // lowers it, expiry only removes early slots), so the scan can
+        // start there and cache its landing point — amortized O(1) for
+        // the per-tick quiescence checks instead of O(horizon). The
+        // cache only moves when the scan covered everything from the
+        // bound, i.e. when nothing before `start` was skipped.
+        const Cycle lo = std::max(busy_hint_, window_start_);
+        const Cycle start = std::max(lo, after + 1);
+        for (Cycle t = start; t <= windowEnd(); ++t) {
+            if (busy_[index(t)]) {
+                if (start == lo)
+                    busy_hint_ = t;
+                return t;
+            }
+        }
+        if (start == lo)
+            panic("reservedCount out of sync with busy bits");
+        return kInvalidCycle;  // only already-expiring cycles remain
+    }
+
+    /**
+     * Time-average of reservedCount(), maintained event-driven with
+     * exact timestamps by reserve() and advance() — correct under
+     * kernels that tick the owner only when something happens, provided
+     * advance() has been run past every expired cycle before the
+     * instrument is read (see FrRouter::syncMetrics).
+     */
+    TimeAverage& occupancy() { return occupancy_; }
     /** @} */
 
   private:
@@ -171,6 +215,10 @@ class OutputReservationTable
     bool infinite_;
     Cycle window_start_ = 0;
     int reserved_ = 0;  ///< busy slots in the window (metrics)
+    /** Lower bound on the earliest busy cycle (nextBusyCycleAfter). */
+    mutable Cycle busy_hint_ = 0;
+    /** Reserved-count time-average (see occupancy()). */
+    TimeAverage occupancy_;
     std::vector<std::uint8_t> busy_;
     std::vector<int> free_;
     /** suffix_min_[index(t)] = min(free_[t .. windowEnd()]); the

@@ -16,7 +16,8 @@ void
 EjectionSink::tick(Cycle now)
 {
     for (Channel<Flit>* ch : channels_) {
-        for (const Flit& flit : ch->drain(now)) {
+        ch->drainInto(now, drain_scratch_);
+        for (const Flit& flit : drain_scratch_) {
             registry_->deliverFlit(now, flit);
             flits_ejected_.inc();
         }

@@ -35,12 +35,22 @@ class EjectionSink : public Clocked
 
     void tick(Cycle now) override;
 
+    /**
+     * Quiescence: purely arrival-driven — ejection channel pushes wake
+     * it, and a tick with no arrivals is a no-op.
+     */
+    Cycle nextWake(Cycle /* now */) const override
+    {
+        return kInvalidCycle;
+    }
+
     /** Flits delivered to destinations since construction. */
     std::int64_t flitsEjected() const { return flits_ejected_.value(); }
 
   private:
     PacketRegistry* registry_;
     std::vector<Channel<Flit>*> channels_;
+    std::vector<Flit> drain_scratch_;
 
     Counter flits_ejected_;
 };

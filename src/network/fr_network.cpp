@@ -1,7 +1,9 @@
 #include "network/fr_network.hpp"
 
+#include "common/config.hpp"
 #include "common/log.hpp"
 #include "common/rng.hpp"
+#include "sim/kernel.hpp"
 
 namespace frfc {
 
@@ -59,6 +61,7 @@ FrNetwork::FrNetwork(const Config& cfg)
         fatal("horizon too short for the data link latency");
 
     const int n = topo_->numNodes();
+    kernel_.setMode(kernelModeFromConfig(cfg));
     middle_node_ = topo_->nodeAt(topo_->sizeX() / 2, topo_->sizeY() / 2);
     sink_ = std::make_unique<EjectionSink>("sink", &registry_, &metrics_);
 
@@ -114,21 +117,29 @@ FrNetwork::FrNetwork(const Config& cfg)
                 flit_ch("d:" + tag, params_.dataLinkLatency);
             routers_[node]->connectDataOut(port, data);
             routers_[peer]->connectDataIn(rev, data);
+            data->bindSink(&kernel_, routers_[peer].get(),
+                          /*lazy_wake=*/true);
 
             Channel<ControlFlit>* ctrl =
                 ctrl_ch("ctl:" + tag, params_.ctrlLinkLatency);
             routers_[node]->connectCtrlOut(port, ctrl);
             routers_[peer]->connectCtrlIn(rev, ctrl);
+            ctrl->bindSink(&kernel_, routers_[peer].get(),
+                          /*lazy_wake=*/true);
 
             Channel<FrCredit>* frc =
                 fr_credit_ch("frc:" + tag, params_.ctrlLinkLatency);
             routers_[peer]->connectFrCreditOut(rev, frc);
             routers_[node]->connectFrCreditIn(port, frc);
+            frc->bindSink(&kernel_, routers_[node].get(),
+                          /*lazy_wake=*/true);
 
             Channel<Credit>* ctc =
                 ctrl_credit_ch("ctc:" + tag, params_.ctrlLinkLatency);
             routers_[peer]->connectCtrlCreditOut(rev, ctc);
             routers_[node]->connectCtrlCreditIn(port, ctc);
+            ctc->bindSink(&kernel_, routers_[node].get(),
+                          /*lazy_wake=*/true);
         }
     }
 
@@ -139,23 +150,30 @@ FrNetwork::FrNetwork(const Config& cfg)
         Channel<Flit>* inj = flit_ch("inj:" + tag, 1);
         sources_[node]->connectDataOut(inj);
         routers_[node]->connectDataIn(kLocal, inj);
+        inj->bindSink(&kernel_, routers_[node].get(),
+                      /*lazy_wake=*/true);
 
         Channel<ControlFlit>* inj_ctl =
             ctrl_ch("injctl:" + tag, params_.ctrlLinkLatency);
         sources_[node]->connectCtrlOut(inj_ctl);
         routers_[node]->connectCtrlIn(kLocal, inj_ctl);
+        inj_ctl->bindSink(&kernel_, routers_[node].get(),
+                      /*lazy_wake=*/true);
 
         Channel<FrCredit>* inj_frc = fr_credit_ch("injfrc:" + tag, 1);
         routers_[node]->connectFrCreditOut(kLocal, inj_frc);
         sources_[node]->connectFrCreditIn(inj_frc);
+        inj_frc->bindSink(&kernel_, sources_[node].get());
 
         Channel<Credit>* inj_ctc = ctrl_credit_ch("injctc:" + tag, 1);
         routers_[node]->connectCtrlCreditOut(kLocal, inj_ctc);
         sources_[node]->connectCtrlCreditIn(inj_ctc);
+        inj_ctc->bindSink(&kernel_, sources_[node].get());
 
         Channel<Flit>* ej = flit_ch("ej:" + tag, 1);
         routers_[node]->connectDataOut(kLocal, ej);
         sink_->addChannel(ej);
+        ej->bindSink(&kernel_, sink_.get());
     }
 
     probe_ = std::make_unique<Probe>(*this);
@@ -194,8 +212,11 @@ FrNetwork::avgSourceQueue() const
 void
 FrNetwork::setGenerating(bool on)
 {
-    for (auto& source : sources_)
+    for (auto& source : sources_) {
         source->setGenerating(on);
+        if (on)
+            kernel_.wake(source.get(), kernel_.now());
+    }
 }
 
 void
@@ -204,6 +225,7 @@ FrNetwork::startOccupancySampling()
     sampling_ = true;
     occupancy_.reset(kernel_.now());
     fullness_.reset(kernel_.now());
+    kernel_.wake(probe_.get(), kernel_.now());
 }
 
 double

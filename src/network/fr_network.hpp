@@ -55,6 +55,24 @@ class FrNetwork : public NetworkModel
     }
     std::string scheme() const override { return "fr"; }
 
+    /**
+     * The output tables keep their occupancy time-averages exact by
+     * recording changes when advance() crosses the affected cycles, and
+     * a quiescent router may not have advanced for a while. Slide every
+     * table to the last simulated cycle — where the stepped kernel's
+     * final tick left them — so pending expiries land with their exact
+     * timestamps before the instruments are closed out.
+     */
+    void
+    finalizeMetrics() override
+    {
+        const Cycle end = kernel().now();
+        if (end > 0)
+            for (auto& r : routers_)
+                r->syncMetrics(end - 1);
+        NetworkModel::finalizeMetrics();
+    }
+
     /** Mean control-flit lead over data at destinations (cycles). */
     double avgControlLead() const;
 
@@ -81,6 +99,13 @@ class FrNetwork : public NetworkModel
       public:
         Probe(FrNetwork& net) : Clocked("probe"), net_(net) {}
         void tick(Cycle now) override;
+
+        /** Samples every cycle while enabled; otherwise inert.
+         *  startOccupancySampling() wakes it explicitly. */
+        Cycle nextWake(Cycle now) const override
+        {
+            return net_.sampling_ ? now + 1 : kInvalidCycle;
+        }
 
       private:
         FrNetwork& net_;

@@ -38,8 +38,13 @@ class NetworkModel
     const MetricRegistry& metrics() const { return metrics_; }
 
     /** Close out time-weighted instruments at the current cycle; call
-     *  once when measurement ends, before snapshotting. */
-    void finalizeMetrics() { metrics_.finishTimeAverages(kernel_.now()); }
+     *  once when measurement ends, before snapshotting. Overrides flush
+     *  component-held event-driven instruments first (see FrNetwork). */
+    virtual void
+    finalizeMetrics()
+    {
+        metrics_.finishTimeAverages(kernel_.now());
+    }
 
     /** Topology of this network. */
     virtual const Topology& topology() const = 0;

@@ -1,7 +1,9 @@
 #include "network/vc_network.hpp"
 
+#include "common/config.hpp"
 #include "common/log.hpp"
 #include "common/rng.hpp"
+#include "sim/kernel.hpp"
 
 namespace frfc {
 
@@ -61,6 +63,7 @@ VcNetwork::VcNetwork(const Config& cfg)
     }
 
     const int n = topo_->numNodes();
+    kernel_.setMode(kernelModeFromConfig(cfg));
     middle_node_ = topo_->nodeAt(topo_->sizeX() / 2, topo_->sizeY() / 2);
     sink_ = std::make_unique<EjectionSink>("sink", &registry_, &metrics_);
 
@@ -104,10 +107,14 @@ VcNetwork::VcNetwork(const Config& cfg)
             Channel<Flit>* data = make_flit_channel("d:" + tag, data_lat);
             routers_[node]->connectDataOut(port, data);
             routers_[peer]->connectDataIn(opposite(port), data);
+            data->bindSink(&kernel_, routers_[peer].get(),
+                          /*lazy_wake=*/true);
             Channel<Credit>* credit =
                 make_credit_channel("c:" + tag, credit_lat);
             routers_[peer]->connectCreditOut(opposite(port), credit);
             routers_[node]->connectCreditIn(port, credit);
+            credit->bindSink(&kernel_, routers_[node].get(),
+                          /*lazy_wake=*/true);
         }
     }
 
@@ -117,13 +124,17 @@ VcNetwork::VcNetwork(const Config& cfg)
         Channel<Flit>* inj = make_flit_channel("inj:" + tag, 1);
         sources_[node]->connectDataOut(inj);
         routers_[node]->connectDataIn(kLocal, inj);
+        inj->bindSink(&kernel_, routers_[node].get(),
+                      /*lazy_wake=*/true);
         Channel<Credit>* inj_cr = make_credit_channel("injc:" + tag, 1);
         routers_[node]->connectCreditOut(kLocal, inj_cr);
         sources_[node]->connectCreditIn(inj_cr);
+        inj_cr->bindSink(&kernel_, sources_[node].get());
 
         Channel<Flit>* ej = make_flit_channel("ej:" + tag, 1);
         routers_[node]->connectDataOut(kLocal, ej);
         sink_->addChannel(ej);
+        ej->bindSink(&kernel_, sink_.get());
     }
 
     probe_ = std::make_unique<Probe>(*this);
@@ -162,8 +173,11 @@ VcNetwork::avgSourceQueue() const
 void
 VcNetwork::setGenerating(bool on)
 {
-    for (auto& source : sources_)
+    for (auto& source : sources_) {
         source->setGenerating(on);
+        if (on)
+            kernel_.wake(source.get(), kernel_.now());
+    }
 }
 
 void
@@ -172,6 +186,7 @@ VcNetwork::startOccupancySampling()
     sampling_ = true;
     occupancy_.reset(kernel_.now());
     fullness_.reset(kernel_.now());
+    kernel_.wake(probe_.get(), kernel_.now());
 }
 
 double

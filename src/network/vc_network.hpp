@@ -62,6 +62,13 @@ class VcNetwork : public NetworkModel
         Probe(VcNetwork& net) : Clocked("probe"), net_(net) {}
         void tick(Cycle now) override;
 
+        /** Samples every cycle while enabled; otherwise inert.
+         *  startOccupancySampling() wakes it explicitly. */
+        Cycle nextWake(Cycle now) const override
+        {
+            return net_.sampling_ ? now + 1 : kInvalidCycle;
+        }
+
       private:
         VcNetwork& net_;
     };

@@ -10,16 +10,30 @@
  *
  * This is the only legal communication path between Clocked components;
  * because L >= 1, component tick order within a cycle cannot matter.
+ *
+ * When a channel is bound to its receiving component via bindSink, every
+ * push also schedules a kernel wake for the receiver at the arrival
+ * cycle, making arrivals a wake source for the event-driven kernel.
+ *
+ * A receiver whose nextWake() consults nextArrivalAfter() on all of its
+ * input channels can bind with lazy wakes instead: the channel then
+ * wakes it only when a push finds no other arrival pending, and the
+ * receiver keeps itself scheduled through the remaining arrivals. This
+ * trades one wheel insertion per push for one O(1) check, which is what
+ * keeps the event kernel from regressing at saturation, where every
+ * push would otherwise be a redundant wake.
  */
 
 #ifndef FRFC_SIM_CHANNEL_HPP
 #define FRFC_SIM_CHANNEL_HPP
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/log.hpp"
 #include "common/types.hpp"
+#include "sim/kernel.hpp"
 
 namespace frfc {
 
@@ -35,10 +49,30 @@ class Channel
      */
     Channel(std::string name, Cycle latency, int width = 1)
         : name_(std::move(name)), latency_(latency), width_(width),
-          slots_(static_cast<std::size_t>(latency) + 2)
+          slots_(slotCountFor(latency)),
+          index_mask_(static_cast<Cycle>(slots_.size()) - 1)
     {
         FRFC_ASSERT(latency >= 1, "channel latency must be >= 1");
         FRFC_ASSERT(width >= 1, "channel width must be >= 1");
+    }
+
+    /**
+     * Bind the receiving component: from now on every push schedules a
+     * wake for @p sink at the arrival cycle. The kernel ignores wakes
+     * in stepped mode, so binding is unconditional in assemblies.
+     *
+     * With @p lazy_wake, only a push onto an otherwise-empty channel
+     * wakes the sink; the sink promises its nextWake() never exceeds
+     * this channel's nextArrivalAfter(now) (see file comment).
+     */
+    void
+    bindSink(Kernel* kernel, Clocked* sink, bool lazy_wake = false)
+    {
+        FRFC_ASSERT(kernel != nullptr && sink != nullptr,
+                    "channel ", name_, ": null sink binding");
+        kernel_ = kernel;
+        sink_ = sink;
+        lazy_wake_ = lazy_wake;
     }
 
     /** Push a value during cycle @p now; arrives at @p now + latency. */
@@ -51,11 +85,14 @@ class Channel
         if (slot.cycle != now + latency_) {
             slot.cycle = now + latency_;
             slot.items.clear();
+            ++live_slots_;
         }
         FRFC_ASSERT(static_cast<int>(slot.items.size()) < width_,
                     "channel ", name_, ": width ", width_,
                     " exceeded at cycle ", now);
         slot.items.push_back(std::move(value));
+        if (kernel_ != nullptr && (!lazy_wake_ || live_slots_ == 1))
+            kernel_->wake(sink_, now + latency_);
     }
 
     /** True if another push during cycle @p now would fit. */
@@ -76,7 +113,44 @@ class Channel
         if (slot.cycle != now)
             return {};
         slot.cycle = kInvalidCycle;
+        --live_slots_;
         return std::move(slot.items);
+    }
+
+    /**
+     * Drain everything arriving during cycle @p now into @p out
+     * (cleared first). Reuses both the caller's buffer and the slot's,
+     * so steady-state drains allocate nothing.
+     */
+    void
+    drainInto(Cycle now, std::vector<T>& out)
+    {
+        out.clear();
+        Slot& slot = slotAt(now);
+        if (slot.cycle != now)
+            return;
+        slot.cycle = kInvalidCycle;
+        --live_slots_;
+        std::swap(out, slot.items);
+    }
+
+    /**
+     * Earliest undelivered arrival strictly after @p after, or
+     * kInvalidCycle if none. O(1) when the channel is idle; a lazily
+     * bound receiver calls this from nextWake() on each input channel.
+     */
+    Cycle
+    nextArrivalAfter(Cycle after) const
+    {
+        if (live_slots_ == 0)
+            return kInvalidCycle;
+        Cycle best = kInvalidCycle;
+        for (const Slot& slot : slots_) {
+            if (slot.cycle != kInvalidCycle && slot.cycle > after
+                && (best == kInvalidCycle || slot.cycle < best))
+                best = slot.cycle;
+        }
+        return best;
     }
 
     /** True if anything will arrive during cycle @p now. */
@@ -98,14 +172,23 @@ class Channel
         std::vector<T> items;
     };
 
+    /** Smallest power of two holding latency + 2 in-flight cycles. */
+    static std::size_t
+    slotCountFor(Cycle latency)
+    {
+        const auto need = static_cast<std::size_t>(latency) + 2;
+        std::size_t count = 1;
+        while (count < need)
+            count <<= 1;
+        return count;
+    }
+
     std::size_t
     index(Cycle cycle) const
     {
-        const auto size = static_cast<Cycle>(slots_.size());
-        Cycle m = cycle % size;
-        if (m < 0)
-            m += size;
-        return static_cast<std::size_t>(m);
+        FRFC_ASSERT(cycle >= 0, "channel ", name_, ": negative cycle ",
+                    cycle);
+        return static_cast<std::size_t>(cycle & index_mask_);
     }
 
     Slot&
@@ -118,6 +201,7 @@ class Channel
             FRFC_ASSERT(slot.items.empty(), "channel ", name_,
                         ": undrained items from cycle ", slot.cycle);
             slot.cycle = kInvalidCycle;
+            --live_slots_;
         }
         return slot;
     }
@@ -126,6 +210,12 @@ class Channel
     Cycle latency_;
     int width_;
     std::vector<Slot> slots_;
+    Cycle index_mask_;
+    /** Slots currently tagged with an undelivered arrival cycle. */
+    int live_slots_ = 0;
+    Kernel* kernel_ = nullptr;
+    Clocked* sink_ = nullptr;
+    bool lazy_wake_ = false;
 };
 
 }  // namespace frfc

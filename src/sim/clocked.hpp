@@ -6,6 +6,7 @@
 #ifndef FRFC_SIM_CLOCKED_HPP
 #define FRFC_SIM_CLOCKED_HPP
 
+#include <cstddef>
 #include <string>
 
 #include "common/types.hpp"
@@ -18,6 +19,26 @@ namespace frfc {
  * All inter-component communication flows through Channel objects with a
  * propagation latency of at least one cycle, so the order in which the
  * kernel ticks components within a cycle is immaterial.
+ *
+ * Quiescence contract (event-driven kernel). After tick(now) returns,
+ * the kernel asks nextWake(now) for the next cycle at which the
+ * component must be ticked again:
+ *
+ *  - Returning now + 1 keeps the component clocked every cycle (the
+ *    default, always safe).
+ *  - Returning a later cycle, or kInvalidCycle ("sleep until woken"),
+ *    promises that every skipped tick would have been a no-op: no state
+ *    change, no RNG draw, no metric update, and no channel push. The
+ *    component is re-ticked early if something is pushed to one of its
+ *    bound input channels (Channel wake hook) or if Kernel::wake is
+ *    called on it explicitly.
+ *  - A component that self-schedules future work (reservation tables,
+ *    pending injections) must report a wake no later than the earliest
+ *    such event. Arrivals on eagerly bound channels are the kernel's
+ *    responsibility; a channel bound with lazy wakes (see
+ *    Channel::bindSink) only announces its first pending arrival, and
+ *    the receiver's nextWake must then stay at or before
+ *    Channel::nextArrivalAfter(now) on every such input.
  */
 class Clocked
 {
@@ -31,11 +52,32 @@ class Clocked
     /** Advance one cycle: consume channel arrivals, compute, emit. */
     virtual void tick(Cycle now) = 0;
 
+    /**
+     * Next cycle at which this component must be ticked, given that
+     * tick(now) just ran; kInvalidCycle = sleep until explicitly woken.
+     * Only consulted by the event-driven kernel; see the quiescence
+     * contract above.
+     */
+    virtual Cycle nextWake(Cycle now) const { return now + 1; }
+
     /** Hierarchical instance name (for diagnostics). */
     const std::string& name() const { return name_; }
 
   private:
+    friend class Kernel;
+
+    static constexpr std::size_t kNoKernelSlot = ~std::size_t{0};
+
     std::string name_;
+    /** Registration index inside the owning kernel (wake bookkeeping). */
+    std::size_t kernel_slot_ = kNoKernelSlot;
+    /** The two most recent distinct wake-request cycles (duplicate
+     *  suppression). Two entries because a component's wakes typically
+     *  alternate between two arrival cycles within one tick — credits
+     *  at now + 1 and data at now + link latency — which a single-entry
+     *  cache would miss on every push. */
+    Cycle last_wake_cycle_ = kInvalidCycle;
+    Cycle prev_wake_cycle_ = kInvalidCycle;
 };
 
 }  // namespace frfc

@@ -1,40 +1,221 @@
 #include "sim/kernel.hpp"
 
+#include <algorithm>
+
+#include "common/config.hpp"
 #include "common/log.hpp"
 
 namespace frfc {
+
+KernelMode
+kernelModeFromConfig(const Config& cfg)
+{
+    const std::string mode =
+        cfg.get<std::string>("sim.kernel", std::string("event"));
+    if (mode == "stepped")
+        return KernelMode::kStepped;
+    if (mode == "event")
+        return KernelMode::kEvent;
+    fatal("sim.kernel must be 'stepped' or 'event', got '", mode, "'");
+}
+
+const char*
+kernelModeName(KernelMode mode)
+{
+    return mode == KernelMode::kStepped ? "stepped" : "event";
+}
 
 void
 Kernel::add(Clocked* component)
 {
     FRFC_ASSERT(component != nullptr, "null component");
+    FRFC_ASSERT(component->kernel_slot_ == Clocked::kNoKernelSlot,
+                "component ", component->name(), " already registered");
+    component->kernel_slot_ = components_.size();
     components_.push_back(component);
+    due_stamp_.push_back(kInvalidCycle);
+    hot_.push_back(0);
+    if (mode_ == KernelMode::kEvent)
+        wake(component, now_);
 }
 
 void
-Kernel::step()
+Kernel::setMode(KernelMode mode)
+{
+    FRFC_ASSERT(!executing_, "cannot switch kernel mode mid-cycle");
+    mode_ = mode;
+    for (auto& bucket : wheel_) {
+        bucket.cycle = kInvalidCycle;
+        bucket.slots.clear();
+    }
+    overflow_.clear();
+    std::fill(hot_.begin(), hot_.end(), 0);
+    hot_count_ = 0;
+    for (Clocked* component : components_) {
+        component->last_wake_cycle_ = kInvalidCycle;
+        component->prev_wake_cycle_ = kInvalidCycle;
+    }
+    if (mode_ == KernelMode::kEvent) {
+        // Re-arm everything at the current cycle; components go back to
+        // sleep via nextWake once they report quiescence.
+        for (Clocked* component : components_)
+            wake(component, now_);
+    }
+}
+
+void
+Kernel::stepAll()
 {
     for (Clocked* component : components_)
         component->tick(now_);
+    ticks_executed_ += static_cast<std::int64_t>(components_.size());
     ++now_;
+}
+
+Cycle
+Kernel::nextEventCycle(Cycle limit) const
+{
+    // A hot component is due every cycle, starting now.
+    if (hot_count_ > 0)
+        return now_;
+    // Every wheel entry lies in [now_, now_ + kWheelSize), and within
+    // that window cycles map to distinct buckets, so a forward scan
+    // finds the earliest one.
+    Cycle best = kInvalidCycle;
+    const Cycle span = std::min<Cycle>(limit - now_,
+                                       static_cast<Cycle>(kWheelSize));
+    for (Cycle i = 0; i < span; ++i) {
+        const Bucket& bucket =
+            wheel_[static_cast<std::size_t>((now_ + i) & kWheelMask)];
+        if (bucket.cycle != kInvalidCycle) {
+            FRFC_ASSERT(bucket.cycle == now_ + i,
+                        "stale timing wheel bucket");
+            best = bucket.cycle;
+            break;
+        }
+    }
+    if (!overflow_.empty()) {
+        const Cycle front = overflow_.begin()->first;
+        if (front < limit && (best == kInvalidCycle || front < best))
+            best = front;
+    }
+    return best;
+}
+
+void
+Kernel::executeCycle()
+{
+    // Mark everything due at now_ in the per-slot stamp array: the
+    // wheel bucket, then any overflow entries that matured. Stamping
+    // absorbs duplicate wakes, and replaying slots in index order below
+    // reproduces the stepped kernel's deterministic registration-order
+    // tick without sorting the due list.
+    Bucket& bucket = wheel_[static_cast<std::size_t>(now_ & kWheelMask)];
+    if (bucket.cycle == now_) {
+        for (const std::uint32_t slot : bucket.slots)
+            due_stamp_[slot] = now_;
+        bucket.cycle = kInvalidCycle;
+        bucket.slots.clear();
+    }
+    if (!overflow_.empty() && overflow_.begin()->first == now_) {
+        for (const std::uint32_t slot : overflow_.begin()->second)
+            due_stamp_[slot] = now_;
+        overflow_.erase(overflow_.begin());
+    }
+
+    // Tick and re-arm in one pass. Re-arming immediately after a
+    // component's tick — before later slots tick — is sound: components
+    // interact only through channels, and a push from a later slot
+    // either wakes this component itself (first arrival on an idle
+    // channel) or arrives no earlier than arrivals its nextWake()
+    // already saw (per-channel arrival cycles are monotone in push
+    // order), so the computed wake is never too late.
+    executing_ = true;
+    const auto count = static_cast<std::uint32_t>(components_.size());
+    std::int64_t ticked = 0;
+    for (std::uint32_t slot = 0; slot < count; ++slot) {
+        if (hot_[slot] == 0 && due_stamp_[slot] != now_)
+            continue;
+        Clocked* component = components_[slot];
+        component->tick(now_);
+        ++ticked;
+        const Cycle next = component->nextWake(now_);
+        if (next == now_ + 1) {
+            // Steady state: skip the wheel entirely (see hot_ in the
+            // header). Priming the dedup cache at now_ + 1 keeps
+            // latency-1 channel pushes from re-inserting wheel entries
+            // the hot tick already covers.
+            if (hot_[slot] == 0) {
+                hot_[slot] = 1;
+                ++hot_count_;
+            }
+            if (component->last_wake_cycle_ != next) {
+                component->prev_wake_cycle_ =
+                    component->last_wake_cycle_;
+                component->last_wake_cycle_ = next;
+            }
+            continue;
+        }
+        if (hot_[slot] != 0) {
+            hot_[slot] = 0;
+            --hot_count_;
+        }
+        if (next != kInvalidCycle) {
+            FRFC_ASSERT(next > now_, "component ", component->name(),
+                        " asked for a non-future wake");
+            wake(component, next);
+        }
+    }
+    ticks_executed_ += ticked;
+    executing_ = false;
+}
+
+void
+Kernel::runEvent(Cycle limit, const std::function<bool()>* done)
+{
+    // done() can only change as a result of ticks, so checking it once
+    // per executed cycle is equivalent to the stepped kernel's
+    // per-cycle check.
+    while (now_ < limit) {
+        if (done != nullptr && (*done)())
+            return;
+        const Cycle next = nextEventCycle(limit);
+        if (next == kInvalidCycle) {
+            idle_cycles_skipped_ += limit - now_;
+            now_ = limit;
+            return;
+        }
+        idle_cycles_skipped_ += next - now_;
+        now_ = next;
+        executeCycle();
+        ++now_;
+    }
 }
 
 void
 Kernel::run(Cycle cycles)
 {
-    for (Cycle i = 0; i < cycles; ++i)
-        step();
+    if (mode_ == KernelMode::kStepped) {
+        for (Cycle i = 0; i < cycles; ++i)
+            stepAll();
+        return;
+    }
+    runEvent(now_ + cycles, nullptr);
 }
 
 bool
 Kernel::runUntil(const std::function<bool()>& done, Cycle max_cycles)
 {
     const Cycle limit = now_ + max_cycles;
-    while (now_ < limit) {
-        if (done())
-            return true;
-        step();
+    if (mode_ == KernelMode::kStepped) {
+        while (now_ < limit) {
+            if (done())
+                return true;
+            stepAll();
+        }
+        return done();
     }
+    runEvent(limit, &done);
     return done();
 }
 

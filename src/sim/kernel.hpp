@@ -1,32 +1,67 @@
 /**
  * @file
- * Cycle-stepped simulation kernel.
+ * Simulation kernel: cycle-stepped or activity-driven.
+ *
+ * The stepped mode ticks every registered component every cycle. The
+ * event mode keeps a timing wheel of wake times, ticks only components
+ * that are due, and fast-forwards now() across globally idle gaps. The
+ * two modes are bit-identical for components honouring the Clocked
+ * quiescence contract (see sim/clocked.hpp).
  */
 
 #ifndef FRFC_SIM_KERNEL_HPP
 #define FRFC_SIM_KERNEL_HPP
 
+#include <cstdint>
 #include <functional>
+#include <map>
 #include <vector>
 
+#include "common/log.hpp"
 #include "common/types.hpp"
 #include "sim/clocked.hpp"
 
 namespace frfc {
 
+class Config;
+
+/** Scheduling strategy for a Kernel. */
+enum class KernelMode
+{
+    kStepped,  ///< tick every component every cycle
+    kEvent,    ///< tick only awake components; skip idle cycles
+};
+
+/** Parse `sim.kernel` (`stepped` | `event`, default `event`). */
+KernelMode kernelModeFromConfig(const Config& cfg);
+
+/** Short name for reports ("stepped" / "event"). */
+const char* kernelModeName(KernelMode mode);
+
 /**
- * Drives a set of Clocked components, one tick per component per cycle.
+ * Drives a set of Clocked components.
  *
  * The kernel owns only the schedule, not the components; network
  * assemblies register borrowed pointers whose lifetime they guarantee.
+ * Defaults to stepped mode so bare kernels behave exactly as before;
+ * networks select the mode from config (`sim.kernel`).
  */
 class Kernel
 {
   public:
     Kernel() = default;
 
-    /** Register a component; ticked every cycle from now on. */
+    /** Register a component; scheduled from the current cycle on. */
     void add(Clocked* component);
+
+    /**
+     * Select the scheduling mode. Switching to event mode (re-)arms
+     * every registered component at the current cycle so no pending
+     * work is lost.
+     */
+    void setMode(KernelMode mode);
+
+    KernelMode mode() const { return mode_; }
 
     /** Current cycle (the cycle about to execute or executing). */
     Cycle now() const { return now_; }
@@ -40,11 +75,99 @@ class Kernel
      */
     bool runUntil(const std::function<bool()>& done, Cycle max_cycles);
 
+    /**
+     * Schedule @p component to be ticked at @p cycle (>= now()). No-op
+     * in stepped mode. Channels call this on push; assemblies call it
+     * when they mutate a sleeping component from outside (e.g. enabling
+     * generation or sampling mid-run). Inline: this sits on the
+     * channel-push hot path of every active tick.
+     */
+    void
+    wake(Clocked* component, Cycle cycle)
+    {
+        if (mode_ == KernelMode::kStepped)
+            return;
+        FRFC_ASSERT(component != nullptr
+                        && component->kernel_slot_
+                            != Clocked::kNoKernelSlot,
+                    "wake on unregistered component");
+        FRFC_ASSERT(cycle >= now_ && (!executing_ || cycle > now_),
+                    "wake for ", component->name(), " at past cycle ",
+                    cycle, " (now ", now_, ")");
+        // Several pushes commonly land on one receiver in one cycle —
+        // alternating between two arrival cycles when both credits and
+        // data flow in — so remember the two most recent distinct
+        // requests and queue each slot/cycle pair once. (A component
+        // can still sit in more buckets than the cache remembers; the
+        // due-stamp pass in executeCycle() absorbs those duplicates.)
+        if (component->last_wake_cycle_ == cycle
+            || component->prev_wake_cycle_ == cycle)
+            return;
+        component->prev_wake_cycle_ = component->last_wake_cycle_;
+        component->last_wake_cycle_ = cycle;
+        const auto slot =
+            static_cast<std::uint32_t>(component->kernel_slot_);
+        if (cycle < now_ + static_cast<Cycle>(kWheelSize)) {
+            Bucket& bucket =
+                wheel_[static_cast<std::size_t>(cycle & kWheelMask)];
+            FRFC_ASSERT(bucket.cycle == kInvalidCycle
+                            || bucket.cycle == cycle,
+                        "timing wheel bucket collision at cycle ", cycle);
+            bucket.cycle = cycle;
+            bucket.slots.push_back(slot);
+        } else {
+            overflow_[cycle].push_back(slot);
+        }
+    }
+
+    /** Total component ticks executed (both modes). */
+    std::int64_t ticksExecuted() const { return ticks_executed_; }
+
+    /** Cycles fast-forwarded without ticking anything (event mode). */
+    Cycle idleCyclesSkipped() const { return idle_cycles_skipped_; }
+
   private:
-    void step();
+    /** Wheel span; power of two, must exceed any channel latency. */
+    static constexpr std::size_t kWheelSize = 1024;
+    static constexpr Cycle kWheelMask = static_cast<Cycle>(kWheelSize) - 1;
+
+    struct Bucket
+    {
+        Cycle cycle = kInvalidCycle;
+        std::vector<std::uint32_t> slots;
+    };
+
+    void stepAll();
+    void runEvent(Cycle limit, const std::function<bool()>* done);
+    /** Earliest scheduled cycle in [now_, limit), or kInvalidCycle. */
+    Cycle nextEventCycle(Cycle limit) const;
+    /** Tick everything due at now_ and re-arm self-scheduled wakes. */
+    void executeCycle();
 
     Cycle now_ = 0;
+    KernelMode mode_ = KernelMode::kStepped;
     std::vector<Clocked*> components_;
+
+    std::vector<Bucket> wheel_{kWheelSize};
+    /** Wakes at or beyond now_ + kWheelSize, keyed by cycle. */
+    std::map<Cycle, std::vector<std::uint32_t>> overflow_;
+    /** Per-slot stamp of the cycle the slot is due (epoch dedup). */
+    std::vector<Cycle> due_stamp_;
+    /**
+     * Hot set: slots whose last nextWake() was now + 1. A hot slot is
+     * ticked every cycle with no wheel traffic at all until it asks for
+     * anything else — at saturation nearly every component is hot every
+     * cycle, and this is what keeps the event kernel within noise of
+     * the stepped one there. A hot slot's dedup cache is kept primed at
+     * now + 1 so channel pushes stay deduplicated (safe: hot implies a
+     * tick at now + 1, which is what the cache promises).
+     */
+    std::vector<std::uint8_t> hot_;
+    std::size_t hot_count_ = 0;
+    bool executing_ = false;
+
+    std::int64_t ticks_executed_ = 0;
+    Cycle idle_cycles_skipped_ = 0;
 };
 
 }  // namespace frfc

@@ -103,7 +103,8 @@ VcRouter::drainCredits(Cycle now)
         Channel<Credit>* ch = credit_in_[static_cast<std::size_t>(port)];
         if (ch == nullptr)
             continue;
-        for (const Credit& credit : ch->drain(now)) {
+        ch->drainInto(now, credit_scratch_);
+        for (const Credit& credit : credit_scratch_) {
             if (params_.sharedPool) {
                 ++pool_credits_[static_cast<std::size_t>(port)];
                 FRFC_ASSERT(pool_credits_[static_cast<std::size_t>(port)]
@@ -126,16 +127,12 @@ VcRouter::allocateVcs(Cycle now)
     // Gather requests: each waiting head picks one free output VC at
     // random; each contested output VC then grants one requester at
     // random. Random arbitration throughout, per the paper.
-    struct Request
-    {
-        PortId inPort;
-        VcId inVc;
-        PortId outPort;
-        VcId outVc;
-    };
-    std::vector<Request> requests;
+    std::vector<VcaRequest>& requests = vca_requests_;
+    requests.clear();
 
     for (PortId port = 0; port < kNumPorts; ++port) {
+        if (buffered_[static_cast<std::size_t>(port)] == 0)
+            continue;  // every VC queue on this input is empty
         for (VcId vc = 0; vc < params_.numVcs; ++vc) {
             InputVc& ivc = inVc(port, vc);
             if (ivc.active || ivc.queue.empty())
@@ -148,7 +145,8 @@ VcRouter::allocateVcs(Cycle now)
                 ivc.routed = true;
             }
             // Collect free VCs on the routed output port.
-            std::vector<VcId> free_vcs;
+            std::vector<VcId>& free_vcs = free_vc_scratch_;
+            free_vcs.clear();
             for (VcId ovc_id = 0; ovc_id < params_.numVcs; ++ovc_id) {
                 if (!outVc(ivc.outPort, ovc_id).busy)
                     free_vcs.push_back(ovc_id);
@@ -160,17 +158,19 @@ VcRouter::allocateVcs(Cycle now)
                 continue;
             }
             const VcId pick = free_vcs[rng_.nextBounded(free_vcs.size())];
-            requests.push_back(Request{port, vc, ivc.outPort, pick});
+            requests.push_back(VcaRequest{port, vc, ivc.outPort, pick});
         }
     }
 
     // Group by contested output VC and grant randomly.
     // (Small vectors; an n^2 scan is clearer than sorting.)
-    std::vector<bool> granted(requests.size(), false);
+    std::vector<std::uint8_t>& granted = vca_granted_;
+    granted.assign(requests.size(), 0);
     for (std::size_t i = 0; i < requests.size(); ++i) {
         if (granted[i])
             continue;
-        std::vector<std::size_t> group;
+        std::vector<std::size_t>& group = vca_group_;
+        group.clear();
         for (std::size_t j = i; j < requests.size(); ++j) {
             if (!granted[j] && requests[j].outPort == requests[i].outPort
                 && requests[j].outVc == requests[i].outVc) {
@@ -179,8 +179,8 @@ VcRouter::allocateVcs(Cycle now)
         }
         const std::size_t win = group[rng_.nextBounded(group.size())];
         for (std::size_t j : group)
-            granted[j] = true;  // losers simply retry next cycle
-        const Request& req = requests[win];
+            granted[j] = 1;  // losers simply retry next cycle
+        const VcaRequest& req = requests[win];
         InputVc& ivc = inVc(req.inPort, req.inVc);
         ivc.active = true;
         ivc.activeSince = now;
@@ -195,13 +195,11 @@ VcRouter::allocateSwitch(Cycle now)
     // Collect ready (input VC -> output port) requests, then perform a
     // single-pass random matching honoring one-per-input-port and
     // one-per-output-port crossbar constraints.
-    struct Request
-    {
-        PortId inPort;
-        VcId inVc;
-    };
-    std::vector<Request> requests;
+    std::vector<SwRequest>& requests = sw_requests_;
+    requests.clear();
     for (PortId port = 0; port < kNumPorts; ++port) {
+        if (buffered_[static_cast<std::size_t>(port)] == 0)
+            continue;  // every VC queue on this input is empty
         for (VcId vc = 0; vc < params_.numVcs; ++vc) {
             InputVc& ivc = inVc(port, vc);
             if (!ivc.active || ivc.queue.empty())
@@ -240,7 +238,7 @@ VcRouter::allocateSwitch(Cycle now)
                     continue;
                 }
             }
-            requests.push_back(Request{port, vc});
+            requests.push_back(SwRequest{port, vc});
         }
     }
 
@@ -250,9 +248,9 @@ VcRouter::allocateSwitch(Cycle now)
         std::swap(requests[i - 1], requests[j]);
     }
 
-    std::vector<bool> in_used(kNumPorts, false);
-    std::vector<bool> out_used(kNumPorts, false);
-    for (const Request& req : requests) {
+    std::array<bool, kNumPorts> in_used{};
+    std::array<bool, kNumPorts> out_used{};
+    for (const SwRequest& req : requests) {
         InputVc& ivc = inVc(req.inPort, req.inVc);
         if (in_used[static_cast<std::size_t>(req.inPort)]
             || out_used[static_cast<std::size_t>(ivc.outPort)]) {
@@ -307,7 +305,8 @@ VcRouter::acceptArrivals(Cycle now)
         Channel<Flit>* ch = data_in_[static_cast<std::size_t>(port)];
         if (ch == nullptr)
             continue;
-        for (Flit& flit : ch->drain(now)) {
+        ch->drainInto(now, flit_scratch_);
+        for (Flit& flit : flit_scratch_) {
             FRFC_ASSERT(flit.vc >= 0 && flit.vc < params_.numVcs,
                         "arriving flit with bad vc: ", flit.toString());
             InputVc& ivc = inVc(port, flit.vc);

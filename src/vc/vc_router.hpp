@@ -91,6 +91,36 @@ class VcRouter : public Clocked
 
     void tick(Cycle now) override;
 
+    /**
+     * Quiescence: any buffered flit keeps the router clocked every
+     * cycle (allocation retries draw from rng_). With empty input
+     * queues every future action begins with a channel arrival (flit
+     * or credit); the input channels are bound with lazy wakes, so the
+     * router tracks their earliest undelivered arrival itself.
+     */
+    Cycle
+    nextWake(Cycle now) const override
+    {
+        if (totalBufferedFlits() > 0)
+            return now + 1;
+        Cycle next = kInvalidCycle;
+        for (PortId port = 0; port < kNumPorts; ++port) {
+            const auto p = static_cast<std::size_t>(port);
+            for (const Cycle arrival :
+                 {data_in_[p] != nullptr
+                      ? data_in_[p]->nextArrivalAfter(now)
+                      : kInvalidCycle,
+                  credit_in_[p] != nullptr
+                      ? credit_in_[p]->nextArrivalAfter(now)
+                      : kInvalidCycle}) {
+                if (arrival != kInvalidCycle
+                    && (next == kInvalidCycle || arrival < next))
+                    next = arrival;
+            }
+        }
+        return next;
+    }
+
     /** Total data flits currently buffered at one input port (O(1):
      *  maintained incrementally by arrivals and departures). */
     int
@@ -144,6 +174,22 @@ class VcRouter : public Clocked
         int credits = 0;    ///< free downstream slots (per-VC mode)
     };
 
+    /** VC allocation candidate (input VC -> output VC). */
+    struct VcaRequest
+    {
+        PortId inPort;
+        VcId inVc;
+        PortId outPort;
+        VcId outVc;
+    };
+
+    /** Switch allocation candidate (a ready input VC head). */
+    struct SwRequest
+    {
+        PortId inPort;
+        VcId inVc;
+    };
+
     void drainCredits(Cycle now);
     void allocateVcs(Cycle now);
     void allocateSwitch(Cycle now);
@@ -161,6 +207,18 @@ class VcRouter : public Clocked
     std::vector<Channel<Flit>*> data_out_;
     std::vector<Channel<Credit>*> credit_in_;
     std::vector<Channel<Credit>*> credit_out_;
+
+    /** Scratch buffers for channel drains (see Channel::drainInto). */
+    std::vector<Flit> flit_scratch_;
+    std::vector<Credit> credit_scratch_;
+
+    /** Scratch state for the per-tick allocation phases — reused so the
+     *  hot path never touches the allocator. */
+    std::vector<VcaRequest> vca_requests_;
+    std::vector<VcId> free_vc_scratch_;
+    std::vector<std::uint8_t> vca_granted_;
+    std::vector<std::size_t> vca_group_;
+    std::vector<SwRequest> sw_requests_;
 
     /** Track an input-buffer occupancy change (per-flit hot path). */
     void

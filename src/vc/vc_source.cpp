@@ -38,7 +38,8 @@ VcSource::tick(Cycle now)
 {
     // Credits freed by the router become usable this cycle.
     if (credit_in_ != nullptr) {
-        for (const Credit& credit : credit_in_->drain(now)) {
+        credit_in_->drainInto(now, credit_scratch_);
+        for (const Credit& credit : credit_scratch_) {
             if (shared_pool_) {
                 ++pool_credits_;
                 FRFC_ASSERT(pool_credits_ <= num_vcs_ * vc_depth_,
@@ -53,6 +54,37 @@ VcSource::tick(Cycle now)
     }
     generate(now);
     inject(now);
+    // Idle from here on (empty queue means no VC-pick draws until the
+    // next birth): pre-scan the generator so nextWake can name the
+    // birth cycle and the source can sleep until it.
+    if (generating_ && !birth_pending_ && queue_.empty())
+        scanBirths(now + kGenLookahead);
+}
+
+Cycle
+VcSource::nextWake(Cycle now) const
+{
+    if (!queue_.empty())
+        return now + 1;
+    if (!generating_)
+        return kInvalidCycle;
+    return birth_pending_ ? birth_cycle_ : next_gen_cycle_;
+}
+
+void
+VcSource::scanBirths(Cycle limit)
+{
+    while (!birth_pending_ && next_gen_cycle_ <= limit) {
+        const auto pkt =
+            generator_->generate(next_gen_cycle_, node_, rng_);
+        if (pkt) {
+            birth_pending_ = true;
+            birth_cycle_ = next_gen_cycle_;
+            birth_dest_ = pkt->dest;
+            birth_length_ = pkt->length;
+        }
+        ++next_gen_cycle_;
+    }
 }
 
 void
@@ -60,13 +92,16 @@ VcSource::generate(Cycle now)
 {
     if (!generating_)
         return;
-    const auto pkt = generator_->generate(now, node_, rng_);
-    if (!pkt)
+    scanBirths(now);
+    if (!birth_pending_ || birth_cycle_ > now)
         return;
+    FRFC_ASSERT(birth_cycle_ == now, "source ", name(),
+                " slept through a packet birth at cycle ", birth_cycle_);
     const PacketId id =
-        registry_->create(node_, pkt->dest, pkt->length, now);
-    queue_.push_back(PendingPacket{id, pkt->dest, pkt->length, now});
+        registry_->create(node_, birth_dest_, birth_length_, now);
+    queue_.push_back(PendingPacket{id, birth_dest_, birth_length_, now});
     packets_generated_.inc();
+    birth_pending_ = false;
 }
 
 void

@@ -55,6 +55,15 @@ class VcSource : public Clocked
 
     void tick(Cycle now) override;
 
+    /**
+     * Quiescence: awake every cycle while packets wait to be injected.
+     * Otherwise the generator has been pre-scanned (one draw per cycle,
+     * stopping at the first birth), so the source sleeps until the
+     * birth cycle or until the scan window needs refilling; credits
+     * arriving mid-sleep re-wake it through the channel hook.
+     */
+    Cycle nextWake(Cycle now) const override;
+
     /** Packets generated but not yet fully injected. */
     int queueLength() const;
 
@@ -79,7 +88,11 @@ class VcSource : public Clocked
     };
 
     void generate(Cycle now);
+    void scanBirths(Cycle limit);
     void inject(Cycle now);
+
+    /** Cycles of generator lookahead scanned per idle wake. */
+    static constexpr Cycle kGenLookahead = 256;
 
     NodeId node_;
     PacketGenerator* generator_;
@@ -94,7 +107,15 @@ class VcSource : public Clocked
     Channel<Credit>* credit_in_ = nullptr;
 
     std::deque<PendingPacket> queue_;
+    std::vector<Credit> credit_scratch_;
     std::vector<int> credits_;  ///< per VC, or [0] = pool when shared
+
+    /** Generator lookahead; see FrSource for the draw-order argument. */
+    Cycle next_gen_cycle_ = 0;   ///< first cycle not yet drawn
+    bool birth_pending_ = false;
+    Cycle birth_cycle_ = 0;
+    NodeId birth_dest_ = 0;
+    int birth_length_ = 0;
     int pool_credits_ = 0;
     bool sending_ = false;      ///< head packet partially injected
     VcId current_vc_ = kInvalidVc;

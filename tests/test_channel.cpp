@@ -52,13 +52,15 @@ TEST(Channel, PipelinesBackToBack)
 
 TEST(ChannelDeath, WriterOverrunningReaderPanics)
 {
-    // A writer may not run more than latency+2 cycles ahead of the
-    // reader; the wheel catches the overrun instead of corrupting.
+    // A writer may not run a full slot-ring wrap ahead of the reader
+    // (ring size = latency+2 rounded up to a power of two, so 4 here);
+    // the wheel catches the overrun instead of corrupting.
     Channel<int> ch("test", 1);
     ch.push(0, 0);
     ch.push(1, 1);
     ch.push(2, 2);
-    EXPECT_DEATH(ch.push(3, 3), "undrained");
+    ch.push(3, 3);
+    EXPECT_DEATH(ch.push(4, 4), "undrained");
 }
 
 TEST(Channel, WidthAllowsMultiplePerCycle)

@@ -1,0 +1,349 @@
+/**
+ * @file
+ * Kernel tests: run/runUntil boundary semantics in both modes,
+ * wake-on-push, sleep/wake round trips, and stepped-vs-event
+ * bit-identical end-to-end runs (golden + randomized configs).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/config.hpp"
+#include "harness/presets.hpp"
+#include "network/runner.hpp"
+#include "sim/channel.hpp"
+#include "sim/clocked.hpp"
+#include "sim/kernel.hpp"
+
+namespace frfc {
+namespace {
+
+/** Ticks every cycle (default quiescence) and records tick times. */
+class Counter : public Clocked
+{
+  public:
+    Counter() : Clocked("counter") {}
+    void tick(Cycle now) override { ticks.push_back(now); }
+    std::vector<Cycle> ticks;
+};
+
+/** Sleeps immediately; only explicit wakes (or pushes) tick it. */
+class Sleeper : public Clocked
+{
+  public:
+    Sleeper() : Clocked("sleeper") {}
+    void tick(Cycle now) override { ticks.push_back(now); }
+    Cycle nextWake(Cycle /* now */) const override
+    {
+        return kInvalidCycle;
+    }
+    std::vector<Cycle> ticks;
+};
+
+/** Re-schedules itself every `period` cycles. */
+class Periodic : public Clocked
+{
+  public:
+    explicit Periodic(Cycle period) : Clocked("periodic"), period_(period)
+    {
+    }
+    void tick(Cycle now) override { ticks.push_back(now); }
+    Cycle nextWake(Cycle now) const override { return now + period_; }
+    std::vector<Cycle> ticks;
+
+  private:
+    Cycle period_;
+};
+
+/** Drains a channel; sleeps unless the channel wakes it. */
+class Receiver : public Clocked
+{
+  public:
+    explicit Receiver(Channel<int>* ch) : Clocked("receiver"), ch_(ch) {}
+    void tick(Cycle now) override
+    {
+        for (int v : ch_->drain(now))
+            received.emplace_back(now, v);
+    }
+    Cycle nextWake(Cycle /* now */) const override
+    {
+        return kInvalidCycle;
+    }
+    std::vector<std::pair<Cycle, int>> received;
+
+  private:
+    Channel<int>* ch_;
+};
+
+TEST(KernelEvent, ModeDefaultsToSteppedAndConfigDefaultsToEvent)
+{
+    Kernel kernel;
+    EXPECT_EQ(kernel.mode(), KernelMode::kStepped);
+
+    Config cfg;
+    EXPECT_EQ(kernelModeFromConfig(cfg), KernelMode::kEvent);
+    cfg.set("sim.kernel", "stepped");
+    EXPECT_EQ(kernelModeFromConfig(cfg), KernelMode::kStepped);
+    cfg.set("sim.kernel", "event");
+    EXPECT_EQ(kernelModeFromConfig(cfg), KernelMode::kEvent);
+}
+
+TEST(KernelEvent, RunsExactCycleCountForAlwaysAwakeComponent)
+{
+    Kernel kernel;
+    Counter counter;
+    kernel.setMode(KernelMode::kEvent);
+    kernel.add(&counter);
+    kernel.run(25);
+    EXPECT_EQ(kernel.now(), 25);
+    ASSERT_EQ(counter.ticks.size(), 25u);
+    EXPECT_EQ(counter.ticks.front(), 0);
+    EXPECT_EQ(counter.ticks.back(), 24);
+    EXPECT_EQ(kernel.ticksExecuted(), 25);
+    EXPECT_EQ(kernel.idleCyclesSkipped(), 0);
+}
+
+TEST(KernelEvent, FastForwardsAcrossIdleGaps)
+{
+    Kernel kernel;
+    Sleeper sleeper;
+    kernel.setMode(KernelMode::kEvent);
+    kernel.add(&sleeper);
+    kernel.run(1000);
+    EXPECT_EQ(kernel.now(), 1000);
+    ASSERT_EQ(sleeper.ticks.size(), 1u);  // the arming tick at cycle 0
+    EXPECT_EQ(kernel.ticksExecuted(), 1);
+    EXPECT_EQ(kernel.idleCyclesSkipped(), 999);
+}
+
+TEST(KernelEvent, PeriodicSelfSchedulingTicksOnSchedule)
+{
+    Kernel kernel;
+    Periodic periodic(7);
+    kernel.setMode(KernelMode::kEvent);
+    kernel.add(&periodic);
+    kernel.run(30);
+    const std::vector<Cycle> expect{0, 7, 14, 21, 28};
+    EXPECT_EQ(periodic.ticks, expect);
+    EXPECT_EQ(kernel.now(), 30);
+}
+
+TEST(KernelEvent, WakeBeyondWheelSpanStillFires)
+{
+    Kernel kernel;
+    Periodic periodic(5000);  // beyond the wheel span; overflow path
+    kernel.setMode(KernelMode::kEvent);
+    kernel.add(&periodic);
+    kernel.run(10001);
+    const std::vector<Cycle> expect{0, 5000, 10000};
+    EXPECT_EQ(periodic.ticks, expect);
+}
+
+TEST(KernelEvent, PushWakesBoundReceiverAtArrivalCycle)
+{
+    Kernel kernel;
+    Channel<int> ch("wire", 3);
+    Receiver receiver(&ch);
+    kernel.setMode(KernelMode::kEvent);
+    kernel.add(&receiver);
+    ch.bindSink(&kernel, &receiver);
+
+    kernel.run(5);  // receiver arms at 0, then sleeps
+    ASSERT_EQ(receiver.received.size(), 0u);
+    ch.push(kernel.now(), 42);  // pushed at 5, arrives at 8
+    kernel.run(20);
+    ASSERT_EQ(receiver.received.size(), 1u);
+    EXPECT_EQ(receiver.received[0].first, 8);
+    EXPECT_EQ(receiver.received[0].second, 42);
+    // Arming tick + the wake tick; everything else was skipped.
+    EXPECT_EQ(kernel.ticksExecuted(), 2);
+}
+
+TEST(KernelEvent, SleepWakeRoundTrip)
+{
+    Kernel kernel;
+    Sleeper sleeper;
+    kernel.setMode(KernelMode::kEvent);
+    kernel.add(&sleeper);
+    kernel.run(10);
+    ASSERT_EQ(sleeper.ticks.size(), 1u);
+
+    kernel.wake(&sleeper, kernel.now() + 32);
+    kernel.run(100);
+    ASSERT_EQ(sleeper.ticks.size(), 2u);
+    EXPECT_EQ(sleeper.ticks.back(), 42);
+    EXPECT_EQ(kernel.now(), 110);
+}
+
+TEST(KernelEvent, DuplicateWakesCollapseToOneTick)
+{
+    Kernel kernel;
+    Sleeper sleeper;
+    kernel.setMode(KernelMode::kEvent);
+    kernel.add(&sleeper);
+    kernel.run(1);
+    kernel.wake(&sleeper, 5);
+    kernel.wake(&sleeper, 5);
+    kernel.wake(&sleeper, 5);
+    kernel.run(10);
+    ASSERT_EQ(sleeper.ticks.size(), 2u);
+    EXPECT_EQ(sleeper.ticks.back(), 5);
+}
+
+TEST(KernelEvent, RunUntilStopsOnPredicateWithoutExtraCycles)
+{
+    Kernel kernel;
+    Counter counter;
+    kernel.setMode(KernelMode::kEvent);
+    kernel.add(&counter);
+    const bool fired = kernel.runUntil(
+        [&counter] { return counter.ticks.size() >= 10; }, 1000);
+    EXPECT_TRUE(fired);
+    EXPECT_EQ(counter.ticks.size(), 10u);
+    EXPECT_EQ(kernel.now(), 10);
+}
+
+TEST(KernelEvent, RunUntilRespectsBudgetAndFastForwards)
+{
+    Kernel kernel;
+    Sleeper sleeper;
+    kernel.setMode(KernelMode::kEvent);
+    kernel.add(&sleeper);
+    const bool fired = kernel.runUntil([] { return false; }, 50);
+    EXPECT_FALSE(fired);
+    EXPECT_EQ(kernel.now(), 50);
+    EXPECT_EQ(kernel.ticksExecuted(), 1);
+}
+
+TEST(KernelEvent, RunUntilWithInitiallyTruePredicateRunsNothing)
+{
+    Kernel kernel;
+    Counter counter;
+    kernel.setMode(KernelMode::kEvent);
+    kernel.add(&counter);
+    const bool fired = kernel.runUntil([] { return true; }, 100);
+    EXPECT_TRUE(fired);
+    EXPECT_EQ(kernel.now(), 0);
+    EXPECT_TRUE(counter.ticks.empty());
+}
+
+TEST(KernelEvent, SteppedModeMatchesEventModeTickForTick)
+{
+    Kernel stepped;
+    Kernel event;
+    Counter counter_s;
+    Counter counter_e;
+    Periodic periodic_s(3);
+    Periodic periodic_e(3);
+    stepped.add(&counter_s);
+    stepped.add(&periodic_s);
+    event.setMode(KernelMode::kEvent);
+    event.add(&counter_e);
+    event.add(&periodic_e);
+    stepped.run(50);
+    event.run(50);
+    EXPECT_EQ(counter_s.ticks, counter_e.ticks);
+    // Stepped ticks the periodic component every cycle (its tick is a
+    // no-op off-schedule in real components); the recorded times the
+    // event kernel kept must be the scheduled subset.
+    std::vector<Cycle> scheduled;
+    for (Cycle c = 0; c < 50; c += 3)
+        scheduled.push_back(c);
+    EXPECT_EQ(periodic_e.ticks, scheduled);
+}
+
+RunOptions
+fastOptions()
+{
+    RunOptions opt;
+    opt.samplePackets = 400;
+    opt.minWarmup = 500;
+    opt.maxWarmup = 2000;
+    opt.maxCycles = 80000;
+    return opt;
+}
+
+void
+expectModesBitIdentical(Config cfg, const RunOptions& opt)
+{
+    cfg.set("sim.kernel", "stepped");
+    const RunResult stepped = runExperiment(cfg, opt);
+    cfg.set("sim.kernel", "event");
+    const RunResult event = runExperiment(cfg, opt);
+    EXPECT_TRUE(stepped.bitIdentical(event))
+        << "stepped vs event diverged: latency " << stepped.avgLatency
+        << " vs " << event.avgLatency << ", cycles "
+        << stepped.totalCycles << " vs " << event.totalCycles
+        << ", delivered " << stepped.packetsDelivered << " vs "
+        << event.packetsDelivered;
+    EXPECT_EQ(stepped.totalCycles, event.totalCycles);
+    EXPECT_EQ(stepped.avgLatency, event.avgLatency);
+}
+
+TEST(KernelEquivalence, GoldenFrRunIsBitIdentical)
+{
+    Config cfg = baseConfig();
+    cfg.set("size_x", 4);
+    cfg.set("size_y", 4);
+    applyPreset(cfg, "fr6");
+    cfg.set("offered", 0.5);
+    cfg.set("seed", 12345);
+    expectModesBitIdentical(cfg, fastOptions());
+}
+
+TEST(KernelEquivalence, GoldenVcRunIsBitIdentical)
+{
+    Config cfg = baseConfig();
+    cfg.set("size_x", 4);
+    cfg.set("size_y", 4);
+    applyPreset(cfg, "vc8");
+    cfg.set("offered", 0.5);
+    cfg.set("seed", 12345);
+    expectModesBitIdentical(cfg, fastOptions());
+}
+
+/** Randomized-config property: equivalence across schemes and loads. */
+struct EquivPoint
+{
+    const char* preset;
+    double load;
+    int seed;
+    bool leading;
+    bool occupancy;
+};
+
+class KernelEquivalenceProperty
+    : public ::testing::TestWithParam<EquivPoint>
+{
+};
+
+TEST_P(KernelEquivalenceProperty, SteppedAndEventAgree)
+{
+    const EquivPoint p = GetParam();
+    Config cfg = baseConfig();
+    cfg.set("size_x", 4);
+    cfg.set("size_y", 4);
+    applyPreset(cfg, p.preset);
+    if (p.leading)
+        applyLeadingControl(cfg, 2);
+    cfg.set("offered", p.load);
+    cfg.set("seed", p.seed);
+    RunOptions opt = fastOptions();
+    opt.trackOccupancy = p.occupancy;
+    expectModesBitIdentical(cfg, opt);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KernelEquivalenceProperty,
+    ::testing::Values(
+        EquivPoint{"fr6", 0.05, 7, false, false},
+        EquivPoint{"fr6", 0.80, 11, false, true},
+        EquivPoint{"fr13", 0.45, 23, false, false},
+        EquivPoint{"fr6", 0.30, 31, true, false},
+        EquivPoint{"vc8", 0.05, 7, false, true},
+        EquivPoint{"vc8", 0.80, 11, false, false},
+        EquivPoint{"vc16", 0.45, 23, false, false}));
+
+}  // namespace
+}  // namespace frfc

@@ -8,6 +8,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <unistd.h>
 
 #include "common/config.hpp"
 #include "harness/presets.hpp"
@@ -21,7 +22,10 @@ namespace {
 std::string
 writeTempTrace(const std::string& body)
 {
-    const std::string path = ::testing::TempDir() + "frfc_trace_test.tr";
+    // Per-process name: ctest runs these cases concurrently, and a
+    // shared path lets one test overwrite another's trace mid-parse.
+    const std::string path = ::testing::TempDir() + "frfc_trace_test_"
+        + std::to_string(::getpid()) + ".tr";
     std::ofstream out(path);
     out << body;
     return path;
