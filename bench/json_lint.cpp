@@ -28,13 +28,13 @@ namespace {
 /**
  * Host- or mode-dependent keys that legitimately differ between two
  * otherwise bit-identical runs: wall-clock timings (and the speedup
- * ratios derived from them), the build stamp, and the kernel selector
- * itself.
+ * ratios derived from them), the build stamp, and the kernel and
+ * validation selectors themselves.
  */
 bool
 volatileKey(const std::string& key)
 {
-    if (key == "build" || key == "sim.kernel")
+    if (key == "build" || key == "sim.kernel" || key == "sim.validate")
         return true;
     if (key.rfind("out.", 0) == 0)  // report-emission plumbing
         return true;

@@ -1,0 +1,37 @@
+# CTest step: run the golden figure bench with the reservation-protocol
+# sanitizer off and at full paranoia, require both to succeed (a clean
+# paranoid run proves every invariant held on every cycle), and diff
+# the canonicalized reports byte-for-byte — validation must observe,
+# never perturb. Driven from CMakeLists.txt:
+#   cmake -DBENCH=... -DLINT=... -DOUTDIR=... -P validate_smoke.cmake
+foreach(level 0 2)
+    set(json ${OUTDIR}/validate_smoke_${level}.json)
+    execute_process(
+        COMMAND ${BENCH}
+            run.sample_packets=50 run.min_warmup=200 run.max_warmup=500
+            run.max_cycles=5000
+            sim.validate=${level}
+            out.format=json out.file=${json}
+        RESULT_VARIABLE bench_rc
+        OUTPUT_QUIET)
+    if(NOT bench_rc EQUAL 0)
+        message(FATAL_ERROR
+            "bench (sim.validate=${level}) exited with ${bench_rc}")
+    endif()
+    execute_process(
+        COMMAND ${LINT} --canonical ${json} ${json}.canon
+        RESULT_VARIABLE lint_rc)
+    if(NOT lint_rc EQUAL 0)
+        message(FATAL_ERROR "json_lint rejected ${json}")
+    endif()
+endforeach()
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+        ${OUTDIR}/validate_smoke_0.json.canon
+        ${OUTDIR}/validate_smoke_2.json.canon
+    RESULT_VARIABLE diff_rc)
+if(NOT diff_rc EQUAL 0)
+    message(FATAL_ERROR
+        "sim.validate=2 perturbed the simulation: reports differ "
+        "beyond volatile fields (see ${OUTDIR}/validate_smoke_*.canon)")
+endif()

@@ -7,6 +7,8 @@
 #   -o DIR   output directory (default: bench_out)
 #   -s       smoke mode: tiny samples so the whole sweep takes seconds
 #   --full   paper-scale runs (passed through to every bench)
+#   --validate [N]  run with the reservation-protocol sanitizer at
+#            sim.validate=N (default 1; 2 = paranoid per-cycle sweeps)
 #
 # Everything after `--` is forwarded verbatim to each bench, e.g.
 #   scripts/run_benches.sh -- run.threads=4 seed=7
@@ -24,6 +26,10 @@ while [ $# -gt 0 ]; do
         -o) out_dir=$2; shift 2 ;;
         -s) smoke=1; shift ;;
         --full) extra="$extra --full"; shift ;;
+        --validate)
+            level=1
+            case "${2:-}" in 0|1|2) level=$2; shift ;; esac
+            extra="$extra sim.validate=$level"; shift ;;
         --) shift; extra="$extra $*"; break ;;
         *) echo "unknown option '$1' (see header comment)" >&2; exit 2 ;;
     esac

@@ -1,0 +1,81 @@
+#!/bin/sh
+# Static-analysis and sanitizer gate for the FRFC simulator.
+#
+# Runs, in order:
+#   1. frfc-lint       repo-specific rules (tools/frfc_lint.py) — always
+#   2. clang-format    diff check against .clang-format — if installed
+#   3. clang-tidy      FRFC_TIDY=ON build of src/ — if installed
+#   4. asan+ubsan      full ctest under -fsanitize=address,undefined
+#   5. tsan            parallel-executor tests under -fsanitize=thread
+#
+# Tools that are not installed are reported as SKIP, not failure: the
+# gate must be runnable on minimal containers, and frfc-lint carries
+# the repo-specific rules that matter most. Sanitizer stages build
+# into their own directories so the primary build/ is untouched.
+#
+# usage: scripts/static_checks.sh [--quick]
+#   --quick   skip the sanitizer builds (stages 4 and 5)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+quick=0
+[ "${1:-}" = "--quick" ] && quick=1
+
+failures=0
+step() { printf '== %s\n' "$*"; }
+fail() { printf 'FAIL %s\n' "$*" >&2; failures=$((failures + 1)); }
+
+step "frfc-lint"
+python3 tools/frfc_lint.py || fail "frfc-lint"
+
+step "clang-format"
+if command -v clang-format > /dev/null 2>&1; then
+    unformatted=0
+    for f in $(find src tests bench examples tools \
+                   -name '*.cpp' -o -name '*.hpp' 2> /dev/null); do
+        if ! clang-format --dry-run -Werror "$f" > /dev/null 2>&1; then
+            echo "needs formatting: $f"
+            unformatted=$((unformatted + 1))
+        fi
+    done
+    [ "$unformatted" = 0 ] || fail "clang-format ($unformatted files)"
+else
+    echo "SKIP clang-format (not installed)"
+fi
+
+step "clang-tidy"
+if command -v clang-tidy > /dev/null 2>&1; then
+    cmake -B build-tidy -DFRFC_TIDY=ON \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null \
+        && cmake --build build-tidy --target frfc_sim -j "$(nproc)" \
+        || fail "clang-tidy"
+else
+    echo "SKIP clang-tidy (not installed)"
+fi
+
+if [ "$quick" = 1 ]; then
+    echo "SKIP sanitizers (--quick)"
+else
+    step "asan+ubsan ctest"
+    cmake -B build-asan -DFRFC_SANITIZE=address,undefined \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null \
+        && cmake --build build-asan -j "$(nproc)" > /dev/null \
+        && (cd build-asan && ctest --output-on-failure -j "$(nproc)") \
+        || fail "asan+ubsan"
+
+    step "tsan parallel tests"
+    cmake -B build-tsan -DFRFC_SANITIZE=thread \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null \
+        && cmake --build build-tsan -j "$(nproc)" > /dev/null \
+        && (cd build-tsan \
+            && ctest --output-on-failure -j "$(nproc)" \
+                     -R 'Parallel|Thread|Executor') \
+        || fail "tsan"
+fi
+
+if [ "$failures" -gt 0 ]; then
+    echo "static_checks: $failures stage(s) failed" >&2
+    exit 1
+fi
+echo "static_checks: all stages passed"

@@ -1,0 +1,101 @@
+#include "check/validator.hpp"
+
+#include "common/config.hpp"
+#include "common/log.hpp"
+
+namespace frfc {
+
+ValidateLevel
+validateLevelFromConfig(const Config& cfg)
+{
+    const auto raw = cfg.getInt("sim.validate", 0);
+    switch (raw) {
+      case 0:
+        return ValidateLevel::kOff;
+      case 1:
+        return ValidateLevel::kInvariants;
+      case 2:
+        return ValidateLevel::kParanoid;
+      default:
+        fatal("sim.validate must be 0, 1, or 2, got ", raw);
+    }
+}
+
+const char*
+validateLevelName(ValidateLevel level)
+{
+    switch (level) {
+      case ValidateLevel::kOff:
+        return "off";
+      case ValidateLevel::kInvariants:
+        return "invariants";
+      case ValidateLevel::kParanoid:
+        return "paranoid";
+    }
+    return "?";
+}
+
+std::string
+Diagnostic::toString() const
+{
+    std::string out = "[" + invariant + "] cycle "
+        + std::to_string(cycle) + " at " + component;
+    if (port != kInvalidPort)
+        out += " port " + std::to_string(port);
+    out += ": " + detail;
+    return out;
+}
+
+void
+Validator::report(Diagnostic diag)
+{
+    diagnostics_.push_back(std::move(diag));
+    const Diagnostic& d = diagnostics_.back();
+    if (fail_fast_)
+        panic("invariant violation ", d.toString());
+    warn("invariant violation ", d.toString());
+}
+
+void
+Validator::fail(const char* invariant, Cycle cycle, std::string component,
+                PortId port, std::string detail)
+{
+    Diagnostic d;
+    d.invariant = invariant;
+    d.cycle = cycle;
+    d.component = std::move(component);
+    d.port = port;
+    d.detail = std::move(detail);
+    report(std::move(d));
+}
+
+bool
+Validator::sawInvariant(const std::string& invariant) const
+{
+    for (const Diagnostic& d : diagnostics_) {
+        if (d.invariant == invariant)
+            return true;
+    }
+    return false;
+}
+
+int
+Validator::addCreditLink(std::string label)
+{
+    links_.push_back(LinkLedger{std::move(label), 0, 0});
+    return static_cast<int>(links_.size()) - 1;
+}
+
+void
+Validator::checkCreditLink(int link, std::int64_t in_flight, Cycle now)
+{
+    const LinkLedger& ledger = links_[static_cast<std::size_t>(link)];
+    if (ledger.sent - ledger.applied == in_flight)
+        return;
+    fail("credit.conservation", now, ledger.label, kInvalidPort,
+         "sent " + std::to_string(ledger.sent) + " - applied "
+             + std::to_string(ledger.applied) + " != in flight "
+             + std::to_string(in_flight));
+}
+
+}  // namespace frfc

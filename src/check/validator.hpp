@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Reservation-protocol sanitizer.
+ *
+ * Flit-reservation flow control steers headerless data flits purely by
+ * pre-computed reservation tables, so a double-booked output cycle, a
+ * leaked credit, or a misrouted data flit silently corrupts results
+ * instead of crashing. The Validator checks the protocol's conservation
+ * invariants mechanically: components report their state transitions
+ * through cheap hooks, networks run conservation sweeps, and any
+ * violation produces a structured diagnostic (invariant id, cycle,
+ * component, port) that fails fast by default.
+ *
+ * The subsystem is compiled in always and enabled per run through the
+ * `sim.validate` config key:
+ *   0  off (default) — hooks stay unwired, zero overhead
+ *   1  invariants    — per-event bookkeeping plus an end-of-run sweep
+ *   2  paranoid      — per-cycle sweeps plus kernel wake-contract
+ *                      shadow checks (unbounded cost, bit-identical
+ *                      results)
+ *
+ * See DESIGN.md section 9 for every invariant and its paper rationale.
+ */
+
+#ifndef FRFC_CHECK_VALIDATOR_HPP
+#define FRFC_CHECK_VALIDATOR_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace frfc {
+
+class Config;
+
+/** How much checking a run pays for (`sim.validate`). */
+enum class ValidateLevel
+{
+    kOff = 0,         ///< no checks, no overhead
+    kInvariants = 1,  ///< event hooks + end-of-run sweep
+    kParanoid = 2,    ///< per-cycle sweeps + wake-contract shadowing
+};
+
+/** Parse `sim.validate` (0 | 1 | 2, default 0). */
+ValidateLevel validateLevelFromConfig(const Config& cfg);
+
+/** Short name for reports ("off" / "invariants" / "paranoid"). */
+const char* validateLevelName(ValidateLevel level);
+
+/** A single invariant violation, locatable in time and space. */
+struct Diagnostic
+{
+    std::string invariant;  ///< stable id, e.g. "res.double-book"
+    Cycle cycle = kInvalidCycle;
+    std::string component;  ///< instance name ("router3", "sink", ...)
+    PortId port = kInvalidPort;  ///< kInvalidPort when not port-local
+    std::string detail;     ///< human-readable specifics
+
+    std::string toString() const;
+};
+
+/**
+ * Collects invariant diagnostics and keeps per-link credit ledgers.
+ *
+ * Owned by the network assembly (one per NetworkModel); components
+ * receive a borrowed pointer only when the run level is at least
+ * kInvariants, so a disabled run never pays even the null checks on
+ * hot paths that are skipped entirely at wiring time.
+ */
+class Validator
+{
+  public:
+    explicit Validator(ValidateLevel level = ValidateLevel::kOff)
+        : level_(level)
+    {
+    }
+
+    void setLevel(ValidateLevel level) { level_ = level; }
+    ValidateLevel level() const { return level_; }
+    bool enabled() const { return level_ != ValidateLevel::kOff; }
+    bool paranoid() const { return level_ == ValidateLevel::kParanoid; }
+
+    /**
+     * Fail fast (default): the first report() panics with the full
+     * diagnostic. Tests turn this off to assert that a specific
+     * invariant fires with the right diagnostic.
+     */
+    void setFailFast(bool on) { fail_fast_ = on; }
+    bool failFast() const { return fail_fast_; }
+
+    /** Record a violation; panics when failFast() is set. */
+    void report(Diagnostic diag);
+
+    /** Convenience wrapper building the Diagnostic in place. */
+    void fail(const char* invariant, Cycle cycle, std::string component,
+              PortId port, std::string detail);
+
+    bool clean() const { return diagnostics_.empty(); }
+    const std::vector<Diagnostic>& diagnostics() const
+    {
+        return diagnostics_;
+    }
+
+    /** True if any recorded diagnostic carries @p invariant. */
+    bool sawInvariant(const std::string& invariant) const;
+
+    /**
+     * @{ Credit-link ledger. The network registers one ledger per
+     * advance-credit wire; the downstream router counts every credit it
+     * sends (FrRouter::commitEntry), the upstream table owner counts
+     * every credit it applies, and checkCreditLink() asserts
+     *   sent - applied == credits still in flight on the wire,
+     * which catches credits lost, duplicated, or misrouted in transit.
+     */
+    int addCreditLink(std::string label);
+    void onCreditSent(int link)
+    {
+        ++links_[static_cast<std::size_t>(link)].sent;
+    }
+    void onCreditApplied(int link)
+    {
+        ++links_[static_cast<std::size_t>(link)].applied;
+    }
+    void checkCreditLink(int link, std::int64_t in_flight, Cycle now);
+    /** @} */
+
+  private:
+    struct LinkLedger
+    {
+        std::string label;
+        std::int64_t sent = 0;
+        std::int64_t applied = 0;
+    };
+
+    ValidateLevel level_;
+    bool fail_fast_ = true;
+    std::vector<Diagnostic> diagnostics_;
+    std::vector<LinkLedger> links_;
+};
+
+}  // namespace frfc
+
+#endif  // FRFC_CHECK_VALIDATOR_HPP

@@ -22,6 +22,8 @@ FrRouter::FrRouter(std::string name, NodeId node,
       ctrl_vcs_(static_cast<std::size_t>(kNumPorts) * params.ctrlVcs),
       ctrl_out_vcs_(static_cast<std::size_t>(kNumPorts) * params.ctrlVcs)
 {
+    credit_send_link_.fill(-1);
+    credit_apply_link_.fill(-1);
     for (auto& ovc : ctrl_out_vcs_)
         ovc.credits = params.ctrlVcDepth;
     const std::string prefix = "router." + std::to_string(node);
@@ -215,6 +217,72 @@ FrRouter::syncMetrics(Cycle now)
 }
 
 void
+FrRouter::setValidator(Validator* validator)
+{
+    validator_ = validator;
+    for (PortId port = 0; port < kNumPorts; ++port) {
+        const auto p = static_cast<std::size_t>(port);
+        out_tables_[p]->setValidator(validator, name(), port);
+        in_tables_[p]->setValidator(validator, name(), port);
+    }
+}
+
+void
+FrRouter::bindCreditLedger(PortId in, int link)
+{
+    credit_send_link_[static_cast<std::size_t>(in)] = link;
+}
+
+void
+FrRouter::bindCreditFeedback(PortId out, int link)
+{
+    credit_apply_link_[static_cast<std::size_t>(out)] = link;
+}
+
+void
+FrRouter::testDropNextAdvanceCredit(PortId in)
+{
+    drop_next_credit_[static_cast<std::size_t>(in)] = 1;
+}
+
+void
+FrRouter::auditInvariants(Cycle now) const
+{
+    for (const auto& table : out_tables_)
+        table->auditCreditConservation(now);
+    if (validator_ != nullptr && validator_->paranoid()) {
+        for (const auto& table : in_tables_)
+            table->auditOrphans(now);
+    }
+}
+
+std::uint64_t
+FrRouter::activityFingerprint() const
+{
+    std::uint64_t h = 0;
+    const auto mix = [&h](std::int64_t v) {
+        h = fingerprintMix(h, static_cast<std::uint64_t>(v));
+    };
+    mix(data_forwarded_.value());
+    mix(ctrl_forwarded_.value());
+    mix(ctrl_consumed_.value());
+    mix(sched_retries_.value());
+    mix(data_dropped_.value());
+    mix(advance_credits_.value());
+    mix(ctrl_buffered_);
+    for (PortId port = 0; port < kNumPorts; ++port) {
+        const auto p = static_cast<std::size_t>(port);
+        mix(in_tables_[p]->pool().usedCount());
+        mix(in_tables_[p]->parkedCount());
+        mix(out_tables_[p]->reservesTotal());
+        mix(out_tables_[p]->creditsTotal());
+    }
+    for (const CtrlOutVc& ovc : ctrl_out_vcs_)
+        mix(ovc.credits);
+    return h;
+}
+
+void
 FrRouter::controlArrivals(Cycle now)
 {
     // Control flits are enqueued after allocation, so a flit first
@@ -247,9 +315,12 @@ FrRouter::drainCredits(Cycle now)
         if (Channel<FrCredit>* ch =
                 fr_credit_in_[static_cast<std::size_t>(port)]) {
             ch->drainInto(now, fr_credit_scratch_);
-            for (const FrCredit& credit : fr_credit_scratch_)
-                out_tables_[static_cast<std::size_t>(port)]->credit(
-                    credit.freeFrom);
+            const auto p = static_cast<std::size_t>(port);
+            for (const FrCredit& credit : fr_credit_scratch_) {
+                if (validator_ != nullptr && credit_apply_link_[p] >= 0)
+                    validator_->onCreditApplied(credit_apply_link_[p]);
+                out_tables_[p]->credit(credit.freeFrom);
+            }
         }
         if (Channel<Credit>* ch =
                 ctrl_credit_in_[static_cast<std::size_t>(port)]) {
@@ -537,7 +608,13 @@ FrRouter::commitEntry(Cycle now, PortId in, PortId out,
     // cycle (plus one guard cycle on plesiochronous links, Section 5).
     if (Channel<FrCredit>* cr =
             fr_credit_out_[static_cast<std::size_t>(in)]) {
-        cr->push(now, FrCredit{depart + params_.creditSlack});
+        const auto p = static_cast<std::size_t>(in);
+        if (validator_ != nullptr && credit_send_link_[p] >= 0)
+            validator_->onCreditSent(credit_send_link_[p]);
+        if (drop_next_credit_[p] != 0)
+            drop_next_credit_[p] = 0;  // lost on the wire (fault hook)
+        else
+            cr->push(now, FrCredit{depart + params_.creditSlack});
         advance_credits_.inc();
     }
 

@@ -126,6 +126,50 @@ class FrRouter : public Clocked
      */
     void syncMetrics(Cycle now);
 
+    /**
+     * Attach the run's validator. Propagates to every reservation
+     * table (double-book / overflow / oversubscription checks) and
+     * arms the advance-credit ledger hooks bound below.
+     */
+    void setValidator(Validator* validator);
+
+    /**
+     * Ledger id for the advance credits this router SENDS upstream
+     * through input @p in (pushed by commitEntry). The upstream end of
+     * the same link registers the matching bindCreditFeedback().
+     */
+    void bindCreditLedger(PortId in, int link);
+
+    /**
+     * Ledger id for the advance credits this router APPLIES from its
+     * downstream neighbour on output @p out (drained from
+     * fr_credit_in_ into that output's reservation table).
+     */
+    void bindCreditFeedback(PortId out, int link);
+
+    /**
+     * Fault injection (tests only): silently lose the next advance
+     * credit that would be sent upstream through input @p in. The
+     * ledger still counts it as sent — modeling a credit corrupted on
+     * the wire — so the credit.conservation sweep must flag the link.
+     */
+    void testDropNextAdvanceCredit(PortId in);
+
+    /**
+     * Per-router invariant sweep: credit conservation on every output
+     * table, plus the parked-flit orphan scan in paranoid mode.
+     */
+    void auditInvariants(Cycle now) const;
+
+    /**
+     * Externally visible effects only — forwarded/consumed/dropped
+     * counters, buffered control flits, pool occupancy, reservation
+     * and credit totals, control credits. Window positions and
+     * scan caches are deliberately excluded: they move during
+     * conforming no-op ticks (see Clocked::activityFingerprint).
+     */
+    std::uint64_t activityFingerprint() const override;
+
     /** @{ Statistics and inspection. */
     const InputReservationTable& inputTable(PortId port) const;
     const OutputReservationTable& outputTable(PortId port) const;
@@ -211,6 +255,14 @@ class FrRouter : public Clocked
     const RoutingFunction& routing_;
     FrParams params_;
     Rng rng_;
+
+    /** Sanitizer context (see setValidator); null when disabled. */
+    Validator* validator_ = nullptr;
+    /** Ledger ids per port; -1 = link not tracked. */
+    std::array<int, kNumPorts> credit_send_link_{};
+    std::array<int, kNumPorts> credit_apply_link_{};
+    /** Fault-injection flags (testDropNextAdvanceCredit). */
+    std::array<std::uint8_t, kNumPorts> drop_next_credit_{};
 
     std::vector<Channel<ControlFlit>*> ctrl_in_;
     std::vector<Channel<ControlFlit>*> ctrl_out_;

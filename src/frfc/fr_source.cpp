@@ -37,13 +37,43 @@ FrSource::queueLength() const
 }
 
 void
+FrSource::setValidator(Validator* validator)
+{
+    validator_ = validator;
+    ort_.setValidator(validator, name(), kLocal);
+}
+
+std::uint64_t
+FrSource::activityFingerprint() const
+{
+    std::uint64_t h = 0;
+    const auto mix = [&h](std::int64_t v) {
+        h = fingerprintMix(h, static_cast<std::uint64_t>(v));
+    };
+    mix(packets_generated_.value());
+    mix(flits_injected_.value());
+    mix(static_cast<std::int64_t>(queue_.size()));
+    mix(active_ ? 1 : 0);
+    mix(static_cast<std::int64_t>(next_ctrl_));
+    mix(static_cast<std::int64_t>(pending_data_.size()));
+    mix(ort_.reservesTotal());
+    mix(ort_.creditsTotal());
+    for (const int credits : ctrl_credits_)
+        mix(credits);
+    return h;
+}
+
+void
 FrSource::tick(Cycle now)
 {
     ort_.advance(now);
     if (fr_credit_in_ != nullptr) {
         fr_credit_in_->drainInto(now, fr_credit_scratch_);
-        for (const FrCredit& credit : fr_credit_scratch_)
+        for (const FrCredit& credit : fr_credit_scratch_) {
+            if (validator_ != nullptr && credit_apply_link_ >= 0)
+                validator_->onCreditApplied(credit_apply_link_);
             ort_.credit(credit.freeFrom);
+        }
     }
     if (ctrl_credit_in_ != nullptr) {
         ctrl_credit_in_->drainInto(now, ctrl_credit_scratch_);

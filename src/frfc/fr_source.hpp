@@ -80,6 +80,30 @@ class FrSource : public Clocked
     std::int64_t flitsInjected() const { return flits_injected_.value(); }
     /** @} */
 
+    /** Attach the run's validator (propagates to the injection table). */
+    void setValidator(Validator* validator);
+
+    /**
+     * Ledger id for the advance credits this source APPLIES from its
+     * local router (the router's kLocal input sends them).
+     */
+    void bindCreditFeedback(int link) { credit_apply_link_ = link; }
+
+    /** Credit conservation on the injection reservation table. */
+    void
+    auditInvariants(Cycle now) const
+    {
+        ort_.auditCreditConservation(now);
+    }
+
+    /**
+     * Externally visible effects only: injection counters, queue and
+     * in-flight state, reservation/credit totals, control credits.
+     * Generator lookahead (next_gen_cycle_, birth_*) is excluded — it
+     * legally advances during conforming no-op ticks.
+     */
+    std::uint64_t activityFingerprint() const override;
+
   private:
     struct PendingPacket
     {
@@ -112,6 +136,9 @@ class FrSource : public Clocked
     Channel<Credit>* ctrl_credit_in_ = nullptr;
 
     OutputReservationTable ort_;  ///< injection link + router pool
+    /** Sanitizer context; -1 link = advance credits not tracked. */
+    Validator* validator_ = nullptr;
+    int credit_apply_link_ = -1;
     std::vector<int> ctrl_credits_;
     std::vector<FrCredit> fr_credit_scratch_;
     std::vector<Credit> ctrl_credit_scratch_;

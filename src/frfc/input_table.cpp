@@ -79,8 +79,22 @@ InputReservationTable::recordReservation(Cycle now, Cycle arrival,
         dslot.count = 0;
         ++live_rows_;
     }
-    FRFC_ASSERT(dslot.count < speedup_,
-                "departure slot ", depart, " over-subscribed");
+    if (dslot.count >= speedup_) {
+        // More departures in one cycle than the buffer has read ports:
+        // the extra flit would be silently dropped or delayed. Refuse
+        // the reservation so the table stays consistent when the
+        // validator is collecting rather than failing fast.
+        if (validator_ != nullptr) {
+            validator_->fail("res.slot-oversubscribed", now, owner_,
+                             port_,
+                             "departure slot "
+                                 + std::to_string(depart) + " exceeds "
+                                 + "speedup "
+                                 + std::to_string(speedup_));
+            return;
+        }
+        panic("departure slot ", depart, " over-subscribed");
+    }
     DepartEntry& entry =
         dslot.entries[static_cast<std::size_t>(dslot.count++)];
     entry.out = out;
@@ -106,8 +120,23 @@ InputReservationTable::recordReservation(Cycle now, Cycle arrival,
                 "reservation for past arrival ", arrival,
                 " with no parked flit");
     ArrivalSlot& aslot = arrivals_[index(arrival)];
-    FRFC_ASSERT(aslot.cycle != arrival,
-                "second reservation for arrival cycle ", arrival);
+    if (aslot.cycle == arrival) {
+        // Two control flits claiming the same arrival cycle would make
+        // the headerless data flit's steering ambiguous. Undo the
+        // departure entry taken above so nothing dangles.
+        if (validator_ != nullptr) {
+            validator_->fail("res.double-book", now, owner_, port_,
+                             "arrival cycle " + std::to_string(arrival)
+                                 + " already has a reservation row");
+            --dslot.count;
+            if (dslot.count == 0) {
+                dslot.cycle = kInvalidCycle;
+                --live_rows_;
+            }
+            return;
+        }
+        panic("second reservation for arrival cycle ", arrival);
+    }
     aslot.cycle = arrival;
     aslot.depart = depart;
     aslot.out = out;
@@ -118,9 +147,22 @@ void
 InputReservationTable::acceptFlit(Cycle now, const Flit& flit)
 {
     const BufferId buffer = pool_.allocate();
-    FRFC_ASSERT(buffer != kInvalidBuffer,
-                "input pool exhausted — reservation accounting broken (",
-                flit.toString(), ")");
+    if (buffer == kInvalidBuffer) {
+        // Scheduling-time admission guaranteed a buffer for every flit
+        // the upstream put on the wire; running dry means a data flit
+        // arrived that no live reservation accounted for. Drop it here
+        // (losing the flit, which conservation will also flag) rather
+        // than corrupt the pool.
+        if (validator_ != nullptr) {
+            validator_->fail("data.unreserved-arrival", now, owner_,
+                             port_,
+                             "pool exhausted accepting "
+                                 + flit.toString());
+            return;
+        }
+        panic("input pool exhausted — reservation accounting broken (",
+              flit.toString(), ")");
+    }
     pool_.write(buffer, flit);
     noteOccupancy(now);
 
@@ -151,6 +193,30 @@ InputReservationTable::acceptFlit(Cycle now, const Flit& flit)
         bypasses_.inc();
     aslot.cycle = kInvalidCycle;
     --live_rows_;
+}
+
+void
+InputReservationTable::auditOrphans(Cycle now) const
+{
+    if (validator_ == nullptr || parked_.empty())
+        return;
+    // A parked flit waits for its control flit to clear the control
+    // network and win a departure slot, and near saturation both can
+    // take many window lengths — only an age no plausible congestion
+    // produces marks the steering as corrupted. The bound is a
+    // heuristic tripwire, deliberately far above the worst legitimate
+    // parking time observed in the paper's saturated sweeps.
+    const Cycle limit =
+        std::max<Cycle>(static_cast<Cycle>(64 * horizon_), 4096);
+    for (const auto& [arrival, buffer] : parked_) {
+        if (now - arrival <= limit)
+            continue;
+        validator_->fail(
+            "data.orphan", now, owner_, port_,
+            "flit parked since cycle " + std::to_string(arrival)
+                + " (buffer " + std::to_string(buffer)
+                + ") outlived any plausible control-plane delay");
+    }
 }
 
 void

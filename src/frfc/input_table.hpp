@@ -24,6 +24,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "check/validator.hpp"
 #include "common/types.hpp"
 #include "proto/buffer_pool.hpp"
 #include "proto/flit.hpp"
@@ -111,6 +112,30 @@ class InputReservationTable
     /** True if an unscheduled flit that arrived at @p t is parked. */
     bool parkedAt(Cycle t) const { return parked_.count(t) > 0; }
 
+    /**
+     * Attach the run's validator: protocol violations (over-subscribed
+     * departure slots, double-booked arrival rows, pool exhaustion on
+     * arrival) then produce structured diagnostics — and, when the
+     * validator is not failing fast, leave the table uncorrupted —
+     * instead of panicking outright.
+     */
+    void
+    setValidator(Validator* validator, std::string owner, PortId port)
+    {
+        validator_ = validator;
+        owner_ = std::move(owner);
+        port_ = port;
+    }
+
+    /**
+     * Paranoid orphan scan: a headerless data flit parked more than
+     * 4 x horizon cycles can no longer be claimed by any in-flight
+     * control flit (reservations reach at most one horizon ahead) — it
+     * is steering state that leaked. Reports `data.orphan` per stuck
+     * flit.
+     */
+    void auditOrphans(Cycle now) const;
+
     /** @{ Statistics. */
     const BufferPool& pool() const { return pool_; }
     int parkedCount() const { return static_cast<int>(parked_.size()); }
@@ -173,6 +198,10 @@ class InputReservationTable
     }
 
     bool fault_tolerant_ = false;
+    /** Sanitizer context; checks are skipped while null. */
+    Validator* validator_ = nullptr;
+    std::string owner_;
+    PortId port_ = kInvalidPort;
     /** Instruments live here (cache-resident with the table state);
      *  registerMetrics() attaches them to a registry for snapshots. */
     Counter bypasses_;

@@ -63,9 +63,23 @@ OutputReservationTable::reserve(Cycle depart)
     FRFC_ASSERT(depart <= windowEnd() - (infinite_ ? 0 : link_latency_),
                 "departure too far in the future");
     std::uint8_t& busy = busy_[index(depart)];
-    FRFC_ASSERT(!busy, "double reservation of cycle ", depart);
+    if (busy) {
+        // A double-booked output cycle would send two headerless data
+        // flits onto one wire in the same cycle — the silent-corruption
+        // case the sanitizer exists for. Leave the table intact so a
+        // non-fail-fast run stays analyzable past the report.
+        if (validator_ != nullptr) {
+            validator_->fail("res.double-book", window_start_, owner_,
+                             port_,
+                             "cycle " + std::to_string(depart)
+                                 + " reserved twice");
+            return;
+        }
+        panic("double reservation of cycle ", depart);
+    }
     busy = 1;
     ++reserved_;
+    ++reserves_total_;
     if (depart < busy_hint_)
         busy_hint_ = depart;
     // The committing tick runs with window_start_ == now; a per-cycle
@@ -99,6 +113,26 @@ OutputReservationTable::credit(Cycle free_from)
     const Cycle from = std::max(free_from, window_start_);
     FRFC_ASSERT(from <= windowEnd(),
                 "credit for cycle ", free_from, " beyond horizon");
+    // A credit that would raise any slot above the pool capacity is a
+    // duplicated or misrouted credit: report it (once) and refuse the
+    // whole application so the table stays consistent.
+    if (validator_ != nullptr) {
+        std::size_t probe = index(from);
+        for (Cycle t = from; t <= windowEnd(); ++t) {
+            if (free_[probe] >= buffers_) {
+                validator_->fail(
+                    "credit.overflow", window_start_, owner_, port_,
+                    "credit from cycle " + std::to_string(free_from)
+                        + " exceeds capacity "
+                        + std::to_string(buffers_) + " at cycle "
+                        + std::to_string(t));
+                return;
+            }
+            if (++probe == static_cast<std::size_t>(horizon_))
+                probe = 0;
+        }
+    }
+    ++credits_total_;
     std::size_t i = index(from);
     const std::size_t count =
         static_cast<std::size_t>(windowEnd() - from + 1);
@@ -112,6 +146,29 @@ OutputReservationTable::credit(Cycle free_from)
             i = 0;
     }
     refreshSuffixBefore(from - 1);
+}
+
+void
+OutputReservationTable::auditCreditConservation(Cycle now) const
+{
+    if (infinite_ || validator_ == nullptr)
+        return;
+    // Every reserve() subtracts one buffer from the window's last slot
+    // and every accepted credit() adds one back; window slides copy
+    // the last slot forward, so the identity holds at every instant.
+    const std::int64_t outstanding = reserves_total_ - credits_total_;
+    const int at_end = free_[index(windowEnd())];
+    if (static_cast<std::int64_t>(buffers_) - outstanding
+        == static_cast<std::int64_t>(at_end)) {
+        return;
+    }
+    validator_->fail(
+        "credit.conservation", now, owner_, port_,
+        "free at horizon end " + std::to_string(at_end)
+            + " != capacity " + std::to_string(buffers_)
+            + " - outstanding " + std::to_string(outstanding) + " ("
+            + std::to_string(reserves_total_) + " reserved, "
+            + std::to_string(credits_total_) + " credited)");
 }
 
 void

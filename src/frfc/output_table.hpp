@@ -25,8 +25,11 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <string>
+#include <utility>
 #include <vector>
 
+#include "check/validator.hpp"
 #include "common/log.hpp"
 #include "common/types.hpp"
 #include "stats/time_average.hpp"
@@ -115,6 +118,37 @@ class OutputReservationTable
      * @p free_from onward (clamped into the window).
      */
     void credit(Cycle free_from);
+
+    /**
+     * Attach the run's validator: protocol violations (double-booked
+     * cycles, credit overflow) then produce structured diagnostics —
+     * and, when the validator is not failing fast, leave the table
+     * uncorrupted — instead of panicking outright. @p node / @p port
+     * locate this table in the diagnostics.
+     */
+    void
+    setValidator(Validator* validator, std::string owner, PortId port)
+    {
+        validator_ = validator;
+        owner_ = std::move(owner);
+        port_ = port;
+    }
+
+    /**
+     * Credit-conservation audit: every reserve() takes one downstream
+     * buffer from the window's last slot and every credit() returns
+     * one, so at all times
+     *   free at windowEnd() == capacity - (reserves - credits),
+     * i.e. credits outstanding plus free buffers equals the pool size
+     * (the Backpressure-style conservation argument). Reports
+     * `credit.conservation` on mismatch; no-op on infinite tables.
+     */
+    void auditCreditConservation(Cycle now) const;
+
+    /** @{ Lifetime reserve()/credit() totals (conservation audits). */
+    std::int64_t reservesTotal() const { return reserves_total_; }
+    std::int64_t creditsTotal() const { return credits_total_; }
+    /** @} */
 
     /**
      * True if no departure at or after @p min_depart can fit in the
@@ -213,6 +247,14 @@ class OutputReservationTable
     int buffers_;
     Cycle link_latency_;
     bool infinite_;
+    /** Sanitizer context; checks are skipped while null. The pointer
+     *  is shared, so the scratch copies made by all-or-nothing
+     *  scheduling keep reporting against the same validator. */
+    Validator* validator_ = nullptr;
+    std::string owner_;
+    PortId port_ = kInvalidPort;
+    std::int64_t reserves_total_ = 0;
+    std::int64_t credits_total_ = 0;
     Cycle window_start_ = 0;
     int reserved_ = 0;  ///< busy slots in the window (metrics)
     /** Lower bound on the earliest busy cycle (nextBusyCycleAfter). */

@@ -15,9 +15,17 @@ EjectionSink::EjectionSink(std::string name, PacketRegistry* registry,
 void
 EjectionSink::tick(Cycle now)
 {
-    for (Channel<Flit>* ch : channels_) {
-        ch->drainInto(now, drain_scratch_);
+    for (std::size_t node = 0; node < channels_.size(); ++node) {
+        channels_[node]->drainInto(now, drain_scratch_);
         for (const Flit& flit : drain_scratch_) {
+            if (validator_ != nullptr
+                && flit.dest != static_cast<NodeId>(node)) {
+                validator_->fail(
+                    "sink.misroute", now, name(),
+                    static_cast<PortId>(node),
+                    flit.toString() + " ejected at node "
+                        + std::to_string(node));
+            }
             registry_->deliverFlit(now, flit);
             flits_ejected_.inc();
         }

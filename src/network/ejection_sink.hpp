@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "check/validator.hpp"
 #include "proto/flit.hpp"
 #include "sim/channel.hpp"
 #include "sim/clocked.hpp"
@@ -47,8 +48,25 @@ class EjectionSink : public Clocked
     /** Flits delivered to destinations since construction. */
     std::int64_t flitsEjected() const { return flits_ejected_.value(); }
 
+    /**
+     * Attach the run's validator. Channels must then be added in node
+     * order (channel index == destination node) so every ejected flit
+     * can be checked against its header's destination (sink.misroute —
+     * the end-to-end symptom of corrupted data-flit steering).
+     */
+    void setValidator(Validator* validator) { validator_ = validator; }
+
+    /** Delivered-flit count is the sink's only external effect. */
+    std::uint64_t
+    activityFingerprint() const override
+    {
+        return fingerprintMix(
+            0, static_cast<std::uint64_t>(flits_ejected_.value()));
+    }
+
   private:
     PacketRegistry* registry_;
+    Validator* validator_ = nullptr;
     std::vector<Channel<Flit>*> channels_;
     std::vector<Flit> drain_scratch_;
 

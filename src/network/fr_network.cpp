@@ -62,6 +62,9 @@ FrNetwork::FrNetwork(const Config& cfg)
 
     const int n = topo_->numNodes();
     kernel_.setMode(kernelModeFromConfig(cfg));
+    validator_.setLevel(validateLevelFromConfig(cfg));
+    if (validator_.enabled())
+        kernel_.setValidator(&validator_);
     middle_node_ = topo_->nodeAt(topo_->sizeX() / 2, topo_->sizeY() / 2);
     sink_ = std::make_unique<EjectionSink>("sink", &registry_, &metrics_);
 
@@ -77,7 +80,13 @@ FrNetwork::FrNetwork(const Config& cfg)
             &registry_, params_,
             Rng(seed, 0x2000 + static_cast<std::uint64_t>(node)),
             &metrics_));
+        if (validator_.enabled()) {
+            routers_.back()->setValidator(&validator_);
+            sources_.back()->setValidator(&validator_);
+        }
     }
+    if (validator_.enabled())
+        sink_->setValidator(&validator_);
 
     const int credit_width =
         params_.ctrlWidth * params_.flitsPerControl;
@@ -133,6 +142,15 @@ FrNetwork::FrNetwork(const Config& cfg)
             routers_[node]->connectFrCreditIn(port, frc);
             frc->bindSink(&kernel_, routers_[node].get(),
                           /*lazy_wake=*/true);
+            if (validator_.enabled()) {
+                // Ledger for this wire: peer sends (commitEntry for
+                // data arriving on its `rev` input), node applies into
+                // its `port` output table.
+                const int link = validator_.addCreditLink("frc:" + tag);
+                routers_[peer]->bindCreditLedger(rev, link);
+                routers_[node]->bindCreditFeedback(port, link);
+                credit_links_.push_back(CreditLinkRec{link, frc});
+            }
 
             Channel<Credit>* ctc =
                 ctrl_credit_ch("ctc:" + tag, params_.ctrlLinkLatency);
@@ -164,6 +182,12 @@ FrNetwork::FrNetwork(const Config& cfg)
         routers_[node]->connectFrCreditOut(kLocal, inj_frc);
         sources_[node]->connectFrCreditIn(inj_frc);
         inj_frc->bindSink(&kernel_, sources_[node].get());
+        if (validator_.enabled()) {
+            const int link = validator_.addCreditLink("injfrc:" + tag);
+            routers_[node]->bindCreditLedger(kLocal, link);
+            sources_[node]->bindCreditFeedback(link);
+            credit_links_.push_back(CreditLinkRec{link, inj_frc});
+        }
 
         Channel<Credit>* inj_ctc = ctrl_credit_ch("injctc:" + tag, 1);
         routers_[node]->connectCtrlCreditOut(kLocal, inj_ctc);
@@ -190,6 +214,8 @@ FrNetwork::FrNetwork(const Config& cfg)
 void
 FrNetwork::Probe::tick(Cycle now)
 {
+    if (net_.validator_.paranoid())
+        net_.validateState(now);
     if (!net_.sampling_)
         return;
     // The paper tracks "a specific buffer pool of a router in the
@@ -289,6 +315,45 @@ FrNetwork::totalParked() const
             total += router->inputTable(port).parkedTotal();
     }
     return total;
+}
+
+void
+FrNetwork::validateState(Cycle now)
+{
+    if (!validator_.enabled())
+        return;
+    // Data-flit conservation: every flit a source put on a wire is
+    // delivered, held in an input buffer pool (parked flits included —
+    // they own pool buffers), in flight on a data channel, or was
+    // discarded by fault injection. Probe runs after routers and sink
+    // in registration order, so the snapshot is consistent.
+    std::int64_t injected = 0;
+    for (const auto& source : sources_)
+        injected += source->flitsInjected();
+    std::int64_t accounted = sink_->flitsEjected();
+    for (const auto& router : routers_) {
+        accounted += router->dataFlitsDropped();
+        for (PortId port = 0; port < kNumPorts; ++port)
+            accounted += router->inputTable(port).pool().usedCount();
+    }
+    for (const auto& ch : flit_channels_)
+        accounted += ch->pendingCount();
+    if (injected != accounted) {
+        validator_.fail(
+            "flit.conservation", now, "fr_network", kInvalidPort,
+            std::to_string(injected) + " data flits injected but "
+                + std::to_string(accounted)
+                + " accounted for (delivered + pooled + in flight"
+                + " + dropped)");
+    }
+    // Advance-credit ledgers: sent == applied + in flight, per wire.
+    for (const CreditLinkRec& rec : credit_links_)
+        validator_.checkCreditLink(rec.link, rec.channel->pendingCount(),
+                                   now);
+    for (const auto& router : routers_)
+        router->auditInvariants(now);
+    for (const auto& source : sources_)
+        source->auditInvariants(now);
 }
 
 }  // namespace frfc

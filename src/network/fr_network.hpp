@@ -93,6 +93,16 @@ class FrNetwork : public NetworkModel
     FrSource& source(NodeId node) { return *sources_[node]; }
     const FrParams& params() const { return params_; }
 
+    /**
+     * Whole-network invariant sweep (see NetworkModel::validateState):
+     * data-flit conservation (injected == delivered + pooled +
+     * in flight + dropped), every advance-credit link ledger against
+     * its wire, per-table credit conservation, and — in paranoid mode —
+     * the parked-flit orphan scan. Pure observation; never perturbs
+     * simulation state.
+     */
+    void validateState(Cycle now) override;
+
   private:
     class Probe : public Clocked
     {
@@ -100,11 +110,16 @@ class FrNetwork : public NetworkModel
         Probe(FrNetwork& net) : Clocked("probe"), net_(net) {}
         void tick(Cycle now) override;
 
-        /** Samples every cycle while enabled; otherwise inert.
+        /** Samples every cycle while enabled; otherwise inert. A
+         *  paranoid validator also keeps it hot so the per-cycle sweep
+         *  (and the kernel's shadow audit) covers every cycle, even
+         *  ones the event kernel would otherwise skip.
          *  startOccupancySampling() wakes it explicitly. */
         Cycle nextWake(Cycle now) const override
         {
-            return net_.sampling_ ? now + 1 : kInvalidCycle;
+            return net_.sampling_ || net_.validator_.paranoid()
+                ? now + 1
+                : kInvalidCycle;
         }
 
       private:
@@ -127,6 +142,15 @@ class FrNetwork : public NetworkModel
     std::vector<std::unique_ptr<Channel<ControlFlit>>> ctrl_channels_;
     std::vector<std::unique_ptr<Channel<FrCredit>>> fr_credit_channels_;
     std::vector<std::unique_ptr<Channel<Credit>>> ctrl_credit_channels_;
+
+    /** One ledger entry per advance-credit wire: the validator link id
+     *  and the channel whose in-flight credits close the equation. */
+    struct CreditLinkRec
+    {
+        int link;
+        Channel<FrCredit>* channel;
+    };
+    std::vector<CreditLinkRec> credit_links_;
 
     NodeId middle_node_ = 0;
     bool sampling_ = false;

@@ -12,6 +12,7 @@
 #include <memory>
 #include <string>
 
+#include "check/validator.hpp"
 #include "common/config.hpp"
 #include "common/types.hpp"
 #include "proto/packet_registry.hpp"
@@ -77,10 +78,25 @@ class NetworkModel
     virtual std::int64_t flitsForwarded(NodeId node,
                                         PortId port) const = 0;
 
+    /** Reservation-protocol sanitizer (sim.validate); see
+     *  src/check/validator.hpp and DESIGN.md section 9. */
+    Validator& validator() { return validator_; }
+    const Validator& validator() const { return validator_; }
+
+    /**
+     * Whole-network invariant sweep at cycle @p now: flit conservation,
+     * per-link credit ledgers, per-table conservation audits, orphan
+     * scans. No-op unless the subclass wires its components up (and
+     * sim.validate enables the sanitizer). Must not perturb simulation
+     * state: a validated run stays bit-identical to an unvalidated one.
+     */
+    virtual void validateState(Cycle /* now */) {}
+
   protected:
     Kernel kernel_;
     PacketRegistry registry_;
     MetricRegistry metrics_;
+    Validator validator_;
 };
 
 /**

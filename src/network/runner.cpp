@@ -120,6 +120,11 @@ runMeasurement(NetworkModel& net, const RunOptions& opt)
         opt.maxCycles - kernel.now());
 
     const Cycle end = kernel.now();
+    // End-of-run sanitizer sweep (sim.validate >= 1): conservation
+    // invariants must hold at every quiescent point, so check them at
+    // least once per run even when the paranoid per-cycle probe is off.
+    if (net.validator().enabled())
+        net.validateState(end);
     const double cycles =
         static_cast<double>(end - measure_start);
     const double nodes = static_cast<double>(net.topology().numNodes());

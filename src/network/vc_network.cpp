@@ -39,7 +39,7 @@ VcNetwork::VcNetwork(const Config& cfg)
     const Cycle data_lat = cfg.getInt("data_link_latency", 4);
     const Cycle credit_lat = cfg.getInt("credit_link_latency", 1);
 
-    VcRouterParams params;
+    VcRouterParams& params = params_;
     params.numVcs = static_cast<int>(cfg.getInt("num_vcs", 2));
     params.vcDepth = static_cast<int>(cfg.getInt("vc_depth", 4));
     params.sharedPool = cfg.getBool("shared_pool", false);
@@ -64,8 +64,13 @@ VcNetwork::VcNetwork(const Config& cfg)
 
     const int n = topo_->numNodes();
     kernel_.setMode(kernelModeFromConfig(cfg));
+    validator_.setLevel(validateLevelFromConfig(cfg));
+    if (validator_.enabled())
+        kernel_.setValidator(&validator_);
     middle_node_ = topo_->nodeAt(topo_->sizeX() / 2, topo_->sizeY() / 2);
     sink_ = std::make_unique<EjectionSink>("sink", &registry_, &metrics_);
+    if (validator_.enabled())
+        sink_->setValidator(&validator_);
 
     generators_ = makeGenerators(cfg, *topo_, pattern_.get(), offered_);
     for (NodeId node = 0; node < n; ++node) {
@@ -115,6 +120,16 @@ VcNetwork::VcNetwork(const Config& cfg)
             routers_[node]->connectCreditIn(port, credit);
             credit->bindSink(&kernel_, routers_[node].get(),
                           /*lazy_wake=*/true);
+            if (validator_.enabled()) {
+                VcLinkRec rec;
+                rec.up = routers_[node].get();
+                rec.upPort = port;
+                rec.down = routers_[peer].get();
+                rec.downPort = opposite(port);
+                rec.data = data;
+                rec.credit = credit;
+                vc_links_.push_back(rec);
+            }
         }
     }
 
@@ -130,6 +145,15 @@ VcNetwork::VcNetwork(const Config& cfg)
         routers_[node]->connectCreditOut(kLocal, inj_cr);
         sources_[node]->connectCreditIn(inj_cr);
         inj_cr->bindSink(&kernel_, sources_[node].get());
+        if (validator_.enabled()) {
+            VcLinkRec rec;
+            rec.src = sources_[node].get();
+            rec.down = routers_[node].get();
+            rec.downPort = kLocal;
+            rec.data = inj;
+            rec.credit = inj_cr;
+            vc_links_.push_back(rec);
+        }
 
         Channel<Flit>* ej = make_flit_channel("ej:" + tag, 1);
         routers_[node]->connectDataOut(kLocal, ej);
@@ -151,6 +175,8 @@ VcNetwork::VcNetwork(const Config& cfg)
 void
 VcNetwork::Probe::tick(Cycle now)
 {
+    if (net_.validator_.paranoid())
+        net_.validateState(now);
     if (!net_.sampling_)
         return;
     // Matches the FR probe: one specific input pool of a middle router.
@@ -199,6 +225,85 @@ double
 VcNetwork::middlePoolAvgOccupancy() const
 {
     return occupancy_.average();
+}
+
+void
+VcNetwork::validateState(Cycle now)
+{
+    if (!validator_.enabled())
+        return;
+    // Flit conservation: every flit a source put on a wire is
+    // delivered, queued in some input VC, or in flight on a data
+    // channel. Probe runs after routers and sink in registration
+    // order, so the snapshot is consistent.
+    std::int64_t injected = 0;
+    for (const auto& source : sources_)
+        injected += source->flitsInjected();
+    std::int64_t accounted = sink_->flitsEjected();
+    for (const auto& router : routers_)
+        accounted += router->totalBufferedFlits();
+    for (const auto& ch : flit_channels_)
+        accounted += ch->pendingCount();
+    if (injected != accounted) {
+        validator_.fail(
+            "flit.conservation", now, "vc_network", kInvalidPort,
+            std::to_string(injected) + " data flits injected but "
+                + std::to_string(accounted)
+                + " accounted for (delivered + buffered + in flight)");
+    }
+
+    // Credit conservation per link: each of the vcDepth buffer slots
+    // of a downstream VC is, at any instant, exactly one of — a credit
+    // held upstream, a flit on the data wire, a queued flit, or a
+    // credit on the return wire.
+    for (const VcLinkRec& rec : vc_links_) {
+        if (params_.sharedPool) {
+            const int upstream = rec.up != nullptr
+                ? rec.up->poolCredits(rec.upPort)
+                : rec.src->injectionPoolCredits();
+            std::int64_t total = upstream
+                + rec.down->bufferedFlits(rec.downPort)
+                + rec.data->pendingCount() + rec.credit->pendingCount();
+            const std::int64_t capacity =
+                static_cast<std::int64_t>(params_.numVcs)
+                * params_.vcDepth;
+            if (total != capacity) {
+                validator_.fail(
+                    "credit.conservation", now, rec.data->name(),
+                    rec.downPort,
+                    "pool accounts for " + std::to_string(total)
+                        + " slots, capacity "
+                        + std::to_string(capacity));
+            }
+            continue;
+        }
+        for (VcId vc = 0; vc < params_.numVcs; ++vc) {
+            const int upstream = rec.up != nullptr
+                ? rec.up->outVcCredits(rec.upPort, vc)
+                : rec.src->injectionCredits(vc);
+            std::int64_t data_in_flight = 0;
+            rec.data->forEachPending([&](const Flit& flit) {
+                if (flit.vc == vc)
+                    ++data_in_flight;
+            });
+            std::int64_t credits_in_flight = 0;
+            rec.credit->forEachPending([&](const Credit& credit) {
+                if (credit.vc == vc)
+                    ++credits_in_flight;
+            });
+            const std::int64_t total = upstream + data_in_flight
+                + credits_in_flight
+                + rec.down->inVcQueueLen(rec.downPort, vc);
+            if (total != params_.vcDepth) {
+                validator_.fail(
+                    "credit.conservation", now, rec.data->name(),
+                    rec.downPort,
+                    "vc " + std::to_string(vc) + " accounts for "
+                        + std::to_string(total) + " slots, depth "
+                        + std::to_string(params_.vcDepth));
+            }
+        }
+    }
 }
 
 }  // namespace frfc

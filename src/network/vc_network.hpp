@@ -54,6 +54,16 @@ class VcNetwork : public NetworkModel
     VcRouter& router(NodeId node) { return *routers_[node]; }
     VcSource& source(NodeId node) { return *sources_[node]; }
 
+    /**
+     * Whole-network invariant sweep (see NetworkModel::validateState):
+     * flit conservation (injected == delivered + buffered + in flight)
+     * and, per link and per VC, credit conservation — upstream credits
+     * plus downstream queue plus flits and credits on the wires must
+     * equal the VC depth (the pool capacity in shared_pool mode).
+     * Pure observation; never perturbs simulation state.
+     */
+    void validateState(Cycle now) override;
+
   private:
     /** Samples middle-router occupancy each cycle. */
     class Probe : public Clocked
@@ -62,11 +72,15 @@ class VcNetwork : public NetworkModel
         Probe(VcNetwork& net) : Clocked("probe"), net_(net) {}
         void tick(Cycle now) override;
 
-        /** Samples every cycle while enabled; otherwise inert.
+        /** Samples every cycle while enabled; otherwise inert. A
+         *  paranoid validator also keeps it hot so the per-cycle
+         *  sweep (and the kernel's shadow audit) covers every cycle.
          *  startOccupancySampling() wakes it explicitly. */
         Cycle nextWake(Cycle now) const override
         {
-            return net_.sampling_ ? now + 1 : kInvalidCycle;
+            return net_.sampling_ || net_.validator_.paranoid()
+                ? now + 1
+                : kInvalidCycle;
         }
 
       private:
@@ -77,6 +91,7 @@ class VcNetwork : public NetworkModel
     std::unique_ptr<RoutingFunction> routing_;
     std::unique_ptr<TrafficPattern> pattern_;
     double offered_ = 0.0;
+    VcRouterParams params_;
 
     std::vector<std::unique_ptr<PacketGenerator>> generators_;
     std::vector<std::unique_ptr<VcSource>> sources_;
@@ -86,6 +101,21 @@ class VcNetwork : public NetworkModel
 
     std::vector<std::unique_ptr<Channel<Flit>>> flit_channels_;
     std::vector<std::unique_ptr<Channel<Credit>>> credit_channels_;
+
+    /** One record per credited link, for the per-VC conservation
+     *  sweep. Injection links have src set and up null; router-router
+     *  links the reverse. Ejection links carry no credits. */
+    struct VcLinkRec
+    {
+        VcRouter* up = nullptr;      ///< sending router (or null)
+        PortId upPort = kInvalidPort;
+        VcSource* src = nullptr;     ///< sending source (or null)
+        VcRouter* down = nullptr;    ///< receiving router
+        PortId downPort = kInvalidPort;
+        Channel<Flit>* data = nullptr;
+        Channel<Credit>* credit = nullptr;
+    };
+    std::vector<VcLinkRec> vc_links_;
 
     NodeId middle_node_ = 0;
     bool sampling_ = false;

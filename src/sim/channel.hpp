@@ -161,6 +161,39 @@ class Channel
         return slot.cycle == now && !slot.items.empty();
     }
 
+    /**
+     * Items pushed but not yet drained, regardless of arrival cycle.
+     * O(1) when idle; conservation sweeps (check/validator.hpp) call
+     * this to count flits and credits in flight on every wire.
+     */
+    std::int64_t
+    pendingCount() const
+    {
+        if (live_slots_ == 0)
+            return 0;
+        std::int64_t total = 0;
+        for (const Slot& slot : slots_) {
+            if (slot.cycle != kInvalidCycle)
+                total += static_cast<std::int64_t>(slot.items.size());
+        }
+        return total;
+    }
+
+    /** Visit every undelivered item (validation sweeps only). */
+    template <typename Fn>
+    void
+    forEachPending(Fn&& fn) const
+    {
+        if (live_slots_ == 0)
+            return;
+        for (const Slot& slot : slots_) {
+            if (slot.cycle == kInvalidCycle)
+                continue;
+            for (const T& item : slot.items)
+                fn(item);
+        }
+    }
+
     Cycle latency() const { return latency_; }
     int width() const { return width_; }
     const std::string& name() const { return name_; }

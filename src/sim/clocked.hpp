@@ -7,11 +7,26 @@
 #define FRFC_SIM_CLOCKED_HPP
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 
 #include "common/types.hpp"
 
 namespace frfc {
+
+/**
+ * Mix one value into an activity fingerprint (splitmix64 finalizer).
+ * Components fold their externally visible state into a single word
+ * with this; see Clocked::activityFingerprint.
+ */
+inline std::uint64_t
+fingerprintMix(std::uint64_t h, std::uint64_t v)
+{
+    std::uint64_t z = h + 0x9e3779b97f4a7c15ULL + v;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
 
 /**
  * A component advanced once per simulated clock cycle.
@@ -59,6 +74,17 @@ class Clocked
      * contract above.
      */
     virtual Cycle nextWake(Cycle now) const { return now + 1; }
+
+    /**
+     * Hash of the externally visible state a skipped tick must leave
+     * untouched: event counters, queue sizes, pool occupancies — never
+     * caches, lookahead, or window positions, which conforming no-op
+     * ticks may legally move. The paranoid validator shadow-ticks
+     * components the schedule says are quiescent and flags any
+     * fingerprint change as a nextWake() lie (kernel.wake-contract).
+     * The default opts a component out of the check.
+     */
+    virtual std::uint64_t activityFingerprint() const { return 0; }
 
     /** Hierarchical instance name (for diagnostics). */
     const std::string& name() const { return name_; }

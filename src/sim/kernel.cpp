@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/validator.hpp"
 #include "common/config.hpp"
 #include "common/log.hpp"
 
@@ -35,8 +36,24 @@ Kernel::add(Clocked* component)
     components_.push_back(component);
     due_stamp_.push_back(kInvalidCycle);
     hot_.push_back(0);
+    earliest_allowed_.push_back(0);
+    pending_wakes_.emplace_back();
+    ticked_stamp_.push_back(kInvalidCycle);
     if (mode_ == KernelMode::kEvent)
         wake(component, now_);
+}
+
+void
+Kernel::setValidator(Validator* validator)
+{
+    validator_ = validator;
+    audit_ = validator != nullptr && validator->paranoid();
+    if (audit_) {
+        std::fill(earliest_allowed_.begin(), earliest_allowed_.end(),
+                  Cycle{0});
+        for (auto& pending : pending_wakes_)
+            pending.clear();
+    }
 }
 
 void
@@ -66,10 +83,84 @@ Kernel::setMode(KernelMode mode)
 void
 Kernel::stepAll()
 {
+    if (audit_) {
+        stepAllAudited();
+        return;
+    }
     for (Clocked* component : components_)
         component->tick(now_);
     ticks_executed_ += static_cast<std::int64_t>(components_.size());
     ++now_;
+}
+
+void
+Kernel::stepAllAudited()
+{
+    // The stepped kernel ticks everything, so a lying nextWake() can
+    // never miss work here — but the same lie silently corrupts event
+    // runs. Auditing the promise in stepped mode catches it where the
+    // simulation is still correct: a component whose fingerprint moved
+    // at a cycle earlier than both its last promise and every wake
+    // request since its last tick has broken the quiescence contract.
+    const std::size_t count = components_.size();
+    for (std::size_t i = 0; i < count; ++i) {
+        Clocked* component = components_[i];
+        const std::uint64_t before = component->activityFingerprint();
+        component->tick(now_);
+        const std::uint64_t after = component->activityFingerprint();
+        // Activity is legal at the promised cycle or at any cycle an
+        // external wake requested (a channel push the event kernel
+        // would have queued a wheel entry for).
+        Cycle allowed = earliest_allowed_[i];
+        for (const Cycle wake : pending_wakes_[i])
+            allowed = std::min(allowed, wake);
+        if (after != before && allowed > now_) {
+            validator_->fail(
+                "kernel.wake-contract", now_, component->name(),
+                kInvalidPort,
+                "state changed at a cycle nextWake promised was idle "
+                "(earliest allowed " + std::to_string(allowed) + ")");
+        }
+        // This tick consumes every wake request at or before now (the
+        // event kernel would have discharged those wheel entries);
+        // requests for future cycles stand. Then re-arm the promise.
+        auto& pending = pending_wakes_[i];
+        pending.erase(
+            std::remove_if(pending.begin(), pending.end(),
+                           [this](Cycle c) { return c <= now_; }),
+            pending.end());
+        const Cycle promised = component->nextWake(now_);
+        earliest_allowed_[i] =
+            promised == kInvalidCycle ? kNeverCycle : promised;
+    }
+    ticks_executed_ += static_cast<std::int64_t>(count);
+    ++now_;
+}
+
+void
+Kernel::shadowAudit()
+{
+    // Tick every component the schedule says is quiescent. Under the
+    // contract such a tick is a no-op, so this cannot perturb results;
+    // a fingerprint change means the component had real work at a
+    // cycle its nextWake() never announced — the bug class that makes
+    // event runs diverge from stepped ones.
+    const auto count = static_cast<std::uint32_t>(components_.size());
+    for (std::uint32_t slot = 0; slot < count; ++slot) {
+        if (ticked_stamp_[slot] == now_)
+            continue;
+        Clocked* component = components_[slot];
+        const std::uint64_t before = component->activityFingerprint();
+        component->tick(now_);
+        const std::uint64_t after = component->activityFingerprint();
+        if (after != before) {
+            validator_->fail(
+                "kernel.wake-contract", now_, component->name(),
+                kInvalidPort,
+                "shadow tick of a scheduled-idle component changed "
+                "externally visible state");
+        }
+    }
 }
 
 Cycle
@@ -139,6 +230,8 @@ Kernel::executeCycle()
         Clocked* component = components_[slot];
         component->tick(now_);
         ++ticked;
+        if (audit_)
+            ticked_stamp_[slot] = now_;
         const Cycle next = component->nextWake(now_);
         if (next == now_ + 1) {
             // Steady state: skip the wheel entirely (see hot_ in the
@@ -167,6 +260,8 @@ Kernel::executeCycle()
         }
     }
     ticks_executed_ += ticked;
+    if (audit_)
+        shadowAudit();
     executing_ = false;
 }
 

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <map>
 #include <vector>
 
@@ -24,6 +25,7 @@
 namespace frfc {
 
 class Config;
+class Validator;
 
 /** Scheduling strategy for a Kernel. */
 enum class KernelMode
@@ -82,9 +84,35 @@ class Kernel
      * generation or sampling mid-run). Inline: this sits on the
      * channel-push hot path of every active tick.
      */
+    /**
+     * Attach the run's validator. At ValidateLevel::kParanoid the
+     * kernel audits the Clocked wake contract: in stepped mode it
+     * compares each component's activity fingerprint across ticks
+     * against the earliest cycle its nextWake() promise (or a wake
+     * request) allowed activity at; in event mode it shadow-ticks
+     * every component the schedule left sleeping and flags any
+     * fingerprint change. Violations report `kernel.wake-contract`.
+     */
+    void setValidator(Validator* validator);
+
     void
     wake(Clocked* component, Cycle cycle)
     {
+        // Wake-contract audit: remember every externally requested
+        // activity cycle, in both kernel modes (stepped mode otherwise
+        // ignores wakes). A full list — not just a running minimum — is
+        // needed: a wake above the current minimum must survive the
+        // tick that consumes the earlier one.
+        if (audit_ && component != nullptr
+            && component->kernel_slot_ != Clocked::kNoKernelSlot) {
+            auto& pending =
+                pending_wakes_[component->kernel_slot_];
+            bool seen = false;
+            for (const Cycle c : pending)
+                seen = seen || c == cycle;
+            if (!seen)
+                pending.push_back(cycle);
+        }
         if (mode_ == KernelMode::kStepped)
             return;
         FRFC_ASSERT(component != nullptr
@@ -137,7 +165,15 @@ class Kernel
         std::vector<std::uint32_t> slots;
     };
 
+    /** "No promised activity" sentinel for the wake-contract audit. */
+    static constexpr Cycle kNeverCycle =
+        std::numeric_limits<Cycle>::max();
+
     void stepAll();
+    /** stepAll() with per-component wake-contract fingerprinting. */
+    void stepAllAudited();
+    /** Shadow-tick components the event schedule left sleeping. */
+    void shadowAudit();
     void runEvent(Cycle limit, const std::function<bool()>* done);
     /** Earliest scheduled cycle in [now_, limit), or kInvalidCycle. */
     Cycle nextEventCycle(Cycle limit) const;
@@ -165,6 +201,16 @@ class Kernel
     std::vector<std::uint8_t> hot_;
     std::size_t hot_count_ = 0;
     bool executing_ = false;
+
+    /** Wake-contract audit state (active only at kParanoid). */
+    Validator* validator_ = nullptr;
+    bool audit_ = false;
+    /** Per slot: earliest activity cycle the last promise allows. */
+    std::vector<Cycle> earliest_allowed_;
+    /** Per slot: wake requests not yet consumed by a tick. */
+    std::vector<std::vector<Cycle>> pending_wakes_;
+    /** Per slot: last cycle the slot was really ticked (event mode). */
+    std::vector<Cycle> ticked_stamp_;
 
     std::int64_t ticks_executed_ = 0;
     Cycle idle_cycles_skipped_ = 0;

@@ -155,6 +155,59 @@ class VcRouter : public Clocked
     const VcRouterParams& params() const { return params_; }
     NodeId node() const { return node_; }
 
+    /** @{ Sanitizer inspection (see VcNetwork::validateState). */
+    int
+    outVcCredits(PortId port, VcId vc) const
+    {
+        return output_vcs_[static_cast<std::size_t>(port)
+                               * params_.numVcs
+                           + static_cast<std::size_t>(vc)]
+            .credits;
+    }
+    int
+    inVcQueueLen(PortId port, VcId vc) const
+    {
+        return static_cast<int>(
+            input_vcs_[static_cast<std::size_t>(port) * params_.numVcs
+                       + static_cast<std::size_t>(vc)]
+                .queue.size());
+    }
+    int
+    poolCredits(PortId port) const
+    {
+        return pool_credits_[static_cast<std::size_t>(port)];
+    }
+    /** @} */
+
+    /**
+     * Externally visible effects only — buffered flits, forwarded
+     * counts, contention counters, credit state. Allocation scratch and
+     * head-packet routing marks are excluded: they only change in ticks
+     * with buffered flits, which are never scheduled idle.
+     */
+    std::uint64_t
+    activityFingerprint() const override
+    {
+        std::uint64_t h = 0;
+        h = fingerprintMix(
+            h, static_cast<std::uint64_t>(vc_alloc_failures_.value()));
+        h = fingerprintMix(
+            h, static_cast<std::uint64_t>(credit_stalls_.value()));
+        for (PortId port = 0; port < kNumPorts; ++port) {
+            const auto p = static_cast<std::size_t>(port);
+            h = fingerprintMix(
+                h, static_cast<std::uint64_t>(buffered_[p]));
+            h = fingerprintMix(
+                h, static_cast<std::uint64_t>(flits_out_[p].value()));
+            h = fingerprintMix(
+                h, static_cast<std::uint64_t>(pool_credits_[p]));
+        }
+        for (const OutputVc& ovc : output_vcs_)
+            h = fingerprintMix(h,
+                               static_cast<std::uint64_t>(ovc.credits));
+        return h;
+    }
+
   private:
     /** Per-input-VC FIFO and packet state. */
     struct InputVc

@@ -78,6 +78,40 @@ class VcSource : public Clocked
     std::int64_t flitsInjected() const { return flits_injected_.value(); }
     /** @} */
 
+    /** @{ Sanitizer inspection (see VcNetwork::validateState). */
+    int
+    injectionCredits(VcId vc) const
+    {
+        return credits_[static_cast<std::size_t>(vc)];
+    }
+    int injectionPoolCredits() const { return pool_credits_; }
+    /** @} */
+
+    /**
+     * Externally visible effects only: injection counters, queue and
+     * streaming state, credits. Generator lookahead (next_gen_cycle_,
+     * birth_*) is excluded — it legally advances during conforming
+     * no-op ticks (see Clocked::activityFingerprint).
+     */
+    std::uint64_t
+    activityFingerprint() const override
+    {
+        std::uint64_t h = 0;
+        h = fingerprintMix(
+            h, static_cast<std::uint64_t>(packets_generated_.value()));
+        h = fingerprintMix(
+            h, static_cast<std::uint64_t>(flits_injected_.value()));
+        h = fingerprintMix(h,
+                           static_cast<std::uint64_t>(queue_.size()));
+        h = fingerprintMix(h, sending_ ? 1 : 0);
+        h = fingerprintMix(h, static_cast<std::uint64_t>(next_seq_));
+        h = fingerprintMix(h,
+                           static_cast<std::uint64_t>(pool_credits_));
+        for (const int credits : credits_)
+            h = fingerprintMix(h, static_cast<std::uint64_t>(credits));
+        return h;
+    }
+
   private:
     struct PendingPacket
     {

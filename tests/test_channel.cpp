@@ -124,6 +124,7 @@ class Counter : public Clocked
   public:
     Counter() : Clocked("counter") {}
     void tick(Cycle) override { ++ticks; }
+    Cycle nextWake(Cycle now) const override { return now + 1; }
     int ticks = 0;
 };
 
@@ -168,6 +169,7 @@ class Producer : public Clocked
     {
         out_->push(now, static_cast<int>(now));
     }
+    Cycle nextWake(Cycle now) const override { return now + 1; }
 
   private:
     Channel<int>* out_;
@@ -185,6 +187,7 @@ class Consumer : public Clocked
             ++received;
         }
     }
+    Cycle nextWake(Cycle now) const override { return now + 1; }
     int received = 0;
 
   private:

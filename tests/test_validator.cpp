@@ -1,0 +1,336 @@
+/**
+ * @file
+ * Reservation-protocol sanitizer tests: fault injection proving each
+ * invariant fires with its specific diagnostic, kernel wake-contract
+ * audits on both kernels, and clean paranoid runs over the fr6/vc8
+ * presets that stay bit-identical to unvalidated runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "check/validator.hpp"
+#include "frfc/fr_router.hpp"
+#include "frfc/input_table.hpp"
+#include "frfc/output_table.hpp"
+#include "harness/presets.hpp"
+#include "network/ejection_sink.hpp"
+#include "network/fr_network.hpp"
+#include "network/network.hpp"
+#include "network/runner.hpp"
+#include "proto/flit.hpp"
+#include "proto/packet_registry.hpp"
+#include "sim/kernel.hpp"
+
+namespace frfc {
+namespace {
+
+Validator
+recording()
+{
+    Validator v(ValidateLevel::kInvariants);
+    v.setFailFast(false);
+    return v;
+}
+
+// ---------------------------------------------------------------- //
+// Output reservation table                                         //
+// ---------------------------------------------------------------- //
+
+TEST(ValidatorOutputTable, DoubleBookedCycleReports)
+{
+    Validator v = recording();
+    OutputReservationTable table(16, 4, 1);
+    table.setValidator(&v, "router1", kEast);
+    table.reserve(5);
+    table.reserve(5);
+    ASSERT_TRUE(v.sawInvariant("res.double-book"));
+    const Diagnostic& d = v.diagnostics().front();
+    EXPECT_EQ(d.component, "router1");
+    EXPECT_EQ(d.port, kEast);
+    // The table refused the second booking instead of corrupting.
+    EXPECT_TRUE(table.busyAt(5));
+    EXPECT_EQ(table.reservedCount(), 1);
+}
+
+TEST(ValidatorOutputTable, CreditOverflowReports)
+{
+    Validator v = recording();
+    OutputReservationTable table(16, 4, 1);
+    table.setValidator(&v, "router2", kWest);
+    table.credit(0);  // nothing outstanding: would exceed the pool
+    ASSERT_TRUE(v.sawInvariant("credit.overflow"));
+    EXPECT_EQ(v.diagnostics().front().component, "router2");
+    // The bogus credit was refused wholesale.
+    EXPECT_EQ(table.freeBuffersAt(0), 4);
+}
+
+TEST(ValidatorOutputTable, ConservationAuditCleanThroughTraffic)
+{
+    Validator v = recording();
+    OutputReservationTable table(16, 4, 1);
+    table.setValidator(&v, "router3", kEast);
+    table.reserve(2);
+    table.reserve(4);
+    table.auditCreditConservation(0);
+    table.credit(6);
+    table.advance(3);
+    table.auditCreditConservation(3);
+    EXPECT_TRUE(v.clean());
+    EXPECT_EQ(table.reservesTotal(), 2);
+    EXPECT_EQ(table.creditsTotal(), 1);
+}
+
+// ---------------------------------------------------------------- //
+// Input reservation table                                          //
+// ---------------------------------------------------------------- //
+
+TEST(ValidatorInputTable, OversubscribedDepartSlotReports)
+{
+    Validator v = recording();
+    InputReservationTable table(16, 4, /*speedup=*/1);
+    table.setValidator(&v, "router4", kNorth);
+    table.recordReservation(0, 2, 5, kEast);
+    table.recordReservation(0, 3, 5, kEast);  // same departure cycle
+    ASSERT_TRUE(v.sawInvariant("res.slot-oversubscribed"));
+    EXPECT_EQ(v.diagnostics().front().component, "router4");
+    EXPECT_EQ(v.diagnostics().front().port, kNorth);
+}
+
+TEST(ValidatorInputTable, DoubleBookedArrivalReports)
+{
+    Validator v = recording();
+    InputReservationTable table(16, 4, 1);
+    table.setValidator(&v, "router5", kSouth);
+    table.recordReservation(0, 2, 5, kEast);
+    table.recordReservation(0, 2, 6, kEast);  // same arrival cycle
+    ASSERT_TRUE(v.sawInvariant("res.double-book"));
+    EXPECT_EQ(v.diagnostics().front().cycle, 0);
+}
+
+TEST(ValidatorInputTable, UnreservedArrivalReports)
+{
+    Validator v = recording();
+    InputReservationTable table(16, /*buffers=*/1, 1);
+    table.setValidator(&v, "router6", kWest);
+    Flit flit;
+    flit.packet = 7;
+    flit.dest = 0;
+    table.acceptFlit(0, flit);  // parks in the only buffer
+    table.acceptFlit(1, flit);  // no buffer left: unaccounted flit
+    ASSERT_TRUE(v.sawInvariant("data.unreserved-arrival"));
+    EXPECT_EQ(v.diagnostics().front().component, "router6");
+}
+
+// ---------------------------------------------------------------- //
+// Ejection sink                                                    //
+// ---------------------------------------------------------------- //
+
+TEST(ValidatorSink, MisroutedFlitReports)
+{
+    Validator v = recording();
+    PacketRegistry registry;
+    EjectionSink sink("sink", &registry);
+    sink.setValidator(&v);
+    Channel<Flit> ej0("ej0", 1);
+    sink.addChannel(&ej0);  // channel index == destination node 0
+
+    const PacketId id = registry.create(1, 1, 1, 0);
+    Flit flit;
+    flit.packet = id;
+    flit.seq = 0;
+    flit.packetLength = 1;
+    flit.head = flit.tail = true;
+    flit.src = 1;
+    flit.dest = 1;  // ejected at node 0: misroute
+    flit.created = 0;
+    flit.injected = 0;
+    flit.payload = Flit::expectedPayload(id, 0);
+    ej0.push(0, flit);
+    sink.tick(1);
+    ASSERT_TRUE(v.sawInvariant("sink.misroute"));
+    EXPECT_EQ(v.diagnostics().front().component, "sink");
+}
+
+// ---------------------------------------------------------------- //
+// Credit-link ledgers and fail-fast behaviour                      //
+// ---------------------------------------------------------------- //
+
+TEST(ValidatorLedger, LostCreditMismatchReports)
+{
+    Validator v = recording();
+    const int link = v.addCreditLink("frc:0->1");
+    v.onCreditSent(link);
+    v.onCreditSent(link);
+    v.onCreditApplied(link);
+    v.checkCreditLink(link, /*in_flight=*/1, 10);
+    EXPECT_TRUE(v.clean());  // 2 sent - 1 applied == 1 in flight
+    v.checkCreditLink(link, /*in_flight=*/0, 11);
+    ASSERT_TRUE(v.sawInvariant("credit.conservation"));
+    EXPECT_EQ(v.diagnostics().front().cycle, 11);
+}
+
+TEST(ValidatorDeath, FailFastPanicsWithDiagnostic)
+{
+    Validator v(ValidateLevel::kInvariants);
+    EXPECT_DEATH(v.fail("res.double-book", 42, "router9", kEast, "x"),
+                 "invariant violation");
+}
+
+// ---------------------------------------------------------------- //
+// Kernel wake-contract audit (lying nextWake)                      //
+// ---------------------------------------------------------------- //
+
+/** Changes visible state every cycle but promises eternal sleep. */
+class Liar : public Clocked
+{
+  public:
+    Liar() : Clocked("liar") {}
+    void tick(Cycle) override { ++count_; }
+    Cycle nextWake(Cycle) const override { return kInvalidCycle; }
+    std::uint64_t
+    activityFingerprint() const override
+    {
+        return fingerprintMix(0, count_);
+    }
+
+  private:
+    std::uint64_t count_ = 0;
+};
+
+/** Honest hot component keeping the event kernel executing cycles. */
+class Pacer : public Clocked
+{
+  public:
+    Pacer() : Clocked("pacer") {}
+    void tick(Cycle) override {}
+    Cycle nextWake(Cycle now) const override { return now + 1; }
+};
+
+TEST(ValidatorKernel, SteppedAuditCatchesLyingNextWake)
+{
+    Kernel kernel;
+    Validator v(ValidateLevel::kParanoid);
+    v.setFailFast(false);
+    Liar liar;
+    kernel.add(&liar);
+    kernel.setValidator(&v);
+    kernel.run(3);
+    ASSERT_TRUE(v.sawInvariant("kernel.wake-contract"));
+    EXPECT_EQ(v.diagnostics().front().component, "liar");
+}
+
+TEST(ValidatorKernel, EventShadowAuditCatchesLyingNextWake)
+{
+    Kernel kernel;
+    kernel.setMode(KernelMode::kEvent);
+    Validator v(ValidateLevel::kParanoid);
+    v.setFailFast(false);
+    Liar liar;
+    Pacer pacer;
+    kernel.add(&liar);
+    kernel.add(&pacer);
+    kernel.setValidator(&v);
+    kernel.run(4);
+    ASSERT_TRUE(v.sawInvariant("kernel.wake-contract"));
+    EXPECT_EQ(v.diagnostics().front().component, "liar");
+}
+
+TEST(ValidatorKernel, SteppedAuditAcceptsHonestComponents)
+{
+    Kernel kernel;
+    Validator v(ValidateLevel::kParanoid);
+    v.setFailFast(false);
+    Pacer pacer;
+    kernel.add(&pacer);
+    kernel.setValidator(&v);
+    kernel.run(10);
+    EXPECT_TRUE(v.clean());
+}
+
+// ---------------------------------------------------------------- //
+// End-to-end fault injection: a dropped advance credit             //
+// ---------------------------------------------------------------- //
+
+TEST(ValidatorNetwork, DroppedAdvanceCreditBreaksLedger)
+{
+    Config cfg = baseConfig();
+    applyFr6(cfg);
+    cfg.set("size_x", 4);
+    cfg.set("size_y", 4);
+    cfg.set("offered", 0.3);
+    cfg.set("sim.validate", 1);
+    FrNetwork net(cfg);
+    net.validator().setFailFast(false);
+
+    const NodeId middle = net.topology().nodeAt(2, 2);
+    for (PortId p = kEast; p <= kSouth; ++p)
+        net.router(middle).testDropNextAdvanceCredit(p);
+    net.kernel().run(4000);
+    net.validateState(net.kernel().now());
+    ASSERT_TRUE(net.validator().sawInvariant("credit.conservation"));
+}
+
+// ---------------------------------------------------------------- //
+// Clean paranoid runs: fr6/vc8, both kernels, bit-identical        //
+// ---------------------------------------------------------------- //
+
+RunOptions
+fastOpts()
+{
+    RunOptions opt;
+    opt.samplePackets = 300;
+    opt.minWarmup = 400;
+    opt.maxWarmup = 1500;
+    opt.maxCycles = 60000;
+    return opt;
+}
+
+RunResult
+runAtLevel(Config cfg, int validate, const char* kernel, bool* clean)
+{
+    cfg.set("sim.validate", validate);
+    cfg.set("sim.kernel", kernel);
+    auto net = makeNetwork(cfg);
+    const RunResult result = runMeasurement(*net, fastOpts());
+    if (clean != nullptr)
+        *clean = net->validator().clean();
+    return result;
+}
+
+void
+expectCleanAndIdentical(Config cfg)
+{
+    for (const char* kernel : {"stepped", "event"}) {
+        const RunResult base = runAtLevel(cfg, 0, kernel, nullptr);
+        bool clean = false;
+        const RunResult checked = runAtLevel(cfg, 2, kernel, &clean);
+        EXPECT_TRUE(clean) << kernel;
+        EXPECT_TRUE(base.bitIdentical(checked)) << kernel;
+        EXPECT_TRUE(checked.complete) << kernel;
+    }
+}
+
+TEST(ValidatorCleanRun, Fr6ParanoidBitIdenticalBothKernels)
+{
+    Config cfg = baseConfig();
+    applyFr6(cfg);
+    cfg.set("size_x", 4);
+    cfg.set("size_y", 4);
+    cfg.set("offered", 0.25);
+    expectCleanAndIdentical(cfg);
+}
+
+TEST(ValidatorCleanRun, Vc8ParanoidBitIdenticalBothKernels)
+{
+    Config cfg = baseConfig();
+    applyVc8(cfg);
+    cfg.set("size_x", 4);
+    cfg.set("size_y", 4);
+    cfg.set("offered", 0.25);
+    expectCleanAndIdentical(cfg);
+}
+
+}  // namespace
+}  // namespace frfc

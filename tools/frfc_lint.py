@@ -1,0 +1,228 @@
+#!/usr/bin/env python3
+"""frfc-lint: repo-specific static checks for the FRFC simulator.
+
+Rules (suppress one occurrence with `// frfc-lint: allow(<rule>)` on
+the offending line; every suppression must carry a reason in a nearby
+comment so reviewers can audit it):
+
+  determinism   No rand()/srand()/std::random_device/time(NULL) outside
+                src/common/rng.cpp. All randomness must flow through
+                the seeded, counter-based Rng so runs stay reproducible
+                and bit-identical across kernels.
+  logging       No std::cout/std::cerr/printf/<iostream> in src/
+                outside the log module (src/common/log.*) and the
+                structured-output writers (src/harness/report.cpp,
+                src/harness/json.cpp). Diagnostics go through
+                common/log.hpp so verbosity stays controllable.
+  wake-contract Every `class X : public Clocked` must declare
+                nextWake. The base default is hot (now + 1), which
+                silently defeats the event kernel's sleep scheduling.
+  metric-paths  String literals passed to MetricRegistry registration
+                calls must be lowercase dotted paths ([a-z0-9_.]),
+                matching the documented `router.<node>.*` namespace.
+  assert        Use FRFC_ASSERT (common/log.hpp), not bare assert():
+                FRFC_ASSERT reports through the log module and stays
+                active in release builds.
+  namespace     No `using namespace std`.
+
+Exit status: 0 when clean, 1 when any finding is reported, 2 on usage
+errors. Requires only the Python 3 standard library.
+"""
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+CXX_SUFFIXES = {".cpp", ".hpp", ".cc", ".hh", ".h"}
+
+# Directories scanned relative to the repo root. Tests and benches are
+# held to the same determinism/assert/namespace bar as src/.
+SCAN_DIRS = ["src", "tests", "bench", "examples", "tools"]
+
+ALLOW_RE = re.compile(r"//\s*frfc-lint:\s*allow\(([a-z-]+)\)")
+LINE_COMMENT_RE = re.compile(r"//(?!\s*frfc-lint:).*$")
+STRING_RE = re.compile(r'"(?:[^"\\]|\\.)*"')
+
+RULES = {}
+
+
+def rule(name):
+    def wrap(fn):
+        RULES[name] = fn
+        return fn
+    return wrap
+
+
+def relpath(path, root):
+    return path.relative_to(root).as_posix()
+
+
+def strip_comment(line):
+    """Drop a trailing // comment but keep frfc-lint directives."""
+    return LINE_COMMENT_RE.sub("", line)
+
+
+DETERMINISM_ALLOWED = {"src/common/rng.cpp"}
+DETERMINISM_RE = re.compile(
+    r"(?<![\w:])(?:s?rand\s*\(|std::random_device"
+    r"|time\s*\(\s*(?:NULL|nullptr|0)\s*\))")
+
+
+@rule("determinism")
+def check_determinism(rel, lines, report):
+    if rel in DETERMINISM_ALLOWED:
+        return
+    for num, line in enumerate(lines, 1):
+        code = STRING_RE.sub('""', strip_comment(line))
+        if DETERMINISM_RE.search(code):
+            report(num, "raw randomness/time source; use the seeded "
+                        "Rng from common/rng.hpp")
+
+
+LOGGING_ALLOWED = {
+    "src/common/log.cpp", "src/common/log.hpp",
+    "src/harness/report.cpp",  # writes the table/CSV reports
+    "src/harness/json.cpp",    # writes structured JSON output
+}
+LOGGING_RE = re.compile(
+    r"std::c(?:out|err)\b|(?<![\w:])f?printf\s*\(|#\s*include\s*<iostream>")
+
+
+@rule("logging")
+def check_logging(rel, lines, report):
+    if not rel.startswith("src/") or rel in LOGGING_ALLOWED:
+        return
+    for num, line in enumerate(lines, 1):
+        code = STRING_RE.sub('""', strip_comment(line))
+        if LOGGING_RE.search(code):
+            report(num, "direct console output in src/; route it "
+                        "through common/log.hpp")
+
+
+CLOCKED_RE = re.compile(r"\bclass\s+(\w+)\s*(?:final\s*)?:\s*public\s+Clocked\b")
+
+
+@rule("wake-contract")
+def check_wake_contract(rel, lines, report):
+    text = "".join(lines)
+    for match in CLOCKED_RE.finditer(text):
+        # The override must appear after the class head; a textual scan
+        # is enough because subclasses live in a single header each.
+        rest = text[match.end():]
+        if "nextWake" not in rest:
+            num = text.count("\n", 0, match.start()) + 1
+            report(num, "Clocked subclass '" + match.group(1)
+                        + "' does not declare nextWake; the base "
+                        "default runs hot every cycle")
+
+
+METRIC_CALL_RE = re.compile(
+    r"\.\s*(?:counter|gauge|timeAverage|histogram|attachCounter"
+    r"|attachGauge|attachTimeAverage)\s*\(")
+METRIC_PATH_RE = re.compile(r"^[a-z0-9_.]*$")
+
+
+@rule("metric-paths")
+def check_metric_paths(rel, lines, report):
+    if not rel.startswith("src/"):
+        return
+    for num, line in enumerate(lines, 1):
+        if not METRIC_CALL_RE.search(strip_comment(line)):
+            continue
+        for lit in STRING_RE.findall(strip_comment(line)):
+            body = lit[1:-1]
+            if not METRIC_PATH_RE.match(body):
+                report(num, "metric path literal " + lit + " must be "
+                            "lowercase [a-z0-9_.]")
+
+
+ASSERT_RE = re.compile(r"(?<![\w_])assert\s*\(")
+
+
+@rule("assert")
+def check_assert(rel, lines, report):
+    for num, line in enumerate(lines, 1):
+        code = STRING_RE.sub('""', strip_comment(line))
+        if "static_assert" in code:
+            code = code.replace("static_assert", "")
+        if ASSERT_RE.search(code):
+            report(num, "bare assert(); use FRFC_ASSERT from "
+                        "common/log.hpp")
+
+
+NAMESPACE_RE = re.compile(r"\busing\s+namespace\s+std\b")
+
+
+@rule("namespace")
+def check_namespace(rel, lines, report):
+    for num, line in enumerate(lines, 1):
+        if NAMESPACE_RE.search(strip_comment(line)):
+            report(num, "using namespace std")
+
+
+def lint_file(path, root, findings):
+    rel = relpath(path, root)
+    try:
+        lines = path.read_text(encoding="utf-8").splitlines(keepends=True)
+    except UnicodeDecodeError:
+        findings.append((rel, 0, "encoding", "file is not valid UTF-8"))
+        return
+    for name, check in RULES.items():
+        def report(num, message, name=name):
+            line = lines[num - 1] if 0 < num <= len(lines) else ""
+            allow = ALLOW_RE.search(line)
+            if allow and allow.group(1) == name:
+                return
+            findings.append((rel, num, name, message))
+        check(rel, lines, report)
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        prog="frfc_lint", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to lint "
+                             "(default: the standard repo dirs)")
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: parent of tools/)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print rule names and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for name in sorted(RULES):
+            print(name)
+        return 0
+
+    root = Path(args.root).resolve() if args.root \
+        else Path(__file__).resolve().parent.parent
+    targets = [Path(p).resolve() for p in args.paths] \
+        or [root / d for d in SCAN_DIRS]
+
+    files = []
+    for target in targets:
+        if target.is_file():
+            files.append(target)
+        elif target.is_dir():
+            files.extend(p for p in sorted(target.rglob("*"))
+                         if p.suffix in CXX_SUFFIXES)
+
+    findings = []
+    for path in files:
+        lint_file(path, root, findings)
+
+    for rel, num, name, message in findings:
+        print("%s:%d: [%s] %s" % (rel, num, name, message))
+    if findings:
+        print("frfc-lint: %d finding(s) in %d file(s) checked"
+              % (len(findings), len(files)), file=sys.stderr)
+        return 1
+    print("frfc-lint: clean (%d files, %d rules)"
+          % (len(files), len(RULES)), file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
