@@ -49,6 +49,7 @@
 #include "harness/report.hpp"
 #include "harness/sweep.hpp"
 #include "network/runner.hpp"
+#include "sim/kernel.hpp"
 
 namespace frfc::bench {
 
@@ -295,9 +296,17 @@ benchMain(int argc, char** argv, const BenchInfo& info,
             full = true;
         } else if (positional == "--csv") {
             csv = true;
+        } else if (positional == "--list-kernels") {
+            // Machine-readable kernel registry dump: scripts (the
+            // kernel-equivalence ctest, sweep drivers) derive their
+            // kernel list from here instead of hard-coding it.
+            for (const std::string& name : simKernelNames())
+                std::printf("%s\n", name.c_str());
+            return 0;
         } else if (positional == "--help" || positional == "-h") {
             std::printf("%s — %s\n", info.name, info.title);
-            std::printf("usage: %s [--full] [--csv] [key=value ...]\n"
+            std::printf("usage: %s [--full] [--csv] [--list-kernels] "
+                        "[key=value ...]\n"
                         "  out.format=json|csv|table  structured report "
                         "format (default table)\n"
                         "  out.file=PATH              report file "

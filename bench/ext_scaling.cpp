@@ -1,0 +1,182 @@
+/**
+ * @file
+ * ext_scaling — parallel-kernel scaling: shard count x topology size.
+ *
+ * For each large-topology preset (mesh32, mesh64, torus32; the 8x8
+ * base mesh rides along for contrast) run one FR6 measurement under
+ * the serial event kernel, then under sim.kernel=parallel at a ladder
+ * of shard counts. Every parallel run is asserted bit-identical to the
+ * serial baseline — the correctness claim is checked, the speedup is
+ * only *measured*: on a single-core host every shard count can
+ * legitimately come out at or below 1.0x, and this bench reports
+ * whatever the wall clock says (EXPERIMENTS.md discusses the numbers
+ * honestly). Per-shard balance statistics (components, ticks, windows,
+ * lookahead) are recorded so an imbalance is visible next to its cost.
+ *
+ * Quick mode shrinks the sample per topology so the whole sweep stays
+ * in minutes even at 4096 nodes; --full runs paper-scale samples.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/log.hpp"
+#include "network/network.hpp"
+#include "sim/parallel_kernel.hpp"
+
+using namespace frfc;
+
+namespace {
+
+struct ScalePoint
+{
+    RunResult run;
+    std::int64_t windows = 0;
+    Cycle lookahead = 0;
+    double tickImbalance = 1.0;  ///< max shard ticks / mean
+};
+
+ScalePoint
+runPoint(const Config& cfg, const RunOptions& opt)
+{
+    ScalePoint p;
+    const auto net = makeNetwork(cfg);
+    p.run = runMeasurement(*net, opt);
+    if (ParallelKernel* pk = net->parallelKernel()) {
+        p.windows = pk->windowsExecuted();
+        p.lookahead = pk->lookahead();
+        const std::vector<std::int64_t> ticks = pk->shardTicks();
+        std::int64_t total = 0;
+        std::int64_t peak = 0;
+        for (const std::int64_t t : ticks) {
+            total += t;
+            peak = std::max(peak, t);
+        }
+        const double mean = static_cast<double>(total)
+                            / static_cast<double>(ticks.size());
+        p.tickImbalance =
+            mean > 0.0 ? static_cast<double>(peak) / mean : 1.0;
+    }
+    return p;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    return bench::benchMain(
+        argc, argv,
+        {"ext_scaling",
+         "Extension: parallel-kernel scaling, shard count x topology "
+         "size"},
+        [](bench::BenchContext& ctx) {
+            const std::vector<std::string> sizes{"mesh8", "mesh32",
+                                                 "mesh64", "torus32"};
+            const std::vector<int> shard_counts{1, 2, 4, 8};
+
+            const bench::WallTimer timer;
+            std::vector<std::vector<RunResult>> all_runs;
+
+            for (const auto& size : sizes) {
+                Config cfg = baseConfig();
+                applyFr6(cfg);
+                if (size != "mesh8")
+                    applyPreset(cfg, size);
+                cfg.set("offered", 0.40);
+                ctx.applyOverrides(cfg);
+                const long nodes = cfg.getInt("size_x")
+                                   * cfg.getInt("size_y");
+
+                // Per-topology sample: enough tagged packets that the
+                // fabric is busy, small enough that 4096 nodes stay
+                // affordable in quick mode. Command-line run.* keys
+                // still override (fromConfig re-applies them on top).
+                RunOptions defaults = ctx.options();
+                if (!ctx.full()) {
+                    defaults.samplePackets = nodes >= 1024 ? 500 : 800;
+                    defaults.minWarmup = 300;
+                    defaults.maxWarmup = 1000;
+                    defaults.maxCycles = nodes >= 4096 ? 8000 : 20000;
+                }
+                const RunOptions opt =
+                    RunOptions::fromConfig(ctx.overrides(), defaults);
+
+                Config serial = cfg;
+                serial.set("sim.kernel", "event");
+                ScalePoint base;
+                {
+                    const auto net = makeNetwork(serial);
+                    base.run = runMeasurement(*net, opt);
+                }
+
+                TextTable table;
+                table.setHeader({"kernel", "wall(ms)", "speedup",
+                                 "windows", "lookahead",
+                                 "tick imbalance"});
+                table.addRow({"event",
+                              TextTable::num(base.run.wallSeconds * 1e3,
+                                             1),
+                              "1.00", "-", "-", "-"});
+                ctx.report().addScalar(
+                    "scaling." + size + ".event_seconds",
+                    base.run.wallSeconds);
+
+                std::vector<RunResult> runs{base.run};
+                for (const int shards : shard_counts) {
+                    Config par = cfg;
+                    par.set("sim.kernel", "parallel");
+                    par.set("sim.shards", shards);
+                    const ScalePoint p = runPoint(par, opt);
+                    if (!p.run.bitIdentical(base.run))
+                        fatal("parallel kernel diverged from event on ",
+                              size, " at shards=", shards);
+                    const std::string tag =
+                        "parallel x" + std::to_string(shards);
+                    const double speedup =
+                        p.run.wallSeconds > 0.0
+                            ? base.run.wallSeconds / p.run.wallSeconds
+                            : 0.0;
+                    table.addRow(
+                        {tag,
+                         TextTable::num(p.run.wallSeconds * 1e3, 1),
+                         TextTable::num(speedup, 2),
+                         TextTable::num(static_cast<double>(p.windows),
+                                        0),
+                         TextTable::num(
+                             static_cast<double>(p.lookahead), 0),
+                         TextTable::num(p.tickImbalance, 2)});
+                    const std::string slug =
+                        "scaling." + size + ".shards"
+                        + std::to_string(shards);
+                    ctx.report().addScalar(slug + "_seconds",
+                                           p.run.wallSeconds);
+                    ctx.report().addScalar(slug + "_speedup", speedup);
+                    ctx.report().addScalar(slug + "_tick_imbalance",
+                                           p.tickImbalance);
+                    runs.push_back(p.run);
+                }
+
+                std::printf("== %s (%ld nodes), FR6 at 40%% load ==\n",
+                            size.c_str(), nodes);
+                if (ctx.csv())
+                    table.printCsv(std::cout);
+                else
+                    table.print(std::cout);
+                std::printf("\n");
+
+                ReportCurve& rc =
+                    ctx.report().addCurve("scaling." + size, cfg);
+                rc.runs = {base.run};
+                all_runs.push_back(std::move(runs));
+            }
+
+            ctx.note("every parallel point verified bit-identical to "
+                     "the serial event baseline; speedups are measured "
+                     "wall-clock only and depend on host core count");
+            ctx.sweepStats(timer.seconds(), all_runs, false);
+        });
+}

@@ -34,9 +34,12 @@ namespace {
 bool
 volatileKey(const std::string& key)
 {
-    if (key == "build" || key == "sim.kernel" || key == "sim.validate")
+    if (key == "build" || key == "sim.kernel" || key == "sim.validate"
+        || key == "sim.shards" || key == "sim.partition")
         return true;
     if (key.rfind("out.", 0) == 0)  // report-emission plumbing
+        return true;
+    if (key.rfind("parallel.", 0) == 0)  // shard-balance observability
         return true;
     if (key.find("wall_seconds") != std::string::npos)
         return true;

@@ -1,23 +1,67 @@
-# CTest step: run the golden figure bench under both kernels and diff
-# the canonicalized JSON reports byte-for-byte. Driven from
-# CMakeLists.txt:
+# CTest step: run the golden figure bench under every registered
+# kernel and diff the canonicalized JSON reports byte-for-byte. Driven
+# from CMakeLists.txt:
 #   cmake -DBENCH=... -DLINT=... -DOUTDIR=... -P kernel_equivalence.cmake
 #
+# The kernel list is queried from the bench binary itself (every bench
+# accepts --list-kernels and dumps simKernelNames()), so a new kernel
+# is covered here automatically. The parallel kernel additionally runs
+# at two explicit shard counts — 2 (minimal sharding) and 5 (odd,
+# unbalanced) — since its determinism claim is per shard count.
+#
 # json_lint --canonical strips wall-clock fields, the build stamp, and
-# the sim.kernel selector itself; everything simulation-determined
-# (latencies, cycle counts, metrics snapshots) must then be identical.
-foreach(mode stepped event)
-    set(json ${OUTDIR}/kernel_eq_${mode}.json)
+# the sim.kernel / sim.shards / sim.partition selectors themselves;
+# everything simulation-determined (latencies, cycle counts, metrics
+# snapshots) must then be identical.
+execute_process(
+    COMMAND ${BENCH} --list-kernels
+    RESULT_VARIABLE list_rc
+    OUTPUT_VARIABLE kernel_list
+    OUTPUT_STRIP_TRAILING_WHITESPACE)
+if(NOT list_rc EQUAL 0)
+    message(FATAL_ERROR "${BENCH} --list-kernels exited with ${list_rc}")
+endif()
+string(REPLACE "\n" ";" kernels "${kernel_list}")
+list(LENGTH kernels kernel_count)
+if(kernel_count LESS 2)
+    message(FATAL_ERROR
+        "--list-kernels returned '${kernel_list}' — expected at least "
+        "two kernels to compare")
+endif()
+
+# One variant per run: "<kernel>" or "<kernel>;extra=config;keys".
+set(variants "")
+foreach(kernel ${kernels})
+    if(kernel STREQUAL "parallel")
+        list(APPEND variants "parallel_s2" "parallel_s5")
+    else()
+        list(APPEND variants "${kernel}")
+    endif()
+endforeach()
+
+set(canons "")
+foreach(variant ${variants})
+    set(extra_args "")
+    if(variant STREQUAL "parallel_s2")
+        set(mode parallel)
+        set(extra_args sim.shards=2)
+    elseif(variant STREQUAL "parallel_s5")
+        set(mode parallel)
+        set(extra_args sim.shards=5)
+    else()
+        set(mode ${variant})
+    endif()
+    set(json ${OUTDIR}/kernel_eq_${variant}.json)
     execute_process(
         COMMAND ${BENCH}
             run.sample_packets=50 run.min_warmup=200 run.max_warmup=500
             run.max_cycles=5000
-            sim.kernel=${mode}
+            sim.kernel=${mode} ${extra_args}
             out.format=json out.file=${json}
         RESULT_VARIABLE bench_rc
         OUTPUT_QUIET)
     if(NOT bench_rc EQUAL 0)
-        message(FATAL_ERROR "bench (sim.kernel=${mode}) exited with ${bench_rc}")
+        message(FATAL_ERROR "bench (${variant}) exited with ${bench_rc}")
     endif()
     execute_process(
         COMMAND ${LINT} --canonical ${json} ${json}.canon
@@ -25,14 +69,22 @@ foreach(mode stepped event)
     if(NOT lint_rc EQUAL 0)
         message(FATAL_ERROR "json_lint rejected ${json}")
     endif()
+    list(APPEND canons "${json}.canon")
 endforeach()
-execute_process(
-    COMMAND ${CMAKE_COMMAND} -E compare_files
-        ${OUTDIR}/kernel_eq_stepped.json.canon
-        ${OUTDIR}/kernel_eq_event.json.canon
-    RESULT_VARIABLE diff_rc)
-if(NOT diff_rc EQUAL 0)
-    message(FATAL_ERROR
-        "stepped and event kernel reports differ beyond wall-clock "
-        "fields (see ${OUTDIR}/kernel_eq_*.json.canon)")
-endif()
+
+# Every canonicalized report must match the first (the baseline kernel).
+list(GET canons 0 baseline)
+list(GET variants 0 baseline_name)
+foreach(canon ${canons})
+    if(canon STREQUAL baseline)
+        continue()
+    endif()
+    execute_process(
+        COMMAND ${CMAKE_COMMAND} -E compare_files ${baseline} ${canon}
+        RESULT_VARIABLE diff_rc)
+    if(NOT diff_rc EQUAL 0)
+        message(FATAL_ERROR
+            "${canon} differs from the ${baseline_name} baseline beyond "
+            "wall-clock fields (see ${OUTDIR}/kernel_eq_*.json.canon)")
+    endif()
+endforeach()

@@ -1,15 +1,16 @@
 /**
  * @file
- * kernel_idle_sweep — stepped vs event kernel wall-clock across the
- * offered-load (idle-fraction) range.
+ * kernel_idle_sweep — wall-clock comparison of every registered
+ * simulation kernel across the offered-load (idle-fraction) range.
  *
- * At low load most components are quiescent most cycles, so the
- * activity-driven kernel should win big; near saturation everything is
- * awake every cycle and the two kernels should cost about the same.
- * Both kernels must produce bit-identical simulation results at every
- * point — this bench asserts that while it measures the speedup, and
- * also reports the kernel's own activity counters (ticks executed,
- * idle cycles skipped).
+ * The kernel list comes from simKernelNames(), so a new kernel joins
+ * the sweep automatically. At low load most components are quiescent
+ * most cycles, so the activity-driven kernels should beat the stepped
+ * baseline big; near saturation everything is awake every cycle and
+ * the costs converge. Every kernel must produce bit-identical
+ * simulation results at every point — this bench asserts that while it
+ * measures the speedups, and also reports each kernel's own activity
+ * counters (ticks executed, idle cycles skipped).
  */
 
 #include <algorithm>
@@ -38,15 +39,15 @@ runPoint(const Config& cfg, const RunOptions& opt)
     KernelPoint p;
     const auto net = makeNetwork(cfg);
     p.run = runMeasurement(*net, opt);
-    p.ticks = net->kernel().ticksExecuted();
-    p.idleSkipped = net->kernel().idleCyclesSkipped();
+    p.ticks = net->driver().ticksExecuted();
+    p.idleSkipped = net->driver().idleCyclesSkipped();
     return p;
 }
 
 /** Wall-clock repetitions per point: identical runs, minimum time kept.
  *  The shared hosts this runs on jitter far more than the 5% resolution
- *  the speedup comparison needs; min-of-N with the two kernel modes
- *  interleaved is robust to that drift. */
+ *  the speedup comparison needs; min-of-N with the kernels interleaved
+ *  is robust to that drift. */
 constexpr int kReps = 3;
 
 }  // namespace
@@ -57,13 +58,15 @@ main(int argc, char** argv)
     return bench::benchMain(
         argc, argv,
         {"kernel_idle_sweep",
-         "Kernel microbench: stepped vs event wall-clock across offered "
-         "load"},
+         "Kernel microbench: every registered kernel's wall-clock "
+         "across offered load"},
         [](bench::BenchContext& ctx) {
             const RunOptions& opt = ctx.options();
+            const std::vector<std::string>& kernels = simKernelNames();
+            FRFC_ASSERT(!kernels.empty(), "empty kernel registry");
             // 1-2%: the genuinely idle regime (background traffic on a
-            // mostly sleeping fabric) where the activity-driven kernel
-            // earns its keep; 75%: past both schemes' saturation knees.
+            // mostly sleeping fabric) where the activity-driven kernels
+            // earn their keep; 75%: past both schemes' saturation knees.
             const std::vector<double> loads{0.01, 0.02, 0.05, 0.10,
                                             0.20, 0.30, 0.45, 0.60,
                                             0.75};
@@ -81,120 +84,159 @@ main(int argc, char** argv)
                 applyPreset(base, preset);
                 ctx.applyOverrides(base);
 
-                std::vector<KernelPoint> stepped;
-                std::vector<KernelPoint> event;
+                // points[k][i]: kernel k at load i.
+                std::vector<std::vector<KernelPoint>> points(
+                    kernels.size());
                 for (const double load : loads) {
                     Config cfg = base;
                     cfg.set("offered", load);
-                    KernelPoint st;
-                    KernelPoint ev;
+                    std::vector<KernelPoint> best(kernels.size());
                     for (int rep = 0; rep < kReps; ++rep) {
-                        cfg.set("sim.kernel", "stepped");
-                        KernelPoint s = runPoint(cfg, opt);
-                        cfg.set("sim.kernel", "event");
-                        KernelPoint e = runPoint(cfg, opt);
-                        if (!s.run.bitIdentical(e.run))
-                            fatal("stepped/event divergence: ", preset,
-                                  " at offered=", load);
-                        if (rep == 0) {
-                            st = s;
-                            ev = e;
-                        } else {
-                            st.run.wallSeconds = std::min(
-                                st.run.wallSeconds, s.run.wallSeconds);
-                            ev.run.wallSeconds = std::min(
-                                ev.run.wallSeconds, e.run.wallSeconds);
+                        for (std::size_t k = 0; k < kernels.size();
+                             ++k) {
+                            cfg.set("sim.kernel", kernels[k]);
+                            KernelPoint p = runPoint(cfg, opt);
+                            if (!p.run.bitIdentical(
+                                    rep == 0 && k == 0
+                                        ? p.run
+                                        : best[0].run))
+                                fatal("kernel divergence: ", kernels[k],
+                                      " vs ", kernels[0], " on ", preset,
+                                      " at offered=", load);
+                            if (rep == 0)
+                                best[k] = p;
+                            else
+                                best[k].run.wallSeconds = std::min(
+                                    best[k].run.wallSeconds,
+                                    p.run.wallSeconds);
                         }
                     }
-                    stepped.push_back(st);
-                    event.push_back(ev);
+                    for (std::size_t k = 0; k < kernels.size(); ++k)
+                        points[k].push_back(best[k]);
                 }
 
                 TextTable table;
-                table.setHeader({"offered(%)", "stepped(ms)", "event(ms)",
-                                 "speedup", "ticks st", "ticks ev",
-                                 "idle skipped"});
+                std::vector<std::string> header{"offered(%)"};
+                for (const auto& name : kernels)
+                    header.push_back(name + "(ms)");
+                for (std::size_t k = 1; k < kernels.size(); ++k)
+                    header.push_back(kernels[k] + " spdup");
+                for (const auto& name : kernels)
+                    header.push_back("ticks " + name);
+                table.setHeader(header);
                 for (std::size_t i = 0; i < loads.size(); ++i) {
-                    const double st = stepped[i].run.wallSeconds;
-                    const double ev = event[i].run.wallSeconds;
-                    table.addRow(
-                        {TextTable::num(loads[i] * 100.0, 0),
-                         TextTable::num(st * 1e3, 1),
-                         TextTable::num(ev * 1e3, 1),
-                         ev > 0.0 ? TextTable::num(st / ev, 2)
-                                  : std::string("-"),
-                         TextTable::num(
-                             static_cast<double>(stepped[i].ticks), 0),
-                         TextTable::num(
-                             static_cast<double>(event[i].ticks), 0),
-                         TextTable::num(
-                             static_cast<double>(event[i].idleSkipped),
-                             0)});
+                    const double base_ms =
+                        points[0][i].run.wallSeconds;
+                    std::vector<std::string> row{
+                        TextTable::num(loads[i] * 100.0, 0)};
+                    for (std::size_t k = 0; k < kernels.size(); ++k)
+                        row.push_back(TextTable::num(
+                            points[k][i].run.wallSeconds * 1e3, 1));
+                    for (std::size_t k = 1; k < kernels.size(); ++k) {
+                        const double w = points[k][i].run.wallSeconds;
+                        row.push_back(w > 0.0
+                                          ? TextTable::num(base_ms / w,
+                                                           2)
+                                          : std::string("-"));
+                    }
+                    for (std::size_t k = 0; k < kernels.size(); ++k)
+                        row.push_back(TextTable::num(
+                            static_cast<double>(points[k][i].ticks),
+                            0));
+                    table.addRow(row);
+
                     const std::string slug =
                         preset + ".load"
                         + TextTable::num(loads[i] * 100.0, 0);
-                    ctx.report().addScalar(slug + ".stepped_seconds", st);
-                    ctx.report().addScalar(slug + ".event_seconds", ev);
-                    if (ev > 0.0)
-                        ctx.report().addScalar(slug + ".speedup",
-                                               st / ev);
+                    for (std::size_t k = 0; k < kernels.size(); ++k) {
+                        const KernelPoint& p = points[k][i];
+                        const std::string& name = kernels[k];
+                        ctx.report().addScalar(
+                            slug + "." + name + "_seconds",
+                            p.run.wallSeconds);
+                        ctx.report().addScalar(
+                            slug + "." + name + "_ticks",
+                            static_cast<double>(p.ticks));
+                        ctx.report().addScalar(
+                            slug + "." + name + "_idle_skipped",
+                            static_cast<double>(p.idleSkipped));
+                        if (k > 0 && p.run.wallSeconds > 0.0)
+                            ctx.report().addScalar(
+                                slug + "." + name + "_speedup",
+                                base_ms / p.run.wallSeconds);
+                    }
                 }
-                std::printf("== %s: stepped vs event kernel ==\n",
-                            preset.c_str());
+                std::printf("== %s: kernels vs %s baseline ==\n",
+                            preset.c_str(), kernels[0].c_str());
                 if (ctx.csv())
                     table.printCsv(std::cout);
                 else
                     table.print(std::cout);
                 std::printf("\n");
 
-                // Headline numbers: the speedup at the lightest swept
-                // load (the idle regime the activity-driven kernel
-                // exists for), the aggregate over the low-load points
-                // (<= 0.3 of capacity), and the highest swept load.
-                const double idle_st = stepped.front().run.wallSeconds;
-                const double idle_ev = event.front().run.wallSeconds;
-                if (idle_ev > 0.0)
-                    ctx.report().addScalar(preset + ".idle_speedup",
-                                           idle_st / idle_ev);
-                double low_st = 0.0;
-                double low_ev = 0.0;
-                for (std::size_t i = 0; i < loads.size(); ++i) {
-                    if (loads[i] <= 0.3) {
-                        low_st += stepped[i].run.wallSeconds;
-                        low_ev += event[i].run.wallSeconds;
+                // Headline numbers per non-baseline kernel: the speedup
+                // at the lightest swept load (the idle regime the
+                // activity-driven kernels exist for), the aggregate
+                // over the low-load points (<= 0.3 of capacity), and
+                // the highest swept load.
+                for (std::size_t k = 1; k < kernels.size(); ++k) {
+                    const std::string& name = kernels[k];
+                    const double idle_base =
+                        points[0].front().run.wallSeconds;
+                    const double idle_k =
+                        points[k].front().run.wallSeconds;
+                    if (idle_k > 0.0)
+                        ctx.report().addScalar(
+                            preset + "." + name + "_idle_speedup",
+                            idle_base / idle_k);
+                    double low_base = 0.0;
+                    double low_k = 0.0;
+                    for (std::size_t i = 0; i < loads.size(); ++i) {
+                        if (loads[i] <= 0.3) {
+                            low_base +=
+                                points[0][i].run.wallSeconds;
+                            low_k += points[k][i].run.wallSeconds;
+                        }
                     }
+                    if (low_k > 0.0)
+                        ctx.report().addScalar(
+                            preset + "." + name + "_low_load_speedup",
+                            low_base / low_k);
+                    const double hi_base =
+                        points[0].back().run.wallSeconds;
+                    const double hi_k =
+                        points[k].back().run.wallSeconds;
+                    if (hi_k > 0.0)
+                        ctx.report().addScalar(
+                            preset + "." + name + "_high_load_speedup",
+                            hi_base / hi_k);
+                    std::printf(
+                        "%s %s: idle (%.0f%%) speedup %.2fx, low-load "
+                        "(<=30%%) speedup %.2fx, %.0f%%-load speedup "
+                        "%.2fx\n",
+                        preset.c_str(), name.c_str(),
+                        loads.front() * 100.0,
+                        idle_k > 0.0 ? idle_base / idle_k : 0.0,
+                        low_k > 0.0 ? low_base / low_k : 0.0,
+                        loads.back() * 100.0,
+                        hi_k > 0.0 ? hi_base / hi_k : 0.0);
                 }
-                if (low_ev > 0.0)
-                    ctx.report().addScalar(preset + ".low_load_speedup",
-                                           low_st / low_ev);
-                const double hi_st = stepped.back().run.wallSeconds;
-                const double hi_ev = event.back().run.wallSeconds;
-                if (hi_ev > 0.0)
-                    ctx.report().addScalar(preset + ".high_load_speedup",
-                                           hi_st / hi_ev);
-                std::printf(
-                    "%s: idle (%.0f%%) speedup %.2fx, low-load (<=30%%) "
-                    "speedup %.2fx, %.0f%%-load speedup %.2fx\n\n",
-                    preset.c_str(), loads.front() * 100.0,
-                    idle_ev > 0.0 ? idle_st / idle_ev : 0.0,
-                    low_ev > 0.0 ? low_st / low_ev : 0.0,
-                    loads.back() * 100.0,
-                    hi_ev > 0.0 ? hi_st / hi_ev : 0.0);
+                std::printf("\n");
 
                 // Record the (identical) latency curve once per preset.
                 std::vector<RunResult> runs;
-                for (const auto& p : event)
+                for (const auto& p : points.back())
                     runs.push_back(p.run);
                 latency_curves.push_back(std::move(runs));
                 latency_names.push_back(preset);
                 latency_cfgs.push_back(base);
             }
 
-            ctx.emitCurves("Latency (identical under both kernels)",
+            ctx.emitCurves("Latency (identical under every kernel)",
                            latency_names, latency_cfgs, latency_curves);
-            ctx.note("stepped and event kernels verified bit-identical "
-                     "at every swept point; wall times are the minimum "
-                     "of 3 interleaved repetitions");
+            ctx.note("all registered kernels verified bit-identical at "
+                     "every swept point; wall times are the minimum of "
+                     "3 interleaved repetitions");
             ctx.sweepStats(timer.seconds(), latency_curves, false);
         });
 }

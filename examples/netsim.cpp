@@ -23,6 +23,7 @@
 #include "bench_common.hpp"
 #include "network/fr_network.hpp"
 #include "network/network.hpp"
+#include "sim/parallel_kernel.hpp"
 #include "topology/topology.hpp"
 
 using namespace frfc;
@@ -99,6 +100,44 @@ main(int argc, char** argv)
             }
             ctx.report().addCurve("run", cfg).runs.push_back(r);
 
+            if (ParallelKernel* pk = net->parallelKernel()) {
+                // Shard balance: a shard with a disproportionate tick
+                // share is the window's critical path.
+                const std::vector<std::int64_t> ticks =
+                    pk->shardTicks();
+                const std::vector<std::size_t> comps =
+                    pk->shardComponents();
+                std::int64_t total_ticks = 0;
+                for (const std::int64_t t : ticks)
+                    total_ticks += t;
+                std::printf(
+                    "parallel   : %d shards, lookahead %lld cycles, "
+                    "%lld windows\n",
+                    pk->shardCount(),
+                    static_cast<long long>(pk->lookahead()),
+                    static_cast<long long>(pk->windowsExecuted()));
+                for (std::size_t s = 0; s < ticks.size(); ++s) {
+                    const double share = total_ticks > 0
+                        ? static_cast<double>(ticks[s])
+                            / static_cast<double>(total_ticks)
+                        : 0.0;
+                    std::printf("  shard %2zu : %4zu components, "
+                                "%10lld ticks (%.1f%%)\n",
+                                s, comps[s],
+                                static_cast<long long>(ticks[s]),
+                                share * 100.0);
+                }
+                ctx.report().addScalar(
+                    "parallel.shards",
+                    static_cast<double>(pk->shardCount()));
+                ctx.report().addScalar(
+                    "parallel.windows",
+                    static_cast<double>(pk->windowsExecuted()));
+                ctx.report().addScalar(
+                    "parallel.lookahead",
+                    static_cast<double>(pk->lookahead()));
+            }
+
             if (cfg.getBool("stats.links", false)) {
                 // Busiest data links: flits forwarded over cycles.
                 struct LinkLoad
@@ -109,7 +148,7 @@ main(int argc, char** argv)
                 };
                 std::vector<LinkLoad> loads;
                 const auto cycles =
-                    static_cast<double>(net->kernel().now());
+                    static_cast<double>(net->driver().now());
                 for (NodeId node = 0; node < net->topology().numNodes();
                      ++node) {
                     for (PortId port = kEast; port <= kSouth; ++port) {

@@ -1,0 +1,20 @@
+#!/bin/sh
+# Re-measure the perf-gate baseline on this host and write it to
+# bench/baselines/perf_baseline.json. Run after intentional
+# performance changes (and commit the result), on an otherwise idle
+# machine — the gate skips on hosts whose calibration fingerprint
+# drifts from the one recorded here.
+#
+# usage: scripts/refresh_perf_baseline.sh [build-dir]
+set -eu
+
+cd "$(dirname "$0")/.."
+build="${1:-build}"
+
+cmake --build "$build" -j "$(nproc)" \
+    --target perf_microbench kernel_idle_sweep > /dev/null
+
+python3 scripts/perf_gate.py \
+    --build-dir "$build" \
+    --baseline bench/baselines/perf_baseline.json \
+    --refresh

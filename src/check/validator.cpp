@@ -49,6 +49,7 @@ Diagnostic::toString() const
 void
 Validator::report(Diagnostic diag)
 {
+    const std::lock_guard<std::mutex> lock(report_mutex_);
     diagnostics_.push_back(std::move(diag));
     const Diagnostic& d = diagnostics_.back();
     if (fail_fast_)

@@ -26,6 +26,7 @@
 #define FRFC_CHECK_VALIDATOR_HPP
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -77,6 +78,16 @@ class Validator
     {
     }
 
+    /** Movable for test fixtures. The mutex itself is not moved — a
+     *  fresh one is equivalent, since moves only happen during setup,
+     *  before any concurrent reporting. */
+    Validator(Validator&& other) noexcept
+        : level_(other.level_), fail_fast_(other.fail_fast_),
+          diagnostics_(std::move(other.diagnostics_)),
+          links_(std::move(other.links_))
+    {
+    }
+
     void setLevel(ValidateLevel level) { level_ = level; }
     ValidateLevel level() const { return level_; }
     bool enabled() const { return level_ != ValidateLevel::kOff; }
@@ -90,7 +101,8 @@ class Validator
     void setFailFast(bool on) { fail_fast_ = on; }
     bool failFast() const { return fail_fast_; }
 
-    /** Record a violation; panics when failFast() is set. */
+    /** Record a violation; panics when failFast() is set. Serialized
+     *  internally: parallel-kernel shards may report concurrently. */
     void report(Diagnostic diag);
 
     /** Convenience wrapper building the Diagnostic in place. */
@@ -136,6 +148,11 @@ class Validator
 
     ValidateLevel level_;
     bool fail_fast_ = true;
+    /** Guards diagnostics_ only. The link ledgers need no lock: each
+     *  field has exactly one writing component (the sender increments
+     *  sent, the receiver applied), and checkCreditLink reads them at
+     *  window boundaries when every shard worker is parked. */
+    std::mutex report_mutex_;
     std::vector<Diagnostic> diagnostics_;
     std::vector<LinkLedger> links_;
 };

@@ -9,7 +9,7 @@
 namespace frfc {
 
 FrSource::FrSource(std::string name, NodeId node,
-                   PacketGenerator* generator, PacketRegistry* registry,
+                   PacketGenerator* generator, PacketLedger* registry,
                    const FrParams& params, Rng rng,
                    MetricRegistry* metrics)
     : Clocked(std::move(name)), node_(node), generator_(generator),

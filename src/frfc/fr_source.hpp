@@ -32,7 +32,7 @@
 namespace frfc {
 
 class PacketGenerator;
-class PacketRegistry;
+class PacketLedger;
 
 /** Per-node open-loop source for flit-reservation networks. */
 class FrSource : public Clocked
@@ -43,7 +43,7 @@ class FrSource : public Clocked
      *        into; null = keep private counters only
      */
     FrSource(std::string name, NodeId node, PacketGenerator* generator,
-             PacketRegistry* registry, const FrParams& params, Rng rng,
+             PacketLedger* registry, const FrParams& params, Rng rng,
              MetricRegistry* metrics = nullptr);
 
     /** @{ Wiring toward the local router. */
@@ -125,7 +125,7 @@ class FrSource : public Clocked
 
     NodeId node_;
     PacketGenerator* generator_;
-    PacketRegistry* registry_;
+    PacketLedger* registry_;
     FrParams params_;
     Rng rng_;
     bool generating_ = true;

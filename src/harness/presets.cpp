@@ -96,6 +96,30 @@ applyLeadingControl(Config& cfg, int lead)
 }
 
 void
+applyMesh32(Config& cfg)
+{
+    cfg.set("topology", "mesh");
+    cfg.set("size_x", 32);
+    cfg.set("size_y", 32);
+}
+
+void
+applyMesh64(Config& cfg)
+{
+    cfg.set("topology", "mesh");
+    cfg.set("size_x", 64);
+    cfg.set("size_y", 64);
+}
+
+void
+applyTorus32(Config& cfg)
+{
+    cfg.set("topology", "torus");
+    cfg.set("size_x", 32);
+    cfg.set("size_y", 32);
+}
+
+void
 applyPreset(Config& cfg, const std::string& name)
 {
     if (name == "vc8")
@@ -110,6 +134,12 @@ applyPreset(Config& cfg, const std::string& name)
         applyFr6(cfg);
     else if (name == "fr13")
         applyFr13(cfg);
+    else if (name == "mesh32")
+        applyMesh32(cfg);
+    else if (name == "mesh64")
+        applyMesh64(cfg);
+    else if (name == "torus32")
+        applyTorus32(cfg);
     else
         fatal("unknown preset '", name, "'");
 }
@@ -117,7 +147,8 @@ applyPreset(Config& cfg, const std::string& name)
 std::vector<std::string>
 presetNames()
 {
-    return {"vc8", "vc16", "vc32", "wormhole8", "fr6", "fr13"};
+    return {"vc8",  "vc16",   "vc32",   "wormhole8", "fr6",
+            "fr13", "mesh32", "mesh64", "torus32"};
 }
 
 }  // namespace frfc

@@ -40,6 +40,14 @@ void applyFastControl(Config& cfg);
 void applyLeadingControl(Config& cfg, int lead);
 /** @} */
 
+/** @{ Topology-size presets (parallel-kernel scaling studies).
+ *  Orthogonal to the buffer presets: they set only the topology
+ *  dimensions, so `preset=fr6` + `applyMesh32` compose. */
+void applyMesh32(Config& cfg);   ///< 32x32 mesh (1024 nodes)
+void applyMesh64(Config& cfg);   ///< 64x64 mesh (4096 nodes)
+void applyTorus32(Config& cfg);  ///< 32x32 torus (1024 nodes)
+/** @} */
+
 /** Resolve a preset by name ("vc8", "fr6", ...); fatal() if unknown. */
 void applyPreset(Config& cfg, const std::string& name);
 

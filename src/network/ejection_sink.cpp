@@ -4,9 +4,9 @@
 
 namespace frfc {
 
-EjectionSink::EjectionSink(std::string name, PacketRegistry* registry,
+EjectionSink::EjectionSink(std::string name, PacketLedger* ledger,
                            MetricRegistry* metrics)
-    : Clocked(std::move(name)), registry_(registry)
+    : Clocked(std::move(name)), ledger_(ledger)
 {
     if (metrics != nullptr)
         metrics->attachCounter("sink.flits_ejected", flits_ejected_);
@@ -15,18 +15,18 @@ EjectionSink::EjectionSink(std::string name, PacketRegistry* registry,
 void
 EjectionSink::tick(Cycle now)
 {
-    for (std::size_t node = 0; node < channels_.size(); ++node) {
-        channels_[node]->drainInto(now, drain_scratch_);
+    for (std::size_t i = 0; i < channels_.size(); ++i) {
+        const NodeId node = nodes_[i];
+        channels_[i]->drainInto(now, drain_scratch_);
         for (const Flit& flit : drain_scratch_) {
-            if (validator_ != nullptr
-                && flit.dest != static_cast<NodeId>(node)) {
+            if (validator_ != nullptr && flit.dest != node) {
                 validator_->fail(
                     "sink.misroute", now, name(),
                     static_cast<PortId>(node),
                     flit.toString() + " ejected at node "
                         + std::to_string(node));
             }
-            registry_->deliverFlit(now, flit);
+            ledger_->deliverFlit(now, flit);
             flits_ejected_.inc();
         }
     }

@@ -18,9 +18,15 @@
 
 namespace frfc {
 
-class PacketRegistry;
+class PacketLedger;
 
-/** Drains ejected flits and reports them to the registry. */
+/**
+ * Drains ejected flits and reports them to the packet ledger. Serial
+ * networks run one sink covering every node; the parallel kernel runs
+ * one per shard (over that shard's nodes only), each reporting into
+ * its shard's deferred ledger, with the network aggregating the
+ * `sink.flits_ejected` metric across slices.
+ */
 class EjectionSink : public Clocked
 {
   public:
@@ -28,11 +34,17 @@ class EjectionSink : public Clocked
      * @param metrics registry to publish the `sink.flits_ejected`
      *        counter into; null = keep a private counter only
      */
-    EjectionSink(std::string name, PacketRegistry* registry,
+    EjectionSink(std::string name, PacketLedger* ledger,
                  MetricRegistry* metrics = nullptr);
 
-    /** Register one node's ejection channel. */
-    void addChannel(Channel<Flit>* ch) { channels_.push_back(ch); }
+    /** Register @p node's ejection channel. Channels are drained in
+     *  registration order, which networks keep at node-ascending. */
+    void
+    addChannel(Channel<Flit>* ch, NodeId node)
+    {
+        channels_.push_back(ch);
+        nodes_.push_back(node);
+    }
 
     void tick(Cycle now) override;
 
@@ -49,10 +61,9 @@ class EjectionSink : public Clocked
     std::int64_t flitsEjected() const { return flits_ejected_.value(); }
 
     /**
-     * Attach the run's validator. Channels must then be added in node
-     * order (channel index == destination node) so every ejected flit
-     * can be checked against its header's destination (sink.misroute —
-     * the end-to-end symptom of corrupted data-flit steering).
+     * Attach the run's validator: every ejected flit is then checked
+     * against its header's destination (sink.misroute — the end-to-end
+     * symptom of corrupted data-flit steering).
      */
     void setValidator(Validator* validator) { validator_ = validator; }
 
@@ -65,9 +76,10 @@ class EjectionSink : public Clocked
     }
 
   private:
-    PacketRegistry* registry_;
+    PacketLedger* ledger_;
     Validator* validator_ = nullptr;
     std::vector<Channel<Flit>*> channels_;
+    std::vector<NodeId> nodes_;
     std::vector<Flit> drain_scratch_;
 
     Counter flits_ejected_;

@@ -61,12 +61,9 @@ FrNetwork::FrNetwork(const Config& cfg)
         fatal("horizon too short for the data link latency");
 
     const int n = topo_->numNodes();
-    kernel_.setMode(kernelModeFromConfig(cfg));
     validator_.setLevel(validateLevelFromConfig(cfg));
-    if (validator_.enabled())
-        kernel_.setValidator(&validator_);
+    initSimKernel(cfg, *topo_);
     middle_node_ = topo_->nodeAt(topo_->sizeX() / 2, topo_->sizeY() / 2);
-    sink_ = std::make_unique<EjectionSink>("sink", &registry_, &metrics_);
 
     generators_ = makeGenerators(cfg, *topo_, pattern_.get(), offered_);
     for (NodeId node = 0; node < n; ++node) {
@@ -77,7 +74,7 @@ FrNetwork::FrNetwork(const Config& cfg)
         sources_.push_back(std::make_unique<FrSource>(
             "source" + std::to_string(node), node,
             generators_[static_cast<std::size_t>(node)].get(),
-            &registry_, params_,
+            ledgerFor(node), params_,
             Rng(seed, 0x2000 + static_cast<std::uint64_t>(node)),
             &metrics_));
         if (validator_.enabled()) {
@@ -85,8 +82,6 @@ FrNetwork::FrNetwork(const Config& cfg)
             sources_.back()->setValidator(&validator_);
         }
     }
-    if (validator_.enabled())
-        sink_->setValidator(&validator_);
 
     const int credit_width =
         params_.ctrlWidth * params_.flitsPerControl;
@@ -113,6 +108,8 @@ FrNetwork::FrNetwork(const Config& cfg)
     };
 
     // Inter-router links: data + control forward, two credit wires back.
+    // rxSide() splits any cross-shard wire into its mailbox pair; the
+    // sender keeps pushing into the first channel either way.
     for (NodeId node = 0; node < n; ++node) {
         for (PortId port = kEast; port <= kSouth; ++port) {
             const NodeId peer = topo_->neighbor(node, port);
@@ -124,64 +121,85 @@ FrNetwork::FrNetwork(const Config& cfg)
 
             Channel<Flit>* data =
                 flit_ch("d:" + tag, params_.dataLinkLatency);
+            Channel<Flit>* data_rx = rxSide(data, node, peer, [&] {
+                return flit_ch("d:" + tag + ":rx",
+                               params_.dataLinkLatency);
+            });
             routers_[node]->connectDataOut(port, data);
-            routers_[peer]->connectDataIn(rev, data);
-            data->bindSink(&kernel_, routers_[peer].get(),
-                          /*lazy_wake=*/true);
+            routers_[peer]->connectDataIn(rev, data_rx);
+            data_rx->bindSink(kernelFor(peer), routers_[peer].get(),
+                              /*lazy_wake=*/true);
 
             Channel<ControlFlit>* ctrl =
                 ctrl_ch("ctl:" + tag, params_.ctrlLinkLatency);
+            Channel<ControlFlit>* ctrl_rx = rxSide(ctrl, node, peer, [&] {
+                return ctrl_ch("ctl:" + tag + ":rx",
+                               params_.ctrlLinkLatency);
+            });
             routers_[node]->connectCtrlOut(port, ctrl);
-            routers_[peer]->connectCtrlIn(rev, ctrl);
-            ctrl->bindSink(&kernel_, routers_[peer].get(),
-                          /*lazy_wake=*/true);
+            routers_[peer]->connectCtrlIn(rev, ctrl_rx);
+            ctrl_rx->bindSink(kernelFor(peer), routers_[peer].get(),
+                              /*lazy_wake=*/true);
 
             Channel<FrCredit>* frc =
                 fr_credit_ch("frc:" + tag, params_.ctrlLinkLatency);
+            Channel<FrCredit>* frc_rx = rxSide(frc, peer, node, [&] {
+                return fr_credit_ch("frc:" + tag + ":rx",
+                                    params_.ctrlLinkLatency);
+            });
             routers_[peer]->connectFrCreditOut(rev, frc);
-            routers_[node]->connectFrCreditIn(port, frc);
-            frc->bindSink(&kernel_, routers_[node].get(),
-                          /*lazy_wake=*/true);
+            routers_[node]->connectFrCreditIn(port, frc_rx);
+            frc_rx->bindSink(kernelFor(node), routers_[node].get(),
+                             /*lazy_wake=*/true);
             if (validator_.enabled()) {
                 // Ledger for this wire: peer sends (commitEntry for
                 // data arriving on its `rev` input), node applies into
-                // its `port` output table.
+                // its `port` output table. Conservation is checked at
+                // quiescent points, where a cross-shard stub is always
+                // drained, so the receiver-side channel alone carries
+                // the in-flight credits.
                 const int link = validator_.addCreditLink("frc:" + tag);
                 routers_[peer]->bindCreditLedger(rev, link);
                 routers_[node]->bindCreditFeedback(port, link);
-                credit_links_.push_back(CreditLinkRec{link, frc});
+                credit_links_.push_back(CreditLinkRec{link, frc_rx});
             }
 
             Channel<Credit>* ctc =
                 ctrl_credit_ch("ctc:" + tag, params_.ctrlLinkLatency);
+            Channel<Credit>* ctc_rx = rxSide(ctc, peer, node, [&] {
+                return ctrl_credit_ch("ctc:" + tag + ":rx",
+                                      params_.ctrlLinkLatency);
+            });
             routers_[peer]->connectCtrlCreditOut(rev, ctc);
-            routers_[node]->connectCtrlCreditIn(port, ctc);
-            ctc->bindSink(&kernel_, routers_[node].get(),
-                          /*lazy_wake=*/true);
+            routers_[node]->connectCtrlCreditIn(port, ctc_rx);
+            ctc_rx->bindSink(kernelFor(node), routers_[node].get(),
+                             /*lazy_wake=*/true);
         }
     }
 
-    // Injection (source -> router local input) and ejection.
+    // Injection (source -> router local input) and ejection. Endpoint
+    // wiring is node-local, hence always intra-shard.
     for (NodeId node = 0; node < n; ++node) {
         const std::string tag = std::to_string(node);
+        Kernel* kernel = kernelFor(node);
 
         Channel<Flit>* inj = flit_ch("inj:" + tag, 1);
         sources_[node]->connectDataOut(inj);
         routers_[node]->connectDataIn(kLocal, inj);
-        inj->bindSink(&kernel_, routers_[node].get(),
+        inj->bindSink(kernel, routers_[node].get(),
                       /*lazy_wake=*/true);
 
         Channel<ControlFlit>* inj_ctl =
             ctrl_ch("injctl:" + tag, params_.ctrlLinkLatency);
         sources_[node]->connectCtrlOut(inj_ctl);
         routers_[node]->connectCtrlIn(kLocal, inj_ctl);
-        inj_ctl->bindSink(&kernel_, routers_[node].get(),
+        inj_ctl->bindSink(kernel, routers_[node].get(),
                       /*lazy_wake=*/true);
 
         Channel<FrCredit>* inj_frc = fr_credit_ch("injfrc:" + tag, 1);
         routers_[node]->connectFrCreditOut(kLocal, inj_frc);
         sources_[node]->connectFrCreditIn(inj_frc);
-        inj_frc->bindSink(&kernel_, sources_[node].get());
+        inj_frc->bindSink(kernel, sources_[node].get());
         if (validator_.enabled()) {
             const int link = validator_.addCreditLink("injfrc:" + tag);
             routers_[node]->bindCreditLedger(kLocal, link);
@@ -192,29 +210,35 @@ FrNetwork::FrNetwork(const Config& cfg)
         Channel<Credit>* inj_ctc = ctrl_credit_ch("injctc:" + tag, 1);
         routers_[node]->connectCtrlCreditOut(kLocal, inj_ctc);
         sources_[node]->connectCtrlCreditIn(inj_ctc);
-        inj_ctc->bindSink(&kernel_, sources_[node].get());
+        inj_ctc->bindSink(kernel, sources_[node].get());
 
         Channel<Flit>* ej = flit_ch("ej:" + tag, 1);
         routers_[node]->connectDataOut(kLocal, ej);
-        sink_->addChannel(ej);
-        ej->bindSink(&kernel_, sink_.get());
+        sinkFor(node).addChannel(ej, node);
+        ej->bindSink(kernel, &sinkFor(node));
     }
 
     probe_ = std::make_unique<Probe>(*this);
     fullness_.setThreshold(1.0);
 
-    for (auto& source : sources_)
-        kernel_.add(source.get());
-    for (auto& router : routers_)
-        kernel_.add(router.get());
-    kernel_.add(sink_.get());
-    kernel_.add(probe_.get());
+    // Per-kernel registration order matches the serial build: sources
+    // (node ascending), routers (node ascending), sink, then probe on
+    // the middle node's shard.
+    for (NodeId node = 0; node < n; ++node)
+        kernelFor(node)->add(sources_[node].get());
+    for (NodeId node = 0; node < n; ++node)
+        kernelFor(node)->add(routers_[node].get());
+    registerSinks();
+    kernelFor(middle_node_)->add(probe_.get());
 }
 
 void
 FrNetwork::Probe::tick(Cycle now)
 {
-    if (net_.validator_.paranoid())
+    // Parallel runs sweep from the window-boundary hook instead: the
+    // sweep reads whole-network state, which is only consistent while
+    // every shard worker is parked.
+    if (net_.validator_.paranoid() && net_.parallel_ == nullptr)
         net_.validateState(now);
     if (!net_.sampling_)
         return;
@@ -238,10 +262,12 @@ FrNetwork::avgSourceQueue() const
 void
 FrNetwork::setGenerating(bool on)
 {
-    for (auto& source : sources_) {
-        source->setGenerating(on);
+    const Cycle now = driver().now();
+    for (NodeId node = 0; node < topo_->numNodes(); ++node) {
+        sources_[static_cast<std::size_t>(node)]->setGenerating(on);
         if (on)
-            kernel_.wake(source.get(), kernel_.now());
+            kernelFor(node)->wake(
+                sources_[static_cast<std::size_t>(node)].get(), now);
     }
 }
 
@@ -249,9 +275,9 @@ void
 FrNetwork::startOccupancySampling()
 {
     sampling_ = true;
-    occupancy_.reset(kernel_.now());
-    fullness_.reset(kernel_.now());
-    kernel_.wake(probe_.get(), kernel_.now());
+    occupancy_.reset(driver().now());
+    fullness_.reset(driver().now());
+    kernelFor(middle_node_)->wake(probe_.get(), driver().now());
 }
 
 double
@@ -330,7 +356,7 @@ FrNetwork::validateState(Cycle now)
     std::int64_t injected = 0;
     for (const auto& source : sources_)
         injected += source->flitsInjected();
-    std::int64_t accounted = sink_->flitsEjected();
+    std::int64_t accounted = flitsEjectedTotal();
     for (const auto& router : routers_) {
         accounted += router->dataFlitsDropped();
         for (PortId port = 0; port < kNumPorts; ++port)

@@ -66,7 +66,7 @@ class FrNetwork : public NetworkModel
     void
     finalizeMetrics() override
     {
-        const Cycle end = kernel().now();
+        const Cycle end = driver().now();
         if (end > 0)
             for (auto& r : routers_)
                 r->syncMetrics(end - 1);
@@ -135,7 +135,6 @@ class FrNetwork : public NetworkModel
     std::vector<std::unique_ptr<PacketGenerator>> generators_;
     std::vector<std::unique_ptr<FrSource>> sources_;
     std::vector<std::unique_ptr<FrRouter>> routers_;
-    std::unique_ptr<EjectionSink> sink_;
     std::unique_ptr<Probe> probe_;
 
     std::vector<std::unique_ptr<Channel<Flit>>> flit_channels_;

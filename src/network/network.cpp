@@ -6,6 +6,83 @@
 
 namespace frfc {
 
+void
+NetworkModel::initSimKernel(const Config& cfg, const Topology& topo)
+{
+    const SimKernelKind kind = simKernelFromConfig(cfg);
+    if (kind != SimKernelKind::kParallel) {
+        kernel_.setMode(kind == SimKernelKind::kStepped
+                            ? KernelMode::kStepped
+                            : KernelMode::kEvent);
+        if (validator_.enabled())
+            kernel_.setValidator(&validator_);
+        sinks_.push_back(std::make_unique<EjectionSink>(
+            "sink", &registry_, &metrics_));
+    } else {
+        plan_ = makeShardPlan(cfg, topo);
+        parallel_ = std::make_unique<ParallelKernel>(plan_.shards);
+        parallel_->setBoundaryHook(
+            [this](Cycle now) { onWindowBoundary(now); });
+        for (int s = 0; s < plan_.shards; ++s) {
+            if (validator_.enabled())
+                parallel_->shard(s).setValidator(&validator_);
+            shard_ledgers_.push_back(
+                std::make_unique<DeferredPacketLedger>());
+            ledger_ptrs_.push_back(shard_ledgers_.back().get());
+            // Slices keep private counters; the network publishes the
+            // aggregate under the serial runs' metric path.
+            sinks_.push_back(std::make_unique<EjectionSink>(
+                "sink" + std::to_string(s),
+                shard_ledgers_.back().get(), nullptr));
+        }
+        metrics_.attachCounter("sink.flits_ejected", sink_flits_total_);
+    }
+    if (validator_.enabled())
+        for (auto& sink : sinks_)
+            sink->setValidator(&validator_);
+}
+
+void
+NetworkModel::registerSinks()
+{
+    for (std::size_t s = 0; s < sinks_.size(); ++s) {
+        Kernel& kernel = parallel_ != nullptr
+            ? parallel_->shard(static_cast<int>(s))
+            : kernel_;
+        kernel.add(sinks_[s].get());
+    }
+}
+
+std::int64_t
+NetworkModel::flitsEjectedTotal() const
+{
+    std::int64_t total = 0;
+    for (const auto& sink : sinks_)
+        total += sink->flitsEjected();
+    return total;
+}
+
+void
+NetworkModel::syncAggregates()
+{
+    if (parallel_ == nullptr)
+        return;
+    sink_flits_total_.reset();
+    sink_flits_total_.add(flitsEjectedTotal());
+}
+
+void
+NetworkModel::onWindowBoundary(Cycle now)
+{
+    replayDeferredLedgers(registry_, ledger_ptrs_, replay_scratch_);
+    syncAggregates();
+    // Serial paranoid runs sweep from the probe's per-cycle tick; here
+    // the sweep needs whole-network (cross-shard) state, so it runs at
+    // the boundary instead, over the last fully-executed cycle.
+    if (validator_.paranoid())
+        validateState(now - 1);
+}
+
 std::unique_ptr<NetworkModel>
 makeNetwork(const Config& cfg)
 {

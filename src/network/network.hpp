@@ -3,6 +3,16 @@
  * Network model base: a fully-assembled simulated network (topology,
  * routers, sources, sink, channels) behind one interface the
  * measurement harness can drive.
+ *
+ * The base also owns the simulation-kernel selection (`sim.kernel`):
+ * the serial stepped/event kernels, or the sharded parallel kernel
+ * (sim/parallel_kernel.hpp). Subclass constructors stay kernel-agnostic
+ * by wiring through the protected helpers — kernelFor()/ledgerFor()/
+ * sinkFor() pick the per-shard instance, and rxSide() splits a
+ * cross-shard link into its mailbox stub/twin pair. A serial run takes
+ * the degenerate path through the same helpers (one kernel, the
+ * registry itself as ledger, one sink), so there is exactly one wiring
+ * code path to keep correct.
  */
 
 #ifndef FRFC_NETWORK_NETWORK_HPP
@@ -11,12 +21,17 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "check/validator.hpp"
 #include "common/config.hpp"
+#include "common/log.hpp"
 #include "common/types.hpp"
+#include "network/ejection_sink.hpp"
 #include "proto/packet_registry.hpp"
 #include "sim/kernel.hpp"
+#include "sim/parallel_kernel.hpp"
+#include "sim/shard.hpp"
 #include "stats/metrics.hpp"
 
 namespace frfc {
@@ -29,7 +44,42 @@ class NetworkModel
   public:
     virtual ~NetworkModel() = default;
 
-    Kernel& kernel() { return kernel_; }
+    /** The simulation driver for this run: the serial kernel, or the
+     *  sharded parallel kernel when sim.kernel=parallel. */
+    SimDriver&
+    driver()
+    {
+        if (parallel_ != nullptr)
+            return *parallel_;
+        return kernel_;
+    }
+    const SimDriver&
+    driver() const
+    {
+        if (parallel_ != nullptr)
+            return *parallel_;
+        return kernel_;
+    }
+
+    /** The serial kernel. Tests poke it directly; parallel runs have
+     *  no single kernel, so this is serial-only by contract. */
+    Kernel&
+    kernel()
+    {
+        FRFC_ASSERT(parallel_ == nullptr,
+                    "kernel() is serial-only; use driver()");
+        return kernel_;
+    }
+
+    /** True when this run shards the network (sim.kernel=parallel). */
+    bool parallelEnabled() const { return parallel_ != nullptr; }
+
+    /** The parallel kernel (null in serial runs). */
+    ParallelKernel* parallelKernel() { return parallel_.get(); }
+
+    /** Node-to-shard assignment (shards == 1 for serial runs). */
+    const ShardPlan& shardPlan() const { return plan_; }
+
     PacketRegistry& registry() { return registry_; }
     const PacketRegistry& registry() const { return registry_; }
 
@@ -44,7 +94,8 @@ class NetworkModel
     virtual void
     finalizeMetrics()
     {
-        metrics_.finishTimeAverages(kernel_.now());
+        syncAggregates();
+        metrics_.finishTimeAverages(driver().now());
     }
 
     /** Topology of this network. */
@@ -93,10 +144,108 @@ class NetworkModel
     virtual void validateState(Cycle /* now */) {}
 
   protected:
+    /**
+     * Select and build the simulation kernel from `sim.kernel`, plus —
+     * in parallel mode — the shard plan, the per-shard deferred packet
+     * ledgers, and the per-shard ejection-sink slices. Call after
+     * validator_.setLevel() and before any component wiring.
+     */
+    void initSimKernel(const Config& cfg, const Topology& topo);
+
+    /** Shard owning @p node (always 0 in serial runs). */
+    int
+    shardOf(NodeId node) const
+    {
+        return parallel_ != nullptr ? plan_.ownerOf(node) : 0;
+    }
+
+    /** Kernel that ticks components placed at @p node. */
+    Kernel*
+    kernelFor(NodeId node)
+    {
+        return parallel_ != nullptr ? &parallel_->shard(shardOf(node))
+                                    : &kernel_;
+    }
+
+    /** Packet ledger for endpoints at @p node: the registry itself in
+     *  serial runs, the node's shard ledger in parallel ones. */
+    PacketLedger*
+    ledgerFor(NodeId node)
+    {
+        if (parallel_ == nullptr)
+            return &registry_;
+        return shard_ledgers_[static_cast<std::size_t>(shardOf(node))]
+            .get();
+    }
+
+    /** Ejection-sink slice covering @p node. */
+    EjectionSink&
+    sinkFor(NodeId node)
+    {
+        return *sinks_[static_cast<std::size_t>(shardOf(node))];
+    }
+
+    /**
+     * Receiver-side half of the link sender -> receiver carried by
+     * @p ch. Same shard (or serial): @p ch itself. Cross-shard: @p ch
+     * becomes the unbound sender-side mailbox stub and @p make_twin
+     * must construct its receiver-side twin (same latency and width,
+     * owned by the subclass's channel list like any other channel);
+     * the pair is registered with the parallel kernel, which drains
+     * the stub into the twin at every window boundary. The receiver
+     * binds to and drains the returned channel.
+     */
+    template <typename T, typename MakeTwin>
+    Channel<T>*
+    rxSide(Channel<T>* ch, NodeId sender, NodeId receiver,
+           MakeTwin&& make_twin)
+    {
+        if (parallel_ == nullptr || shardOf(sender) == shardOf(receiver))
+            return ch;
+        Channel<T>* twin = make_twin();
+        parallel_->addCrossChannel(shardOf(receiver), ch, twin);
+        return twin;
+    }
+
+    /** Register the sink slices with their kernels. Call after sources
+     *  and routers so every shard keeps the serial registration order
+     *  (sources, routers, sink, probe). */
+    void registerSinks();
+
+    /** Flits delivered to destinations, summed over sink slices. */
+    std::int64_t flitsEjectedTotal() const;
+
+    /**
+     * Parallel window-boundary bookkeeping, run single-threaded by the
+     * kernel while every shard worker is parked: replay the shard
+     * ledgers into the registry in serial order, refresh aggregate
+     * metrics, and — in paranoid mode — sweep the whole-network
+     * invariants at the last executed cycle.
+     */
+    void onWindowBoundary(Cycle now);
+
+    /** Refresh metrics aggregated across shards (parallel only). */
+    void syncAggregates();
+
     Kernel kernel_;
     PacketRegistry registry_;
     MetricRegistry metrics_;
     Validator validator_;
+
+    // sim.kernel=parallel state; empty/null for serial runs.
+    ShardPlan plan_;
+    std::unique_ptr<ParallelKernel> parallel_;
+    std::vector<std::unique_ptr<DeferredPacketLedger>> shard_ledgers_;
+    std::vector<DeferredPacketLedger*> ledger_ptrs_;
+    LedgerReplayScratch replay_scratch_;
+
+    /** Sink slices: exactly one in serial runs, one per shard in
+     *  parallel ones. */
+    std::vector<std::unique_ptr<EjectionSink>> sinks_;
+    /** Parallel runs: aggregate of the slices' private counters,
+     *  published as "sink.flits_ejected" so snapshots match serial
+     *  runs path-for-path and value-for-value. */
+    Counter sink_flits_total_;
 };
 
 /**

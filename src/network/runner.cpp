@@ -94,7 +94,7 @@ RunResult
 runMeasurement(NetworkModel& net, const RunOptions& opt)
 {
     const auto wall_start = std::chrono::steady_clock::now();
-    Kernel& kernel = net.kernel();
+    SimDriver& kernel = net.driver();
     PacketRegistry& registry = net.registry();
 
     // Phase 1 — warm-up: run until the average source queue length has

@@ -63,14 +63,9 @@ VcNetwork::VcNetwork(const Config& cfg)
     }
 
     const int n = topo_->numNodes();
-    kernel_.setMode(kernelModeFromConfig(cfg));
     validator_.setLevel(validateLevelFromConfig(cfg));
-    if (validator_.enabled())
-        kernel_.setValidator(&validator_);
+    initSimKernel(cfg, *topo_);
     middle_node_ = topo_->nodeAt(topo_->sizeX() / 2, topo_->sizeY() / 2);
-    sink_ = std::make_unique<EjectionSink>("sink", &registry_, &metrics_);
-    if (validator_.enabled())
-        sink_->setValidator(&validator_);
 
     generators_ = makeGenerators(cfg, *topo_, pattern_.get(), offered_);
     for (NodeId node = 0; node < n; ++node) {
@@ -81,7 +76,8 @@ VcNetwork::VcNetwork(const Config& cfg)
         sources_.push_back(std::make_unique<VcSource>(
             "source" + std::to_string(node), node,
             generators_[static_cast<std::size_t>(node)].get(),
-            &registry_, params.numVcs, params.vcDepth, params.sharedPool,
+            ledgerFor(node), params.numVcs, params.vcDepth,
+            params.sharedPool,
             Rng(seed, 0x2000 + static_cast<std::uint64_t>(node)),
             &metrics_));
     }
@@ -101,7 +97,11 @@ VcNetwork::VcNetwork(const Config& cfg)
         return credit_channels_.back().get();
     };
 
-    // Inter-router links.
+    // Inter-router links. rxSide() splits any cross-shard wire into
+    // its mailbox pair; the sender keeps pushing into the first
+    // channel either way. The link records reference the receiver-side
+    // halves: conservation is swept at quiescent points, where the
+    // sender-side stubs are always drained.
     for (NodeId node = 0; node < n; ++node) {
         for (PortId port = kEast; port <= kSouth; ++port) {
             const NodeId peer = topo_->neighbor(node, port);
@@ -110,41 +110,49 @@ VcNetwork::VcNetwork(const Config& cfg)
             const std::string tag =
                 std::to_string(node) + "->" + std::to_string(peer);
             Channel<Flit>* data = make_flit_channel("d:" + tag, data_lat);
+            Channel<Flit>* data_rx = rxSide(data, node, peer, [&] {
+                return make_flit_channel("d:" + tag + ":rx", data_lat);
+            });
             routers_[node]->connectDataOut(port, data);
-            routers_[peer]->connectDataIn(opposite(port), data);
-            data->bindSink(&kernel_, routers_[peer].get(),
-                          /*lazy_wake=*/true);
+            routers_[peer]->connectDataIn(opposite(port), data_rx);
+            data_rx->bindSink(kernelFor(peer), routers_[peer].get(),
+                              /*lazy_wake=*/true);
             Channel<Credit>* credit =
                 make_credit_channel("c:" + tag, credit_lat);
+            Channel<Credit>* credit_rx = rxSide(credit, peer, node, [&] {
+                return make_credit_channel("c:" + tag + ":rx",
+                                           credit_lat);
+            });
             routers_[peer]->connectCreditOut(opposite(port), credit);
-            routers_[node]->connectCreditIn(port, credit);
-            credit->bindSink(&kernel_, routers_[node].get(),
-                          /*lazy_wake=*/true);
+            routers_[node]->connectCreditIn(port, credit_rx);
+            credit_rx->bindSink(kernelFor(node), routers_[node].get(),
+                                /*lazy_wake=*/true);
             if (validator_.enabled()) {
                 VcLinkRec rec;
                 rec.up = routers_[node].get();
                 rec.upPort = port;
                 rec.down = routers_[peer].get();
                 rec.downPort = opposite(port);
-                rec.data = data;
-                rec.credit = credit;
+                rec.data = data_rx;
+                rec.credit = credit_rx;
                 vc_links_.push_back(rec);
             }
         }
     }
 
-    // Injection and ejection.
+    // Injection and ejection: node-local, hence always intra-shard.
     for (NodeId node = 0; node < n; ++node) {
         const std::string tag = std::to_string(node);
+        Kernel* kernel = kernelFor(node);
         Channel<Flit>* inj = make_flit_channel("inj:" + tag, 1);
         sources_[node]->connectDataOut(inj);
         routers_[node]->connectDataIn(kLocal, inj);
-        inj->bindSink(&kernel_, routers_[node].get(),
+        inj->bindSink(kernel, routers_[node].get(),
                       /*lazy_wake=*/true);
         Channel<Credit>* inj_cr = make_credit_channel("injc:" + tag, 1);
         routers_[node]->connectCreditOut(kLocal, inj_cr);
         sources_[node]->connectCreditIn(inj_cr);
-        inj_cr->bindSink(&kernel_, sources_[node].get());
+        inj_cr->bindSink(kernel, sources_[node].get());
         if (validator_.enabled()) {
             VcLinkRec rec;
             rec.src = sources_[node].get();
@@ -157,25 +165,31 @@ VcNetwork::VcNetwork(const Config& cfg)
 
         Channel<Flit>* ej = make_flit_channel("ej:" + tag, 1);
         routers_[node]->connectDataOut(kLocal, ej);
-        sink_->addChannel(ej);
-        ej->bindSink(&kernel_, sink_.get());
+        sinkFor(node).addChannel(ej, node);
+        ej->bindSink(kernel, &sinkFor(node));
     }
 
     probe_ = std::make_unique<Probe>(*this);
     fullness_.setThreshold(1.0);
 
-    for (auto& source : sources_)
-        kernel_.add(source.get());
-    for (auto& router : routers_)
-        kernel_.add(router.get());
-    kernel_.add(sink_.get());
-    kernel_.add(probe_.get());
+    // Per-kernel registration order matches the serial build: sources
+    // (node ascending), routers (node ascending), sink, then probe on
+    // the middle node's shard.
+    for (NodeId node = 0; node < n; ++node)
+        kernelFor(node)->add(sources_[node].get());
+    for (NodeId node = 0; node < n; ++node)
+        kernelFor(node)->add(routers_[node].get());
+    registerSinks();
+    kernelFor(middle_node_)->add(probe_.get());
 }
 
 void
 VcNetwork::Probe::tick(Cycle now)
 {
-    if (net_.validator_.paranoid())
+    // Parallel runs sweep from the window-boundary hook instead: the
+    // sweep reads whole-network state, which is only consistent while
+    // every shard worker is parked.
+    if (net_.validator_.paranoid() && net_.parallel_ == nullptr)
         net_.validateState(now);
     if (!net_.sampling_)
         return;
@@ -199,10 +213,12 @@ VcNetwork::avgSourceQueue() const
 void
 VcNetwork::setGenerating(bool on)
 {
-    for (auto& source : sources_) {
-        source->setGenerating(on);
+    const Cycle now = driver().now();
+    for (NodeId node = 0; node < topo_->numNodes(); ++node) {
+        sources_[static_cast<std::size_t>(node)]->setGenerating(on);
         if (on)
-            kernel_.wake(source.get(), kernel_.now());
+            kernelFor(node)->wake(
+                sources_[static_cast<std::size_t>(node)].get(), now);
     }
 }
 
@@ -210,9 +226,9 @@ void
 VcNetwork::startOccupancySampling()
 {
     sampling_ = true;
-    occupancy_.reset(kernel_.now());
-    fullness_.reset(kernel_.now());
-    kernel_.wake(probe_.get(), kernel_.now());
+    occupancy_.reset(driver().now());
+    fullness_.reset(driver().now());
+    kernelFor(middle_node_)->wake(probe_.get(), driver().now());
 }
 
 double
@@ -239,7 +255,7 @@ VcNetwork::validateState(Cycle now)
     std::int64_t injected = 0;
     for (const auto& source : sources_)
         injected += source->flitsInjected();
-    std::int64_t accounted = sink_->flitsEjected();
+    std::int64_t accounted = flitsEjectedTotal();
     for (const auto& router : routers_)
         accounted += router->totalBufferedFlits();
     for (const auto& ch : flit_channels_)

@@ -96,7 +96,6 @@ class VcNetwork : public NetworkModel
     std::vector<std::unique_ptr<PacketGenerator>> generators_;
     std::vector<std::unique_ptr<VcSource>> sources_;
     std::vector<std::unique_ptr<VcRouter>> routers_;
-    std::unique_ptr<EjectionSink> sink_;
     std::unique_ptr<Probe> probe_;
 
     std::vector<std::unique_ptr<Channel<Flit>>> flit_channels_;

@@ -1,5 +1,6 @@
 #include "proto/packet_registry.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 
 #include "common/log.hpp"
@@ -9,8 +10,16 @@ namespace frfc {
 PacketId
 PacketRegistry::create(NodeId src, NodeId dest, int length, Cycle now)
 {
+    const PacketId id = makePacketId(src, next_seq_[src]++);
+    recordCreate(id, src, dest, length, now);
+    return id;
+}
+
+void
+PacketRegistry::recordCreate(PacketId id, NodeId src, NodeId dest,
+                             int length, Cycle now)
+{
     FRFC_ASSERT(length > 0, "packet needs at least one flit");
-    const PacketId id = next_id_++;
     Record rec;
     rec.src = src;
     rec.dest = dest;
@@ -21,9 +30,10 @@ PacketRegistry::create(NodeId src, NodeId dest, int length, Cycle now)
         rec.sample = true;
         ++sample_created_;
     }
-    inflight_.emplace(id, std::move(rec));
+    const bool inserted = inflight_.emplace(id, std::move(rec)).second;
+    FRFC_ASSERT(inserted, "duplicate packet id ", id, " from node ",
+                src);
     ++created_;
-    return id;
 }
 
 void
@@ -74,6 +84,75 @@ bool
 PacketRegistry::sampleFullyDelivered() const
 {
     return sampleFullyCreated() && sample_delivered_ >= sample_target_;
+}
+
+PacketId
+DeferredPacketLedger::create(NodeId src, NodeId dest, int length,
+                             Cycle now)
+{
+    const PacketId id = makePacketId(src, next_seq_[src]++);
+    creates_.push_back(CreateEvent{now, src, dest, id, length});
+    return id;
+}
+
+void
+DeferredPacketLedger::deliverFlit(Cycle now, const Flit& flit)
+{
+    delivers_.push_back(DeliverEvent{now, flit});
+}
+
+void
+replayDeferredLedgers(PacketRegistry& registry,
+                      std::vector<DeferredPacketLedger*>& ledgers,
+                      LedgerReplayScratch& scratch)
+{
+    // Each shard's buffers are already sorted — its kernel executes
+    // cycles in order, and within a cycle sources/sink slices run in
+    // node order — so a k-way merge would do; a sort of the merged
+    // window is simpler and the windows are small (one cycle in the
+    // common lookahead-1 case). The caller-owned scratch keeps the
+    // per-window merge allocation-free in steady state.
+    auto& creates = scratch.creates;
+    auto& delivers = scratch.delivers;
+    creates.clear();
+    delivers.clear();
+    for (const DeferredPacketLedger* ledger : ledgers) {
+        creates.insert(creates.end(), ledger->creates().begin(),
+                       ledger->creates().end());
+        delivers.insert(delivers.end(), ledger->delivers().begin(),
+                        ledger->delivers().end());
+    }
+    std::sort(creates.begin(), creates.end(),
+              [](const auto& a, const auto& b) {
+                  return a.cycle != b.cycle ? a.cycle < b.cycle
+                                            : a.src < b.src;
+              });
+    std::sort(delivers.begin(), delivers.end(),
+              [](const auto& a, const auto& b) {
+                  return a.cycle != b.cycle
+                      ? a.cycle < b.cycle
+                      : a.flit.dest < b.flit.dest;
+              });
+
+    // Serial order within a cycle: all creations (sources tick before
+    // routers and the sink in registration order), then deliveries.
+    std::size_t ci = 0;
+    std::size_t di = 0;
+    while (ci < creates.size() || di < delivers.size()) {
+        const bool take_create = ci < creates.size()
+            && (di >= delivers.size()
+                || creates[ci].cycle <= delivers[di].cycle);
+        if (take_create) {
+            const auto& ev = creates[ci++];
+            registry.recordCreate(ev.id, ev.src, ev.dest, ev.length,
+                                  ev.cycle);
+        } else {
+            const auto& ev = delivers[di++];
+            registry.deliverFlit(ev.cycle, ev.flit);
+        }
+    }
+    for (DeferredPacketLedger* ledger : ledgers)
+        ledger->clearEvents();
 }
 
 }  // namespace frfc

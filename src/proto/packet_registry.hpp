@@ -9,6 +9,18 @@
  * ejection of the last, including source queueing, exactly as the paper
  * measures — is recorded if the packet belongs to the measurement
  * sample.
+ *
+ * Sources and sinks talk to the registry through the PacketLedger
+ * interface. Serial kernels hand them the registry itself; the parallel
+ * kernel hands each shard a DeferredPacketLedger that merely logs the
+ * events, and the window-boundary hook replays all shards' logs into
+ * the registry in exact serial order — (cycle, node) ascending, creates
+ * before deliveries — so sample marking and the floating-point latency
+ * accumulation happen in an order bit-identical to a serial run.
+ *
+ * Packet ids are position-deterministic: id = (source << 40) | per-
+ * source sequence number. Any ledger can mint them locally, and the
+ * same packet gets the same id in serial and parallel runs.
  */
 
 #ifndef FRFC_PROTO_PACKET_REGISTRY_HPP
@@ -25,20 +37,66 @@
 
 namespace frfc {
 
+/** Bits of a PacketId reserved for the per-source sequence number. */
+constexpr int kPacketSeqBits = 40;
+
+/** Deterministic packet id: source node in the high bits, that
+ *  source's creation ordinal in the low bits. */
+constexpr PacketId
+makePacketId(NodeId src, std::int64_t seq)
+{
+    return (static_cast<PacketId>(src) << kPacketSeqBits) | seq;
+}
+
+/** Source node a packet id was minted by. */
+constexpr NodeId
+packetIdSource(PacketId id)
+{
+    return static_cast<NodeId>(id >> kPacketSeqBits);
+}
+
+/**
+ * What injection sources and ejection sinks need from the packet
+ * bookkeeping: register a birth (returns the packet's id) and report a
+ * delivered flit. PacketRegistry applies both immediately;
+ * DeferredPacketLedger logs them for ordered replay at a parallel
+ * window boundary.
+ */
+class PacketLedger
+{
+  public:
+    virtual ~PacketLedger() = default;
+
+    /** Register a new packet born at @p src; returns its id. */
+    virtual PacketId create(NodeId src, NodeId dest, int length,
+                            Cycle now) = 0;
+
+    /** Record a flit delivered to its destination. */
+    virtual void deliverFlit(Cycle now, const Flit& flit) = 0;
+};
+
 /** Tracks every in-flight packet and verifies delivery. */
-class PacketRegistry
+class PacketRegistry : public PacketLedger
 {
   public:
     PacketRegistry() = default;
 
-    /** Register a new packet; returns its globally unique id. */
-    PacketId create(NodeId src, NodeId dest, int length, Cycle now);
+    /** Register a new packet; returns its deterministic id. */
+    PacketId create(NodeId src, NodeId dest, int length,
+                    Cycle now) override;
 
     /**
      * Record (and verify) a delivered flit; panics on misdelivery.
      * Completes the packet when its last flit arrives.
      */
-    void deliverFlit(Cycle now, const Flit& flit);
+    void deliverFlit(Cycle now, const Flit& flit) override;
+
+    /**
+     * Register a packet whose id a shard ledger already minted
+     * (deferred-replay path; create() composes this with minting).
+     */
+    void recordCreate(PacketId id, NodeId src, NodeId dest, int length,
+                      Cycle now);
 
     /**
      * Mark the next @p target created packets as the measurement
@@ -81,7 +139,8 @@ class PacketRegistry
     };
 
     std::unordered_map<PacketId, Record> inflight_;
-    PacketId next_id_ = 0;
+    /** Per-source next sequence number (id minting). */
+    std::unordered_map<NodeId, std::int64_t> next_seq_;
     std::int64_t created_ = 0;
     std::int64_t delivered_ = 0;
     std::int64_t flits_delivered_ = 0;
@@ -93,6 +152,71 @@ class PacketRegistry
     Accumulator sample_latency_;
     Histogram sample_hist_{0.0, 8192.0, 2048};
 };
+
+/**
+ * Shard-local event log. Mints ids exactly as the registry would (the
+ * per-source counters advance identically because every creation of a
+ * given source flows through one ledger) and buffers cycle-stamped
+ * events until replayDeferredLedgers() applies them globally.
+ */
+class DeferredPacketLedger : public PacketLedger
+{
+  public:
+    struct CreateEvent
+    {
+        Cycle cycle;
+        NodeId src;
+        NodeId dest;
+        PacketId id;
+        int length;
+    };
+    struct DeliverEvent
+    {
+        Cycle cycle;
+        Flit flit;
+    };
+
+    PacketId create(NodeId src, NodeId dest, int length,
+                    Cycle now) override;
+    void deliverFlit(Cycle now, const Flit& flit) override;
+
+    const std::vector<CreateEvent>& creates() const { return creates_; }
+    const std::vector<DeliverEvent>& delivers() const
+    {
+        return delivers_;
+    }
+    void
+    clearEvents()
+    {
+        creates_.clear();
+        delivers_.clear();
+    }
+
+  private:
+    std::unordered_map<NodeId, std::int64_t> next_seq_;
+    std::vector<CreateEvent> creates_;
+    std::vector<DeliverEvent> delivers_;
+};
+
+/** Caller-owned merge buffers for replayDeferredLedgers (reused every
+ *  window so steady-state replay allocates nothing). */
+struct LedgerReplayScratch
+{
+    std::vector<DeferredPacketLedger::CreateEvent> creates;
+    std::vector<DeferredPacketLedger::DeliverEvent> delivers;
+};
+
+/**
+ * Apply every event buffered in @p ledgers to @p registry in serial
+ * order — by cycle, creations (source ascending) before deliveries
+ * (destination ascending) — then clear the buffers. Within one shard a
+ * source creates at most one packet per cycle and a destination ejects
+ * at most one flit per cycle, so this order is total and identical to
+ * the serial kernels' registration-order execution.
+ */
+void replayDeferredLedgers(PacketRegistry& registry,
+                           std::vector<DeferredPacketLedger*>& ledgers,
+                           LedgerReplayScratch& scratch);
 
 }  // namespace frfc
 

@@ -135,6 +135,47 @@ class Channel
     }
 
     /**
+     * Move every pending (arrival cycle, items) group into @p dst and
+     * leave this channel empty. This is the parallel kernel's mailbox
+     * transfer: cross-shard links are modelled as an unbound sender-side
+     * stub (pushes accumulate here with their exact arrival cycles) plus
+     * a receiver-side twin bound to the receiver's shard kernel; at each
+     * window boundary the stub's contents move over verbatim. Because
+     * the lookahead window never exceeds this link's latency, every
+     * transferred arrival still lies at or beyond the receiver's current
+     * cycle, so timing is identical to a directly wired channel.
+     *
+     * Wakes on @p dst: a lazily bound receiver is woken once at the
+     * earliest transferred arrival (its nextWake() contract walks it
+     * through the rest); an eagerly bound one is woken per arrival
+     * cycle, matching the per-push wakes it would have seen.
+     */
+    void
+    transferAllInto(Channel<T>& dst)
+    {
+        if (live_slots_ == 0)
+            return;
+        FRFC_ASSERT(latency_ == dst.latency_ && width_ == dst.width_,
+                    "channel ", name_, ": mailbox twin mismatch");
+        Cycle earliest = kInvalidCycle;
+        for (Slot& slot : slots_) {
+            if (slot.cycle == kInvalidCycle)
+                continue;
+            dst.deposit(slot.cycle, slot.items);
+            if (dst.kernel_ != nullptr && !dst.lazy_wake_)
+                dst.kernel_->wake(dst.sink_, slot.cycle);
+            if (earliest == kInvalidCycle || slot.cycle < earliest)
+                earliest = slot.cycle;
+            slot.cycle = kInvalidCycle;
+            slot.items.clear();
+            --live_slots_;
+        }
+        if (dst.kernel_ != nullptr && dst.lazy_wake_
+            && earliest != kInvalidCycle)
+            dst.kernel_->wake(dst.sink_, earliest);
+    }
+
+    /**
      * Earliest undelivered arrival strictly after @p after, or
      * kInvalidCycle if none. O(1) when the channel is idle; a lazily
      * bound receiver calls this from nextWake() on each input channel.
@@ -222,6 +263,31 @@ class Channel
         FRFC_ASSERT(cycle >= 0, "channel ", name_, ": negative cycle ",
                     cycle);
         return static_cast<std::size_t>(cycle & index_mask_);
+    }
+
+    /** Splice @p items in, arriving exactly at @p arrival (mailbox
+     *  transfer path; no wakes — transferAllInto() handles those). */
+    void
+    deposit(Cycle arrival, std::vector<T>& items)
+    {
+        Slot& slot = slotAt(arrival);
+        FRFC_ASSERT(slot.cycle == arrival || slot.items.empty(),
+                    "channel ", name_,
+                    ": mailbox deposit into a live slot");
+        if (slot.cycle != arrival) {
+            slot.cycle = arrival;
+            ++live_slots_;
+        }
+        FRFC_ASSERT(static_cast<int>(slot.items.size() + items.size())
+                        <= width_,
+                    "channel ", name_, ": width ", width_,
+                    " exceeded by mailbox deposit at cycle ", arrival);
+        if (slot.items.empty()) {
+            std::swap(slot.items, items);
+        } else {
+            for (T& item : items)
+                slot.items.push_back(std::move(item));
+        }
     }
 
     Slot&

@@ -26,6 +26,45 @@ kernelModeName(KernelMode mode)
     return mode == KernelMode::kStepped ? "stepped" : "event";
 }
 
+SimKernelKind
+simKernelFromConfig(const Config& cfg)
+{
+    const std::string kind =
+        cfg.get<std::string>("sim.kernel", std::string("event"));
+    if (kind == "stepped")
+        return SimKernelKind::kStepped;
+    if (kind == "event")
+        return SimKernelKind::kEvent;
+    if (kind == "parallel")
+        return SimKernelKind::kParallel;
+    fatal("sim.kernel must be 'stepped', 'event', or 'parallel', got '",
+          kind, "'");
+}
+
+const char*
+simKernelName(SimKernelKind kind)
+{
+    switch (kind) {
+      case SimKernelKind::kStepped:
+        return "stepped";
+      case SimKernelKind::kEvent:
+        return "event";
+      case SimKernelKind::kParallel:
+        return "parallel";
+    }
+    panic("unknown SimKernelKind");
+}
+
+const std::vector<std::string>&
+simKernelNames()
+{
+    static const std::vector<std::string> names{
+        simKernelName(SimKernelKind::kStepped),
+        simKernelName(SimKernelKind::kEvent),
+        simKernelName(SimKernelKind::kParallel)};
+    return names;
+}
+
 void
 Kernel::add(Clocked* component)
 {

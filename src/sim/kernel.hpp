@@ -16,6 +16,7 @@
 #include <functional>
 #include <limits>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "common/log.hpp"
@@ -41,6 +42,66 @@ KernelMode kernelModeFromConfig(const Config& cfg);
 const char* kernelModeName(KernelMode mode);
 
 /**
+ * Every way a network can be driven through simulated time. The serial
+ * kernel modes share one Kernel instance; `kParallel` shards the
+ * network across per-thread Kernels behind a ParallelKernel. All three
+ * produce bit-identical results for conforming components.
+ */
+enum class SimKernelKind
+{
+    kStepped,
+    kEvent,
+    kParallel,
+};
+
+/** Parse `sim.kernel` (`stepped` | `event` | `parallel`; default
+ *  `event`). `parallel` honours `sim.shards` / `sim.partition` (see
+ *  sim/shard.hpp). */
+SimKernelKind simKernelFromConfig(const Config& cfg);
+
+/** Short name for reports ("stepped" / "event" / "parallel"). */
+const char* simKernelName(SimKernelKind kind);
+
+/**
+ * The single registry of driveable kernels, in canonical order. Every
+ * harness that enumerates kernels (equivalence ctests, idle sweeps,
+ * `--list-kernels`) derives its list from here so a new kernel is
+ * picked up everywhere automatically.
+ */
+const std::vector<std::string>& simKernelNames();
+
+/**
+ * What the measurement harness needs from a simulation engine: a
+ * clock, bounded execution, and scheduling-efficiency counters. The
+ * serial Kernel and the sharded ParallelKernel both implement it, so
+ * runners never care how cycles are executed.
+ */
+class SimDriver
+{
+  public:
+    virtual ~SimDriver() = default;
+
+    /** Current cycle (the cycle about to execute or executing). */
+    virtual Cycle now() const = 0;
+
+    /** Execute exactly @p cycles cycles. */
+    virtual void run(Cycle cycles) = 0;
+
+    /**
+     * Execute until @p done returns true (checked between cycles) or
+     * @p max_cycles elapse. Returns true if @p done fired.
+     */
+    virtual bool runUntil(const std::function<bool()>& done,
+                          Cycle max_cycles) = 0;
+
+    /** Total component ticks executed. */
+    virtual std::int64_t ticksExecuted() const = 0;
+
+    /** Cycles fast-forwarded without ticking anything. */
+    virtual Cycle idleCyclesSkipped() const = 0;
+};
+
+/**
  * Drives a set of Clocked components.
  *
  * The kernel owns only the schedule, not the components; network
@@ -48,7 +109,7 @@ const char* kernelModeName(KernelMode mode);
  * Defaults to stepped mode so bare kernels behave exactly as before;
  * networks select the mode from config (`sim.kernel`).
  */
-class Kernel
+class Kernel : public SimDriver
 {
   public:
     Kernel() = default;
@@ -66,16 +127,17 @@ class Kernel
     KernelMode mode() const { return mode_; }
 
     /** Current cycle (the cycle about to execute or executing). */
-    Cycle now() const { return now_; }
+    Cycle now() const override { return now_; }
 
     /** Execute exactly @p cycles cycles. */
-    void run(Cycle cycles);
+    void run(Cycle cycles) override;
 
     /**
      * Execute until @p done returns true (checked between cycles) or
      * @p max_cycles elapse. Returns true if @p done fired.
      */
-    bool runUntil(const std::function<bool()>& done, Cycle max_cycles);
+    bool runUntil(const std::function<bool()>& done,
+                  Cycle max_cycles) override;
 
     /**
      * Schedule @p component to be ticked at @p cycle (>= now()). No-op
@@ -149,10 +211,16 @@ class Kernel
     }
 
     /** Total component ticks executed (both modes). */
-    std::int64_t ticksExecuted() const { return ticks_executed_; }
+    std::int64_t ticksExecuted() const override { return ticks_executed_; }
 
     /** Cycles fast-forwarded without ticking anything (event mode). */
-    Cycle idleCyclesSkipped() const { return idle_cycles_skipped_; }
+    Cycle idleCyclesSkipped() const override
+    {
+        return idle_cycles_skipped_;
+    }
+
+    /** Registered components (shard balance reporting). */
+    std::size_t componentCount() const { return components_.size(); }
 
   private:
     /** Wheel span; power of two, must exceed any channel latency. */

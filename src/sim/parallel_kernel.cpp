@@ -1,0 +1,178 @@
+#include "sim/parallel_kernel.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace frfc {
+
+ParallelKernel::ParallelKernel(int shards)
+    : shard_count_(shards),
+      inbound_(static_cast<std::size_t>(shards))
+{
+    FRFC_ASSERT(shards >= 1, "need at least one shard");
+    kernels_.reserve(static_cast<std::size_t>(shards));
+    for (int s = 0; s < shards; ++s) {
+        kernels_.push_back(std::make_unique<Kernel>());
+        kernels_.back()->setMode(KernelMode::kEvent);
+    }
+}
+
+ParallelKernel::~ParallelKernel()
+{
+    if (!started_)
+        return;
+    stop_.store(true, std::memory_order_relaxed);
+    epoch_.fetch_add(1, std::memory_order_release);
+    for (std::thread& worker : workers_)
+        worker.join();
+}
+
+void
+ParallelKernel::spinPause(int& spins)
+{
+    // Brief busy-wait, then yield: on a loaded or single-core host the
+    // yield keeps the worker team making round-robin progress instead
+    // of livelocking in spin loops.
+    if (++spins > 256)
+        std::this_thread::yield();
+}
+
+void
+ParallelKernel::tickBarrierWait()
+{
+    const std::uint64_t generation =
+        tick_generation_.load(std::memory_order_acquire);
+    if (tick_arrived_.fetch_add(1, std::memory_order_acq_rel) + 1
+        == shard_count_) {
+        tick_arrived_.store(0, std::memory_order_relaxed);
+        tick_generation_.fetch_add(1, std::memory_order_release);
+        return;
+    }
+    int spins = 0;
+    while (tick_generation_.load(std::memory_order_acquire)
+           == generation)
+        spinPause(spins);
+}
+
+void
+ParallelKernel::workerLoop(int s)
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        int spins = 0;
+        while (epoch_.load(std::memory_order_acquire) == seen)
+            spinPause(spins);
+        ++seen;
+        if (stop_.load(std::memory_order_relaxed))
+            return;
+        // Phase 1 — tick: this shard's components, W cycles.
+        kernels_[static_cast<std::size_t>(s)]->run(window_);
+        // Phase 2 — transfer: after every shard finished ticking,
+        // drain the stubs feeding this shard, in registration order.
+        tickBarrierWait();
+        for (const auto& transfer :
+             inbound_[static_cast<std::size_t>(s)])
+            transfer();
+        done_count_.fetch_add(1, std::memory_order_release);
+    }
+}
+
+void
+ParallelKernel::ensureStarted()
+{
+    if (started_)
+        return;
+    started_ = true;
+    workers_.reserve(static_cast<std::size_t>(shard_count_));
+    for (int s = 0; s < shard_count_; ++s)
+        workers_.emplace_back([this, s] { workerLoop(s); });
+}
+
+void
+ParallelKernel::executeWindow(Cycle window)
+{
+    FRFC_ASSERT(window >= 1 && window <= lookahead_,
+                "window ", window, " outside lookahead ", lookahead_);
+    window_ = window;
+    done_count_.store(0, std::memory_order_relaxed);
+    epoch_.fetch_add(1, std::memory_order_release);
+    int spins = 0;
+    while (done_count_.load(std::memory_order_acquire) != shard_count_)
+        spinPause(spins);
+    now_ += window;
+    ++windows_executed_;
+    // Phase 3 — boundary: single-threaded deferred bookkeeping. Every
+    // worker is parked again, so the hook may read any shard's state.
+    if (boundary_hook_)
+        boundary_hook_(now_);
+}
+
+void
+ParallelKernel::run(Cycle cycles)
+{
+    ensureStarted();
+    Cycle remaining = cycles;
+    while (remaining > 0) {
+        const Cycle window = std::min(lookahead_, remaining);
+        executeWindow(window);
+        remaining -= window;
+    }
+}
+
+bool
+ParallelKernel::runUntil(const std::function<bool()>& done,
+                         Cycle max_cycles)
+{
+    ensureStarted();
+    // Single-cycle windows: done() must be evaluated between every
+    // simulated cycle — exactly like the serial kernels — or the run
+    // would overshoot the serial stopping cycle and diverge.
+    const Cycle limit = now_ + max_cycles;
+    while (now_ < limit) {
+        if (done())
+            return true;
+        executeWindow(1);
+    }
+    return done();
+}
+
+std::vector<std::int64_t>
+ParallelKernel::shardTicks() const
+{
+    std::vector<std::int64_t> ticks;
+    ticks.reserve(kernels_.size());
+    for (const auto& kernel : kernels_)
+        ticks.push_back(kernel->ticksExecuted());
+    return ticks;
+}
+
+std::vector<std::size_t>
+ParallelKernel::shardComponents() const
+{
+    std::vector<std::size_t> counts;
+    counts.reserve(kernels_.size());
+    for (const auto& kernel : kernels_)
+        counts.push_back(kernel->componentCount());
+    return counts;
+}
+
+std::int64_t
+ParallelKernel::ticksExecuted() const
+{
+    std::int64_t total = 0;
+    for (const auto& kernel : kernels_)
+        total += kernel->ticksExecuted();
+    return total;
+}
+
+Cycle
+ParallelKernel::idleCyclesSkipped() const
+{
+    Cycle total = 0;
+    for (const auto& kernel : kernels_)
+        total += kernel->idleCyclesSkipped();
+    return total;
+}
+
+}  // namespace frfc

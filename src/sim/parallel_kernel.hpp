@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Conservative parallel simulation kernel.
+ *
+ * One network is partitioned into shards (sim/shard.hpp); each shard's
+ * components run on a dedicated worker thread inside an ordinary
+ * event-mode Kernel. Because components interact only through channels
+ * with latency >= 1, every shard can execute a window of W cycles
+ * independently as long as W never exceeds the minimum latency of any
+ * cross-shard channel (the lookahead): nothing a remote shard pushes
+ * during the window can arrive before the window ends.
+ *
+ * Cross-shard channels are split into a sender-side stub (unbound;
+ * pushes accumulate with exact arrival cycles) and a receiver-side twin
+ * bound to the receiver's shard kernel. Each window runs in three
+ * phases, separated by barriers:
+ *
+ *   1. tick      every shard runs its kernel W cycles (parallel)
+ *   2. transfer  every shard drains its inbound mailbox stubs into the
+ *                real channels, in registration order (parallel across
+ *                shards, deterministic within one)
+ *   3. boundary  a single-threaded hook replays deferred global
+ *                bookkeeping (packet ledgers) in exact serial order and
+ *                optionally runs validation sweeps
+ *
+ * Determinism: arrival cycles are computed from push cycle + latency
+ * exactly as in the serial kernels, per-shard execution is the proven
+ * bit-identical event kernel, and all global mutable state is either
+ * sharded or deferred to phase 3 where it is replayed in the serial
+ * order. Results are therefore bit-identical to `stepped` and `event`
+ * for every shard count and any thread interleaving (DESIGN.md §10).
+ */
+
+#ifndef FRFC_SIM_PARALLEL_KERNEL_HPP
+#define FRFC_SIM_PARALLEL_KERNEL_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/channel.hpp"
+#include "sim/kernel.hpp"
+
+namespace frfc {
+
+/** Drives per-shard Kernels in lockstep lookahead windows. */
+class ParallelKernel : public SimDriver
+{
+  public:
+    explicit ParallelKernel(int shards);
+    ~ParallelKernel() override;
+
+    ParallelKernel(const ParallelKernel&) = delete;
+    ParallelKernel& operator=(const ParallelKernel&) = delete;
+
+    int shardCount() const { return shard_count_; }
+
+    /** Shard @p s's kernel; components register here as usual. */
+    Kernel&
+    shard(int s)
+    {
+        return *kernels_[static_cast<std::size_t>(s)];
+    }
+
+    /**
+     * Register one cross-shard channel pair: @p stub is the sender-side
+     * accumulator (must stay unbound), @p real the receiver-side twin
+     * whose sink lives in shard @p dest_shard. Transfers run in
+     * registration order within each receiving shard, so wiring order
+     * (node id, port order) fixes the drain order deterministically.
+     * Also narrows the lookahead window to the channel's latency.
+     */
+    template <typename T>
+    void
+    addCrossChannel(int dest_shard, Channel<T>* stub, Channel<T>* real)
+    {
+        FRFC_ASSERT(!started_, "cross-channel added after start");
+        noteCrossLatency(stub->latency());
+        inbound_[static_cast<std::size_t>(dest_shard)].push_back(
+            [stub, real] { stub->transferAllInto(*real); });
+    }
+
+    /**
+     * Single-threaded per-window hook, called with the new now() after
+     * the transfer phase. Network assemblies replay their deferred
+     * packet ledgers here and, in paranoid runs, validate state.
+     */
+    void
+    setBoundaryHook(std::function<void(Cycle)> hook)
+    {
+        boundary_hook_ = std::move(hook);
+    }
+
+    /** Current lookahead window bound (min cross-shard latency). */
+    Cycle lookahead() const { return lookahead_; }
+
+    /** Windows (barrier episodes) executed so far. */
+    std::int64_t windowsExecuted() const { return windows_executed_; }
+
+    /** @{ Per-shard balance statistics for harness reports. */
+    std::vector<std::int64_t> shardTicks() const;
+    std::vector<std::size_t> shardComponents() const;
+    /** @} */
+
+    Cycle now() const override { return now_; }
+    void run(Cycle cycles) override;
+    bool runUntil(const std::function<bool()>& done,
+                  Cycle max_cycles) override;
+    std::int64_t ticksExecuted() const override;
+    Cycle idleCyclesSkipped() const override;
+
+  private:
+    /** Window cap when no cross-shard channel narrows it (bounds how
+     *  much deferred bookkeeping a window can accumulate). */
+    static constexpr Cycle kMaxWindow = 1024;
+
+    void ensureStarted();
+    void executeWindow(Cycle window);
+    void workerLoop(int s);
+    void tickBarrierWait();
+    static void spinPause(int& spins);
+
+    void
+    noteCrossLatency(Cycle latency)
+    {
+        FRFC_ASSERT(latency >= 1, "cross-shard latency must be >= 1");
+        if (latency < lookahead_)
+            lookahead_ = latency;
+    }
+
+    const int shard_count_;
+    std::vector<std::unique_ptr<Kernel>> kernels_;
+    /** Per receiving shard: mailbox transfers in registration order. */
+    std::vector<std::vector<std::function<void()>>> inbound_;
+    std::function<void(Cycle)> boundary_hook_;
+
+    Cycle now_ = 0;
+    Cycle lookahead_ = kMaxWindow;
+    std::int64_t windows_executed_ = 0;
+
+    /** @{ Worker-team state. Caller publishes window_ with a release
+     *  bump of epoch_; workers tick, meet at the tick barrier, drain
+     *  their mailboxes, then report through done_count_. */
+    bool started_ = false;
+    std::vector<std::thread> workers_;
+    Cycle window_ = 0;
+    std::atomic<std::uint64_t> epoch_{0};
+    std::atomic<bool> stop_{false};
+    std::atomic<int> tick_arrived_{0};
+    std::atomic<std::uint64_t> tick_generation_{0};
+    std::atomic<int> done_count_{0};
+    /** @} */
+};
+
+}  // namespace frfc
+
+#endif  // FRFC_SIM_PARALLEL_KERNEL_HPP

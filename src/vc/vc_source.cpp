@@ -7,7 +7,7 @@
 namespace frfc {
 
 VcSource::VcSource(std::string name, NodeId node,
-                   PacketGenerator* generator, PacketRegistry* registry,
+                   PacketGenerator* generator, PacketLedger* registry,
                    int num_vcs, int vc_depth, bool shared_pool, Rng rng,
                    MetricRegistry* metrics)
     : Clocked(std::move(name)), node_(node), generator_(generator),

@@ -25,7 +25,7 @@
 namespace frfc {
 
 class PacketGenerator;
-class PacketRegistry;
+class PacketLedger;
 
 /** Per-node open-loop source for virtual-channel networks. */
 class VcSource : public Clocked
@@ -44,7 +44,7 @@ class VcSource : public Clocked
      *        into; null = keep private counters only
      */
     VcSource(std::string name, NodeId node, PacketGenerator* generator,
-             PacketRegistry* registry, int num_vcs, int vc_depth,
+             PacketLedger* registry, int num_vcs, int vc_depth,
              bool shared_pool, Rng rng, MetricRegistry* metrics = nullptr);
 
     /** Wire the flit channel into the router's local input. */
@@ -130,7 +130,7 @@ class VcSource : public Clocked
 
     NodeId node_;
     PacketGenerator* generator_;
-    PacketRegistry* registry_;
+    PacketLedger* registry_;
     int num_vcs_;
     int vc_depth_;
     bool shared_pool_;

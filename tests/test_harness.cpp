@@ -83,8 +83,27 @@ TEST(Presets, NamesResolve)
     for (const auto& name : presetNames()) {
         Config cfg = baseConfig();
         applyPreset(cfg, name);
-        EXPECT_TRUE(cfg.has("scheme")) << name;
+        // Buffer presets pick a scheme; topology-size presets resize
+        // the fabric and leave the scheme to a second preset.
+        if (name.rfind("mesh", 0) == 0 || name.rfind("torus", 0) == 0)
+            EXPECT_GE(cfg.getInt("size_x"), 32) << name;
+        else
+            EXPECT_TRUE(cfg.has("scheme")) << name;
     }
+}
+
+TEST(Presets, TopologySizePresetsComposeWithSchemes)
+{
+    Config cfg = baseConfig();
+    applyFr6(cfg);
+    applyPreset(cfg, "torus32");
+    EXPECT_EQ(cfg.get<std::string>("topology"), "torus");
+    EXPECT_EQ(cfg.getInt("size_x"), 32);
+    EXPECT_EQ(cfg.getInt("size_y"), 32);
+    EXPECT_EQ(cfg.get<std::string>("scheme"), "fr");
+    applyPreset(cfg, "mesh64");
+    EXPECT_EQ(cfg.get<std::string>("topology"), "mesh");
+    EXPECT_EQ(cfg.getInt("size_x"), 64);
 }
 
 TEST(PresetsDeath, UnknownPresetIsFatal)

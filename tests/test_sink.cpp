@@ -28,8 +28,8 @@ TEST(EjectionSink, DrainsAllRegisteredChannels)
     EjectionSink sink("sink", &registry);
     Channel<Flit> a("a", 1);
     Channel<Flit> b("b", 1);
-    sink.addChannel(&a);
-    sink.addChannel(&b);
+    sink.addChannel(&a, 3);
+    sink.addChannel(&b, 4);
 
     const PacketId p0 = registry.create(0, 3, 1, 0);
     const PacketId p1 = registry.create(1, 4, 1, 0);
@@ -44,7 +44,7 @@ TEST(EjectionSink, RespectsChannelLatency)
     PacketRegistry registry;
     EjectionSink sink("sink", &registry);
     Channel<Flit> ch("c", 3);
-    sink.addChannel(&ch);
+    sink.addChannel(&ch, 3);
     const PacketId id = registry.create(0, 3, 1, 0);
     ch.push(0, makeFlit(id, 0, 3));
     sink.tick(1);
@@ -60,7 +60,7 @@ TEST(EjectionSink, LatencyUsesEjectionCycle)
     registry.startSampling(1);
     EjectionSink sink("sink", &registry);
     Channel<Flit> ch("c", 1);
-    sink.addChannel(&ch);
+    sink.addChannel(&ch, 3);
     const PacketId id = registry.create(0, 3, 1, 100);
     Flit f = makeFlit(id, 0, 3);
     ch.push(140, f);

@@ -134,7 +134,7 @@ TEST(ValidatorSink, MisroutedFlitReports)
     EjectionSink sink("sink", &registry);
     sink.setValidator(&v);
     Channel<Flit> ej0("ej0", 1);
-    sink.addChannel(&ej0);  // channel index == destination node 0
+    sink.addChannel(&ej0, 0);  // registered as destination node 0
 
     const PacketId id = registry.create(1, 1, 1, 0);
     Flit flit;

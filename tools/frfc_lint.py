@@ -24,6 +24,12 @@ comment so reviewers can audit it):
                 FRFC_ASSERT reports through the log module and stays
                 active in release builds.
   namespace     No `using namespace std`.
+  shard-safety  No mutable static or thread_local variables in src/:
+                components run concurrently on parallel-kernel shard
+                threads, so hidden shared state is a data race and a
+                determinism leak. Shared bookkeeping must be shard-
+                owned, deferred to the window-boundary hook, or passed
+                through the mailbox API (DESIGN.md section 10).
 
 Exit status: 0 when clean, 1 when any finding is reported, 2 on usage
 errors. Requires only the Python 3 standard library.
@@ -149,6 +155,33 @@ def check_assert(rel, lines, report):
         if ASSERT_RE.search(code):
             report(num, "bare assert(); use FRFC_ASSERT from "
                         "common/log.hpp")
+
+
+SHARD_THREAD_LOCAL_RE = re.compile(r"\bthread_local\b")
+# A `static` variable declaration: `static <type> name =|{|;`. Static
+# member/free *functions* carry a '(' after the name and don't match;
+# `static const`/`static constexpr` are immutable and exempt.
+SHARD_STATIC_RE = re.compile(
+    r"\bstatic\s+(?!const\b|constexpr\b|inline\s+const)"
+    r"[\w:<>,*&\s]+?\s\w+\s*(?:=|\{|;)")
+
+
+@rule("shard-safety")
+def check_shard_safety(rel, lines, report):
+    if not rel.startswith("src/"):
+        return
+    for num, line in enumerate(lines, 1):
+        code = STRING_RE.sub('""', strip_comment(line))
+        if "static_assert" in code:
+            code = code.replace("static_assert", "")
+        if SHARD_THREAD_LOCAL_RE.search(code):
+            report(num, "thread_local in a simulation component; use "
+                        "shard-owned or boundary-replayed state "
+                        "(DESIGN.md section 10)")
+        elif SHARD_STATIC_RE.search(code):
+            report(num, "mutable static shared across shard threads; "
+                        "route it through the mailbox/boundary API "
+                        "(DESIGN.md section 10)")
 
 
 NAMESPACE_RE = re.compile(r"\busing\s+namespace\s+std\b")
