@@ -47,7 +47,7 @@ main(int argc, char** argv)
                 applyFastControl(cfg);
                 cfg.set("data_buffers", 13);  // >= two 4-flit groups
                 cfg.set("flits_per_ctrl", 4);
-                cfg.set("packet_length", 9);
+                cfg.set("workload.packet_length", 9);
                 cfg.set("all_or_nothing", aon);
                 ctx.applyOverrides(cfg);
                 cfgs.push_back(cfg);

@@ -50,6 +50,7 @@
 #include "harness/sweep.hpp"
 #include "network/runner.hpp"
 #include "sim/kernel.hpp"
+#include "traffic/workload.hpp"
 
 namespace frfc::bench {
 
@@ -120,7 +121,8 @@ class BenchContext
     applyOverrides(Config& cfg) const
     {
         for (const auto& key : overrides_.keys())
-            cfg.set(key, overrides_.get<std::string>(key));
+            cfg.set(canonicalWorkloadKey(key),
+                    overrides_.get<std::string>(key));
     }
 
     /** Load points for latency-throughput curves. */

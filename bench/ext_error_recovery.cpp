@@ -43,7 +43,7 @@ main(int argc, char** argv)
             for (double rate : {0.0, 0.001, 0.01, 0.05, 0.10}) {
                 Config cfg = baseConfig();
                 applyFr6(cfg);
-                cfg.set("offered", 0.4);
+                cfg.set("workload.offered", 0.4);
                 cfg.set("fault.data_drop_rate", rate);
                 ctx.applyOverrides(cfg);
                 FrNetwork net(cfg);

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Extension (beyond the paper): closed-loop request-reply workloads on
+ * FR6 versus VC8. Every request packet ejected at its destination mints
+ * a reply back to the requester, so reply traffic rises with delivered
+ * (not offered) load and the two message classes compete for the same
+ * buffers. The bench reports per-class p50/p95/p99 latency under rising
+ * request load, then repeats the comparison under the memory-system
+ * workload (cache-miss bursts against directory nodes, MSHR-limited).
+ *
+ * No paper figure corresponds to this bench; the open-loop figures
+ * (5-9) are the paper's protocol. The interesting question is whether
+ * FR's reservation pipeline keeps its latency edge when long replies
+ * (6 flits) share links with short requests (2 flits).
+ */
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "traffic/workload.hpp"
+
+using namespace frfc;
+
+namespace {
+
+/**
+ * Print the per-class percentile table for one family of curves and
+ * record every cell as a deterministic Report scalar
+ * (`<prefix>.<scheme>.o<percent>.<class>_<stat>`).
+ */
+void
+emitClassStats(bench::BenchContext& ctx, const std::string& prefix,
+               const std::vector<std::string>& names,
+               const std::vector<double>& loads,
+               const std::vector<std::vector<RunResult>>& curves)
+{
+    TextTable table;
+    table.setHeader({"scheme", "offered(%)", "class", "p50", "p95",
+                     "p99", "avg", "delivered"});
+    for (std::size_t i = 0; i < curves.size(); ++i) {
+        std::string scheme = names[i];
+        for (char& c : scheme)
+            c = static_cast<char>(
+                std::tolower(static_cast<unsigned char>(c)));
+        for (std::size_t j = 0; j < curves[i].size(); ++j) {
+            const RunResult& r = curves[i][j];
+            const int percent =
+                static_cast<int>(loads[j] * 100.0 + 0.5);
+            if (!r.hasClasses) {
+                table.addRow({names[i], TextTable::num(percent, 0),
+                              "(open loop)", "-", "-", "-", "-", "-"});
+                continue;
+            }
+            const struct
+            {
+                const char* label;
+                const ClassStats& stats;
+            } rows[] = {{"request", r.requestStats},
+                        {"reply", r.replyStats}};
+            for (const auto& row : rows) {
+                table.addRow(
+                    {names[i], TextTable::num(percent, 0), row.label,
+                     r.complete ? TextTable::num(row.stats.p50Latency, 1)
+                                : std::string("sat"),
+                     r.complete ? TextTable::num(row.stats.p95Latency, 1)
+                                : std::string("sat"),
+                     r.complete ? TextTable::num(row.stats.p99Latency, 1)
+                                : std::string("sat"),
+                     r.complete ? TextTable::num(row.stats.avgLatency, 1)
+                                : std::string("sat"),
+                     TextTable::num(
+                         static_cast<double>(row.stats.delivered), 0)});
+                const std::string key = prefix + "." + scheme + ".o"
+                    + std::to_string(percent) + "." + row.label;
+                ctx.report().addScalar(key + "_p50",
+                                       row.stats.p50Latency);
+                ctx.report().addScalar(key + "_p95",
+                                       row.stats.p95Latency);
+                ctx.report().addScalar(key + "_p99",
+                                       row.stats.p99Latency);
+            }
+        }
+    }
+    if (ctx.csv())
+        table.printCsv(std::cout);
+    else
+        table.print(std::cout);
+    std::printf("\n");
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    return bench::benchMain(
+        argc, argv,
+        {"ext_reqreply",
+         "Extension: per-class latency under closed-loop request-reply "
+         "and memory workloads, FR6 vs VC8"},
+        [](bench::BenchContext& ctx) {
+            const RunOptions& opt = ctx.options();
+            // Offered load counts request flits only; each 2-flit
+            // request that ejects mints a 6-flit reply, so total link
+            // load is ~4x the request load. Keep the sweep below the
+            // resulting saturation point.
+            const std::vector<double> loads{0.05, 0.10, 0.15};
+
+            const std::vector<std::string> names{"FR6", "VC8"};
+            std::vector<Config> cfgs;
+            for (const auto& name : names) {
+                Config cfg = baseConfig();
+                applyFastControl(cfg);
+                cfg.set("workload.packet_length", 2);
+                cfg.set("workload.reply_length", 6);
+                applyPreset(cfg, name == "FR6" ? "fr6" : "vc8");
+                ctx.applyOverrides(cfg);
+                cfgs.push_back(cfg);
+            }
+            const bench::WallTimer timer;
+            const auto curves = latencyCurves(cfgs, loads, opt);
+
+            ctx.emitCurves(
+                "Request-reply: latency vs offered request traffic, "
+                "2-flit requests / 6-flit replies",
+                names, cfgs, curves);
+            std::printf("Per-class latency percentiles (cycles):\n");
+            emitClassStats(ctx, "reqreply", names, loads, curves);
+
+            // Memory-system workload: bursty cache-miss requesters
+            // (1-flit read requests, MSHR-limited) against hotspot
+            // directory nodes answering with 5-flit line fills.
+            std::vector<Config> mem_cfgs;
+            for (const auto& name : names) {
+                Config cfg = baseConfig();
+                applyFastControl(cfg);
+                cfg.set("workload.kind", "memory");
+                cfg.set("workload.memory.directories", 4);
+                cfg.set("workload.memory.hotspot", 0.25);
+                applyPreset(cfg, name == "FR6" ? "fr6" : "vc8");
+                ctx.applyOverrides(cfg);
+                mem_cfgs.push_back(cfg);
+            }
+            const std::vector<double> mem_loads{0.10};
+            const auto mem_curves =
+                latencyCurves(mem_cfgs, mem_loads, opt);
+            ctx.emitCurves(
+                "Memory workload: bursty misses, 4 directories, 25% "
+                "hotspot",
+                names, mem_cfgs, mem_curves);
+            std::printf("Per-class latency percentiles (cycles):\n");
+            emitClassStats(ctx, "memory", names, mem_loads, mem_curves);
+
+            // Closure sanity: in steady state every delivered request
+            // breeds one reply, so the ratio approaches 1 from below
+            // (replies still in flight when the run ends).
+            for (std::size_t i = 0; i < names.size(); ++i) {
+                const RunResult& r = mem_curves[i].front();
+                if (!r.hasClasses || r.requestStats.delivered == 0)
+                    continue;
+                const double ratio =
+                    static_cast<double>(r.replyStats.delivered)
+                    / static_cast<double>(r.requestStats.delivered);
+                std::printf("  %-44s %.2f\n",
+                            (names[i] + " replies per delivered request")
+                                .c_str(),
+                            ratio);
+                ctx.report().addScalar(
+                    "measured." + names[i] + ".replies_per_request",
+                    ratio);
+            }
+
+            const double elapsed = timer.seconds();
+            std::printf("\n");
+            std::vector<std::vector<RunResult>> all = curves;
+            all.insert(all.end(), mem_curves.begin(), mem_curves.end());
+            ctx.sweepStats(elapsed, all);
+        });
+}

@@ -86,7 +86,7 @@ main(int argc, char** argv)
                 applyFr6(cfg);
                 if (size != "mesh8")
                     applyPreset(cfg, size);
-                cfg.set("offered", 0.40);
+                cfg.set("workload.offered", 0.40);
                 ctx.applyOverrides(cfg);
                 const long nodes = cfg.getInt("size_x")
                                    * cfg.getInt("size_y");

@@ -32,7 +32,7 @@ main(int argc, char** argv)
             for (const auto& name : names) {
                 Config cfg = baseConfig();
                 applyFastControl(cfg);
-                cfg.set("packet_length", 5);
+                cfg.set("workload.packet_length", 5);
                 applyPreset(cfg, name == "VC8"    ? "vc8"
                                  : name == "VC16" ? "vc16"
                                  : name == "FR6"  ? "fr6"
@@ -73,7 +73,7 @@ main(int argc, char** argv)
             // that, like the footer, they are excluded when diffing
             // stdout for cross-run/cross-thread determinism.
             Config kcfg = cfgs[2];
-            kcfg.set("offered", loads.front());
+            kcfg.set("workload.offered", loads.front());
             kcfg.set("sim.kernel", "stepped");
             const RunResult stepped = runExperiment(kcfg, opt);
             kcfg.set("sim.kernel", "event");

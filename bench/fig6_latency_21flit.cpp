@@ -38,7 +38,7 @@ main(int argc, char** argv)
             for (std::size_t i = 0; i < names.size(); ++i) {
                 Config cfg = baseConfig();
                 applyFastControl(cfg);
-                cfg.set("packet_length", 21);
+                cfg.set("workload.packet_length", 21);
                 applyPreset(cfg, presets[i]);
                 ctx.applyOverrides(cfg);
                 cfgs.push_back(cfg);

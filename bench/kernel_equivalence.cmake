@@ -13,6 +13,7 @@
 # the sim.kernel / sim.shards / sim.partition selectors themselves;
 # everything simulation-determined (latencies, cycle counts, metrics
 # snapshots) must then be identical.
+file(MAKE_DIRECTORY ${OUTDIR})
 execute_process(
     COMMAND ${BENCH} --list-kernels
     RESULT_VARIABLE list_rc

@@ -80,7 +80,7 @@ main(int argc, char** argv)
             for (const auto& preset : presets) {
                 Config base = baseConfig();
                 applyFastControl(base);
-                base.set("packet_length", 5);
+                base.set("workload.packet_length", 5);
                 applyPreset(base, preset);
                 ctx.applyOverrides(base);
 
@@ -89,7 +89,7 @@ main(int argc, char** argv)
                     kernels.size());
                 for (const double load : loads) {
                     Config cfg = base;
-                    cfg.set("offered", load);
+                    cfg.set("workload.offered", load);
                     std::vector<KernelPoint> best(kernels.size());
                     for (int rep = 0; rep < kReps; ++rep) {
                         for (std::size_t k = 0; k < kernels.size();

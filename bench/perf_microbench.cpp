@@ -157,7 +157,7 @@ BM_VcNetworkCycle(benchmark::State& state)
 {
     Config cfg = baseConfig();
     applyVc8(cfg);
-    cfg.set("offered", 0.01 * static_cast<double>(state.range(0)));
+    cfg.set("workload.offered", 0.01 * static_cast<double>(state.range(0)));
     VcNetwork net(cfg);
     net.kernel().run(1000);  // warm
     for (auto _ : state)
@@ -173,7 +173,7 @@ BM_FrNetworkCycle(benchmark::State& state)
 {
     Config cfg = baseConfig();
     applyFr6(cfg);
-    cfg.set("offered", 0.01 * static_cast<double>(state.range(0)));
+    cfg.set("workload.offered", 0.01 * static_cast<double>(state.range(0)));
     FrNetwork net(cfg);
     net.kernel().run(1000);
     for (auto _ : state)

@@ -39,7 +39,7 @@ main(int argc, char** argv)
                 Config cfg = baseConfig();
                 applyFr6(cfg);
                 applyLeadingControl(cfg, lead);
-                cfg.set("offered", load);
+                cfg.set("workload.offered", load);
                 ctx.applyOverrides(cfg);
                 FrNetwork net(cfg);
                 const RunResult r = runMeasurement(net, opt);
@@ -62,7 +62,7 @@ main(int argc, char** argv)
                 Config cfg = baseConfig();
                 applyFr6(cfg);
                 applyLeadingControl(cfg, lead);
-                cfg.set("offered", 0.1);
+                cfg.set("workload.offered", 0.1);
                 ctx.applyOverrides(cfg);
                 FrNetwork net(cfg);
                 runMeasurement(net, opt);

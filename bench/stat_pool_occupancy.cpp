@@ -51,8 +51,8 @@ main(int argc, char** argv)
                 Config cfg = baseConfig();
                 applyPreset(cfg, c.preset);
                 applyFastControl(cfg);
-                cfg.set("packet_length", 21);
-                cfg.set("offered", c.load);
+                cfg.set("workload.packet_length", 21);
+                cfg.set("workload.offered", c.load);
                 ctx.applyOverrides(cfg);
                 const RunResult r = runExperiment(cfg, opt);
                 std::printf(

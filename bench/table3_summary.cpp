@@ -91,7 +91,7 @@ main(int argc, char** argv)
                 for (int i = 0; i < 5; ++i) {
                     Config cfg = baseConfig();
                     applyPreset(cfg, presets[i]);
-                    cfg.set("packet_length", sec.packetLength);
+                    cfg.set("workload.packet_length", sec.packetLength);
                     if (sec.lead > 0)
                         applyLeadingControl(cfg, sec.lead);
                     else

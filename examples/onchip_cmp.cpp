@@ -32,7 +32,7 @@ chipConfig()
     Config cfg = baseConfig();
     cfg.set("size_x", 4);
     cfg.set("size_y", 4);
-    cfg.set("packet_length", 5);
+    cfg.set("workload.packet_length", 5);
     // A quarter of all traffic converges on the memory controller at
     // node 0. Its ejection port absorbs one flit per cycle, so offered
     // load must stay below 1 / (16 * 0.25) = 25% of capacity for the
@@ -88,7 +88,7 @@ main(int argc, char** argv)
                 Config vc = chipConfig();
                 applyVc8(vc);
                 applyFastControl(vc);
-                vc.set("offered", load);
+                vc.set("workload.offered", load);
                 ctx.applyOverrides(vc);
                 const RunResult rv = runExperiment(vc, opt);
                 show("VC8 (4-cycle data wires)", rv);
@@ -99,7 +99,7 @@ main(int argc, char** argv)
                 Config fr_fast = chipConfig();
                 applyFr6(fr_fast);
                 applyFastControl(fr_fast);
-                fr_fast.set("offered", load);
+                fr_fast.set("workload.offered", load);
                 ctx.applyOverrides(fr_fast);
                 const RunResult rf = runExperiment(fr_fast, opt);
                 show("FR6, fast control wires", rf);
@@ -111,7 +111,7 @@ main(int argc, char** argv)
                 Config fr_lead = chipConfig();
                 applyFr6(fr_lead);
                 applyLeadingControl(fr_lead, 4);
-                fr_lead.set("offered", load);
+                fr_lead.set("workload.offered", load);
                 ctx.applyOverrides(fr_lead);
                 FrNetwork net(fr_lead);
                 const RunResult r = runMeasurement(net, opt);

@@ -45,7 +45,7 @@ main(int argc, char** argv)
             for (const char* preset : {"vc8", "fr6"}) {
                 Config cfg = baseConfig();  // 8x8 mesh, fast control
                 applyPreset(cfg, preset);   // buffer organization
-                cfg.set("offered", 0.5);    // fraction of capacity
+                cfg.set("workload.offered", 0.5);  // fraction of capacity
                 ctx.applyOverrides(cfg);
 
                 const RunResult r = runExperiment(cfg, opt);

@@ -7,7 +7,12 @@
  * simulator from application traces.
  *
  *   $ ./trace_replay                  # generates and replays a demo trace
- *   $ ./trace_replay trace=my.tr      # replays your own trace file
+ *   $ ./trace_replay workload.trace.file=my.tr   # your own trace file
+ *
+ * The demo trace tags every request and marks each reply with
+ * `reply_to`, so the replay is dependency-tracked: a server's reply is
+ * held until its request has actually ejected there, whatever the
+ * fabric's delivery time.
  */
 
 #include <algorithm>
@@ -21,6 +26,7 @@
 #include "network/network.hpp"
 #include "topology/topology.hpp"
 #include "traffic/generator.hpp"
+#include "traffic/workload.hpp"
 
 using namespace frfc;
 
@@ -47,17 +53,24 @@ recordDemoWorkload()
             const NodeId server = servers[rng.nextBounded(2)];
             if (client == server)
                 continue;
-            entries.push_back(TraceEntry{now, client, server, 1});
-            // The reply leaves after a 30-cycle service time.
-            entries.push_back(TraceEntry{now + 30, server, client, 5});
+            const int tag = static_cast<int>(entries.size());
+            TraceEntry request{now, client, server, 1};
+            request.tag = tag;
+            entries.push_back(request);
+            // The reply leaves no earlier than a 30-cycle service
+            // time, and never before the request itself arrives
+            // (reply_to dependency).
+            TraceEntry reply{now + 30, server, client, 5};
+            reply.replyTo = tag;
+            entries.push_back(reply);
         }
     }
     // Replies were appended out of order; the format requires sorted
-    // cycles.
-    std::sort(entries.begin(), entries.end(),
-              [](const TraceEntry& a, const TraceEntry& b) {
-                  return a.cycle < b.cycle;
-              });
+    // cycles (stable so the file is identical on every platform).
+    std::stable_sort(entries.begin(), entries.end(),
+                     [](const TraceEntry& a, const TraceEntry& b) {
+                         return a.cycle < b.cycle;
+                     });
     return entries;
 }
 
@@ -72,8 +85,13 @@ main(int argc, char** argv)
          "Replay one recorded workload through VC and FR fabrics"},
         [](bench::BenchContext& ctx) {
             std::string path;
-            if (ctx.overrides().has("trace")) {
-                path = ctx.overrides().get<std::string>("trace");
+            // Honor both the namespaced key and the legacy "trace"
+            // spelling on the command line.
+            if (ctx.overrides().has(kWorkloadTraceFileKey)
+                || ctx.overrides().has(
+                    "trace")) {  // frfc-lint: allow(workload-keys)
+                Config cfg = ctx.overrides();
+                path = workloadTraceFile(cfg);
             } else {
                 path = "demo_workload.tr";
                 std::ofstream out(path);
@@ -95,7 +113,7 @@ main(int argc, char** argv)
                 cfg.set("size_x", 4);
                 cfg.set("size_y", 4);
                 cfg.set("data_buffers", 13);  // mixed lengths: headroom
-                cfg.set("trace", path);
+                cfg.set(kWorkloadTraceFileKey, path);
                 ctx.applyOverrides(cfg);
 
                 auto net = makeNetwork(cfg);

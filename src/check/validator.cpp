@@ -88,6 +88,31 @@ Validator::addCreditLink(std::string label)
 }
 
 void
+Validator::initClassAccounting(int num_nodes)
+{
+    class_nodes_.assign(static_cast<std::size_t>(num_nodes),
+                        ClassLedger{});
+}
+
+void
+Validator::onReplyCreated(NodeId node, Cycle now,
+                          const std::string& component)
+{
+    if (class_nodes_.empty())
+        return;
+    ClassLedger& ledger = class_nodes_[static_cast<std::size_t>(node)];
+    ++ledger.replies;
+    if (ledger.replies > ledger.completed) {
+        fail("class.reply-without-request", now, component,
+             static_cast<PortId>(node),
+             "node " + std::to_string(node) + " minted reply #"
+                 + std::to_string(ledger.replies) + " with only "
+                 + std::to_string(ledger.completed)
+                 + " packets completed there");
+    }
+}
+
+void
 Validator::checkCreditLink(int link, std::int64_t in_flight, Cycle now)
 {
     const LinkLedger& ledger = links_[static_cast<std::size_t>(link)];

@@ -84,7 +84,8 @@ class Validator
     Validator(Validator&& other) noexcept
         : level_(other.level_), fail_fast_(other.fail_fast_),
           diagnostics_(std::move(other.diagnostics_)),
-          links_(std::move(other.links_))
+          links_(std::move(other.links_)),
+          class_nodes_(std::move(other.class_nodes_))
     {
     }
 
@@ -138,6 +139,29 @@ class Validator
     void checkCreditLink(int link, std::int64_t in_flight, Cycle now);
     /** @} */
 
+    /**
+     * @{ Message-class causality ledger (closed-loop workloads). One
+     * slot per node; the node's sink slice counts packets completed
+     * there, its source counts feedback-minted replies, and since a
+     * reply can only be minted by the completion that triggered it,
+     *   replies <= completed
+     * must hold at the minting node at all times. Both writers of a
+     * slot live on the node's shard, so no locking is needed; the
+     * invariant is checked inline at each mint. Replies replayed from
+     * a trace flow through generate(), not the feedback path, and are
+     * deliberately exempt — a trace may legally fan several replies
+     * out of one request.
+     */
+    void initClassAccounting(int num_nodes);
+    void onPacketCompleted(NodeId node)
+    {
+        if (!class_nodes_.empty())
+            ++class_nodes_[static_cast<std::size_t>(node)].completed;
+    }
+    void onReplyCreated(NodeId node, Cycle now,
+                        const std::string& component);
+    /** @} */
+
   private:
     struct LinkLedger
     {
@@ -152,9 +176,17 @@ class Validator
      *  field has exactly one writing component (the sender increments
      *  sent, the receiver applied), and checkCreditLink reads them at
      *  window boundaries when every shard worker is parked. */
+    struct ClassLedger
+    {
+        std::int64_t completed = 0;  ///< packets fully ejected here
+        std::int64_t replies = 0;    ///< feedback-minted replies here
+    };
+
     std::mutex report_mutex_;
     std::vector<Diagnostic> diagnostics_;
     std::vector<LinkLedger> links_;
+    /** Empty unless initClassAccounting was called (closed-loop run). */
+    std::vector<ClassLedger> class_nodes_;
 };
 
 }  // namespace frfc

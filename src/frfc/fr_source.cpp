@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/validator.hpp"
 #include "common/log.hpp"
 #include "proto/packet_registry.hpp"
 #include "traffic/generator.hpp"
@@ -21,6 +22,7 @@ FrSource::FrSource(std::string name, NodeId node,
     FRFC_ASSERT(generator != nullptr, "null packet generator");
     FRFC_ASSERT(params.leadTime + 2 < params.horizon,
                 "lead time must leave room inside the horizon");
+    closed_loop_ = generator->closedLoop();
     if (metrics != nullptr) {
         const std::string prefix = "source." + std::to_string(node);
         metrics->attachCounter(prefix + ".packets_generated",
@@ -84,6 +86,7 @@ FrSource::tick(Cycle now)
                         "source control credit overflow");
         }
     }
+    processCompletions(now);
     generate(now);
     if (!active_ && !queue_.empty())
         startNextPacket(now);
@@ -93,8 +96,10 @@ FrSource::tick(Cycle now)
     // Idle from here on (no packet in flight, so no competing rng_
     // draws until the next birth): pre-scan the generator so nextWake
     // can name the birth cycle and the source can sleep until it.
-    if (generating_ && !birth_pending_ && !active_ && queue_.empty()
-        && pending_data_.empty()) {
+    // Closed-loop generators are never scanned ahead — a completion
+    // arriving mid-window would invalidate the scanned draws.
+    if (!closed_loop_ && generating_ && !birth_pending_ && !active_
+        && queue_.empty() && pending_data_.empty()) {
         scanBirths(now + kGenLookahead);
     }
 }
@@ -104,6 +109,12 @@ FrSource::nextWake(Cycle now) const
 {
     if (active_ || !queue_.empty() || !pending_data_.empty())
         return now + 1;
+    if (closed_loop_) {
+        // Tick every cycle while generating: the generator must see
+        // each cycle once, in order, for its draw stream (and any
+        // feedback-driven state) to be kernel-independent.
+        return generating_ ? now + 1 : kInvalidCycle;
+    }
     if (!generating_)
         return kInvalidCycle;
     return birth_pending_ ? birth_cycle_ : next_gen_cycle_;
@@ -113,15 +124,44 @@ void
 FrSource::scanBirths(Cycle limit)
 {
     while (!birth_pending_ && next_gen_cycle_ <= limit) {
-        const auto pkt =
-            generator_->generate(next_gen_cycle_, node_, rng_);
+        const WorkloadContext ctx{next_gen_cycle_, node_, &rng_};
+        const auto pkt = generator_->generate(ctx);
         if (pkt) {
             birth_pending_ = true;
             birth_cycle_ = next_gen_cycle_;
             birth_dest_ = pkt->dest;
             birth_length_ = pkt->length;
+            birth_cls_ = pkt->cls;
         }
         ++next_gen_cycle_;
+    }
+}
+
+void
+FrSource::admitPacket(NodeId dest, int length, MessageClass cls,
+                      Cycle now)
+{
+    const PacketId id = registry_->create(node_, dest, length, now, cls);
+    queue_.push_back(PendingPacket{id, dest, length, now, cls});
+    packets_generated_.inc();
+}
+
+void
+FrSource::processCompletions(Cycle now)
+{
+    if (completion_in_ == nullptr)
+        return;
+    completion_in_->drainInto(now, completion_scratch_);
+    for (const PacketCompletion& done : completion_scratch_) {
+        const WorkloadContext ctx{now, node_, &rng_};
+        const auto reply = generator_->onPacketEjected(done, ctx);
+        if (!reply)
+            continue;
+        // Feedback-minted replies bypass setGenerating: the exchange a
+        // request opened must close even while the run drains.
+        if (validator_ != nullptr && reply->cls == MessageClass::kReply)
+            validator_->onReplyCreated(node_, now, name());
+        admitPacket(reply->dest, reply->length, reply->cls, now);
     }
 }
 
@@ -130,15 +170,19 @@ FrSource::generate(Cycle now)
 {
     if (!generating_)
         return;
+    if (closed_loop_) {
+        // Live path: one generator call per cycle, no lookahead.
+        const WorkloadContext ctx{now, node_, &rng_};
+        if (const auto pkt = generator_->generate(ctx))
+            admitPacket(pkt->dest, pkt->length, pkt->cls, now);
+        return;
+    }
     scanBirths(now);
     if (!birth_pending_ || birth_cycle_ > now)
         return;
     FRFC_ASSERT(birth_cycle_ == now, "source ", name(),
                 " slept through a packet birth at cycle ", birth_cycle_);
-    const PacketId id =
-        registry_->create(node_, birth_dest_, birth_length_, now);
-    queue_.push_back(PendingPacket{id, birth_dest_, birth_length_, now});
-    packets_generated_.inc();
+    admitPacket(birth_dest_, birth_length_, birth_cls_, now);
     birth_pending_ = false;
 }
 
@@ -206,6 +250,7 @@ FrSource::makeDataFlit(const PendingPacket& pkt, int seq, Cycle now) const
     flit.created = pkt.created;
     flit.injected = now;
     flit.payload = Flit::expectedPayload(pkt.id, seq);
+    flit.cls = pkt.cls;
     return flit;
 }
 

@@ -1,6 +1,13 @@
 /**
  * @file
- * Open-loop packet source for flit-reservation flow control.
+ * Packet source for flit-reservation flow control.
+ *
+ * The source serves one PacketGenerator. Open-loop generators are
+ * pre-scanned so the event kernel can sleep between births; closed-loop
+ * generators (request-reply, memory, dependent traces) are ticked live
+ * every cycle and additionally fed packet completions from the node's
+ * ejection sink, which may mint reply packets ahead of the same-cycle
+ * birth.
  *
  * Packet injection works exactly like forwarding inside a router
  * (Section 3): a packet's control flits first schedule the injection
@@ -53,6 +60,12 @@ class FrSource : public Clocked
     void connectCtrlCreditIn(Channel<Credit>* ch) { ctrl_credit_in_ = ch; }
     /** @} */
 
+    /** Per-node completion feedback (closed-loop workloads only). */
+    void connectCompletionIn(Channel<PacketCompletion>* ch)
+    {
+        completion_in_ = ch;
+    }
+
     void tick(Cycle now) override;
 
     /**
@@ -61,8 +74,10 @@ class FrSource : public Clocked
      * slots). Otherwise the generator has been pre-scanned — one draw
      * per cycle, in stream order, stopping at the first birth — so the
      * source can sleep until the birth cycle (or until the scan window
-     * needs refilling). Credits arriving mid-sleep re-wake it through
-     * the channel hook.
+     * needs refilling). Closed-loop sources instead stay awake every
+     * cycle while generating, so the generator sees every cycle in
+     * order. Credits and completions arriving mid-sleep re-wake the
+     * source through the channel hook.
      */
     Cycle nextWake(Cycle now) const override;
 
@@ -111,10 +126,14 @@ class FrSource : public Clocked
         NodeId dest;
         int length;
         Cycle created;
+        MessageClass cls;
     };
 
     void generate(Cycle now);
     void scanBirths(Cycle limit);
+    void admitPacket(NodeId dest, int length, MessageClass cls,
+                     Cycle now);
+    void processCompletions(Cycle now);
     void startNextPacket(Cycle now);
     void processControl(Cycle now);
     void fireData(Cycle now);
@@ -129,11 +148,16 @@ class FrSource : public Clocked
     FrParams params_;
     Rng rng_;
     bool generating_ = true;
+    /** Generator consumes ejection feedback: tick it live every cycle
+     *  (never pre-scan — feedback would invalidate scanned draws). */
+    bool closed_loop_ = false;
 
     Channel<ControlFlit>* ctrl_out_ = nullptr;
     Channel<Flit>* data_out_ = nullptr;
     Channel<FrCredit>* fr_credit_in_ = nullptr;
     Channel<Credit>* ctrl_credit_in_ = nullptr;
+    Channel<PacketCompletion>* completion_in_ = nullptr;
+    std::vector<PacketCompletion> completion_scratch_;
 
     OutputReservationTable ort_;  ///< injection link + router pool
     /** Sanitizer context; -1 link = advance credits not tracked. */
@@ -155,6 +179,7 @@ class FrSource : public Clocked
     Cycle birth_cycle_ = 0;
     NodeId birth_dest_ = 0;
     int birth_length_ = 0;
+    MessageClass birth_cls_ = MessageClass::kRequest;
 
     std::deque<PendingPacket> queue_;
     bool active_ = false;

@@ -1,6 +1,7 @@
 #include "harness/presets.hpp"
 
 #include "common/log.hpp"
+#include "traffic/workload.hpp"
 
 namespace frfc {
 
@@ -13,10 +14,10 @@ baseConfig()
     cfg.set("size_y", 8);
     cfg.set("routing", "xy");
     cfg.set("traffic", "uniform");
-    cfg.set("injection", "bernoulli");
-    cfg.set("packet_length", 5);
+    cfg.set(kWorkloadInjectionKey, "bernoulli");
+    cfg.set(kWorkloadPacketLengthKey, 5);
     cfg.set("seed", 1);
-    cfg.set("offered", 0.5);
+    cfg.set(kWorkloadOfferedKey, 0.5);
     applyFastControl(cfg);
     return cfg;
 }

@@ -46,10 +46,24 @@ configToJson(const Config& cfg)
 }
 
 JsonValue
+classToJson(const ClassStats& stats)
+{
+    JsonValue obj = JsonValue::object();
+    obj.set("created", static_cast<double>(stats.created));
+    obj.set("delivered", static_cast<double>(stats.delivered));
+    obj.set("avg_latency", stats.avgLatency);
+    obj.set("p50_latency", stats.p50Latency);
+    obj.set("p95_latency", stats.p95Latency);
+    obj.set("p99_latency", stats.p99Latency);
+    return obj;
+}
+
+JsonValue
 runToJson(const RunResult& r)
 {
     JsonValue obj = JsonValue::object();
-    obj.set("offered", r.offered);
+    // JSON output field, not a config key.
+    obj.set("offered", r.offered);  // frfc-lint: allow(workload-keys)
     obj.set("offered_fraction", r.offeredFraction);
     obj.set("accepted", r.accepted);
     obj.set("accepted_fraction", r.acceptedFraction);
@@ -67,6 +81,14 @@ runToJson(const RunResult& r)
             static_cast<double>(r.packetsDelivered));
     obj.set("pool_full_fraction", r.poolFullFraction);
     obj.set("pool_avg_occupancy", r.poolAvgOccupancy);
+    if (r.hasClasses) {
+        // Emitted only for closed-loop runs so open-loop reports keep
+        // their schema byte-for-byte.
+        JsonValue classes = JsonValue::object();
+        classes.set("request", classToJson(r.requestStats));
+        classes.set("reply", classToJson(r.replyStats));
+        obj.set("classes", classes);
+    }
     obj.set("wall_seconds", r.wallSeconds);
     JsonValue metrics = JsonValue::object();
     for (const MetricSample& sample : r.metrics.samples())

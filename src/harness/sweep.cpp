@@ -5,6 +5,7 @@
 
 #include "harness/parallel.hpp"
 #include "network/network.hpp"
+#include "traffic/workload.hpp"
 
 namespace frfc {
 
@@ -16,7 +17,7 @@ latencyCurve(const Config& cfg, const std::vector<double>& loads,
     points.reserve(loads.size());
     for (double load : loads) {
         Config point = cfg;
-        point.set("offered", load);
+        setWorkloadOffered(point, load);
         points.push_back(std::move(point));
     }
     return runExperiments(points, opt);
@@ -31,7 +32,7 @@ latencyCurves(const std::vector<Config>& configs,
     for (const Config& cfg : configs) {
         for (double load : loads) {
             Config point = cfg;
-            point.set("offered", load);
+            setWorkloadOffered(point, load);
             points.push_back(std::move(point));
         }
     }
@@ -57,7 +58,7 @@ RunResult
 measureAtLoad(const Config& cfg, double load, const RunOptions& opt)
 {
     Config point = cfg;
-    point.set("offered", load);
+    setWorkloadOffered(point, load);
     return runExperiment(point, opt);
 }
 
@@ -109,7 +110,7 @@ findSaturation(const Config& cfg, const RunOptions& run_opt,
         points.reserve(grid.size());
         for (double load : grid) {
             Config point = cfg;
-            point.set("offered", load);
+            setWorkloadOffered(point, load);
             points.push_back(std::move(point));
         }
         const std::vector<RunResult> probes =

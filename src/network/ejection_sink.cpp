@@ -1,5 +1,6 @@
 #include "network/ejection_sink.hpp"
 
+#include "common/log.hpp"
 #include "proto/packet_registry.hpp"
 
 namespace frfc {
@@ -10,6 +11,21 @@ EjectionSink::EjectionSink(std::string name, PacketLedger* ledger,
 {
     if (metrics != nullptr)
         metrics->attachCounter("sink.flits_ejected", flits_ejected_);
+}
+
+void
+EjectionSink::bindFeedback(NodeId node, Channel<PacketCompletion>* ch)
+{
+    FRFC_ASSERT(ch != nullptr, "null feedback channel");
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        if (nodes_[i] == node) {
+            FRFC_ASSERT(feedback_[i] == nullptr,
+                        "feedback already bound for node ", node);
+            feedback_[i] = ch;
+            return;
+        }
+    }
+    FRFC_ASSERT(false, "no ejection channel registered for node ", node);
 }
 
 void
@@ -28,6 +44,26 @@ EjectionSink::tick(Cycle now)
             }
             ledger_->deliverFlit(now, flit);
             flits_ejected_.inc();
+            if (feedback_[i] == nullptr)
+                continue;
+            // Count the packet down; its last flit emits a completion
+            // (arriving at the source next cycle, channel latency 1).
+            const auto it =
+                remaining_.try_emplace(flit.packet, flit.packetLength)
+                    .first;
+            if (--it->second > 0)
+                continue;
+            remaining_.erase(it);
+            PacketCompletion done;
+            done.packet = flit.packet;
+            done.src = flit.src;
+            done.dest = node;
+            done.length = flit.packetLength;
+            done.cls = flit.cls;
+            done.completed = now;
+            feedback_[i]->push(now, done);
+            if (validator_ != nullptr)
+                validator_->onPacketCompleted(node);
         }
     }
 }

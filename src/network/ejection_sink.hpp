@@ -8,6 +8,7 @@
 #define FRFC_NETWORK_EJECTION_SINK_HPP
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "check/validator.hpp"
@@ -44,7 +45,16 @@ class EjectionSink : public Clocked
     {
         channels_.push_back(ch);
         nodes_.push_back(node);
+        feedback_.push_back(nullptr);
     }
+
+    /**
+     * Wire @p node's completion-feedback channel (closed-loop
+     * workloads): when the last flit of a packet ejects at the node,
+     * the sink pushes a PacketCompletion for the node's source to hand
+     * to its generator. Register the node's ejection channel first.
+     */
+    void bindFeedback(NodeId node, Channel<PacketCompletion>* ch);
 
     void tick(Cycle now) override;
 
@@ -80,7 +90,12 @@ class EjectionSink : public Clocked
     Validator* validator_ = nullptr;
     std::vector<Channel<Flit>*> channels_;
     std::vector<NodeId> nodes_;
+    /** Per registered channel; null = node has no closed-loop source. */
+    std::vector<Channel<PacketCompletion>*> feedback_;
     std::vector<Flit> drain_scratch_;
+    /** Flits still missing per partially ejected packet (completion
+     *  detection; only populated for nodes with feedback wired). */
+    std::unordered_map<PacketId, int> remaining_;
 
     Counter flits_ejected_;
 };

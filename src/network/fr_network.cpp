@@ -4,6 +4,7 @@
 #include "common/log.hpp"
 #include "common/rng.hpp"
 #include "sim/kernel.hpp"
+#include "traffic/workload.hpp"
 
 namespace frfc {
 
@@ -33,7 +34,7 @@ FrNetwork::FrNetwork(const Config& cfg)
     topo_ = makeTopology(cfg);
     routing_ = makeRouting(cfg, *topo_);
     pattern_ = makePattern(cfg, *topo_);
-    offered_ = cfg.getDouble("offered", 0.5) * capacity();
+    offered_ = workloadOfferedFraction(cfg) * capacity();
 
     const auto seed = static_cast<std::uint64_t>(cfg.getInt("seed", 1));
 
@@ -66,6 +67,14 @@ FrNetwork::FrNetwork(const Config& cfg)
     middle_node_ = topo_->nodeAt(topo_->sizeX() / 2, topo_->sizeY() / 2);
 
     generators_ = makeGenerators(cfg, *topo_, pattern_.get(), offered_);
+    if (validator_.enabled()) {
+        for (const auto& gen : generators_) {
+            if (gen->closedLoop()) {
+                validator_.initClassAccounting(n);
+                break;
+            }
+        }
+    }
     for (NodeId node = 0; node < n; ++node) {
         routers_.push_back(std::make_unique<FrRouter>(
             "router" + std::to_string(node), node, *routing_, params_,
@@ -216,6 +225,20 @@ FrNetwork::FrNetwork(const Config& cfg)
         routers_[node]->connectDataOut(kLocal, ej);
         sinkFor(node).addChannel(ej, node);
         ej->bindSink(kernel, &sinkFor(node));
+
+        // Closed-loop feedback: sink slice -> source, node-local (never
+        // crosses a shard cut). A node ejects at most one flit per
+        // cycle, so at most one completion per cycle fits width 1.
+        if (generators_[static_cast<std::size_t>(node)]->closedLoop()) {
+            completion_channels_.push_back(
+                std::make_unique<Channel<PacketCompletion>>(
+                    "done:" + tag, /*latency=*/1, /*width=*/1));
+            Channel<PacketCompletion>* done =
+                completion_channels_.back().get();
+            sinkFor(node).bindFeedback(node, done);
+            sources_[node]->connectCompletionIn(done);
+            done->bindSink(kernel, sources_[node].get());
+        }
     }
 
     probe_ = std::make_unique<Probe>(*this);

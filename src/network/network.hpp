@@ -242,6 +242,11 @@ class NetworkModel
     /** Sink slices: exactly one in serial runs, one per shard in
      *  parallel ones. */
     std::vector<std::unique_ptr<EjectionSink>> sinks_;
+    /** Per-node completion-feedback channels (closed-loop workloads
+     *  only; sink slice -> the node's source, latency 1). Node-local,
+     *  so they never cross a shard cut. */
+    std::vector<std::unique_ptr<Channel<PacketCompletion>>>
+        completion_channels_;
     /** Parallel runs: aggregate of the slices' private counters,
      *  published as "sink.flits_ejected" so snapshots match serial
      *  runs path-for-path and value-for-value. */

@@ -56,6 +56,32 @@ RunResult::cyclesPerSecond() const
         : 0.0;
 }
 
+namespace {
+
+bool
+classStatsEqual(const ClassStats& a, const ClassStats& b)
+{
+    return a.created == b.created && a.delivered == b.delivered
+        && a.avgLatency == b.avgLatency && a.p50Latency == b.p50Latency
+        && a.p95Latency == b.p95Latency && a.p99Latency == b.p99Latency;
+}
+
+ClassStats
+classStatsFrom(const PacketRegistry& registry, MessageClass cls)
+{
+    ClassStats stats;
+    stats.created = registry.classCreated(cls);
+    stats.delivered = registry.classDelivered(cls);
+    stats.avgLatency = registry.sampleClassLatency(cls).mean();
+    const Histogram& hist = registry.sampleClassHistogram(cls);
+    stats.p50Latency = hist.total() > 0 ? hist.quantile(0.5) : 0.0;
+    stats.p95Latency = hist.total() > 0 ? hist.quantile(0.95) : 0.0;
+    stats.p99Latency = hist.total() > 0 ? hist.quantile(0.99) : 0.0;
+    return stats;
+}
+
+}  // namespace
+
 bool
 RunResult::bitIdentical(const RunResult& other) const
 {
@@ -76,6 +102,9 @@ RunResult::bitIdentical(const RunResult& other) const
         && packetsDelivered == other.packetsDelivered
         && poolFullFraction == other.poolFullFraction
         && poolAvgOccupancy == other.poolAvgOccupancy
+        && hasClasses == other.hasClasses
+        && classStatsEqual(requestStats, other.requestStats)
+        && classStatsEqual(replyStats, other.replyStats)
         && metrics == other.metrics;
 }
 
@@ -150,6 +179,16 @@ runMeasurement(NetworkModel& net, const RunOptions& opt)
     result.warmupCycles = warmup_end;
     result.totalCycles = end;
     result.packetsDelivered = registry.packetsDelivered();
+    // Per-class breakdown: simulation-determined (a reply only exists
+    // when a closed-loop generator minted one), so hasClasses itself is
+    // part of the bit-identity contract across kernels.
+    result.hasClasses = registry.classCreated(MessageClass::kReply) > 0;
+    if (result.hasClasses) {
+        result.requestStats =
+            classStatsFrom(registry, MessageClass::kRequest);
+        result.replyStats =
+            classStatsFrom(registry, MessageClass::kReply);
+    }
     if (opt.trackOccupancy) {
         result.poolFullFraction = net.middlePoolFullFraction();
         result.poolAvgOccupancy = net.middlePoolAvgOccupancy();

@@ -69,6 +69,17 @@ struct RunOptions
     static RunOptions quick();
 };
 
+/** Per-message-class slice of a run's outcome (closed-loop runs). */
+struct ClassStats
+{
+    std::int64_t created = 0;    ///< packets of this class created
+    std::int64_t delivered = 0;  ///< packets of this class delivered
+    double avgLatency = 0.0;     ///< cycles, mean over sampled packets
+    double p50Latency = 0.0;
+    double p95Latency = 0.0;
+    double p99Latency = 0.0;
+};
+
 /** Outcome of one measured run. */
 struct RunResult
 {
@@ -89,6 +100,13 @@ struct RunResult
     std::int64_t packetsDelivered = 0;
     double poolFullFraction = 0.0;  ///< valid if trackOccupancy
     double poolAvgOccupancy = 0.0;  ///< valid if trackOccupancy
+
+    /** @{ Per-class breakdown; populated (and hasClasses set) when the
+     *  workload created any reply packet, i.e. ran closed-loop. */
+    bool hasClasses = false;
+    ClassStats requestStats;
+    ClassStats replyStats;
+    /** @} */
 
     /** Per-component registry snapshot taken when the run ended
      *  (empty when RunOptions::outMetrics is "none"). */

@@ -4,6 +4,7 @@
 #include "common/log.hpp"
 #include "common/rng.hpp"
 #include "sim/kernel.hpp"
+#include "traffic/workload.hpp"
 
 namespace frfc {
 
@@ -33,7 +34,7 @@ VcNetwork::VcNetwork(const Config& cfg)
     topo_ = makeTopology(cfg);
     routing_ = makeRouting(cfg, *topo_);
     pattern_ = makePattern(cfg, *topo_);
-    offered_ = cfg.getDouble("offered", 0.5) * capacity();
+    offered_ = workloadOfferedFraction(cfg) * capacity();
 
     const auto seed = static_cast<std::uint64_t>(cfg.getInt("seed", 1));
     const Cycle data_lat = cfg.getInt("data_link_latency", 4);
@@ -56,9 +57,9 @@ VcNetwork::VcNetwork(const Config& cfg)
               "' (flit, cut_through, or store_and_forward)");
     }
     if (params.forwarding != Forwarding::kFlit
-        && cfg.getInt("packet_length", 5) > params.vcDepth) {
-        fatal("packet-granular forwarding needs vc_depth >= "
-              "packet_length (", cfg.getInt("packet_length", 5),
+        && workloadMaxPacketFlits(cfg) > params.vcDepth) {
+        fatal("packet-granular forwarding needs vc_depth >= the longest "
+              "workload packet (", workloadMaxPacketFlits(cfg),
               " flits)");
     }
 
@@ -68,6 +69,14 @@ VcNetwork::VcNetwork(const Config& cfg)
     middle_node_ = topo_->nodeAt(topo_->sizeX() / 2, topo_->sizeY() / 2);
 
     generators_ = makeGenerators(cfg, *topo_, pattern_.get(), offered_);
+    if (validator_.enabled()) {
+        for (const auto& gen : generators_) {
+            if (gen->closedLoop()) {
+                validator_.initClassAccounting(n);
+                break;
+            }
+        }
+    }
     for (NodeId node = 0; node < n; ++node) {
         routers_.push_back(std::make_unique<VcRouter>(
             "router" + std::to_string(node), node, *routing_, params,
@@ -80,6 +89,8 @@ VcNetwork::VcNetwork(const Config& cfg)
             params.sharedPool,
             Rng(seed, 0x2000 + static_cast<std::uint64_t>(node)),
             &metrics_));
+        if (validator_.enabled())
+            sources_.back()->setValidator(&validator_);
     }
 
     auto make_flit_channel = [this](std::string name, Cycle lat) {
@@ -167,6 +178,20 @@ VcNetwork::VcNetwork(const Config& cfg)
         routers_[node]->connectDataOut(kLocal, ej);
         sinkFor(node).addChannel(ej, node);
         ej->bindSink(kernel, &sinkFor(node));
+
+        // Closed-loop feedback: sink slice -> source, node-local (never
+        // crosses a shard cut). A node ejects at most one flit per
+        // cycle, so at most one completion per cycle fits width 1.
+        if (generators_[static_cast<std::size_t>(node)]->closedLoop()) {
+            completion_channels_.push_back(
+                std::make_unique<Channel<PacketCompletion>>(
+                    "done:" + tag, /*latency=*/1, /*width=*/1));
+            Channel<PacketCompletion>* done =
+                completion_channels_.back().get();
+            sinkFor(node).bindFeedback(node, done);
+            sources_[node]->connectCompletionIn(done);
+            done->bindSink(kernel, sources_[node].get());
+        }
     }
 
     probe_ = std::make_unique<Probe>(*this);

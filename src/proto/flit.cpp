@@ -4,6 +4,12 @@
 
 namespace frfc {
 
+const char*
+messageClassName(MessageClass cls)
+{
+    return cls == MessageClass::kReply ? "reply" : "request";
+}
+
 std::uint64_t
 Flit::expectedPayload(PacketId id, int seq)
 {

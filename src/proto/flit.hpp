@@ -20,6 +20,25 @@
 
 namespace frfc {
 
+/**
+ * Protocol message class. Closed-loop workloads separate traffic into
+ * requests (injected by an initiator) and replies (injected by the
+ * responder only after the request's last flit ejects there). The
+ * class rides on every flit so per-class accounting and the
+ * reply-causality check (Validator, "class.reply-without-request")
+ * can observe it end to end.
+ */
+enum class MessageClass : std::uint8_t
+{
+    kRequest = 0,
+    kReply = 1,
+};
+
+constexpr int kNumMessageClasses = 2;
+
+/** Stable lowercase name ("request" / "reply") for reports. */
+const char* messageClassName(MessageClass cls);
+
 /** A data flit (or, for VC flow control, any flit of a packet). */
 struct Flit
 {
@@ -34,11 +53,30 @@ struct Flit
     Cycle created = kInvalidCycle;   ///< packet creation time
     Cycle injected = kInvalidCycle;  ///< cycle the flit entered the network
     std::uint64_t payload = 0;       ///< verification payload
+    MessageClass cls = MessageClass::kRequest;  ///< protocol class
 
     /** Deterministic payload for packet @p id flit @p seq. */
     static std::uint64_t expectedPayload(PacketId id, int seq);
 
     std::string toString() const;
+};
+
+/**
+ * End-to-end completion notice: the last flit of a packet has ejected
+ * at its destination. The ejection sink pushes one of these onto a
+ * per-node feedback channel (latency 1, node-local, hence always
+ * intra-shard) wired back to the node's source, which forwards it to a
+ * closed-loop PacketGenerator — the only sanctioned path by which
+ * ejection can influence injection.
+ */
+struct PacketCompletion
+{
+    PacketId packet = kInvalidPacket;
+    NodeId src = kInvalidNode;   ///< the packet's original source
+    NodeId dest = kInvalidNode;  ///< node the packet completed at
+    int length = 0;              ///< flits delivered
+    MessageClass cls = MessageClass::kRequest;
+    Cycle completed = kInvalidCycle;  ///< ejection cycle of the last flit
 };
 
 /** Credit returned upstream by virtual-channel flow control. */

@@ -8,16 +8,17 @@
 namespace frfc {
 
 PacketId
-PacketRegistry::create(NodeId src, NodeId dest, int length, Cycle now)
+PacketRegistry::create(NodeId src, NodeId dest, int length, Cycle now,
+                       MessageClass cls)
 {
     const PacketId id = makePacketId(src, next_seq_[src]++);
-    recordCreate(id, src, dest, length, now);
+    recordCreate(id, src, dest, length, now, cls);
     return id;
 }
 
 void
 PacketRegistry::recordCreate(PacketId id, NodeId src, NodeId dest,
-                             int length, Cycle now)
+                             int length, Cycle now, MessageClass cls)
 {
     FRFC_ASSERT(length > 0, "packet needs at least one flit");
     Record rec;
@@ -25,6 +26,7 @@ PacketRegistry::recordCreate(PacketId id, NodeId src, NodeId dest,
     rec.dest = dest;
     rec.length = length;
     rec.created = now;
+    rec.cls = cls;
     rec.seen.assign(static_cast<std::size_t>(length), false);
     if (sampling_ && sample_created_ < sample_target_) {
         rec.sample = true;
@@ -34,6 +36,7 @@ PacketRegistry::recordCreate(PacketId id, NodeId src, NodeId dest,
     FRFC_ASSERT(inserted, "duplicate packet id ", id, " from node ",
                 src);
     ++created_;
+    ++class_created_[static_cast<std::size_t>(cls)];
 }
 
 void
@@ -51,18 +54,25 @@ PacketRegistry::deliverFlit(Cycle now, const Flit& flit)
     FRFC_ASSERT(flit.payload == Flit::expectedPayload(flit.packet,
                                                       flit.seq),
                 "corrupted payload: ", flit.toString());
+    FRFC_ASSERT(flit.cls == rec.cls, "message class changed in flight: ",
+                flit.toString());
     rec.seen[static_cast<std::size_t>(flit.seq)] = true;
     ++rec.flitsSeen;
     ++flits_delivered_;
 
     if (rec.flitsSeen == rec.length) {
+        const std::size_t cls = static_cast<std::size_t>(rec.cls);
         if (rec.sample) {
-            sample_latency_.add(static_cast<double>(now - rec.created));
-            sample_hist_.add(static_cast<double>(now - rec.created));
+            const double latency = static_cast<double>(now - rec.created);
+            sample_latency_.add(latency);
+            sample_hist_.add(latency);
+            class_latency_[cls].add(latency);
+            class_hist_[cls].add(latency);
             ++sample_delivered_;
         }
         inflight_.erase(it);
         ++delivered_;
+        ++class_delivered_[cls];
     }
 }
 
@@ -88,10 +98,10 @@ PacketRegistry::sampleFullyDelivered() const
 
 PacketId
 DeferredPacketLedger::create(NodeId src, NodeId dest, int length,
-                             Cycle now)
+                             Cycle now, MessageClass cls)
 {
     const PacketId id = makePacketId(src, next_seq_[src]++);
-    creates_.push_back(CreateEvent{now, src, dest, id, length});
+    creates_.push_back(CreateEvent{now, src, dest, id, length, cls});
     return id;
 }
 
@@ -122,10 +132,14 @@ replayDeferredLedgers(PacketRegistry& registry,
         delivers.insert(delivers.end(), ledger->delivers().begin(),
                         ledger->delivers().end());
     }
+    // Creations order by (cycle, id): ids are (source, mint ordinal),
+    // so this is node order with a node's same-cycle creations — a
+    // completion-triggered reply, then its own birth — kept in the
+    // order the node minted them, exactly as a serial kernel runs.
     std::sort(creates.begin(), creates.end(),
               [](const auto& a, const auto& b) {
                   return a.cycle != b.cycle ? a.cycle < b.cycle
-                                            : a.src < b.src;
+                                            : a.id < b.id;
               });
     std::sort(delivers.begin(), delivers.end(),
               [](const auto& a, const auto& b) {
@@ -145,7 +159,7 @@ replayDeferredLedgers(PacketRegistry& registry,
         if (take_create) {
             const auto& ev = creates[ci++];
             registry.recordCreate(ev.id, ev.src, ev.dest, ev.length,
-                                  ev.cycle);
+                                  ev.cycle, ev.cls);
         } else {
             const auto& ev = delivers[di++];
             registry.deliverFlit(ev.cycle, ev.flit);

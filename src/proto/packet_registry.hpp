@@ -14,9 +14,10 @@
  * interface. Serial kernels hand them the registry itself; the parallel
  * kernel hands each shard a DeferredPacketLedger that merely logs the
  * events, and the window-boundary hook replays all shards' logs into
- * the registry in exact serial order — (cycle, node) ascending, creates
- * before deliveries — so sample marking and the floating-point latency
- * accumulation happen in an order bit-identical to a serial run.
+ * the registry in exact serial order — creates by (cycle, packet id),
+ * deliveries by (cycle, destination), creates before deliveries — so
+ * sample marking and the floating-point latency accumulation happen in
+ * an order bit-identical to a serial run.
  *
  * Packet ids are position-deterministic: id = (source << 40) | per-
  * source sequence number. Any ledger can mint them locally, and the
@@ -26,6 +27,7 @@
 #ifndef FRFC_PROTO_PACKET_REGISTRY_HPP
 #define FRFC_PROTO_PACKET_REGISTRY_HPP
 
+#include <array>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -69,7 +71,16 @@ class PacketLedger
 
     /** Register a new packet born at @p src; returns its id. */
     virtual PacketId create(NodeId src, NodeId dest, int length,
-                            Cycle now) = 0;
+                            Cycle now, MessageClass cls) = 0;
+
+    /** Convenience for class-agnostic callers: a plain request.
+     *  (Non-virtual on purpose — a virtual default argument would bind
+     *  to the static type; derived classes pull this overload back in
+     *  with `using PacketLedger::create`.) */
+    PacketId create(NodeId src, NodeId dest, int length, Cycle now)
+    {
+        return create(src, dest, length, now, MessageClass::kRequest);
+    }
 
     /** Record a flit delivered to its destination. */
     virtual void deliverFlit(Cycle now, const Flit& flit) = 0;
@@ -81,12 +92,15 @@ class PacketRegistry : public PacketLedger
   public:
     PacketRegistry() = default;
 
+    using PacketLedger::create;
+
     /** Register a new packet; returns its deterministic id. */
-    PacketId create(NodeId src, NodeId dest, int length,
-                    Cycle now) override;
+    PacketId create(NodeId src, NodeId dest, int length, Cycle now,
+                    MessageClass cls) override;
 
     /**
-     * Record (and verify) a delivered flit; panics on misdelivery.
+     * Record (and verify) a delivered flit; panics on misdelivery —
+     * including a flit whose class disagrees with its packet's.
      * Completes the packet when its last flit arrives.
      */
     void deliverFlit(Cycle now, const Flit& flit) override;
@@ -96,7 +110,7 @@ class PacketRegistry : public PacketLedger
      * (deferred-replay path; create() composes this with minting).
      */
     void recordCreate(PacketId id, NodeId src, NodeId dest, int length,
-                      Cycle now);
+                      Cycle now, MessageClass cls = MessageClass::kRequest);
 
     /**
      * Mark the next @p target created packets as the measurement
@@ -126,6 +140,28 @@ class PacketRegistry : public PacketLedger
     std::int64_t flitsDelivered() const { return flits_delivered_; }
     std::int64_t packetsInFlight() const { return created_ - delivered_; }
 
+    /** @{ Per-message-class accounting. The counters cover every
+     *  packet; the latency statistics cover sample packets only,
+     *  mirroring sampleLatency(). Open-loop runs never create a reply,
+     *  so classCreated(kReply) > 0 identifies closed-loop traffic. */
+    std::int64_t classCreated(MessageClass cls) const
+    {
+        return class_created_[static_cast<std::size_t>(cls)];
+    }
+    std::int64_t classDelivered(MessageClass cls) const
+    {
+        return class_delivered_[static_cast<std::size_t>(cls)];
+    }
+    const Accumulator& sampleClassLatency(MessageClass cls) const
+    {
+        return class_latency_[static_cast<std::size_t>(cls)];
+    }
+    const Histogram& sampleClassHistogram(MessageClass cls) const
+    {
+        return class_hist_[static_cast<std::size_t>(cls)];
+    }
+    /** @} */
+
   private:
     struct Record
     {
@@ -135,6 +171,7 @@ class PacketRegistry : public PacketLedger
         Cycle created = kInvalidCycle;
         int flitsSeen = 0;
         bool sample = false;
+        MessageClass cls = MessageClass::kRequest;
         std::vector<bool> seen;  ///< per-seq delivery bitmap
     };
 
@@ -151,6 +188,12 @@ class PacketRegistry : public PacketLedger
     std::int64_t sample_delivered_ = 0;
     Accumulator sample_latency_;
     Histogram sample_hist_{0.0, 8192.0, 2048};
+
+    std::array<std::int64_t, kNumMessageClasses> class_created_{};
+    std::array<std::int64_t, kNumMessageClasses> class_delivered_{};
+    std::array<Accumulator, kNumMessageClasses> class_latency_;
+    std::array<Histogram, kNumMessageClasses> class_hist_{
+        Histogram{0.0, 8192.0, 2048}, Histogram{0.0, 8192.0, 2048}};
 };
 
 /**
@@ -169,6 +212,7 @@ class DeferredPacketLedger : public PacketLedger
         NodeId dest;
         PacketId id;
         int length;
+        MessageClass cls;
     };
     struct DeliverEvent
     {
@@ -176,8 +220,10 @@ class DeferredPacketLedger : public PacketLedger
         Flit flit;
     };
 
-    PacketId create(NodeId src, NodeId dest, int length,
-                    Cycle now) override;
+    using PacketLedger::create;
+
+    PacketId create(NodeId src, NodeId dest, int length, Cycle now,
+                    MessageClass cls) override;
     void deliverFlit(Cycle now, const Flit& flit) override;
 
     const std::vector<CreateEvent>& creates() const { return creates_; }
@@ -208,11 +254,13 @@ struct LedgerReplayScratch
 
 /**
  * Apply every event buffered in @p ledgers to @p registry in serial
- * order — by cycle, creations (source ascending) before deliveries
- * (destination ascending) — then clear the buffers. Within one shard a
- * source creates at most one packet per cycle and a destination ejects
- * at most one flit per cycle, so this order is total and identical to
- * the serial kernels' registration-order execution.
+ * order — by cycle, creations (packet id ascending) before deliveries
+ * (destination ascending) — then clear the buffers. A closed-loop node
+ * can create two packets in one cycle (the reply its completion inbox
+ * triggers, then its own birth), but it mints them in that order, so
+ * per-source ids ascend with serial creation order and (cycle, id) is
+ * a total order identical to the serial kernels' registration-order
+ * execution. A destination still ejects at most one flit per cycle.
  */
 void replayDeferredLedgers(PacketRegistry& registry,
                            std::vector<DeferredPacketLedger*>& ledgers,

@@ -2,60 +2,151 @@
 
 #include <fstream>
 #include <sstream>
+#include <unordered_map>
 
 #include "common/config.hpp"
 #include "common/log.hpp"
+#include "proto/packet_registry.hpp"
 #include "topology/topology.hpp"
 #include "traffic/injection.hpp"
+#include "traffic/memory.hpp"
 #include "traffic/pattern.hpp"
+#include "traffic/workload.hpp"
 
 namespace frfc {
 
+std::string
+GeneratorInfo::summary() const
+{
+    std::ostringstream os;
+    os << kind;
+    if (!params.empty()) {
+        os << "(";
+        bool first = true;
+        for (const GeneratorParam& p : params) {
+            if (!first)
+                os << ", ";
+            first = false;
+            os << p.first << "=" << p.second;
+        }
+        os << ")";
+    }
+    return os.str();
+}
+
 SyntheticGenerator::SyntheticGenerator(
     const TrafficPattern* pattern,
-    std::unique_ptr<InjectionProcess> injection, int length)
+    std::unique_ptr<InjectionProcess> injection, int length,
+    int reply_length)
     : pattern_(pattern), injection_(std::move(injection)),
-      length_(length)
+      length_(length), reply_length_(reply_length)
 {
     FRFC_ASSERT(pattern_ != nullptr, "null traffic pattern");
     FRFC_ASSERT(injection_ != nullptr, "null injection process");
     FRFC_ASSERT(length_ > 0, "packet length must be positive");
+    FRFC_ASSERT(reply_length_ >= 0, "reply length must be non-negative");
 }
 
 SyntheticGenerator::~SyntheticGenerator() = default;
 
 std::optional<GeneratedPacket>
-SyntheticGenerator::generate(Cycle /* now */, NodeId src, Rng& rng)
+SyntheticGenerator::generate(const WorkloadContext& ctx)
 {
-    if (!injection_->inject(rng))
+    if (!injection_->inject(*ctx.rng))
         return std::nullopt;
-    return GeneratedPacket{pattern_->dest(src, rng), length_};
+    return GeneratedPacket{pattern_->dest(ctx.node, *ctx.rng), length_,
+                           MessageClass::kRequest};
+}
+
+std::optional<GeneratedPacket>
+SyntheticGenerator::onPacketEjected(const PacketCompletion& done,
+                                    const WorkloadContext& /* ctx */)
+{
+    // Answer each completed request; replies terminate the exchange.
+    if (reply_length_ <= 0 || done.cls != MessageClass::kRequest)
+        return std::nullopt;
+    return GeneratedPacket{done.src, reply_length_, MessageClass::kReply};
+}
+
+GeneratorInfo
+SyntheticGenerator::describe() const
+{
+    GeneratorInfo info;
+    info.kind = "synthetic";
+    info.closedLoop = closedLoop();
+    info.params.emplace_back("injection", injection_->describe());
+    info.params.emplace_back("length", std::to_string(length_));
+    if (reply_length_ > 0)
+        info.params.emplace_back("reply_length",
+                                 std::to_string(reply_length_));
+    return info;
 }
 
 TraceGenerator::TraceGenerator(
     std::shared_ptr<const std::vector<TraceEntry>> entries, NodeId node)
-    : entries_(std::move(entries))
+    : entries_(std::move(entries)), node_(node)
 {
     FRFC_ASSERT(entries_ != nullptr, "null trace");
+    for (const TraceEntry& e : *entries_) {
+        if (e.src == node_ && e.parent != kInvalidPacket) {
+            has_dependents_ = true;
+            break;
+        }
+    }
     // Position at this node's first entry.
-    while (next_ < entries_->size() && (*entries_)[next_].src != node)
+    while (next_ < entries_->size() && (*entries_)[next_].src != node_)
         ++next_;
 }
 
 std::optional<GeneratedPacket>
-TraceGenerator::generate(Cycle now, NodeId src, Rng& /* rng */)
+TraceGenerator::generate(const WorkloadContext& ctx)
 {
+    FRFC_ASSERT(ctx.node == node_, "trace generator bound to node ",
+                node_, " asked to generate for node ", ctx.node);
     if (next_ >= entries_->size())
         return std::nullopt;
     const TraceEntry& entry = (*entries_)[next_];
-    if (entry.cycle > now)
+    if (entry.cycle > ctx.now)
         return std::nullopt;
+    // A dependent entry stalls — holding all later entries of this node
+    // behind it, preserving trace order — until its parent ejects here.
+    if (entry.parent != kInvalidPacket
+        && completed_.find(entry.parent) == completed_.end()) {
+        return std::nullopt;
+    }
     // One packet per cycle per node: later same-cycle entries slip to
     // the following cycles, preserving order.
     ++next_;
-    while (next_ < entries_->size() && (*entries_)[next_].src != src)
+    while (next_ < entries_->size() && (*entries_)[next_].src != node_)
         ++next_;
-    return GeneratedPacket{entry.dest, entry.length};
+    return GeneratedPacket{entry.dest, entry.length, entry.cls};
+}
+
+std::optional<GeneratedPacket>
+TraceGenerator::onPacketEjected(const PacketCompletion& done,
+                                const WorkloadContext& /* ctx */)
+{
+    // Record the completion; any dependent reply is already in the
+    // trace and is released from generate() on a later cycle.
+    completed_.insert(done.packet);
+    return std::nullopt;
+}
+
+GeneratorInfo
+TraceGenerator::describe() const
+{
+    GeneratorInfo info;
+    info.kind = "trace";
+    info.closedLoop = closedLoop();
+    std::size_t mine = 0;
+    for (const TraceEntry& e : *entries_) {
+        if (e.src == node_)
+            ++mine;
+    }
+    info.params.emplace_back("entries", std::to_string(mine));
+    if (has_dependents_)
+        info.params.emplace_back("dependent", "true");
+    return info;
 }
 
 std::vector<TraceEntry>
@@ -65,6 +156,15 @@ parseTraceFile(const std::string& path, int num_nodes)
     if (!in)
         fatal("cannot open trace file '", path, "'");
     std::vector<TraceEntry> entries;
+    // Packet ids are deterministic — the n-th packet created at a node
+    // gets makePacketId(node, n). In trace mode every packet of a node
+    // flows through generate() in trace order, so the trace position
+    // alone fixes each entry's eventual id; precompute them so replies
+    // can name their parent packet.
+    std::vector<PacketId> ids;
+    std::vector<std::int64_t> ordinals(
+        static_cast<std::size_t>(num_nodes), 0);
+    std::unordered_map<int, std::size_t> tag_index;
     std::string line;
     int lineno = 0;
     Cycle prev_cycle = 0;
@@ -81,6 +181,16 @@ parseTraceFile(const std::string& path, int num_nodes)
             fatal("trace '", path, "' line ", lineno,
                   ": expected 'cycle src dest length'");
         }
+        // Optional dependency columns: 'tag' names this entry,
+        // 'reply_to' defers it until the named entry's packet ejects.
+        // (Extract into locals: a failed >> zero-fills its target.)
+        int tag = -1;
+        int reply_to = -1;
+        if (is >> tag) {
+            entry.tag = tag;
+            if (is >> reply_to)
+                entry.replyTo = reply_to;
+        }
         if (entry.cycle < prev_cycle)
             fatal("trace '", path, "' line ", lineno,
                   ": cycles must be non-decreasing");
@@ -95,7 +205,31 @@ parseTraceFile(const std::string& path, int num_nodes)
         if (entry.length <= 0)
             fatal("trace '", path, "' line ", lineno,
                   ": length must be positive");
+        if (entry.replyTo >= 0) {
+            const auto it = tag_index.find(entry.replyTo);
+            if (it == tag_index.end()) {
+                fatal("trace '", path, "' line ", lineno, ": reply_to ",
+                      entry.replyTo, " references no earlier tag");
+            }
+            const TraceEntry& parent = entries[it->second];
+            if (parent.dest != entry.src) {
+                fatal("trace '", path, "' line ", lineno,
+                      ": a reply must originate at its parent's "
+                      "destination (parent tag ", entry.replyTo,
+                      " goes to node ", parent.dest, ")");
+            }
+            entry.parent = ids[it->second];
+            entry.cls = MessageClass::kReply;
+        }
+        if (entry.tag >= 0) {
+            if (!tag_index.emplace(entry.tag, entries.size()).second) {
+                fatal("trace '", path, "' line ", lineno,
+                      ": duplicate tag ", entry.tag);
+            }
+        }
         prev_cycle = entry.cycle;
+        ids.push_back(makePacketId(
+            entry.src, ordinals[static_cast<std::size_t>(entry.src)]++));
         entries.push_back(entry);
     }
     return entries;
@@ -108,19 +242,27 @@ makeGenerators(const Config& cfg, const Topology& topo,
     std::vector<std::unique_ptr<PacketGenerator>> generators;
     const int n = topo.numNodes();
     generators.reserve(static_cast<std::size_t>(n));
-    if (cfg.has("trace")) {
+    const std::string kind = workloadKind(cfg);
+    if (kind == "trace") {
+        const std::string path = workloadTraceFile(cfg);
+        if (path.empty())
+            fatal("workload.kind=trace requires ", kWorkloadTraceFileKey);
         auto entries = std::make_shared<std::vector<TraceEntry>>(
-            parseTraceFile(cfg.getString("trace"), n));
+            parseTraceFile(path, n));
         for (NodeId node = 0; node < n; ++node) {
             generators.push_back(
                 std::make_unique<TraceGenerator>(entries, node));
         }
         return generators;
     }
-    const int length = static_cast<int>(cfg.getInt("packet_length", 5));
+    if (kind == "memory")
+        return makeMemoryGenerators(cfg, n, offered_flits);
+    const int length = workloadPacketLength(cfg);
+    const int reply_length = workloadReplyLength(cfg);
     for (NodeId node = 0; node < n; ++node) {
         generators.push_back(std::make_unique<SyntheticGenerator>(
-            pattern, makeInjection(cfg, offered_flits, length), length));
+            pattern, makeInjection(cfg, offered_flits, length), length,
+            reply_length));
     }
     return generators;
 }
@@ -128,11 +270,21 @@ makeGenerators(const Config& cfg, const Topology& topo,
 std::string
 formatTrace(const std::vector<TraceEntry>& entries)
 {
-    std::ostringstream os;
-    os << "# cycle src dest length\n";
+    bool tagged = false;
     for (const TraceEntry& e : entries) {
-        os << e.cycle << " " << e.src << " " << e.dest << " " << e.length
-           << "\n";
+        if (e.tag >= 0 || e.replyTo >= 0) {
+            tagged = true;
+            break;
+        }
+    }
+    std::ostringstream os;
+    os << (tagged ? "# cycle src dest length tag reply_to\n"
+                  : "# cycle src dest length\n");
+    for (const TraceEntry& e : entries) {
+        os << e.cycle << " " << e.src << " " << e.dest << " " << e.length;
+        if (tagged)
+            os << " " << e.tag << " " << e.replyTo;
+        os << "\n";
     }
     return os.str();
 }

@@ -1,11 +1,29 @@
 /**
  * @file
- * Packet generation: the open-loop sources ask a PacketGenerator, once
- * per node per cycle, whether a packet is born. The synthetic generator
- * combines an InjectionProcess with a TrafficPattern and a fixed packet
- * length (the paper's workloads); the trace generator replays a
- * recorded workload with per-packet destinations and lengths, enabling
- * application-driven studies and exact cross-scheme workload replay.
+ * Packet generation: sources ask a PacketGenerator, once per node per
+ * cycle, whether a packet is born. Generators come in two closure
+ * modes:
+ *
+ *  - Open loop (closedLoop() == false): births depend only on the
+ *    cycle and the node's private RNG stream. Sources may pre-scan
+ *    such a generator ahead of `now` (one draw per cycle, in stream
+ *    order) so the event kernel can sleep until the next birth.
+ *
+ *  - Closed loop (closedLoop() == true): births can depend on packet
+ *    ejections, fed back through onPacketEjected(). Sources tick a
+ *    closed-loop generator live, exactly once per cycle while
+ *    generating, and the ejection sink's per-node completion channel
+ *    (latency 1) delivers feedback one cycle after the last flit
+ *    ejects — identically under the stepped, event, and parallel
+ *    kernels, because the feedback channel is node-local (never
+ *    crosses a shard cut).
+ *
+ * Three families are provided: the synthetic generator (injection
+ * process + traffic pattern, optionally request-reply), the trace
+ * generator (exact replay, optionally dependency-tracked via reply-to
+ * tags), and the memory-system generator (traffic/memory.hpp). All are
+ * selected through the workload.* config namespace resolved in
+ * makeGenerators (traffic/workload.hpp).
  */
 
 #ifndef FRFC_TRAFFIC_GENERATOR_HPP
@@ -14,10 +32,13 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "proto/flit.hpp"
 
 namespace frfc {
 
@@ -31,6 +52,34 @@ struct GeneratedPacket
 {
     NodeId dest = kInvalidNode;
     int length = 0;
+    MessageClass cls = MessageClass::kRequest;
+};
+
+/**
+ * Everything a generator may consult when deciding on a birth: the
+ * cycle, the node it serves, and the node's private RNG stream. Passed
+ * by the owning source; generators must draw randomness only from
+ * ctx.rng so runs stay bit-identical across kernels.
+ */
+struct WorkloadContext
+{
+    Cycle now = 0;
+    NodeId node = kInvalidNode;
+    Rng* rng = nullptr;
+};
+
+/** One "key = value" descriptive parameter of a generator. */
+using GeneratorParam = std::pair<std::string, std::string>;
+
+/** Structured generator self-description (Report metadata). */
+struct GeneratorInfo
+{
+    std::string kind;        ///< "synthetic" / "trace" / "memory" / ...
+    bool closedLoop = false;
+    std::vector<GeneratorParam> params;
+
+    /** One-line rendering, `kind(k=v, ...)`, for notes and logs. */
+    std::string summary() const;
 };
 
 /** Per-node packet birth process. */
@@ -40,39 +89,72 @@ class PacketGenerator
     virtual ~PacketGenerator() = default;
 
     /**
-     * Called once per cycle for @p src. Returns the packet born this
-     * cycle, if any. Implementations may assume strictly increasing
-     * @p now per source.
+     * Called once per cycle for ctx.node, with strictly increasing
+     * ctx.now per node. Returns the packet born this cycle, if any.
      */
     virtual std::optional<GeneratedPacket>
-    generate(Cycle now, NodeId src, Rng& rng) = 0;
+    generate(const WorkloadContext& ctx) = 0;
 
-    virtual std::string describe() const = 0;
+    /**
+     * Ejection feedback (closed-loop generators only): a packet has
+     * completed at ctx.node — ctx.now is one cycle after the last
+     * flit ejected. May return a dependent packet (typically the
+     * reply) for the source to inject immediately, ahead of any
+     * same-cycle generate() birth.
+     */
+    virtual std::optional<GeneratedPacket>
+    onPacketEjected(const PacketCompletion& /* done */,
+                    const WorkloadContext& /* ctx */)
+    {
+        return std::nullopt;
+    }
+
+    /**
+     * True when this generator consumes ejection feedback. The owning
+     * source then wires the node's completion channel and ticks the
+     * generator live every cycle instead of pre-scanning ahead of now.
+     */
+    virtual bool closedLoop() const { return false; }
+
+    virtual GeneratorInfo describe() const = 0;
 };
 
-/** Synthetic: injection process + traffic pattern + fixed length. */
+/**
+ * Synthetic: injection process + traffic pattern + fixed length. With
+ * reply_length > 0 every birth is a request, and the destination's
+ * generator answers each completed request with a reply_length-flit
+ * reply (closed loop).
+ */
 class SyntheticGenerator : public PacketGenerator
 {
   public:
     /**
-     * @param pattern   destination chooser (borrowed)
-     * @param injection per-node injection process (owned)
-     * @param length    flits per packet
+     * @param pattern      destination chooser (borrowed)
+     * @param injection    per-node injection process (owned)
+     * @param length       flits per request packet
+     * @param reply_length flits per reply, 0 = open loop
      */
     SyntheticGenerator(const TrafficPattern* pattern,
                        std::unique_ptr<InjectionProcess> injection,
-                       int length);
+                       int length, int reply_length = 0);
     ~SyntheticGenerator() override;
 
     std::optional<GeneratedPacket>
-    generate(Cycle now, NodeId src, Rng& rng) override;
+    generate(const WorkloadContext& ctx) override;
 
-    std::string describe() const override { return "synthetic"; }
+    std::optional<GeneratedPacket>
+    onPacketEjected(const PacketCompletion& done,
+                    const WorkloadContext& ctx) override;
+
+    bool closedLoop() const override { return reply_length_ > 0; }
+
+    GeneratorInfo describe() const override;
 
   private:
     const TrafficPattern* pattern_;
     std::unique_ptr<InjectionProcess> injection_;
     int length_;
+    int reply_length_;
 };
 
 /** One recorded packet birth. */
@@ -82,11 +164,20 @@ struct TraceEntry
     NodeId src = kInvalidNode;
     NodeId dest = kInvalidNode;
     int length = 0;
+    int tag = -1;      ///< optional id other entries can reply to
+    int replyTo = -1;  ///< tag of the request this entry answers
+    /** Resolved at parse time: the parent's deterministic PacketId
+     *  (kInvalidPacket for independent entries). */
+    PacketId parent = kInvalidPacket;
+    MessageClass cls = MessageClass::kRequest;
 };
 
 /**
  * Replays a trace. One instance per node, built from a shared parsed
- * trace (entries for other nodes are skipped).
+ * trace (entries for other nodes are skipped). Entries carrying a
+ * reply-to dependency stall — holding every later entry of the node
+ * behind them, preserving trace order — until the parent packet's
+ * completion is reported through onPacketEjected (closed loop).
  */
 class TraceGenerator : public PacketGenerator
 {
@@ -99,34 +190,51 @@ class TraceGenerator : public PacketGenerator
                    NodeId node);
 
     std::optional<GeneratedPacket>
-    generate(Cycle now, NodeId src, Rng& rng) override;
+    generate(const WorkloadContext& ctx) override;
 
-    std::string describe() const override { return "trace"; }
+    std::optional<GeneratedPacket>
+    onPacketEjected(const PacketCompletion& done,
+                    const WorkloadContext& ctx) override;
+
+    bool closedLoop() const override { return has_dependents_; }
+
+    GeneratorInfo describe() const override;
 
   private:
     std::shared_ptr<const std::vector<TraceEntry>> entries_;
+    NodeId node_;
     std::size_t next_ = 0;
+    bool has_dependents_ = false;
+    /** Packets observed complete at this node (dependency release). */
+    std::unordered_set<PacketId> completed_;
 };
 
 /**
- * Parse a trace file: one packet per line, "cycle src dest length",
- * '#' comments. Entries must be sorted by cycle; src/dest must be in
- * range and length positive — violations are fatal (user error).
+ * Parse a trace file: one packet per line,
+ *   cycle src dest length [tag [reply_to]]
+ * with '#' comments. Entries must be sorted by cycle; src/dest must be
+ * in range and length positive. A non-negative tag names the entry; a
+ * non-negative reply_to makes the entry a reply to the earlier entry
+ * carrying that tag — it must originate at the parent's destination
+ * and is held back until the parent packet ejects. Violations are
+ * fatal (user error).
  */
 std::vector<TraceEntry>
 parseTraceFile(const std::string& path, int num_nodes);
 
 /**
  * Render entries in the trace file format (for writing workloads).
+ * Tag/reply-to columns are emitted only when some entry uses them.
  */
 std::string formatTrace(const std::vector<TraceEntry>& entries);
 
 /**
- * Build one generator per node. If the config has a "trace" key the
- * named file is replayed (and "offered"/"packet_length" are ignored);
- * otherwise each node gets a SyntheticGenerator at @p offered_flits
- * flits/node/cycle with the configured injection process and
- * packet_length, drawing destinations from @p pattern.
+ * Build one generator per node from the workload.* config namespace
+ * (traffic/workload.hpp): workload.kind selects synthetic, trace
+ * replay (workload.trace.file), or the memory-system generator
+ * (workload.memory.*). Synthetic nodes inject @p offered_flits
+ * flits/node/cycle with the configured injection process and packet
+ * length, drawing destinations from @p pattern.
  */
 std::vector<std::unique_ptr<PacketGenerator>>
 makeGenerators(const Config& cfg, const Topology& topo,

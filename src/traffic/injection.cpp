@@ -2,6 +2,7 @@
 
 #include "common/config.hpp"
 #include "common/log.hpp"
+#include "traffic/workload.hpp"
 
 namespace frfc {
 
@@ -42,7 +43,7 @@ makeInjection(const Config& cfg, double flits_per_cycle, int packet_length)
     if (packet_length <= 0)
         fatal("packet length must be positive");
     const double packet_rate = flits_per_cycle / packet_length;
-    const std::string kind = cfg.getString("injection", "bernoulli");
+    const std::string kind = workloadInjectionKind(cfg);
     if (kind == "bernoulli")
         return std::make_unique<BernoulliInjection>(packet_rate);
     if (kind == "periodic")

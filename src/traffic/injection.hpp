@@ -67,7 +67,8 @@ class PeriodicInjection : public InjectionProcess
 
 /**
  * Build an injection process.
- * @param cfg              reads key "injection" = bernoulli | periodic
+ * @param cfg              reads workload.injection (bernoulli | periodic;
+ *                         legacy key "injection" still honored)
  * @param flits_per_cycle  offered load in flits/node/cycle
  * @param packet_length    flits per packet
  */

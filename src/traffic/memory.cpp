@@ -1,0 +1,156 @@
+#include "traffic/memory.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "common/config.hpp"
+#include "common/log.hpp"
+#include "traffic/workload.hpp"
+
+namespace frfc {
+
+MemoryTrafficGenerator::MemoryTrafficGenerator(
+    std::shared_ptr<const MemoryParams> params, NodeId node)
+    : params_(std::move(params)), node_(node)
+{
+    FRFC_ASSERT(params_ != nullptr, "null memory params");
+    directory_ = std::find(params_->directories.begin(),
+                           params_->directories.end(), node_)
+        != params_->directories.end();
+}
+
+NodeId
+MemoryTrafficGenerator::pickDirectory(Rng& rng) const
+{
+    const std::vector<NodeId>& dirs = params_->directories;
+    if (params_->hotspot > 0.0 && rng.nextDouble() < params_->hotspot)
+        return dirs.front();
+    return dirs[rng.nextBounded(dirs.size())];
+}
+
+std::optional<GeneratedPacket>
+MemoryTrafficGenerator::generate(const WorkloadContext& ctx)
+{
+    // Directories are passive: zero draws, traffic only via replies.
+    if (directory_)
+        return std::nullopt;
+    // Exactly one phase-transition draw per cycle (geometric dwells),
+    // then one miss draw while ON — a fixed per-cycle draw pattern, so
+    // the RNG stream is kernel-independent.
+    if (on_) {
+        if (ctx.rng->nextBool(1.0 / params_->burstOn))
+            on_ = false;
+    } else {
+        if (ctx.rng->nextBool(1.0 / params_->burstOff))
+            on_ = true;
+    }
+    if (!on_ || !ctx.rng->nextBool(params_->missRate))
+        return std::nullopt;
+    // All MSHRs busy: the miss stalls the cache and is not re-offered.
+    if (outstanding_ >= params_->mshrs)
+        return std::nullopt;
+    ++outstanding_;
+    return GeneratedPacket{pickDirectory(*ctx.rng), params_->reqLength,
+                           MessageClass::kRequest};
+}
+
+std::optional<GeneratedPacket>
+MemoryTrafficGenerator::onPacketEjected(const PacketCompletion& done,
+                                        const WorkloadContext& /* ctx */)
+{
+    if (directory_) {
+        // A request reached this directory: send the data reply.
+        if (done.cls == MessageClass::kRequest) {
+            return GeneratedPacket{done.src, params_->replyLength,
+                                   MessageClass::kReply};
+        }
+        return std::nullopt;
+    }
+    // A reply came home: the miss is satisfied, free its MSHR.
+    if (done.cls == MessageClass::kReply && outstanding_ > 0)
+        --outstanding_;
+    return std::nullopt;
+}
+
+GeneratorInfo
+MemoryTrafficGenerator::describe() const
+{
+    GeneratorInfo info;
+    info.kind = "memory";
+    info.closedLoop = true;
+    info.params.emplace_back("role",
+                             directory_ ? "directory" : "requester");
+    info.params.emplace_back(
+        "directories", std::to_string(params_->directories.size()));
+    if (params_->hotspot > 0.0)
+        info.params.emplace_back("hotspot",
+                                 std::to_string(params_->hotspot));
+    info.params.emplace_back("mshrs", std::to_string(params_->mshrs));
+    return info;
+}
+
+std::vector<std::unique_ptr<PacketGenerator>>
+makeMemoryGenerators(const Config& cfg, int num_nodes,
+                     double offered_flits)
+{
+    FRFC_ASSERT(num_nodes >= 2, "memory workload needs at least 2 nodes");
+    auto params = std::make_shared<MemoryParams>();
+    const int want_dirs =
+        cfg.get<int>(kWorkloadMemDirectoriesKey, 4);
+    const int num_dirs =
+        std::max(1, std::min(want_dirs, num_nodes - 1));
+    if (num_dirs != want_dirs) {
+        warn("memory workload: clamping ", kWorkloadMemDirectoriesKey,
+             "=", want_dirs, " to ", num_dirs, " for ", num_nodes,
+             " nodes");
+    }
+    // Directories evenly spaced across the node id range.
+    params->directories.reserve(static_cast<std::size_t>(num_dirs));
+    for (int d = 0; d < num_dirs; ++d) {
+        params->directories.push_back(static_cast<NodeId>(
+            (static_cast<std::int64_t>(d) * num_nodes) / num_dirs));
+    }
+    params->hotspot = cfg.get<double>(kWorkloadMemHotspotKey, 0.0);
+    params->reqLength = cfg.get<int>(kWorkloadMemReqLengthKey, 1);
+    params->replyLength = cfg.get<int>(kWorkloadMemReplyLengthKey, 5);
+    params->mshrs = cfg.get<int>(kWorkloadMemMshrsKey, 8);
+    params->burstOn = cfg.get<double>(kWorkloadMemBurstOnKey, 64.0);
+    params->burstOff = cfg.get<double>(kWorkloadMemBurstOffKey, 192.0);
+    // Config-driven values get fatal() (exit 1, names the key), not
+    // an assert: these are user input, not programmer errors.
+    if (params->hotspot < 0.0 || params->hotspot > 1.0)
+        fatal("config key '", kWorkloadMemHotspotKey,
+              "' must be in [0, 1] (got ", params->hotspot, ")");
+    if (params->reqLength <= 0)
+        fatal("config key '", kWorkloadMemReqLengthKey,
+              "' must be positive (got ", params->reqLength, ")");
+    if (params->replyLength <= 0)
+        fatal("config key '", kWorkloadMemReplyLengthKey,
+              "' must be positive (got ", params->replyLength, ")");
+    if (params->mshrs <= 0)
+        fatal("config key '", kWorkloadMemMshrsKey,
+              "' must be positive (got ", params->mshrs, ")");
+    if (params->burstOn < 1.0 || params->burstOff < 1.0)
+        fatal("config keys '", kWorkloadMemBurstOnKey, "' and '",
+              kWorkloadMemBurstOffKey,
+              "' must be >= 1 cycle (got ", params->burstOn, ", ",
+              params->burstOff, ")");
+    // workload.offered keeps its open-loop meaning (time-average
+    // request flits/node/cycle): inflate the ON-phase miss probability
+    // by the duty cycle so bursts concentrate the same long-run load.
+    const double duty =
+        params->burstOn / (params->burstOn + params->burstOff);
+    const double packets_per_cycle =
+        offered_flits / static_cast<double>(params->reqLength);
+    params->missRate = std::min(1.0, packets_per_cycle / duty);
+
+    std::vector<std::unique_ptr<PacketGenerator>> generators;
+    generators.reserve(static_cast<std::size_t>(num_nodes));
+    for (NodeId node = 0; node < num_nodes; ++node) {
+        generators.push_back(
+            std::make_unique<MemoryTrafficGenerator>(params, node));
+    }
+    return generators;
+}
+
+}  // namespace frfc

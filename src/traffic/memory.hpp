@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Memory-system traffic generator (workload.kind = memory).
+ *
+ * Models the dominant on-chip traffic pattern of a CMP memory system:
+ * most nodes are cache-side *requesters* whose misses emit short
+ * request packets; a few evenly spaced nodes are *directories* that
+ * answer each request with a long data reply. Requesters alternate
+ * between bursty ON and quiet OFF phases (a two-state MMPP: geometric
+ * dwell times drawn once per cycle), miss only while ON, and are
+ * limited to a fixed number of outstanding misses (MSHRs) — a miss
+ * with all MSHRs busy is simply dropped, as a blocked cache would
+ * stall. An optional hotspot fraction skews requests toward the first
+ * directory.
+ *
+ * Every node is closed-loop: directories need request completions to
+ * mint replies, requesters need reply completions to free MSHRs. All
+ * randomness comes from the per-node RNG in the WorkloadContext, with
+ * a fixed draw pattern per cycle, so the workload is bit-identical
+ * across the stepped, event, and parallel kernels.
+ *
+ * Config (see traffic/workload.hpp key constants):
+ *   workload.memory.directories  directory count (4, clamped to n-1)
+ *   workload.memory.hotspot      fraction of misses sent to the first
+ *                                directory (0.0 = uniform)
+ *   workload.memory.req_length   request flits (1)
+ *   workload.memory.reply_length reply flits (5)
+ *   workload.memory.mshrs        outstanding misses per requester (8)
+ *   workload.memory.burst_on     mean ON-phase length, cycles (64)
+ *   workload.memory.burst_off    mean OFF-phase length, cycles (192)
+ */
+
+#ifndef FRFC_TRAFFIC_MEMORY_HPP
+#define FRFC_TRAFFIC_MEMORY_HPP
+
+#include <memory>
+#include <vector>
+
+#include "traffic/generator.hpp"
+
+namespace frfc {
+
+class Config;
+
+/** Shared knobs of one memory workload (same for every node). */
+struct MemoryParams
+{
+    std::vector<NodeId> directories;
+    double missRate = 0.0;  ///< P(miss) per ON cycle, requesters
+    double hotspot = 0.0;   ///< fraction of misses aimed at dirs[0]
+    int reqLength = 1;
+    int replyLength = 5;
+    int mshrs = 8;
+    double burstOn = 64.0;   ///< mean ON dwell, cycles
+    double burstOff = 192.0; ///< mean OFF dwell, cycles
+};
+
+/** One node of the memory system: requester or directory. */
+class MemoryTrafficGenerator : public PacketGenerator
+{
+  public:
+    MemoryTrafficGenerator(std::shared_ptr<const MemoryParams> params,
+                           NodeId node);
+
+    std::optional<GeneratedPacket>
+    generate(const WorkloadContext& ctx) override;
+
+    std::optional<GeneratedPacket>
+    onPacketEjected(const PacketCompletion& done,
+                    const WorkloadContext& ctx) override;
+
+    bool closedLoop() const override { return true; }
+
+    GeneratorInfo describe() const override;
+
+  private:
+    NodeId pickDirectory(Rng& rng) const;
+
+    std::shared_ptr<const MemoryParams> params_;
+    NodeId node_;
+    bool directory_ = false;
+    bool on_ = false;         ///< MMPP phase (requesters)
+    int outstanding_ = 0;     ///< busy MSHRs (requesters)
+};
+
+/**
+ * Build the per-node generator set for workload.kind = memory.
+ * @p offered_flits (flits/node/cycle) sets the long-run request rate;
+ * the ON-phase miss probability is inflated by the MMPP duty cycle so
+ * the time-average offered load matches the open-loop meaning of
+ * workload.offered.
+ */
+std::vector<std::unique_ptr<PacketGenerator>>
+makeMemoryGenerators(const Config& cfg, int num_nodes,
+                     double offered_flits);
+
+}  // namespace frfc
+
+#endif  // FRFC_TRAFFIC_MEMORY_HPP

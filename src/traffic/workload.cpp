@@ -1,0 +1,143 @@
+#include "traffic/workload.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "common/config.hpp"
+#include "common/log.hpp"
+
+namespace frfc {
+
+namespace {
+
+/**
+ * One warning per process, not per run: sweeps build thousands of
+ * configs (concurrently, on the executor's thread pool), and the
+ * deprecation notice is advice to the human, not run state. The latch
+ * is an atomic touched only on the (cold) legacy path and never feeds
+ * back into simulation behavior, so it is shard-safe by construction.
+ */
+std::atomic<bool> legacy_warned{false};  // frfc-lint: allow(shard-safety)
+
+void
+warnLegacyUsed(const char* legacy, const char* canonical)
+{
+    if (legacy_warned.exchange(true))
+        return;
+    warn("config key '", legacy, "' is deprecated; use '", canonical,
+         "' (all workload keys now live under workload.*)");
+}
+
+void
+warnLegacyIgnored(const char* legacy, const char* canonical)
+{
+    if (legacy_warned.exchange(true))
+        return;
+    warn("config sets both '", canonical, "' and legacy '", legacy,
+         "'; the workload.* key wins and the legacy key is ignored");
+}
+
+/** Resolve @p key, falling back to @p legacy with a one-time warning. */
+template <typename T>
+T
+resolve(const Config& cfg, const char* key, const char* legacy,
+        const T& dflt)
+{
+    if (cfg.has(key)) {
+        if (legacy != nullptr && cfg.has(legacy))
+            warnLegacyIgnored(legacy, key);
+        return cfg.get<T>(key);
+    }
+    if (legacy != nullptr && cfg.has(legacy)) {
+        warnLegacyUsed(legacy, key);
+        return cfg.get<T>(legacy);
+    }
+    return dflt;
+}
+
+}  // namespace
+
+std::string
+workloadKind(const Config& cfg)
+{
+    const std::string kind =
+        resolve<std::string>(cfg, kWorkloadKindKey, nullptr, "");
+    if (!kind.empty()) {
+        if (kind != "synthetic" && kind != "trace" && kind != "memory") {
+            fatal("workload.kind must be synthetic, trace, or memory "
+                  "(got '", kind, "')");
+        }
+        return kind;
+    }
+    // Inferred: a named trace file selects trace replay, as the legacy
+    // flat `trace` key always did.
+    return workloadTraceFile(cfg).empty() ? "synthetic" : "trace";
+}
+
+double
+workloadOfferedFraction(const Config& cfg, double dflt)
+{
+    return resolve<double>(cfg, kWorkloadOfferedKey, "offered", dflt);
+}
+
+void
+setWorkloadOffered(Config& cfg, double fraction)
+{
+    cfg.set(kWorkloadOfferedKey, fraction);
+}
+
+int
+workloadPacketLength(const Config& cfg)
+{
+    return resolve<int>(cfg, kWorkloadPacketLengthKey, "packet_length", 5);
+}
+
+int
+workloadReplyLength(const Config& cfg)
+{
+    return resolve<int>(cfg, kWorkloadReplyLengthKey, nullptr, 0);
+}
+
+int
+workloadMaxPacketFlits(const Config& cfg)
+{
+    int flits = std::max(workloadPacketLength(cfg),
+                         workloadReplyLength(cfg));
+    if (workloadKind(cfg) == "memory") {
+        flits = std::max(
+            flits, resolve<int>(cfg, kWorkloadMemReqLengthKey, nullptr, 1));
+        flits = std::max(
+            flits,
+            resolve<int>(cfg, kWorkloadMemReplyLengthKey, nullptr, 5));
+    }
+    return flits;
+}
+
+std::string
+workloadInjectionKind(const Config& cfg)
+{
+    return resolve<std::string>(cfg, kWorkloadInjectionKey, "injection",
+                                "bernoulli");
+}
+
+std::string
+workloadTraceFile(const Config& cfg)
+{
+    return resolve<std::string>(cfg, kWorkloadTraceFileKey, "trace", "");
+}
+
+std::string
+canonicalWorkloadKey(const std::string& key)
+{
+    if (key == "offered")
+        return kWorkloadOfferedKey;
+    if (key == "packet_length")
+        return kWorkloadPacketLengthKey;
+    if (key == "injection")
+        return kWorkloadInjectionKey;
+    if (key == "trace")
+        return kWorkloadTraceFileKey;
+    return key;
+}
+
+}  // namespace frfc

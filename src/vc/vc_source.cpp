@@ -1,5 +1,6 @@
 #include "vc/vc_source.hpp"
 
+#include "check/validator.hpp"
 #include "common/log.hpp"
 #include "proto/packet_registry.hpp"
 #include "traffic/generator.hpp"
@@ -18,6 +19,7 @@ VcSource::VcSource(std::string name, NodeId node,
 {
     FRFC_ASSERT(generator != nullptr && num_vcs > 0 && vc_depth > 0,
                 "bad source parameters");
+    closed_loop_ = generator->closedLoop();
     if (metrics != nullptr) {
         const std::string prefix = "source." + std::to_string(node);
         metrics->attachCounter(prefix + ".packets_generated",
@@ -52,12 +54,15 @@ VcSource::tick(Cycle now)
             }
         }
     }
+    processCompletions(now);
     generate(now);
     inject(now);
     // Idle from here on (empty queue means no VC-pick draws until the
     // next birth): pre-scan the generator so nextWake can name the
-    // birth cycle and the source can sleep until it.
-    if (generating_ && !birth_pending_ && queue_.empty())
+    // birth cycle and the source can sleep until it. Closed-loop
+    // generators are never scanned ahead — a completion arriving
+    // mid-window would invalidate the scanned draws.
+    if (!closed_loop_ && generating_ && !birth_pending_ && queue_.empty())
         scanBirths(now + kGenLookahead);
 }
 
@@ -66,6 +71,12 @@ VcSource::nextWake(Cycle now) const
 {
     if (!queue_.empty())
         return now + 1;
+    if (closed_loop_) {
+        // Tick every cycle while generating: the generator must see
+        // each cycle once, in order, for its draw stream (and any
+        // feedback-driven state) to be kernel-independent.
+        return generating_ ? now + 1 : kInvalidCycle;
+    }
     if (!generating_)
         return kInvalidCycle;
     return birth_pending_ ? birth_cycle_ : next_gen_cycle_;
@@ -75,15 +86,44 @@ void
 VcSource::scanBirths(Cycle limit)
 {
     while (!birth_pending_ && next_gen_cycle_ <= limit) {
-        const auto pkt =
-            generator_->generate(next_gen_cycle_, node_, rng_);
+        const WorkloadContext ctx{next_gen_cycle_, node_, &rng_};
+        const auto pkt = generator_->generate(ctx);
         if (pkt) {
             birth_pending_ = true;
             birth_cycle_ = next_gen_cycle_;
             birth_dest_ = pkt->dest;
             birth_length_ = pkt->length;
+            birth_cls_ = pkt->cls;
         }
         ++next_gen_cycle_;
+    }
+}
+
+void
+VcSource::admitPacket(NodeId dest, int length, MessageClass cls,
+                      Cycle now)
+{
+    const PacketId id = registry_->create(node_, dest, length, now, cls);
+    queue_.push_back(PendingPacket{id, dest, length, now, cls});
+    packets_generated_.inc();
+}
+
+void
+VcSource::processCompletions(Cycle now)
+{
+    if (completion_in_ == nullptr)
+        return;
+    completion_in_->drainInto(now, completion_scratch_);
+    for (const PacketCompletion& done : completion_scratch_) {
+        const WorkloadContext ctx{now, node_, &rng_};
+        const auto reply = generator_->onPacketEjected(done, ctx);
+        if (!reply)
+            continue;
+        // Feedback-minted replies bypass setGenerating: the exchange a
+        // request opened must close even while the run drains.
+        if (validator_ != nullptr && reply->cls == MessageClass::kReply)
+            validator_->onReplyCreated(node_, now, name());
+        admitPacket(reply->dest, reply->length, reply->cls, now);
     }
 }
 
@@ -92,15 +132,19 @@ VcSource::generate(Cycle now)
 {
     if (!generating_)
         return;
+    if (closed_loop_) {
+        // Live path: one generator call per cycle, no lookahead.
+        const WorkloadContext ctx{now, node_, &rng_};
+        if (const auto pkt = generator_->generate(ctx))
+            admitPacket(pkt->dest, pkt->length, pkt->cls, now);
+        return;
+    }
     scanBirths(now);
     if (!birth_pending_ || birth_cycle_ > now)
         return;
     FRFC_ASSERT(birth_cycle_ == now, "source ", name(),
                 " slept through a packet birth at cycle ", birth_cycle_);
-    const PacketId id =
-        registry_->create(node_, birth_dest_, birth_length_, now);
-    queue_.push_back(PendingPacket{id, birth_dest_, birth_length_, now});
-    packets_generated_.inc();
+    admitPacket(birth_dest_, birth_length_, birth_cls_, now);
     birth_pending_ = false;
 }
 
@@ -153,6 +197,7 @@ VcSource::inject(Cycle now)
     flit.created = pkt.created;
     flit.injected = now;
     flit.payload = Flit::expectedPayload(pkt.id, next_seq_);
+    flit.cls = pkt.cls;
 
     FRFC_ASSERT(data_out_ != nullptr, "source not wired");
     data_out_->push(now, flit);

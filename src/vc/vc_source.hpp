@@ -1,11 +1,14 @@
 /**
  * @file
- * Open-loop packet source / sink endpoints for VC flow control.
+ * Packet source endpoint for VC flow control.
  *
- * VcSource generates packets per an InjectionProcess, queues them
- * (source queueing time counts toward latency, as in the paper), and
- * streams flits into the router's local input port under credit flow
- * control, one flit per cycle.
+ * VcSource serves one PacketGenerator, queues its packets (source
+ * queueing time counts toward latency, as in the paper), and streams
+ * flits into the router's local input port under credit flow control,
+ * one flit per cycle. Open-loop generators are pre-scanned so the
+ * event kernel can sleep between births; closed-loop generators are
+ * ticked live and fed packet completions from the node's ejection
+ * sink, which may mint reply packets ahead of the same-cycle birth.
  */
 
 #ifndef FRFC_VC_VC_SOURCE_HPP
@@ -26,8 +29,9 @@ namespace frfc {
 
 class PacketGenerator;
 class PacketLedger;
+class Validator;
 
-/** Per-node open-loop source for virtual-channel networks. */
+/** Per-node packet source for virtual-channel networks. */
 class VcSource : public Clocked
 {
   public:
@@ -53,14 +57,25 @@ class VcSource : public Clocked
     /** Wire the credit return channel from the router. */
     void connectCreditIn(Channel<Credit>* ch) { credit_in_ = ch; }
 
+    /** Per-node completion feedback (closed-loop workloads only). */
+    void connectCompletionIn(Channel<PacketCompletion>* ch)
+    {
+        completion_in_ = ch;
+    }
+
+    /** Attach the run's validator (reply-causality accounting). */
+    void setValidator(Validator* validator) { validator_ = validator; }
+
     void tick(Cycle now) override;
 
     /**
      * Quiescence: awake every cycle while packets wait to be injected.
      * Otherwise the generator has been pre-scanned (one draw per cycle,
      * stopping at the first birth), so the source sleeps until the
-     * birth cycle or until the scan window needs refilling; credits
-     * arriving mid-sleep re-wake it through the channel hook.
+     * birth cycle or until the scan window needs refilling. Closed-loop
+     * sources instead stay awake every cycle while generating. Credits
+     * and completions arriving mid-sleep re-wake the source through the
+     * channel hook.
      */
     Cycle nextWake(Cycle now) const override;
 
@@ -119,10 +134,14 @@ class VcSource : public Clocked
         NodeId dest;
         int length;
         Cycle created;
+        MessageClass cls;
     };
 
     void generate(Cycle now);
     void scanBirths(Cycle limit);
+    void admitPacket(NodeId dest, int length, MessageClass cls,
+                     Cycle now);
+    void processCompletions(Cycle now);
     void inject(Cycle now);
 
     /** Cycles of generator lookahead scanned per idle wake. */
@@ -136,12 +155,18 @@ class VcSource : public Clocked
     bool shared_pool_;
     Rng rng_;
     bool generating_ = true;
+    /** Generator consumes ejection feedback: tick it live every cycle
+     *  (never pre-scan — feedback would invalidate scanned draws). */
+    bool closed_loop_ = false;
 
     Channel<Flit>* data_out_ = nullptr;
     Channel<Credit>* credit_in_ = nullptr;
+    Channel<PacketCompletion>* completion_in_ = nullptr;
+    Validator* validator_ = nullptr;
 
     std::deque<PendingPacket> queue_;
     std::vector<Credit> credit_scratch_;
+    std::vector<PacketCompletion> completion_scratch_;
     std::vector<int> credits_;  ///< per VC, or [0] = pool when shared
 
     /** Generator lookahead; see FrSource for the draw-order argument. */
@@ -150,6 +175,7 @@ class VcSource : public Clocked
     Cycle birth_cycle_ = 0;
     NodeId birth_dest_ = 0;
     int birth_length_ = 0;
+    MessageClass birth_cls_ = MessageClass::kRequest;
     int pool_credits_ = 0;
     bool sending_ = false;      ///< head packet partially injected
     VcId current_vc_ = kInvalidVc;

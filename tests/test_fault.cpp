@@ -79,7 +79,7 @@ TEST(FaultInjection, NetworkSurvivesSustainedLoss)
     applyFr6(cfg);
     cfg.set("size_x", 4);
     cfg.set("size_y", 4);
-    cfg.set("offered", 0.3);
+    cfg.set("workload.offered", 0.3);
     cfg.set("fault.data_drop_rate", 0.05);
     FrNetwork net(cfg);
     // No measurement protocol: losses mean some packets never complete.
@@ -103,7 +103,7 @@ TEST(FaultInjection, LossFreeRunsAreUnaffectedByTheMachinery)
     applyFr6(clean);
     clean.set("size_x", 4);
     clean.set("size_y", 4);
-    clean.set("offered", 0.3);
+    clean.set("workload.offered", 0.3);
     Config zero = clean;
     zero.set("fault.data_drop_rate", 0.0);
     RunOptions opt;
@@ -122,7 +122,7 @@ TEST(Plesiochronous, ExtraHoldCycleStillDelivers)
     applyFr6(cfg);
     cfg.set("size_x", 4);
     cfg.set("size_y", 4);
-    cfg.set("offered", 0.4);
+    cfg.set("workload.offered", 0.4);
     cfg.set("plesiochronous", true);
     RunOptions opt;
     opt.samplePackets = 400;
@@ -144,7 +144,7 @@ TEST(Plesiochronous, SlackCannotImproveLatency)
     applyFr6(meso);
     meso.set("size_x", 4);
     meso.set("size_y", 4);
-    meso.set("offered", 0.6);
+    meso.set("workload.offered", 0.6);
     Config plesio = meso;
     plesio.set("plesiochronous", true);
     const RunResult a = runExperiment(meso, opt);

@@ -160,7 +160,7 @@ TEST(ForwardingIntegration, AllDisciplinesDeliver)
         applyWormhole(cfg, 8);
         cfg.set("size_x", 4);
         cfg.set("size_y", 4);
-        cfg.set("offered", 0.2);
+        cfg.set("workload.offered", 0.2);
         cfg.set("forwarding", mode);
         RunOptions opt;
         opt.samplePackets = 300;
@@ -186,7 +186,7 @@ TEST(ForwardingIntegration, LatencyOrderingSafVsWormhole)
         applyWormhole(cfg, 8);
         cfg.set("size_x", 4);
         cfg.set("size_y", 4);
-        cfg.set("offered", 0.15);
+        cfg.set("workload.offered", 0.15);
         cfg.set("forwarding", mode);
         latency[idx++] = runExperiment(cfg, opt).avgLatency;
     }

@@ -33,7 +33,7 @@ runGolden(const char* preset, double offered)
     cfg.set("size_x", 4);
     cfg.set("size_y", 4);
     applyPreset(cfg, preset);
-    cfg.set("offered", offered);
+    cfg.set("workload.offered", offered);
     cfg.set("seed", 12345);
     return runExperiment(cfg, goldenOptions());
 }

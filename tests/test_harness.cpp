@@ -18,7 +18,7 @@ TEST(Presets, BaseConfigIsThePaperNetwork)
     EXPECT_EQ(cfg.getInt("size_x"), 8);
     EXPECT_EQ(cfg.getInt("size_y"), 8);
     EXPECT_EQ(cfg.getString("traffic"), "uniform");
-    EXPECT_EQ(cfg.getInt("packet_length"), 5);
+    EXPECT_EQ(cfg.getInt("workload.packet_length"), 5);
     // Fast control wires by default: data 4x slower than control.
     EXPECT_EQ(cfg.getInt("data_link_latency"), 4);
     EXPECT_EQ(cfg.getInt("ctrl_link_latency"), 1);

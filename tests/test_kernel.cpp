@@ -287,7 +287,7 @@ TEST(KernelEquivalence, GoldenFrRunIsBitIdentical)
     cfg.set("size_x", 4);
     cfg.set("size_y", 4);
     applyPreset(cfg, "fr6");
-    cfg.set("offered", 0.5);
+    cfg.set("workload.offered", 0.5);
     cfg.set("seed", 12345);
     expectModesBitIdentical(cfg, fastOptions());
 }
@@ -298,7 +298,7 @@ TEST(KernelEquivalence, GoldenVcRunIsBitIdentical)
     cfg.set("size_x", 4);
     cfg.set("size_y", 4);
     applyPreset(cfg, "vc8");
-    cfg.set("offered", 0.5);
+    cfg.set("workload.offered", 0.5);
     cfg.set("seed", 12345);
     expectModesBitIdentical(cfg, fastOptions());
 }
@@ -327,7 +327,7 @@ TEST_P(KernelEquivalenceProperty, SteppedAndEventAgree)
     applyPreset(cfg, p.preset);
     if (p.leading)
         applyLeadingControl(cfg, 2);
-    cfg.set("offered", p.load);
+    cfg.set("workload.offered", p.load);
     cfg.set("seed", p.seed);
     RunOptions opt = fastOptions();
     opt.trackOccupancy = p.occupancy;

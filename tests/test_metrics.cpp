@@ -116,7 +116,7 @@ TEST(NetworkMetrics, VcNetworkRegistersDocumentedPaths)
 {
     Config cfg = baseConfig();
     applyVc8(cfg);
-    cfg.set("offered", 0.3);
+    cfg.set("workload.offered", 0.3);
     VcNetwork net(cfg);
     net.kernel().run(2000);
     net.finalizeMetrics();
@@ -141,7 +141,7 @@ TEST(NetworkMetrics, FrNetworkRegistersReservationPaths)
 {
     Config cfg = baseConfig();
     applyFr6(cfg);
-    cfg.set("offered", 0.3);
+    cfg.set("workload.offered", 0.3);
     FrNetwork net(cfg);
     net.kernel().run(2000);
     net.finalizeMetrics();
@@ -169,7 +169,7 @@ TEST(NetworkMetrics, RunExperimentCollectsSnapshotPerOptions)
     applyVc8(cfg);
     cfg.set("size_x", 4);
     cfg.set("size_y", 4);
-    cfg.set("offered", 0.3);
+    cfg.set("workload.offered", 0.3);
 
     RunOptions opt;
     opt.samplePackets = 200;

@@ -34,7 +34,7 @@ smallBase()
     Config cfg = baseConfig();
     cfg.set("size_x", 4);
     cfg.set("size_y", 4);
-    cfg.set("offered", 0.25);
+    cfg.set("workload.offered", 0.25);
     return cfg;
 }
 
@@ -68,7 +68,7 @@ TEST(VcIntegration, PeriodicInjectionDelivers)
 {
     Config cfg = smallBase();
     applyVc8(cfg);
-    cfg.set("injection", "periodic");
+    cfg.set("workload.injection", "periodic");
     const RunResult r = runExperiment(cfg, fast());
     EXPECT_TRUE(r.complete);
 }
@@ -83,7 +83,7 @@ TEST(FrIntegration, WideControlFlitsExerciseScheduleList)
     applyFr6(cfg);
     cfg.set("data_buffers", 13);
     cfg.set("flits_per_ctrl", 4);
-    cfg.set("packet_length", 9);
+    cfg.set("workload.packet_length", 9);
     FrNetwork net(cfg);
     RunOptions opt = fast();
     const RunResult r = runMeasurement(net, opt);
@@ -101,8 +101,8 @@ TEST(FrIntegration, WideControlNeedsTwoGroupsOfPoolCapacity)
     Config small = baseConfig();  // full 8x8 mesh
     applyFr6(small);
     small.set("flits_per_ctrl", 4);
-    small.set("packet_length", 9);
-    small.set("offered", 0.10);
+    small.set("workload.packet_length", 9);
+    small.set("workload.offered", 0.10);
     FrNetwork starved(small);
     starved.kernel().run(20000);
     const auto stuck = starved.registry().packetsDelivered();
@@ -127,7 +127,7 @@ TEST(FrIntegration, AllOrNothingDelivers)
     cfg.set("data_buffers", 13);
     cfg.set("all_or_nothing", true);
     cfg.set("flits_per_ctrl", 4);
-    cfg.set("packet_length", 9);
+    cfg.set("workload.packet_length", 9);
     const RunResult r = runExperiment(cfg, fast());
     EXPECT_TRUE(r.complete);
 }
@@ -166,7 +166,7 @@ TEST(FrIntegration, SingleFlitPacketsDeliver)
 {
     Config cfg = smallBase();
     applyFr6(cfg);
-    cfg.set("packet_length", 1);
+    cfg.set("workload.packet_length", 1);
     const RunResult r = runExperiment(cfg, fast());
     EXPECT_TRUE(r.complete);
 }
@@ -178,7 +178,7 @@ TEST(FrIntegration, LongLeadReducesBaseLatency)
     Config cfg = smallBase();
     applyFr6(cfg);
     applyLeadingControl(cfg, 10);
-    cfg.set("offered", 0.05);
+    cfg.set("workload.offered", 0.05);
     Config cfg1 = cfg;
     applyLeadingControl(cfg1, 1);
     const RunResult lead10 = runExperiment(cfg, fast());
@@ -194,7 +194,7 @@ TEST(FrIntegration, BypassesDominateAtLowLoad)
 {
     Config cfg = smallBase();
     applyFr6(cfg);
-    cfg.set("offered", 0.05);
+    cfg.set("workload.offered", 0.05);
     FrNetwork net(cfg);
     const RunResult r = runMeasurement(net, fast());
     ASSERT_TRUE(r.complete);
@@ -239,7 +239,7 @@ TEST(Runner, ReportsAcceptedThroughputNearOffered)
 {
     Config cfg = smallBase();
     applyVc8(cfg);
-    cfg.set("offered", 0.3);
+    cfg.set("workload.offered", 0.3);
     const RunResult r = runExperiment(cfg, fast());
     ASSERT_TRUE(r.complete);
     EXPECT_NEAR(r.acceptedFraction, 0.3, 0.08);
@@ -261,7 +261,7 @@ TEST(Runner, SaturatedRunReportsIncomplete)
 {
     Config cfg = smallBase();
     applyWormhole(cfg, 2);  // tiny buffers, easy to saturate
-    cfg.set("offered", 1.2);
+    cfg.set("workload.offered", 1.2);
     RunOptions opt = fast();
     opt.maxCycles = 6000;
     const RunResult r = runExperiment(cfg, opt);
@@ -280,7 +280,7 @@ TEST_P(TrafficMatrix, DeliversAtLightLoad)
     Config cfg = smallBase();
     applyPreset(cfg, preset);
     cfg.set("traffic", traffic);
-    cfg.set("offered", 0.15);
+    cfg.set("workload.offered", 0.15);
     const RunResult r = runExperiment(cfg, fast());
     EXPECT_TRUE(r.complete) << preset << "/" << traffic;
     EXPECT_GT(r.avgLatency, 0.0);

@@ -76,7 +76,7 @@ TEST(ParallelExecutor, ResultsComeBackInSubmissionOrder)
     const Config cfg = smallMesh("vc8");
     for (double load : loads) {
         Config point = cfg;
-        point.set("offered", load);
+        point.set("workload.offered", load);
         futures.push_back(pool.submit(point, fast(4)));
     }
     for (std::size_t i = 0; i < loads.size(); ++i) {
@@ -91,7 +91,7 @@ TEST(ParallelExecutor, RunExperimentsMatchesSerialLoop)
     std::vector<Config> points;
     for (double load : {0.10, 0.25, 0.40}) {
         Config point = cfg;
-        point.set("offered", load);
+        point.set("workload.offered", load);
         points.push_back(point);
     }
     std::vector<RunResult> serial;

@@ -126,7 +126,7 @@ smallConfig(const char* preset, long seed)
         applyVc8(cfg);
     cfg.set("size_x", 8);
     cfg.set("size_y", 8);
-    cfg.set("offered", 0.35);
+    cfg.set("workload.offered", 0.35);
     cfg.set("seed", seed);
     return cfg;
 }

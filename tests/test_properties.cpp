@@ -50,7 +50,7 @@ TEST_P(Conservation, EveryInjectedFlitIsDeliveredExactlyOnce)
     applyPreset(cfg, p.preset);
     if (p.leading)
         applyLeadingControl(cfg, 1);
-    cfg.set("offered", p.load);
+    cfg.set("workload.offered", p.load);
     cfg.set("seed", p.seed);
 
     auto net = makeNetwork(cfg);
@@ -66,7 +66,7 @@ TEST_P(Conservation, EveryInjectedFlitIsDeliveredExactlyOnce)
                            20000);
     EXPECT_EQ(reg.packetsInFlight(), 0) << "network failed to drain";
     EXPECT_EQ(reg.flitsDelivered(),
-              reg.packetsCreated() * cfg.getInt("packet_length"));
+              reg.packetsCreated() * cfg.getInt("workload.packet_length"));
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -144,10 +144,10 @@ TEST(PaperOrdering, MoreBuffersNeverHurtVc)
     RunOptions opt = fast();
     Config vc8 = baseConfig();
     applyVc8(vc8);
-    vc8.set("offered", 0.55);
+    vc8.set("workload.offered", 0.55);
     Config vc16 = baseConfig();
     applyVc16(vc16);
-    vc16.set("offered", 0.55);
+    vc16.set("workload.offered", 0.55);
     const RunResult r8 = runExperiment(vc8, opt);
     const RunResult r16 = runExperiment(vc16, opt);
     ASSERT_TRUE(r8.complete);

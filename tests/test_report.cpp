@@ -26,7 +26,7 @@ sampleReport()
     applyVc8(cfg);
     cfg.set("size_x", 4);
     cfg.set("size_y", 4);
-    cfg.set("offered", 0.3);
+    cfg.set("workload.offered", 0.3);
 
     RunOptions opt;
     opt.samplePackets = 200;
@@ -44,7 +44,7 @@ sampleReport()
     applyFr6(fr);
     fr.set("size_x", 4);
     fr.set("size_y", 4);
-    fr.set("offered", 0.3);
+    fr.set("workload.offered", 0.3);
     ReportCurve& frc = report.addCurve("fr6", fr);
     frc.add(runExperiment(fr, opt));
 

@@ -30,7 +30,7 @@ TEST(Smoke, VcNetworkDeliversAtLightLoad)
     applyVc8(cfg);
     cfg.set("size_x", 4);
     cfg.set("size_y", 4);
-    cfg.set("offered", 0.2);
+    cfg.set("workload.offered", 0.2);
     const RunResult r = runExperiment(cfg, smokeOptions());
     EXPECT_TRUE(r.complete);
     EXPECT_GT(r.avgLatency, 10.0);
@@ -43,7 +43,7 @@ TEST(Smoke, FrNetworkDeliversAtLightLoad)
     applyFr6(cfg);
     cfg.set("size_x", 4);
     cfg.set("size_y", 4);
-    cfg.set("offered", 0.2);
+    cfg.set("workload.offered", 0.2);
     const RunResult r = runExperiment(cfg, smokeOptions());
     EXPECT_TRUE(r.complete);
     EXPECT_GT(r.avgLatency, 10.0);
@@ -57,7 +57,7 @@ TEST(Smoke, FrLeadingControlDelivers)
     applyLeadingControl(cfg, 1);
     cfg.set("size_x", 4);
     cfg.set("size_y", 4);
-    cfg.set("offered", 0.2);
+    cfg.set("workload.offered", 0.2);
     const RunResult r = runExperiment(cfg, smokeOptions());
     EXPECT_TRUE(r.complete);
 }

@@ -28,14 +28,21 @@ class OneShotGenerator : public PacketGenerator
     }
 
     std::optional<GeneratedPacket>
-    generate(Cycle, NodeId, Rng&) override
+    generate(const WorkloadContext&) override
     {
         if (fired_)
             return std::nullopt;
         fired_ = true;
         return GeneratedPacket{dest_, length_};
     }
-    std::string describe() const override { return "oneshot"; }
+
+    GeneratorInfo
+    describe() const override
+    {
+        GeneratorInfo info;
+        info.kind = "oneshot";
+        return info;
+    }
 
   private:
     NodeId dest_;

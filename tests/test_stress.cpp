@@ -39,8 +39,8 @@ TEST_P(Stress, SurvivesSaturationAndDrains)
     cfg.set("size_x", 4);
     cfg.set("size_y", 4);
     applyPreset(cfg, c.preset);
-    cfg.set("offered", c.offered);
-    cfg.set("packet_length", c.packetLength);
+    cfg.set("workload.offered", c.offered);
+    cfg.set("workload.packet_length", c.packetLength);
     cfg.set("traffic", c.traffic);
     if (c.leading)
         applyLeadingControl(cfg, 1);
@@ -93,7 +93,7 @@ TEST(StressEdge, TinyMeshSaturates)
         cfg.set("size_x", 2);
         cfg.set("size_y", 2);
         applyPreset(cfg, preset);
-        cfg.set("offered", 1.0);
+        cfg.set("workload.offered", 1.0);
         auto net = makeNetwork(cfg);
         net->kernel().run(5000);
         net->setGenerating(false);
@@ -111,7 +111,7 @@ TEST(StressEdge, RectangularMeshSaturates)
         cfg.set("size_x", 8);
         cfg.set("size_y", 2);
         applyPreset(cfg, preset);
-        cfg.set("offered", 0.9);
+        cfg.set("workload.offered", 0.9);
         auto net = makeNetwork(cfg);
         net->kernel().run(5000);
         net->setGenerating(false);
@@ -133,7 +133,7 @@ TEST(StressEdge, MinimalFrResourcesStillWork)
     cfg.set("ctrl_vcs", 1);
     cfg.set("ctrl_vc_depth", 1);
     cfg.set("ctrl_width", 1);
-    cfg.set("offered", 0.3);
+    cfg.set("workload.offered", 0.3);
     auto net = makeNetwork(cfg);
     net->kernel().run(8000);
     net->setGenerating(false);

@@ -85,8 +85,8 @@ TEST(Validation, OfferedLoadAboveLinkRateIsFatal)
     // injection port; the Bernoulli process rejects the packet rate.
     Config cfg = baseConfig();
     applyVc8(cfg);
-    cfg.set("packet_length", 1);
-    cfg.set("offered", 5.0);  // 5 x 0.5 = 2.5 flits/node/cycle
+    cfg.set("workload.packet_length", 1);
+    cfg.set("workload.offered", 5.0);  // 5 x 0.5 = 2.5 flits/node/cycle
     EXPECT_EXIT(makeNetwork(cfg), ::testing::ExitedWithCode(1),
                 "outside");
 }
@@ -104,7 +104,7 @@ TEST(Validation, UnknownInjectionIsFatal)
 {
     Config cfg = baseConfig();
     applyVc8(cfg);
-    cfg.set("injection", "poissonish");
+    cfg.set("workload.injection", "poissonish");
     EXPECT_EXIT(makeNetwork(cfg), ::testing::ExitedWithCode(1),
                 "unknown injection");
 }

@@ -259,7 +259,7 @@ TEST(ValidatorNetwork, DroppedAdvanceCreditBreaksLedger)
     applyFr6(cfg);
     cfg.set("size_x", 4);
     cfg.set("size_y", 4);
-    cfg.set("offered", 0.3);
+    cfg.set("workload.offered", 0.3);
     cfg.set("sim.validate", 1);
     FrNetwork net(cfg);
     net.validator().setFailFast(false);
@@ -318,7 +318,7 @@ TEST(ValidatorCleanRun, Fr6ParanoidBitIdenticalBothKernels)
     applyFr6(cfg);
     cfg.set("size_x", 4);
     cfg.set("size_y", 4);
-    cfg.set("offered", 0.25);
+    cfg.set("workload.offered", 0.25);
     expectCleanAndIdentical(cfg);
 }
 
@@ -328,7 +328,7 @@ TEST(ValidatorCleanRun, Vc8ParanoidBitIdenticalBothKernels)
     applyVc8(cfg);
     cfg.set("size_x", 4);
     cfg.set("size_y", 4);
-    cfg.set("offered", 0.25);
+    cfg.set("workload.offered", 0.25);
     expectCleanAndIdentical(cfg);
 }
 

@@ -24,6 +24,16 @@ comment so reviewers can audit it):
                 FRFC_ASSERT reports through the log module and stays
                 active in release builds.
   namespace     No `using namespace std`.
+  workload-keys Workload configuration is resolved only by
+                src/traffic/workload.* (PR 7). Outside src/traffic/,
+                the legacy flat key literals ("offered",
+                "packet_length", "injection", "trace") are forbidden
+                everywhere but tests/ (which exercise the compat
+                path), and src/ files must spell "workload.*" keys
+                through the k*Key constants of traffic/workload.hpp
+                rather than raw string literals. Benches and examples
+                may write "workload.*" literals (they model user
+                config files).
   shard-safety  No mutable static or thread_local variables in src/:
                 components run concurrently on parallel-kernel shard
                 threads, so hidden shared state is a data race and a
@@ -182,6 +192,30 @@ def check_shard_safety(rel, lines, report):
             report(num, "mutable static shared across shard threads; "
                         "route it through the mailbox/boundary API "
                         "(DESIGN.md section 10)")
+
+
+# Exact legacy workload key literals; "workload."-prefixed literals are
+# matched separately so misspellings like "workload.offred" still show
+# up as raw literals in src/.
+WORKLOAD_LEGACY_LITERALS = {
+    '"offered"', '"packet_length"', '"injection"', '"trace"'}
+@rule("workload-keys")
+def check_workload_keys(rel, lines, report):
+    # tests/ exercise the legacy-key compatibility path on purpose, and
+    # src/traffic/ owns the workload vocabulary (resolver, generator
+    # describe() labels, trace column names).
+    if rel.startswith("tests/") or rel.startswith("src/traffic/"):
+        return
+    for num, line in enumerate(lines, 1):
+        for lit in STRING_RE.findall(strip_comment(line)):
+            if lit in WORKLOAD_LEGACY_LITERALS:
+                report(num, "legacy workload key literal " + lit
+                            + "; use the workload.* namespace (resolved "
+                            "in traffic/workload.hpp)")
+            elif lit.startswith('"workload.') and rel.startswith("src/"):
+                report(num, "raw workload key literal " + lit
+                            + " in src/; use the k*Key constants from "
+                            "traffic/workload.hpp")
 
 
 NAMESPACE_RE = re.compile(r"\busing\s+namespace\s+std\b")
