@@ -6,6 +6,8 @@
 #   -b DIR   build directory (default: build)
 #   -o DIR   output directory (default: bench_out)
 #   -s       smoke mode: tiny samples so the whole sweep takes seconds
+#   --quick  smoke mode plus a short perf_microbench pass (hot-path
+#            regression sniff; full numbers come from perf_gate.py)
 #   --full   paper-scale runs (passed through to every bench)
 #   --validate [N]  run with the reservation-protocol sanitizer at
 #            sim.validate=N (default 1; 2 = paranoid per-cycle sweeps)
@@ -20,11 +22,13 @@ build_dir=build
 out_dir=bench_out
 extra=""
 smoke=0
+quick=0
 while [ $# -gt 0 ]; do
     case "$1" in
         -b) build_dir=$2; shift 2 ;;
         -o) out_dir=$2; shift 2 ;;
         -s) smoke=1; shift ;;
+        --quick) smoke=1; quick=1; shift ;;
         --full) extra="$extra --full"; shift ;;
         --validate)
             level=1
@@ -50,6 +54,20 @@ lint="$build_dir/bench/json_lint"
 
 mkdir -p "$out_dir"
 failed=""
+
+if [ "$quick" = 1 ]; then
+    micro="$build_dir/bench/perf_microbench"
+    if [ -x "$micro" ]; then
+        echo "RUN  perf_microbench -> $out_dir/perf_microbench.log"
+        if ! "$micro" --benchmark_min_time=0.05 \
+            > "$out_dir/perf_microbench.log" 2>&1; then
+            echo "FAIL perf_microbench (see $out_dir/perf_microbench.log)"
+            failed="$failed perf_microbench"
+        fi
+    else
+        echo "SKIP perf_microbench (not built)"
+    fi
+fi
 for bench in $benches; do
     bin="$build_dir/bench/$bench"
     if [ ! -x "$bin" ]; then

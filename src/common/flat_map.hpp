@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Open-addressing hash map for non-negative integer keys.
+ *
+ * A flat alternative to std::unordered_map for hot paths that key on
+ * ids (PacketId, NodeId): one contiguous slot array, linear probing,
+ * backward-shift deletion (no tombstones), power-of-two capacity. Keys
+ * must be >= 0; the empty-slot sentinel is -1.
+ */
+
+#ifndef FRFC_COMMON_FLAT_MAP_HPP
+#define FRFC_COMMON_FLAT_MAP_HPP
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "common/log.hpp"
+
+namespace frfc {
+
+/** Flat open-addressing map from non-negative int64 keys to V. */
+template <typename V>
+class FlatMap
+{
+  public:
+    struct Slot
+    {
+        std::int64_t key = kEmpty;
+        V value{};
+    };
+
+    FlatMap() : slots_(kMinSlots) {}
+
+    /** Pre-size for @p n live entries without rehashing. */
+    void
+    reserve(std::size_t n)
+    {
+        const std::size_t want = std::bit_ceil(n * 2);
+        if (want > slots_.size())
+            rehash(want);
+    }
+
+    std::size_t size() const { return count_; }
+    bool empty() const { return count_ == 0; }
+
+    /** Value for @p key, inserting a copy of @p init if absent. */
+    V&
+    findOrInsert(std::int64_t key, const V& init)
+    {
+        FRFC_ASSERT(key >= 0, "flat map key must be non-negative");
+        if ((count_ + 1) * 4 > slots_.size() * 3)
+            rehash(slots_.size() * 2);
+        std::size_t i = indexFor(key);
+        while (slots_[i].key != kEmpty) {
+            if (slots_[i].key == key)
+                return slots_[i].value;
+            i = (i + 1) & mask();
+        }
+        slots_[i].key = key;
+        slots_[i].value = init;
+        ++count_;
+        return slots_[i].value;
+    }
+
+    /** Pointer to @p key's value, or null when absent. */
+    V*
+    find(std::int64_t key)
+    {
+        std::size_t i = indexFor(key);
+        while (slots_[i].key != kEmpty) {
+            if (slots_[i].key == key)
+                return &slots_[i].value;
+            i = (i + 1) & mask();
+        }
+        return nullptr;
+    }
+
+    /** Remove @p key (must be present). Backward-shifts the probe
+     *  chain so lookups never need tombstones. */
+    void
+    erase(std::int64_t key)
+    {
+        std::size_t i = indexFor(key);
+        while (slots_[i].key != key) {
+            FRFC_ASSERT(slots_[i].key != kEmpty,
+                        "erase of missing flat map key ", key);
+            i = (i + 1) & mask();
+        }
+        std::size_t hole = i;
+        for (std::size_t j = (hole + 1) & mask();
+             slots_[j].key != kEmpty; j = (j + 1) & mask()) {
+            // Shift back any entry whose home slot cannot reach it
+            // once the hole interrupts its probe chain.
+            const std::size_t home = indexFor(slots_[j].key);
+            const bool reachable =
+                ((j - home) & mask()) >= ((j - hole) & mask());
+            if (reachable) {
+                slots_[hole] = slots_[j];
+                hole = j;
+            }
+        }
+        slots_[hole].key = kEmpty;
+        slots_[hole].value = V{};
+        --count_;
+    }
+
+    void
+    clear()
+    {
+        for (Slot& slot : slots_)
+            slot = Slot{};
+        count_ = 0;
+    }
+
+  private:
+    static constexpr std::int64_t kEmpty = -1;
+    static constexpr std::size_t kMinSlots = 8;
+
+    std::size_t mask() const { return slots_.size() - 1; }
+
+    std::size_t
+    indexFor(std::int64_t key) const
+    {
+        // splitmix64 finalizer: ids are often sequential in the low
+        // bits, so spread them across the table.
+        auto h = static_cast<std::uint64_t>(key);
+        h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+        return static_cast<std::size_t>(h ^ (h >> 31)) & mask();
+    }
+
+    void
+    rehash(std::size_t new_slots)
+    {
+        std::vector<Slot> old = std::move(slots_);
+        slots_.assign(new_slots, Slot{});
+        count_ = 0;
+        for (Slot& slot : old) {
+            if (slot.key != kEmpty)
+                findOrInsert(slot.key, slot.value);
+        }
+    }
+
+    std::vector<Slot> slots_;
+    std::size_t count_ = 0;
+};
+
+}  // namespace frfc
+
+#endif  // FRFC_COMMON_FLAT_MAP_HPP

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Growable power-of-two ring-buffer FIFO (DESIGN.md §12).
+ *
+ * The router hot paths queue flits and control flits with strict FIFO
+ * discipline and small, mostly bounded depths (a control VC holds at
+ * most ctrlVcDepth flits; an input VC at most vcDepth). std::deque
+ * pays a heap-allocated block map plus double indirection for that;
+ * this ring keeps the elements in one contiguous power-of-two array
+ * indexed by `(head + i) & mask`, growing (rarely — only unbounded
+ * source queues ever do) by doubling. Interface mirrors the deque
+ * subset the routers use: push_back / emplace_back / front / pop_front
+ * / size / empty / clear.
+ */
+
+#ifndef FRFC_COMMON_RING_QUEUE_HPP
+#define FRFC_COMMON_RING_QUEUE_HPP
+
+#include <bit>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace frfc {
+
+/** Contiguous FIFO over a power-of-two slot ring. */
+template <typename T>
+class RingQueue
+{
+  public:
+    RingQueue() : slots_(kMinCapacity) {}
+
+    bool empty() const { return count_ == 0; }
+    std::size_t size() const { return count_; }
+
+    T& front() { return slots_[head_]; }
+    const T& front() const { return slots_[head_]; }
+
+    T& back() { return slots_[(head_ + count_ - 1) & mask()]; }
+    const T&
+    back() const
+    {
+        return slots_[(head_ + count_ - 1) & mask()];
+    }
+
+    /** i-th element from the front (0 = front). */
+    T& operator[](std::size_t i) { return slots_[(head_ + i) & mask()]; }
+    const T&
+    operator[](std::size_t i) const
+    {
+        return slots_[(head_ + i) & mask()];
+    }
+
+    void
+    push_back(const T& value)
+    {
+        if (count_ == slots_.size())
+            grow();
+        slots_[(head_ + count_) & mask()] = value;
+        ++count_;
+    }
+
+    void
+    push_back(T&& value)
+    {
+        if (count_ == slots_.size())
+            grow();
+        slots_[(head_ + count_) & mask()] = std::move(value);
+        ++count_;
+    }
+
+    template <typename... Args>
+    T&
+    emplace_back(Args&&... args)
+    {
+        if (count_ == slots_.size())
+            grow();
+        T& slot = slots_[(head_ + count_) & mask()];
+        slot = T(std::forward<Args>(args)...);
+        ++count_;
+        return slot;
+    }
+
+    void
+    pop_front()
+    {
+        slots_[head_] = T();  // release payload resources eagerly
+        head_ = (head_ + 1) & mask();
+        --count_;
+    }
+
+    void
+    clear()
+    {
+        while (count_ > 0)
+            pop_front();
+        head_ = 0;
+    }
+
+    /** Ensure capacity for @p n elements without further growth. */
+    void
+    reserve(std::size_t n)
+    {
+        if (n > slots_.size())
+            rebuild(std::bit_ceil(n));
+    }
+
+  private:
+    static constexpr std::size_t kMinCapacity = 4;
+
+    std::size_t mask() const { return slots_.size() - 1; }
+
+    void grow() { rebuild(slots_.size() * 2); }
+
+    void
+    rebuild(std::size_t capacity)
+    {
+        std::vector<T> next(capacity);
+        for (std::size_t i = 0; i < count_; ++i)
+            next[i] = std::move(slots_[(head_ + i) & mask()]);
+        slots_ = std::move(next);
+        head_ = 0;
+    }
+
+    std::vector<T> slots_;
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
+};
+
+}  // namespace frfc
+
+#endif  // FRFC_COMMON_RING_QUEUE_HPP

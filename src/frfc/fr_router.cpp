@@ -13,11 +13,8 @@ FrRouter::FrRouter(std::string name, NodeId node,
                    Rng rng, MetricRegistry* metrics)
     : Clocked(std::move(name)), node_(node), routing_(routing),
       params_(params), rng_(rng),
-      ctrl_in_(kNumPorts, nullptr), ctrl_out_(kNumPorts, nullptr),
-      data_in_(kNumPorts, nullptr), data_out_(kNumPorts, nullptr),
-      fr_credit_in_(kNumPorts, nullptr),
+      ctrl_out_(kNumPorts, nullptr), data_out_(kNumPorts, nullptr),
       fr_credit_out_(kNumPorts, nullptr),
-      ctrl_credit_in_(kNumPorts, nullptr),
       ctrl_credit_out_(kNumPorts, nullptr),
       ctrl_vcs_(static_cast<std::size_t>(kNumPorts) * params.ctrlVcs),
       ctrl_out_vcs_(static_cast<std::size_t>(kNumPorts) * params.ctrlVcs)
@@ -73,7 +70,7 @@ FrRouter::FrRouter(std::string name, NodeId node,
 void
 FrRouter::connectCtrlIn(PortId port, Channel<ControlFlit>* ch)
 {
-    ctrl_in_.at(static_cast<std::size_t>(port)) = ch;
+    ctrl_in_.bind(port, ch);
 }
 
 void
@@ -85,7 +82,7 @@ FrRouter::connectCtrlOut(PortId port, Channel<ControlFlit>* ch)
 void
 FrRouter::connectDataIn(PortId port, Channel<Flit>* ch)
 {
-    data_in_.at(static_cast<std::size_t>(port)) = ch;
+    data_in_.bind(port, ch);
 }
 
 void
@@ -97,7 +94,7 @@ FrRouter::connectDataOut(PortId port, Channel<Flit>* ch)
 void
 FrRouter::connectFrCreditIn(PortId port, Channel<FrCredit>* ch)
 {
-    fr_credit_in_.at(static_cast<std::size_t>(port)) = ch;
+    fr_credit_in_.bind(port, ch);
 }
 
 void
@@ -109,7 +106,7 @@ FrRouter::connectFrCreditOut(PortId port, Channel<FrCredit>* ch)
 void
 FrRouter::connectCtrlCreditIn(PortId port, Channel<Credit>* ch)
 {
-    ctrl_credit_in_.at(static_cast<std::size_t>(port)) = ch;
+    ctrl_credit_in_.bind(port, ch);
 }
 
 void
@@ -195,17 +192,14 @@ FrRouter::nextWake(Cycle now) const
     };
     for (const auto& table : out_tables_)
         consider(table->nextBusyCycleAfter(now));
-    for (PortId port = 0; port < kNumPorts; ++port) {
-        const auto p = static_cast<std::size_t>(port);
-        if (data_in_[p] != nullptr)
-            consider(data_in_[p]->nextArrivalAfter(now));
-        if (ctrl_in_[p] != nullptr)
-            consider(ctrl_in_[p]->nextArrivalAfter(now));
-        if (fr_credit_in_[p] != nullptr)
-            consider(fr_credit_in_[p]->nextArrivalAfter(now));
-        if (ctrl_credit_in_[p] != nullptr)
-            consider(ctrl_credit_in_[p]->nextArrivalAfter(now));
-    }
+    for (const auto& wired : data_in_)
+        consider(wired.channel->nextArrivalAfter(now));
+    for (const auto& wired : ctrl_in_)
+        consider(wired.channel->nextArrivalAfter(now));
+    for (const auto& wired : fr_credit_in_)
+        consider(wired.channel->nextArrivalAfter(now));
+    for (const auto& wired : ctrl_credit_in_)
+        consider(wired.channel->nextArrivalAfter(now));
     return next;
 }
 
@@ -288,22 +282,18 @@ FrRouter::controlArrivals(Cycle now)
     // Control flits are enqueued after allocation, so a flit first
     // competes the cycle after it arrives (the 1-cycle routing and
     // scheduling latency of the control plane).
-    for (PortId port = 0; port < kNumPorts; ++port) {
-        Channel<ControlFlit>* ch =
-            ctrl_in_[static_cast<std::size_t>(port)];
-        if (ch == nullptr)
-            continue;
-        ch->drainInto(now, ctrl_scratch_);
+    for (const auto& wired : ctrl_in_) {
+        wired.channel->drainInto(now, ctrl_scratch_);
         for (ControlFlit& flit : ctrl_scratch_) {
             FRFC_ASSERT(flit.vc >= 0 && flit.vc < params_.ctrlVcs,
                         "control flit with bad vc: ", flit.toString());
-            CtrlVc& cvc = ctrlVc(port, flit.vc);
+            CtrlVc& cvc = ctrlVc(wired.port, flit.vc);
             cvc.queue.push_back(flit);
             ++ctrl_buffered_;
             FRFC_ASSERT(static_cast<int>(cvc.queue.size())
                             <= params_.ctrlVcDepth,
                         "control VC overflow at node ", node_, " port ",
-                        port, " vc ", flit.vc);
+                        wired.port, " vc ", flit.vc);
         }
     }
 }
@@ -311,26 +301,25 @@ FrRouter::controlArrivals(Cycle now)
 void
 FrRouter::drainCredits(Cycle now)
 {
-    for (PortId port = 0; port < kNumPorts; ++port) {
-        if (Channel<FrCredit>* ch =
-                fr_credit_in_[static_cast<std::size_t>(port)]) {
-            ch->drainInto(now, fr_credit_scratch_);
-            const auto p = static_cast<std::size_t>(port);
-            for (const FrCredit& credit : fr_credit_scratch_) {
-                if (validator_ != nullptr && credit_apply_link_[p] >= 0)
-                    validator_->onCreditApplied(credit_apply_link_[p]);
-                out_tables_[p]->credit(credit.freeFrom);
-            }
+    // The two credit kinds feed disjoint state (output tables vs
+    // control-VC credit counts), so draining them list-by-list rather
+    // than interleaved per port changes no observable outcome.
+    for (const auto& wired : fr_credit_in_) {
+        wired.channel->drainInto(now, fr_credit_scratch_);
+        const auto p = static_cast<std::size_t>(wired.port);
+        for (const FrCredit& credit : fr_credit_scratch_) {
+            if (validator_ != nullptr && credit_apply_link_[p] >= 0)
+                validator_->onCreditApplied(credit_apply_link_[p]);
+            out_tables_[p]->credit(credit.freeFrom);
         }
-        if (Channel<Credit>* ch =
-                ctrl_credit_in_[static_cast<std::size_t>(port)]) {
-            ch->drainInto(now, ctrl_credit_scratch_);
-            for (const Credit& credit : ctrl_credit_scratch_) {
-                CtrlOutVc& ovc = ctrlOutVc(port, credit.vc);
-                ++ovc.credits;
-                FRFC_ASSERT(ovc.credits <= params_.ctrlVcDepth,
-                            "control credit overflow");
-            }
+    }
+    for (const auto& wired : ctrl_credit_in_) {
+        wired.channel->drainInto(now, ctrl_credit_scratch_);
+        for (const Credit& credit : ctrl_credit_scratch_) {
+            CtrlOutVc& ovc = ctrlOutVc(wired.port, credit.vc);
+            ++ovc.credits;
+            FRFC_ASSERT(ovc.credits <= params_.ctrlVcDepth,
+                        "control credit overflow");
         }
     }
 }
@@ -646,11 +635,10 @@ FrRouter::dataDepartures(Cycle now)
 void
 FrRouter::dataArrivals(Cycle now)
 {
-    for (PortId port = 0; port < kNumPorts; ++port) {
-        Channel<Flit>* ch = data_in_[static_cast<std::size_t>(port)];
-        if (ch == nullptr)
-            continue;
-        ch->drainInto(now, data_scratch_);
+    // Port-ascending drain order is semantic: the drop-rate rng_ draws
+    // must replay in the same sequence (WiredPorts keeps ports sorted).
+    for (const auto& wired : data_in_) {
+        wired.channel->drainInto(now, data_scratch_);
         for (Flit& flit : data_scratch_) {
             if (params_.dataDropRate > 0.0
                 && rng_.nextBool(params_.dataDropRate)) {
@@ -659,8 +647,8 @@ FrRouter::dataArrivals(Cycle now)
                 data_dropped_.inc();
                 continue;
             }
-            in_tables_[static_cast<std::size_t>(port)]->acceptFlit(now,
-                                                                   flit);
+            in_tables_[static_cast<std::size_t>(wired.port)]->acceptFlit(
+                now, flit);
         }
     }
 }

@@ -23,10 +23,10 @@
 
 #include <array>
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <vector>
 
+#include "common/ring_queue.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "frfc/control_flit.hpp"
@@ -35,6 +35,7 @@
 #include "proto/flit.hpp"
 #include "sim/channel.hpp"
 #include "sim/clocked.hpp"
+#include "sim/wired.hpp"
 #include "stats/accumulator.hpp"
 #include "stats/metrics.hpp"
 #include "topology/topology.hpp"
@@ -205,7 +206,7 @@ class FrRouter : public Clocked
     /** Per-input control virtual channel. */
     struct CtrlVc
     {
-        std::deque<ControlFlit> queue;
+        RingQueue<ControlFlit> queue;
         bool routed = false;
         bool active = false;  ///< output control VC granted
         PortId outPort = kInvalidPort;
@@ -264,13 +265,18 @@ class FrRouter : public Clocked
     /** Fault-injection flags (testDropNextAdvanceCredit). */
     std::array<std::uint8_t, kNumPorts> drop_next_credit_{};
 
-    std::vector<Channel<ControlFlit>*> ctrl_in_;
+    /** Inbound channels live in wired-port lists: the per-tick drains
+     *  and nextWake probes iterate only connected ports, in the same
+     *  port-ascending order the old null-checked full scans used
+     *  (drain order is semantic — see sim/wired.hpp). Outbound
+     *  channels stay port-indexed for direct routed pushes. */
+    WiredPorts<Channel<ControlFlit>> ctrl_in_;
     std::vector<Channel<ControlFlit>*> ctrl_out_;
-    std::vector<Channel<Flit>*> data_in_;
+    WiredPorts<Channel<Flit>> data_in_;
     std::vector<Channel<Flit>*> data_out_;
-    std::vector<Channel<FrCredit>*> fr_credit_in_;
+    WiredPorts<Channel<FrCredit>> fr_credit_in_;
     std::vector<Channel<FrCredit>*> fr_credit_out_;
-    std::vector<Channel<Credit>*> ctrl_credit_in_;
+    WiredPorts<Channel<Credit>> ctrl_credit_in_;
     std::vector<Channel<Credit>*> ctrl_credit_out_;
 
     /** Scratch buffers for channel drains (see Channel::drainInto). */

@@ -1,6 +1,7 @@
 #include "frfc/fr_source.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "check/validator.hpp"
 #include "common/log.hpp"
@@ -17,7 +18,10 @@ FrSource::FrSource(std::string name, NodeId node,
       registry_(registry), params_(params), rng_(rng),
       ort_(params.horizon, params.dataBuffers, /*link_latency=*/1),
       ctrl_credits_(static_cast<std::size_t>(params.ctrlVcs),
-                    params.ctrlVcDepth)
+                    params.ctrlVcDepth),
+      pending_data_(
+          std::bit_ceil(static_cast<std::size_t>(params.horizon))),
+      pending_mask_(pending_data_.size() - 1)
 {
     FRFC_ASSERT(generator != nullptr, "null packet generator");
     FRFC_ASSERT(params.leadTime + 2 < params.horizon,
@@ -57,7 +61,7 @@ FrSource::activityFingerprint() const
     mix(static_cast<std::int64_t>(queue_.size()));
     mix(active_ ? 1 : 0);
     mix(static_cast<std::int64_t>(next_ctrl_));
-    mix(static_cast<std::int64_t>(pending_data_.size()));
+    mix(pending_count_);
     mix(ort_.reservesTotal());
     mix(ort_.creditsTotal());
     for (const int credits : ctrl_credits_)
@@ -99,7 +103,7 @@ FrSource::tick(Cycle now)
     // Closed-loop generators are never scanned ahead — a completion
     // arriving mid-window would invalidate the scanned draws.
     if (!closed_loop_ && generating_ && !birth_pending_ && !active_
-        && queue_.empty() && pending_data_.empty()) {
+        && queue_.empty() && pending_count_ == 0) {
         scanBirths(now + kGenLookahead);
     }
 }
@@ -107,7 +111,7 @@ FrSource::tick(Cycle now)
 Cycle
 FrSource::nextWake(Cycle now) const
 {
-    if (active_ || !queue_.empty() || !pending_data_.empty())
+    if (active_ || !queue_.empty() || pending_count_ > 0)
         return now + 1;
     if (closed_loop_) {
         // Tick every cycle while generating: the generator must see
@@ -287,10 +291,16 @@ FrSource::processControl(Cycle now)
                 continue;
             }
             ort_.reserve(depart);
-            Flit data = makeDataFlit(current_, entry.seq, now);
-            const bool inserted =
-                pending_data_.emplace(depart, std::move(data)).second;
-            FRFC_ASSERT(inserted, "double-booked injection cycle");
+            // Slots recycle once fired, so only an identical live tag
+            // is a double booking; a stale tag is simply overwritten.
+            PendingData& slot =
+                pending_data_[static_cast<std::size_t>(depart)
+                              & pending_mask_];
+            FRFC_ASSERT(slot.cycle != depart,
+                        "double-booked injection cycle");
+            slot.cycle = depart;
+            slot.flit = makeDataFlit(current_, entry.seq, now);
+            ++pending_count_;
             entry.scheduled = true;
             entry.arrival = depart + 1;  // injection link latency
         }
@@ -317,14 +327,16 @@ FrSource::processControl(Cycle now)
 void
 FrSource::fireData(Cycle now)
 {
-    auto it = pending_data_.find(now);
-    if (it == pending_data_.end())
+    PendingData& slot =
+        pending_data_[static_cast<std::size_t>(now) & pending_mask_];
+    if (slot.cycle != now)
         return;
     FRFC_ASSERT(data_out_ != nullptr, "source data port unwired");
-    it->second.injected = now;
-    data_out_->push(now, it->second);
+    slot.flit.injected = now;
+    data_out_->push(now, slot.flit);
     flits_injected_.inc();
-    pending_data_.erase(it);
+    slot.cycle = kInvalidCycle;
+    --pending_count_;
 }
 
 }  // namespace frfc

@@ -22,10 +22,9 @@
 #ifndef FRFC_FRFC_FR_SOURCE_HPP
 #define FRFC_FRFC_FR_SOURCE_HPP
 
-#include <deque>
-#include <unordered_map>
 #include <vector>
 
+#include "common/ring_queue.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "frfc/control_flit.hpp"
@@ -181,13 +180,30 @@ class FrSource : public Clocked
     int birth_length_ = 0;
     MessageClass birth_cls_ = MessageClass::kRequest;
 
-    std::deque<PendingPacket> queue_;
+    RingQueue<PendingPacket> queue_;
     bool active_ = false;
     PendingPacket current_{};
     std::vector<ControlFlit> ctrl_flits_;
     std::size_t next_ctrl_ = 0;
     VcId current_vc_ = kInvalidVc;
-    std::unordered_map<Cycle, Flit> pending_data_;
+
+    /** A data flit holding a reserved injection cycle. */
+    struct PendingData
+    {
+        Cycle cycle = kInvalidCycle;  ///< tag; live when == slot time
+        Flit flit;
+    };
+    /**
+     * Scheduled-injection wheel, indexed `cycle & pending_mask_`
+     * (DESIGN.md §12). Injection departures come from ort_, so they
+     * always land within one horizon of now, and the source stays
+     * clocked until every one has fired — a power-of-two ring of
+     * horizon slots therefore replaces the cycle-keyed hash map
+     * exactly (distinct live cycles never collide).
+     */
+    std::vector<PendingData> pending_data_;
+    std::size_t pending_mask_ = 0;
+    int pending_count_ = 0;
 
     /** Instruments live here; the registry observes them when given. */
     Counter packets_generated_;

@@ -6,13 +6,14 @@ namespace frfc {
 
 InputReservationTable::InputReservationTable(int horizon, int buffers,
                                              int speedup)
-    : horizon_(horizon), speedup_(speedup), pool_(buffers),
-      arrivals_(static_cast<std::size_t>(horizon)),
-      departs_(static_cast<std::size_t>(horizon))
+    : horizon_(horizon), speedup_(speedup),
+      mask_(std::bit_ceil(static_cast<std::size_t>(horizon)) - 1),
+      pool_(buffers), arrivals_(mask_ + 1), departs_(mask_ + 1)
 {
     FRFC_ASSERT(horizon >= 2, "horizon must be at least 2 cycles");
     FRFC_ASSERT(speedup >= 1 && speedup <= kMaxSpeedup,
                 "speedup out of range");
+    parked_.reserve(static_cast<std::size_t>(buffers));
 }
 
 void
@@ -102,12 +103,13 @@ InputReservationTable::recordReservation(Cycle now, Cycle arrival,
     entry.buffer = kInvalidBuffer;
     entry.voided = false;  // slots recycle; clear any stale loss mark
 
-    auto parked = parked_.find(arrival);
-    if (parked != parked_.end()) {
-        // The flit beat its control flit here; bind it immediately.
-        entry.buffer = parked->second;
-        parked_.erase(parked);
-        return;
+    for (auto it = parked_.begin(); it != parked_.end(); ++it) {
+        if (it->arrival == arrival) {
+            // The flit beat its control flit here; bind it now.
+            entry.buffer = it->buffer;
+            parked_.erase(it);
+            return;
+        }
     }
     if (arrival < now && fault_tolerant_) {
         // The flit was dropped in flight before its control flit was
@@ -169,9 +171,9 @@ InputReservationTable::acceptFlit(Cycle now, const Flit& flit)
     ArrivalSlot& aslot = arrivals_[index(now)];
     if (aslot.cycle != now) {
         // No reservation yet: park on the schedule list.
-        FRFC_ASSERT(parked_.count(now) == 0,
+        FRFC_ASSERT(!parkedAt(now),
                     "two flits parked for the same arrival cycle");
-        parked_.emplace(now, buffer);
+        parked_.push_back(ParkedFlit{now, buffer});
         parked_total_.inc();
         return;
     }
@@ -208,13 +210,13 @@ InputReservationTable::auditOrphans(Cycle now) const
     // parking time observed in the paper's saturated sweeps.
     const Cycle limit =
         std::max<Cycle>(static_cast<Cycle>(64 * horizon_), 4096);
-    for (const auto& [arrival, buffer] : parked_) {
-        if (now - arrival <= limit)
+    for (const ParkedFlit& p : parked_) {
+        if (now - p.arrival <= limit)
             continue;
         validator_->fail(
             "data.orphan", now, owner_, port_,
-            "flit parked since cycle " + std::to_string(arrival)
-                + " (buffer " + std::to_string(buffer)
+            "flit parked since cycle " + std::to_string(p.arrival)
+                + " (buffer " + std::to_string(p.buffer)
                 + ") outlived any plausible control-plane delay");
     }
 }

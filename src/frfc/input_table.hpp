@@ -19,9 +19,9 @@
 #define FRFC_FRFC_INPUT_TABLE_HPP
 
 #include <array>
+#include <bit>
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "check/validator.hpp"
@@ -110,7 +110,14 @@ class InputReservationTable
     std::int64_t lostArrivals() const { return lost_arrivals_.value(); }
 
     /** True if an unscheduled flit that arrived at @p t is parked. */
-    bool parkedAt(Cycle t) const { return parked_.count(t) > 0; }
+    bool
+    parkedAt(Cycle t) const
+    {
+        for (const ParkedFlit& p : parked_)
+            if (p.arrival == t)
+                return true;
+        return false;
+    }
 
     /**
      * Attach the run's validator: protocol violations (over-subscribed
@@ -166,17 +173,25 @@ class InputReservationTable
         std::array<DepartEntry, kMaxSpeedup> entries;
     };
 
+    /** Schedule-list entry: a data flit that beat its control flit. */
+    struct ParkedFlit
+    {
+        Cycle arrival = kInvalidCycle;
+        BufferId buffer = kInvalidBuffer;
+    };
+
+    /** Rows are tag-checked (slot.cycle == t), so a power-of-two ring
+     *  wider than the horizon is safe: stale slots fail the tag. The
+     *  mask replaces a signed modulo on every row lookup. */
     std::size_t
     index(Cycle t) const
     {
-        Cycle m = t % horizon_;
-        if (m < 0)
-            m += horizon_;
-        return static_cast<std::size_t>(m);
+        return static_cast<std::size_t>(t) & mask_;
     }
 
     int horizon_;
     int speedup_;
+    std::size_t mask_;
     Cycle window_start_ = 0;
     /** Live (tagged) arrival rows plus live departure slots. While
      *  zero, every expiry check in advance() is vacuous, so the window
@@ -185,7 +200,10 @@ class InputReservationTable
     BufferPool pool_;
     std::vector<ArrivalSlot> arrivals_;
     std::vector<DepartSlot> departs_;
-    std::unordered_map<Cycle, BufferId> parked_;  ///< schedule list
+    /** Schedule list, insertion-ordered. Every parked flit holds a
+     *  pool buffer, so the list never outgrows the pool — a flat
+     *  reserve()d vector with linear scans beats hashing here. */
+    std::vector<ParkedFlit> parked_;
 
     /** Mark the departure linked to a lost arrival as void. */
     void voidDeparture(Cycle depart, Cycle arrival);

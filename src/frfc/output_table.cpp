@@ -8,9 +8,10 @@ OutputReservationTable::OutputReservationTable(int horizon,
                                                bool infinite_buffers)
     : horizon_(horizon), buffers_(downstream_buffers),
       link_latency_(link_latency), infinite_(infinite_buffers),
-      busy_(static_cast<std::size_t>(horizon), 0),
-      free_(static_cast<std::size_t>(horizon), downstream_buffers),
-      suffix_min_(static_cast<std::size_t>(horizon), downstream_buffers)
+      ring_size_(ringSlotsFor(horizon)), mask_(ring_size_ - 1),
+      busy_words_((ring_size_ + 63) / 64, 0),
+      free_(ring_size_, downstream_buffers),
+      suffix_min_(ring_size_, downstream_buffers)
 {
     FRFC_ASSERT(horizon >= 2, "horizon must be at least 2 cycles");
     FRFC_ASSERT(infinite_buffers || downstream_buffers > 0,
@@ -27,31 +28,44 @@ OutputReservationTable::advance(Cycle now)
     // at the maximum, each expiry step below is the identity — the new
     // slot inherits the same count and an idle channel — so the window
     // can jump straight to now. This is what lets a sleeping router
-    // catch up in O(1) instead of replaying every skipped cycle.
+    // catch up in O(1) instead of replaying every skipped cycle. The
+    // jump is sound even when the ring is wider than the horizon:
+    // slots outside the window are parked at full capacity with clear
+    // busy bits (see the expiry loop), so every slot the jump exposes
+    // already holds the values the loop would have written.
     if (reserved_ == 0
         && suffix_min_[index(window_start_)] == buffers_) {
         window_start_ = now;
         return;
     }
     while (window_start_ < now) {
-        // Slot window_start_ expires; it becomes the slot for
-        // window_start_ + horizon, which inherits the buffer count of
-        // the (previous) last slot and an idle channel. Dropping the
-        // front slot leaves later suffix minima untouched, and the new
-        // last slot's count equals the old last slot's, so its suffix
-        // minimum is its own count and no earlier minimum changes.
+        // Slot window_start_ expires and the slot for
+        // window_start_ + horizon enters the window, inheriting the
+        // buffer count of the (previous) last slot and an idle
+        // channel. Dropping the front slot leaves later suffix minima
+        // untouched, and the new last slot's count equals the old last
+        // slot's, so its suffix minimum is its own count and no
+        // earlier minimum changes. The expired slot is parked at full
+        // capacity so the quiescent jump above stays exact; with a
+        // power-of-two ring the expired and entering slots are the
+        // same slot only when the horizon is itself a power of two,
+        // hence the park-then-write order.
         const std::size_t expired = index(window_start_);
-        const std::size_t last = index(window_start_ - 1 + horizon_);
-        if (busy_[expired]) {
+        const std::size_t old_last = index(windowEnd());
+        const std::size_t new_last = index(window_start_ + horizon_);
+        if (bitAt(expired)) {
             --reserved_;
+            clearBit(expired);
             // The reservation leaves the window the cycle after its
             // slot — the exact timestamp a per-cycle observer records.
             occupancy_.update(window_start_ + 1,
                               static_cast<double>(reserved_));
         }
-        busy_[expired] = 0;
-        free_[expired] = free_[last];
-        suffix_min_[expired] = free_[expired];
+        const int inherited = free_[old_last];
+        free_[expired] = buffers_;
+        suffix_min_[expired] = buffers_;
+        free_[new_last] = inherited;
+        suffix_min_[new_last] = inherited;
         ++window_start_;
     }
 }
@@ -62,8 +76,8 @@ OutputReservationTable::reserve(Cycle depart)
     FRFC_ASSERT(depart >= window_start_, "departure in the past");
     FRFC_ASSERT(depart <= windowEnd() - (infinite_ ? 0 : link_latency_),
                 "departure too far in the future");
-    std::uint8_t& busy = busy_[index(depart)];
-    if (busy) {
+    const std::size_t pos = index(depart);
+    if (bitAt(pos)) {
         // A double-booked output cycle would send two headerless data
         // flits onto one wire in the same cycle — the silent-corruption
         // case the sanitizer exists for. Leave the table intact so a
@@ -77,7 +91,7 @@ OutputReservationTable::reserve(Cycle depart)
         }
         panic("double reservation of cycle ", depart);
     }
-    busy = 1;
+    setBit(pos);
     ++reserved_;
     ++reserves_total_;
     if (depart < busy_hint_)
@@ -99,8 +113,7 @@ OutputReservationTable::reserve(Cycle depart)
                     arrival + static_cast<Cycle>(k));
         --f;
         --suffix_min_[i];
-        if (++i == static_cast<std::size_t>(horizon_))
-            i = 0;
+        i = (i + 1) & mask_;
     }
     refreshSuffixBefore(arrival - 1);
 }
@@ -128,8 +141,7 @@ OutputReservationTable::credit(Cycle free_from)
                         + std::to_string(t));
                 return;
             }
-            if (++probe == static_cast<std::size_t>(horizon_))
-                probe = 0;
+            probe = (probe + 1) & mask_;
         }
     }
     ++credits_total_;
@@ -142,8 +154,7 @@ OutputReservationTable::credit(Cycle free_from)
         FRFC_ASSERT(f <= buffers_, "credit overflow at cycle ",
                     from + static_cast<Cycle>(k));
         ++suffix_min_[i];
-        if (++i == static_cast<std::size_t>(horizon_))
-            i = 0;
+        i = (i + 1) & mask_;
     }
     refreshSuffixBefore(from - 1);
 }
@@ -179,15 +190,14 @@ OutputReservationTable::refreshSuffixBefore(Cycle from)
         return;
     std::size_t i = index(t);
     for (;;) {
-        const std::size_t next =
-            i + 1 == static_cast<std::size_t>(horizon_) ? 0 : i + 1;
+        const std::size_t next = (i + 1) & mask_;
         const int updated = std::min(free_[i], suffix_min_[next]);
         if (updated == suffix_min_[i])
             return;  // minima further back are built on this one
         suffix_min_[i] = updated;
         if (--t < window_start_)
             return;
-        i = i == 0 ? static_cast<std::size_t>(horizon_) - 1 : i - 1;
+        i = (i - 1) & mask_;
     }
 }
 

@@ -10,6 +10,15 @@
  * buffer count (nothing beyond the horizon has been scheduled, so the
  * count is constant past the end).
  *
+ * Data layout (DESIGN.md §12): the wheel holds the smallest power of
+ * two >= horizon slots so cycle -> slot is a single mask (`t & mask_`,
+ * no division), and channel-busy state is a packed uint64_t bitmap so
+ * the window scans behind findDeparture()/nextBusyCycleAfter() run a
+ * word at a time (countr_zero over masked words) instead of a byte at
+ * a time. Slots outside the live window are kept at full capacity and
+ * bit-idle, which is what lets advance() jump a quiescent table to
+ * `now` in O(1).
+ *
  * Reserving a departure at t_d marks the channel busy during t_d and
  * decrements the free-buffer count for every cycle from t_d + t_p
  * (arrival downstream) to the horizon: the flit holds a downstream
@@ -24,6 +33,7 @@
 #define FRFC_FRFC_OUTPUT_TABLE_HPP
 
 #include <algorithm>
+#include <bit>
 #include <cstdint>
 #include <string>
 #include <utility>
@@ -69,7 +79,9 @@ class OutputReservationTable
      * incrementally by reserve()/credit()/advance(), so locating the
      * frontier is a binary search instead of an O(horizon) rescan on
      * every call — findDeparture dominates the scheduling hot path,
-     * with several candidate lookups per router per cycle.
+     * with several candidate lookups per router per cycle. Past the
+     * frontier, free channel cycles come from the busy bitmap a word
+     * at a time.
      */
     template <typename Predicate>
     Cycle
@@ -100,12 +112,11 @@ class OutputReservationTable
             }
             first = std::max(lo, a_lo - link_latency_);
         }
-        for (Cycle t = first; t <= hi; ++t) {
-            if (busy_[index(t)])
-                continue;
-            if (!extra(t))
-                continue;
-            return t;
+        for (Cycle t = scanWindow(first, hi, /*want_busy=*/false);
+             t != kInvalidCycle;
+             t = scanWindow(t + 1, hi, /*want_busy=*/false)) {
+            if (extra(t))
+                return t;
         }
         return kInvalidCycle;
     }
@@ -164,7 +175,7 @@ class OutputReservationTable
     }
 
     /** @{ Inspection (tests, stats). */
-    bool busyAt(Cycle t) const { return busy_[index(checked(t))] != 0; }
+    bool busyAt(Cycle t) const { return bitAt(index(checked(t))); }
     int freeBuffersAt(Cycle t) const { return free_[index(checked(t))]; }
     Cycle windowStart() const { return window_start_; }
     Cycle windowEnd() const { return window_start_ + horizon_ - 1; }
@@ -195,12 +206,12 @@ class OutputReservationTable
         // bound, i.e. when nothing before `start` was skipped.
         const Cycle lo = std::max(busy_hint_, window_start_);
         const Cycle start = std::max(lo, after + 1);
-        for (Cycle t = start; t <= windowEnd(); ++t) {
-            if (busy_[index(t)]) {
-                if (start == lo)
-                    busy_hint_ = t;
-                return t;
-            }
+        const Cycle t = scanWindow(start, windowEnd(),
+                                   /*want_busy=*/true);
+        if (t != kInvalidCycle) {
+            if (start == lo)
+                busy_hint_ = t;
+            return t;
         }
         if (start == lo)
             panic("reservedCount out of sync with busy bits");
@@ -218,13 +229,19 @@ class OutputReservationTable
     /** @} */
 
   private:
+    static constexpr std::uint64_t kAllOnes = ~std::uint64_t{0};
+
+    /** Smallest power of two >= @p horizon (wheel capacity). */
+    static std::size_t
+    ringSlotsFor(int horizon)
+    {
+        return std::bit_ceil(static_cast<std::size_t>(horizon));
+    }
+
     std::size_t
     index(Cycle t) const
     {
-        Cycle m = t % horizon_;
-        if (m < 0)
-            m += horizon_;
-        return static_cast<std::size_t>(m);
+        return static_cast<std::size_t>(t) & mask_;
     }
 
     Cycle
@@ -234,6 +251,76 @@ class OutputReservationTable
                     "cycle ", t, " outside reservation window [",
                     window_start_, ", ", windowEnd(), "]");
         return t;
+    }
+
+    /** @{ Packed busy bitmap; bit position == slot index. */
+    bool
+    bitAt(std::size_t pos) const
+    {
+        return (busy_words_[pos >> 6] >> (pos & 63)) & 1u;
+    }
+    void
+    setBit(std::size_t pos)
+    {
+        busy_words_[pos >> 6] |= std::uint64_t{1} << (pos & 63);
+    }
+    void
+    clearBit(std::size_t pos)
+    {
+        busy_words_[pos >> 6] &= ~(std::uint64_t{1} << (pos & 63));
+    }
+    /** @} */
+
+    /**
+     * First cycle in [@p from, @p to] whose busy bit equals
+     * @p want_busy, or kInvalidCycle. The cycle range maps to at most
+     * two contiguous bit spans (split at the ring seam); each span is
+     * scanned a word at a time with countr_zero, so the common case is
+     * one masked load per call rather than a per-cycle branch.
+     */
+    Cycle
+    scanWindow(Cycle from, Cycle to, bool want_busy) const
+    {
+        Cycle cursor = from;
+        std::size_t pos = index(from);
+        while (cursor <= to) {
+            const std::size_t span =
+                std::min(static_cast<std::size_t>(to - cursor) + 1,
+                         ring_size_ - pos);
+            const Cycle hit = scanSpan(pos, span, want_busy);
+            if (hit >= 0)
+                return cursor + hit;
+            cursor += static_cast<Cycle>(span);
+            pos = 0;
+        }
+        return kInvalidCycle;
+    }
+
+    /** Offset of the first matching bit in [pos, pos + span), or -1. */
+    Cycle
+    scanSpan(std::size_t pos, std::size_t span, bool want_busy) const
+    {
+        const std::uint64_t flip = want_busy ? 0 : kAllOnes;
+        const std::size_t end = pos + span;
+        std::size_t w = pos >> 6;
+        std::uint64_t word =
+            (busy_words_[w] ^ flip) & (kAllOnes << (pos & 63));
+        for (;;) {
+            const std::size_t word_end = (w + 1) << 6;
+            if (word_end > end)
+                word &= kAllOnes >> (word_end - end);
+            if (word != 0) {
+                const std::size_t hit =
+                    (w << 6)
+                    + static_cast<std::size_t>(std::countr_zero(word));
+                return static_cast<Cycle>(hit)
+                    - static_cast<Cycle>(pos);
+            }
+            if (word_end >= end)
+                return -1;
+            ++w;
+            word = busy_words_[w] ^ flip;
+        }
     }
 
     /**
@@ -247,6 +334,9 @@ class OutputReservationTable
     int buffers_;
     Cycle link_latency_;
     bool infinite_;
+    /** Wheel capacity (power of two >= horizon_) and its index mask. */
+    std::size_t ring_size_;
+    std::size_t mask_;
     /** Sanitizer context; checks are skipped while null. The pointer
      *  is shared, so the scratch copies made by all-or-nothing
      *  scheduling keep reporting against the same validator. */
@@ -261,10 +351,14 @@ class OutputReservationTable
     mutable Cycle busy_hint_ = 0;
     /** Reserved-count time-average (see occupancy()). */
     TimeAverage occupancy_;
-    std::vector<std::uint8_t> busy_;
+    /** Channel-busy bitmap, one bit per wheel slot. Bits outside the
+     *  live window are always clear (advance() clears on expiry). */
+    std::vector<std::uint64_t> busy_words_;
     std::vector<int> free_;
     /** suffix_min_[index(t)] = min(free_[t .. windowEnd()]); the
-     *  cached feasibility frontier behind findDeparture(). */
+     *  cached feasibility frontier behind findDeparture(). Slots
+     *  outside the window hold buffers_ so the quiescent-jump
+     *  invariant (everything at capacity) covers the whole ring. */
     std::vector<int> suffix_min_;
 };
 

@@ -48,12 +48,11 @@ EjectionSink::tick(Cycle now)
                 continue;
             // Count the packet down; its last flit emits a completion
             // (arriving at the source next cycle, channel latency 1).
-            const auto it =
-                remaining_.try_emplace(flit.packet, flit.packetLength)
-                    .first;
-            if (--it->second > 0)
+            int& left =
+                remaining_.findOrInsert(flit.packet, flit.packetLength);
+            if (--left > 0)
                 continue;
-            remaining_.erase(it);
+            remaining_.erase(flit.packet);
             PacketCompletion done;
             done.packet = flit.packet;
             done.src = flit.src;

@@ -8,10 +8,10 @@
 #define FRFC_NETWORK_EJECTION_SINK_HPP
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "check/validator.hpp"
+#include "common/flat_map.hpp"
 #include "proto/flit.hpp"
 #include "sim/channel.hpp"
 #include "sim/clocked.hpp"
@@ -95,7 +95,7 @@ class EjectionSink : public Clocked
     std::vector<Flit> drain_scratch_;
     /** Flits still missing per partially ejected packet (completion
      *  detection; only populated for nodes with feedback wired). */
-    std::unordered_map<PacketId, int> remaining_;
+    FlatMap<int> remaining_;
 
     Counter flits_ejected_;
 };

@@ -1,11 +1,15 @@
 #include "proto/buffer_pool.hpp"
 
+#include <bit>
+
 #include "common/log.hpp"
 
 namespace frfc {
 
 BufferPool::BufferPool(int capacity)
-    : slots_(static_cast<std::size_t>(capacity)), free_count_(capacity)
+    : allocated_((static_cast<std::size_t>(capacity) + 63) / 64, 0),
+      valid_(allocated_.size(), 0),
+      flits_(static_cast<std::size_t>(capacity)), free_count_(capacity)
 {
     FRFC_ASSERT(capacity > 0, "buffer pool needs at least one slot");
 }
@@ -15,13 +19,19 @@ BufferPool::allocate()
 {
     if (free_count_ == 0)
         return kInvalidBuffer;
-    for (std::size_t i = 0; i < slots_.size(); ++i) {
-        if (!slots_[i].allocated) {
-            slots_[i].allocated = true;
-            slots_[i].valid = false;
-            --free_count_;
-            return static_cast<BufferId>(i);
-        }
+    for (std::size_t w = 0; w < allocated_.size(); ++w) {
+        const std::uint64_t free_bits = ~allocated_[w];
+        if (free_bits == 0)
+            continue;
+        const auto bit =
+            static_cast<std::size_t>(std::countr_zero(free_bits));
+        const std::size_t slot = (w << 6) + bit;
+        if (slot >= flits_.size())
+            break;  // tail bits past capacity are always "free"
+        allocated_[w] |= std::uint64_t{1} << bit;
+        valid_[w] &= ~(std::uint64_t{1} << bit);
+        --free_count_;
+        return static_cast<BufferId>(slot);
     }
     panic("free_count_ disagrees with occupancy bits");
 }
@@ -30,20 +40,19 @@ void
 BufferPool::write(BufferId id, const Flit& flit)
 {
     FRFC_ASSERT(id >= 0 && id < capacity(), "bad buffer id ", id);
-    Slot& slot = slots_[static_cast<std::size_t>(id)];
-    FRFC_ASSERT(slot.allocated, "write to unallocated buffer ", id);
-    FRFC_ASSERT(!slot.valid, "overwrite of occupied buffer ", id);
-    slot.flit = flit;
-    slot.valid = true;
+    FRFC_ASSERT(bitAt(allocated_, id), "write to unallocated buffer ",
+                id);
+    FRFC_ASSERT(!bitAt(valid_, id), "overwrite of occupied buffer ", id);
+    flits_[static_cast<std::size_t>(id)] = flit;
+    assignBit(valid_, id, true);
 }
 
 const Flit&
 BufferPool::read(BufferId id) const
 {
     FRFC_ASSERT(id >= 0 && id < capacity(), "bad buffer id ", id);
-    const Slot& slot = slots_[static_cast<std::size_t>(id)];
-    FRFC_ASSERT(slot.valid, "read of empty buffer ", id);
-    return slot.flit;
+    FRFC_ASSERT(bitAt(valid_, id), "read of empty buffer ", id);
+    return flits_[static_cast<std::size_t>(id)];
 }
 
 Flit
@@ -58,10 +67,9 @@ void
 BufferPool::release(BufferId id)
 {
     FRFC_ASSERT(id >= 0 && id < capacity(), "bad buffer id ", id);
-    Slot& slot = slots_[static_cast<std::size_t>(id)];
-    FRFC_ASSERT(slot.allocated, "double release of buffer ", id);
-    slot.allocated = false;
-    slot.valid = false;
+    FRFC_ASSERT(bitAt(allocated_, id), "double release of buffer ", id);
+    assignBit(allocated_, id, false);
+    assignBit(valid_, id, false);
     ++free_count_;
 }
 
@@ -69,7 +77,7 @@ bool
 BufferPool::occupied(BufferId id) const
 {
     FRFC_ASSERT(id >= 0 && id < capacity(), "bad buffer id ", id);
-    return slots_[static_cast<std::size_t>(id)].allocated;
+    return bitAt(allocated_, id);
 }
 
 }  // namespace frfc

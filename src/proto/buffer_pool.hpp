@@ -3,11 +3,19 @@
  * Shared flit buffer pool with explicit occupancy, as used by the data
  * plane of flit-reservation flow control (Section 5, "Buffer pool versus
  * distinct buffer queues") and by the shared-pool VC variant [TamFra92].
+ *
+ * Storage is struct-of-arrays (DESIGN.md §12): the allocated/valid
+ * occupancy state lives in packed uint64_t bitmaps scanned every
+ * allocation, while the flit payloads — touched only on write/read of
+ * one buffer — sit in a separate contiguous array. allocate() finds
+ * the lowest free slot with one countr_zero per word instead of
+ * walking Slot structs that drag payload cache lines in.
  */
 
 #ifndef FRFC_PROTO_BUFFER_POOL_HPP
 #define FRFC_PROTO_BUFFER_POOL_HPP
 
+#include <cstdint>
 #include <vector>
 
 #include "common/types.hpp"
@@ -40,20 +48,34 @@ class BufferPool
     void release(BufferId id);
 
     bool occupied(BufferId id) const;
-    int capacity() const { return static_cast<int>(slots_.size()); }
+    int capacity() const { return static_cast<int>(flits_.size()); }
     int freeCount() const { return free_count_; }
     int usedCount() const { return capacity() - free_count_; }
     bool full() const { return free_count_ == 0; }
 
   private:
-    struct Slot
+    bool
+    bitAt(const std::vector<std::uint64_t>& words, BufferId id) const
     {
-        bool allocated = false;
-        bool valid = false;  ///< flit contents written
-        Flit flit;
-    };
+        const auto pos = static_cast<std::size_t>(id);
+        return (words[pos >> 6] >> (pos & 63)) & 1u;
+    }
+    static void
+    assignBit(std::vector<std::uint64_t>& words, BufferId id, bool on)
+    {
+        const auto pos = static_cast<std::size_t>(id);
+        const std::uint64_t bit = std::uint64_t{1} << (pos & 63);
+        if (on)
+            words[pos >> 6] |= bit;
+        else
+            words[pos >> 6] &= ~bit;
+    }
 
-    std::vector<Slot> slots_;
+    /** Occupancy bitmaps, bit i = buffer i (scanned on allocate). */
+    std::vector<std::uint64_t> allocated_;
+    std::vector<std::uint64_t> valid_;  ///< flit contents written
+    /** Payloads, separated so occupancy scans never touch them. */
+    std::vector<Flit> flits_;
     int free_count_;
 };
 

@@ -90,7 +90,13 @@ class PacketLedger
 class PacketRegistry : public PacketLedger
 {
   public:
-    PacketRegistry() = default;
+    PacketRegistry()
+    {
+        // Steady-state in-flight counts are far below this; paying for
+        // the buckets up front keeps create/deliver rehash-free.
+        inflight_.reserve(1024);
+        next_seq_.reserve(64);
+    }
 
     using PacketLedger::create;
 

@@ -104,6 +104,8 @@ Kernel::setMode(KernelMode mode)
         bucket.cycle = kInvalidCycle;
         bucket.slots.clear();
     }
+    for (const auto& [cycle, pool_idx] : overflow_)
+        recycleOverflow(pool_idx);
     overflow_.clear();
     std::fill(hot_.begin(), hot_.end(), 0);
     hot_count_ = 0;
@@ -248,8 +250,10 @@ Kernel::executeCycle()
         bucket.slots.clear();
     }
     if (!overflow_.empty() && overflow_.begin()->first == now_) {
-        for (const std::uint32_t slot : overflow_.begin()->second)
+        const std::uint32_t pool_idx = overflow_.begin()->second;
+        for (const std::uint32_t slot : overflow_pool_[pool_idx])
             due_stamp_[slot] = now_;
+        recycleOverflow(pool_idx);
         overflow_.erase(overflow_.begin());
     }
 

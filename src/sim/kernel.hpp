@@ -206,7 +206,17 @@ class Kernel : public SimDriver
             bucket.cycle = cycle;
             bucket.slots.push_back(slot);
         } else {
-            overflow_[cycle].push_back(slot);
+            const auto [it, inserted] = overflow_.try_emplace(cycle, 0);
+            if (inserted) {
+                if (overflow_free_.empty()) {
+                    overflow_free_.push_back(static_cast<std::uint32_t>(
+                        overflow_pool_.size()));
+                    overflow_pool_.emplace_back();
+                }
+                it->second = overflow_free_.back();
+                overflow_free_.pop_back();
+            }
+            overflow_pool_[it->second].push_back(slot);
         }
     }
 
@@ -253,8 +263,21 @@ class Kernel : public SimDriver
     std::vector<Clocked*> components_;
 
     std::vector<Bucket> wheel_{kWheelSize};
-    /** Wakes at or beyond now_ + kWheelSize, keyed by cycle. */
-    std::map<Cycle, std::vector<std::uint32_t>> overflow_;
+    /** Wakes at or beyond now_ + kWheelSize: cycle -> slot list held
+     *  in overflow_pool_. Emptied lists return to overflow_free_ with
+     *  their capacity intact, so steady-state far-future wakes reuse
+     *  warm vectors instead of allocating one per map entry. */
+    std::map<Cycle, std::uint32_t> overflow_;
+    std::vector<std::vector<std::uint32_t>> overflow_pool_;
+    std::vector<std::uint32_t> overflow_free_;
+
+    /** Return @p pool_idx's list (cleared, capacity kept) to the pool. */
+    void
+    recycleOverflow(std::uint32_t pool_idx)
+    {
+        overflow_pool_[pool_idx].clear();
+        overflow_free_.push_back(pool_idx);
+    }
     /** Per-slot stamp of the cycle the slot is due (epoch dedup). */
     std::vector<Cycle> due_stamp_;
     /**

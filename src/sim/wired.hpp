@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Wired-port list: the router-side view of its connected channels.
+ *
+ * Mesh-edge ports stay unwired, so the routers historically looped
+ * over all kNumPorts slots and null-checked each one on every tick and
+ * every nextWake probe. This list is built once at wiring time and
+ * holds only the connected ports, sorted port-ascending — the drain
+ * loops then touch exactly the live channels, in the same
+ * deterministic order as the old full scan (drain order into shared
+ * downstream state is semantic; see DESIGN.md §12).
+ */
+
+#ifndef FRFC_SIM_WIRED_HPP
+#define FRFC_SIM_WIRED_HPP
+
+#include <vector>
+
+#include "common/log.hpp"
+#include "common/types.hpp"
+
+namespace frfc {
+
+/** Connected (port, channel) pairs, kept sorted by port. */
+template <typename ChannelT>
+class WiredPorts
+{
+  public:
+    struct Entry
+    {
+        PortId port;
+        ChannelT* channel;
+    };
+
+    /** Register @p channel as @p port's endpoint (insert or replace;
+     *  insertion keeps the list port-ascending). */
+    void
+    bind(PortId port, ChannelT* channel)
+    {
+        FRFC_ASSERT(channel != nullptr, "binding a null channel");
+        auto it = entries_.begin();
+        while (it != entries_.end() && it->port < port)
+            ++it;
+        if (it != entries_.end() && it->port == port)
+            it->channel = channel;
+        else
+            entries_.insert(it, Entry{port, channel});
+    }
+
+    auto begin() const { return entries_.begin(); }
+    auto end() const { return entries_.end(); }
+    bool empty() const { return entries_.empty(); }
+    std::size_t size() const { return entries_.size(); }
+
+  private:
+    std::vector<Entry> entries_;
+};
+
+}  // namespace frfc
+
+#endif  // FRFC_SIM_WIRED_HPP

@@ -9,6 +9,7 @@ namespace frfc {
 
 Histogram::Histogram(double lo, double hi, int buckets)
     : lo_(lo), hi_(hi), width_((hi - lo) / buckets),
+      inv_width_(1.0 / width_),
       counts_(static_cast<std::size_t>(buckets), 0)
 {
     FRFC_ASSERT(hi > lo, "histogram range must be nonempty");
@@ -19,17 +20,18 @@ void
 Histogram::add(double sample)
 {
     ++total_;
-    if (sample < lo_) {
+    // Common case is one multiply, one range test, one increment. The
+    // production histograms use power-of-two bucket widths, so the
+    // multiply reproduces the division's bucket index exactly.
+    const double offset = (sample - lo_) * inv_width_;
+    if (offset >= 0.0 && offset < static_cast<double>(counts_.size())) {
+        ++counts_[static_cast<std::size_t>(offset)];
+        return;
+    }
+    if (sample < lo_)
         ++underflow_;
-        return;
-    }
-    if (sample >= hi_) {
+    else
         ++overflow_;
-        return;
-    }
-    auto idx = static_cast<std::size_t>((sample - lo_) / width_);
-    idx = std::min(idx, counts_.size() - 1);
-    ++counts_[idx];
 }
 
 void

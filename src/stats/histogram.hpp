@@ -51,6 +51,7 @@ class Histogram
     double lo_;
     double hi_;
     double width_;
+    double inv_width_;  ///< cached 1/width: add() multiplies, never divides
     std::vector<std::int64_t> counts_;
     std::int64_t underflow_ = 0;
     std::int64_t overflow_ = 0;

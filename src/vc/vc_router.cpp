@@ -14,8 +14,7 @@ VcRouter::VcRouter(std::string name, NodeId node,
                    MetricRegistry* metrics)
     : Clocked(std::move(name)), node_(node), routing_(routing),
       params_(params), rng_(rng),
-      data_in_(kNumPorts, nullptr), data_out_(kNumPorts, nullptr),
-      credit_in_(kNumPorts, nullptr), credit_out_(kNumPorts, nullptr),
+      data_out_(kNumPorts, nullptr), credit_out_(kNumPorts, nullptr),
       input_vcs_(static_cast<std::size_t>(kNumPorts) * params.numVcs),
       output_vcs_(static_cast<std::size_t>(kNumPorts) * params.numVcs),
       pool_credits_(kNumPorts, params.numVcs * params.vcDepth),
@@ -45,7 +44,7 @@ VcRouter::VcRouter(std::string name, NodeId node,
 void
 VcRouter::connectDataIn(PortId port, Channel<Flit>* ch)
 {
-    data_in_.at(static_cast<std::size_t>(port)) = ch;
+    data_in_.bind(port, ch);
 }
 
 void
@@ -57,7 +56,7 @@ VcRouter::connectDataOut(PortId port, Channel<Flit>* ch)
 void
 VcRouter::connectCreditIn(PortId port, Channel<Credit>* ch)
 {
-    credit_in_.at(static_cast<std::size_t>(port)) = ch;
+    credit_in_.bind(port, ch);
 }
 
 void
@@ -99,11 +98,9 @@ VcRouter::tick(Cycle now)
 void
 VcRouter::drainCredits(Cycle now)
 {
-    for (PortId port = 0; port < kNumPorts; ++port) {
-        Channel<Credit>* ch = credit_in_[static_cast<std::size_t>(port)];
-        if (ch == nullptr)
-            continue;
-        ch->drainInto(now, credit_scratch_);
+    for (const auto& wired : credit_in_) {
+        const PortId port = wired.port;
+        wired.channel->drainInto(now, credit_scratch_);
         for (const Credit& credit : credit_scratch_) {
             if (params_.sharedPool) {
                 ++pool_credits_[static_cast<std::size_t>(port)];
@@ -301,11 +298,9 @@ VcRouter::acceptArrivals(Cycle now)
 {
     // Arrivals are enqueued after allocation so a flit first competes
     // the cycle after it arrives (1-cycle router latency).
-    for (PortId port = 0; port < kNumPorts; ++port) {
-        Channel<Flit>* ch = data_in_[static_cast<std::size_t>(port)];
-        if (ch == nullptr)
-            continue;
-        ch->drainInto(now, flit_scratch_);
+    for (const auto& wired : data_in_) {
+        const PortId port = wired.port;
+        wired.channel->drainInto(now, flit_scratch_);
         for (Flit& flit : flit_scratch_) {
             FRFC_ASSERT(flit.vc >= 0 && flit.vc < params_.numVcs,
                         "arriving flit with bad vc: ", flit.toString());

@@ -22,16 +22,17 @@
 
 #include <array>
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/ring_queue.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "proto/flit.hpp"
 #include "sim/channel.hpp"
 #include "sim/clocked.hpp"
+#include "sim/wired.hpp"
 #include "stats/metrics.hpp"
 #include "topology/topology.hpp"
 
@@ -104,20 +105,15 @@ class VcRouter : public Clocked
         if (totalBufferedFlits() > 0)
             return now + 1;
         Cycle next = kInvalidCycle;
-        for (PortId port = 0; port < kNumPorts; ++port) {
-            const auto p = static_cast<std::size_t>(port);
-            for (const Cycle arrival :
-                 {data_in_[p] != nullptr
-                      ? data_in_[p]->nextArrivalAfter(now)
-                      : kInvalidCycle,
-                  credit_in_[p] != nullptr
-                      ? credit_in_[p]->nextArrivalAfter(now)
-                      : kInvalidCycle}) {
-                if (arrival != kInvalidCycle
-                    && (next == kInvalidCycle || arrival < next))
-                    next = arrival;
-            }
-        }
+        const auto consider = [&next](Cycle arrival) {
+            if (arrival != kInvalidCycle
+                && (next == kInvalidCycle || arrival < next))
+                next = arrival;
+        };
+        for (const auto& wired : data_in_)
+            consider(wired.channel->nextArrivalAfter(now));
+        for (const auto& wired : credit_in_)
+            consider(wired.channel->nextArrivalAfter(now));
         return next;
     }
 
@@ -212,7 +208,7 @@ class VcRouter : public Clocked
     /** Per-input-VC FIFO and packet state. */
     struct InputVc
     {
-        std::deque<Flit> queue;
+        RingQueue<Flit> queue;
         bool routed = false;   ///< route computed for head packet
         bool active = false;   ///< output VC granted
         Cycle activeSince = kInvalidCycle;  ///< cycle the grant landed
@@ -256,9 +252,11 @@ class VcRouter : public Clocked
     VcRouterParams params_;
     Rng rng_;
 
-    std::vector<Channel<Flit>*> data_in_;
+    /** Inputs as dense wired lists (port-ascending — drain order is
+     *  semantic); outputs stay port-indexed for O(1) routed pushes. */
+    WiredPorts<Channel<Flit>> data_in_;
     std::vector<Channel<Flit>*> data_out_;
-    std::vector<Channel<Credit>*> credit_in_;
+    WiredPorts<Channel<Credit>> credit_in_;
     std::vector<Channel<Credit>*> credit_out_;
 
     /** Scratch buffers for channel drains (see Channel::drainInto). */

@@ -14,9 +14,9 @@
 #ifndef FRFC_VC_VC_SOURCE_HPP
 #define FRFC_VC_VC_SOURCE_HPP
 
-#include <deque>
 #include <vector>
 
+#include "common/ring_queue.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "proto/flit.hpp"
@@ -164,7 +164,7 @@ class VcSource : public Clocked
     Channel<PacketCompletion>* completion_in_ = nullptr;
     Validator* validator_ = nullptr;
 
-    std::deque<PendingPacket> queue_;
+    RingQueue<PendingPacket> queue_;
     std::vector<Credit> credit_scratch_;
     std::vector<PacketCompletion> completion_scratch_;
     std::vector<int> credits_;  ///< per VC, or [0] = pool when shared

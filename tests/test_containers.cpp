@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Unit tests for the flat hot-path containers of DESIGN.md §12:
+ * RingQueue (power-of-two FIFO) and FlatMap (open-addressing map).
+ */
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "common/flat_map.hpp"
+#include "common/ring_queue.hpp"
+#include "common/rng.hpp"
+
+namespace frfc {
+namespace {
+
+TEST(RingQueue, FifoOrderAcrossGrowth)
+{
+    RingQueue<int> q;
+    EXPECT_TRUE(q.empty());
+    for (int i = 0; i < 100; ++i)
+        q.push_back(i);
+    EXPECT_EQ(q.size(), 100u);
+    EXPECT_EQ(q.front(), 0);
+    EXPECT_EQ(q.back(), 99);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(q.front(), i);
+        q.pop_front();
+    }
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(RingQueue, WrapsWithoutReallocationAtSteadyState)
+{
+    RingQueue<int> q;
+    q.reserve(8);
+    // Alternate push/pop so head_ laps the backing store many times.
+    int next = 0;
+    int expect = 0;
+    for (int round = 0; round < 1000; ++round) {
+        q.push_back(next++);
+        q.push_back(next++);
+        EXPECT_EQ(q.front(), expect++);
+        q.pop_front();
+        EXPECT_EQ(q.front(), expect++);
+        q.pop_front();
+    }
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(RingQueue, IndexingAndClear)
+{
+    RingQueue<int> q;
+    for (int i = 0; i < 10; ++i)
+        q.push_back(i * i);
+    for (std::size_t i = 0; i < q.size(); ++i)
+        EXPECT_EQ(q[i], static_cast<int>(i * i));
+    q.clear();
+    EXPECT_TRUE(q.empty());
+    q.push_back(7);
+    EXPECT_EQ(q.front(), 7);
+}
+
+TEST(RingQueue, MatchesDequeUnderRandomOps)
+{
+    Rng rng(20260810, 1);
+    RingQueue<int> q;
+    std::deque<int> ref;
+    int next = 0;
+    for (int step = 0; step < 20000; ++step) {
+        if (ref.empty() || rng.nextBool(0.55)) {
+            q.push_back(next);
+            ref.push_back(next);
+            ++next;
+        } else {
+            ASSERT_EQ(q.front(), ref.front()) << "step " << step;
+            q.pop_front();
+            ref.pop_front();
+        }
+        ASSERT_EQ(q.size(), ref.size());
+        if (!ref.empty()) {
+            ASSERT_EQ(q.front(), ref.front());
+            ASSERT_EQ(q.back(), ref.back());
+        }
+    }
+}
+
+TEST(FlatMap, InsertFindErase)
+{
+    FlatMap<int> map;
+    EXPECT_TRUE(map.empty());
+    map.findOrInsert(42, 7);
+    EXPECT_EQ(map.size(), 1u);
+    ASSERT_NE(map.find(42), nullptr);
+    EXPECT_EQ(*map.find(42), 7);
+    EXPECT_EQ(map.find(43), nullptr);
+    // findOrInsert on a present key returns the live value.
+    map.findOrInsert(42, 99) = 8;
+    EXPECT_EQ(*map.find(42), 8);
+    map.erase(42);
+    EXPECT_TRUE(map.empty());
+    EXPECT_EQ(map.find(42), nullptr);
+}
+
+TEST(FlatMap, MatchesUnorderedMapUnderRandomOps)
+{
+    Rng rng(20260811, 1);
+    FlatMap<int> map;
+    std::unordered_map<std::int64_t, int> ref;
+    for (int step = 0; step < 20000; ++step) {
+        // Small key range forces collisions, growth, and dense churn.
+        const auto key =
+            static_cast<std::int64_t>(rng.nextBounded(512));
+        const auto op = rng.nextBounded(3);
+        if (op == 0) {
+            const int val = static_cast<int>(rng.nextBounded(1000));
+            map.findOrInsert(key, val);
+            ref.try_emplace(key, val);
+        } else if (op == 1) {
+            int* got = map.find(key);
+            const auto it = ref.find(key);
+            if (it == ref.end()) {
+                ASSERT_EQ(got, nullptr) << "step " << step;
+            } else {
+                ASSERT_NE(got, nullptr) << "step " << step;
+                ASSERT_EQ(*got, it->second);
+            }
+        } else if (ref.count(key) != 0) {
+            map.erase(key);
+            ref.erase(key);
+        }
+        ASSERT_EQ(map.size(), ref.size());
+    }
+    // Full sweep: every surviving key agrees.
+    for (const auto& [key, val] : ref) {
+        int* got = map.find(key);
+        ASSERT_NE(got, nullptr);
+        EXPECT_EQ(*got, val);
+    }
+}
+
+TEST(FlatMapDeath, NegativeKeyPanics)
+{
+    FlatMap<int> map;
+    EXPECT_DEATH(map.findOrInsert(-2, 0), "non-negative");
+}
+
+}  // namespace
+}  // namespace frfc

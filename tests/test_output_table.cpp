@@ -290,6 +290,160 @@ TEST(OutputTableProperty, FastPathMatchesReferenceScan)
     }
 }
 
+/**
+ * Naive reference for nextBusyCycleAfter: linear busyAt scan. The
+ * production path answers from the packed busy bitmap (word scans plus
+ * the busy_hint_ cache); this is the specification it must match.
+ */
+Cycle
+referenceNextBusy(const OutputReservationTable& ort, Cycle after)
+{
+    for (Cycle t = std::max(after + 1, ort.windowStart());
+         t <= ort.windowEnd(); ++t) {
+        if (ort.busyAt(t))
+            return t;
+    }
+    return kInvalidCycle;
+}
+
+/**
+ * Long-run property test for the bitmap word scans (DESIGN.md §12):
+ * >= 10k random reserve/credit/advance steps per table shape —
+ * including non-power-of-two horizons, where the wheel is wider than
+ * the window and slides across its seam repeatedly — cross-checking
+ * findDeparture and nextBusyCycleAfter against the linear references
+ * after every mutation.
+ */
+TEST(OutputTableProperty, BitmapScansMatchReferenceOverLongRuns)
+{
+    struct Shape
+    {
+        int horizon;
+        int buffers;
+        Cycle latency;
+    };
+    // 13 -> 16-slot wheel and 48 -> 64-slot wheel exercise the
+    // out-of-window slot band; 16 and 64 exercise the exact-fit wheel
+    // where the expiring slot IS the newly exposed slot.
+    for (const Shape& shape : {Shape{13, 2, 1}, Shape{16, 3, 2},
+                               Shape{48, 4, 3}, Shape{64, 6, 4}}) {
+        Rng rng(20260807,
+                static_cast<std::uint64_t>(shape.horizon));
+        OutputReservationTable ort(shape.horizon, shape.buffers,
+                                   shape.latency);
+        Cycle now = 0;
+        std::vector<Cycle> outstanding;  // arrival cycles awaiting credit
+        for (int step = 0; step < 10000; ++step) {
+            const std::uint64_t op = rng.nextBounded(5);
+            if (op == 0) {
+                now += rng.nextRange(0, 3);
+                ort.advance(now);
+                for (Cycle& a : outstanding)
+                    a = std::max(a, ort.windowStart());
+            } else if (op == 4) {
+                // Occasionally leap several windows ahead so the wheel
+                // wraps wholesale (the quiescent-jump path when empty).
+                now += rng.nextRange(shape.horizon,
+                                     3 * shape.horizon);
+                ort.advance(now);
+                for (Cycle& a : outstanding)
+                    a = std::max(a, ort.windowStart());
+            } else if (op <= 2) {
+                const Cycle min_depart =
+                    now + rng.nextRange(0, shape.horizon / 2);
+                const Cycle d = ort.findDeparture(min_depart, kAny);
+                if (d != kInvalidCycle) {
+                    ort.reserve(d);
+                    outstanding.push_back(d + shape.latency);
+                }
+            } else if (!outstanding.empty()) {
+                const std::uint64_t pick =
+                    rng.nextBounded(outstanding.size());
+                const Cycle arrival = outstanding[pick];
+                const Cycle from = std::min(
+                    arrival + rng.nextRange(0, 4), ort.windowEnd());
+                ort.credit(from);
+                outstanding[pick] = outstanding.back();
+                outstanding.pop_back();
+            }
+            const Cycle min_depart =
+                now + rng.nextRange(0, shape.horizon);
+            ASSERT_EQ(ort.findDeparture(min_depart, kAny),
+                      referenceFindDeparture(ort, min_depart, kAny, 1))
+                << "horizon " << shape.horizon << " step " << step;
+            const Cycle after =
+                now + rng.nextRange(0, shape.horizon) - 1;
+            ASSERT_EQ(ort.nextBusyCycleAfter(after),
+                      referenceNextBusy(ort, after))
+                << "horizon " << shape.horizon << " step " << step
+                << " after " << after;
+        }
+    }
+}
+
+/**
+ * Wheel-seam edge cases with a non-power-of-two horizon (13 cycles in
+ * a 16-slot wheel): reservations and credits that straddle the point
+ * where cycle indices wrap must behave exactly as in the middle of the
+ * window, and slots leaving the window must return to full capacity
+ * before they are re-exposed.
+ */
+TEST(OutputTable, RingWraparoundAtHorizonBoundaries)
+{
+    OutputReservationTable ort(13, 3, 1);
+    // Park the window so [12, 24] straddles the 16-slot seam.
+    ort.advance(12);
+    EXPECT_EQ(ort.windowEnd(), 24);
+    ort.reserve(15);  // slot 15, last before the seam
+    ort.reserve(16);  // slot 0, first after it
+    EXPECT_TRUE(ort.busyAt(15));
+    EXPECT_TRUE(ort.busyAt(16));
+    EXPECT_EQ(ort.freeBuffersAt(15), 3);
+    EXPECT_EQ(ort.freeBuffersAt(16), 2);  // 15's arrival
+    EXPECT_EQ(ort.freeBuffersAt(17), 1);  // plus 16's
+    EXPECT_EQ(ort.findDeparture(15, kAny), 17);
+    EXPECT_EQ(ort.nextBusyCycleAfter(14), 15);
+    EXPECT_EQ(ort.nextBusyCycleAfter(15), 16);
+    EXPECT_EQ(ort.nextBusyCycleAfter(16), kInvalidCycle);
+    // Credits across the seam restore the suffix exactly: the flit
+    // arriving at 16 departs downstream at 17, the one arriving at 17
+    // departs at 20.
+    ort.credit(17);
+    ort.credit(20);
+    for (Cycle t = 17; t <= 19; ++t)
+        EXPECT_EQ(ort.freeBuffersAt(t), 2) << t;
+    for (Cycle t = 20; t <= 24; ++t)
+        EXPECT_EQ(ort.freeBuffersAt(t), 3) << t;
+    // Slide past both reservations; the busy bits expire and the
+    // newly exposed cycles inherit the final count across the seam.
+    ort.advance(17);
+    EXPECT_FALSE(ort.busyAt(17));
+    for (Cycle t = 20; t <= 29; ++t)
+        EXPECT_EQ(ort.freeBuffersAt(t), 3) << t;
+    EXPECT_EQ(ort.reservedCount(), 0);
+    EXPECT_EQ(ort.findDeparture(17, kAny), 17);
+}
+
+/**
+ * Exact-fit wheel (power-of-two horizon): when the window slides one
+ * cycle, the slot that expires is the same slot the window re-exposes
+ * at its far end. The expired state must be wiped before the inherited
+ * buffer count is written, including when the expiring cycle is busy.
+ */
+TEST(OutputTable, ExpiredSlotIsReexposedSlotOnPow2Horizon)
+{
+    OutputReservationTable ort(16, 4, 2);
+    ort.reserve(0);   // busy at the very slot about to expire
+    ort.reserve(3);   // holds a buffer through the horizon
+    EXPECT_EQ(ort.freeBuffersAt(15), 2);
+    ort.advance(1);
+    // Window now [1, 16]; slot index(0) == index(16).
+    EXPECT_FALSE(ort.busyAt(16));
+    EXPECT_EQ(ort.freeBuffersAt(16), 2);  // inherited, not reset
+    EXPECT_EQ(ort.reservedCount(), 1);
+    EXPECT_EQ(ort.nextBusyCycleAfter(1), 3);
+}
+
 TEST(OutputTableDeath, DoubleReserveSameCyclePanics)
 {
     OutputReservationTable ort(16, 4, 2);

@@ -34,6 +34,14 @@ comment so reviewers can audit it):
                 rather than raw string literals. Benches and examples
                 may write "workload.*" literals (they model user
                 config files).
+  hot-containers
+                No std::unordered_map/std::map/std::deque declarations
+                in the router hot-path headers and sources (src/frfc/,
+                src/vc/): PR 8 moved those paths onto flat rings,
+                bitmaps, and RingQueue (DESIGN.md section 12); a
+                node-based container reintroduces per-element
+                allocation and pointer chasing. Cold paths may suppress
+                with an allow() carrying a justification.
   shard-safety  No mutable static or thread_local variables in src/:
                 components run concurrently on parallel-kernel shard
                 threads, so hidden shared state is a data race and a
@@ -216,6 +224,24 @@ def check_workload_keys(rel, lines, report):
                 report(num, "raw workload key literal " + lit
                             + " in src/; use the k*Key constants from "
                             "traffic/workload.hpp")
+
+
+# Hot-path directories that must stay on flat storage (DESIGN.md §12).
+HOT_CONTAINER_DIRS = ("src/frfc/", "src/vc/")
+HOT_CONTAINER_RE = re.compile(r"\bstd::(unordered_map|map|deque)\b")
+
+
+@rule("hot-containers")
+def check_hot_containers(rel, lines, report):
+    if not rel.startswith(HOT_CONTAINER_DIRS):
+        return
+    for num, line in enumerate(lines, 1):
+        code = STRING_RE.sub('""', strip_comment(line))
+        match = HOT_CONTAINER_RE.search(code)
+        if match:
+            report(num, "std::" + match.group(1) + " in a router "
+                        "hot path; use a flat ring/bitmap/RingQueue "
+                        "(DESIGN.md section 12)")
 
 
 NAMESPACE_RE = re.compile(r"\busing\s+namespace\s+std\b")
