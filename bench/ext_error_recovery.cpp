@@ -47,7 +47,7 @@ main(int argc, char** argv)
                 cfg.set("fault.data_drop_rate", rate);
                 ctx.applyOverrides(cfg);
                 FrNetwork net(cfg);
-                net.kernel().run(cycles);
+                net.driver().run(cycles);
                 const auto delivered = static_cast<double>(
                     net.registry().flitsDelivered());
                 if (rate == 0.0)

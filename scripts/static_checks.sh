@@ -29,6 +29,19 @@ fail() { printf 'FAIL %s\n' "$*" >&2; failures=$((failures + 1)); }
 step "frfc-lint"
 python3 tools/frfc_lint.py || fail "frfc-lint"
 
+step "fault sweep (sim.validate=2)"
+# The PR 9 fault x recovery sweep under the paranoid validator: every
+# injected-fault cell must deliver 100% with zero findings (the
+# validator fail-fast panics otherwise). Uses the primary build.
+if [ -x build/bench/ext_fault_recovery ]; then
+    build/bench/ext_fault_recovery \
+        run.sample_packets=50 run.min_warmup=200 run.max_warmup=500 \
+        run.max_cycles=5000 sim.validate=2 > /dev/null \
+        || fail "fault sweep"
+else
+    echo "SKIP fault sweep (build/bench/ext_fault_recovery not built)"
+fi
+
 step "clang-format"
 if command -v clang-format > /dev/null 2>&1; then
     unformatted=0

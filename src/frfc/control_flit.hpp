@@ -30,6 +30,10 @@ struct ControlEntry
     int seq = -1;                    ///< data flit index in its packet
     Cycle arrival = kInvalidCycle;   ///< arrival time at receiving node
     bool scheduled = false;          ///< scheduled at the current node
+    /** Speculative launch (fr.speculative): the source reserved only
+     *  the injection wire, not a first-hop buffer. The first-hop
+     *  router clears this after reconciling its pool accounting. */
+    bool spec = false;
 };
 
 /** A control flit traversing the control network. */

@@ -4,6 +4,7 @@
 
 #include "common/log.hpp"
 #include "routing/routing.hpp"
+#include "sim/fault.hpp"
 #include "topology/topology.hpp"
 
 namespace frfc {
@@ -13,6 +14,7 @@ FrRouter::FrRouter(std::string name, NodeId node,
                    Rng rng, MetricRegistry* metrics)
     : Clocked(std::move(name)), node_(node), routing_(routing),
       params_(params), rng_(rng),
+      ctrl_kill_(static_cast<std::size_t>(kNumPorts) * params.ctrlVcs, 0),
       ctrl_out_(kNumPorts, nullptr), data_out_(kNumPorts, nullptr),
       fr_credit_out_(kNumPorts, nullptr),
       ctrl_credit_out_(kNumPorts, nullptr),
@@ -32,6 +34,13 @@ FrRouter::FrRouter(std::string name, NodeId node,
         metrics->attachCounter(prefix + ".ctrl.consumed", ctrl_consumed_);
         metrics->attachCounter(prefix + ".sched.retries", sched_retries_);
         metrics->attachCounter(prefix + ".data.dropped", data_dropped_);
+        metrics->attachCounter(prefix + ".ctrl.dropped", ctrl_dropped_);
+        metrics->attachCounter(prefix + ".ctrl.orphan_drops",
+                               ctrl_orphan_drops_);
+        metrics->attachCounter(prefix + ".credit.corrupted",
+                               credit_corrupted_);
+        metrics->attachCounter(prefix + ".spec.dropped", spec_dropped_);
+        metrics->attachCounter(prefix + ".spec.evicted", spec_evicted_);
         metrics->attachCounter(prefix + ".advance_credits",
                                advance_credits_);
     }
@@ -45,7 +54,10 @@ FrRouter::FrRouter(std::string name, NodeId node,
             ejection ? Cycle{1} : params.dataLinkLatency, ejection));
         in_tables_.push_back(std::make_unique<InputReservationTable>(
             params.horizon, params.dataBuffers, params.speedup));
-        if (params.dataDropRate > 0.0)
+        // Speculative launches can vanish at the first hop (drop or
+        // eviction), so every downstream reservation must tolerate a
+        // missed arrival. Link faults arm this via setFaultInjector.
+        if (params.speculative)
             in_tables_.back()->setFaultTolerant(true);
 
         if (metrics == nullptr)
@@ -234,6 +246,14 @@ FrRouter::bindCreditFeedback(PortId out, int link)
 }
 
 void
+FrRouter::setFaultInjector(FaultInjector* injector)
+{
+    fault_ = injector;
+    for (auto& table : in_tables_)
+        table->setFaultTolerant(true);
+}
+
+void
 FrRouter::testDropNextAdvanceCredit(PortId in)
 {
     drop_next_credit_[static_cast<std::size_t>(in)] = 1;
@@ -245,8 +265,10 @@ FrRouter::auditInvariants(Cycle now) const
     for (const auto& table : out_tables_)
         table->auditCreditConservation(now);
     if (validator_ != nullptr && validator_->paranoid()) {
-        for (const auto& table : in_tables_)
+        for (const auto& table : in_tables_) {
             table->auditOrphans(now);
+            table->auditSpecHeld(now);
+        }
     }
 }
 
@@ -262,8 +284,15 @@ FrRouter::activityFingerprint() const
     mix(ctrl_consumed_.value());
     mix(sched_retries_.value());
     mix(data_dropped_.value());
+    mix(ctrl_dropped_.value());
+    mix(ctrl_orphan_drops_.value());
+    mix(credit_corrupted_.value());
+    mix(spec_dropped_.value());
+    mix(spec_evicted_.value());
     mix(advance_credits_.value());
     mix(ctrl_buffered_);
+    for (const std::uint8_t kill : ctrl_kill_)
+        mix(kill);
     for (PortId port = 0; port < kNumPorts; ++port) {
         const auto p = static_cast<std::size_t>(port);
         mix(in_tables_[p]->pool().usedCount());
@@ -287,6 +316,25 @@ FrRouter::controlArrivals(Cycle now)
         for (ControlFlit& flit : ctrl_scratch_) {
             FRFC_ASSERT(flit.vc >= 0 && flit.vc < params_.ctrlVcs,
                         "control flit with bad vc: ", flit.toString());
+            if (fault_ != nullptr && wired.port != kLocal) {
+                // One fault draw per worm, at its head: control flits
+                // of one packet travel contiguously on their VC, so a
+                // killed head takes the body and tail with it (a
+                // partial worm would be meaningless downstream).
+                std::uint8_t& kill = ctrl_kill_[
+                    static_cast<std::size_t>(wired.port)
+                        * params_.ctrlVcs
+                    + static_cast<std::size_t>(flit.vc)];
+                if (flit.head)
+                    kill = fault_->faultCtrlHead(now, wired.port) ? 1 : 0;
+                if (kill != 0) {
+                    const bool tail = flit.tail;
+                    killControlFlit(now, wired.port, flit);
+                    if (tail)
+                        kill = 0;
+                    continue;
+                }
+            }
             CtrlVc& cvc = ctrlVc(wired.port, flit.vc);
             cvc.queue.push_back(flit);
             ++ctrl_buffered_;
@@ -295,6 +343,51 @@ FrRouter::controlArrivals(Cycle now)
                         "control VC overflow at node ", node_, " port ",
                         wired.port, " vc ", flit.vc);
         }
+    }
+}
+
+void
+FrRouter::killControlFlit(Cycle now, PortId port, ControlFlit& flit)
+{
+    // The paper's recovery story for a lost reservation is a
+    // reservation-table timeout; this implementation takes the oracle
+    // shortcut of reading the dead worm's own entries at the receiver,
+    // which reconciles the exact same state (upstream buffer credits,
+    // vacuous data arrivals) without modeling the timeout machinery.
+    ctrl_dropped_.inc();
+    const auto p = static_cast<std::size_t>(port);
+
+    // The upstream control VC buffer frees exactly as if the flit had
+    // been forwarded (the sender cannot see the corruption).
+    Channel<Credit>* cr = ctrl_credit_out_[p];
+    FRFC_ASSERT(cr != nullptr, "killed control flit on unwired port");
+    cr->push(now, Credit{flit.vc});
+
+    InputReservationTable& irt = *in_tables_[p];
+    for (int e = 0; e < flit.numEntries; ++e) {
+        const ControlEntry& entry =
+            flit.entries[static_cast<std::size_t>(e)];
+        // The upstream scheduler reserved one of this input's buffers
+        // from entry.arrival onward and is owed a timestamped credit.
+        // The entry will never commit here, so the buffer is free from
+        // its arrival cycle — the flit never occupies it.
+        if (Channel<FrCredit>* fcr = fr_credit_out_[p]) {
+            if (validator_ != nullptr && credit_send_link_[p] >= 0)
+                validator_->onCreditSent(credit_send_link_[p]);
+            fcr->push(now, FrCredit{entry.arrival});
+            advance_credits_.inc();
+        }
+        if (entry.arrival > now) {
+            // Upstream still fires the data flit at its reserved
+            // cycle; discard it on arrival (dataArrivals).
+            irt.markDoomed(entry.arrival);
+        } else if (irt.discardParked(now, entry.arrival)) {
+            // The data flit beat its control worm here and parked; the
+            // worm carried the only reservation that could claim it.
+            ctrl_orphan_drops_.inc();
+        }
+        // else: the data flit was itself dropped in flight — nothing
+        // to reconcile beyond the credit above.
     }
 }
 
@@ -310,7 +403,18 @@ FrRouter::drainCredits(Cycle now)
         for (const FrCredit& credit : fr_credit_scratch_) {
             if (validator_ != nullptr && credit_apply_link_[p] >= 0)
                 validator_->onCreditApplied(credit_apply_link_[p]);
-            out_tables_[p]->credit(credit.freeFrom);
+            Cycle free_from = credit.freeFrom;
+            if (free_from == kInvalidCycle
+                || (fault_ != nullptr && wired.port != kLocal
+                    && fault_->faultCredit(now, wired.port))) {
+                // A corrupted timestamp cannot be trusted; applying the
+                // conservative worst case — free only from the horizon
+                // end — keeps the table sound (the buffer is never
+                // handed out early, merely late) and never leaks it.
+                credit_corrupted_.inc();
+                free_from = out_tables_[p]->windowEnd();
+            }
+            out_tables_[p]->credit(free_from);
         }
     }
     for (const auto& wired : ctrl_credit_in_) {
@@ -593,6 +697,20 @@ FrRouter::commitEntry(Cycle now, PortId in, PortId out,
     irt.recordReservation(now, entry.arrival, depart, out);
     res_commits_[static_cast<std::size_t>(out)].inc();
 
+    if (entry.spec) {
+        // Wire-only launch: the source never debited a first-hop
+        // buffer, so no advance credit is owed (pushing one would
+        // mint a buffer out of thin air). Once committed here the
+        // entry rides real reservations downstream.
+        FRFC_ASSERT(in == kLocal,
+                    "speculative entry arrived on a transit port");
+        entry.spec = false;
+        entry.scheduled = true;
+        entry.arrival = depart
+            + (out == kLocal ? Cycle{1} : params_.dataLinkLatency);
+        return;
+    }
+
     // Advance credit: the input buffer is free from the departure
     // cycle (plus one guard cycle on plesiochronous links, Section 5).
     if (Channel<FrCredit>* cr =
@@ -600,10 +718,19 @@ FrRouter::commitEntry(Cycle now, PortId in, PortId out,
         const auto p = static_cast<std::size_t>(in);
         if (validator_ != nullptr && credit_send_link_[p] >= 0)
             validator_->onCreditSent(credit_send_link_[p]);
-        if (drop_next_credit_[p] != 0)
-            drop_next_credit_[p] = 0;  // lost on the wire (fault hook)
-        else
+        if (drop_next_credit_[p] != 0) {
+            drop_next_credit_[p] = 0;
+            // Fault-tolerant mode: the hook models a mangled wire word
+            // — the credit still arrives, CRC-detectably corrupt, and
+            // the receiver recovers by applying the conservative
+            // horizon-end timestamp (drainCredits). Strict mode keeps
+            // the legacy silent loss so the validator's credit ledger
+            // can be shown to catch it.
+            if (fault_ != nullptr)
+                cr->push(now, FrCredit{kInvalidCycle});
+        } else {
             cr->push(now, FrCredit{depart + params_.creditSlack});
+        }
         advance_credits_.inc();
     }
 
@@ -635,22 +762,57 @@ FrRouter::dataDepartures(Cycle now)
 void
 FrRouter::dataArrivals(Cycle now)
 {
-    // Port-ascending drain order is semantic: the drop-rate rng_ draws
-    // must replay in the same sequence (WiredPorts keeps ports sorted).
+    // Port-ascending drain order is semantic: the fault injector's RNG
+    // draws must replay in the same sequence on every kernel
+    // (WiredPorts keeps ports sorted).
     for (const auto& wired : data_in_) {
         wired.channel->drainInto(now, data_scratch_);
+        InputReservationTable& irt =
+            *in_tables_[static_cast<std::size_t>(wired.port)];
         for (Flit& flit : data_scratch_) {
-            if (params_.dataDropRate > 0.0
-                && rng_.nextBool(params_.dataDropRate)) {
+            if (fault_ != nullptr && wired.port != kLocal
+                && fault_->faultData(now, wired.port)) {
                 // Corrupted in flight; the receiver's error detection
                 // discards it and the reservation executes vacuously.
                 data_dropped_.inc();
                 continue;
             }
-            in_tables_[static_cast<std::size_t>(wired.port)]->acceptFlit(
-                now, flit);
+            if (irt.consumeDoomed(now)) {
+                // Its control worm was killed on the wire: no
+                // reservation exists here and the buffer credit was
+                // already returned at kill time, so discard silently.
+                ctrl_orphan_drops_.inc();
+                continue;
+            }
+            if (flit.spec && irt.pool().full()) {
+                // Speculative gamble lost: no buffer on arrival. The
+                // (also speculative) control entry voids through the
+                // fault-tolerant lost-arrival path.
+                spec_dropped_.inc();
+                pushNack(now, flit.packet);
+                continue;
+            }
+            if (!flit.spec && irt.pool().full() && irt.hasSpecHeld()) {
+                // A reserved flit always has a buffer in the admission
+                // accounting; the pool can only look full because
+                // speculative flits squat on it. Reclaim one.
+                const PacketId victim = irt.evictOneSpec(now);
+                FRFC_ASSERT(victim != kInvalidPacket,
+                            "spec eviction found no victim");
+                spec_evicted_.inc();
+                pushNack(now, victim);
+            }
+            irt.acceptFlit(now, flit);
         }
     }
+}
+
+void
+FrRouter::pushNack(Cycle now, PacketId packet)
+{
+    FRFC_ASSERT(nack_out_ != nullptr,
+                "speculative launch reached a router with no nack wire");
+    nack_out_->push(now, FrNack{packet});
 }
 
 }  // namespace frfc

@@ -42,6 +42,7 @@
 
 namespace frfc {
 
+class FaultInjector;
 class RoutingFunction;
 
 /** Parameters shared by FR routers and sources. */
@@ -67,12 +68,18 @@ struct FrParams
     Cycle creditSlack = 0;
 
     /**
-     * Error-recovery study (Section 5): probability that a data flit
-     * is corrupted in flight and discarded at the receiving input (its
-     * reservation then executes vacuously and the tables return to a
-     * consistent state with no lost buffers or stalled links).
+     * Speculative flit reservation (fr.speculative): when a source
+     * cannot find a departure with a free first-hop buffer it may
+     * launch data on a wire-only reservation (ORT::reserveWire) and
+     * gamble on a pool buffer being free on arrival. The first-hop
+     * router drops the flit (pool full) or later evicts it (buffer
+     * reclaimed by a reserved flit) and nacks the source, which falls
+     * back to a reserved retransmission — hence fr.speculative
+     * requires fault.recovery. Link faults themselves are configured
+     * through the fault.* namespace and injected via FaultInjector
+     * (sim/fault.hpp), not through these parameters.
      */
-    double dataDropRate = 0.0;
+    bool speculative = false;
 
     /** Control buffers per input port (b_c). */
     int ctrlBuffers() const { return ctrlVcs * ctrlVcDepth; }
@@ -101,7 +108,23 @@ class FrRouter : public Clocked
     void connectFrCreditOut(PortId port, Channel<FrCredit>* ch);
     void connectCtrlCreditIn(PortId port, Channel<Credit>* ch);
     void connectCtrlCreditOut(PortId port, Channel<Credit>* ch);
+
+    /** Node-local wire carrying speculative-launch nacks back to this
+     *  router's own source (wired when fr.speculative is on). */
+    void connectNackOut(Channel<FrNack>* ch) { nack_out_ = ch; }
     /** @} */
+
+    /**
+     * Attach the network's per-node fault injector (sim/fault.hpp).
+     * Arms link-fault handling on every non-local port — data-flit
+     * drops, control-worm kills with oracle reconciliation (see
+     * controlArrivals), advance-credit corruption — and switches every
+     * input table fault-tolerant, since any drop turns downstream
+     * reservations vacuous. The injector draws from its own RNG stream
+     * (salt kFaultRngSalt + node) only for items that actually arrive,
+     * so all kernels replay the identical fault sequence.
+     */
+    void setFaultInjector(FaultInjector* injector);
 
     void tick(Cycle now) override;
 
@@ -191,6 +214,22 @@ class FrRouter : public Clocked
     {
         return data_dropped_.value();
     }
+    std::int64_t ctrlFlitsDropped() const
+    {
+        return ctrl_dropped_.value();
+    }
+    /** Data flits discarded because their control worm was killed
+     *  (their buffer credit was already returned at kill time). */
+    std::int64_t ctrlOrphanDrops() const
+    {
+        return ctrl_orphan_drops_.value();
+    }
+    std::int64_t creditsCorrupted() const
+    {
+        return credit_corrupted_.value();
+    }
+    std::int64_t specDropped() const { return spec_dropped_.value(); }
+    std::int64_t specEvicted() const { return spec_evicted_.value(); }
 
     /** Data flits sent through output @p port since construction. */
     std::int64_t flitsForwarded(PortId port) const
@@ -249,6 +288,18 @@ class FrRouter : public Clocked
     void dataArrivals(Cycle now);
     void controlArrivals(Cycle now);
 
+    /**
+     * Oracle reconciliation for a control flit killed on the wire (see
+     * controlArrivals): returns the upstream control-buffer credit and,
+     * per carried entry, the upstream data-buffer credit the entry's
+     * commit would have produced; already-parked data is freed, future
+     * arrivals are doomed (discarded on arrival without a credit).
+     */
+    void killControlFlit(Cycle now, PortId port, ControlFlit& flit);
+
+    /** Nack a speculative launch back to this router's source. */
+    void pushNack(Cycle now, PacketId packet);
+
     CtrlVc& ctrlVc(PortId port, VcId vc);
     CtrlOutVc& ctrlOutVc(PortId port, VcId vc);
 
@@ -259,6 +310,13 @@ class FrRouter : public Clocked
 
     /** Sanitizer context (see setValidator); null when disabled. */
     Validator* validator_ = nullptr;
+    /** Link-fault source (see setFaultInjector); null = fault-free. */
+    FaultInjector* fault_ = nullptr;
+    /** Speculative-nack wire to this node's source (fr.speculative). */
+    Channel<FrNack>* nack_out_ = nullptr;
+    /** Worm-kill state per (input port, control VC): once a head is
+     *  killed, body/tail flits of the same worm die with it. */
+    std::vector<std::uint8_t> ctrl_kill_;
     /** Ledger ids per port; -1 = link not tracked. */
     std::array<int, kNumPorts> credit_send_link_{};
     std::array<int, kNumPorts> credit_apply_link_{};
@@ -314,6 +372,11 @@ class FrRouter : public Clocked
     Counter ctrl_consumed_;
     Counter sched_retries_;
     Counter data_dropped_;
+    Counter ctrl_dropped_;
+    Counter ctrl_orphan_drops_;
+    Counter credit_corrupted_;
+    Counter spec_dropped_;
+    Counter spec_evicted_;
     Counter advance_credits_;
     std::array<Counter, kNumPorts> flits_out_{};
     std::array<Counter, kNumPorts> res_commits_{};

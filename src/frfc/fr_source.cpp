@@ -66,6 +66,8 @@ FrSource::activityFingerprint() const
     mix(ort_.creditsTotal());
     for (const int credits : ctrl_credits_)
         mix(credits);
+    if (recovery_)
+        mix(static_cast<std::int64_t>(rtx_.fingerprint()));
     return h;
 }
 
@@ -78,7 +80,11 @@ FrSource::tick(Cycle now)
         for (const FrCredit& credit : fr_credit_scratch_) {
             if (validator_ != nullptr && credit_apply_link_ >= 0)
                 validator_->onCreditApplied(credit_apply_link_);
-            ort_.credit(credit.freeFrom);
+            // A corrupted (CRC-detected) timestamp frees the buffer
+            // only from the horizon end — conservative, never early.
+            ort_.credit(credit.freeFrom == kInvalidCycle
+                            ? ort_.windowEnd()
+                            : credit.freeFrom);
         }
     }
     if (ctrl_credit_in_ != nullptr) {
@@ -90,10 +96,19 @@ FrSource::tick(Cycle now)
                         "source control credit overflow");
         }
     }
+    drainRecovery(now);
     processCompletions(now);
     generate(now);
-    if (!active_ && !queue_.empty())
+    while (!active_ && !queue_.empty()) {
+        if (recovery_ && rtx_.ackedOrUntracked(queue_.front().id)) {
+            // Acked while waiting in the queue (an earlier attempt's
+            // flits completed delivery): nothing left to send.
+            rtx_.dropQueued(queue_.front().id);
+            queue_.pop_front();
+            continue;
+        }
         startNextPacket(now);
+    }
     if (active_)
         processControl(now);
     fireData(now);
@@ -111,17 +126,35 @@ FrSource::tick(Cycle now)
 Cycle
 FrSource::nextWake(Cycle now) const
 {
-    if (active_ || !queue_.empty() || pending_count_ > 0)
-        return now + 1;
-    if (closed_loop_) {
+    Cycle wake = kInvalidCycle;
+    if (active_ || !queue_.empty() || pending_count_ > 0) {
+        wake = now + 1;
+    } else if (closed_loop_) {
         // Tick every cycle while generating: the generator must see
         // each cycle once, in order, for its draw stream (and any
         // feedback-driven state) to be kernel-independent.
-        return generating_ ? now + 1 : kInvalidCycle;
+        wake = generating_ ? now + 1 : kInvalidCycle;
+    } else if (generating_) {
+        wake = birth_pending_ ? birth_cycle_ : next_gen_cycle_;
     }
-    if (!generating_)
-        return kInvalidCycle;
-    return birth_pending_ ? birth_cycle_ : next_gen_cycle_;
+    if (recovery_ && wake != now + 1) {
+        // Ack/nack channels are lazily bound, so the source must keep
+        // itself scheduled through their pending arrivals; retransmit
+        // deadlines are a wake source of their own.
+        const auto fold = [&wake, now](Cycle at) {
+            if (at == kInvalidCycle)
+                return;
+            at = std::max(at, now + 1);
+            if (wake == kInvalidCycle || at < wake)
+                wake = at;
+        };
+        fold(rtx_.nextDeadline());
+        for (const Channel<PacketCompletion>* ch : ack_in_)
+            fold(ch->nextArrivalAfter(now));
+        if (nack_in_ != nullptr)
+            fold(nack_in_->nextArrivalAfter(now));
+    }
+    return wake;
 }
 
 void
@@ -147,7 +180,43 @@ FrSource::admitPacket(NodeId dest, int length, MessageClass cls,
 {
     const PacketId id = registry_->create(node_, dest, length, now, cls);
     queue_.push_back(PendingPacket{id, dest, length, now, cls});
+    if (recovery_)
+        rtx_.add(id, dest, length, now, cls);
     packets_generated_.inc();
+}
+
+void
+FrSource::drainRecovery(Cycle now)
+{
+    if (!recovery_)
+        return;
+    for (Channel<PacketCompletion>* ch : ack_in_) {
+        ch->drainInto(now, ack_scratch_);
+        for (const PacketCompletion& done : ack_scratch_)
+            rtx_.ack(done.packet);
+    }
+    if (nack_in_ != nullptr) {
+        nack_in_->drainInto(now, nack_scratch_);
+        for (const FrNack& nack : nack_scratch_)
+            rtx_.nack(nack.packet, now);
+    }
+    // Expired deadlines (including nack-forced ones from just above)
+    // requeue under the original packet id and creation cycle — the
+    // registry record stays open, so latency spans every attempt.
+    expired_scratch_.clear();
+    rtx_.takeExpired(now, expired_scratch_);
+    for (const RetransmitRecord& rec : expired_scratch_) {
+        queue_.push_back(PendingPacket{rec.id, rec.dest, rec.length,
+                                       rec.created, rec.cls});
+        if (validator_ != nullptr
+            && rec.attempts > rtx_.maxAttemptsAllowed()) {
+            validator_->fail(
+                "recovery.stuck", now, name(), kLocal,
+                "packet " + std::to_string(rec.id) + " on attempt "
+                    + std::to_string(rec.attempts) + " (max "
+                    + std::to_string(rtx_.maxAttemptsAllowed()) + ")");
+        }
+    }
 }
 
 void
@@ -197,8 +266,19 @@ FrSource::startNextPacket(Cycle /* now */)
     queue_.pop_front();
     active_ = true;
     next_ctrl_ = 0;
+    current_last_depart_ = kInvalidCycle;
+    const bool retransmission =
+        recovery_ && rtx_.attemptsOf(current_.id) > 0;
+    // Speculation is a first-attempt gamble only: after a nack or a
+    // timeout the packet retransmits on fully reserved slots, so one
+    // overloaded first hop cannot starve a packet forever.
+    spec_allowed_ = params_.speculative && !retransmission;
 
     // Pick the control VC with the most credits, ties broken randomly.
+    // Retransmissions pick the lowest such VC with no draw: a timeout
+    // requeue fires while the source is otherwise idle and the
+    // generator pre-scan may have run ahead, so a draw here would
+    // split the shared rng_ stream at kernel-dependent positions.
     int best = -1;
     std::vector<VcId> best_vcs;
     for (VcId vc = 0; vc < params_.ctrlVcs; ++vc) {
@@ -210,7 +290,9 @@ FrSource::startNextPacket(Cycle /* now */)
             best_vcs.push_back(vc);
         }
     }
-    current_vc_ = best_vcs[rng_.nextBounded(best_vcs.size())];
+    current_vc_ = retransmission
+        ? best_vcs.front()
+        : best_vcs[rng_.nextBounded(best_vcs.size())];
 
     // Build the packet's control flits (Figure 2): the head leads the
     // first data flit; each body flit leads up to d more.
@@ -263,8 +345,7 @@ FrSource::processControl(Cycle now)
 {
     for (int slot = 0; slot < params_.ctrlWidth; ++slot) {
         if (next_ctrl_ >= ctrl_flits_.size()) {
-            active_ = false;
-            current_vc_ = kInvalidVc;
+            finishPacket(now);
             return;
         }
         ControlFlit& cf = ctrl_flits_[next_ctrl_];
@@ -284,13 +365,26 @@ FrSource::processControl(Cycle now)
             // wide-control mode leave the router's last input buffer in
             // reserve for parked-flit rescues (see FrRouter).
             const int min_free = params_.flitsPerControl > 1 ? 2 : 1;
-            const Cycle depart = ort_.findDeparture(
+            Cycle depart = ort_.findDeparture(
                 min_depart, [](Cycle) { return true; }, min_free);
+            bool spec = false;
+            if (depart == kInvalidCycle && spec_allowed_) {
+                // No first-hop buffer in sight: launch on a wire-only
+                // reservation and gamble on one freeing by arrival.
+                // The router nacks a lost gamble and the retransmit
+                // buffer falls back to a reserved attempt.
+                depart = ort_.findDeparture(
+                    min_depart, [](Cycle) { return true; }, 0);
+                spec = depart != kInvalidCycle;
+            }
             if (depart == kInvalidCycle) {
                 all = false;
                 continue;
             }
-            ort_.reserve(depart);
+            if (spec)
+                ort_.reserveWire(depart);
+            else
+                ort_.reserve(depart);
             // Slots recycle once fired, so only an identical live tag
             // is a double booking; a stale tag is simply overwritten.
             PendingData& slot =
@@ -300,8 +394,13 @@ FrSource::processControl(Cycle now)
                         "double-booked injection cycle");
             slot.cycle = depart;
             slot.flit = makeDataFlit(current_, entry.seq, now);
+            slot.flit.spec = spec;
             ++pending_count_;
+            if (current_last_depart_ == kInvalidCycle
+                || depart > current_last_depart_)
+                current_last_depart_ = depart;
             entry.scheduled = true;
+            entry.spec = spec;
             entry.arrival = depart + 1;  // injection link latency
         }
         if (!all)
@@ -318,10 +417,23 @@ FrSource::processControl(Cycle now)
         --ctrl_credits_[static_cast<std::size_t>(current_vc_)];
         ++next_ctrl_;
     }
-    if (next_ctrl_ >= ctrl_flits_.size()) {
-        active_ = false;
-        current_vc_ = kInvalidVc;
-    }
+    if (next_ctrl_ >= ctrl_flits_.size())
+        finishPacket(now);
+}
+
+void
+FrSource::finishPacket(Cycle now)
+{
+    active_ = false;
+    current_vc_ = kInvalidVc;
+    if (!recovery_)
+        return;
+    // The ack-timeout clock starts at the latest reserved injection
+    // cycle of this attempt — the tail data flit leaves then, so only
+    // from there does silence mean loss. Reserved cycles can fire out
+    // of packet order (a later entry may grab an earlier slot once
+    // credits return), hence the running max, not the tail's slot.
+    rtx_.armDeadline(current_.id, std::max(now, current_last_depart_));
 }
 
 void

@@ -31,6 +31,7 @@
 #include "frfc/fr_router.hpp"
 #include "frfc/output_table.hpp"
 #include "proto/flit.hpp"
+#include "proto/recovery.hpp"
 #include "traffic/generator.hpp"
 #include "sim/channel.hpp"
 #include "sim/clocked.hpp"
@@ -64,6 +65,33 @@ class FrSource : public Clocked
     {
         completion_in_ = ch;
     }
+
+    /**
+     * End-to-end recovery (fault.recovery=1): track every created
+     * packet in a retransmission buffer until the destination sink
+     * acks complete delivery; an expired ack deadline (doubling per
+     * attempt up to the backoff cap) or a speculative nack requeues
+     * the packet under its original id. Duplicates are suppressed at
+     * the sink, so retransmitting a partially delivered packet is safe.
+     */
+    void
+    enableRecovery(Cycle ack_timeout, int backoff_cap, int max_attempts)
+    {
+        recovery_ = true;
+        rtx_.configure(ack_timeout, backoff_cap, max_attempts);
+    }
+
+    /** One per destination, ascending: acks from that node's sink. */
+    void connectAckIn(Channel<PacketCompletion>* ch)
+    {
+        ack_in_.push_back(ch);
+    }
+
+    /** Node-local speculative nacks from this node's router. */
+    void connectNackIn(Channel<FrNack>* ch) { nack_in_ = ch; }
+
+    /** Retransmission state (recovery sweeps and tests). */
+    const RetransmitBuffer& retransmits() const { return rtx_; }
 
     void tick(Cycle now) override;
 
@@ -133,6 +161,8 @@ class FrSource : public Clocked
     void admitPacket(NodeId dest, int length, MessageClass cls,
                      Cycle now);
     void processCompletions(Cycle now);
+    void drainRecovery(Cycle now);
+    void finishPacket(Cycle now);
     void startNextPacket(Cycle now);
     void processControl(Cycle now);
     void fireData(Cycle now);
@@ -157,6 +187,19 @@ class FrSource : public Clocked
     Channel<Credit>* ctrl_credit_in_ = nullptr;
     Channel<PacketCompletion>* completion_in_ = nullptr;
     std::vector<PacketCompletion> completion_scratch_;
+
+    /** @{ End-to-end recovery (enableRecovery). Ack channels are
+     *  drained destination-ascending; ack application is set-based, so
+     *  the result is independent of shard-count-driven drain timing
+     *  within a cycle. */
+    bool recovery_ = false;
+    RetransmitBuffer rtx_;
+    std::vector<Channel<PacketCompletion>*> ack_in_;
+    Channel<FrNack>* nack_in_ = nullptr;
+    std::vector<PacketCompletion> ack_scratch_;
+    std::vector<FrNack> nack_scratch_;
+    std::vector<RetransmitRecord> expired_scratch_;
+    /** @} */
 
     OutputReservationTable ort_;  ///< injection link + router pool
     /** Sanitizer context; -1 link = advance credits not tracked. */
@@ -186,6 +229,13 @@ class FrSource : public Clocked
     std::vector<ControlFlit> ctrl_flits_;
     std::size_t next_ctrl_ = 0;
     VcId current_vc_ = kInvalidVc;
+    /** Latest reserved injection cycle of the active packet; when its
+     *  last control flit is injected this is where the ack-timeout
+     *  clock starts (the tail data flit fires then). */
+    Cycle current_last_depart_ = kInvalidCycle;
+    /** Speculative launch permitted for the active packet (first
+     *  attempt only; see startNextPacket). */
+    bool spec_allowed_ = false;
 
     /** A data flit holding a reserved injection cycle. */
     struct PendingData

@@ -8,7 +8,8 @@ InputReservationTable::InputReservationTable(int horizon, int buffers,
                                              int speedup)
     : horizon_(horizon), speedup_(speedup),
       mask_(std::bit_ceil(static_cast<std::size_t>(horizon)) - 1),
-      pool_(buffers), arrivals_(mask_ + 1), departs_(mask_ + 1)
+      pool_(buffers), arrivals_(mask_ + 1), departs_(mask_ + 1),
+      doomed_(mask_ + 1, kInvalidCycle)
 {
     FRFC_ASSERT(horizon >= 2, "horizon must be at least 2 cycles");
     FRFC_ASSERT(speedup >= 1 && speedup <= kMaxSpeedup,
@@ -30,12 +31,19 @@ void
 InputReservationTable::advance(Cycle now)
 {
     FRFC_ASSERT(now >= window_start_, "window cannot move backwards");
-    if (live_rows_ == 0) {
+    if (live_rows_ == 0 && doomed_count_ == 0) {
         // Nothing scheduled: no row can expire, no fault can surface.
         window_start_ = now;
         return;
     }
     while (window_start_ < now) {
+        // A doomed arrival whose data flit never showed (dropped in
+        // flight on top of the killed control worm) expires silently.
+        Cycle& doom = doomed_[index(window_start_)];
+        if (doom == window_start_) {
+            doom = kInvalidCycle;
+            --doomed_count_;
+        }
         // An expiring arrival row must have been consumed: the upstream
         // scheduler guaranteed the flit arrived during that cycle —
         // unless fault injection dropped it, in which case its
@@ -166,6 +174,13 @@ InputReservationTable::acceptFlit(Cycle now, const Flit& flit)
               flit.toString(), ")");
     }
     pool_.write(buffer, flit);
+    if (flit.spec) {
+        // Speculative occupancy is tracked so a reserved arrival can
+        // reclaim the buffer (evictOneSpec). The bitmap bounds the pool
+        // at 64 buffers — far above any configuration in use.
+        FRFC_ASSERT(buffer < 64, "speculative pool too large for bitmap");
+        spec_held_ |= std::uint64_t{1} << buffer;
+    }
     noteOccupancy(now);
 
     ArrivalSlot& aslot = arrivals_[index(now)];
@@ -195,6 +210,107 @@ InputReservationTable::acceptFlit(Cycle now, const Flit& flit)
         bypasses_.inc();
     aslot.cycle = kInvalidCycle;
     --live_rows_;
+}
+
+void
+InputReservationTable::markDoomed(Cycle arrival)
+{
+    FRFC_ASSERT(arrival >= window_start_
+                    && arrival - window_start_
+                        <= static_cast<Cycle>(mask_),
+                "doomed arrival ", arrival, " outside window at ",
+                window_start_);
+    Cycle& doom = doomed_[index(arrival)];
+    // One departure per upstream wire cycle means at most one arrival
+    // per cycle on this port — a second doom of the same slot would be
+    // a duplicated control entry.
+    FRFC_ASSERT(doom != arrival, "arrival ", arrival, " doomed twice");
+    doom = arrival;
+    ++doomed_count_;
+}
+
+bool
+InputReservationTable::consumeDoomed(Cycle now)
+{
+    Cycle& doom = doomed_[index(now)];
+    if (doom != now)
+        return false;
+    doom = kInvalidCycle;
+    --doomed_count_;
+    return true;
+}
+
+bool
+InputReservationTable::discardParked(Cycle now, Cycle t)
+{
+    for (auto it = parked_.begin(); it != parked_.end(); ++it) {
+        if (it->arrival != t)
+            continue;
+        if (it->buffer < 64)
+            spec_held_ &= ~(std::uint64_t{1} << it->buffer);
+        pool_.release(it->buffer);
+        parked_.erase(it);
+        noteOccupancy(now);
+        return true;
+    }
+    return false;
+}
+
+PacketId
+InputReservationTable::evictOneSpec(Cycle now)
+{
+    if (spec_held_ == 0)
+        return kInvalidPacket;
+    const auto victim = static_cast<BufferId>(
+        std::countr_zero(spec_held_));
+    spec_held_ &= ~(std::uint64_t{1} << victim);
+    const PacketId evicted = pool_.read(victim).packet;
+
+    for (auto it = parked_.begin(); it != parked_.end(); ++it) {
+        if (it->buffer == victim) {
+            pool_.release(victim);
+            parked_.erase(it);
+            noteOccupancy(now);
+            return evicted;
+        }
+    }
+    // Bound into a departure entry: void it so the reserved output
+    // cycle passes idle. The next hop already holds a reservation for
+    // the flit; its fault-tolerant lost-arrival machinery reconciles,
+    // exactly as for a flit dropped on the wire.
+    for (DepartSlot& slot : departs_) {
+        if (slot.cycle == kInvalidCycle)
+            continue;
+        for (int i = 0; i < slot.count; ++i) {
+            DepartEntry& entry =
+                slot.entries[static_cast<std::size_t>(i)];
+            if (entry.buffer != victim || entry.voided)
+                continue;
+            entry.voided = true;
+            entry.buffer = kInvalidBuffer;
+            pool_.release(victim);
+            noteOccupancy(now);
+            return evicted;
+        }
+    }
+    panic("spec-held buffer ", victim,
+          " neither parked nor bound to a departure");
+}
+
+void
+InputReservationTable::auditSpecHeld(Cycle now) const
+{
+    if (validator_ == nullptr || spec_held_ == 0)
+        return;
+    for (std::uint64_t bits = spec_held_; bits != 0; bits &= bits - 1) {
+        const auto buffer =
+            static_cast<BufferId>(std::countr_zero(bits));
+        if (pool_.occupied(buffer))
+            continue;
+        validator_->fail("spec.held-not-allocated", now, owner_, port_,
+                         "buffer " + std::to_string(buffer)
+                             + " marked speculative but free");
+    }
 }
 
 void
@@ -263,6 +379,13 @@ InputReservationTable::takeDeparturesInto(Cycle now,
         Departure dep;
         dep.out = entry.out;
         dep.flit = pool_.consume(entry.buffer);
+        if (entry.buffer < 64
+            && ((spec_held_ >> entry.buffer) & 1u) != 0) {
+            // Past the first hop the flit travels on real reservations:
+            // it stops being speculative (and evictable) on departure.
+            spec_held_ &= ~(std::uint64_t{1} << entry.buffer);
+            dep.flit.spec = false;
+        }
         dep.bypass = entry.arrival + 1 == now;
         out.push_back(dep);
     }

@@ -109,6 +109,48 @@ class InputReservationTable
     /** Scheduled arrivals that never materialized (fault mode). */
     std::int64_t lostArrivals() const { return lost_arrivals_.value(); }
 
+    /**
+     * Doom the data arrival scheduled for cycle @p arrival: its control
+     * worm was killed by fault injection before this router ever
+     * processed it, so no reservation row exists — but the upstream
+     * scheduler will still fire the flit onto the wire. The router
+     * discards a doomed arrival before acceptFlit() (the buffer credit
+     * was already returned when the worm died). Marks are tag-checked
+     * ring slots; one that never materializes (the data flit was dropped
+     * in flight as well) expires silently as the window slides past.
+     */
+    void markDoomed(Cycle arrival);
+
+    /** Consume a doomed mark for an arrival at @p now, if present. */
+    bool consumeDoomed(Cycle now);
+
+    /**
+     * Free the parked flit that arrived at @p t (its killed control
+     * worm carried the only reservation that could ever claim it).
+     * Returns false when no such flit is parked.
+     */
+    bool discardParked(Cycle now, Cycle t);
+
+    /** @{ Speculative occupancy (fr.speculative; kLocal input only). */
+    bool hasSpecHeld() const { return spec_held_ != 0; }
+
+    /**
+     * Reclaim the lowest-id buffer held by a speculative flit for an
+     * arriving reserved flit: a parked speculative flit is simply
+     * freed; a bound one also voids its departure entry (the reserved
+     * output cycle passes idle and the next hop's lost-arrival
+     * machinery reconciles, exactly as for an in-flight drop). Returns
+     * the evicted packet's id, or kInvalidPacket when nothing
+     * speculative is held — the caller treats that as a broken
+     * admission invariant.
+     */
+    PacketId evictOneSpec(Cycle now);
+
+    /** Paranoid check: every spec-held buffer is pool-allocated.
+     *  Reports `spec.held-not-allocated`. */
+    void auditSpecHeld(Cycle now) const;
+    /** @} */
+
     /** True if an unscheduled flit that arrived at @p t is parked. */
     bool
     parkedAt(Cycle t) const
@@ -200,6 +242,13 @@ class InputReservationTable
     BufferPool pool_;
     std::vector<ArrivalSlot> arrivals_;
     std::vector<DepartSlot> departs_;
+    /** Tag-checked ring of doomed arrivals (see markDoomed()). */
+    std::vector<Cycle> doomed_;
+    /** Live doomed marks; nonzero disables the O(1) advance jump so
+     *  expired marks are cleared slot by slot. */
+    int doomed_count_ = 0;
+    /** Bit i set = buffer i holds a speculative flit (evictable). */
+    std::uint64_t spec_held_ = 0;
     /** Schedule list, insertion-ordered. Every parked flit holds a
      *  pool buffer, so the list never outgrows the pool — a flat
      *  reserve()d vector with linear scans beats hashing here. */

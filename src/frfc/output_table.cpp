@@ -119,6 +119,32 @@ OutputReservationTable::reserve(Cycle depart)
 }
 
 void
+OutputReservationTable::reserveWire(Cycle depart)
+{
+    FRFC_ASSERT(depart >= window_start_, "departure in the past");
+    FRFC_ASSERT(depart <= windowEnd() - (infinite_ ? 0 : link_latency_),
+                "departure too far in the future");
+    const std::size_t pos = index(depart);
+    if (bitAt(pos)) {
+        if (validator_ != nullptr) {
+            validator_->fail("res.double-book", window_start_, owner_,
+                             port_,
+                             "cycle " + std::to_string(depart)
+                                 + " reserved twice (speculative)");
+            return;
+        }
+        panic("double reservation of cycle ", depart);
+    }
+    setBit(pos);
+    ++reserved_;
+    if (depart < busy_hint_)
+        busy_hint_ = depart;
+    occupancy_.update(window_start_ + 1, static_cast<double>(reserved_));
+    // No buffer-count or reserves_total_ updates: the speculative flit
+    // holds no reserved buffer downstream and earns no advance credit.
+}
+
+void
 OutputReservationTable::credit(Cycle free_from)
 {
     if (infinite_)

@@ -125,6 +125,17 @@ class OutputReservationTable
     void reserve(Cycle depart);
 
     /**
+     * Commit a speculative wire-only reservation (fr.speculative):
+     * marks the channel busy at @p depart but leaves the downstream
+     * free-buffer counts — and reservesTotal() — untouched, because no
+     * first-hop buffer is being claimed. The flit gambles on finding a
+     * pool buffer on arrival; the first-hop router never returns an
+     * advance credit for it, so the credit-conservation identity is
+     * unaffected. Found with findDeparture(..., min_free = 0).
+     */
+    void reserveWire(Cycle depart);
+
+    /**
      * Apply a downstream credit: one buffer becomes free from
      * @p free_from onward (clamped into the window).
      */

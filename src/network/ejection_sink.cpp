@@ -9,8 +9,32 @@ EjectionSink::EjectionSink(std::string name, PacketLedger* ledger,
                            MetricRegistry* metrics)
     : Clocked(std::move(name)), ledger_(ledger)
 {
-    if (metrics != nullptr)
+    if (metrics != nullptr) {
         metrics->attachCounter("sink.flits_ejected", flits_ejected_);
+        metrics->attachCounter("sink.poisoned_discarded",
+                               poisoned_discarded_);
+        metrics->attachCounter("sink.dup_discarded", dup_discarded_);
+    }
+}
+
+void
+EjectionSink::bindAck(NodeId node, NodeId src,
+                      Channel<PacketCompletion>* ch)
+{
+    FRFC_ASSERT(ch != nullptr, "null ack channel");
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        if (nodes_[i] != node)
+            continue;
+        auto& row = ack_[i];
+        if (row.size() <= static_cast<std::size_t>(src))
+            row.resize(static_cast<std::size_t>(src) + 1, nullptr);
+        FRFC_ASSERT(row[static_cast<std::size_t>(src)] == nullptr,
+                    "ack already bound for node ", node, " source ",
+                    src);
+        row[static_cast<std::size_t>(src)] = ch;
+        return;
+    }
+    FRFC_ASSERT(false, "no ejection channel registered for node ", node);
 }
 
 void
@@ -35,12 +59,65 @@ EjectionSink::tick(Cycle now)
         const NodeId node = nodes_[i];
         channels_[i]->drainInto(now, drain_scratch_);
         for (const Flit& flit : drain_scratch_) {
+            // Fault-poisoned flits model a link drop: they were
+            // carried to the ejection point only so buffer and credit
+            // accounting stays exact, and vanish here uncounted.
+            if (flit.poisoned) {
+                poisoned_discarded_.inc();
+                continue;
+            }
             if (validator_ != nullptr && flit.dest != node) {
                 validator_->fail(
                     "sink.misroute", now, name(),
                     static_cast<PortId>(node),
                     flit.toString() + " ejected at node "
                         + std::to_string(node));
+            }
+            if (recovery_) {
+                // Retransmitted attempts may re-deliver flits an
+                // earlier attempt already landed: the per-packet mask
+                // suppresses them before the ledger (which treats a
+                // duplicate as a simulator bug).
+                FRFC_ASSERT(flit.packetLength <= 64,
+                            "recovery caps packets at 64 flits, got ",
+                            flit.packetLength);
+                std::uint64_t& mask =
+                    delivered_.findOrInsert(flit.packet, 0);
+                const std::uint64_t bit = std::uint64_t{1}
+                                          << flit.seq;
+                if ((mask & bit) != 0) {
+                    dup_discarded_.inc();
+                    continue;
+                }
+                mask |= bit;
+                ledger_->deliverFlit(now, flit);
+                flits_ejected_.inc();
+                const std::uint64_t full =
+                    flit.packetLength == 64
+                        ? ~std::uint64_t{0}
+                        : (std::uint64_t{1} << flit.packetLength) - 1;
+                if (mask != full)
+                    continue;
+                PacketCompletion done;
+                done.packet = flit.packet;
+                done.src = flit.src;
+                done.dest = node;
+                done.length = flit.packetLength;
+                done.cls = flit.cls;
+                done.completed = now;
+                FRFC_ASSERT(
+                    ack_[i].size() > static_cast<std::size_t>(flit.src)
+                        && ack_[i][static_cast<std::size_t>(flit.src)]
+                               != nullptr,
+                    "no ack channel from node ", node, " to source ",
+                    flit.src);
+                ack_[i][static_cast<std::size_t>(flit.src)]->push(now,
+                                                                  done);
+                if (feedback_[i] != nullptr)
+                    feedback_[i]->push(now, done);
+                if (validator_ != nullptr)
+                    validator_->onPacketCompleted(node);
+                continue;
             }
             ledger_->deliverFlit(now, flit);
             flits_ejected_.inc();

@@ -46,6 +46,7 @@ class EjectionSink : public Clocked
         channels_.push_back(ch);
         nodes_.push_back(node);
         feedback_.push_back(nullptr);
+        ack_.emplace_back();
     }
 
     /**
@@ -55,6 +56,23 @@ class EjectionSink : public Clocked
      * to its generator. Register the node's ejection channel first.
      */
     void bindFeedback(NodeId node, Channel<PacketCompletion>* ch);
+
+    /**
+     * End-to-end recovery (fault.recovery=1): the sink tracks a
+     * delivered-flit bitmask per packet, discards duplicates from
+     * retransmitted attempts before they reach the ledger, and pushes
+     * an ack toward the source when the mask completes. Masks are
+     * never erased — a late duplicate of a completed packet must still
+     * be recognized — so recovery runs pay O(packets) sink memory.
+     */
+    void enableRecovery() { recovery_ = true; }
+
+    /**
+     * Wire the ack channel carrying @p node's completion acks back to
+     * @p src's source. Required for every (registered node, source)
+     * pair once recovery is enabled.
+     */
+    void bindAck(NodeId node, NodeId src, Channel<PacketCompletion>* ch);
 
     void tick(Cycle now) override;
 
@@ -70,6 +88,16 @@ class EjectionSink : public Clocked
     /** Flits delivered to destinations since construction. */
     std::int64_t flitsEjected() const { return flits_ejected_.value(); }
 
+    /** Fault-poisoned flits discarded on arrival (never delivered). */
+    std::int64_t
+    poisonedDiscarded() const
+    {
+        return poisoned_discarded_.value();
+    }
+
+    /** Retransmission duplicates suppressed before the ledger. */
+    std::int64_t dupDiscarded() const { return dup_discarded_.value(); }
+
     /**
      * Attach the run's validator: every ejected flit is then checked
      * against its header's destination (sink.misroute — the end-to-end
@@ -77,12 +105,18 @@ class EjectionSink : public Clocked
      */
     void setValidator(Validator* validator) { validator_ = validator; }
 
-    /** Delivered-flit count is the sink's only external effect. */
+    /** Delivered and discarded flit counts are the sink's external
+     *  effects (delivery masks are a pure function of deliveries). */
     std::uint64_t
     activityFingerprint() const override
     {
-        return fingerprintMix(
+        std::uint64_t h = fingerprintMix(
             0, static_cast<std::uint64_t>(flits_ejected_.value()));
+        h = fingerprintMix(
+            h, static_cast<std::uint64_t>(poisoned_discarded_.value()));
+        h = fingerprintMix(
+            h, static_cast<std::uint64_t>(dup_discarded_.value()));
+        return h;
     }
 
   private:
@@ -97,7 +131,19 @@ class EjectionSink : public Clocked
      *  detection; only populated for nodes with feedback wired). */
     FlatMap<int> remaining_;
 
+    /** @{ End-to-end recovery (enableRecovery). `ack_[i][src]` carries
+     *  node `nodes_[i]`'s acks back to `src`'s retransmit buffer. */
+    bool recovery_ = false;
+    std::vector<std::vector<Channel<PacketCompletion>*>> ack_;
+    /** Delivered-flit bitmask per packet; entries are never erased
+     *  (late duplicates of completed packets must stay recognizable),
+     *  so packet lengths are capped at 64 flits under recovery. */
+    FlatMap<std::uint64_t> delivered_;
+    /** @} */
+
     Counter flits_ejected_;
+    Counter poisoned_discarded_;
+    Counter dup_discarded_;
 };
 
 }  // namespace frfc

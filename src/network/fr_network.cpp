@@ -51,7 +51,12 @@ FrNetwork::FrNetwork(const Config& cfg)
     params_.allOrNothing = cfg.getBool("all_or_nothing", false);
     params_.speedup = static_cast<int>(cfg.getInt("speedup", 1));
     params_.creditSlack = cfg.getBool("plesiochronous", false) ? 1 : 0;
-    params_.dataDropRate = cfg.getDouble("fault.data_drop_rate", 0.0);
+    fault_plan_ = FaultPlan::fromConfig(cfg, "fr");
+    params_.speculative = cfg.getBool("fr.speculative", false);
+    if (params_.speculative && !fault_plan_.recovery) {
+        fatal("fr.speculative=1 requires fault.recovery=1: a nacked "
+              "speculative launch is recovered by retransmission");
+    }
 
     if (params_.flitsPerControl < 1
         || params_.flitsPerControl > kMaxEntriesPerControl) {
@@ -90,10 +95,34 @@ FrNetwork::FrNetwork(const Config& cfg)
             routers_.back()->setValidator(&validator_);
             sources_.back()->setValidator(&validator_);
         }
+        if (fault_plan_.recovery) {
+            sources_.back()->enableRecovery(fault_plan_.ackTimeout,
+                                            fault_plan_.backoffCap,
+                                            fault_plan_.maxAttempts);
+        }
+    }
+    if (fault_plan_.anyLinkFaults()) {
+        for (NodeId node = 0; node < n; ++node) {
+            injectors_.push_back(std::make_unique<FaultInjector>(
+                Rng(seed,
+                    kFaultRngSalt + static_cast<std::uint64_t>(node)),
+                fault_plan_));
+            routers_[static_cast<std::size_t>(node)]->setFaultInjector(
+                injectors_.back().get());
+        }
+    }
+    if (fault_plan_.recovery) {
+        for (auto& sink : sinks_)
+            sink->enableRecovery();
     }
 
+    // A killed control worm makes the receiving router push recovered
+    // credits upstream in the same cycle its normal traffic does, so
+    // control-fault runs double the credit wires' width headroom.
+    const int fault_headroom = fault_plan_.ctrlFaultsPossible() ? 2 : 1;
+    const int ctrl_credit_width = params_.ctrlWidth * fault_headroom;
     const int credit_width =
-        params_.ctrlWidth * params_.flitsPerControl;
+        params_.ctrlWidth * params_.flitsPerControl * fault_headroom;
 
     auto flit_ch = [this](std::string name, Cycle lat) {
         flit_channels_.push_back(
@@ -110,9 +139,10 @@ FrNetwork::FrNetwork(const Config& cfg)
             std::move(name), lat, credit_width));
         return fr_credit_channels_.back().get();
     };
-    auto ctrl_credit_ch = [this](std::string name, Cycle lat) {
+    auto ctrl_credit_ch = [this, ctrl_credit_width](std::string name,
+                                                    Cycle lat) {
         ctrl_credit_channels_.push_back(std::make_unique<Channel<Credit>>(
-            std::move(name), lat, params_.ctrlWidth));
+            std::move(name), lat, ctrl_credit_width));
         return ctrl_credit_channels_.back().get();
     };
 
@@ -138,6 +168,16 @@ FrNetwork::FrNetwork(const Config& cfg)
             routers_[peer]->connectDataIn(rev, data_rx);
             data_rx->bindSink(kernelFor(peer), routers_[peer].get(),
                               /*lazy_wake=*/true);
+
+            // Scheduled outages for the directed link node -> peer
+            // strike everything peer receives on this input port.
+            if (!injectors_.empty()) {
+                for (const OutageWindow& w :
+                     fault_plan_.takeOutages(node, peer)) {
+                    injectors_[static_cast<std::size_t>(peer)]
+                        ->addOutage(rev, w.start, w.end);
+                }
+            }
 
             Channel<ControlFlit>* ctrl =
                 ctrl_ch("ctl:" + tag, params_.ctrlLinkLatency);
@@ -185,6 +225,7 @@ FrNetwork::FrNetwork(const Config& cfg)
                              /*lazy_wake=*/true);
         }
     }
+    fault_plan_.checkAllOutagesWired();
 
     // Injection (source -> router local input) and ejection. Endpoint
     // wiring is node-local, hence always intra-shard.
@@ -226,6 +267,19 @@ FrNetwork::FrNetwork(const Config& cfg)
         sinkFor(node).addChannel(ej, node);
         ej->bindSink(kernel, &sinkFor(node));
 
+        // Speculative nacks: router -> its own source, node-local. A
+        // router can nack several spec arrivals in one cycle (one per
+        // input port, plus evictions), hence the generous width.
+        if (params_.speculative) {
+            nack_channels_.push_back(std::make_unique<Channel<FrNack>>(
+                "nack:" + tag, /*latency=*/1, /*width=*/2 * kNumPorts));
+            Channel<FrNack>* nack = nack_channels_.back().get();
+            routers_[node]->connectNackOut(nack);
+            sources_[node]->connectNackIn(nack);
+            nack->bindSink(kernel, sources_[node].get(),
+                           /*lazy_wake=*/true);
+        }
+
         // Closed-loop feedback: sink slice -> source, node-local (never
         // crosses a shard cut). A node ejects at most one flit per
         // cycle, so at most one completion per cycle fits width 1.
@@ -238,6 +292,38 @@ FrNetwork::FrNetwork(const Config& cfg)
             sinkFor(node).bindFeedback(node, done);
             sources_[node]->connectCompletionIn(done);
             done->bindSink(kernel, sources_[node].get());
+        }
+    }
+
+    // Ack fabric (recovery only): one wire per (destination, source)
+    // pair, sink slice -> source. A node ejects at most one flit per
+    // cycle, so it completes at most one packet per cycle — width 1.
+    // Sources drain these destination-ascending and apply acks as a
+    // set, so shard-cut-driven drain timing cannot change the outcome.
+    if (fault_plan_.recovery) {
+        for (NodeId dest = 0; dest < n; ++dest) {
+            for (NodeId src = 0; src < n; ++src) {
+                const std::string tag = "ack:" + std::to_string(dest)
+                                        + "->" + std::to_string(src);
+                ack_channels_.push_back(
+                    std::make_unique<Channel<PacketCompletion>>(
+                        tag, fault_plan_.ackDelay, /*width=*/1));
+                Channel<PacketCompletion>* ack =
+                    ack_channels_.back().get();
+                Channel<PacketCompletion>* ack_rx =
+                    rxSide(ack, dest, src, [&] {
+                        ack_channels_.push_back(
+                            std::make_unique<Channel<PacketCompletion>>(
+                                tag + ":rx", fault_plan_.ackDelay,
+                                /*width=*/1));
+                        return ack_channels_.back().get();
+                    });
+                sinkFor(dest).bindAck(dest, src, ack);
+                sources_[src]->connectAckIn(ack_rx);
+                ack_rx->bindSink(kernelFor(src), sources_[src].get(),
+                                 /*lazy_wake=*/true);
+                ack_rx_.push_back(ack_rx);
+            }
         }
     }
 
@@ -345,6 +431,69 @@ FrNetwork::totalDropped() const
 }
 
 std::int64_t
+FrNetwork::totalCtrlDropped() const
+{
+    std::int64_t total = 0;
+    for (const auto& router : routers_)
+        total += router->ctrlFlitsDropped();
+    return total;
+}
+
+std::int64_t
+FrNetwork::totalCtrlOrphanDrops() const
+{
+    std::int64_t total = 0;
+    for (const auto& router : routers_)
+        total += router->ctrlOrphanDrops();
+    return total;
+}
+
+std::int64_t
+FrNetwork::totalCreditsCorrupted() const
+{
+    std::int64_t total = 0;
+    for (const auto& router : routers_)
+        total += router->creditsCorrupted();
+    return total;
+}
+
+std::int64_t
+FrNetwork::totalSpecDropped() const
+{
+    std::int64_t total = 0;
+    for (const auto& router : routers_)
+        total += router->specDropped();
+    return total;
+}
+
+std::int64_t
+FrNetwork::totalSpecEvicted() const
+{
+    std::int64_t total = 0;
+    for (const auto& router : routers_)
+        total += router->specEvicted();
+    return total;
+}
+
+std::int64_t
+FrNetwork::totalDupDiscarded() const
+{
+    std::int64_t total = 0;
+    for (const auto& sink : sinks_)
+        total += sink->dupDiscarded();
+    return total;
+}
+
+std::int64_t
+FrNetwork::totalRetransmits() const
+{
+    std::int64_t total = 0;
+    for (const auto& source : sources_)
+        total += source->retransmits().retransmitsTotal();
+    return total;
+}
+
+std::int64_t
 FrNetwork::totalLostArrivals() const
 {
     std::int64_t total = 0;
@@ -373,18 +522,26 @@ FrNetwork::validateState(Cycle now)
         return;
     // Data-flit conservation: every flit a source put on a wire is
     // delivered, held in an input buffer pool (parked flits included —
-    // they own pool buffers), in flight on a data channel, or was
-    // discarded by fault injection. Probe runs after routers and sink
-    // in registration order, so the snapshot is consistent.
+    // they own pool buffers), in flight on a data channel, or lost to
+    // a known fault/recovery cause — injector drops, orphan discards
+    // after a killed control worm, failed or evicted speculative
+    // launches, duplicates suppressed at the sink. Probe runs after
+    // routers and sink in registration order, so the snapshot is
+    // consistent.
     std::int64_t injected = 0;
     for (const auto& source : sources_)
         injected += source->flitsInjected();
     std::int64_t accounted = flitsEjectedTotal();
     for (const auto& router : routers_) {
         accounted += router->dataFlitsDropped();
+        accounted += router->ctrlOrphanDrops();
+        accounted += router->specDropped();
+        accounted += router->specEvicted();
         for (PortId port = 0; port < kNumPorts; ++port)
             accounted += router->inputTable(port).pool().usedCount();
     }
+    for (const auto& sink : sinks_)
+        accounted += sink->dupDiscarded();
     for (const auto& ch : flit_channels_)
         accounted += ch->pendingCount();
     if (injected != accounted) {
@@ -393,7 +550,28 @@ FrNetwork::validateState(Cycle now)
             std::to_string(injected) + " data flits injected but "
                 + std::to_string(accounted)
                 + " accounted for (delivered + pooled + in flight"
-                + " + dropped)");
+                + " + lost to faults/recovery)");
+    }
+    // Retransmit-buffer conservation: every unacked packet is either
+    // still incomplete in the registry or its ack is in flight on an
+    // ack wire. Sources drain acks before the sink pushes new ones, so
+    // the identity is exact at every sweep point (serial probe ticks
+    // last; parallel sweeps run after ledger replay at a boundary).
+    if (fault_plan_.recovery) {
+        std::int64_t unacked = 0;
+        for (const auto& source : sources_)
+            unacked += source->retransmits().unackedCount();
+        std::int64_t pending_acks = 0;
+        for (const Channel<PacketCompletion>* ch : ack_rx_)
+            pending_acks += ch->pendingCount();
+        const std::int64_t in_flight = registry_.packetsInFlight();
+        if (unacked != in_flight + pending_acks) {
+            validator_.fail(
+                "recovery.conservation", now, "fr_network", kInvalidPort,
+                std::to_string(unacked) + " unacked packets vs "
+                    + std::to_string(in_flight) + " in flight + "
+                    + std::to_string(pending_acks) + " acks pending");
+        }
     }
     // Advance-credit ledgers: sent == applied + in flight, per wire.
     for (const CreditLinkRec& rec : credit_links_)

@@ -27,6 +27,7 @@
 #include "network/ejection_sink.hpp"
 #include "network/network.hpp"
 #include "routing/routing.hpp"
+#include "sim/fault.hpp"
 #include "stats/time_average.hpp"
 #include "topology/topology.hpp"
 #include "traffic/generator.hpp"
@@ -82,11 +83,24 @@ class FrNetwork : public NetworkModel
     /** Total flits that arrived before their control flit. */
     std::int64_t totalParked() const;
 
-    /** Flits discarded by fault injection (error-recovery study). */
+    /** Data flits discarded by fault injection (error-recovery study). */
     std::int64_t totalDropped() const;
 
     /** Reservations that executed vacuously after a loss. */
     std::int64_t totalLostArrivals() const;
+
+    /** @{ Fault and recovery statistics (summed across components). */
+    std::int64_t totalCtrlDropped() const;
+    std::int64_t totalCtrlOrphanDrops() const;
+    std::int64_t totalCreditsCorrupted() const;
+    std::int64_t totalSpecDropped() const;
+    std::int64_t totalSpecEvicted() const;
+    std::int64_t totalDupDiscarded() const;
+    std::int64_t totalRetransmits() const;
+    /** @} */
+
+    /** Resolved fault.* configuration for this run. */
+    const FaultPlan& faultPlan() const { return fault_plan_; }
 
     /** Direct access for tests. */
     FrRouter& router(NodeId node) { return *routers_[node]; }
@@ -137,10 +151,21 @@ class FrNetwork : public NetworkModel
     std::vector<std::unique_ptr<FrRouter>> routers_;
     std::unique_ptr<Probe> probe_;
 
+    /** Resolved fault.* config plus one injector per router when any
+     *  link fault is enabled (private RNG streams; see sim/fault.hpp). */
+    FaultPlan fault_plan_;
+    std::vector<std::unique_ptr<FaultInjector>> injectors_;
+
     std::vector<std::unique_ptr<Channel<Flit>>> flit_channels_;
     std::vector<std::unique_ptr<Channel<ControlFlit>>> ctrl_channels_;
     std::vector<std::unique_ptr<Channel<FrCredit>>> fr_credit_channels_;
     std::vector<std::unique_ptr<Channel<Credit>>> ctrl_credit_channels_;
+    /** Recovery fabric: ack wires (one per destination -> source pair,
+     *  receiver-side listed in ack_rx_ for the conservation sweep) and
+     *  node-local speculative-nack wires. */
+    std::vector<std::unique_ptr<Channel<PacketCompletion>>> ack_channels_;
+    std::vector<Channel<PacketCompletion>*> ack_rx_;
+    std::vector<std::unique_ptr<Channel<FrNack>>> nack_channels_;
 
     /** One ledger entry per advance-credit wire: the validator link id
      *  and the channel whose in-flight credits close the equation. */

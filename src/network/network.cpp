@@ -36,6 +36,9 @@ NetworkModel::initSimKernel(const Config& cfg, const Topology& topo)
                 shard_ledgers_.back().get(), nullptr));
         }
         metrics_.attachCounter("sink.flits_ejected", sink_flits_total_);
+        metrics_.attachCounter("sink.poisoned_discarded",
+                               sink_poisoned_total_);
+        metrics_.attachCounter("sink.dup_discarded", sink_dup_total_);
     }
     if (validator_.enabled())
         for (auto& sink : sinks_)
@@ -69,6 +72,16 @@ NetworkModel::syncAggregates()
         return;
     sink_flits_total_.reset();
     sink_flits_total_.add(flitsEjectedTotal());
+    std::int64_t poisoned = 0;
+    std::int64_t dups = 0;
+    for (const auto& sink : sinks_) {
+        poisoned += sink->poisonedDiscarded();
+        dups += sink->dupDiscarded();
+    }
+    sink_poisoned_total_.reset();
+    sink_poisoned_total_.add(poisoned);
+    sink_dup_total_.reset();
+    sink_dup_total_.add(dups);
 }
 
 void

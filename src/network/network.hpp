@@ -247,10 +247,12 @@ class NetworkModel
      *  so they never cross a shard cut. */
     std::vector<std::unique_ptr<Channel<PacketCompletion>>>
         completion_channels_;
-    /** Parallel runs: aggregate of the slices' private counters,
-     *  published as "sink.flits_ejected" so snapshots match serial
-     *  runs path-for-path and value-for-value. */
+    /** Parallel runs: aggregates of the slices' private counters,
+     *  published under the serial runs' metric paths so snapshots
+     *  match path-for-path and value-for-value. */
     Counter sink_flits_total_;
+    Counter sink_poisoned_total_;
+    Counter sink_dup_total_;
 };
 
 /**

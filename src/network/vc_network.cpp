@@ -63,6 +63,8 @@ VcNetwork::VcNetwork(const Config& cfg)
               " flits)");
     }
 
+    fault_plan_ = FaultPlan::fromConfig(cfg, "vc");
+
     const int n = topo_->numNodes();
     validator_.setLevel(validateLevelFromConfig(cfg));
     initSimKernel(cfg, *topo_);
@@ -91,6 +93,25 @@ VcNetwork::VcNetwork(const Config& cfg)
             &metrics_));
         if (validator_.enabled())
             sources_.back()->setValidator(&validator_);
+        if (fault_plan_.recovery) {
+            sources_.back()->enableRecovery(fault_plan_.ackTimeout,
+                                            fault_plan_.backoffCap,
+                                            fault_plan_.maxAttempts);
+        }
+    }
+    if (fault_plan_.anyLinkFaults()) {
+        for (NodeId node = 0; node < n; ++node) {
+            injectors_.push_back(std::make_unique<FaultInjector>(
+                Rng(seed,
+                    kFaultRngSalt + static_cast<std::uint64_t>(node)),
+                fault_plan_));
+            routers_[static_cast<std::size_t>(node)]->setFaultInjector(
+                injectors_.back().get());
+        }
+    }
+    if (fault_plan_.recovery) {
+        for (auto& sink : sinks_)
+            sink->enableRecovery();
     }
 
     auto make_flit_channel = [this](std::string name, Cycle lat) {
@@ -128,6 +149,15 @@ VcNetwork::VcNetwork(const Config& cfg)
             routers_[peer]->connectDataIn(opposite(port), data_rx);
             data_rx->bindSink(kernelFor(peer), routers_[peer].get(),
                               /*lazy_wake=*/true);
+            // Scheduled outages for the directed link node -> peer
+            // strike everything peer receives on this input port.
+            if (!injectors_.empty()) {
+                for (const OutageWindow& w :
+                     fault_plan_.takeOutages(node, peer)) {
+                    injectors_[static_cast<std::size_t>(peer)]
+                        ->addOutage(opposite(port), w.start, w.end);
+                }
+            }
             Channel<Credit>* credit =
                 make_credit_channel("c:" + tag, credit_lat);
             Channel<Credit>* credit_rx = rxSide(credit, peer, node, [&] {
@@ -150,6 +180,7 @@ VcNetwork::VcNetwork(const Config& cfg)
             }
         }
     }
+    fault_plan_.checkAllOutagesWired();
 
     // Injection and ejection: node-local, hence always intra-shard.
     for (NodeId node = 0; node < n; ++node) {
@@ -191,6 +222,36 @@ VcNetwork::VcNetwork(const Config& cfg)
             sinkFor(node).bindFeedback(node, done);
             sources_[node]->connectCompletionIn(done);
             done->bindSink(kernel, sources_[node].get());
+        }
+    }
+
+    // Ack fabric (recovery only): one wire per (destination, source)
+    // pair, sink slice -> source; see FrNetwork for the determinism
+    // argument (destination-ascending drains, set-based application).
+    if (fault_plan_.recovery) {
+        for (NodeId dest = 0; dest < n; ++dest) {
+            for (NodeId src = 0; src < n; ++src) {
+                const std::string tag = "ack:" + std::to_string(dest)
+                                        + "->" + std::to_string(src);
+                ack_channels_.push_back(
+                    std::make_unique<Channel<PacketCompletion>>(
+                        tag, fault_plan_.ackDelay, /*width=*/1));
+                Channel<PacketCompletion>* ack =
+                    ack_channels_.back().get();
+                Channel<PacketCompletion>* ack_rx =
+                    rxSide(ack, dest, src, [&] {
+                        ack_channels_.push_back(
+                            std::make_unique<Channel<PacketCompletion>>(
+                                tag + ":rx", fault_plan_.ackDelay,
+                                /*width=*/1));
+                        return ack_channels_.back().get();
+                    });
+                sinkFor(dest).bindAck(dest, src, ack);
+                sources_[src]->connectAckIn(ack_rx);
+                ack_rx->bindSink(kernelFor(src), sources_[src].get(),
+                                 /*lazy_wake=*/true);
+                ack_rx_.push_back(ack_rx);
+            }
         }
     }
 
@@ -268,21 +329,60 @@ VcNetwork::middlePoolAvgOccupancy() const
     return occupancy_.average();
 }
 
+std::int64_t
+VcNetwork::totalPoisoned() const
+{
+    std::int64_t total = 0;
+    for (const auto& router : routers_)
+        total += router->dataPoisoned();
+    return total;
+}
+
+std::int64_t
+VcNetwork::totalPoisonedDiscarded() const
+{
+    std::int64_t total = 0;
+    for (const auto& sink : sinks_)
+        total += sink->poisonedDiscarded();
+    return total;
+}
+
+std::int64_t
+VcNetwork::totalDupDiscarded() const
+{
+    std::int64_t total = 0;
+    for (const auto& sink : sinks_)
+        total += sink->dupDiscarded();
+    return total;
+}
+
+std::int64_t
+VcNetwork::totalRetransmits() const
+{
+    std::int64_t total = 0;
+    for (const auto& source : sources_)
+        total += source->retransmits().retransmitsTotal();
+    return total;
+}
+
 void
 VcNetwork::validateState(Cycle now)
 {
     if (!validator_.enabled())
         return;
     // Flit conservation: every flit a source put on a wire is
-    // delivered, queued in some input VC, or in flight on a data
-    // channel. Probe runs after routers and sink in registration
-    // order, so the snapshot is consistent.
+    // delivered, queued in some input VC, in flight on a data channel,
+    // or reached the sink and was discarded there (fault-poisoned, or
+    // a retransmission duplicate). Probe runs after routers and sink
+    // in registration order, so the snapshot is consistent.
     std::int64_t injected = 0;
     for (const auto& source : sources_)
         injected += source->flitsInjected();
     std::int64_t accounted = flitsEjectedTotal();
     for (const auto& router : routers_)
         accounted += router->totalBufferedFlits();
+    for (const auto& sink : sinks_)
+        accounted += sink->poisonedDiscarded() + sink->dupDiscarded();
     for (const auto& ch : flit_channels_)
         accounted += ch->pendingCount();
     if (injected != accounted) {
@@ -290,7 +390,25 @@ VcNetwork::validateState(Cycle now)
             "flit.conservation", now, "vc_network", kInvalidPort,
             std::to_string(injected) + " data flits injected but "
                 + std::to_string(accounted)
-                + " accounted for (delivered + buffered + in flight)");
+                + " accounted for (delivered + buffered + in flight"
+                + " + discarded)");
+    }
+    // Retransmit-buffer conservation (see FrNetwork::validateState).
+    if (fault_plan_.recovery) {
+        std::int64_t unacked = 0;
+        for (const auto& source : sources_)
+            unacked += source->retransmits().unackedCount();
+        std::int64_t pending_acks = 0;
+        for (const Channel<PacketCompletion>* ch : ack_rx_)
+            pending_acks += ch->pendingCount();
+        const std::int64_t in_flight = registry_.packetsInFlight();
+        if (unacked != in_flight + pending_acks) {
+            validator_.fail(
+                "recovery.conservation", now, "vc_network", kInvalidPort,
+                std::to_string(unacked) + " unacked packets vs "
+                    + std::to_string(in_flight) + " in flight + "
+                    + std::to_string(pending_acks) + " acks pending");
+        }
     }
 
     // Credit conservation per link: each of the vcDepth buffer slots

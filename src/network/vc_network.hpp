@@ -20,6 +20,7 @@
 #include "network/ejection_sink.hpp"
 #include "network/network.hpp"
 #include "routing/routing.hpp"
+#include "sim/fault.hpp"
 #include "stats/time_average.hpp"
 #include "topology/topology.hpp"
 #include "traffic/generator.hpp"
@@ -53,6 +54,19 @@ class VcNetwork : public NetworkModel
     /** Direct access for tests. */
     VcRouter& router(NodeId node) { return *routers_[node]; }
     VcSource& source(NodeId node) { return *sources_[node]; }
+
+    /** @{ Fault and recovery statistics (summed across components).
+     *  VC link faults poison flits rather than deleting them (see
+     *  VcRouter::setFaultInjector), so "dropped" here means poisoned
+     *  at a router and discarded undelivered at the ejection sink. */
+    std::int64_t totalPoisoned() const;
+    std::int64_t totalPoisonedDiscarded() const;
+    std::int64_t totalDupDiscarded() const;
+    std::int64_t totalRetransmits() const;
+    /** @} */
+
+    /** Resolved fault.* configuration for this run. */
+    const FaultPlan& faultPlan() const { return fault_plan_; }
 
     /**
      * Whole-network invariant sweep (see NetworkModel::validateState):
@@ -98,8 +112,17 @@ class VcNetwork : public NetworkModel
     std::vector<std::unique_ptr<VcRouter>> routers_;
     std::unique_ptr<Probe> probe_;
 
+    /** Resolved fault.* config plus one injector per router when any
+     *  link fault is enabled (private RNG streams; see sim/fault.hpp). */
+    FaultPlan fault_plan_;
+    std::vector<std::unique_ptr<FaultInjector>> injectors_;
+
     std::vector<std::unique_ptr<Channel<Flit>>> flit_channels_;
     std::vector<std::unique_ptr<Channel<Credit>>> credit_channels_;
+    /** Recovery fabric: ack wires, one per (destination, source) pair;
+     *  receiver-side halves listed in ack_rx_ for the sweeps. */
+    std::vector<std::unique_ptr<Channel<PacketCompletion>>> ack_channels_;
+    std::vector<Channel<PacketCompletion>*> ack_rx_;
 
     /** One record per credited link, for the per-VC conservation
      *  sweep. Injection links have src set and up null; router-router

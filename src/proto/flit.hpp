@@ -54,6 +54,12 @@ struct Flit
     Cycle injected = kInvalidCycle;  ///< cycle the flit entered the network
     std::uint64_t payload = 0;       ///< verification payload
     MessageClass cls = MessageClass::kRequest;  ///< protocol class
+    /** Corrupted by a fault injector (VC model): the flit flows
+     *  through the network normally but the sink discards it. */
+    bool poisoned = false;
+    /** Speculative FR launch (fr.speculative): no buffer was reserved
+     *  at the first-hop router; it may be dropped or evicted there. */
+    bool spec = false;
 
     /** Deterministic payload for packet @p id flit @p seq. */
     static std::uint64_t expectedPayload(PacketId id, int seq);
@@ -94,6 +100,18 @@ struct Credit
 struct FrCredit
 {
     Cycle freeFrom = kInvalidCycle;
+};
+
+/**
+ * Negative acknowledgement for a speculative FR launch: the first-hop
+ * router dropped (pool full on arrival) or evicted (buffer reclaimed
+ * for a reserved flit) speculative data of @ref packet. Travels on a
+ * node-local wire back to the router's own source, which schedules a
+ * reserved retransmission instead of waiting out the ack timeout.
+ */
+struct FrNack
+{
+    PacketId packet = kInvalidPacket;
 };
 
 }  // namespace frfc

@@ -1,0 +1,153 @@
+#include "proto/recovery.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace frfc {
+
+RetransmitRecord*
+RetransmitBuffer::find(PacketId id)
+{
+    for (RetransmitRecord& rec : recs_) {
+        if (rec.id == id)
+            return &rec;
+    }
+    return nullptr;
+}
+
+const RetransmitRecord*
+RetransmitBuffer::find(PacketId id) const
+{
+    for (const RetransmitRecord& rec : recs_) {
+        if (rec.id == id)
+            return &rec;
+    }
+    return nullptr;
+}
+
+void
+RetransmitBuffer::add(PacketId id, NodeId dest, int length,
+                      Cycle created, MessageClass cls)
+{
+    FRFC_ASSERT(find(id) == nullptr,
+                "retransmit buffer already tracks packet ", id);
+    RetransmitRecord rec;
+    rec.id = id;
+    rec.dest = dest;
+    rec.length = length;
+    rec.created = created;
+    rec.cls = cls;
+    rec.sending = true;  // it sits in the injection queue
+    recs_.push_back(rec);
+    ++unacked_;
+}
+
+void
+RetransmitBuffer::ack(PacketId id)
+{
+    RetransmitRecord* rec = find(id);
+    FRFC_ASSERT(rec != nullptr && !rec->acked,
+                "ack for a packet the retransmit buffer does not "
+                "hold: ", id);
+    rec->acked = true;
+    rec->deadline = kInvalidCycle;
+    --unacked_;
+    compactFront();
+}
+
+void
+RetransmitBuffer::nack(PacketId id, Cycle now)
+{
+    RetransmitRecord* rec = find(id);
+    if (rec == nullptr || rec->acked || rec->sending)
+        return;  // superseded by an ack or an in-progress attempt
+    rec->deadline = now;
+}
+
+void
+RetransmitBuffer::armDeadline(PacketId id, Cycle now)
+{
+    RetransmitRecord* rec = find(id);
+    FRFC_ASSERT(rec != nullptr,
+                "arming a deadline for untracked packet ", id);
+    rec->sending = false;
+    if (rec->acked)
+        return;  // delivered while still streaming
+    const int shift = std::min(rec->attempts, backoff_cap_);
+    rec->deadline = now + (ack_timeout_ << shift);
+}
+
+void
+RetransmitBuffer::takeExpired(Cycle now,
+                              std::vector<RetransmitRecord>& out)
+{
+    for (RetransmitRecord& rec : recs_) {
+        if (rec.acked || rec.sending || rec.deadline == kInvalidCycle
+            || rec.deadline > now) {
+            continue;
+        }
+        rec.deadline = kInvalidCycle;
+        rec.sending = true;
+        ++rec.attempts;
+        ++retransmits_;
+        out.push_back(rec);
+    }
+}
+
+void
+RetransmitBuffer::dropQueued(PacketId id)
+{
+    RetransmitRecord* rec = find(id);
+    FRFC_ASSERT(rec != nullptr && rec->acked,
+                "dropQueued on a packet that is not acked: ", id);
+    rec->sending = false;
+    compactFront();
+}
+
+bool
+RetransmitBuffer::ackedOrUntracked(PacketId id) const
+{
+    const RetransmitRecord* rec = find(id);
+    return rec == nullptr || rec->acked;
+}
+
+Cycle
+RetransmitBuffer::nextDeadline() const
+{
+    Cycle next = kInvalidCycle;
+    for (const RetransmitRecord& rec : recs_) {
+        if (rec.acked || rec.deadline == kInvalidCycle)
+            continue;
+        if (next == kInvalidCycle || rec.deadline < next)
+            next = rec.deadline;
+    }
+    return next;
+}
+
+int
+RetransmitBuffer::maxAttemptsInFlight() const
+{
+    int most = 0;
+    for (const RetransmitRecord& rec : recs_) {
+        if (!rec.acked)
+            most = std::max(most, rec.attempts);
+    }
+    return most;
+}
+
+void
+RetransmitBuffer::compactFront()
+{
+    // A record acked mid-attempt (sending) must survive until the
+    // source finishes streaming and calls armDeadline on it.
+    std::size_t keep = 0;
+    while (keep < recs_.size() && recs_[keep].acked
+           && !recs_[keep].sending)
+        ++keep;
+    if (keep > 0)
+        recs_.erase(recs_.begin(),
+                    recs_.begin() + static_cast<std::ptrdiff_t>(keep));
+}
+
+}  // namespace frfc

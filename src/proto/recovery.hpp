@@ -1,0 +1,151 @@
+/**
+ * @file
+ * End-to-end loss recovery: the per-source retransmission buffer.
+ *
+ * With `fault.recovery=1` every source keeps each packet it creates
+ * until the destination's ejection sink acknowledges complete
+ * delivery. A packet's retransmit deadline is armed when its last
+ * data flit leaves the source (ack timeout, doubling per attempt up
+ * to a backoff cap); an expired deadline — or an explicit nack from
+ * the speculative-FR first hop — requeues the packet for injection
+ * under its original packet id and creation time, so the registry
+ * measures true end-to-end latency including recovery. The sink
+ * suppresses duplicate flits, so retransmitting a partially-delivered
+ * packet is safe.
+ *
+ * The buffer is a flat insertion-ordered vector (packet ids of one
+ * source ascend with creation), scanned linearly: the unacked
+ * population per source is small, and a flat scan keeps iteration
+ * order deterministic — a hash map's history-dependent order must
+ * never drive simulation decisions (DESIGN.md section 12).
+ */
+
+#ifndef FRFC_PROTO_RECOVERY_HPP
+#define FRFC_PROTO_RECOVERY_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "proto/flit.hpp"
+
+namespace frfc {
+
+/** One unacknowledged packet held for possible retransmission. */
+struct RetransmitRecord
+{
+    PacketId id = kInvalidPacket;
+    NodeId dest = kInvalidNode;
+    int length = 0;
+    Cycle created = kInvalidCycle;  ///< original creation cycle
+    MessageClass cls = MessageClass::kRequest;
+    int attempts = 0;  ///< retransmissions performed so far
+    /** Next retransmit cycle; kInvalidCycle while unarmed (queued or
+     *  streaming — armed when the last flit leaves the source). */
+    Cycle deadline = kInvalidCycle;
+    bool acked = false;
+    bool sending = false;  ///< queued for or mid injection
+};
+
+/** Per-source retransmission buffer (see file comment). */
+class RetransmitBuffer
+{
+  public:
+    void
+    configure(Cycle ack_timeout, int backoff_cap, int max_attempts)
+    {
+        ack_timeout_ = ack_timeout;
+        backoff_cap_ = backoff_cap;
+        max_attempts_ = max_attempts;
+    }
+
+    /** Track a newly created packet (it is queued for injection). */
+    void add(PacketId id, NodeId dest, int length, Cycle created,
+             MessageClass cls);
+
+    /** Destination acknowledged complete delivery. */
+    void ack(PacketId id);
+
+    /** Speculative first hop lost this packet's data: expire its
+     *  deadline now. Ignored if already acked or unknown (the nack
+     *  can race a delivery by an earlier attempt). */
+    void nack(PacketId id, Cycle now);
+
+    /** The packet's last flit left the source: arm the retransmit
+     *  deadline (timeout << min(attempts, backoffCap)). */
+    void armDeadline(PacketId id, Cycle now);
+
+    /**
+     * Collect packets whose deadline expired: marks each as sending,
+     * bumps its attempt count, and appends its record to @p out. The
+     * caller requeues them for injection (same id, same creation).
+     */
+    void takeExpired(Cycle now, std::vector<RetransmitRecord>& out);
+
+    /** True when @p id needs no (re)transmission — acked, or never
+     *  tracked (recovery bookkeeping disabled for it). Sources check
+     *  this when dequeuing so a packet acked while waiting in the
+     *  injection queue is not sent again. */
+    bool ackedOrUntracked(PacketId id) const;
+
+    /** The source skipped an acked packet at dequeue: clear its
+     *  sending mark so the record can compact away. */
+    void dropQueued(PacketId id);
+
+    /** Earliest armed deadline over unacked packets (for nextWake);
+     *  kInvalidCycle when none is armed. */
+    Cycle nextDeadline() const;
+
+    /** Retransmissions performed for @p id so far (0 when untracked —
+     *  speculative-FR sources gamble only on a packet's first try). */
+    int
+    attemptsOf(PacketId id) const
+    {
+        const RetransmitRecord* rec = find(id);
+        return rec != nullptr ? rec->attempts : 0;
+    }
+
+    /** Packets held and not yet acknowledged. */
+    int
+    unackedCount() const
+    {
+        return unacked_;
+    }
+
+    /** Highest attempt count over currently-unacked packets. */
+    int maxAttemptsInFlight() const;
+
+    int maxAttemptsAllowed() const { return max_attempts_; }
+
+    std::int64_t retransmitsTotal() const { return retransmits_; }
+
+    /** Externally visible state digest for activity fingerprints. */
+    std::uint64_t
+    fingerprint() const
+    {
+        std::uint64_t h = static_cast<std::uint64_t>(unacked_);
+        h = h * 0x9e3779b97f4a7c15ULL
+            + static_cast<std::uint64_t>(retransmits_);
+        h = h * 0x9e3779b97f4a7c15ULL
+            + static_cast<std::uint64_t>(recs_.size());
+        return h;
+    }
+
+  private:
+    RetransmitRecord* find(PacketId id);
+    const RetransmitRecord* find(PacketId id) const;
+
+    /** Drop leading acked records; keeps the scan window tight. */
+    void compactFront();
+
+    std::vector<RetransmitRecord> recs_;
+    Cycle ack_timeout_ = 512;
+    int backoff_cap_ = 4;
+    int max_attempts_ = 16;
+    int unacked_ = 0;
+    std::int64_t retransmits_ = 0;
+};
+
+}  // namespace frfc
+
+#endif  // FRFC_PROTO_RECOVERY_HPP

@@ -1,0 +1,163 @@
+#include "sim/fault.hpp"
+
+#include <cstdlib>
+
+#include "common/config.hpp"
+#include "common/log.hpp"
+
+namespace frfc {
+
+namespace {
+
+double
+rateKey(const Config& cfg, const std::string& key)
+{
+    const double rate = cfg.get<double>(key);
+    if (rate < 0.0 || rate > 1.0)
+        fatal(key, " = ", rate, " is not a probability in [0, 1]");
+    return rate;
+}
+
+std::int64_t
+parseInt(const std::string& text, const std::string& what)
+{
+    char* end = nullptr;
+    const long long value = std::strtoll(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0')
+        fatal("fault.schedule: ", what, " '", text,
+              "' is not an integer");
+    return value;
+}
+
+/**
+ * Parse one schedule term "A->B@S:E" — the directed link from node A
+ * to node B delivers nothing during cycles [S, E).
+ */
+OutageWindow
+parseOutage(const std::string& term)
+{
+    const std::size_t arrow = term.find("->");
+    const std::size_t at = term.find('@');
+    const std::size_t colon = term.find(':', at == std::string::npos
+                                                ? 0
+                                                : at);
+    if (arrow == std::string::npos || at == std::string::npos
+        || colon == std::string::npos || arrow > at || at > colon) {
+        fatal("fault.schedule term '", term,
+              "' is not of the form FROM->TO@START:END");
+    }
+    OutageWindow w;
+    w.from = static_cast<NodeId>(
+        parseInt(term.substr(0, arrow), "source node"));
+    w.to = static_cast<NodeId>(
+        parseInt(term.substr(arrow + 2, at - arrow - 2),
+                 "destination node"));
+    w.start = parseInt(term.substr(at + 1, colon - at - 1),
+                       "window start");
+    w.end = parseInt(term.substr(colon + 1), "window end");
+    if (w.start < 0 || w.end <= w.start)
+        fatal("fault.schedule term '", term,
+              "' needs 0 <= START < END");
+    return w;
+}
+
+std::vector<OutageWindow>
+parseSchedule(const std::string& schedule)
+{
+    std::vector<OutageWindow> windows;
+    std::size_t pos = 0;
+    while (pos < schedule.size()) {
+        std::size_t next = schedule.find(';', pos);
+        if (next == std::string::npos)
+            next = schedule.size();
+        if (next > pos)
+            windows.push_back(
+                parseOutage(schedule.substr(pos, next - pos)));
+        pos = next + 1;
+    }
+    if (windows.empty())
+        fatal("fault.schedule is set but contains no outage terms");
+    return windows;
+}
+
+}  // namespace
+
+FaultPlan
+FaultPlan::fromConfig(const Config& cfg, const std::string& scheme)
+{
+    FaultPlan plan;
+    for (const std::string& key : cfg.keys()) {
+        if (key.rfind("fault.", 0) != 0)
+            continue;
+        if (key == "fault.data_drop_rate") {
+            plan.dataDropRate = rateKey(cfg, key);
+        } else if (key == "fault.ctrl_drop_rate") {
+            plan.ctrlDropRate = rateKey(cfg, key);
+        } else if (key == "fault.credit_drop_rate") {
+            plan.creditDropRate = rateKey(cfg, key);
+        } else if (key == "fault.schedule") {
+            plan.outages = parseSchedule(cfg.get<std::string>(key));
+        } else if (key == "fault.recovery") {
+            plan.recovery = cfg.get<bool>(key);
+        } else if (key == "fault.ack_timeout") {
+            plan.ackTimeout = cfg.get<std::int64_t>(key);
+            if (plan.ackTimeout < 1)
+                fatal("fault.ack_timeout must be >= 1 cycle");
+        } else if (key == "fault.backoff_cap") {
+            plan.backoffCap = cfg.get<int>(key);
+            if (plan.backoffCap < 0 || plan.backoffCap > 16)
+                fatal("fault.backoff_cap must be in [0, 16]");
+        } else if (key == "fault.ack_delay") {
+            plan.ackDelay = cfg.get<std::int64_t>(key);
+            if (plan.ackDelay < 1)
+                fatal("fault.ack_delay must be >= 1 cycle");
+        } else if (key == "fault.max_attempts") {
+            plan.maxAttempts = cfg.get<int>(key);
+            if (plan.maxAttempts < 1)
+                fatal("fault.max_attempts must be >= 1");
+        } else {
+            fatal("unknown fault key '", key,
+                  "'; known keys: fault.data_drop_rate, "
+                  "fault.ctrl_drop_rate, fault.credit_drop_rate, "
+                  "fault.schedule, fault.recovery, fault.ack_timeout, "
+                  "fault.backoff_cap, fault.ack_delay, "
+                  "fault.max_attempts");
+        }
+    }
+    if (scheme == "vc") {
+        if (plan.ctrlDropRate > 0.0)
+            fatal("fault.ctrl_drop_rate applies to FR reservation "
+                  "control flits; the vc scheme has none (use "
+                  "fault.data_drop_rate or fault.schedule)");
+        if (plan.creditDropRate > 0.0)
+            fatal("fault.credit_drop_rate applies to FR advance "
+                  "credits; the vc scheme has none (use "
+                  "fault.data_drop_rate or fault.schedule)");
+    }
+    return plan;
+}
+
+std::vector<OutageWindow>
+FaultPlan::takeOutages(NodeId from, NodeId to)
+{
+    std::vector<OutageWindow> taken;
+    for (OutageWindow& w : outages) {
+        if (w.from == from && w.to == to) {
+            w.wired = true;
+            taken.push_back(w);
+        }
+    }
+    return taken;
+}
+
+void
+FaultPlan::checkAllOutagesWired() const
+{
+    for (const OutageWindow& w : outages) {
+        if (!w.wired)
+            fatal("fault.schedule names link ", w.from, "->", w.to,
+                  " but the topology has no such adjacent link");
+    }
+}
+
+}  // namespace frfc

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Fault-injection framework: the single place the `fault.*` config
+ * namespace is resolved, plus the per-router injector that decides
+ * which arriving items a faulty link corrupts.
+ *
+ * Fault model (DESIGN.md section 13):
+ *  - Faults strike inter-router links only: injection, ejection,
+ *    ack/nack, and completion-feedback wires are assumed short and
+ *    protected. Random faults are Bernoulli draws per arriving item;
+ *    scheduled outages (`fault.schedule`) are deterministic windows
+ *    during which a directed link delivers nothing.
+ *  - FR data flits in a faulty window are dropped at the receiving
+ *    input (the paper's "corrupted in flight, discarded on arrival").
+ *  - FR control worms are killed at worm granularity: the drop draw
+ *    happens once, when the head arrives; the whole worm dies so a
+ *    control VC never sticks half-active. The receiving router reads
+ *    the dead worm's reservation entries to reconcile bookkeeping
+ *    (credits for the upstream table, doomed-arrival marks for the
+ *    data) — an oracle shortcut standing in for the reservation-table
+ *    timeout a real implementation would run.
+ *  - FR advance credits are corrupted, not lost: the receiver applies
+ *    a conservative timestamp instead, so buffers are never leaked by
+ *    a credit fault, merely returned late.
+ *  - VC flits are poisoned, not dropped: the flit flows through the
+ *    wormhole machinery normally (credits, VC state, and conservation
+ *    untouched) and is discarded at the ejection sink.
+ *
+ * Determinism: every injector owns a private Rng stream seeded from
+ * the run seed with salt 0x3000 + node (routers use 0x1000 + node,
+ * sources 0x2000 + node), and draws exactly once per arriving item on
+ * a faulty link, in the port-ascending drain order the routers already
+ * guarantee. Stepped, event, and parallel kernels therefore consume
+ * identical draw sequences at every shard count, and a run with all
+ * fault rates zero and no schedule performs no draws at all — it is
+ * bit-identical to a run without the fault machinery.
+ */
+
+#ifndef FRFC_SIM_FAULT_HPP
+#define FRFC_SIM_FAULT_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace frfc {
+
+class Config;
+
+/** One scheduled outage of the directed link from -> to. */
+struct OutageWindow
+{
+    NodeId from = kInvalidNode;
+    NodeId to = kInvalidNode;
+    Cycle start = 0;
+    Cycle end = 0;       ///< exclusive
+    bool wired = false;  ///< consumed by network wiring (adjacency check)
+};
+
+/**
+ * Resolved `fault.*` configuration. Built once per network by
+ * fromConfig(), which owns the full key vocabulary and dies with a
+ * clear message on anything it does not understand — a misspelled
+ * fault key must never be silently ignored.
+ */
+struct FaultPlan
+{
+    /** Per-flit drop probability on inter-router data links. */
+    double dataDropRate = 0.0;
+    /** Per-worm drop probability on inter-router control links (FR). */
+    double ctrlDropRate = 0.0;
+    /** Per-credit corruption probability on FR advance-credit wires. */
+    double creditDropRate = 0.0;
+    /** Deterministic link outages parsed from fault.schedule. */
+    std::vector<OutageWindow> outages;
+
+    /** End-to-end recovery: retransmit buffers, acks, sink dedup. */
+    bool recovery = false;
+    /** Cycles from last data flit sent to the first retransmission. */
+    Cycle ackTimeout = 512;
+    /** Timeout doubles per attempt up to timeout << backoffCap. */
+    int backoffCap = 4;
+    /** Latency of the destination -> source ack wires. */
+    Cycle ackDelay = 1;
+    /** Attempts after which the validator flags a stuck packet. */
+    int maxAttempts = 16;
+
+    /** Any random-rate or scheduled link fault enabled. */
+    bool
+    anyLinkFaults() const
+    {
+        return dataDropRate > 0.0 || ctrlDropRate > 0.0
+               || creditDropRate > 0.0 || !outages.empty();
+    }
+
+    /** Control-plane faults possible (FR worm kills). */
+    bool
+    ctrlFaultsPossible() const
+    {
+        return ctrlDropRate > 0.0 || !outages.empty();
+    }
+
+    /**
+     * Resolve the fault.* keys of @p cfg for a network of @p scheme
+     * ("fr" or "vc"). fatal()s on unknown fault.* keys, malformed
+     * values, rates outside [0,1], and fault kinds the scheme cannot
+     * honor (VC has no reservation control flits or advance credits,
+     * so nonzero fault.ctrl_drop_rate / fault.credit_drop_rate die
+     * instead of being ignored).
+     */
+    static FaultPlan fromConfig(const Config& cfg,
+                                const std::string& scheme);
+
+    /**
+     * Outage windows for the directed link @p from -> @p to, marking
+     * them consumed. Networks call this while wiring each link, then
+     * checkAllOutagesWired() once wiring is done.
+     */
+    std::vector<OutageWindow> takeOutages(NodeId from, NodeId to);
+
+    /** fatal() naming any schedule entry no wired link consumed —
+     *  catching non-adjacent node pairs and out-of-range ids. */
+    void checkAllOutagesWired() const;
+};
+
+/**
+ * Per-router fault decisions. Owns the router's fault Rng stream and
+ * the per-input-port outage windows; draws only when the matching
+ * rate is nonzero, once per arriving item, so streams stay aligned
+ * across kernels. Stateless outside its Rng: probing an outage window
+ * mutates nothing, keeping paranoid shadow ticks safe.
+ */
+class FaultInjector
+{
+  public:
+    FaultInjector(Rng rng, const FaultPlan& plan)
+        : rng_(rng), data_rate_(plan.dataDropRate),
+          ctrl_rate_(plan.ctrlDropRate), credit_rate_(plan.creditDropRate)
+    {
+    }
+
+    /** Register an outage window on input port @p port. */
+    void
+    addOutage(PortId port, Cycle start, Cycle end)
+    {
+        outages_.push_back(PortWindow{port, start, end});
+    }
+
+    /** Should the data flit arriving now on @p port be lost? */
+    bool
+    faultData(Cycle now, PortId port)
+    {
+        if (inOutage(now, port))
+            return true;
+        return data_rate_ > 0.0 && rng_.nextBool(data_rate_);
+    }
+
+    /** Should the control worm whose head arrives now on @p port be
+     *  killed? (One decision per worm; bodies follow the head.) */
+    bool
+    faultCtrlHead(Cycle now, PortId port)
+    {
+        if (inOutage(now, port))
+            return true;
+        return ctrl_rate_ > 0.0 && rng_.nextBool(ctrl_rate_);
+    }
+
+    /** Should the advance credit arriving now on @p port be corrupted?
+     *  Credits ride dedicated wires that outages do not sever. */
+    bool
+    faultCredit(Cycle /* now */, PortId /* port */)
+    {
+        return credit_rate_ > 0.0 && rng_.nextBool(credit_rate_);
+    }
+
+  private:
+    struct PortWindow
+    {
+        PortId port;
+        Cycle start;
+        Cycle end;
+    };
+
+    bool
+    inOutage(Cycle now, PortId port) const
+    {
+        for (const PortWindow& w : outages_) {
+            if (w.port == port && now >= w.start && now < w.end)
+                return true;
+        }
+        return false;
+    }
+
+    Rng rng_;
+    double data_rate_;
+    double ctrl_rate_;
+    double credit_rate_;
+    std::vector<PortWindow> outages_;
+};
+
+/** Salt for per-node fault-injector Rng streams (routers use
+ *  0x1000 + node, sources 0x2000 + node). */
+inline constexpr std::uint64_t kFaultRngSalt = 0x3000;
+
+}  // namespace frfc
+
+#endif  // FRFC_SIM_FAULT_HPP

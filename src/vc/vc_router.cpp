@@ -4,6 +4,7 @@
 
 #include "common/log.hpp"
 #include "routing/routing.hpp"
+#include "sim/fault.hpp"
 #include "topology/topology.hpp"
 
 namespace frfc {
@@ -29,6 +30,7 @@ VcRouter::VcRouter(std::string name, NodeId node,
         metrics->attachCounter(prefix + ".vc_alloc_failures",
                                vc_alloc_failures_);
         metrics->attachCounter(prefix + ".credit_stalls", credit_stalls_);
+        metrics->attachCounter(prefix + ".data.poisoned", data_poisoned_);
         for (PortId port = 0; port < kNumPorts; ++port) {
             const auto p = static_cast<std::size_t>(port);
             metrics->attachCounter(
@@ -304,6 +306,14 @@ VcRouter::acceptArrivals(Cycle now)
         for (Flit& flit : flit_scratch_) {
             FRFC_ASSERT(flit.vc >= 0 && flit.vc < params_.numVcs,
                         "arriving flit with bad vc: ", flit.toString());
+            // Link fault: poison rather than delete (see
+            // setFaultInjector) — the worm stays intact and every
+            // buffer/credit transaction proceeds normally.
+            if (fault_ != nullptr && port != kLocal && !flit.poisoned
+                && fault_->faultData(now, port)) {
+                flit.poisoned = true;
+                data_poisoned_.inc();
+            }
             InputVc& ivc = inVc(port, flit.vc);
             ivc.queue.push_back(flit);
             ++buffered_[static_cast<std::size_t>(port)];

@@ -38,6 +38,7 @@
 
 namespace frfc {
 
+class FaultInjector;
 class RoutingFunction;
 
 /**
@@ -89,6 +90,18 @@ class VcRouter : public Clocked
     void connectCreditIn(PortId port, Channel<Credit>* ch);
     void connectCreditOut(PortId port, Channel<Credit>* ch);
     /** @} */
+
+    /**
+     * Arm link-fault injection on this router's non-local inputs
+     * (borrowed; its RNG stream is salted per node, see FaultInjector).
+     * A faulted arrival is poisoned, not deleted: it keeps flowing so
+     * every buffer and credit stays exactly accounted — wormhole worms
+     * must not tear — and the ejection sink discards it undelivered.
+     */
+    void setFaultInjector(FaultInjector* fault) { fault_ = fault; }
+
+    /** Arrivals poisoned at this router's inputs. */
+    std::int64_t dataPoisoned() const { return data_poisoned_.value(); }
 
     void tick(Cycle now) override;
 
@@ -189,6 +202,8 @@ class VcRouter : public Clocked
             h, static_cast<std::uint64_t>(vc_alloc_failures_.value()));
         h = fingerprintMix(
             h, static_cast<std::uint64_t>(credit_stalls_.value()));
+        h = fingerprintMix(
+            h, static_cast<std::uint64_t>(data_poisoned_.value()));
         for (PortId port = 0; port < kNumPorts; ++port) {
             const auto p = static_cast<std::size_t>(port);
             h = fingerprintMix(
@@ -251,6 +266,7 @@ class VcRouter : public Clocked
     const RoutingFunction& routing_;
     VcRouterParams params_;
     Rng rng_;
+    FaultInjector* fault_ = nullptr;
 
     /** Inputs as dense wired lists (port-ascending — drain order is
      *  semantic); outputs stay port-indexed for O(1) routed pushes. */
@@ -289,6 +305,7 @@ class VcRouter : public Clocked
      *  snapshot time. See stats/metrics.hpp. */
     Counter vc_alloc_failures_;
     Counter credit_stalls_;
+    Counter data_poisoned_;
     std::array<Counter, kNumPorts> flits_out_{};  ///< per output port
     std::array<TimeAverage, kNumPorts> in_occ_{};
 };

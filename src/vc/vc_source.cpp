@@ -1,5 +1,7 @@
 #include "vc/vc_source.hpp"
 
+#include <algorithm>
+
 #include "check/validator.hpp"
 #include "common/log.hpp"
 #include "proto/packet_registry.hpp"
@@ -54,6 +56,7 @@ VcSource::tick(Cycle now)
             }
         }
     }
+    drainRecovery(now);
     processCompletions(now);
     generate(now);
     inject(now);
@@ -69,17 +72,32 @@ VcSource::tick(Cycle now)
 Cycle
 VcSource::nextWake(Cycle now) const
 {
-    if (!queue_.empty())
-        return now + 1;
-    if (closed_loop_) {
+    Cycle wake = kInvalidCycle;
+    if (!queue_.empty()) {
+        wake = now + 1;
+    } else if (closed_loop_) {
         // Tick every cycle while generating: the generator must see
         // each cycle once, in order, for its draw stream (and any
         // feedback-driven state) to be kernel-independent.
-        return generating_ ? now + 1 : kInvalidCycle;
+        wake = generating_ ? now + 1 : kInvalidCycle;
+    } else if (generating_) {
+        wake = birth_pending_ ? birth_cycle_ : next_gen_cycle_;
     }
-    if (!generating_)
-        return kInvalidCycle;
-    return birth_pending_ ? birth_cycle_ : next_gen_cycle_;
+    if (recovery_ && wake != now + 1) {
+        // Lazily bound ack channels and armed retransmit deadlines are
+        // wake sources of their own (see FrSource::nextWake).
+        const auto fold = [&wake, now](Cycle at) {
+            if (at == kInvalidCycle)
+                return;
+            at = std::max(at, now + 1);
+            if (wake == kInvalidCycle || at < wake)
+                wake = at;
+        };
+        fold(rtx_.nextDeadline());
+        for (const Channel<PacketCompletion>* ch : ack_in_)
+            fold(ch->nextArrivalAfter(now));
+    }
+    return wake;
 }
 
 void
@@ -105,7 +123,38 @@ VcSource::admitPacket(NodeId dest, int length, MessageClass cls,
 {
     const PacketId id = registry_->create(node_, dest, length, now, cls);
     queue_.push_back(PendingPacket{id, dest, length, now, cls});
+    if (recovery_)
+        rtx_.add(id, dest, length, now, cls);
     packets_generated_.inc();
+}
+
+void
+VcSource::drainRecovery(Cycle now)
+{
+    if (!recovery_)
+        return;
+    for (Channel<PacketCompletion>* ch : ack_in_) {
+        ch->drainInto(now, ack_scratch_);
+        for (const PacketCompletion& done : ack_scratch_)
+            rtx_.ack(done.packet);
+    }
+    // Expired deadlines requeue under the original packet id and
+    // creation cycle — the registry record stays open, so latency
+    // spans every attempt.
+    expired_scratch_.clear();
+    rtx_.takeExpired(now, expired_scratch_);
+    for (const RetransmitRecord& rec : expired_scratch_) {
+        queue_.push_back(PendingPacket{rec.id, rec.dest, rec.length,
+                                       rec.created, rec.cls});
+        if (validator_ != nullptr
+            && rec.attempts > rtx_.maxAttemptsAllowed()) {
+            validator_->fail(
+                "recovery.stuck", now, name(), kInvalidPort,
+                "packet " + std::to_string(rec.id) + " on attempt "
+                    + std::to_string(rec.attempts) + " (max "
+                    + std::to_string(rtx_.maxAttemptsAllowed()) + ")");
+        }
+    }
 }
 
 void
@@ -151,13 +200,27 @@ VcSource::generate(Cycle now)
 void
 VcSource::inject(Cycle now)
 {
+    // A queued packet acked while waiting (an earlier attempt's flits
+    // completed delivery) has nothing left to send. Never mid-packet:
+    // a started worm must finish or downstream VCs wedge.
+    while (!sending_ && recovery_ && !queue_.empty()
+           && rtx_.ackedOrUntracked(queue_.front().id)) {
+        rtx_.dropQueued(queue_.front().id);
+        queue_.pop_front();
+    }
     if (queue_.empty())
         return;
 
     if (!sending_) {
         // Assign the head packet to the injection VC with the most
         // credits (ties broken randomly) so packets do not serialize
-        // behind one busy VC.
+        // behind one busy VC. Retransmissions pick the lowest such VC
+        // with no draw: a timeout requeue fires while the source is
+        // otherwise idle and the generator pre-scan may have run
+        // ahead, so a draw here would split the shared rng_ stream at
+        // kernel-dependent positions.
+        const bool retransmission =
+            recovery_ && rtx_.attemptsOf(queue_.front().id) > 0;
         int best = -1;
         std::vector<VcId> best_vcs;
         for (VcId vc = 0; vc < num_vcs_; ++vc) {
@@ -173,7 +236,9 @@ VcSource::inject(Cycle now)
         }
         if (best <= 0)
             return;  // no room anywhere this cycle
-        current_vc_ = best_vcs[rng_.nextBounded(best_vcs.size())];
+        current_vc_ = retransmission
+            ? best_vcs.front()
+            : best_vcs[rng_.nextBounded(best_vcs.size())];
         sending_ = true;
         next_seq_ = 0;
     }
@@ -209,6 +274,10 @@ VcSource::inject(Cycle now)
 
     ++next_seq_;
     if (next_seq_ == pkt.length) {
+        // Flits stream strictly in order, so the tail leaving is the
+        // attempt's last send: start the ack-timeout clock here.
+        if (recovery_)
+            rtx_.armDeadline(pkt.id, now);
         queue_.pop_front();
         sending_ = false;
         current_vc_ = kInvalidVc;

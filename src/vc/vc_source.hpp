@@ -20,6 +20,7 @@
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "proto/flit.hpp"
+#include "proto/recovery.hpp"
 #include "traffic/generator.hpp"
 #include "sim/channel.hpp"
 #include "sim/clocked.hpp"
@@ -65,6 +66,27 @@ class VcSource : public Clocked
 
     /** Attach the run's validator (reply-causality accounting). */
     void setValidator(Validator* validator) { validator_ = validator; }
+
+    /**
+     * End-to-end recovery (fault.recovery=1): see FrSource — identical
+     * retransmission buffer, ack deadlines armed when the tail flit
+     * injects (VC streams flits in order, so the tail really is last).
+     */
+    void
+    enableRecovery(Cycle ack_timeout, int backoff_cap, int max_attempts)
+    {
+        recovery_ = true;
+        rtx_.configure(ack_timeout, backoff_cap, max_attempts);
+    }
+
+    /** One per destination, ascending: acks from that node's sink. */
+    void connectAckIn(Channel<PacketCompletion>* ch)
+    {
+        ack_in_.push_back(ch);
+    }
+
+    /** Retransmission state (recovery sweeps and tests). */
+    const RetransmitBuffer& retransmits() const { return rtx_; }
 
     void tick(Cycle now) override;
 
@@ -124,6 +146,8 @@ class VcSource : public Clocked
                            static_cast<std::uint64_t>(pool_credits_));
         for (const int credits : credits_)
             h = fingerprintMix(h, static_cast<std::uint64_t>(credits));
+        if (recovery_)
+            h = fingerprintMix(h, rtx_.fingerprint());
         return h;
     }
 
@@ -142,6 +166,7 @@ class VcSource : public Clocked
     void admitPacket(NodeId dest, int length, MessageClass cls,
                      Cycle now);
     void processCompletions(Cycle now);
+    void drainRecovery(Cycle now);
     void inject(Cycle now);
 
     /** Cycles of generator lookahead scanned per idle wake. */
@@ -163,6 +188,14 @@ class VcSource : public Clocked
     Channel<Credit>* credit_in_ = nullptr;
     Channel<PacketCompletion>* completion_in_ = nullptr;
     Validator* validator_ = nullptr;
+
+    /** @{ End-to-end recovery (enableRecovery); see FrSource. */
+    bool recovery_ = false;
+    RetransmitBuffer rtx_;
+    std::vector<Channel<PacketCompletion>*> ack_in_;
+    std::vector<PacketCompletion> ack_scratch_;
+    std::vector<RetransmitRecord> expired_scratch_;
+    /** @} */
 
     RingQueue<PendingPacket> queue_;
     std::vector<Credit> credit_scratch_;

@@ -97,6 +97,41 @@ TEST(FaultInjection, NetworkSurvivesSustainedLoss)
                                        * 0.5);
 }
 
+TEST(FaultInjection, CreditLedgerRecoversFromRepeatedCreditCorruption)
+{
+    // Satellite (PR 9): advance credits mangled on the wire are
+    // CRC-detected and applied as horizon-end timestamps, so the
+    // credit ledger conserves — repeatedly, on both serial kernels.
+    for (const char* kernel : {"stepped", "event"}) {
+        Config cfg = baseConfig();
+        applyFr6(cfg);
+        cfg.set("size_x", 4);
+        cfg.set("size_y", 4);
+        cfg.set("workload.offered", 0.3);
+        cfg.set("sim.kernel", kernel);
+        cfg.set("sim.validate", 2);
+        // A far-future outage engages fault tolerance (and the
+        // corruption semantics of the drop hook) without any RNG
+        // draws perturbing the run.
+        cfg.set("fault.schedule", "0->1@900000:900001");
+        FrNetwork net(cfg);
+        net.validator().setFailFast(false);
+        const NodeId middle = net.topology().nodeAt(2, 2);
+        for (int round = 0; round < 40; ++round) {
+            for (PortId p = kEast; p <= kSouth; ++p)
+                net.router(middle).testDropNextAdvanceCredit(p);
+            net.kernel().run(100);
+        }
+        net.kernel().run(4000);
+        net.validateState(net.kernel().now());
+        EXPECT_TRUE(net.validator().clean()) << kernel;
+        // Counted where the mangled credit is applied: middle's
+        // upstream neighbours.
+        EXPECT_GT(net.totalCreditsCorrupted(), 0) << kernel;
+        EXPECT_GT(net.registry().packetsDelivered(), 0) << kernel;
+    }
+}
+
 TEST(FaultInjection, LossFreeRunsAreUnaffectedByTheMachinery)
 {
     Config clean = baseConfig();

@@ -1,0 +1,298 @@
+/**
+ * @file
+ * End-to-end loss recovery (PR 9): the retransmission buffer state
+ * machine, 100% delivery under every fault mix with `fault.recovery=1`
+ * (zero validator findings at sim.validate=2), speculative-FR fallback,
+ * and bit-identity of faulted runs across stepped|event|parallel
+ * kernels at shard counts {1, 2, 5}.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "harness/presets.hpp"
+#include "network/fr_network.hpp"
+#include "network/runner.hpp"
+#include "network/vc_network.hpp"
+#include "proto/recovery.hpp"
+#include "topology/topology.hpp"
+
+namespace frfc {
+namespace {
+
+// ---------------------------------------------------------------- //
+// RetransmitBuffer state machine                                   //
+// ---------------------------------------------------------------- //
+
+TEST(RetransmitBuffer, DeadlineDoublesPerAttemptUpToCap)
+{
+    RetransmitBuffer rtx;
+    rtx.configure(100, 2, 16);
+    rtx.add(7, 1, 5, 0, MessageClass::kRequest);
+    std::vector<RetransmitRecord> out;
+
+    rtx.armDeadline(7, 10);  // attempt 0: timeout << 0
+    EXPECT_EQ(rtx.nextDeadline(), 110);
+    rtx.takeExpired(110, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].attempts, 1);
+
+    rtx.armDeadline(7, 200);  // attempt 1: timeout << 1
+    EXPECT_EQ(rtx.nextDeadline(), 400);
+    out.clear();
+    rtx.takeExpired(400, out);
+    ASSERT_EQ(out.size(), 1u);
+
+    rtx.armDeadline(7, 500);  // attempt 2: timeout << 2
+    EXPECT_EQ(rtx.nextDeadline(), 900);
+    out.clear();
+    rtx.takeExpired(900, out);
+    ASSERT_EQ(out.size(), 1u);
+
+    rtx.armDeadline(7, 1000);  // attempt 3: capped at << 2
+    EXPECT_EQ(rtx.nextDeadline(), 1400);
+    EXPECT_EQ(rtx.retransmitsTotal(), 3);
+}
+
+TEST(RetransmitBuffer, AckWhileStreamingSurvivesUntilArm)
+{
+    RetransmitBuffer rtx;
+    rtx.configure(100, 4, 16);
+    rtx.add(3, 1, 5, 0, MessageClass::kRequest);
+    // Ack lands while the packet is still streaming (sending): the
+    // record must survive so the later armDeadline finds it.
+    rtx.ack(3);
+    EXPECT_EQ(rtx.unackedCount(), 0);
+    rtx.armDeadline(3, 50);  // no deadline: already acked
+    EXPECT_EQ(rtx.nextDeadline(), kInvalidCycle);
+    EXPECT_TRUE(rtx.ackedOrUntracked(3));
+}
+
+TEST(RetransmitBuffer, AckedQueuedPacketIsSkippedAndDropped)
+{
+    RetransmitBuffer rtx;
+    rtx.configure(100, 4, 16);
+    rtx.add(11, 2, 5, 0, MessageClass::kRequest);
+    rtx.add(12, 3, 5, 1, MessageClass::kRequest);
+    rtx.ack(11);  // acked while still waiting in the injection queue
+    EXPECT_TRUE(rtx.ackedOrUntracked(11));
+    EXPECT_FALSE(rtx.ackedOrUntracked(12));
+    rtx.dropQueued(11);
+    EXPECT_EQ(rtx.unackedCount(), 1);
+}
+
+TEST(RetransmitBuffer, NackExpiresOnlyIdlePackets)
+{
+    RetransmitBuffer rtx;
+    rtx.configure(100, 4, 16);
+    rtx.add(5, 1, 5, 0, MessageClass::kRequest);
+    // Still marked sending (queued): a nack must not double-expire it.
+    rtx.nack(5, 20);
+    EXPECT_EQ(rtx.nextDeadline(), kInvalidCycle);
+    rtx.armDeadline(5, 30);
+    rtx.nack(5, 40);  // idle with an armed deadline: expire now
+    EXPECT_EQ(rtx.nextDeadline(), 40);
+    std::vector<RetransmitRecord> out;
+    rtx.takeExpired(40, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].attempts, 1);
+}
+
+// ---------------------------------------------------------------- //
+// Full-network recovery: every fault mix delivers 100%             //
+// ---------------------------------------------------------------- //
+
+struct FaultMix
+{
+    const char* name;
+    const char* scheme;
+    std::vector<std::pair<std::string, std::string>> keys;
+};
+
+std::vector<FaultMix>
+faultMixes()
+{
+    return {
+        {"fr_data", "fr", {{"fault.data_drop_rate", "0.03"}}},
+        {"fr_all",
+         "fr",
+         {{"fault.data_drop_rate", "0.02"},
+          {"fault.ctrl_drop_rate", "0.01"},
+          {"fault.credit_drop_rate", "0.02"}}},
+        {"fr_outage",
+         "fr",
+         {{"fault.data_drop_rate", "0.01"},
+          {"fault.schedule", "5->6@800:1200;6->5@800:1200"}}},
+        {"fr_spec",
+         "fr",
+         {{"fault.data_drop_rate", "0.03"}, {"fr.speculative", "1"}}},
+        {"vc_data", "vc", {{"fault.data_drop_rate", "0.03"}}},
+    };
+}
+
+Config
+mixConfig(const FaultMix& mix, long seed)
+{
+    Config cfg = baseConfig();
+    if (std::string(mix.scheme) == "fr")
+        applyFr6(cfg);
+    else
+        applyVc8(cfg);
+    cfg.set("size_x", 4);
+    cfg.set("size_y", 4);
+    cfg.set("workload.offered", 0.3);
+    cfg.set("seed", seed);
+    cfg.set("fault.recovery", 1);
+    cfg.set("fault.ack_timeout", 400);
+    for (const auto& kv : mix.keys)
+        cfg.set(kv.first, kv.second);
+    return cfg;
+}
+
+TEST(FaultRecovery, EveryMixDeliversEverythingValidated)
+{
+    for (const FaultMix& mix : faultMixes()) {
+        Config cfg = mixConfig(mix, 1);
+        cfg.set("sim.validate", 2);
+        auto net = makeNetwork(cfg);
+        net->kernel().run(4000);
+        net->setGenerating(false);
+        const bool drained = net->kernel().runUntil(
+            [&] { return net->registry().packetsInFlight() == 0; },
+            400000);
+        EXPECT_TRUE(drained) << mix.name;
+        EXPECT_EQ(net->registry().packetsInFlight(), 0) << mix.name;
+        EXPECT_EQ(net->registry().packetsDelivered(),
+                  net->registry().packetsCreated())
+            << mix.name;
+        net->validateState(net->kernel().now());
+        EXPECT_TRUE(net->validator().clean()) << mix.name;
+        EXPECT_GT(net->registry().packetsDelivered(), 0) << mix.name;
+    }
+}
+
+TEST(FaultRecovery, FaultsActuallyFireAndRetransmissionsHappen)
+{
+    // The delivery guarantee above is only meaningful if the mixes
+    // exercise real losses; pin the loss and retransmit counters.
+    Config cfg = mixConfig(faultMixes()[1], 1);  // fr_all
+    FrNetwork net(cfg);
+    net.kernel().run(4000);
+    net.setGenerating(false);
+    ASSERT_TRUE(net.kernel().runUntil(
+        [&] { return net.registry().packetsInFlight() == 0; }, 400000));
+    EXPECT_GT(net.totalDropped(), 0);
+    EXPECT_GT(net.totalCtrlDropped(), 0);
+    EXPECT_GT(net.totalCreditsCorrupted(), 0);
+    EXPECT_GT(net.totalRetransmits(), 0);
+    EXPECT_GT(net.totalDupDiscarded(), 0);
+}
+
+TEST(FaultRecovery, VcPoisonsAndRedelivers)
+{
+    Config cfg = mixConfig(faultMixes()[4], 1);  // vc_data
+    VcNetwork net(cfg);
+    net.kernel().run(4000);
+    net.setGenerating(false);
+    ASSERT_TRUE(net.kernel().runUntil(
+        [&] { return net.registry().packetsInFlight() == 0; }, 400000));
+    EXPECT_GT(net.totalPoisoned(), 0);
+    EXPECT_EQ(net.totalPoisoned(), net.totalPoisonedDiscarded());
+    EXPECT_GT(net.totalRetransmits(), 0);
+}
+
+TEST(FaultRecovery, SpeculativeModeLaunchesAndFallsBack)
+{
+    Config cfg = mixConfig(faultMixes()[3], 1);  // fr_spec
+    // Load high enough that reserved slots run out and sources gamble.
+    cfg.set("workload.offered", 0.55);
+    FrNetwork net(cfg);
+    net.kernel().run(6000);
+    net.setGenerating(false);
+    ASSERT_TRUE(net.kernel().runUntil(
+        [&] { return net.registry().packetsInFlight() == 0; }, 400000));
+    EXPECT_EQ(net.registry().packetsDelivered(),
+              net.registry().packetsCreated());
+}
+
+// ---------------------------------------------------------------- //
+// Bit-identity across kernels and shard counts under faults        //
+// ---------------------------------------------------------------- //
+
+RunOptions
+fastOpts()
+{
+    RunOptions opt;
+    opt.samplePackets = 200;
+    opt.minWarmup = 300;
+    opt.maxWarmup = 1200;
+    opt.maxCycles = 120000;
+    return opt;
+}
+
+RunResult
+runKernel(Config cfg, const char* kernel, int shards)
+{
+    cfg.set("sim.kernel", kernel);
+    if (std::string(kernel) == "parallel")
+        cfg.set("sim.shards", shards);
+    cfg.set("sim.validate", 2);
+    auto net = makeNetwork(cfg);
+    const RunResult r = runMeasurement(*net, fastOpts());
+    EXPECT_TRUE(net->validator().clean())
+        << kernel << " shards " << shards;
+    return r;
+}
+
+TEST(FaultRecoveryEquivalence, BitIdenticalAcrossKernelsAndShards)
+{
+    for (const FaultMix& mix : faultMixes()) {
+        const Config cfg = mixConfig(mix, 1);
+        const RunResult stepped = runKernel(cfg, "stepped", 0);
+        ASSERT_TRUE(stepped.complete) << mix.name;
+        const RunResult event = runKernel(cfg, "event", 0);
+        ASSERT_TRUE(stepped.bitIdentical(event))
+            << mix.name << ": serial kernels diverge";
+        for (const int shards : {1, 2, 5}) {
+            const RunResult par = runKernel(cfg, "parallel", shards);
+            EXPECT_TRUE(stepped.bitIdentical(par))
+                << mix.name << " shards " << shards;
+        }
+    }
+}
+
+// ---------------------------------------------------------------- //
+// Config gating                                                    //
+// ---------------------------------------------------------------- //
+
+TEST(FaultRecoveryConfig, SpeculativeRequiresRecovery)
+{
+    Config cfg = baseConfig();
+    applyFr6(cfg);
+    cfg.set("fr.speculative", 1);
+    EXPECT_EXIT(FrNetwork net(cfg), ::testing::ExitedWithCode(1),
+                "requires fault.recovery=1");
+}
+
+TEST(FaultRecoveryConfig, VcRejectsControlFaultKeys)
+{
+    Config cfg = baseConfig();
+    applyVc8(cfg);
+    cfg.set("fault.ctrl_drop_rate", 0.01);
+    EXPECT_EXIT(VcNetwork net(cfg), ::testing::ExitedWithCode(1),
+                "fault.ctrl_drop_rate");
+}
+
+TEST(FaultRecoveryConfig, UnknownFaultKeyDies)
+{
+    Config cfg = baseConfig();
+    applyFr6(cfg);
+    cfg.set("fault.data_droprate", 0.01);  // typo
+    EXPECT_EXIT(FrNetwork net(cfg), ::testing::ExitedWithCode(1),
+                "known keys");
+}
+
+}  // namespace
+}  // namespace frfc

@@ -42,6 +42,16 @@ comment so reviewers can audit it):
                 node-based container reintroduces per-element
                 allocation and pointer chasing. Cold paths may suppress
                 with an allow() carrying a justification.
+  fault-rng     Fault injection draws its randomness only inside the
+                fault framework (src/sim/fault.*). Elsewhere in the
+                data plane (src/frfc/, src/vc/, src/network/,
+                src/proto/) the probability draws nextBool()/
+                nextDouble() are forbidden — a stray per-component
+                draw desynchronizes the documented RNG stream layout
+                and breaks kernel/shard bit-identity — and no src/
+                file outside the framework may spell a "fault.*"
+                config-key literal: FaultPlan::fromConfig is the
+                single resolution point.
   shard-safety  No mutable static or thread_local variables in src/:
                 components run concurrently on parallel-kernel shard
                 threads, so hidden shared state is a data race and a
@@ -173,6 +183,32 @@ def check_assert(rel, lines, report):
         if ASSERT_RE.search(code):
             report(num, "bare assert(); use FRFC_ASSERT from "
                         "common/log.hpp")
+
+
+FAULT_FRAMEWORK = {"src/sim/fault.hpp", "src/sim/fault.cpp"}
+FAULT_DRAW_DIRS = ("src/frfc/", "src/vc/", "src/network/", "src/proto/")
+FAULT_DRAW_RE = re.compile(r"\.\s*next(?:Bool|Double)\s*\(")
+
+
+@rule("fault-rng")
+def check_fault_rng(rel, lines, report):
+    if rel in FAULT_FRAMEWORK:
+        return
+    for num, line in enumerate(lines, 1):
+        stripped = strip_comment(line)
+        if (rel.startswith(FAULT_DRAW_DIRS)
+                and FAULT_DRAW_RE.search(STRING_RE.sub('""', stripped))):
+            report(num, "probability draw in the data plane; fault "
+                        "decisions must flow through FaultInjector "
+                        "(sim/fault.hpp) so the RNG stream layout stays "
+                        "kernel- and shard-invariant")
+        if rel.startswith("src/"):
+            for lit in STRING_RE.findall(stripped):
+                if lit.startswith('"fault.'):
+                    report(num, "raw fault.* config key " + lit
+                                + " outside the fault framework; "
+                                "FaultPlan::fromConfig (sim/fault.cpp) "
+                                "is the single resolution point")
 
 
 SHARD_THREAD_LOCAL_RE = re.compile(r"\bthread_local\b")
