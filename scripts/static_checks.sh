@@ -2,11 +2,16 @@
 # Static-analysis and sanitizer gate for the FRFC simulator.
 #
 # Runs, in order:
-#   1. frfc-lint       repo-specific rules (tools/frfc_lint.py) — always
-#   2. clang-format    diff check against .clang-format — if installed
-#   3. clang-tidy      FRFC_TIDY=ON build of src/ — if installed
-#   4. asan+ubsan      full ctest under -fsanitize=address,undefined
-#   5. tsan            parallel-executor tests under -fsanitize=thread
+#   1. frfc-lint       textual rules (tools/frfc_lint.py) — always
+#   2. frfc-analyzer   AST-grade rules over the compile database
+#                      (tools/frfc_analyzer; DESIGN.md §14) — always;
+#                      fails loudly when compile_commands.json is
+#                      missing or stale
+#   3. fault sweep     validator-paranoid loss-recovery sweep
+#   4. clang-format    diff check against .clang-format — if installed
+#   5. clang-tidy      FRFC_TIDY=ON build of src/ — if installed
+#   6. asan+ubsan      full ctest under -fsanitize=address,undefined
+#   7. tsan            parallel-executor tests under -fsanitize=thread
 #
 # Tools that are not installed are reported as SKIP, not failure: the
 # gate must be runnable on minimal containers, and frfc-lint carries
@@ -28,6 +33,21 @@ fail() { printf 'FAIL %s\n' "$*" >&2; failures=$((failures + 1)); }
 
 step "frfc-lint"
 python3 tools/frfc_lint.py || fail "frfc-lint"
+
+step "frfc-analyzer"
+# The analyzer needs the CMake-exported compile database for its TU
+# list and staleness gate (CMAKE_EXPORT_COMPILE_COMMANDS is always on
+# in the top-level CMakeLists).
+if [ ! -f build/compile_commands.json ]; then
+    fail "frfc-analyzer: build/compile_commands.json is missing — \
+configure the build first (cmake -B build) so the compile database \
+exists"
+else
+    PYTHONPATH=tools python3 -m frfc_analyzer \
+        --compdb build/compile_commands.json \
+        --json out=build/frfc_analyzer.sarif.json \
+        || fail "frfc-analyzer"
+fi
 
 step "fault sweep (sim.validate=2)"
 # The PR 9 fault x recovery sweep under the paranoid validator: every

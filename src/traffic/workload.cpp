@@ -17,7 +17,8 @@ namespace {
  * is an atomic touched only on the (cold) legacy path and never feeds
  * back into simulation behavior, so it is shard-safe by construction.
  */
-std::atomic<bool> legacy_warned{false};  // frfc-lint: allow(shard-safety)
+// frfc-analyzer: allow(determinism.static): cold-path atomic latch
+std::atomic<bool> legacy_warned{false};
 
 void
 warnLegacyUsed(const char* legacy, const char* canonical)

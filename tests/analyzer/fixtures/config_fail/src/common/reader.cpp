@@ -1,0 +1,13 @@
+struct Config
+{
+    template <typename T>
+    T get(const char* key, T dflt) const;
+};
+
+int readKeys(const Config& cfg)
+{
+    int a = cfg.get<int>("alpha.beta", 3);
+    int g = cfg.get<int>("gamma.leaf", 1);
+    int b = cfg.get<int>("Bad.Key", 0);
+    return a + g + b;
+}

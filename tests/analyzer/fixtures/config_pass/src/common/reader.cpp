@@ -1,0 +1,10 @@
+struct Config
+{
+    template <typename T>
+    T get(const char* key, T dflt) const;
+};
+
+int readAlpha(const Config& cfg)
+{
+    return cfg.get<int>("alpha.beta", 3);
+}

@@ -1,0 +1,35 @@
+#include <chrono>
+#include <cstdlib>
+#include <random>
+#include <unordered_map>
+
+namespace frfc {
+
+int counter = 0;
+
+thread_local int scratch = 0;
+
+int entropy()
+{
+    std::random_device rd;
+    return static_cast<int>(rd() + rand());
+}
+
+long stamp()
+{
+    return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+struct Table
+{
+    std::unordered_map<int, int> slots;
+    int sum()
+    {
+        int s = 0;
+        for (const auto& kv : slots)
+            s += kv.second;
+        return s;
+    }
+};
+
+}  // namespace frfc

@@ -1,0 +1,17 @@
+#include <vector>
+
+namespace frfc {
+
+const int kTableSize = 8;
+constexpr double kRatio = 0.5;
+
+int sumAll(const std::vector<int>& xs)
+{
+    static const int kBias = 1;
+    int s = kBias;
+    for (int x : xs)
+        s += x;
+    return s;
+}
+
+}  // namespace frfc

@@ -1,0 +1,11 @@
+struct FaultRng
+{
+    bool nextBool(double p);
+};
+
+bool maybeDrop(FaultRng& rng)
+{
+    const bool drop = rng.nextBool(0.5);
+    const char* key = "fault.data_drop_rate";
+    return drop && key != nullptr;
+}

@@ -1,0 +1,9 @@
+struct FaultInjector
+{
+    bool dataDropped(unsigned long long now);
+};
+
+bool forward(FaultInjector& faults, unsigned long long now)
+{
+    return !faults.dataDropped(now);
+}

@@ -1,0 +1,10 @@
+struct Rng
+{
+    bool nextBool(double p);
+};
+
+bool resolveDrop(Rng& rng, const char* key)
+{
+    const char* accepted = "fault.data_drop_rate";
+    return rng.nextBool(0.5) && key == accepted;
+}

@@ -1,0 +1,15 @@
+#pragma once
+#include <map>
+#include <unordered_map>
+
+struct Hot
+{
+    std::unordered_map<int, int> index;
+};
+
+using Table = std::map<int, long>;
+
+struct Hot2
+{
+    Table lookup;
+};

@@ -1,0 +1,9 @@
+#pragma once
+#include <array>
+#include <vector>
+
+struct FlatTable
+{
+    std::vector<int> ring;
+    std::array<unsigned long long, 4> busy;
+};

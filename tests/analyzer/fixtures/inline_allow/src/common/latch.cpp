@@ -1,0 +1,8 @@
+namespace frfc {
+
+// frfc-analyzer: allow(determinism.static): fixture latch
+int allowed_counter = 0;
+
+int allowed_flag = 0;  // frfc-analyzer: allow(determinism): same line
+
+}  // namespace frfc

@@ -1,0 +1,6 @@
+#include "frfc/router.hpp"
+
+int probe(const Router& r)
+{
+    return r.cfg.value;
+}

@@ -1,0 +1,7 @@
+#pragma once
+#include "common/cfg.hpp"
+
+struct Router
+{
+    Cfg cfg;
+};

@@ -1,0 +1,4 @@
+int loose()
+{
+    return 1;
+}

@@ -1,0 +1,5 @@
+#pragma once
+struct Cfg
+{
+    int value;
+};

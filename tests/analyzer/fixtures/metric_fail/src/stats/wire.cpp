@@ -1,0 +1,11 @@
+struct Reg
+{
+    void attachCounter(const char* path, long* c);
+};
+
+void wire(Reg& metrics, long* a, long* b)
+{
+    metrics.attachCounter("sink.flits", a);
+    metrics.attachCounter("sink.flits", b);
+    metrics.attachCounter("Sink.Bad", a);
+}

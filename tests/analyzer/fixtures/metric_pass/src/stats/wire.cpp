@@ -1,0 +1,9 @@
+struct Reg
+{
+    void attachCounter(const char* path, long* c);
+};
+
+void wire(Reg& metrics, long* a)
+{
+    metrics.attachCounter("sink.flits", a);
+}

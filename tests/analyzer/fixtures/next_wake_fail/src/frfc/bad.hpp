@@ -1,0 +1,18 @@
+#pragma once
+#include "sim/clocked.hpp"
+
+class Bad : public Clocked
+{
+  public:
+    void tick(Cycle now) override;
+};
+
+class Mid2 : public Clocked
+{
+};
+
+class Leaf2 : public Mid2
+{
+  public:
+    void tick(Cycle now) override;
+};

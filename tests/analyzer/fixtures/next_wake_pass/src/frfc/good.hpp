@@ -1,0 +1,21 @@
+#pragma once
+#include "sim/clocked.hpp"
+
+class Good : public Clocked
+{
+  public:
+    void tick(Cycle now) override;
+    Cycle nextWake(Cycle now) const override;
+};
+
+class Mid : public Clocked
+{
+  public:
+    Cycle nextWake(Cycle now) const override;
+};
+
+class Leaf : public Mid
+{
+  public:
+    void tick(Cycle now) override;
+};

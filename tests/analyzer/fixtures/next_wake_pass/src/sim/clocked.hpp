@@ -1,0 +1,9 @@
+#pragma once
+using Cycle = unsigned long long;
+
+class Clocked
+{
+  public:
+    virtual void tick(Cycle now) = 0;
+    virtual Cycle nextWake(Cycle now) const;
+};

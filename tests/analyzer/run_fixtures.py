@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Fixture tests for tools/frfc_analyzer.
+
+Each directory under tests/analyzer/fixtures/ is a miniature repo
+root (its own src/, optional README.md, layers.conf, suppression
+file) plus an expect.json:
+
+    {
+      "families": ["determinism"],        # rule families to run
+      "findings": {"determinism.static": 1, ...},  # exact ACTIVE
+                                          # finding counts per rule
+      "write_schemas_first": false        # run once with
+    }                                     # --write-schemas semantics
+                                          # before the checked run
+
+The case is copied to a temp directory before running, so cases that
+generate schema files (write_schemas_first) never write into the
+source tree. Counts are exact: a missing rule key means zero findings
+of that rule are tolerated, which pins both the positive and the
+false-positive behavior of every rule family.
+"""
+
+import argparse
+import json
+import shutil
+import sys
+import tempfile
+from pathlib import Path
+
+
+def run_case(case: Path, mods) -> list:
+    frontend_internal, suppress, Program, Context, run_all = mods
+    expect = json.loads((case / "expect.json").read_text(
+        encoding="utf-8"))
+    families = expect["families"]
+    expected = expect.get("findings", {})
+    errors = []
+
+    with tempfile.TemporaryDirectory() as td:
+        croot = Path(td) / case.name
+        shutil.copytree(case, croot)
+
+        def run_once(write_schemas: bool):
+            units = []
+            for p in sorted(croot.rglob("*")):
+                if p.suffix in (".cpp", ".hpp", ".h") and p.is_file():
+                    units.append(
+                        frontend_internal.parse_file(p, croot))
+            program = Program(units, str(croot))
+            ctx = Context(croot, write_schemas=write_schemas)
+            return run_all(program, ctx, families)
+
+        if expect.get("write_schemas_first"):
+            run_once(True)
+        findings = run_once(False)
+
+        sup_file = croot / "tools" / "frfc_analyzer.suppressions"
+        if sup_file.is_file():
+            sup = suppress.load(sup_file,
+                                "tools/frfc_analyzer.suppressions")
+            findings.extend(sup.problems)
+            sup.apply(findings)
+            findings.extend(sup.stale_entries())
+
+        got = {}
+        for f in findings:
+            if not f.suppressed:
+                got[f.rule] = got.get(f.rule, 0) + 1
+        if got != expected:
+            errors.append("%s: expected %s, got %s" % (
+                case.name, json.dumps(expected, sort_keys=True),
+                json.dumps(got, sort_keys=True)))
+            for f in findings:
+                errors.append("    %s %s:%d: [%s] %s" % (
+                    "(suppressed)" if f.suppressed else "    ",
+                    f.file, f.line, f.rule, f.message))
+    return errors
+
+
+def main(argv) -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--root", required=True)
+    parser.add_argument("--case", default=None,
+                        help="run a single named case")
+    args = parser.parse_args(argv)
+    repo = Path(args.root).resolve()
+    sys.path.insert(0, str(repo / "tools"))
+
+    from frfc_analyzer import frontend_internal, suppress
+    from frfc_analyzer.ir import Program
+    from frfc_analyzer.rules import Context, run_all
+    mods = (frontend_internal, suppress, Program, Context, run_all)
+
+    fixtures = repo / "tests" / "analyzer" / "fixtures"
+    cases = sorted(p for p in fixtures.iterdir() if p.is_dir())
+    if args.case:
+        cases = [c for c in cases if c.name == args.case]
+        if not cases:
+            print("no such case: %s" % args.case, file=sys.stderr)
+            return 2
+
+    failures = []
+    for case in cases:
+        failures.extend(run_case(case, mods))
+
+    if failures:
+        print("\n".join(failures), file=sys.stderr)
+        print("analyzer fixtures: %d case(s) FAILED of %d"
+              % (sum(1 for f in failures if not f.startswith(" ")),
+                 len(cases)), file=sys.stderr)
+        return 1
+    print("analyzer fixtures: %d case(s) passed" % len(cases))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

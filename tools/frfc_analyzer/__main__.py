@@ -1,0 +1,12 @@
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main(sys.argv[1:]))
+    except BrokenPipeError:
+        # stdout went away (e.g. piped into head); not a failure mode
+        # worth a traceback.
+        sys.stderr.close()
+        sys.exit(0)

@@ -1,0 +1,81 @@
+"""compile_commands.json loading and staleness checks.
+
+The analyzer is driven by the same TU list the build compiles, so it
+can never silently skip a new source file: a ``.cpp`` on disk that the
+database does not mention means the database is stale and is reported
+as a setup error (exit 2), with the regeneration command in the
+message.
+"""
+
+import json
+import shlex
+from pathlib import Path
+from typing import List, Optional
+
+
+class CompDbError(Exception):
+    pass
+
+
+class CompileCommand:
+    def __init__(self, file: Path, args: List[str]):
+        self.file = file
+        self.args = args
+
+
+def load(path: Path, root: Path) -> List[CompileCommand]:
+    if not path.is_file():
+        raise CompDbError(
+            "compile database not found: %s\n"
+            "generate it with: cmake -B %s -S %s "
+            "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON"
+            % (path, path.parent, root))
+    try:
+        entries = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise CompDbError("unreadable compile database %s: %s"
+                          % (path, exc))
+    commands: List[CompileCommand] = []
+    for entry in entries:
+        f = Path(entry.get("directory", ".")) / entry["file"] \
+            if not Path(entry["file"]).is_absolute() \
+            else Path(entry["file"])
+        if "arguments" in entry:
+            argv = list(entry["arguments"])
+        else:
+            argv = shlex.split(entry.get("command", ""))
+        # Strip the compiler, the input file, and -o/-c for reparsing.
+        args: List[str] = []
+        skip = False
+        for a in argv[1:]:
+            if skip:
+                skip = False
+                continue
+            if a in ("-o", "-c"):
+                skip = a == "-o"
+                continue
+            if a == entry["file"] or a == str(f):
+                continue
+            args.append(a)
+        commands.append(CompileCommand(file=f.resolve(), args=args))
+    return commands
+
+
+def check_coverage(commands: List[CompileCommand], root: Path,
+                   dirs: List[str]) -> Optional[str]:
+    """Return an error message when a .cpp on disk is not in the db."""
+    known = {c.file for c in commands}
+    missing = []
+    for d in dirs:
+        base = root / d
+        if not base.is_dir():
+            continue
+        for p in sorted(base.rglob("*.cpp")):
+            if p.resolve() not in known:
+                missing.append(p.relative_to(root).as_posix())
+    if missing:
+        return ("compile database is stale: %d source file(s) on disk "
+                "are not in it (%s%s); re-run cmake to regenerate"
+                % (len(missing), ", ".join(missing[:5]),
+                   ", ..." if len(missing) > 5 else ""))
+    return None

@@ -1,0 +1,173 @@
+"""libclang frontend: clang.cindex cursors -> IR.
+
+The reference frontend. Semantic facts — class definitions, base
+specifiers, member functions with override/virtual bits, variable
+declarations with storage class, includes — come from real AST
+cursors, so macro expansion, template aliases, and inheritance resolve
+exactly as the compiler sees them. Call-site argument decomposition
+(string-literal keys, ``prefix + ".leaf"`` concatenations) reuses the
+token-level decomposer from the internal frontend over the file's own
+text, which keeps the two frontends' IR byte-compatible where they
+overlap — pinned by the fixture corpus, which runs under whichever
+frontend is available.
+
+Availability is probed lazily: ``available()`` is False when the
+``clang`` Python package or a loadable libclang shared object is
+missing, and the driver falls back to the internal frontend (or exits
+77 when ``--frontend=clang`` was forced).
+"""
+
+from pathlib import Path
+from typing import List, Optional
+
+from .ir import (ClassInfo, Include, MethodInfo, TranslationUnit,
+                 TypeUse, VarDecl)
+from . import frontend_internal
+
+_HOT_TYPES = ("std::unordered_map", "std::unordered_set",
+              "std::map", "std::deque")
+
+_index = None
+_probe_done = False
+
+
+def available() -> bool:
+    """True when clang.cindex can parse code in this environment."""
+    global _index, _probe_done
+    if _probe_done:
+        return _index is not None
+    _probe_done = True
+    try:
+        from clang import cindex  # type: ignore
+    except ImportError:
+        return False
+    try:
+        _index = cindex.Index.create()
+    except Exception:  # library missing or ABI mismatch
+        _index = None
+    return _index is not None
+
+
+def _rel(path: str, root: Path) -> Optional[str]:
+    try:
+        return Path(path).resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return None
+
+
+def parse_tu(source: Path, args: List[str], root: Path,
+             seen_files: set) -> List[TranslationUnit]:
+    """Parse one compile-command entry; return IR for every repo file
+    in the TU not already covered by ``seen_files``."""
+    from clang import cindex  # type: ignore
+
+    tu = _index.parse(str(source), args=args)
+    units = {}
+
+    def unit_for(path: str) -> Optional[TranslationUnit]:
+        rel = _rel(path, root)
+        if rel is None or rel in seen_files:
+            return None
+        if rel not in units:
+            # Token-level facts (calls, strings, range-fors, consts,
+            # inline allows) come from the shared internal parser so
+            # both frontends decompose arguments identically.
+            units[rel] = frontend_internal.parse_file(root / rel, root)
+            # Cursors below override the structural facts.
+            units[rel].classes = []
+            units[rel].vars = []
+            units[rel].type_uses = [
+                t for t in units[rel].type_uses if t.via_alias]
+        return units[rel]
+
+    for inc in tu.get_includes():
+        u = unit_for(str(inc.location.file))
+        if u is not None:
+            target = str(inc.include)
+            r = _rel(target, root)
+            spelled = r
+            if spelled is not None and spelled.startswith("src/"):
+                spelled = spelled[len("src/"):]
+            u.includes = [i for i in u.includes
+                          if not (i.line == inc.location.line)]
+            u.includes.append(Include(
+                file=u.path, line=inc.location.line,
+                target=spelled or target, system=r is None))
+
+    CK = cindex.CursorKind
+
+    def walk(cursor, class_stack):
+        for child in cursor.get_children():
+            loc = child.location
+            if loc.file is None:
+                walk(child, class_stack)
+                continue
+            u = unit_for(str(loc.file))
+            if u is None:
+                continue
+            kind = child.kind
+            if kind in (CK.CLASS_DECL, CK.STRUCT_DECL,
+                        CK.CLASS_TEMPLATE) \
+                    and child.is_definition():
+                ci = ClassInfo(
+                    name=child.spelling,
+                    qualified=child.type.spelling
+                    if kind != CK.CLASS_TEMPLATE else child.spelling,
+                    file=u.path, line=loc.line)
+                for sub in child.get_children():
+                    if sub.kind == CK.CXX_BASE_SPECIFIER:
+                        base = sub.type.spelling
+                        ci.bases.append(base.split("<")[0])
+                    elif sub.kind in (CK.CXX_METHOD, CK.CONSTRUCTOR,
+                                      CK.DESTRUCTOR):
+                        over = any(
+                            a.kind == CK.CXX_OVERRIDE_ATTR
+                            for a in sub.get_children())
+                        ci.methods.append(MethodInfo(
+                            name=sub.spelling,
+                            line=sub.location.line,
+                            is_override=over,
+                            is_virtual=sub.is_virtual_method()))
+                u.classes.append(ci)
+                walk(child, class_stack + [ci])
+                continue
+            if kind in (CK.VAR_DECL, CK.FIELD_DECL):
+                sem = child.semantic_parent.kind
+                scope = ("namespace" if sem in (
+                             CK.NAMESPACE, CK.TRANSLATION_UNIT)
+                         else "class" if sem in (
+                             CK.CLASS_DECL, CK.STRUCT_DECL)
+                         else "function")
+                tname = child.type.spelling
+                storage = child.storage_class
+                is_static = storage == cindex.StorageClass.STATIC
+                if kind == CK.VAR_DECL and scope != "function" \
+                        or is_static \
+                        or "thread_local" in tname:
+                    canon = child.type.get_canonical().spelling
+                    u.vars.append(VarDecl(
+                        file=u.path, line=loc.line,
+                        name=child.spelling, type_text=tname,
+                        is_static=is_static,
+                        is_thread_local=getattr(
+                            child, "tls_kind", None) is not None
+                        and str(getattr(child, "tls_kind"))
+                        not in ("TLSKind.NONE", "None"),
+                        is_const=("const" in canon.split()
+                                  or canon.startswith("const ")),
+                        is_member=(scope == "class"),
+                        scope=scope))
+                # Hot-container / random_device detection on the
+                # canonical type — catches aliases and typedefs.
+                canon = child.type.get_canonical().spelling
+                for hot in _HOT_TYPES + ("std::random_device",):
+                    if canon.startswith(hot) \
+                            or (" " + hot) in canon:
+                        via = "" if hot in tname else tname
+                        u.type_uses.append(TypeUse(
+                            file=u.path, line=loc.line, name=hot,
+                            via_alias=via))
+            walk(child, class_stack)
+
+    walk(tu.cursor, [])
+    return list(units.values())

@@ -1,0 +1,193 @@
+"""A C++ tokenizer sufficient for structural analysis.
+
+Produces a flat token stream with line numbers, correctly skipping
+comments, string literals (including raw strings), character literals,
+and line continuations — the places where the old regex lint could be
+fooled. Preprocessor directives are captured as single ``pp`` tokens
+so the include-graph pass can read them and every other pass can skip
+them.
+
+Inline suppression directives (``// frfc-analyzer: allow(rule): why``)
+are harvested from comments during lexing, since comments do not
+survive into the token stream.
+"""
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List
+
+# Token kinds: 'id', 'num', 'str', 'chr', 'punct', 'pp'
+@dataclass
+class Token:
+    kind: str
+    text: str
+    line: int
+
+
+ALLOW_RE = re.compile(
+    r"frfc-analyzer:\s*allow\(([a-z0-9_.-]+)\)")
+
+_ID_START = set("abcdefghijklmnopqrstuvwxyz"
+                "ABCDEFGHIJKLMNOPQRSTUVWXYZ_$")
+_ID_CONT = _ID_START | set("0123456789")
+_DIGITS = set("0123456789")
+
+# Longest-match punctuation; order within each length is irrelevant.
+_PUNCT3 = {"<<=", ">>=", "...", "->*"}
+_PUNCT2 = {"::", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=",
+           "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^="}
+
+
+class Lexed:
+    """Token stream plus per-line inline allow() directives."""
+
+    def __init__(self, tokens: List[Token], allows: Dict[int, List[str]]):
+        self.tokens = tokens
+        self.allows = allows
+
+
+def _note_allows(comment: str, line: int, allows: Dict[int, List[str]]):
+    for m in ALLOW_RE.finditer(comment):
+        allows.setdefault(line, []).append(m.group(1))
+
+
+def lex(text: str) -> Lexed:
+    tokens: List[Token] = []
+    allows: Dict[int, List[str]] = {}
+    i, n, line = 0, len(text), 1
+    while i < n:
+        c = text[i]
+        if c == "\n":
+            line += 1
+            i += 1
+            continue
+        if c in " \t\r\f\v":
+            i += 1
+            continue
+        if c == "\\" and i + 1 < n and text[i + 1] == "\n":
+            line += 1
+            i += 2
+            continue
+        # Comments.
+        if c == "/" and i + 1 < n:
+            if text[i + 1] == "/":
+                end = text.find("\n", i)
+                if end < 0:
+                    end = n
+                _note_allows(text[i:end], line, allows)
+                i = end
+                continue
+            if text[i + 1] == "*":
+                end = text.find("*/", i + 2)
+                if end < 0:
+                    end = n
+                chunk = text[i:end]
+                _note_allows(chunk, line, allows)
+                line += chunk.count("\n")
+                i = end + 2
+                continue
+        # Preprocessor directive: consume through (continued) EOL.
+        if c == "#" and (not tokens or tokens[-1].line != line):
+            start, start_line = i, line
+            while i < n:
+                if text[i] == "\\" and i + 1 < n and text[i + 1] == "\n":
+                    line += 1
+                    i += 2
+                    continue
+                if text[i] == "\n":
+                    break
+                # A // comment ends the directive's useful text but we
+                # still consume to EOL below via the find.
+                i += 1
+            tokens.append(Token("pp", text[start:i], start_line))
+            continue
+        # Raw string literal R"delim( ... )delim".
+        if c == "R" and text.startswith('R"', i):
+            m = re.match(r'R"([^\s()\\]{0,16})\(', text[i:])
+            if m:
+                delim = m.group(1)
+                close = ')' + delim + '"'
+                end = text.find(close, i + m.end())
+                if end < 0:
+                    end = n
+                chunk = text[i:end + len(close)]
+                tokens.append(Token("str", chunk, line))
+                line += chunk.count("\n")
+                i = end + len(close)
+                continue
+        # String / char literals (with optional encoding prefix).
+        if c in "\"'" or (c in "uUL" and i + 1 < n
+                          and text[i + 1] in "\"'"
+                          and (c != "u" or True)):
+            j = i
+            if c in "uUL":
+                j += 1
+                if text[j] == "8":  # u8"..."
+                    j += 1
+            quote = text[j]
+            if quote in "\"'":
+                k = j + 1
+                while k < n:
+                    if text[k] == "\\":
+                        k += 2
+                        continue
+                    if text[k] == quote:
+                        k += 1
+                        break
+                    if text[k] == "\n":  # unterminated; bail at EOL
+                        break
+                    k += 1
+                tokens.append(Token("str" if quote == '"' else "chr",
+                                    text[i:k], line))
+                i = k
+                continue
+        # Identifiers / keywords.
+        if c in _ID_START:
+            j = i + 1
+            while j < n and text[j] in _ID_CONT:
+                j += 1
+            tokens.append(Token("id", text[i:j], line))
+            i = j
+            continue
+        # Numbers (loose: enough to skip them atomically).
+        if c in _DIGITS or (c == "." and i + 1 < n
+                            and text[i + 1] in _DIGITS):
+            j = i + 1
+            while j < n and (text[j] in _ID_CONT or text[j] in ".'"
+                             or (text[j] in "+-"
+                                 and text[j - 1] in "eEpP")):
+                j += 1
+            tokens.append(Token("num", text[i:j], line))
+            i = j
+            continue
+        # Punctuation, longest match first.
+        if text[i:i + 3] in _PUNCT3:
+            tokens.append(Token("punct", text[i:i + 3], line))
+            i += 3
+            continue
+        if text[i:i + 2] in _PUNCT2:
+            tokens.append(Token("punct", text[i:i + 2], line))
+            i += 2
+            continue
+        tokens.append(Token("punct", c, line))
+        i += 1
+    return Lexed(tokens, allows)
+
+
+def string_value(token_text: str) -> str:
+    """Decode a (non-raw) string literal token to its value."""
+    if token_text.startswith('R"'):
+        m = re.match(r'R"([^\s()\\]{0,16})\((.*)\)\1"\Z',
+                     token_text, re.S)
+        return m.group(2) if m else token_text
+    body = token_text
+    for prefix in ("u8", "u", "U", "L"):
+        if body.startswith(prefix + '"'):
+            body = body[len(prefix):]
+            break
+    if body.startswith('"') and body.endswith('"') and len(body) >= 2:
+        body = body[1:-1]
+    try:
+        return bytes(body, "utf-8").decode("unicode_escape")
+    except UnicodeDecodeError:
+        return body

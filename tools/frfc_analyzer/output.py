@@ -1,0 +1,66 @@
+"""Finding reporters: plain text and SARIF-shaped JSON.
+
+The JSON output follows the SARIF 2.1.0 core shape (tool.driver.rules
++ results with ruleId/level/message/locations) so editors and CI
+annotators that speak SARIF can ingest it directly; fields outside
+that core are kept to a ``properties`` bag.
+"""
+
+import json
+from typing import Dict, List
+
+from .ir import Finding
+
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/"
+                "sarif-spec/master/Schemata/sarif-schema-2.1.0.json")
+
+
+def render_text(findings: List[Finding], verbose_suppressed: bool
+                ) -> List[str]:
+    lines = []
+    for f in sorted(findings, key=lambda x: (x.file, x.line, x.rule)):
+        if f.suppressed and not verbose_suppressed:
+            continue
+        mark = " (suppressed: %s)" % f.suppression if f.suppressed \
+            else ""
+        lines.append("%s:%d: [%s] %s%s"
+                     % (f.file, f.line, f.rule, f.message, mark))
+    return lines
+
+
+def render_sarif(findings: List[Finding], rule_docs: Dict[str, str],
+                 tool_version: str) -> str:
+    rules = [{"id": rid,
+              "shortDescription": {"text": doc.strip().split("\n")[0]}}
+             for rid, doc in sorted(rule_docs.items())]
+    results = []
+    for f in sorted(findings, key=lambda x: (x.file, x.line, x.rule)):
+        results.append({
+            "ruleId": f.rule,
+            "level": "note" if f.suppressed else "error",
+            "message": {"text": f.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": f.file},
+                    "region": {"startLine": max(f.line, 1)},
+                },
+            }],
+            "suppressions": (
+                [{"kind": "external" if f.suppression == "baseline"
+                  else "inSource"}] if f.suppressed else []),
+        })
+    doc = {
+        "$schema": SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {
+                "name": "frfc-analyzer",
+                "version": tool_version,
+                "informationUri":
+                    "tools/frfc_analyzer/ (this repository)",
+                "rules": rules,
+            }},
+            "results": results,
+        }],
+    }
+    return json.dumps(doc, indent=2, sort_keys=False) + "\n"

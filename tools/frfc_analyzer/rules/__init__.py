@@ -1,0 +1,81 @@
+"""Rule registry.
+
+Each rule module registers one *family* via ``@family("name")``; the
+scan function receives the whole ``Program`` plus a ``Context`` and
+returns findings. Individual finding ids are either the family name
+itself (``next-wake``) or dotted children (``determinism.static``),
+which is what suppression entries match against (a bare family name in
+a suppression covers all of its children).
+"""
+
+from typing import Callable, Dict, List
+
+from ..ir import Finding, Program
+
+FAMILIES: Dict[str, Callable] = {}
+RULE_DOCS: Dict[str, str] = {}
+
+
+class Context:
+    """Carries everything rules need beyond the parsed program."""
+
+    def __init__(self, root, write_schemas: bool = False):
+        self.root = root
+        self.write_schemas = write_schemas
+        self._doc_cache: Dict[str, str] = {}
+
+    DOC_FILES = ("README.md", "DESIGN.md", "EXPERIMENTS.md",
+                 "docs/MODEL.md", "docs/EXTENDING.md")
+
+    def doc_text(self, rel: str) -> str:
+        if rel not in self._doc_cache:
+            path = self.root / rel
+            self._doc_cache[rel] = (
+                path.read_text(encoding="utf-8")
+                if path.is_file() else "")
+        return self._doc_cache[rel]
+
+    def all_docs(self):
+        return [(rel, self.doc_text(rel)) for rel in self.DOC_FILES]
+
+
+def family(name: str, docs: Dict[str, str]):
+    def wrap(fn):
+        FAMILIES[name] = fn
+        RULE_DOCS.update(docs)
+        return fn
+    return wrap
+
+
+def run_all(program: Program, ctx: Context,
+            only: List[str] = None) -> List[Finding]:
+    findings: List[Finding] = []
+    for name in sorted(FAMILIES):
+        if only and name not in only:
+            continue
+        findings.extend(FAMILIES[name](program, ctx))
+    # Inline allow() directives: a finding is suppressed when its line
+    # (in its own file) — or the line above it, for a comment on its
+    # own line — carries a matching directive.
+    for f in findings:
+        tu = program.unit(f.file)
+        if tu is None:
+            continue
+        allowed = tu.allows.get(f.line, []) \
+            + tu.allows.get(f.line - 1, [])
+        if any(f.rule == a or f.rule.startswith(a + ".")
+               for a in allowed):
+            f.suppressed = True
+            f.suppression = "inline"
+    return findings
+
+
+# Import for registration side effects (order is irrelevant; run_all
+# sorts by family name).
+from . import next_wake      # noqa: E402,F401
+from . import determinism    # noqa: E402,F401
+from . import fault_rng      # noqa: E402,F401
+from . import hot_containers  # noqa: E402,F401
+from . import config_schema  # noqa: E402,F401
+from . import metric_paths   # noqa: E402,F401
+from . import layering       # noqa: E402,F401

@@ -1,0 +1,141 @@
+"""determinism.*: shard-safety and reproducibility rules for src/.
+
+Components run concurrently on parallel-kernel shard threads and every
+run must be bit-identical across stepped|event|parallel kernels
+(DESIGN.md §10), so simulation code may hold no hidden shared state
+and draw on no ambient entropy:
+
+  determinism.static        mutable namespace-scope variable, mutable
+                            static data member, or mutable
+                            function-local static
+  determinism.thread-local  any thread_local variable
+  determinism.random        std::random_device, rand()/srand(),
+                            time(NULL)-style wall-entropy (all
+                            randomness flows through common/rng.hpp;
+                            rng.cpp itself is the one exemption)
+  determinism.wall-clock    std::chrono::*_clock::now() — wall time
+                            must never feed simulation-visible state
+                            (report-only timing sites carry a baseline
+                            suppression naming the justification)
+  determinism.unordered-iter  range-for over an unordered container —
+                            iteration order is pointer/hash dependent,
+                            so any simulation-visible effect of the
+                            loop body breaks bit-identity
+"""
+
+import re
+from typing import List
+
+from ..ir import Finding, Program
+from . import Context, family
+
+_DOCS = {
+    "determinism.static": "mutable static state in src/ (shard-safety)",
+    "determinism.thread-local": "thread_local in src/ (shard-safety)",
+    "determinism.random": "ambient entropy source in src/; use the "
+                          "seeded Rng (common/rng.hpp)",
+    "determinism.wall-clock": "wall-clock read in src/; wall time must "
+                              "not feed simulation-visible state",
+    "determinism.unordered-iter": "iteration over an unordered "
+                                  "container in src/ (order is not "
+                                  "deterministic)",
+}
+
+_RNG_EXEMPT = {"src/common/rng.cpp", "src/common/rng.hpp"}
+
+_CLOCKS = ("steady_clock", "system_clock", "high_resolution_clock")
+
+_UNORDERED_RE = re.compile(r"\bstd\s*::\s*unordered_(map|set)\b")
+_ID_RE = re.compile(r"[A-Za-z_]\w*")
+
+
+@family("determinism", _DOCS)
+def scan(program: Program, ctx: Context) -> List[Finding]:
+    findings: List[Finding] = []
+    for tu in program.units:
+        if not tu.path.startswith("src/"):
+            continue
+
+        for v in tu.vars:
+            if v.is_thread_local:
+                findings.append(Finding(
+                    rule="determinism.thread-local", file=tu.path,
+                    line=v.line,
+                    message="thread_local '%s'; components share "
+                            "shard threads — use shard-owned or "
+                            "boundary-replayed state (DESIGN.md §10)"
+                            % v.name))
+                continue
+            mutable_static = (
+                (v.scope == "namespace" and not v.is_const)
+                or (v.scope == "class" and v.is_static
+                    and not v.is_const)
+                or (v.scope == "function" and v.is_static
+                    and not v.is_const))
+            if mutable_static:
+                findings.append(Finding(
+                    rule="determinism.static", file=tu.path,
+                    line=v.line,
+                    message="mutable %s-scope static '%s' is shared "
+                            "across shard threads; route it through "
+                            "the mailbox/boundary API (DESIGN.md §10)"
+                            % (v.scope, v.name)))
+
+        if tu.path not in _RNG_EXEMPT:
+            for t in tu.type_uses:
+                if t.name == "std::random_device":
+                    findings.append(Finding(
+                        rule="determinism.random", file=tu.path,
+                        line=t.line,
+                        message="std::random_device; all randomness "
+                                "flows through the seeded Rng "
+                                "(common/rng.hpp)"))
+            for c in tu.calls:
+                if c.callee in ("rand", "srand") and c.receiver in (
+                        "", "std"):
+                    findings.append(Finding(
+                        rule="determinism.random", file=tu.path,
+                        line=c.line,
+                        message="%s(); use the seeded Rng "
+                                "(common/rng.hpp)" % c.callee))
+                elif c.callee == "time" and c.receiver in ("", "std") \
+                        and len(c.args) == 1 \
+                        and c.args[0].text in ("NULL", "nullptr", "0"):
+                    findings.append(Finding(
+                        rule="determinism.random", file=tu.path,
+                        line=c.line,
+                        message="time(%s) wall-entropy; use the "
+                                "seeded Rng" % c.args[0].text))
+
+        for c in tu.calls:
+            if c.callee == "now" and any(
+                    clk in c.receiver for clk in _CLOCKS):
+                findings.append(Finding(
+                    rule="determinism.wall-clock", file=tu.path,
+                    line=c.line,
+                    message="%s::now(); wall time must not feed "
+                            "simulation-visible state"
+                            % c.receiver.rstrip(":.->")
+                               .split("::")[-1]))
+
+        # Unordered iteration: names of variables in this TU whose
+        # declared type is an unordered container, matched against
+        # range-for range expressions.
+        unordered_names = {
+            v.name for v in tu.vars
+            if _UNORDERED_RE.search(v.type_text)}
+        unordered_names.update(
+            t.via_alias for t in tu.type_uses
+            if t.via_alias and "unordered" in t.name)
+        if unordered_names:
+            for rf in tu.range_fors:
+                ids = set(_ID_RE.findall(rf.range_text))
+                hit = ids & unordered_names
+                if hit:
+                    findings.append(Finding(
+                        rule="determinism.unordered-iter",
+                        file=tu.path, line=rf.line,
+                        message="range-for over unordered container "
+                                "'%s'; iteration order is not "
+                                "deterministic" % sorted(hit)[0]))
+    return findings

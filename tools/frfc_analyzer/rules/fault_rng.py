@@ -1,0 +1,67 @@
+"""fault-rng.*: fault randomness and key centralization (PR 9).
+
+Fault decisions draw from dedicated per-router RNG streams owned by
+the fault framework; a stray probability draw in the data plane
+desynchronizes the documented stream layout and breaks kernel/shard
+bit-identity. Likewise every ``fault.*`` config key resolves in
+exactly one place (FaultPlan::fromConfig), which is what lets it die
+on unknown keys.
+
+  fault-rng.draw   call-expression-accurate: .nextBool()/.nextDouble()
+                   receiver calls inside src/frfc, src/vc,
+                   src/network, src/proto (the old regex also fired on
+                   comment text and could not see through macros)
+  fault-rng.key    a "fault.<word>" string literal in src/ outside
+                   src/sim/fault.* — matched on the decoded literal
+                   value, so adjacent-literal concatenation ("fault."
+                   "x") and escapes cannot hide a key
+"""
+
+import re
+from typing import List
+
+from ..ir import Finding, Program
+from . import Context, family
+
+_DOCS = {
+    "fault-rng.draw": "probability draw in the data plane; fault "
+                      "decisions flow through FaultInjector "
+                      "(sim/fault.hpp)",
+    "fault-rng.key": "fault.* config key literal outside the fault "
+                     "framework; FaultPlan::fromConfig is the single "
+                     "resolution point",
+}
+
+_FRAMEWORK = {"src/sim/fault.hpp", "src/sim/fault.cpp"}
+_DRAW_DIRS = ("src/frfc/", "src/vc/", "src/network/", "src/proto/")
+_KEY_RE = re.compile(r"\Afault\.[a-z][a-z0-9_.]*\Z")
+
+
+@family("fault-rng", _DOCS)
+def scan(program: Program, ctx: Context) -> List[Finding]:
+    findings: List[Finding] = []
+    for tu in program.units:
+        if tu.path in _FRAMEWORK or not tu.path.startswith("src/"):
+            continue
+        if tu.path.startswith(_DRAW_DIRS):
+            for c in tu.calls:
+                if c.callee in ("nextBool", "nextDouble") \
+                        and c.receiver:
+                    findings.append(Finding(
+                        rule="fault-rng.draw", file=tu.path,
+                        line=c.line,
+                        message="%s.%s() in the data plane; fault "
+                                "decisions must flow through "
+                                "FaultInjector so the RNG stream "
+                                "layout stays kernel- and "
+                                "shard-invariant"
+                                % (c.receiver, c.callee)))
+        for s in tu.strings:
+            if _KEY_RE.match(s.value):
+                findings.append(Finding(
+                    rule="fault-rng.key", file=tu.path, line=s.line,
+                    message="raw fault key literal \"%s\" outside "
+                            "the fault framework; resolve it in "
+                            "FaultPlan::fromConfig (sim/fault.cpp)"
+                            % s.value))
+    return findings

@@ -1,0 +1,41 @@
+"""hot-container: flat-storage discipline for the router hot path.
+
+PR 8 moved src/frfc and src/vc onto flat rings, bitmaps, and RingQueue
+(DESIGN.md §12); a node-based container reintroduces per-element
+allocation and pointer chasing on the per-cycle path. Type-accurate:
+``using``/``typedef`` aliases of the banned containers are followed
+(the regex rule only saw the literal spelling), and matches come from
+declarations, never comments or strings.
+"""
+
+from typing import List
+
+from ..ir import Finding, Program
+from . import Context, family
+
+_DOCS = {
+    "hot-container": "node-based std container in a router hot path; "
+                     "use a flat ring/bitmap/RingQueue (DESIGN.md §12)",
+}
+
+_HOT_DIRS = ("src/frfc/", "src/vc/")
+_BANNED = {"std::unordered_map", "std::unordered_set", "std::map",
+           "std::deque"}
+
+
+@family("hot-container", _DOCS)
+def scan(program: Program, ctx: Context) -> List[Finding]:
+    findings: List[Finding] = []
+    for tu in program.units:
+        if not tu.path.startswith(_HOT_DIRS):
+            continue
+        for t in tu.type_uses:
+            if t.name in _BANNED:
+                via = " (through alias '%s')" % t.via_alias \
+                    if t.via_alias else ""
+                findings.append(Finding(
+                    rule="hot-container", file=tu.path, line=t.line,
+                    message="%s%s in a router hot path; use a flat "
+                            "ring/bitmap/RingQueue (DESIGN.md §12)"
+                            % (t.name, via)))
+    return findings

@@ -1,0 +1,106 @@
+"""layering.*: module-DAG enforcement over the real include graph.
+
+The allowed dependency edges between src/ modules are declared in
+tools/frfc_analyzer/layers.conf (one line per module: the modules it
+may include). The rule walks every ``#include "module/..."`` edge in
+the parsed tree and fails on any edge the declaration does not allow —
+a back-edge (src/common including src/frfc) can therefore never land
+silently, and a brand-new src/ directory must be added to the
+declaration before it can be included at all.
+
+The declaration mirrors the CMake target link graph (DESIGN.md §14
+reproduces it as a diagram); keeping it in a data file rather than in
+rule code means a deliberate layering change is a reviewed one-line
+diff next to its justification.
+"""
+
+import re
+from typing import Dict, List, Set
+
+from ..ir import Finding, Program
+from . import Context, family
+
+_DOCS = {
+    "layering.back-edge": "include edge not allowed by the declared "
+                          "module DAG (tools/frfc_analyzer/"
+                          "layers.conf)",
+    "layering.unknown-module": "src/ module missing from the declared "
+                               "DAG",
+    "layering.config": "malformed layers.conf line",
+}
+
+LAYERS_REL = "tools/frfc_analyzer/layers.conf"
+
+_LINE_RE = re.compile(r"\A([a-z_]+)\s*:\s*(.*)\Z")
+
+
+def load_layers(ctx: Context):
+    allowed: Dict[str, Set[str]] = {}
+    problems: List[Finding] = []
+    path = ctx.root / LAYERS_REL
+    if not path.is_file():
+        problems.append(Finding(
+            rule="layering.config", file=LAYERS_REL, line=0,
+            message="declared module DAG not found"))
+        return allowed, problems
+    for num, raw in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), 1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        m = _LINE_RE.match(line)
+        if not m:
+            problems.append(Finding(
+                rule="layering.config", file=LAYERS_REL, line=num,
+                message="expected '<module>: <dep> <dep> ...', got: "
+                        + line))
+            continue
+        allowed[m.group(1)] = set(m.group(2).split())
+    # Deps must themselves be declared modules.
+    for mod, deps in sorted(allowed.items()):
+        for d in sorted(deps):
+            if d not in allowed:
+                problems.append(Finding(
+                    rule="layering.config", file=LAYERS_REL, line=0,
+                    message="module '%s' allows undeclared module "
+                            "'%s'" % (mod, d)))
+    return allowed, problems
+
+
+@family("layering", _DOCS)
+def scan(program: Program, ctx: Context) -> List[Finding]:
+    allowed, findings = load_layers(ctx)
+    if not allowed:
+        return findings
+    modules = set(allowed)
+
+    for tu in program.units:
+        if not tu.path.startswith("src/"):
+            continue
+        parts = tu.path.split("/")
+        if len(parts) < 3:
+            continue
+        mod = parts[1]
+        if mod not in modules:
+            findings.append(Finding(
+                rule="layering.unknown-module", file=tu.path, line=1,
+                message="src/%s is not declared in %s; add it with "
+                        "its allowed dependencies" % (mod,
+                                                      LAYERS_REL)))
+            continue
+        for inc in tu.includes:
+            if inc.system or "/" not in inc.target:
+                continue
+            dep = inc.target.split("/")[0]
+            if dep == mod or dep not in modules:
+                continue
+            if dep not in allowed[mod]:
+                findings.append(Finding(
+                    rule="layering.back-edge", file=tu.path,
+                    line=inc.line,
+                    message="src/%s may not include \"%s\" — edge "
+                            "%s -> %s is not in the declared module "
+                            "DAG (%s)"
+                            % (mod, inc.target, mod, dep,
+                               LAYERS_REL)))
+    return findings

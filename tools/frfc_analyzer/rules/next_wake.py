@@ -1,0 +1,71 @@
+"""next-wake: the quiescence-contract coverage rule.
+
+Every class that (transitively) derives from ``Clocked`` and overrides
+``tick`` must override ``nextWake`` — the inherited default returns
+``now + 1``, which silently defeats the event kernel's sleep
+scheduling (DESIGN.md §8). Unlike the retired regex rule, this walks
+the real base-specifier graph, so indirect descendants
+(``class Helper : public FrRouter``) are covered, and a ``nextWake``
+declared on an intermediate base satisfies the contract for the whole
+subtree below it.
+
+Applies everywhere (src, tests, bench, examples): test doubles that
+run under the event kernel lie to it just as effectively as real
+components.
+"""
+
+from typing import List
+
+from ..ir import Finding, Program
+from . import Context, family
+
+_DOCS = {
+    "next-wake": "Clocked subclass overriding tick() must override "
+                 "nextWake() (quiescence contract, DESIGN.md §8)",
+}
+
+
+@family("next-wake", _DOCS)
+def scan(program: Program, ctx: Context) -> List[Finding]:
+    findings: List[Finding] = []
+    index = program.class_index()
+
+    def subtree_declares(cls, method: str) -> bool:
+        """True when cls or an ancestor below Clocked declares it."""
+        # Check the class object itself first: same-named classes in
+        # other TUs (test doubles in anonymous namespaces) must not
+        # shadow it through the name index.
+        if cls.method(method) is not None:
+            return True
+        seen = {cls.name}
+        work = [b.split("::")[-1] for b in cls.bases]
+        while work:
+            name = work.pop()
+            if name in seen or name == "Clocked":
+                continue
+            seen.add(name)
+            ci = index.get(name)
+            if ci is None:
+                continue
+            if ci.method(method) is not None:
+                return True
+            work.extend(b.split("::")[-1] for b in ci.bases)
+        return False
+
+    for tu in program.units:
+        for cls in tu.classes:
+            if cls.name == "Clocked":
+                continue
+            if not program.derives_from(cls, "Clocked", index):
+                continue
+            tick = cls.method("tick")
+            if tick is None:
+                continue
+            if not subtree_declares(cls, "nextWake"):
+                findings.append(Finding(
+                    rule="next-wake", file=cls.file, line=cls.line,
+                    message="Clocked subclass '%s' overrides tick() "
+                            "but not nextWake(); the inherited "
+                            "default wakes it every cycle"
+                            % cls.name))
+    return findings

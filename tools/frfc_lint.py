@@ -1,25 +1,23 @@
 #!/usr/bin/env python3
-"""frfc-lint: repo-specific static checks for the FRFC simulator.
+"""frfc-lint: textual, single-line style checks for the FRFC simulator.
+
+This is the *textual* half of the repo's static checks: rules whose
+whole truth lives on one source line. Everything that needs real
+program structure — the Clocked/nextWake quiescence contract,
+determinism/shard-safety, fault-RNG centralization, hot-path container
+bans, config-key and metric-path schemas, module layering — lives in
+the AST-grade analyzer (tools/frfc_analyzer; DESIGN.md §14) and was
+deleted from this lint when it migrated there.
 
 Rules (suppress one occurrence with `// frfc-lint: allow(<rule>)` on
 the offending line; every suppression must carry a reason in a nearby
 comment so reviewers can audit it):
 
-  determinism   No rand()/srand()/std::random_device/time(NULL) outside
-                src/common/rng.cpp. All randomness must flow through
-                the seeded, counter-based Rng so runs stay reproducible
-                and bit-identical across kernels.
   logging       No std::cout/std::cerr/printf/<iostream> in src/
                 outside the log module (src/common/log.*) and the
                 structured-output writers (src/harness/report.cpp,
                 src/harness/json.cpp). Diagnostics go through
                 common/log.hpp so verbosity stays controllable.
-  wake-contract Every `class X : public Clocked` must declare
-                nextWake. The base default is hot (now + 1), which
-                silently defeats the event kernel's sleep scheduling.
-  metric-paths  String literals passed to MetricRegistry registration
-                calls must be lowercase dotted paths ([a-z0-9_.]),
-                matching the documented `router.<node>.*` namespace.
   assert        Use FRFC_ASSERT (common/log.hpp), not bare assert():
                 FRFC_ASSERT reports through the log module and stays
                 active in release builds.
@@ -34,30 +32,6 @@ comment so reviewers can audit it):
                 rather than raw string literals. Benches and examples
                 may write "workload.*" literals (they model user
                 config files).
-  hot-containers
-                No std::unordered_map/std::map/std::deque declarations
-                in the router hot-path headers and sources (src/frfc/,
-                src/vc/): PR 8 moved those paths onto flat rings,
-                bitmaps, and RingQueue (DESIGN.md section 12); a
-                node-based container reintroduces per-element
-                allocation and pointer chasing. Cold paths may suppress
-                with an allow() carrying a justification.
-  fault-rng     Fault injection draws its randomness only inside the
-                fault framework (src/sim/fault.*). Elsewhere in the
-                data plane (src/frfc/, src/vc/, src/network/,
-                src/proto/) the probability draws nextBool()/
-                nextDouble() are forbidden — a stray per-component
-                draw desynchronizes the documented RNG stream layout
-                and breaks kernel/shard bit-identity — and no src/
-                file outside the framework may spell a "fault.*"
-                config-key literal: FaultPlan::fromConfig is the
-                single resolution point.
-  shard-safety  No mutable static or thread_local variables in src/:
-                components run concurrently on parallel-kernel shard
-                threads, so hidden shared state is a data race and a
-                determinism leak. Shared bookkeeping must be shard-
-                owned, deferred to the window-boundary hook, or passed
-                through the mailbox API (DESIGN.md section 10).
 
 Exit status: 0 when clean, 1 when any finding is reported, 2 on usage
 errors. Requires only the Python 3 standard library.
@@ -71,8 +45,10 @@ from pathlib import Path
 CXX_SUFFIXES = {".cpp", ".hpp", ".cc", ".hh", ".h"}
 
 # Directories scanned relative to the repo root. Tests and benches are
-# held to the same determinism/assert/namespace bar as src/.
+# held to the same assert/namespace bar as src/. The analyzer's
+# fixture corpus is deliberate-violation material and is excluded.
 SCAN_DIRS = ["src", "tests", "bench", "examples", "tools"]
+EXCLUDE_PREFIXES = ("tests/analyzer/fixtures/",)
 
 ALLOW_RE = re.compile(r"//\s*frfc-lint:\s*allow\(([a-z-]+)\)")
 LINE_COMMENT_RE = re.compile(r"//(?!\s*frfc-lint:).*$")
@@ -97,23 +73,6 @@ def strip_comment(line):
     return LINE_COMMENT_RE.sub("", line)
 
 
-DETERMINISM_ALLOWED = {"src/common/rng.cpp"}
-DETERMINISM_RE = re.compile(
-    r"(?<![\w:])(?:s?rand\s*\(|std::random_device"
-    r"|time\s*\(\s*(?:NULL|nullptr|0)\s*\))")
-
-
-@rule("determinism")
-def check_determinism(rel, lines, report):
-    if rel in DETERMINISM_ALLOWED:
-        return
-    for num, line in enumerate(lines, 1):
-        code = STRING_RE.sub('""', strip_comment(line))
-        if DETERMINISM_RE.search(code):
-            report(num, "raw randomness/time source; use the seeded "
-                        "Rng from common/rng.hpp")
-
-
 LOGGING_ALLOWED = {
     "src/common/log.cpp", "src/common/log.hpp",
     "src/harness/report.cpp",  # writes the table/CSV reports
@@ -134,43 +93,6 @@ def check_logging(rel, lines, report):
                         "through common/log.hpp")
 
 
-CLOCKED_RE = re.compile(r"\bclass\s+(\w+)\s*(?:final\s*)?:\s*public\s+Clocked\b")
-
-
-@rule("wake-contract")
-def check_wake_contract(rel, lines, report):
-    text = "".join(lines)
-    for match in CLOCKED_RE.finditer(text):
-        # The override must appear after the class head; a textual scan
-        # is enough because subclasses live in a single header each.
-        rest = text[match.end():]
-        if "nextWake" not in rest:
-            num = text.count("\n", 0, match.start()) + 1
-            report(num, "Clocked subclass '" + match.group(1)
-                        + "' does not declare nextWake; the base "
-                        "default runs hot every cycle")
-
-
-METRIC_CALL_RE = re.compile(
-    r"\.\s*(?:counter|gauge|timeAverage|histogram|attachCounter"
-    r"|attachGauge|attachTimeAverage)\s*\(")
-METRIC_PATH_RE = re.compile(r"^[a-z0-9_.]*$")
-
-
-@rule("metric-paths")
-def check_metric_paths(rel, lines, report):
-    if not rel.startswith("src/"):
-        return
-    for num, line in enumerate(lines, 1):
-        if not METRIC_CALL_RE.search(strip_comment(line)):
-            continue
-        for lit in STRING_RE.findall(strip_comment(line)):
-            body = lit[1:-1]
-            if not METRIC_PATH_RE.match(body):
-                report(num, "metric path literal " + lit + " must be "
-                            "lowercase [a-z0-9_.]")
-
-
 ASSERT_RE = re.compile(r"(?<![\w_])assert\s*\(")
 
 
@@ -185,64 +107,13 @@ def check_assert(rel, lines, report):
                         "common/log.hpp")
 
 
-FAULT_FRAMEWORK = {"src/sim/fault.hpp", "src/sim/fault.cpp"}
-FAULT_DRAW_DIRS = ("src/frfc/", "src/vc/", "src/network/", "src/proto/")
-FAULT_DRAW_RE = re.compile(r"\.\s*next(?:Bool|Double)\s*\(")
-
-
-@rule("fault-rng")
-def check_fault_rng(rel, lines, report):
-    if rel in FAULT_FRAMEWORK:
-        return
-    for num, line in enumerate(lines, 1):
-        stripped = strip_comment(line)
-        if (rel.startswith(FAULT_DRAW_DIRS)
-                and FAULT_DRAW_RE.search(STRING_RE.sub('""', stripped))):
-            report(num, "probability draw in the data plane; fault "
-                        "decisions must flow through FaultInjector "
-                        "(sim/fault.hpp) so the RNG stream layout stays "
-                        "kernel- and shard-invariant")
-        if rel.startswith("src/"):
-            for lit in STRING_RE.findall(stripped):
-                if lit.startswith('"fault.'):
-                    report(num, "raw fault.* config key " + lit
-                                + " outside the fault framework; "
-                                "FaultPlan::fromConfig (sim/fault.cpp) "
-                                "is the single resolution point")
-
-
-SHARD_THREAD_LOCAL_RE = re.compile(r"\bthread_local\b")
-# A `static` variable declaration: `static <type> name =|{|;`. Static
-# member/free *functions* carry a '(' after the name and don't match;
-# `static const`/`static constexpr` are immutable and exempt.
-SHARD_STATIC_RE = re.compile(
-    r"\bstatic\s+(?!const\b|constexpr\b|inline\s+const)"
-    r"[\w:<>,*&\s]+?\s\w+\s*(?:=|\{|;)")
-
-
-@rule("shard-safety")
-def check_shard_safety(rel, lines, report):
-    if not rel.startswith("src/"):
-        return
-    for num, line in enumerate(lines, 1):
-        code = STRING_RE.sub('""', strip_comment(line))
-        if "static_assert" in code:
-            code = code.replace("static_assert", "")
-        if SHARD_THREAD_LOCAL_RE.search(code):
-            report(num, "thread_local in a simulation component; use "
-                        "shard-owned or boundary-replayed state "
-                        "(DESIGN.md section 10)")
-        elif SHARD_STATIC_RE.search(code):
-            report(num, "mutable static shared across shard threads; "
-                        "route it through the mailbox/boundary API "
-                        "(DESIGN.md section 10)")
-
-
 # Exact legacy workload key literals; "workload."-prefixed literals are
 # matched separately so misspellings like "workload.offred" still show
 # up as raw literals in src/.
 WORKLOAD_LEGACY_LITERALS = {
     '"offered"', '"packet_length"', '"injection"', '"trace"'}
+
+
 @rule("workload-keys")
 def check_workload_keys(rel, lines, report):
     # tests/ exercise the legacy-key compatibility path on purpose, and
@@ -260,24 +131,6 @@ def check_workload_keys(rel, lines, report):
                 report(num, "raw workload key literal " + lit
                             + " in src/; use the k*Key constants from "
                             "traffic/workload.hpp")
-
-
-# Hot-path directories that must stay on flat storage (DESIGN.md §12).
-HOT_CONTAINER_DIRS = ("src/frfc/", "src/vc/")
-HOT_CONTAINER_RE = re.compile(r"\bstd::(unordered_map|map|deque)\b")
-
-
-@rule("hot-containers")
-def check_hot_containers(rel, lines, report):
-    if not rel.startswith(HOT_CONTAINER_DIRS):
-        return
-    for num, line in enumerate(lines, 1):
-        code = STRING_RE.sub('""', strip_comment(line))
-        match = HOT_CONTAINER_RE.search(code)
-        if match:
-            report(num, "std::" + match.group(1) + " in a router "
-                        "hot path; use a flat ring/bitmap/RingQueue "
-                        "(DESIGN.md section 12)")
 
 
 NAMESPACE_RE = re.compile(r"\busing\s+namespace\s+std\b")
@@ -335,8 +188,10 @@ def main(argv):
         if target.is_file():
             files.append(target)
         elif target.is_dir():
-            files.extend(p for p in sorted(target.rglob("*"))
-                         if p.suffix in CXX_SUFFIXES)
+            files.extend(
+                p for p in sorted(target.rglob("*"))
+                if p.suffix in CXX_SUFFIXES
+                and not relpath(p, root).startswith(EXCLUDE_PREFIXES))
 
     findings = []
     for path in files:
